@@ -1,0 +1,83 @@
+"""Ablation benchmarks for the design choices the paper calls out.
+
+Two ingredients beyond plain unification make the analysis work (paper §1,
+§3.3): flow-sensitive B/I/T tracking — without it the Figure 2 tag-dispatch
+idiom cannot be validated — and GC effects — without them the unregistered-
+pointer errors (3 of the 24) are invisible.  Each ablation reruns part of
+the Figure 9 suite with one ingredient disabled and measures both the
+report deltas and the timing.
+"""
+
+import pytest
+
+from repro.api import analyze_project
+from repro.bench.runner import run_benchmark
+from repro.bench.specs import spec_by_name
+from repro.core.exprs import Options
+
+GC_HEAVY = ("ftplib-0.12", "ocaml-mad-0.1.0", "ocaml-vorbis-0.1.1")
+
+
+def test_ablate_flow_sensitivity(benchmark):
+    """Disabling B/I/T tracking breaks the tag-dispatch idiom: the clean
+    lablgl row suddenly reports spurious problems."""
+    spec = spec_by_name("lablgl-1.00")
+
+    def run_degraded():
+        return run_benchmark(
+            spec, Options(flow_sensitive=False), unique_prefix=900
+        )
+
+    degraded = benchmark.pedantic(run_degraded, rounds=1, iterations=1)
+    baseline = run_benchmark(spec, unique_prefix=900)
+    assert baseline.matches_paper
+    # flow-insensitivity can only lose precision: strictly more reports
+    assert len(degraded.report.diagnostics) > len(baseline.report.diagnostics)
+
+
+def test_ablate_gc_effects(benchmark):
+    """Disabling effects silently accepts the unregistered-pointer bugs."""
+
+    def run_all_degraded():
+        results = []
+        for index, name in enumerate(GC_HEAVY):
+            results.append(
+                run_benchmark(
+                    spec_by_name(name),
+                    Options(gc_effects=False),
+                    unique_prefix=910 + index,
+                )
+            )
+        return results
+
+    degraded = benchmark.pedantic(run_all_degraded, rounds=1, iterations=1)
+    missed = 0
+    for index, result in enumerate(degraded):
+        baseline = run_benchmark(
+            spec_by_name(GC_HEAVY[index]), unique_prefix=910 + index
+        )
+        missed += (
+            baseline.tally["errors"] - result.tally["errors"]
+        )
+    # ftplib's unregistered pointer becomes invisible; the register-leak
+    # errors of mad/vorbis are return-shape checks and survive
+    assert missed >= 1
+
+
+def test_ablation_speed_comparison(benchmark):
+    """Flow-insensitive mode must not be slower (it does strictly less)."""
+    spec = spec_by_name("gz-0.5.5")
+
+    import time
+
+    def timed(options):
+        started = time.perf_counter()
+        run_benchmark(spec, options, unique_prefix=920)
+        return time.perf_counter() - started
+
+    def run_both():
+        return timed(None), timed(Options(flow_sensitive=False))
+
+    full, degraded = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # allow generous noise; the point is it is not catastrophically slower
+    assert degraded < full * 3

@@ -1,0 +1,69 @@
+"""Figure 9 reproduction benchmark.
+
+One benchmark per row of the paper's results table: synthesize the glue
+library, analyze it, assert the report counts land exactly on the row, and
+time the analysis (the paper's Time column; absolute values differ from the
+2 GHz Pentium IV, the *shape* — lablgtk ≫ everything else — must hold).
+"""
+
+import pytest
+
+from repro.bench.report import error_taxonomy, figure9_table
+from repro.bench.runner import run_benchmark, run_suite
+from repro.bench.specs import PAPER_TOTALS, SUITE, spec_by_name, suite_totals
+from repro.bench.synth import synthesize
+from repro.api import analyze_project
+
+
+@pytest.mark.parametrize("spec", SUITE, ids=[s.name for s in SUITE])
+def test_fig9_row(benchmark, spec):
+    """Each Figure 9 row: measured counts equal the paper's counts."""
+    prefix = list(SUITE).index(spec)
+    bench_program = synthesize(spec, unique_prefix=prefix)
+
+    def analyze():
+        return analyze_project(
+            [bench_program.ocaml_source], [bench_program.c_source]
+        )
+
+    report = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    assert report.tally() == spec.expected
+    assert report.tally() == bench_program.expected_tally()
+
+
+def test_fig9_totals(benchmark):
+    """The bottom row: 24 errors, 22 warnings, 214 false pos, 75 imprecision."""
+    suite = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    assert suite.totals() == PAPER_TOTALS
+    assert suite.all_match_ground_truth
+    print()
+    print(figure9_table(suite))
+
+
+def test_defect_taxonomy(benchmark):
+    """§5.2 prose: 3 unregistered-pointer + 2 register-leak + 19 type errors."""
+    suite = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    taxonomy = error_taxonomy(suite)
+    assert taxonomy.get("UNPROTECTED_VALUE", 0) == 3
+    assert taxonomy.get("MISSING_CAMLRETURN", 0) == 2
+    type_errors = (
+        taxonomy.get("BAD_VAL_INT", 0)
+        + taxonomy.get("BAD_INT_VAL", 0)
+        + taxonomy.get("TYPE_MISMATCH", 0)
+        + taxonomy.get("OPTION_MISUSE", 0)
+        + taxonomy.get("TAG_OUT_OF_RANGE", 0)
+        + taxonomy.get("ARITY_MISMATCH", 0)
+    )
+    assert type_errors == 19
+
+
+def test_lablgtk_dominates_timing(benchmark):
+    """The Time column's shape: the largest benchmark is the slowest."""
+
+    def run_two():
+        small = run_benchmark(spec_by_name("apm-1.00"), unique_prefix=0)
+        large = run_benchmark(spec_by_name("lablgtk-2.2.0"), unique_prefix=10)
+        return small, large
+
+    small, large = benchmark.pedantic(run_two, rounds=1, iterations=1)
+    assert large.elapsed_seconds > small.elapsed_seconds

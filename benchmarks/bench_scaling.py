@@ -1,0 +1,51 @@
+"""Scaling benchmark: analysis time as a function of glue-code size.
+
+The paper's Time column shows analysis time tracking C LoC (with lablgtk,
+the largest library, dominating).  We sweep defect-free synthesized glue
+from ~250 to ~4000 lines of C and check the growth is roughly linear —
+each function is analyzed independently, so doubling the function count
+should about double the time, not square it.
+"""
+
+import pytest
+
+from repro.api import analyze_project
+from repro.bench.specs import spec_by_name
+from repro.bench.synth import synthesize_scaled
+
+SIZES = (250, 500, 1000, 2000, 4000)
+
+
+@pytest.mark.parametrize("c_loc", SIZES)
+def test_scaling_point(benchmark, c_loc):
+    base = spec_by_name("apm-1.00")
+    program = synthesize_scaled(base, c_loc, unique_prefix=c_loc)
+    assert program.c_loc >= c_loc
+
+    def analyze():
+        return analyze_project(
+            [program.ocaml_source], [program.c_source]
+        )
+
+    report = benchmark(analyze)
+    assert report.tally() == {
+        "errors": 0,
+        "warnings": 0,
+        "false_positives": 0,
+        "imprecision": 0,
+    }
+
+
+def test_growth_is_subquadratic():
+    """Time(4000 LoC) should be far below (4000/250)^2 × Time(250 LoC)."""
+    import time
+
+    base = spec_by_name("apm-1.00")
+    timings = {}
+    for c_loc in (250, 4000):
+        program = synthesize_scaled(base, c_loc, unique_prefix=50_000 + c_loc)
+        started = time.perf_counter()
+        analyze_project([program.ocaml_source], [program.c_source])
+        timings[c_loc] = time.perf_counter() - started
+    ratio = timings[4000] / max(timings[250], 1e-9)
+    assert ratio < (4000 / 250) ** 2 / 2, timings

@@ -1,0 +1,71 @@
+"""Theorem 1 harness as a benchmark: pipeline + machine throughput.
+
+Measures the full soundness loop — generate a random variant dispatch
+program, run the two-phase analysis, and execute accepted programs on the
+small-step machine — and asserts the theorem's statement on every sample:
+acceptance implies the machine never gets stuck.
+"""
+
+import random
+
+import pytest
+
+from repro.semantics.generator import SABOTAGES, generate_program
+from repro.semantics.machine import run_generated
+from repro.semantics.reduce import Outcome
+
+
+def soundness_round(seed: int, samples: int = 20):
+    rng = random.Random(seed)
+    accepted = stuck = rejected = 0
+    for index in range(samples):
+        sabotage = None if index % 2 == 0 else rng.choice(SABOTAGES)
+        program = generate_program(rng, sabotage)
+        sample = run_generated(program, rng, runs=3)
+        if not sample.accepted:
+            rejected += 1
+            continue
+        accepted += 1
+        if sample.run is not None and sample.run.outcome is Outcome.STUCK:
+            stuck += 1
+    return accepted, rejected, stuck
+
+
+def test_soundness_throughput(benchmark):
+    accepted, rejected, stuck = benchmark.pedantic(
+        soundness_round, args=(2005,), rounds=1, iterations=1
+    )
+    assert stuck == 0, "Theorem 1 violated"
+    assert accepted > 0 and rejected > 0  # both verdicts exercised
+
+
+def test_machine_step_rate(benchmark):
+    """Raw interpreter speed on a long-running counting loop."""
+    from repro.cfront.ir import (
+        AOp,
+        IntLit,
+        SAssign,
+        SGoto,
+        SIf,
+        SReturn,
+        VarExp,
+    )
+    from repro.semantics.reduce import Machine
+    from repro.semantics.stores import MachineState
+    from repro.semantics.values import CIntVal
+
+    body = [
+        SAssign(VarExp("i"), IntLit(0)),
+        SIf(AOp(">=", VarExp("i"), IntLit(2000)), "end"),
+        SAssign(VarExp("i"), AOp("+", VarExp("i"), IntLit(1))),
+        SGoto("head"),
+        SReturn(VarExp("i")),
+    ]
+    labels = {"head": 1, "end": 4}
+
+    def run_loop():
+        machine = Machine(body, labels, MachineState())
+        return machine.run(max_steps=10_000)
+
+    result = benchmark(run_loop)
+    assert result.returned == CIntVal(2000)

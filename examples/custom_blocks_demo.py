@@ -1,0 +1,84 @@
+"""Custom types: C data smuggled through OCaml (paper §2, end).
+
+Glue code for system libraries hands C pointers to OCaml as opaque values
+(a window handle, an SSL context, ...).  OCaml cannot inspect them, but it
+*can* pass them back to the wrong C function — a cross-language type cast.
+The checker gives each abstract OCaml type a hidden C representation
+(`ct custom`); the first cast pins it down and later uses must agree.
+
+Run with::
+
+    python examples/custom_blocks_demo.py
+"""
+
+from repro import analyze_project
+
+OCAML = """
+type window
+type cursor
+
+external create_window : int -> window        = "ml_create_window"
+external move_window   : window -> int -> unit = "ml_move_window"
+external create_cursor : unit -> cursor        = "ml_create_cursor"
+external warp_cursor   : cursor -> int -> unit = "ml_warp_cursor"
+"""
+
+CORRECT_C = """
+struct win;
+struct cur;
+struct win *x_create_window(int w);
+void x_move_window(struct win *w, int dx);
+struct cur *x_create_cursor(void);
+void x_warp_cursor(struct cur *c, int dx);
+
+value ml_create_window(value w)
+{
+    struct win *h = x_create_window(Int_val(w));
+    return (value)h;
+}
+value ml_move_window(value v, value dx)
+{
+    x_move_window((struct win *)v, Int_val(dx));
+    return Val_unit;
+}
+value ml_create_cursor(value u)
+{
+    struct cur *c = x_create_cursor();
+    return (value)c;
+}
+value ml_warp_cursor(value v, value dx)
+{
+    x_warp_cursor((struct cur *)v, Int_val(dx));
+    return Val_unit;
+}
+"""
+
+# The cursor functions treat the cursor value as a *window* struct: the
+# OCaml type `cursor` would hide two different C representations.
+BUGGY_C = CORRECT_C.replace(
+    "x_warp_cursor((struct cur *)v, Int_val(dx));",
+    "x_move_window((struct win *)v, Int_val(dx));",
+)
+
+
+def main() -> int:
+    print("correct glue:")
+    clean = analyze_project([OCAML], [CORRECT_C])
+    print(f"  {len(clean.diagnostics)} diagnostic(s)")
+    for diag in clean.diagnostics:
+        print("  " + diag.render())
+
+    print()
+    print("glue that warps the cursor as if it were a window:")
+    buggy = analyze_project([OCAML], [BUGGY_C])
+    for diag in buggy.diagnostics:
+        print("  " + diag.render())
+
+    ok = not clean.diagnostics and len(buggy.diagnostics) >= 1
+    print()
+    print("demo OK" if ok else "unexpected results")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

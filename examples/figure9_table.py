@@ -1,0 +1,37 @@
+"""Regenerate the paper's Figure 9 results table.
+
+Synthesizes all eleven benchmark glue libraries (see
+``repro.bench.specs`` for how each row's defects follow the §5.2 prose),
+analyzes them, and prints the measured table next to the paper's counts.
+
+Run with::
+
+    python examples/figure9_table.py
+"""
+
+from repro.bench.report import comparison_table, error_taxonomy, figure9_table
+from repro.bench.runner import run_suite
+
+
+def main() -> int:
+    print("running the synthesized Figure 9 suite (eleven programs)...")
+    print()
+    suite = run_suite()
+
+    print(figure9_table(suite))
+    print()
+    print("paper vs measured:")
+    print(comparison_table(suite))
+    print()
+    print("error taxonomy (paper §5.2: 3 unregistered + 2 leaks + 19 type):")
+    for kind, count in sorted(error_taxonomy(suite).items()):
+        print(f"  {kind:<22} {count}")
+
+    ok = suite.all_match_ground_truth and suite.matches_paper_totals
+    print()
+    print("reproduction OK" if ok else "MISMATCH against the paper")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

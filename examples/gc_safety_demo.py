@@ -1,0 +1,94 @@
+"""GC safety across the FFI: effects and the protection set (paper §1, §3).
+
+Before C code calls anything that may trigger the OCaml garbage collector
+— allocation, callbacks, raising — every live pointer into the OCaml heap
+must be registered with ``CAMLparam``/``CAMLlocal``, and a function that
+registered values must exit through ``CAMLreturn``.  The checker tracks a
+``gc``/``nogc`` effect per function, closes it over the call graph, and
+enforces the invariant even when the allocation is buried in a helper —
+the "indirectly call the OCaml runtime" case the paper highlights.
+
+Run with::
+
+    python examples/gc_safety_demo.py
+"""
+
+from repro import analyze_project
+
+OCAML = """
+external mk_pair  : string -> string -> string * string = "ml_mk_pair"
+external mk_flat  : int -> int -> int                   = "ml_mk_flat"
+external wrap     : string -> string ref                = "ml_wrap"
+external length2  : string -> int                       = "ml_length2"
+"""
+
+C_SOURCE = """
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+
+/* correct: everything registered, released by CAMLreturn */
+value ml_mk_pair(value a, value b)
+{
+    CAMLparam2(a, b);
+    CAMLlocal1(r);
+    r = caml_alloc(2, 0);
+    Store_field(r, 0, a);
+    Store_field(r, 1, b);
+    CAMLreturn(r);
+}
+
+/* correct: ints are unboxed, no registration needed */
+value ml_mk_flat(value a, value b)
+{
+    return Val_int(Int_val(a) + Int_val(b));
+}
+
+/* helper that allocates: its effect is gc, and it taints callers */
+static value alloc_cell(value v)
+{
+    CAMLparam1(v);
+    CAMLlocal1(r);
+    r = caml_alloc(1, 0);
+    Store_field(r, 0, v);
+    CAMLreturn(r);
+}
+
+/* BUG 1: s is live across alloc_cell (which may collect) but was never
+   registered — the GC may move the string behind our back */
+value ml_wrap(value s)
+{
+    value cell = alloc_cell(s);
+    some_logging(String_val(s));
+    return cell;
+}
+
+/* BUG 2: registered with CAMLparam but exits with plain return */
+value ml_length2(value s)
+{
+    CAMLparam1(s);
+    int n = caml_string_length(s);
+    return Val_int(2 * n);
+}
+"""
+
+
+def main() -> int:
+    report = analyze_project([OCAML], [C_SOURCE])
+    print("Diagnostics:")
+    for diag in report.diagnostics:
+        print("  " + diag.render())
+    print()
+    print(f"GC obligations checked : {report.gc_summary.checked_calls}")
+    print(f"calls that may collect : {report.gc_summary.gc_calls}")
+    print(f"violations             : {report.gc_summary.violations}")
+
+    errors = {d.kind.name for d in report.errors}
+    ok = errors == {"UNPROTECTED_VALUE", "MISSING_CAMLRETURN"}
+    print()
+    print("demo OK" if ok else f"unexpected error set: {errors}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

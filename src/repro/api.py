@@ -1,0 +1,89 @@
+"""High-level entry points tying the two phases together.
+
+This is the library's public face, mirroring §5.1's two-tool pipeline:
+the OCaml tool builds the type repository and ``Γ_I``; the C tool lowers
+the glue code and runs the multi-lingual inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from .cfront.ir import ProgramIR
+from .cfront.lower import lower_unit
+from .cfront.parser import parse_c
+from .core.checker import AnalysisReport, Checker, InitialEnv
+from .core.exprs import Options
+from .ocamlfront.repository import TypeRepository, build_initial_env
+from .source import SourceFile
+
+SourceLike = Union[str, SourceFile]
+
+
+def _as_source(source: SourceLike, default_name: str) -> SourceFile:
+    if isinstance(source, SourceFile):
+        return source
+    return SourceFile(default_name, source)
+
+
+@dataclass
+class Project:
+    """A multi-lingual project: OCaml sources plus C glue sources."""
+
+    ocaml_sources: list[SourceFile] = field(default_factory=list)
+    c_sources: list[SourceFile] = field(default_factory=list)
+
+    def add_ocaml(self, source: SourceLike, name: str = "glue.ml") -> "Project":
+        self.ocaml_sources.append(_as_source(source, name))
+        return self
+
+    def add_c(self, source: SourceLike, name: str = "glue.c") -> "Project":
+        self.c_sources.append(_as_source(source, name))
+        return self
+
+    def build_repository(self) -> TypeRepository:
+        repo = TypeRepository.with_stdlib()
+        for source in self.ocaml_sources:
+            repo.add_source(source)
+        return repo
+
+    def build_initial_env(self) -> InitialEnv:
+        return build_initial_env(self.build_repository())
+
+    def lower(self) -> ProgramIR:
+        program = ProgramIR()
+        for source in self.c_sources:
+            unit = parse_c(source)
+            program = program.merge(lower_unit(unit))
+        return program
+
+    def analyze(self, options: Optional[Options] = None) -> AnalysisReport:
+        """Run both phases and return the full report."""
+        initial_env = self.build_initial_env()
+        program = self.lower()
+        return Checker(program, initial_env, options).run()
+
+
+def analyze_project(
+    ocaml_sources: Sequence[SourceLike],
+    c_sources: Sequence[SourceLike],
+    options: Optional[Options] = None,
+) -> AnalysisReport:
+    """Analyze OCaml + C sources given as text or :class:`SourceFile`."""
+    project = Project()
+    for index, source in enumerate(ocaml_sources):
+        project.add_ocaml(source, f"input{index}.ml")
+    for index, source in enumerate(c_sources):
+        project.add_c(source, f"input{index}.c")
+    return project.analyze(options)
+
+
+def check_c_source(
+    c_text: str,
+    ocaml_text: str = "",
+    options: Optional[Options] = None,
+) -> AnalysisReport:
+    """One-shot convenience: analyze a single C file (plus optional .ml)."""
+    ocaml_sources: list[SourceLike] = [ocaml_text] if ocaml_text else []
+    return analyze_project(ocaml_sources, [c_text], options)

@@ -1,0 +1,117 @@
+"""Rendering of the measured Figure 9 table, paper-vs-measured."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .runner import BenchmarkResult, SuiteResult
+from .specs import PAPER_TOTALS, SUITE
+
+
+_HEADER = (
+    "Program",
+    "C loc",
+    "OCaml loc",
+    "Time (s)",
+    "Errors",
+    "Warnings",
+    "False Pos",
+    "Imprecision",
+)
+
+
+def _format_table(rows: Sequence[Sequence[object]], header: Sequence[str]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def fmt(row: Sequence[object]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def figure9_table(suite: SuiteResult) -> str:
+    """The measured Figure 9 table (same columns as the paper)."""
+    rows = []
+    for result in suite.results:
+        row = result.row()
+        rows.append(
+            (
+                row["program"],
+                row["c_loc"],
+                row["ocaml_loc"],
+                f"{row['time_s']:.2f}",
+                row["errors"],
+                row["warnings"],
+                row["false_positives"],
+                row["imprecision"],
+            )
+        )
+    totals = suite.totals()
+    rows.append(
+        (
+            "Total",
+            "",
+            "",
+            "",
+            totals["errors"],
+            totals["warnings"],
+            totals["false_positives"],
+            totals["imprecision"],
+        )
+    )
+    return _format_table(rows, _HEADER)
+
+
+def comparison_table(suite: SuiteResult) -> str:
+    """Paper counts vs measured counts, per program and in total."""
+    header = (
+        "Program",
+        "Err (paper/ours)",
+        "Warn (paper/ours)",
+        "FP (paper/ours)",
+        "Imp (paper/ours)",
+        "Match",
+    )
+    rows = []
+    for result in suite.results:
+        spec = result.spec
+        tally = result.tally
+        rows.append(
+            (
+                spec.name,
+                f"{spec.errors}/{tally['errors']}",
+                f"{spec.warnings}/{tally['warnings']}",
+                f"{spec.false_positives}/{tally['false_positives']}",
+                f"{spec.imprecision}/{tally['imprecision']}",
+                "yes" if result.matches_paper else "NO",
+            )
+        )
+    totals = suite.totals()
+    rows.append(
+        (
+            "Total",
+            f"{PAPER_TOTALS['errors']}/{totals['errors']}",
+            f"{PAPER_TOTALS['warnings']}/{totals['warnings']}",
+            f"{PAPER_TOTALS['false_positives']}/{totals['false_positives']}",
+            f"{PAPER_TOTALS['imprecision']}/{totals['imprecision']}",
+            "yes" if totals == PAPER_TOTALS else "NO",
+        )
+    )
+    return _format_table(rows, header)
+
+
+def error_taxonomy(suite: SuiteResult) -> dict[str, int]:
+    """The §5.2 error breakdown: how the 24 errors divide by kind."""
+    from ..diagnostics import Category, Kind
+
+    taxonomy: dict[str, int] = {}
+    for result in suite.results:
+        for diag in result.report.diagnostics:
+            if diag.category is Category.ERROR:
+                taxonomy[diag.kind.name] = taxonomy.get(diag.kind.name, 0) + 1
+    return taxonomy

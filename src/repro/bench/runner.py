@@ -1,0 +1,106 @@
+"""Benchmark harness: run the checker over the synthesized suite.
+
+Produces the data behind paper Figure 9: per program, the lines of C and
+OCaml analyzed, the analysis wall-clock time, and the four report columns.
+Measured counts are compared both against the synthesized ground truth
+(exact) and the paper's row (shape).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..api import analyze_project
+from ..core.checker import AnalysisReport
+from ..core.exprs import Options
+from .specs import SUITE, BenchmarkSpec, suite_totals
+from .synth import SynthesizedBenchmark, synthesize
+
+
+@dataclass
+class BenchmarkResult:
+    """One Figure 9 row, measured."""
+
+    spec: BenchmarkSpec
+    benchmark: SynthesizedBenchmark
+    report: AnalysisReport
+    elapsed_seconds: float
+
+    @property
+    def tally(self) -> dict[str, int]:
+        return self.report.tally()
+
+    @property
+    def matches_ground_truth(self) -> bool:
+        return self.tally == self.benchmark.expected_tally()
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.tally == self.spec.expected
+
+    def row(self) -> dict[str, object]:
+        tally = self.tally
+        return {
+            "program": self.spec.name,
+            "c_loc": self.benchmark.c_loc,
+            "ocaml_loc": self.benchmark.ocaml_loc,
+            "time_s": round(self.elapsed_seconds, 2),
+            "errors": tally["errors"],
+            "warnings": tally["warnings"],
+            "false_positives": tally["false_positives"],
+            "imprecision": tally["imprecision"],
+        }
+
+
+def run_benchmark(
+    spec: BenchmarkSpec,
+    options: Optional[Options] = None,
+    unique_prefix: int = 0,
+) -> BenchmarkResult:
+    """Synthesize and analyze one benchmark."""
+    benchmark = synthesize(spec, unique_prefix)
+    started = time.perf_counter()
+    report = analyze_project(
+        [benchmark.ocaml_source], [benchmark.c_source], options
+    )
+    elapsed = time.perf_counter() - started
+    return BenchmarkResult(
+        spec=spec, benchmark=benchmark, report=report, elapsed_seconds=elapsed
+    )
+
+
+@dataclass
+class SuiteResult:
+    """The whole Figure 9 table, measured."""
+
+    results: List[BenchmarkResult] = field(default_factory=list)
+
+    def totals(self) -> dict[str, int]:
+        totals = {
+            "errors": 0,
+            "warnings": 0,
+            "false_positives": 0,
+            "imprecision": 0,
+        }
+        for result in self.results:
+            for key in totals:
+                totals[key] += result.tally[key]
+        return totals
+
+    @property
+    def all_match_ground_truth(self) -> bool:
+        return all(r.matches_ground_truth for r in self.results)
+
+    @property
+    def matches_paper_totals(self) -> bool:
+        return self.totals() == suite_totals()
+
+
+def run_suite(options: Optional[Options] = None) -> SuiteResult:
+    """Run every Figure 9 row."""
+    suite = SuiteResult()
+    for prefix, spec in enumerate(SUITE):
+        suite.results.append(run_benchmark(spec, options, unique_prefix=prefix))
+    return suite

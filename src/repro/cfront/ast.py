@@ -1,0 +1,263 @@
+"""Surface AST for the C subset understood by the front end.
+
+This is what :mod:`repro.cfront.parser` produces and what
+:mod:`repro.cfront.lower` compiles into the Figure 5 IR.  It mirrors the C
+glue-code idiom: functions, scalar/pointer/struct types, structured control
+flow, and the OCaml FFI macros as ordinary-looking calls (recognized later
+by the lowering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from ..core.srctypes import CSrcType
+from ..source import DUMMY_SPAN, Span
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Str:
+    value: str
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # ! ~ - * &
+    operand: "CExpr"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "CExpr"
+    right: "CExpr"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Conditional:
+    cond: "CExpr"
+    then: "CExpr"
+    other: "CExpr"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Cast:
+    ctype: CSrcType
+    operand: "CExpr"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Call:
+    func: "CExpr"
+    args: Tuple["CExpr", ...]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Index:
+    base: "CExpr"
+    index: "CExpr"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Member:
+    base: "CExpr"
+    field_name: str
+    arrow: bool
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class SizeOf:
+    """``sizeof(type)`` or ``sizeof expr`` — folded to the word size."""
+
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``lhs op= rhs`` as an expression (op is '' for plain assignment)."""
+
+    op: str
+    target: "CExpr"
+    value: "CExpr"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass(frozen=True)
+class IncDec:
+    """``x++ / ++x / x-- / --x``."""
+
+    op: str  # '++' or '--'
+    target: "CExpr"
+    span: Span = DUMMY_SPAN
+
+
+CExpr = Union[
+    Num, Str, Name, Unary, Binary, Conditional, Cast, Call, Index, Member,
+    SizeOf, Assign, IncDec,
+]
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    items: list["CStmtOrDecl"] = field(default_factory=list)
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class ExprStmt:
+    expr: CExpr
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class IfStmt:
+    cond: CExpr
+    then: "CStmt"
+    other: Optional["CStmt"]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class WhileStmt:
+    cond: CExpr
+    body: "CStmt"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class DoWhileStmt:
+    body: "CStmt"
+    cond: CExpr
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class ForStmt:
+    init: Optional["CStmtOrDecl"]
+    cond: Optional[CExpr]
+    step: Optional[CExpr]
+    body: "CStmt"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class SwitchCase:
+    value: Optional[int]  # None for default
+    body: list["CStmtOrDecl"]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class SwitchStmt:
+    scrutinee: CExpr
+    cases: list[SwitchCase]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class ReturnStmt:
+    value: Optional[CExpr]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class GotoStmt:
+    label: str
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class LabeledStmt:
+    label: str
+    stmt: "CStmt"
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class BreakStmt:
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class ContinueStmt:
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class EmptyStmt:
+    span: Span = DUMMY_SPAN
+
+
+CStmt = Union[
+    Block, ExprStmt, IfStmt, WhileStmt, DoWhileStmt, ForStmt, SwitchStmt,
+    ReturnStmt, GotoStmt, LabeledStmt, BreakStmt, ContinueStmt, EmptyStmt,
+]
+
+
+@dataclass
+class Declaration:
+    """``ctype name = init;`` — one declarator per Declaration node."""
+
+    name: str
+    ctype: CSrcType
+    init: Optional[CExpr]
+    span: Span = DUMMY_SPAN
+
+
+CStmtOrDecl = Union[CStmt, Declaration]
+
+
+# -- top level --------------------------------------------------------------------
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    return_type: CSrcType
+    params: list[tuple[str, CSrcType]]
+    body: Optional[Block]  # None for prototypes
+    span: Span = DUMMY_SPAN
+    #: ``/*@ polymorphic @*/`` annotation (paper §5.1 hand annotations)
+    polymorphic: bool = False
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    ctype: CSrcType
+    init: Optional[CExpr]
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class TranslationUnit:
+    functions: list[FunctionDef] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    filename: str = "<unknown>"

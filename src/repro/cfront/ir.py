@@ -1,0 +1,427 @@
+"""The simplified C language of paper Figure 5.
+
+This is the analysis's intermediate representation, modelled on CIL: a
+function body is a flat list of statements; structured control flow has
+been compiled to labels and conditional branches; the OCaml FFI macros
+appear as primitives (``Val_int``, ``Int_val``, the three dynamic tests,
+``CAMLprotect`` and ``CAMLreturn``).
+
+Expressions are side-effect free.  Function calls are not expressions; they
+occur only as the right-hand side of an assignment or as a bare call
+statement (the paper folds this into its (App) rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from ..core.srctypes import CSrcType, CSrcValue
+from ..source import DUMMY_SPAN, Span
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit:
+    """An integer constant ``n``."""
+
+    value: int
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class StrLit:
+    """A C string literal; typed as ``char *`` (scalar pointer)."""
+
+    value: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VarExp:
+    """A variable reference ``x``."""
+
+    name: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Deref:
+    """``*e``."""
+
+    exp: "Expr"
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"*{self.exp}"
+
+
+@dataclass(frozen=True)
+class AOp:
+    """``e aop e`` — arithmetic/comparison on C integers."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class PtrAdd:
+    """``e +p e`` — address of an offset into a block."""
+
+    base: "Expr"
+    offset: "Expr"
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"({self.base} +p {self.offset})"
+
+
+@dataclass(frozen=True)
+class CastExp:
+    """``(ct) e``."""
+
+    ctype: CSrcType
+    exp: "Expr"
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"(({self.ctype}) {self.exp})"
+
+
+@dataclass(frozen=True)
+class ValIntExp:
+    """``Val_int e`` — box a C integer as an OCaml unboxed value."""
+
+    exp: "Expr"
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"Val_int({self.exp})"
+
+
+@dataclass(frozen=True)
+class IntValExp:
+    """``Int_val e`` — project an OCaml unboxed value to a C integer."""
+
+    exp: "Expr"
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"Int_val({self.exp})"
+
+
+@dataclass(frozen=True)
+class AddrOf:
+    """``&x`` — handled heuristically (paper §5.1)."""
+
+    name: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"&{self.name}"
+
+
+Expr = Union[IntLit, StrLit, VarExp, Deref, AOp, PtrAdd, CastExp, ValIntExp, IntValExp, AddrOf]
+
+
+@dataclass(frozen=True)
+class CallExp:
+    """A call ``f(e1, ..., en)``; ``func_exp`` is set for indirect calls."""
+
+    func: str
+    args: Tuple[Expr, ...]
+    span: Span = DUMMY_SPAN
+    is_indirect: bool = False
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        star = "*" if self.is_indirect else ""
+        return f"{star}{self.func}({args})"
+
+
+Rhs = Union[Expr, CallExp]
+
+
+# ---------------------------------------------------------------------------
+# L-values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemLval:
+    """``*(e +p n)`` — a store into a structured block or through a pointer."""
+
+    base: Expr
+    offset: int
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        if self.offset:
+            return f"*({self.base} +p {self.offset})"
+        return f"*{self.base}"
+
+
+Lval = Union[VarExp, MemLval]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SAssign:
+    """``lval := e`` or ``lval := f(e, ...)``."""
+
+    lval: Optional[Lval]
+    rhs: Rhs
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        if self.lval is None:
+            return str(self.rhs)
+        return f"{self.lval} := {self.rhs}"
+
+
+@dataclass(frozen=True)
+class SReturn:
+    """``return e``; ``exp`` is None for void returns."""
+
+    exp: Optional[Expr]
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"return {self.exp}" if self.exp is not None else "return"
+
+
+@dataclass(frozen=True)
+class SCamlReturn:
+    """``CAMLreturn(e)`` — return releasing registered values."""
+
+    exp: Optional[Expr]
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"CAMLreturn({self.exp if self.exp is not None else ''})"
+
+
+@dataclass(frozen=True)
+class SGoto:
+    label: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"goto {self.label}"
+
+
+@dataclass(frozen=True)
+class SIf:
+    """``if e then L`` — branch to ``L`` when ``e`` is non-zero."""
+
+    cond: Expr
+    label: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"if {self.cond} then {self.label}"
+
+
+@dataclass(frozen=True)
+class SIfUnboxed:
+    """``if unboxed(x) then L`` (from ``Is_long``); fall-through is boxed."""
+
+    var: str
+    label: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"if unboxed({self.var}) then {self.label}"
+
+
+@dataclass(frozen=True)
+class SIfSumTag:
+    """``if sum_tag(x) == n then L`` (from ``Tag_val`` comparisons)."""
+
+    var: str
+    tag: int
+    label: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"if sum_tag({self.var}) == {self.tag} then {self.label}"
+
+
+@dataclass(frozen=True)
+class SIfIntTag:
+    """``if int_tag(x) == n then L`` (from ``Int_val`` comparisons)."""
+
+    var: str
+    tag: int
+    label: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"if int_tag({self.var}) == {self.tag} then {self.label}"
+
+
+@dataclass(frozen=True)
+class SNop:
+    """A no-op; exists to give labels a statement to hang on."""
+
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return "nop"
+
+
+Stmt = Union[
+    SAssign, SReturn, SCamlReturn, SGoto, SIf, SIfUnboxed, SIfSumTag, SIfIntTag, SNop
+]
+
+
+# ---------------------------------------------------------------------------
+# Declarations, functions, programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``ctype x = e`` at the top of a function."""
+
+    name: str
+    ctype: CSrcType
+    init: Optional[Rhs] = None
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        init = f" = {self.init}" if self.init is not None else ""
+        return f"{self.ctype} {self.name}{init}"
+
+
+@dataclass(frozen=True)
+class ProtectDecl:
+    """``CAMLprotect(x)`` — formalizes CAMLparam/CAMLlocal (paper §3.2)."""
+
+    name: str
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return f"CAMLprotect({self.name})"
+
+
+Decl = Union[VarDecl, ProtectDecl]
+
+
+@dataclass
+class FunctionIR:
+    """One C function lowered to the Figure 5 shape."""
+
+    name: str
+    params: list[tuple[str, CSrcType]]
+    return_type: CSrcType
+    decls: list[Decl] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    span: Span = DUMMY_SPAN
+    is_definition: bool = True
+    #: set for functions hand-annotated as polymorphic (paper §5.1)
+    polymorphic: bool = False
+
+    def label_index(self, label: str) -> int:
+        if label not in self.labels:
+            raise KeyError(f"undefined label `{label}` in `{self.name}`")
+        return self.labels[label]
+
+    @property
+    def protected_names(self) -> list[str]:
+        return [d.name for d in self.decls if isinstance(d, ProtectDecl)]
+
+    @property
+    def local_decls(self) -> list[VarDecl]:
+        return [d for d in self.decls if isinstance(d, VarDecl)]
+
+    def pretty(self) -> str:
+        lines = [
+            f"function {self.return_type} {self.name}("
+            + ", ".join(f"{t} {n}" for n, t in self.params)
+            + ")"
+        ]
+        for decl in self.decls:
+            lines.append(f"  {decl};")
+        index_to_labels: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            index_to_labels.setdefault(index, []).append(label)
+        for index, stmt in enumerate(self.body):
+            for label in index_to_labels.get(index, ()):
+                lines.append(f" {label}:")
+            lines.append(f"  {stmt};")
+        return "\n".join(lines)
+
+
+@dataclass
+class ProgramIR:
+    """A lowered translation unit (or several merged ones)."""
+
+    functions: list[FunctionIR] = field(default_factory=list)
+    globals: list[VarDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionIR:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named `{name}`")
+
+    def merge(self, other: "ProgramIR") -> "ProgramIR":
+        return ProgramIR(
+            functions=self.functions + other.functions,
+            globals=self.globals + other.globals,
+        )
+
+
+def expr_vars(exp: Union[Expr, CallExp, None]) -> set[str]:
+    """Free variables of an expression (for liveness and the GC check)."""
+    out: set[str] = set()
+    _collect_vars(exp, out)
+    return out
+
+
+def _collect_vars(exp: Union[Expr, CallExp, None], out: set[str]) -> None:
+    if exp is None:
+        return
+    if isinstance(exp, VarExp):
+        out.add(exp.name)
+    elif isinstance(exp, AddrOf):
+        out.add(exp.name)
+    elif isinstance(exp, Deref):
+        _collect_vars(exp.exp, out)
+    elif isinstance(exp, AOp):
+        _collect_vars(exp.left, out)
+        _collect_vars(exp.right, out)
+    elif isinstance(exp, PtrAdd):
+        _collect_vars(exp.base, out)
+        _collect_vars(exp.offset, out)
+    elif isinstance(exp, (CastExp, ValIntExp, IntValExp)):
+        _collect_vars(exp.exp, out)
+    elif isinstance(exp, CallExp):
+        for arg in exp.args:
+            _collect_vars(arg, out)
+        if exp.is_indirect:
+            out.add(exp.func)

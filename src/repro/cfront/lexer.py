@@ -1,0 +1,241 @@
+"""Tokenizer for the C subset.
+
+Handles the preprocessor the way the analysis needs it: ``#include`` lines
+vanish, object-like ``#define NAME <integer>`` macros are collected (glue
+code defines tag numbers this way), and all other directives are skipped
+line-wise.  Comments (both styles) are stripped.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from ..source import SourceFile, Span
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    span: Span
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text in texts
+
+    def is_ident(self, *texts: str) -> bool:
+        return self.kind is TokKind.IDENT and (not texts or self.text in texts)
+
+    def __str__(self) -> str:
+        return self.text or "<eof>"
+
+
+class LexError(Exception):
+    def __init__(self, message: str, span: Span):
+        self.span = span
+        super().__init__(f"{span}: {message}")
+
+
+#: Multi-character operators, longest first so maximal munch works.
+_PUNCTS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+_OCT_RE = re.compile(r"0[0-7]+")
+_DEC_RE = re.compile(r"[0-9]+")
+_INT_SUFFIX_RE = re.compile(r"[uUlL]*")
+_DEFINE_RE = re.compile(
+    r"#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\s+(.+?)\s*$", re.MULTILINE
+)
+
+
+class Lexer:
+    """Produces the token list for a :class:`SourceFile`."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.defines: dict[str, int] = {}
+
+    def tokenize(self) -> list[Token]:
+        self._collect_defines()
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.text):
+                break
+            token = self._next_token()
+            if token is not None:
+                tokens.append(token)
+        tokens.append(
+            Token(TokKind.EOF, "", self.source.span(self.pos, self.pos))
+        )
+        return tokens
+
+    # -- preprocessor-lite ---------------------------------------------------
+
+    def _collect_defines(self) -> None:
+        for match in _DEFINE_RE.finditer(self.text):
+            name, body = match.group(1), match.group(2).strip()
+            value = self._parse_int_literal(body)
+            if value is not None:
+                self.defines[name] = value
+
+    @staticmethod
+    def _parse_int_literal(text: str) -> int | None:
+        text = text.strip()
+        if text.startswith("(") and text.endswith(")"):
+            text = text[1:-1].strip()
+        try:
+            return int(text, 0)
+        except ValueError:
+            return None
+
+    # -- scanning -------------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end == -1 else end
+            elif self.text.startswith("/*", self.pos):
+                end = self.text.find("*/", self.pos + 2)
+                if end == -1:
+                    raise LexError(
+                        "unterminated comment",
+                        self.source.span(self.pos, len(self.text)),
+                    )
+                self.pos = end + 2
+            elif char == "#":
+                # directive: skip to end of (possibly continued) line
+                end = self.pos
+                while end < len(self.text):
+                    newline = self.text.find("\n", end)
+                    if newline == -1:
+                        end = len(self.text)
+                        break
+                    if self.text[newline - 1] == "\\":
+                        end = newline + 1
+                        continue
+                    end = newline
+                    break
+                self.pos = end
+            else:
+                return
+
+    def _next_token(self) -> Token | None:
+        start = self.pos
+        char = self.text[start]
+
+        if match := _IDENT_RE.match(self.text, start):
+            self.pos = match.end()
+            name = match.group()
+            if name in self.defines:
+                return Token(
+                    TokKind.NUMBER,
+                    str(self.defines[name]),
+                    self.source.span(start, self.pos),
+                )
+            return Token(TokKind.IDENT, name, self.source.span(start, self.pos))
+
+        for pattern, base in ((_HEX_RE, 16), (_OCT_RE, 8), (_DEC_RE, 10)):
+            if match := pattern.match(self.text, start):
+                end = match.end()
+                suffix = _INT_SUFFIX_RE.match(self.text, end)
+                self.pos = suffix.end() if suffix else end
+                value = int(match.group(), base)
+                return Token(
+                    TokKind.NUMBER, str(value), self.source.span(start, self.pos)
+                )
+
+        if char == '"':
+            return self._string_token(start)
+        if char == "'":
+            return self._char_token(start)
+
+        for punct in _PUNCTS:
+            if self.text.startswith(punct, start):
+                self.pos = start + len(punct)
+                return Token(
+                    TokKind.PUNCT, punct, self.source.span(start, self.pos)
+                )
+
+        raise LexError(
+            f"unexpected character {char!r}", self.source.span(start, start + 1)
+        )
+
+    def _string_token(self, start: int) -> Token:
+        pos = start + 1
+        chars: list[str] = []
+        while pos < len(self.text):
+            char = self.text[pos]
+            if char == "\\" and pos + 1 < len(self.text):
+                chars.append(self._escape(self.text[pos + 1]))
+                pos += 2
+            elif char == '"':
+                self.pos = pos + 1
+                return Token(
+                    TokKind.STRING, "".join(chars), self.source.span(start, self.pos)
+                )
+            else:
+                chars.append(char)
+                pos += 1
+        raise LexError(
+            "unterminated string literal", self.source.span(start, len(self.text))
+        )
+
+    def _char_token(self, start: int) -> Token:
+        pos = start + 1
+        if pos >= len(self.text):
+            raise LexError(
+                "unterminated character literal",
+                self.source.span(start, len(self.text)),
+            )
+        if self.text[pos] == "\\":
+            value = ord(self._escape(self.text[pos + 1]))
+            pos += 2
+        else:
+            value = ord(self.text[pos])
+            pos += 1
+        if pos >= len(self.text) or self.text[pos] != "'":
+            raise LexError(
+                "unterminated character literal", self.source.span(start, pos)
+            )
+        self.pos = pos + 1
+        return Token(TokKind.NUMBER, str(value), self.source.span(start, self.pos))
+
+    @staticmethod
+    def _escape(char: str) -> str:
+        return {
+            "n": "\n",
+            "t": "\t",
+            "r": "\r",
+            "0": "\0",
+            "\\": "\\",
+            "'": "'",
+            '"': '"',
+        }.get(char, char)
+
+
+def tokenize(source: SourceFile) -> list[Token]:
+    return Lexer(source).tokenize()

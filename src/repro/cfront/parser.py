@@ -1,0 +1,618 @@
+"""Recursive-descent parser for the C subset.
+
+Covers what OCaml FFI glue code actually uses: function definitions and
+prototypes, scalar/pointer/struct types plus the ``value`` typedef,
+structured control flow (``if``/``while``/``do``/``for``/``switch``),
+``goto``/labels, the full C expression precedence ladder, casts, and the
+FFI macros (which parse as ordinary calls/identifiers and are given meaning
+by :mod:`repro.cfront.lower`).
+
+A function can be marked polymorphic for the analysis by preceding it with
+the ``MLFFI_POLYMORPHIC`` marker (the paper hand-annotated 4 such functions
+in its suite).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.srctypes import (
+    CSrcFun,
+    CSrcPtr,
+    CSrcScalar,
+    CSrcStruct,
+    CSrcType,
+    CSrcValue,
+    CSrcVoid,
+)
+from ..source import SourceFile, Span
+from . import ast
+from .lexer import TokKind, Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, span: Span):
+        self.span = span
+        super().__init__(f"{span}: {message}")
+
+
+_TYPE_KEYWORDS = {
+    "void", "char", "short", "int", "long", "float", "double",
+    "unsigned", "signed", "value", "intnat", "uintnat", "size_t", "mlsize_t",
+}
+_QUALIFIERS = {
+    "static", "const", "extern", "inline", "register", "volatile",
+    "CAMLprim", "CAMLexport", "CAMLextern", "CAMLweakdef",
+}
+_STMT_KEYWORDS = {
+    "if", "else", "while", "do", "for", "switch", "case", "default",
+    "return", "goto", "break", "continue", "typedef", "struct", "union",
+    "enum", "sizeof",
+}
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.typedefs: dict[str, CSrcType] = {"value": CSrcValue()}
+        self.struct_names: set[str] = set()
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.advance()
+        if not token.is_punct(text):
+            raise ParseError(f"expected `{text}`, found `{token}`", token.span)
+        return token
+
+    def expect_ident(self) -> Token:
+        token = self.advance()
+        if token.kind is not TokKind.IDENT:
+            raise ParseError(f"expected identifier, found `{token}`", token.span)
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().kind is TokKind.EOF
+
+    # -- types ------------------------------------------------------------------
+
+    def at_type_start(self, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        if token.kind is not TokKind.IDENT:
+            return False
+        if token.text in _TYPE_KEYWORDS or token.text in _QUALIFIERS:
+            return True
+        if token.text in ("struct", "union", "enum"):
+            return True
+        return token.text in self.typedefs
+
+    def parse_type(self) -> CSrcType:
+        """Parse a type specifier followed by any number of ``*``."""
+        base = self._parse_base_type()
+        while self.peek().is_punct("*"):
+            self.advance()
+            base = CSrcPtr(base)
+            while self.peek().is_ident(*(_QUALIFIERS & {"const", "volatile"})):
+                self.advance()
+        return base
+
+    def _parse_base_type(self) -> CSrcType:
+        while self.peek().is_ident(*_QUALIFIERS):
+            self.advance()
+        token = self.peek()
+        if token.is_ident("struct", "union"):
+            self.advance()
+            name = self.expect_ident().text
+            self.struct_names.add(name)
+            if self.peek().is_punct("{"):
+                self._skip_braces()
+            return CSrcStruct(name)
+        if token.is_ident("enum"):
+            self.advance()
+            if self.peek().kind is TokKind.IDENT:
+                self.advance()
+            if self.peek().is_punct("{"):
+                self._skip_braces()
+            return CSrcScalar("int")
+        if token.is_ident("void"):
+            self.advance()
+            return CSrcVoid()
+        if token.text in self.typedefs:
+            self.advance()
+            return self.typedefs[token.text]
+        if token.text in _TYPE_KEYWORDS:
+            spelling: list[str] = []
+            while self.peek().is_ident(*_TYPE_KEYWORDS):
+                spelling.append(self.advance().text)
+            while self.peek().is_ident(*_QUALIFIERS):
+                self.advance()
+            return CSrcScalar(" ".join(spelling))
+        raise ParseError(f"expected type, found `{token}`", token.span)
+
+    def _skip_braces(self) -> None:
+        self.expect_punct("{")
+        depth = 1
+        while depth and not self.at_eof():
+            token = self.advance()
+            if token.is_punct("{"):
+                depth += 1
+            elif token.is_punct("}"):
+                depth -= 1
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(filename=self.source.filename)
+        while not self.at_eof():
+            self._parse_top_item(unit)
+        return unit
+
+    def _parse_top_item(self, unit: ast.TranslationUnit) -> None:
+        token = self.peek()
+        if token.is_punct(";"):
+            self.advance()
+            return
+        if token.is_ident("typedef"):
+            self._parse_typedef()
+            return
+        if token.is_ident("struct", "union") and self.peek(2).is_punct("{", ";"):
+            # standalone struct definition/declaration
+            self._parse_base_type()
+            if self.peek().is_punct(";"):
+                self.advance()
+            return
+        polymorphic = False
+        if token.is_ident("MLFFI_POLYMORPHIC"):
+            self.advance()
+            polymorphic = True
+        start_span = self.peek().span
+        ctype = self.parse_type()
+        name = self.expect_ident().text
+        if self.peek().is_punct("("):
+            func = self._parse_function(name, ctype, start_span)
+            func.polymorphic = polymorphic
+            unit.functions.append(func)
+            return
+        # global variable(s)
+        while True:
+            ctype = self._parse_array_suffix(ctype)
+            init = None
+            if self.peek().is_punct("="):
+                self.advance()
+                init = self.parse_assignment_expr()
+            unit.globals.append(
+                ast.GlobalDecl(name=name, ctype=ctype, init=init, span=start_span)
+            )
+            if self.peek().is_punct(","):
+                self.advance()
+                name = self.expect_ident().text
+                continue
+            break
+        self.expect_punct(";")
+
+    def _parse_typedef(self) -> None:
+        self.advance()  # typedef
+        base = self.parse_type()
+        if self.peek().is_punct("("):
+            # function pointer: typedef ret (*name)(params);
+            name, fn_type = self._parse_fnptr_declarator(base)
+            self.typedefs[name] = fn_type
+        else:
+            name = self.expect_ident().text
+            self.typedefs[name] = self._parse_array_suffix(base)
+        self.expect_punct(";")
+
+    def _parse_fnptr_declarator(self, result: CSrcType) -> tuple[str, CSrcType]:
+        """``(*name)(param-types)`` — returns the name and the CSrcFun."""
+        self.expect_punct("(")
+        self.expect_punct("*")
+        name = self.expect_ident().text
+        self.expect_punct(")")
+        self.expect_punct("(")
+        params: list[CSrcType] = []
+        if not self.peek().is_punct(")"):
+            if self.peek().is_ident("void") and self.peek(1).is_punct(")"):
+                self.advance()
+            else:
+                while True:
+                    params.append(self.parse_type())
+                    if self.peek().kind is TokKind.IDENT and not self.peek().is_ident(
+                        *_STMT_KEYWORDS
+                    ):
+                        self.advance()  # optional parameter name
+                    if self.peek().is_punct(","):
+                        self.advance()
+                        continue
+                    break
+        self.expect_punct(")")
+        return name, CSrcFun(params=tuple(params), result=result)
+
+    def _parse_array_suffix(self, ctype: CSrcType) -> CSrcType:
+        while self.peek().is_punct("["):
+            self.advance()
+            if not self.peek().is_punct("]"):
+                self.advance()
+            self.expect_punct("]")
+            ctype = CSrcPtr(ctype)
+        return ctype
+
+    def _parse_function(
+        self, name: str, return_type: CSrcType, start_span: Span
+    ) -> ast.FunctionDef:
+        self.expect_punct("(")
+        params: list[tuple[str, CSrcType]] = []
+        if not self.peek().is_punct(")"):
+            if self.peek().is_ident("void") and self.peek(1).is_punct(")"):
+                self.advance()
+            else:
+                while True:
+                    param_type = self.parse_type()
+                    param_name = ""
+                    if self.peek().kind is TokKind.IDENT and not self.peek().is_ident(
+                        *_STMT_KEYWORDS
+                    ):
+                        param_name = self.advance().text
+                    param_type = self._parse_array_suffix(param_type)
+                    params.append((param_name, param_type))
+                    if self.peek().is_punct(","):
+                        self.advance()
+                        continue
+                    break
+        self.expect_punct(")")
+        body: Optional[ast.Block] = None
+        if self.peek().is_punct("{"):
+            body = self.parse_block()
+        else:
+            self.expect_punct(";")
+        # name anonymous prototype parameters so arity stays visible
+        params = [
+            (pname or f"__arg{index}", ptype)
+            for index, (pname, ptype) in enumerate(params)
+        ]
+        return ast.FunctionDef(
+            name=name,
+            return_type=return_type,
+            params=params,
+            body=body,
+            span=start_span,
+        )
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect_punct("{")
+        items: list[ast.CStmtOrDecl] = []
+        while not self.peek().is_punct("}"):
+            if self.at_eof():
+                raise ParseError("unterminated block", start.span)
+            items.append(self.parse_block_item())
+        self.expect_punct("}")
+        return ast.Block(items=items, span=start.span)
+
+    def parse_block_item(self) -> ast.CStmtOrDecl:
+        if self.at_type_start() and not self._is_label_ahead():
+            return self._parse_declaration()
+        return self.parse_statement()
+
+    def _is_label_ahead(self) -> bool:
+        return self.peek().kind is TokKind.IDENT and self.peek(1).is_punct(":")
+
+    def _parse_declaration(self) -> ast.Declaration:
+        start = self.peek().span
+        ctype = self.parse_type()
+        if self.peek().is_punct("("):
+            name, ctype = self._parse_fnptr_declarator(ctype)
+            self.expect_punct(";")
+            return ast.Declaration(name=name, ctype=ctype, init=None, span=start)
+        name = self.expect_ident().text
+        ctype = self._parse_array_suffix(ctype)
+        init = None
+        if self.peek().is_punct("="):
+            self.advance()
+            init = self.parse_assignment_expr()
+        self.expect_punct(";")
+        return ast.Declaration(name=name, ctype=ctype, init=init, span=start)
+
+    def parse_statement(self) -> ast.CStmt:
+        token = self.peek()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_punct(";"):
+            self.advance()
+            return ast.EmptyStmt(span=token.span)
+        if token.is_ident("if"):
+            return self._parse_if()
+        if token.is_ident("while"):
+            return self._parse_while()
+        if token.is_ident("do"):
+            return self._parse_do_while()
+        if token.is_ident("for"):
+            return self._parse_for()
+        if token.is_ident("switch"):
+            return self._parse_switch()
+        if token.is_ident("return"):
+            self.advance()
+            value = None
+            if not self.peek().is_punct(";"):
+                value = self.parse_expr()
+            self.expect_punct(";")
+            return ast.ReturnStmt(value=value, span=token.span)
+        if token.is_ident("goto"):
+            self.advance()
+            label = self.expect_ident().text
+            self.expect_punct(";")
+            return ast.GotoStmt(label=label, span=token.span)
+        if token.is_ident("break"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.BreakStmt(span=token.span)
+        if token.is_ident("continue"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.ContinueStmt(span=token.span)
+        if self._is_label_ahead():
+            label = self.advance().text
+            self.expect_punct(":")
+            if self.peek().is_punct("}"):
+                inner: ast.CStmt = ast.EmptyStmt(span=token.span)
+            else:
+                inner = self.parse_statement()
+            return ast.LabeledStmt(label=label, stmt=inner, span=token.span)
+        expr = self.parse_expr()
+        self.expect_punct(";")
+        return ast.ExprStmt(expr=expr, span=token.span)
+
+    def _parse_if(self) -> ast.CStmt:
+        token = self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        then = self.parse_statement()
+        other = None
+        if self.peek().is_ident("else"):
+            self.advance()
+            other = self.parse_statement()
+        return ast.IfStmt(cond=cond, then=then, other=other, span=token.span)
+
+    def _parse_while(self) -> ast.CStmt:
+        token = self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.WhileStmt(cond=cond, body=body, span=token.span)
+
+    def _parse_do_while(self) -> ast.CStmt:
+        token = self.advance()
+        body = self.parse_statement()
+        if not self.advance().is_ident("while"):
+            raise ParseError("expected `while` after do-body", token.span)
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        self.expect_punct(";")
+        return ast.DoWhileStmt(body=body, cond=cond, span=token.span)
+
+    def _parse_for(self) -> ast.CStmt:
+        token = self.advance()
+        self.expect_punct("(")
+        init: Optional[ast.CStmtOrDecl] = None
+        if not self.peek().is_punct(";"):
+            if self.at_type_start():
+                init = self._parse_declaration()
+            else:
+                init = ast.ExprStmt(expr=self.parse_expr(), span=self.peek().span)
+                self.expect_punct(";")
+        else:
+            self.advance()
+        cond = None
+        if not self.peek().is_punct(";"):
+            cond = self.parse_expr()
+        self.expect_punct(";")
+        step = None
+        if not self.peek().is_punct(")"):
+            step = self.parse_expr()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.ForStmt(init=init, cond=cond, step=step, body=body, span=token.span)
+
+    def _parse_switch(self) -> ast.CStmt:
+        token = self.advance()
+        self.expect_punct("(")
+        scrutinee = self.parse_expr()
+        self.expect_punct(")")
+        self.expect_punct("{")
+        cases: list[ast.SwitchCase] = []
+        current: Optional[ast.SwitchCase] = None
+        while not self.peek().is_punct("}"):
+            if self.peek().is_ident("case"):
+                span = self.advance().span
+                value = self._parse_case_value()
+                self.expect_punct(":")
+                current = ast.SwitchCase(value=value, body=[], span=span)
+                cases.append(current)
+            elif self.peek().is_ident("default"):
+                span = self.advance().span
+                self.expect_punct(":")
+                current = ast.SwitchCase(value=None, body=[], span=span)
+                cases.append(current)
+            else:
+                if current is None:
+                    raise ParseError(
+                        "statement before first case label", self.peek().span
+                    )
+                current.body.append(self.parse_block_item())
+        self.expect_punct("}")
+        return ast.SwitchStmt(scrutinee=scrutinee, cases=cases, span=token.span)
+
+    def _parse_case_value(self) -> int:
+        negative = False
+        if self.peek().is_punct("-"):
+            self.advance()
+            negative = True
+        token = self.advance()
+        if token.kind is not TokKind.NUMBER:
+            raise ParseError("case label must be an integer constant", token.span)
+        value = int(token.text)
+        return -value if negative else value
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.CExpr:
+        return self.parse_assignment_expr()
+
+    def parse_assignment_expr(self) -> ast.CExpr:
+        left = self._parse_conditional()
+        token = self.peek()
+        if token.kind is TokKind.PUNCT and token.text in _ASSIGN_OPS:
+            self.advance()
+            right = self.parse_assignment_expr()
+            op = token.text[:-1]  # '' for '=', '+' for '+=', ...
+            return ast.Assign(op=op, target=left, value=right, span=token.span)
+        return left
+
+    def _parse_conditional(self) -> ast.CExpr:
+        cond = self._parse_binary(0)
+        if self.peek().is_punct("?"):
+            span = self.advance().span
+            then = self.parse_expr()
+            self.expect_punct(":")
+            other = self._parse_conditional()
+            return ast.Conditional(cond=cond, then=then, other=other, span=span)
+        return cond
+
+    _BINARY_LEVELS: list[tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level: int) -> ast.CExpr:
+        if level >= len(self._BINARY_LEVELS):
+            return self._parse_cast()
+        ops = self._BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self.peek().is_punct(*ops):
+            token = self.advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(op=token.text, left=left, right=right, span=token.span)
+        return left
+
+    def _parse_cast(self) -> ast.CExpr:
+        token = self.peek()
+        if token.is_punct("(") and self.at_type_start(1):
+            span = self.advance().span
+            ctype = self.parse_type()
+            self.expect_punct(")")
+            operand = self._parse_cast()
+            return ast.Cast(ctype=ctype, operand=operand, span=span)
+        return self._parse_unary()
+
+    def _parse_unary(self) -> ast.CExpr:
+        token = self.peek()
+        if token.is_punct("!", "~", "-", "+", "*", "&"):
+            self.advance()
+            operand = self._parse_cast()
+            if token.text == "+":
+                return operand
+            if token.text == "-" and isinstance(operand, ast.Num):
+                return ast.Num(value=-operand.value, span=token.span)
+            return ast.Unary(op=token.text, operand=operand, span=token.span)
+        if token.is_punct("++", "--"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.IncDec(op=token.text, target=operand, span=token.span)
+        if token.is_ident("sizeof"):
+            self.advance()
+            if self.peek().is_punct("(") and self.at_type_start(1):
+                self.advance()
+                self.parse_type()
+                self.expect_punct(")")
+            else:
+                self._parse_unary()
+            return ast.SizeOf(span=token.span)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.CExpr:
+        expr = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token.is_punct("("):
+                self.advance()
+                args: list[ast.CExpr] = []
+                if not self.peek().is_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment_expr())
+                        if self.peek().is_punct(","):
+                            self.advance()
+                            continue
+                        break
+                self.expect_punct(")")
+                expr = ast.Call(func=expr, args=tuple(args), span=token.span)
+            elif token.is_punct("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_punct("]")
+                expr = ast.Index(base=expr, index=index, span=token.span)
+            elif token.is_punct("."):
+                self.advance()
+                name = self.expect_ident().text
+                expr = ast.Member(base=expr, field_name=name, arrow=False, span=token.span)
+            elif token.is_punct("->"):
+                self.advance()
+                name = self.expect_ident().text
+                expr = ast.Member(base=expr, field_name=name, arrow=True, span=token.span)
+            elif token.is_punct("++", "--"):
+                self.advance()
+                expr = ast.IncDec(op=token.text, target=expr, span=token.span)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.CExpr:
+        token = self.advance()
+        if token.kind is TokKind.NUMBER:
+            return ast.Num(value=int(token.text), span=token.span)
+        if token.kind is TokKind.STRING:
+            text = token.text
+            # adjacent string literal concatenation
+            while self.peek().kind is TokKind.STRING:
+                text += self.advance().text
+            return ast.Str(value=text, span=token.span)
+        if token.kind is TokKind.IDENT:
+            if token.text == "NULL":
+                return ast.Num(value=0, span=token.span)
+            return ast.Name(ident=token.text, span=token.span)
+        if token.is_punct("("):
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        raise ParseError(f"unexpected token `{token}`", token.span)
+
+
+def parse_c(source: SourceFile) -> ast.TranslationUnit:
+    """Parse one C translation unit."""
+    return Parser(source).parse_translation_unit()
+
+
+def parse_c_text(text: str, filename: str = "<string>") -> ast.TranslationUnit:
+    return parse_c(SourceFile(filename, text))

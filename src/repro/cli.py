@@ -1,0 +1,181 @@
+"""Command-line interface: the two §5.1 tools behind one driver.
+
+Usage::
+
+    mlffi-check check glue.ml stubs.c [more .ml/.c files ...]
+    mlffi-check check --no-flow-sensitive --no-gc-effects stubs.c
+    mlffi-check bench [--program lablgtk-2.2.0]
+    mlffi-check example
+
+``check`` analyzes a multi-lingual project and prints the diagnostics plus
+the Figure 9 style tally; the exit status is the number of errors (capped
+at 125 so it stays a valid exit code).  ``bench`` regenerates the Figure 9
+table from the synthesized suite.  ``example`` runs the paper's Figure 2
+program as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .api import Project
+from .core.exprs import Options
+from .source import SourceFile
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mlffi-check",
+        description="Multi-lingual type inference for the OCaml-to-C FFI "
+        "(reproduction of Furr & Foster, PLDI 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="analyze OCaml + C sources")
+    check.add_argument(
+        "files",
+        nargs="+",
+        help=".ml/.mli files feed the type repository; .c files are analyzed",
+    )
+    check.add_argument(
+        "--no-flow-sensitive",
+        action="store_true",
+        help="disable B/I/T dataflow (ablation)",
+    )
+    check.add_argument(
+        "--no-gc-effects",
+        action="store_true",
+        help="disable GC effect checking (ablation)",
+    )
+    check.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    check.add_argument(
+        "--signatures",
+        action="store_true",
+        help="also print the inferred multi-lingual signatures",
+    )
+
+    bench = sub.add_parser("bench", help="regenerate the Figure 9 table")
+    bench.add_argument(
+        "--program", help="run a single benchmark by name", default=None
+    )
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="print the paper-vs-measured comparison table",
+    )
+
+    sub.add_parser("example", help="run the paper's Figure 2 example")
+    return parser
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    project = Project()
+    for name in args.files:
+        path = Path(name)
+        if not path.exists():
+            print(f"error: no such file: {name}", file=sys.stderr)
+            return 125
+        source = SourceFile(str(path), path.read_text())
+        if path.suffix in (".ml", ".mli"):
+            project.add_ocaml(source)
+        elif path.suffix in (".c", ".h"):
+            project.add_c(source)
+        else:
+            print(
+                f"error: unknown extension on {name} (want .ml/.mli/.c/.h)",
+                file=sys.stderr,
+            )
+            return 125
+    options = Options(
+        flow_sensitive=not args.no_flow_sensitive,
+        gc_effects=not args.no_gc_effects,
+    )
+    report = project.analyze(options)
+    if args.quiet:
+        print(report.render().splitlines()[-1])
+    else:
+        print(report.render())
+    if args.signatures and not args.quiet:
+        print()
+        print("inferred signatures:")
+        for name in sorted(report.signatures):
+            print("  " + report.signatures[name])
+    return min(len(report.errors), 125)
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from .bench.report import comparison_table, figure9_table
+    from .bench.runner import SuiteResult, run_benchmark, run_suite
+    from .bench.specs import SUITE, spec_by_name
+
+    if args.program is not None:
+        try:
+            spec = spec_by_name(args.program)
+        except KeyError:
+            names = ", ".join(s.name for s in SUITE)
+            print(
+                f"error: unknown benchmark `{args.program}` (one of: {names})",
+                file=sys.stderr,
+            )
+            return 125
+        suite = SuiteResult(results=[run_benchmark(spec)])
+    else:
+        suite = run_suite()
+    print(figure9_table(suite))
+    if args.compare:
+        print()
+        print(comparison_table(suite))
+    return 0
+
+
+_EXAMPLE_ML = """
+type t = A of int | B | C of int * int | D
+external examine : t -> int = "ml_examine"
+"""
+
+_EXAMPLE_C = """
+value ml_examine(value x)
+{
+    int result = 0;
+    if (Is_long(x)) {
+        switch (Int_val(x)) {
+        case 0: result = 1; break;
+        case 1: result = 2; break;
+        }
+    } else {
+        switch (Tag_val(x)) {
+        case 0: result = Int_val(Field(x, 0)); break;
+        case 1: result = Int_val(Field(x, 1)); break;
+        }
+    }
+    return Val_int(result);
+}
+"""
+
+
+def _run_example() -> int:
+    project = Project().add_ocaml(_EXAMPLE_ML).add_c(_EXAMPLE_C)
+    report = project.analyze()
+    print("Figure 2 example (correct tag dispatch):")
+    print(report.render())
+    return min(len(report.errors), 125)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "check":
+        return _run_check(args)
+    if args.command == "bench":
+        return _run_bench(args)
+    if args.command == "example":
+        return _run_example()
+    return 125
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Type environments for the flow-sensitive analysis (paper §3.3).
+
+A :class:`TypeEnv` maps local variables to entries ``ct[B{I}]{T}``; the
+``ct`` part is flow-insensitive (shared, unified in place) while the
+qualifier triple varies per program point.  A :class:`LabelEnv` is the
+paper's ``G``: one environment per label, joined monotonically until
+fixpoint.  The protection set ``P`` is a plain frozenset of names — per the
+paper it is constant over a function body (``CAMLprotect`` only occurs at
+the top level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
+
+from .lattice import BOTTOM_QUALIFIER, Qualifier, UNKNOWN_QUALIFIER
+from .types import CType
+
+#: Callback unifying the flow-insensitive ct components at join points.
+CTUnify = Optional[Callable[[CType, CType], None]]
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One binding: flow-insensitive ``ct`` plus flow-sensitive qualifier."""
+
+    ct: CType
+    qual: Qualifier = UNKNOWN_QUALIFIER
+
+    def with_qual(self, qual: Qualifier) -> "Entry":
+        return Entry(self.ct, qual)
+
+    def reset(self) -> "Entry":
+        """All-⊥ qualifier, used after unconditional branches (paper §3.3.2)."""
+        return Entry(self.ct, BOTTOM_QUALIFIER)
+
+    def __str__(self) -> str:
+        return f"{self.ct}{self.qual}"
+
+
+@dataclass
+class TypeEnv:
+    """``Γ`` — immutable-by-convention mapping from names to entries.
+
+    Update methods return new environments; the shared ``ct`` components
+    are the same objects, so unification applies across all program points
+    (exactly the paper's split between unification and dataflow).
+    """
+
+    bindings: Dict[str, Entry] = field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.bindings
+
+    def __getitem__(self, name: str) -> Entry:
+        return self.bindings[name]
+
+    def get(self, name: str) -> Optional[Entry]:
+        return self.bindings.get(name)
+
+    def set(self, name: str, entry: Entry) -> "TypeEnv":
+        new = dict(self.bindings)
+        new[name] = entry
+        return TypeEnv(new)
+
+    def set_qual(self, name: str, qual: Qualifier) -> "TypeEnv":
+        return self.set(name, self.bindings[name].with_qual(qual))
+
+    def names(self) -> Iterator[str]:
+        return iter(self.bindings)
+
+    def reset(self) -> "TypeEnv":
+        """``reset(Γ)`` — every qualifier to ⊥ (unreachable)."""
+        return TypeEnv({n: e.reset() for n, e in self.bindings.items()})
+
+    def join(self, other: "TypeEnv", unify: CTUnify = None) -> "TypeEnv":
+        """``Γ ⊔ Γ'`` — join qualifiers pointwise, unify the ``ct`` parts.
+
+        Assignments replace a local's ``ct`` (paper (VSet Stmt)); at control
+        flow joins the two versions must denote the same type again, which
+        is what the ``unify`` callback enforces.
+        """
+        names = set(self.bindings) | set(other.bindings)
+        joined: Dict[str, Entry] = {}
+        for name in names:
+            left = self.bindings.get(name)
+            right = other.bindings.get(name)
+            if left is None:
+                assert right is not None
+                joined[name] = right
+            elif right is None:
+                joined[name] = left
+            else:
+                if unify is not None and left.ct is not right.ct:
+                    unify(left.ct, right.ct)
+                joined[name] = Entry(left.ct, left.qual.join(right.qual))
+        return TypeEnv(joined)
+
+    def leq(self, other: "TypeEnv") -> bool:
+        """``Γ ⊑ Γ'`` pointwise (missing bindings are ⊥ on the left)."""
+        for name, entry in self.bindings.items():
+            other_entry = other.bindings.get(name)
+            if other_entry is None:
+                if not entry.qual.is_bottom:
+                    return False
+            elif not entry.qual.leq(other_entry.qual):
+                return False
+        return True
+
+    def copy(self) -> "TypeEnv":
+        return TypeEnv(dict(self.bindings))
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {e}" for n, e in sorted(self.bindings.items()))
+        return "{" + inner + "}"
+
+
+@dataclass
+class LabelEnv:
+    """``G`` — the per-label environments, with monotone joins.
+
+    :meth:`join_into` returns True when the stored environment actually
+    grew, which is the fixpoint driver's signal to re-queue the label.
+    """
+
+    envs: Dict[str, TypeEnv] = field(default_factory=dict)
+
+    def get(self, label: str) -> TypeEnv:
+        return self.envs[label]
+
+    def initialize(self, label: str, env: TypeEnv) -> None:
+        self.envs[label] = env
+
+    def join_into(self, label: str, env: TypeEnv, unify: CTUnify = None) -> bool:
+        current = self.envs.get(label)
+        if current is None:
+            self.envs[label] = env.copy()
+            return True
+        if unify is not None:
+            for name, entry in env.bindings.items():
+                other = current.bindings.get(name)
+                if other is not None and other.ct is not entry.ct:
+                    unify(other.ct, entry.ct)
+        if env.leq(current):
+            return False
+        self.envs[label] = current.join(env, unify)
+        return True

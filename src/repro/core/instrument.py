@@ -1,0 +1,118 @@
+"""Runtime-check synthesis for imprecision warnings (paper §5.2, end).
+
+    "One interesting direction for future work would be eliminating these
+     warnings and instead adding run-time checks to the C code for these
+     cases."
+
+This module implements that direction: for every *imprecision* diagnostic
+the analysis produced — statically unknown offsets, globals of type
+``value``, calls through function pointers, address-taken values — it
+proposes a concrete C guard to insert at the flagged location.  The guards
+use only standard ``caml/mlvalues.h`` macros, so the output can be pasted
+into real glue code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..diagnostics import Category, Diagnostic, Kind
+from ..source import Span
+from .checker import AnalysisReport
+
+
+@dataclass(frozen=True)
+class RuntimeCheck:
+    """One proposed insertion."""
+
+    span: Span
+    diagnostic: Diagnostic
+    guard: str
+    rationale: str
+
+    def render(self) -> str:
+        return (
+            f"{self.span}: insert\n"
+            f"    {self.guard}\n"
+            f"  // {self.rationale}"
+        )
+
+
+_GUARDS: dict[Kind, tuple[str, str]] = {
+    Kind.UNKNOWN_OFFSET: (
+        "if (!(Is_block({v}) && {i} >= 0 && (mlsize_t){i} < Wosize_val({v}))) "
+        "caml_invalid_argument(\"{where}: block index out of range\");",
+        "the analysis could not bound the block offset statically; "
+        "check it against the block header at run time",
+    ),
+    Kind.GLOBAL_VALUE: (
+        "caml_register_global_root(&{v});  /* at module init */",
+        "a global value is invisible to the GC unless registered as a root",
+    ),
+    Kind.ADDRESS_TAKEN: (
+        "caml_register_global_root(&{v}); "
+        "/* ... */ caml_remove_global_root(&{v});",
+        "once its address escapes, the variable must be pinned as a root "
+        "for the duration of the escape",
+    ),
+    Kind.FUNCTION_POINTER: (
+        "if ({v} == NULL) caml_invalid_argument(\"{where}: null callback\");",
+        "the analysis generates no constraints through a function pointer; "
+        "at minimum guard against null before the indirect call",
+    ),
+}
+
+
+@dataclass
+class InstrumentationPlan:
+    """Every runtime check derived from one analysis report."""
+
+    checks: List[RuntimeCheck] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.checks)
+
+    def by_kind(self, kind: Kind) -> List[RuntimeCheck]:
+        return [c for c in self.checks if c.diagnostic.kind is kind]
+
+    def render(self) -> str:
+        if not self.checks:
+            return "no imprecision warnings; nothing to instrument"
+        lines = [f"{self.count} runtime check(s) proposed:"]
+        lines.extend(check.render() for check in self.checks)
+        return "\n".join(lines)
+
+
+def _variable_hint(diagnostic: Diagnostic) -> str:
+    """Best-effort variable name extracted from the message backticks."""
+    message = diagnostic.message
+    if "`" in message:
+        start = message.index("`") + 1
+        end = message.index("`", start)
+        return message[start:end]
+    return "v"
+
+
+def plan_instrumentation(report: AnalysisReport) -> InstrumentationPlan:
+    """Propose a runtime check for every imprecision diagnostic."""
+    plan = InstrumentationPlan()
+    for diagnostic in report.diagnostics.by_category(Category.IMPRECISION):
+        template = _GUARDS.get(diagnostic.kind)
+        if template is None:
+            continue
+        guard_fmt, rationale = template
+        where = diagnostic.function or diagnostic.span.filename
+        guard = guard_fmt.format(
+            v=_variable_hint(diagnostic), i="idx", where=where
+        )
+        plan.checks.append(
+            RuntimeCheck(
+                span=diagnostic.span,
+                diagnostic=diagnostic,
+                guard=guard,
+                rationale=rationale,
+            )
+        )
+    return plan

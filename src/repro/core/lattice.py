@@ -1,0 +1,183 @@
+"""The flow-sensitive qualifier lattices of paper §3.3.
+
+The analysis tracks, per local variable and flow-sensitively, a qualifier
+triple ``[B{I}]{T}``:
+
+* ``B`` — *boxedness*: ``⊥ ⊑ boxed ⊑ ⊤`` and ``⊥ ⊑ unboxed ⊑ ⊤``
+  (``boxed`` and ``unboxed`` are incomparable),
+* ``I`` — *offset* into a structured block: flat lattice ``⊥ ⊑ n ⊑ ⊤``,
+* ``T`` — *tag or integer value*: flat lattice ``⊥ ⊑ n ⊑ ⊤``.
+
+Arithmetic extends to the flat lattices pointwise with ``⊤ aop x = ⊤`` and
+``⊥ aop x = ⊥`` (paper §3.3).  ``⊥`` means "unreachable"; ``reset`` after an
+unconditional branch maps every qualifier to all-``⊥``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Union
+
+
+class Boxedness(enum.Enum):
+    """The four-point boxedness lattice ``B``."""
+
+    BOTTOM = "⊥"
+    BOXED = "boxed"
+    UNBOXED = "unboxed"
+    TOP = "⊤"
+
+    def leq(self, other: "Boxedness") -> bool:
+        if self is Boxedness.BOTTOM or other is Boxedness.TOP:
+            return True
+        return self is other
+
+    def join(self, other: "Boxedness") -> "Boxedness":
+        if self.leq(other):
+            return other
+        if other.leq(self):
+            return self
+        return Boxedness.TOP
+
+    def meet(self, other: "Boxedness") -> "Boxedness":
+        if self.leq(other):
+            return self
+        if other.leq(self):
+            return other
+        return Boxedness.BOTTOM
+
+    def __str__(self) -> str:
+        return self.value
+
+
+BOT_B = Boxedness.BOTTOM
+BOXED = Boxedness.BOXED
+UNBOXED = Boxedness.UNBOXED
+TOP_B = Boxedness.TOP
+
+
+class _FlatExtreme(enum.Enum):
+    BOTTOM = "⊥"
+    TOP = "⊤"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Elements of the flat lattices ``I`` and ``T``: an int, ``FLAT_TOP`` or
+#: ``FLAT_BOT``.
+FlatValue = Union[int, _FlatExtreme]
+
+FLAT_BOT: FlatValue = _FlatExtreme.BOTTOM
+FLAT_TOP: FlatValue = _FlatExtreme.TOP
+
+
+def is_const(value: FlatValue) -> bool:
+    """True when the lattice element is a known integer."""
+    return isinstance(value, int)
+
+
+def flat_leq(left: FlatValue, right: FlatValue) -> bool:
+    """``⊑`` on the flat lattice ``⊥ ⊑ n ⊑ ⊤``."""
+    if left is FLAT_BOT or right is FLAT_TOP:
+        return True
+    return left == right
+
+
+def flat_join(left: FlatValue, right: FlatValue) -> FlatValue:
+    if flat_leq(left, right):
+        return right
+    if flat_leq(right, left):
+        return left
+    return FLAT_TOP
+
+
+def flat_meet(left: FlatValue, right: FlatValue) -> FlatValue:
+    if flat_leq(left, right):
+        return left
+    if flat_leq(right, left):
+        return right
+    return FLAT_BOT
+
+
+def flat_aop(
+    op: Callable[[int, int], int], left: FlatValue, right: FlatValue
+) -> FlatValue:
+    """Extend integer arithmetic to the flat lattice.
+
+    Per the paper, ``⊥ aop x = ⊥`` (strict in unreachability) and otherwise
+    ``⊤ aop x = ⊤``.
+    """
+    if left is FLAT_BOT or right is FLAT_BOT:
+        return FLAT_BOT
+    if left is FLAT_TOP or right is FLAT_TOP:
+        return FLAT_TOP
+    assert isinstance(left, int) and isinstance(right, int)
+    return op(left, right)
+
+
+def flat_str(value: FlatValue) -> str:
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Qualifier:
+    """A full ``[B{I}]{T}`` triple.
+
+    The *safe* predicate of paper §3.3 — data may cross function boundaries
+    or be stored to the heap only when its offset is statically zero.
+    """
+
+    boxedness: Boxedness = TOP_B
+    offset: FlatValue = 0
+    tag: FlatValue = FLAT_TOP
+
+    def leq(self, other: "Qualifier") -> bool:
+        return (
+            self.boxedness.leq(other.boxedness)
+            and flat_leq(self.offset, other.offset)
+            and flat_leq(self.tag, other.tag)
+        )
+
+    def join(self, other: "Qualifier") -> "Qualifier":
+        return Qualifier(
+            self.boxedness.join(other.boxedness),
+            flat_join(self.offset, other.offset),
+            flat_join(self.tag, other.tag),
+        )
+
+    def meet(self, other: "Qualifier") -> "Qualifier":
+        return Qualifier(
+            self.boxedness.meet(other.boxedness),
+            flat_meet(self.offset, other.offset),
+            flat_meet(self.tag, other.tag),
+        )
+
+    @property
+    def is_safe(self) -> bool:
+        """Safe values have offset exactly 0 (or are unreachable)."""
+        return self.offset == 0 or self.offset is FLAT_BOT
+
+    @property
+    def is_bottom(self) -> bool:
+        return (
+            self.boxedness is BOT_B
+            and self.offset is FLAT_BOT
+            and self.tag is FLAT_BOT
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.boxedness}{{{flat_str(self.offset)}}}]{{{flat_str(self.tag)}}}"
+
+
+#: Qualifier for freshly-seen data of unknown shape: ``[⊤{0}]{⊤}``.
+UNKNOWN_QUALIFIER = Qualifier(TOP_B, 0, FLAT_TOP)
+
+#: Qualifier of unreachable code: ``[⊥{⊥}]{⊥}``.
+BOTTOM_QUALIFIER = Qualifier(BOT_B, FLAT_BOT, FLAT_BOT)
+
+
+def qualifier_for_int(value: int) -> Qualifier:
+    """Qualifier of a C integer literal ``n``: ``[⊤{0}]{n}``."""
+    return Qualifier(TOP_B, 0, value)

@@ -1,0 +1,155 @@
+"""Readable rendering of multi-lingual types.
+
+``str()`` on type terms shows raw variables (``α17``, ``σ42``); this module
+renders *resolved* types with stable, per-rendering variable names —
+``'a, 'b, ...`` for mt variables, ``ψ1, σ1, π1`` for the representational
+components — which is what the CLI and the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .types import (
+    CFun,
+    CPtr,
+    CStruct,
+    CTVar,
+    CType,
+    CValue,
+    CVoid,
+    CInt,
+    GCConst,
+    GCEffect,
+    GCVar,
+    MLType,
+    MTArrow,
+    MTCustom,
+    MTRepr,
+    MTVar,
+    PSI_TOP,
+    Pi,
+    PiVar,
+    Psi,
+    PsiConst,
+    PsiVar,
+    Sigma,
+    SigmaVar,
+)
+from .unify import Unifier
+
+
+def _name_stream():
+    index = 0
+    while True:
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        suffix, position = divmod(index, len(letters))
+        yield "'" + letters[position] + (str(suffix) if suffix else "")
+        index += 1
+
+
+@dataclass
+class TypePrinter:
+    """Stateful printer: identical variables get identical names."""
+
+    unifier: Unifier
+    _mt_names: Dict[int, str] = field(default_factory=dict)
+    _aux_names: Dict[int, str] = field(default_factory=dict)
+    _counters: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._stream = _name_stream()
+
+    def _mt_name(self, var: MTVar) -> str:
+        if var.id not in self._mt_names:
+            self._mt_names[var.id] = var.name or next(self._stream)
+        return self._mt_names[var.id]
+
+    def _aux_name(self, prefix: str, var_id: int) -> str:
+        if var_id not in self._aux_names:
+            self._counters[prefix] = self._counters.get(prefix, 0) + 1
+            self._aux_names[var_id] = f"{prefix}{self._counters[prefix]}"
+        return self._aux_names[var_id]
+
+    # -- mt -------------------------------------------------------------------
+
+    def mt(self, term: MLType) -> str:
+        term = self.unifier.resolve_mt(term)
+        if isinstance(term, MTVar):
+            return self._mt_name(term)
+        if isinstance(term, MTArrow):
+            return f"({self.mt(term.param)} -> {self.mt(term.result)})"
+        if isinstance(term, MTCustom):
+            return f"{self.ct(term.ctype)} custom"
+        if isinstance(term, MTRepr):
+            return f"({self.psi(term.psi)}, {self.sigma(term.sigma)})"
+        raise AssertionError(f"unknown mt {term!r}")
+
+    def psi(self, term: Psi) -> str:
+        term = self.unifier.resolve_psi(term)
+        if isinstance(term, PsiVar):
+            return self._aux_name("ψ", term.id)
+        if isinstance(term, PsiConst):
+            return str(term.count)
+        return "⊤"
+
+    def sigma(self, term: Sigma) -> str:
+        term = self.unifier.resolve_sigma(term)
+        parts = [self.pi(prod) for prod in term.prods]
+        if term.tail is not None:
+            parts.append(self._aux_name("σ", term.tail.id))
+        return " + ".join(parts) if parts else "∅"
+
+    def pi(self, term: Pi) -> str:
+        term = self.unifier.resolve_pi(term)
+        parts = [self.mt(elem) for elem in term.elems]
+        if term.tail is not None:
+            parts.append(self._aux_name("π", term.tail.id))
+        if not parts:
+            return "()"
+        if len(parts) == 1:
+            return f"({parts[0]})"
+        return "(" + " × ".join(parts) + ")"
+
+    # -- ct -------------------------------------------------------------------
+
+    def ct(self, term: CType) -> str:
+        term = self.unifier.resolve_ct(term)
+        if isinstance(term, CVoid):
+            return "void"
+        if isinstance(term, CInt):
+            return "int"
+        if isinstance(term, CStruct):
+            return f"struct {term.name}"
+        if isinstance(term, CTVar):
+            return self._aux_name("τ", term.id) if not term.name else f"?{term.name}"
+        if isinstance(term, CValue):
+            return f"{self.mt(term.mt)} value"
+        if isinstance(term, CPtr):
+            return f"{self.ct(term.target)} *"
+        if isinstance(term, CFun):
+            params = " × ".join(self.ct(p) for p in term.params) or "void"
+            return f"({params} -[{self.effect(term.effect)}]-> {self.ct(term.result)})"
+        raise AssertionError(f"unknown ct {term!r}")
+
+    def effect(self, term: GCEffect) -> str:
+        if isinstance(term, GCConst):
+            return term.value
+        return self._aux_name("γ", term.id)
+
+    def signature(self, name: str, fn: CFun) -> str:
+        """Render a function signature for reports."""
+        params = ", ".join(self.ct(p) for p in fn.params) or "void"
+        return (
+            f"{name} : ({params}) -[{self.effect(fn.effect)}]-> "
+            f"{self.ct(fn.result)}"
+        )
+
+
+def render_mt(unifier: Unifier, term: MLType) -> str:
+    return TypePrinter(unifier).mt(term)
+
+
+def render_ct(unifier: Unifier, term: CType) -> str:
+    return TypePrinter(unifier).ct(term)

@@ -1,0 +1,645 @@
+"""Type inference for C statements — paper Figure 7 plus the (App) rule.
+
+Judgments ``Γ, G, P ⊢ s, Γ'`` are flow-sensitive: the environment threads
+from statement to statement, label environments ``G`` join monotonically,
+and the whole function body is re-analyzed until ``G`` reaches a fixpoint
+(paper §3.3.3).  ``P`` — the protection set — is fixed per function since
+``CAMLprotect`` only occurs among the top-level declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfront.ir import (
+    CallExp,
+    Expr,
+    FunctionIR,
+    IntLit,
+    MemLval,
+    ProtectDecl,
+    PtrAdd,
+    Rhs,
+    SAssign,
+    SCamlReturn,
+    SGoto,
+    SIf,
+    SIfIntTag,
+    SIfSumTag,
+    SIfUnboxed,
+    SNop,
+    SReturn,
+    Stmt,
+    VarDecl,
+    VarExp,
+    Deref,
+)
+from ..diagnostics import Kind
+from ..source import Span
+from .environment import Entry, LabelEnv, TypeEnv
+from .exprs import Context, ExprTyper, PendingGCCheck, RuleError
+from .lattice import (
+    BOXED,
+    FLAT_BOT,
+    FLAT_TOP,
+    Qualifier,
+    TOP_B,
+    UNBOXED,
+    UNKNOWN_QUALIFIER,
+    is_const,
+)
+from .liveness import LivenessResult, compute_liveness
+from .srctypes import CSrcValue, CSrcVoid
+from .translate import eta
+from .types import (
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CType,
+    CValue,
+    GCEffect,
+    MTRepr,
+    NOGC,
+    PsiConst,
+    fresh_gc,
+    fresh_mt,
+)
+from .unify import UnificationError, instantiate_ct
+
+#: Generous bound on full-body passes; the lattice argument of §3.3.3 keeps
+#: real fixpoints far below it, this is only a defence against bugs.
+MAX_PASSES = 1000
+
+
+@dataclass
+class FunctionResult:
+    """What the analyzer learned about one function."""
+
+    name: str
+    effect: GCEffect
+    env_out: TypeEnv
+    passes: int
+
+
+class FunctionAnalyzer:
+    """Runs the Figure 7 rules over one lowered function to fixpoint."""
+
+    def __init__(self, ctx: Context, fn: FunctionIR):
+        self.ctx = ctx
+        self.fn = fn
+        self.typer = ExprTyper(ctx, fn.name)
+        self.liveness: LivenessResult = compute_liveness(fn)
+        self.protected: frozenset[str] = frozenset(fn.protected_names)
+        self.effect: GCEffect = self._function_effect()
+        self._labels_at: dict[int, list[str]] = {}
+        for label, index in fn.labels.items():
+            self._labels_at.setdefault(index, []).append(label)
+
+    def _merge_cts(self, left: CType, right: CType) -> None:
+        """Unify the ct components of two entries meeting at a join point."""
+        try:
+            self.ctx.unifier.unify_ct(left, right)
+        except UnificationError as exc:
+            self.ctx.report(
+                Kind.TYPE_MISMATCH,
+                self.fn.span,
+                f"a local is used at two incompatible types along different "
+                f"paths in `{self.fn.name}`: {exc.reason}",
+                self.fn.name,
+            )
+
+    # -- setup ---------------------------------------------------------------
+
+    def _function_effect(self) -> GCEffect:
+        entry = self.ctx.functions.get(self.fn.name)
+        if entry is not None and isinstance(entry.ct, CFun):
+            return entry.ct.effect
+        return fresh_gc(self.fn.name)
+
+    def _declare_function(self) -> CFun:
+        """(Fun Decl)/(Fun Defn): build the function's ct and unify with Γ(f)."""
+        params = tuple(eta(t) for _, t in self.fn.params)
+        fn_ct = CFun(params=params, result=eta(self.fn.return_type), effect=self.effect)
+        existing = self.ctx.functions.get(self.fn.name)
+        if existing is not None:
+            declared = existing.ct
+            if isinstance(declared, CFun):
+                declared = self._adjust_trailing_unit(declared, fn_ct)
+            try:
+                self.ctx.unifier.unify_ct(declared, fn_ct)
+            except UnificationError as exc:
+                kind = (
+                    Kind.ARITY_MISMATCH
+                    if "arity" in exc.reason
+                    else Kind.TYPE_MISMATCH
+                )
+                self.ctx.report(
+                    kind,
+                    self.fn.span,
+                    f"definition of `{self.fn.name}` conflicts with its "
+                    f"declared type: {exc.reason}",
+                    self.fn.name,
+                )
+            if isinstance(declared, CFun) and len(declared.params) == len(
+                fn_ct.params
+            ):
+                # keep the richer declared type (it carries the OCaml info)
+                return declared
+        self.ctx.functions[self.fn.name] = Entry(fn_ct)
+        return fn_ct
+
+    def _adjust_trailing_unit(self, declared: CFun, defined: CFun) -> CFun:
+        """§5.2's common questionable practice: the OCaml side declares a
+        trailing ``unit`` parameter that the C function omits.  Warn and
+        drop the phantom parameter so checking can continue."""
+        if len(declared.params) != len(defined.params) + 1:
+            return declared
+        last = declared.params[-1]
+        if not isinstance(last, CValue):
+            return declared
+        mt = self.ctx.unifier.resolve_mt(last.mt)
+        if not (
+            isinstance(mt, MTRepr)
+            and isinstance(
+                self.ctx.unifier.resolve_psi(mt.psi), PsiConst
+            )
+            and self.ctx.unifier.resolve_psi(mt.psi).count == 1  # type: ignore[union-attr]
+            and not self.ctx.unifier.resolve_sigma(mt.sigma).prods
+        ):
+            return declared
+        self.ctx.report(
+            Kind.TRAILING_UNIT,
+            self.fn.span,
+            f"external for `{self.fn.name}` declares a trailing unit "
+            "parameter that the C definition omits; the unit value is "
+            "silently left on the stack",
+            self.fn.name,
+        )
+        return CFun(
+            params=declared.params[:-1],
+            result=declared.result,
+            effect=declared.effect,
+        )
+
+    def _initial_env(self, fn_ct: CFun) -> TypeEnv:
+        env = TypeEnv(dict(self.ctx.global_bindings))
+        for (name, _src), param_ct in zip(self.fn.params, fn_ct.params):
+            env = env.set(name, Entry(param_ct, UNKNOWN_QUALIFIER))
+        for decl in self.fn.decls:
+            if isinstance(decl, VarDecl):
+                env = self._declare_local(env, decl)
+        return env
+
+    def _declare_local(self, env: TypeEnv, decl: VarDecl) -> TypeEnv:
+        ct = eta(decl.ctype)
+        qual = UNKNOWN_QUALIFIER
+        if decl.init is not None:
+            try:
+                init_ct, init_qual = self._type_rhs(env, decl.init, decl.span)
+                self.ctx.unifier.unify_ct(ct, init_ct)
+                qual = init_qual
+            except RuleError as err:
+                self.ctx.report(err.kind, err.span, err.message, self.fn.name)
+            except UnificationError as exc:
+                self.ctx.report(
+                    Kind.TYPE_MISMATCH,
+                    decl.span,
+                    f"initializer of `{decl.name}`: {exc.reason}",
+                    self.fn.name,
+                )
+        return env.set(decl.name, Entry(ct, qual))
+
+    # -- fixpoint driver -------------------------------------------------------
+
+    def run(self) -> FunctionResult:
+        fn_ct = self._declare_function()
+        env0 = self._initial_env(fn_ct)
+        label_env = LabelEnv()
+        for label in self.fn.labels:
+            label_env.initialize(label, env0.reset())
+
+        self.return_ct: CType = fn_ct.result
+        self._join_errors: list[str] = []
+        passes = 0
+        changed = True
+        while changed:
+            passes += 1
+            if passes > MAX_PASSES:
+                raise RuntimeError(
+                    f"fixpoint did not converge in {MAX_PASSES} passes "
+                    f"for `{self.fn.name}`"
+                )
+            changed = self._one_pass(env0, label_env)
+        env_out = self._one_pass(env0, label_env, final=True) or env0
+        return FunctionResult(
+            name=self.fn.name, effect=self.effect, env_out=env_out, passes=passes
+        )
+
+    def _one_pass(
+        self, env0: TypeEnv, label_env: LabelEnv, final: bool = False
+    ) -> TypeEnv | bool:
+        """Walk the whole body once; returns whether any G entry grew.
+
+        With ``final=True`` returns the fall-off-the-end environment instead
+        (used to produce :attr:`FunctionResult.env_out`).
+        """
+        env = env0.copy()
+        changed = False
+        for index, stmt in enumerate(self.fn.body):
+            for label in self._labels_at.get(index, ()):
+                # (Lbl Stmt): Γ ⊑ G(L), continue from G(L).
+                changed |= label_env.join_into(label, env, self._merge_cts)
+                env = label_env.get(label).copy()
+            env, grew = self._step(env, label_env, index, stmt)
+            changed |= grew
+        if final:
+            return env
+        return changed
+
+    # -- statement dispatch ------------------------------------------------------
+
+    def _step(
+        self, env: TypeEnv, label_env: LabelEnv, index: int, stmt: Stmt
+    ) -> tuple[TypeEnv, bool]:
+        try:
+            return self._step_inner(env, label_env, index, stmt)
+        except RuleError as err:
+            self.ctx.report(err.kind, err.span or stmt.span, err.message, self.fn.name)
+            return env, False
+        except UnificationError as exc:
+            self.ctx.report(Kind.TYPE_MISMATCH, stmt.span, exc.reason, self.fn.name)
+            return env, False
+
+    def _step_inner(
+        self, env: TypeEnv, label_env: LabelEnv, index: int, stmt: Stmt
+    ) -> tuple[TypeEnv, bool]:
+        if isinstance(stmt, SNop):
+            return env, False
+        if isinstance(stmt, SAssign):
+            return self._do_assign(env, index, stmt), False
+        if isinstance(stmt, SReturn):
+            return self._do_return(env, stmt), False
+        if isinstance(stmt, SCamlReturn):
+            return self._do_camlreturn(env, stmt), False
+        if isinstance(stmt, SGoto):
+            grew = label_env.join_into(stmt.label, env, self._merge_cts)
+            return env.reset(), grew
+        if isinstance(stmt, SIf):
+            return self._do_if(env, label_env, stmt)
+        if isinstance(stmt, SIfUnboxed):
+            return self._do_if_unboxed(env, label_env, stmt)
+        if isinstance(stmt, SIfSumTag):
+            return self._do_if_sum_tag(env, label_env, stmt)
+        if isinstance(stmt, SIfIntTag):
+            return self._do_if_int_tag(env, label_env, stmt)
+        raise RuleError(Kind.TYPE_MISMATCH, f"unsupported statement `{stmt}`", stmt.span)
+
+    # -- assignments and calls -----------------------------------------------------
+
+    def _type_rhs(
+        self, env: TypeEnv, rhs: Rhs, span: Span, index: int | None = None
+    ) -> tuple[CType, Qualifier]:
+        if isinstance(rhs, CallExp):
+            return self._apply(env, rhs, span, index)
+        return self.typer.type_expr(env, rhs)
+
+    def _do_assign(self, env: TypeEnv, index: int, stmt: SAssign) -> TypeEnv:
+        rhs_ct, rhs_qual = self._type_rhs(env, stmt.rhs, stmt.span, index)
+        if stmt.lval is None:
+            return env
+        if isinstance(stmt.lval, VarExp):
+            # (VSet Stmt): Γ[x ↦ ct[B{I}]{T}] — the binding is *replaced*,
+            # so a local may be reused at a different type; join points
+            # re-unify the ct components (see TypeEnv.join).
+            name = stmt.lval.name
+            if name not in env:
+                self.ctx.report(
+                    Kind.TYPE_MISMATCH,
+                    stmt.span,
+                    f"assignment to undeclared variable `{name}`",
+                    self.fn.name,
+                )
+            if not self.ctx.options.flow_sensitive:
+                rhs_qual = UNKNOWN_QUALIFIER
+            return env.set(name, Entry(rhs_ct, rhs_qual))
+        # (LSet Stmt): heap write; environment unchanged.
+        self._do_heap_store(env, stmt.lval, rhs_ct, rhs_qual, stmt.span)
+        return env
+
+    def _do_heap_store(
+        self,
+        env: TypeEnv,
+        lval: MemLval,
+        rhs_ct: CType,
+        rhs_qual: Qualifier,
+        span: Span,
+    ) -> None:
+        if not rhs_qual.is_safe:
+            self._unsafe(rhs_qual, span, "value stored to the heap")
+        target = Deref(PtrAdd(lval.base, IntLit(lval.offset, span), span), span) \
+            if lval.offset else Deref(lval.base, span)
+        slot_ct, _slot_qual = self.typer.type_expr(env, target)
+        try:
+            self.ctx.unifier.unify_ct(slot_ct, rhs_ct)
+        except UnificationError as exc:
+            raise RuleError(
+                Kind.TYPE_MISMATCH,
+                f"heap store through `{lval}`: {exc.reason}",
+                span,
+            ) from exc
+
+    def _apply(
+        self, env: TypeEnv, call: CallExp, span: Span, index: int | None
+    ) -> tuple[CType, Qualifier]:
+        """(App): unify actuals against formals, thread effects, queue the
+        protection obligation."""
+        if call.is_indirect:
+            self.ctx.report(
+                Kind.FUNCTION_POINTER,
+                span,
+                f"call through function pointer `{call.func}`; no constraints "
+                "generated",
+                self.fn.name,
+            )
+            for arg in call.args:
+                self.typer.type_expr(env, arg)
+            return C_INT, UNKNOWN_QUALIFIER
+
+        entry = self.ctx.functions.get(call.func)
+        if entry is None:
+            fn_ct = self._assume_external(env, call)
+        elif isinstance(entry.ct, CFun):
+            fn_ct = entry.ct
+            if call.func in self.ctx.polymorphic:
+                fn_ct = instantiate_ct(fn_ct)
+        else:
+            raise RuleError(
+                Kind.TYPE_MISMATCH,
+                f"`{call.func}` is not a function",
+                span,
+            )
+
+        if len(fn_ct.params) != len(call.args):
+            raise RuleError(
+                Kind.ARITY_MISMATCH,
+                f"`{call.func}` expects {len(fn_ct.params)} argument(s) but "
+                f"is called with {len(call.args)}",
+                span,
+            )
+        arg_quals: list[Qualifier] = []
+        for position, (arg, param_ct) in enumerate(zip(call.args, fn_ct.params)):
+            arg_ct, arg_qual = self.typer.type_expr(env, arg)
+            arg_quals.append(arg_qual)
+            if not arg_qual.is_safe:
+                self._unsafe(
+                    arg_qual, span, f"argument {position + 1} of `{call.func}`"
+                )
+            try:
+                self.ctx.unifier.unify_ct(arg_ct, param_ct)
+            except UnificationError as exc:
+                raise RuleError(
+                    Kind.TYPE_MISMATCH,
+                    f"argument {position + 1} of `{call.func}`: {exc.reason}",
+                    span,
+                ) from exc
+
+        # GC′ ⊑ GC — the callee's effect flows into ours.
+        self.ctx.effect_constraints.constrain(fn_ct.effect, self.effect)
+
+        if self.ctx.options.gc_effects and index is not None:
+            live = self.liveness.live_before(index)
+            candidates = [
+                (name, env[name].ct)
+                for name in sorted(live)
+                if name in env and name not in self.protected
+            ]
+            if candidates:
+                self.ctx.pending_gc_checks.append(
+                    PendingGCCheck(
+                        span=span,
+                        function=self.fn.name,
+                        callee=call.func,
+                        effect=fn_ct.effect,
+                        candidates=candidates,
+                    )
+                )
+        return fn_ct.result, self._call_result_qual(call, arg_quals)
+
+    @staticmethod
+    def _call_result_qual(
+        call: CallExp, arg_quals: list[Qualifier]
+    ) -> Qualifier:
+        """Allocators return a fresh block at offset 0 with a known tag."""
+        from ..cfront.macros import ALLOC_RESULT_TAG
+
+        spec = ALLOC_RESULT_TAG.get(call.func)
+        if spec is None:
+            return UNKNOWN_QUALIFIER
+        if spec == "arg1":
+            if len(arg_quals) > 1 and is_const(arg_quals[1].tag):
+                return Qualifier(BOXED, 0, arg_quals[1].tag)
+            return Qualifier(BOXED, 0, FLAT_TOP)
+        assert isinstance(spec, int)
+        return Qualifier(BOXED, 0, spec)
+
+    def _assume_external(self, env: TypeEnv, call: CallExp) -> CFun:
+        """Unknown library function: parameters shaped by the actuals,
+        scalar result, no GC effect (it cannot reach the OCaml runtime)."""
+        params = []
+        for arg in call.args:
+            arg_ct, _ = self.typer.type_expr(env, arg)
+            params.append(arg_ct)
+        fn_ct = CFun(params=tuple(params), result=C_INT, effect=NOGC)
+        self.ctx.functions[call.func] = Entry(fn_ct)
+        return fn_ct
+
+    def _unsafe(self, qual: Qualifier, span: Span, what: str) -> None:
+        if qual.offset is FLAT_TOP:
+            self.ctx.report(
+                Kind.UNKNOWN_OFFSET,
+                span,
+                f"{what} has a statically unknown block offset",
+                self.fn.name,
+            )
+        else:
+            raise RuleError(
+                Kind.UNSAFE_VALUE,
+                f"{what} points into the middle of a structured block "
+                f"(offset {qual.offset})",
+                span,
+            )
+
+    # -- returns ----------------------------------------------------------------
+
+    def _do_return(self, env: TypeEnv, stmt: SReturn) -> TypeEnv:
+        self._check_return_value(env, stmt.exp, stmt.span)
+        if self.protected:
+            # (Ret Stmt) requires P = ∅ — registered values must be released
+            # with CAMLreturn.  §5.2: ocaml-mad and ocaml-vorbis bugs.
+            self.ctx.report(
+                Kind.MISSING_CAMLRETURN,
+                stmt.span,
+                f"`{self.fn.name}` registers "
+                f"{', '.join(sorted(self.protected))} with the GC but exits "
+                "with plain return",
+                self.fn.name,
+            )
+        return env.reset()
+
+    def _do_camlreturn(self, env: TypeEnv, stmt: SCamlReturn) -> TypeEnv:
+        self._check_return_value(env, stmt.exp, stmt.span)
+        if not self.protected:
+            self.ctx.report(
+                Kind.SPURIOUS_CAMLRETURN,
+                stmt.span,
+                f"CAMLreturn in `{self.fn.name}` but nothing was registered "
+                "with CAMLparam/CAMLlocal",
+                self.fn.name,
+            )
+        return env.reset()
+
+    def _check_return_value(
+        self, env: TypeEnv, exp: Expr | None, span: Span
+    ) -> None:
+        if exp is None:
+            if not isinstance(self.return_ct, type(C_VOID)):
+                try:
+                    self.ctx.unifier.unify_ct(self.return_ct, C_VOID)
+                except UnificationError:
+                    self.ctx.report(
+                        Kind.TYPE_MISMATCH,
+                        span,
+                        f"`{self.fn.name}` returns no value but is declared "
+                        f"to return `{self.return_ct}`",
+                        self.fn.name,
+                    )
+            return
+        ct, qual = self.typer.type_expr(env, exp)
+        if not qual.is_safe:
+            self._unsafe(qual, span, "returned value")
+        try:
+            self.ctx.unifier.unify_ct(ct, self.return_ct)
+        except UnificationError as exc:
+            raise RuleError(
+                Kind.TYPE_MISMATCH,
+                f"return value of `{self.fn.name}`: {exc.reason}",
+                span,
+            ) from exc
+
+    # -- branches ------------------------------------------------------------------
+
+    def _do_if(
+        self, env: TypeEnv, label_env: LabelEnv, stmt: SIf
+    ) -> tuple[TypeEnv, bool]:
+        ct, _qual = self.typer.type_expr(env, stmt.cond)
+        shallow = self.typer._shallow(ct)
+        if isinstance(shallow, CValue):
+            raise RuleError(
+                Kind.TYPE_MISMATCH,
+                f"OCaml value `{stmt.cond}` used directly as a condition",
+                stmt.span,
+            )
+        grew = label_env.join_into(stmt.label, env, self._merge_cts)
+        return env, grew
+
+    def _value_entry(self, env: TypeEnv, var: str, span: Span) -> Entry:
+        entry = env.get(var)
+        if entry is None:
+            raise RuleError(Kind.TYPE_MISMATCH, f"unknown variable `{var}`", span)
+        shallow = self.typer._shallow(entry.ct)
+        if not isinstance(shallow, CValue):
+            raise RuleError(
+                Kind.TYPE_MISMATCH,
+                f"tag test on `{var}` which is not an OCaml value "
+                f"(it has C type `{entry.ct}`)",
+                span,
+            )
+        return entry
+
+    def _do_if_unboxed(
+        self, env: TypeEnv, label_env: LabelEnv, stmt: SIfUnboxed
+    ) -> tuple[TypeEnv, bool]:
+        entry = self._value_entry(env, stmt.var, stmt.span)
+        if not entry.qual.is_safe:
+            self._unsafe(entry.qual, stmt.span, f"`{stmt.var}` in Is_long test")
+        ct = self.typer._shallow(entry.ct)
+        assert isinstance(ct, CValue)
+        self.typer.as_repr(ct.mt, stmt.span)  # α unifies with (ψ, σ)
+        if self.ctx.options.flow_sensitive:
+            taken = env.set_qual(
+                stmt.var, Qualifier(UNBOXED, 0, entry.qual.tag)
+            )
+            fall = env.set_qual(stmt.var, Qualifier(BOXED, 0, entry.qual.tag))
+        else:
+            taken = fall = env
+        grew = label_env.join_into(stmt.label, taken, self._merge_cts)
+        return fall, grew
+
+    def _do_if_sum_tag(
+        self, env: TypeEnv, label_env: LabelEnv, stmt: SIfSumTag
+    ) -> tuple[TypeEnv, bool]:
+        entry = self._value_entry(env, stmt.var, stmt.span)
+        ct = self.typer._shallow(entry.ct)
+        assert isinstance(ct, CValue)
+        repr_type = self.typer.as_repr(ct.mt, stmt.span)
+        if entry.qual.boxedness is not BOXED:
+            # Reading the header is only sound when the value is a pointer.
+            # Statically always-boxed types (Ψ = 0) need no dynamic test.
+            psi = self.ctx.unifier.resolve_psi(repr_type.psi)
+            statically_boxed = isinstance(psi, PsiConst) and psi.count == 0
+            if entry.qual.boxedness is UNBOXED or not statically_boxed:
+                raise RuleError(
+                    Kind.BAD_FIELD_ACCESS,
+                    f"Tag_val on `{stmt.var}` without establishing it is "
+                    "boxed (missing Is_long/Is_block test?)",
+                    stmt.span,
+                )
+        if not entry.qual.is_safe:
+            self._unsafe(entry.qual, stmt.span, f"`{stmt.var}` in Tag_val test")
+        self.typer.sigma_product_at(repr_type, stmt.tag, stmt.span)
+        if self.ctx.options.flow_sensitive:
+            taken = env.set_qual(stmt.var, Qualifier(BOXED, 0, stmt.tag))
+        else:
+            taken = env
+        grew = label_env.join_into(stmt.label, taken, self._merge_cts)
+        return env, grew
+
+    def _do_if_int_tag(
+        self, env: TypeEnv, label_env: LabelEnv, stmt: SIfIntTag
+    ) -> tuple[TypeEnv, bool]:
+        entry = self._value_entry(env, stmt.var, stmt.span)
+        ct = self.typer._shallow(entry.ct)
+        assert isinstance(ct, CValue)
+        repr_type = self.typer.as_repr(ct.mt, stmt.span)
+        if entry.qual.boxedness not in (UNBOXED,):
+            # Comparing Int_val(x) against n is only meaningful for unboxed
+            # data; allow it without a test when the type has no boxed part.
+            sigma = self.ctx.unifier.resolve_sigma(repr_type.sigma)
+            statically_unboxed = sigma.is_closed and not sigma.prods
+            if entry.qual.boxedness is BOXED:
+                raise RuleError(
+                    Kind.BAD_INT_VAL,
+                    f"Int_val comparison on `{stmt.var}` which is boxed here",
+                    stmt.span,
+                )
+            if not statically_unboxed:
+                raise RuleError(
+                    Kind.BAD_INT_VAL,
+                    f"Int_val comparison on `{stmt.var}` without establishing "
+                    "it is unboxed (missing Is_long test?)",
+                    stmt.span,
+                )
+        self.ctx.psi_constraints.require(
+            stmt.tag,
+            repr_type.psi,
+            stmt.span,
+            f"int_tag({stmt.var}) == {stmt.tag}",
+            self.fn.name,
+        )
+        if self.ctx.options.flow_sensitive:
+            taken = env.set_qual(stmt.var, Qualifier(UNBOXED, 0, stmt.tag))
+        else:
+            taken = env
+        grew = label_env.join_into(stmt.label, taken, self._merge_cts)
+        return env, grew

@@ -1,0 +1,306 @@
+"""Type translation between the source languages and the multi-lingual types.
+
+Implements paper Figure 4:
+
+* ``rho`` — OCaml source types to extended OCaml types ``mt``.  Sums count
+  their nullary constructors into ``Ψ`` and map each non-nullary
+  constructor, in declaration order, to a product ``Π``; tuples and records
+  become a boxed type with a single product; ``ref`` is a one-field boxed
+  block; ``unit``/``int``/``bool``/``char`` are purely unboxed.
+* ``phi`` — an ``external`` function type to the C function type its glue
+  code must have: every argument and the result are passed at
+  ``ρ(t) value`` and the effect is a fresh variable.
+* ``eta`` — plain C source types to ``ct`` (paper §3.3.2): each syntactic
+  ``value`` gets a fresh ``α value``.
+
+Built-in OCaml types beyond Figure 1a follow the runtime representation
+documented in the OCaml manual: ``string``/``float``/``int32``/``int64``/
+``nativeint`` are boxed blocks with out-of-band tags, which we model as
+:class:`~repro.core.types.MTCustom` wrapping a distinguished struct pointer
+(their fields must not be accessed with ``Field``); ``option``/``list``/
+``bool`` are ordinary sums; ``array`` is an open product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .srctypes import (
+    CSrcFun,
+    CSrcPtr,
+    CSrcScalar,
+    CSrcStruct,
+    CSrcType,
+    CSrcValue,
+    CSrcVoid,
+    MLSrcType,
+    SArrow,
+    SBool,
+    SChar,
+    SConstrApp,
+    SConstructor,
+    SFloat,
+    SInt,
+    SOpaque,
+    SPolyVariant,
+    SRecord,
+    SString,
+    SSum,
+    STuple,
+    SUnit,
+    SVar,
+    arrow_chain,
+)
+from .types import (
+    BOOL_REPR,
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CStruct,
+    CType,
+    CValue,
+    GCEffect,
+    INT_REPR,
+    MLType,
+    MTArrow,
+    MTCustom,
+    MTRepr,
+    MTVar,
+    PSI_TOP,
+    Pi,
+    PsiConst,
+    Sigma,
+    UNIT_REPR,
+    closed_pi,
+    closed_sigma,
+    fresh_ctvar,
+    fresh_gc,
+    fresh_mt,
+    fresh_pi_row,
+)
+
+
+class TranslationError(Exception):
+    """An OCaml source type cannot be represented (e.g. unresolved name)."""
+
+
+#: Distinguished struct names for boxed builtins with out-of-band tags.
+BOXED_BUILTINS = {
+    "string": "caml_string",
+    "bytes": "caml_string",
+    "float": "caml_float",
+    "int32": "caml_int32",
+    "int64": "caml_int64",
+    "nativeint": "caml_nativeint",
+}
+
+
+def boxed_builtin(name: str) -> MLType:
+    """The ``mt`` for a boxed builtin: opaque custom block."""
+    return MTCustom(CPtr(CStruct(BOXED_BUILTINS[name])))
+
+
+@dataclass
+class Translator:
+    """Stateful ``ρ`` with named-type resolution and recursion cut-off.
+
+    ``resolve`` maps a type-constructor application (name, args) to its
+    definition body, or ``None`` when unknown.  Recursive occurrences are
+    translated as fresh unconstrained variables, a deliberate
+    approximation: it can miss errors inside the recursive knot but never
+    invents one (see DESIGN.md).
+    """
+
+    resolve: Optional[
+        Callable[[str, tuple[MLSrcType, ...]], Optional[MLSrcType]]
+    ] = None
+    on_poly_variant: Optional[Callable[[SPolyVariant], None]] = None
+    #: hidden representations of opaque types, shared across a whole
+    #: project so every external agrees on what each abstract type hides
+    opaque_reprs: dict[str, MLType] = field(default_factory=dict)
+    _in_progress: set[str] = field(default_factory=set)
+    _tyvars: dict[str, MTVar] = field(default_factory=dict)
+
+    def _opaque(self, name: str) -> MLType:
+        """An abstract type hides an unknown C representation: a fresh C
+        type variable, pinned by the first cast the glue code performs."""
+        if name not in self.opaque_reprs:
+            self.opaque_reprs[name] = MTCustom(fresh_ctvar(name))
+        return self.opaque_reprs[name]
+
+    # -- rho -----------------------------------------------------------------
+
+    def rho(self, mltype: MLSrcType) -> MLType:
+        """Paper Figure 4's ``ρ``: OCaml source type to ``mt``."""
+        if isinstance(mltype, SUnit):
+            return UNIT_REPR
+        if isinstance(mltype, (SInt, SChar)):
+            return INT_REPR
+        if isinstance(mltype, SBool):
+            return BOOL_REPR
+        if isinstance(mltype, (SString, SFloat)):
+            name = "string" if isinstance(mltype, SString) else "float"
+            return boxed_builtin(name)
+        if isinstance(mltype, SVar):
+            return self._tyvar(mltype.name)
+        if isinstance(mltype, SArrow):
+            return MTArrow(self.rho(mltype.param), self.rho(mltype.result))
+        if isinstance(mltype, STuple):
+            return MTRepr(
+                psi=PsiConst(0),
+                sigma=closed_sigma([closed_pi([self.rho(e) for e in mltype.elems])]),
+            )
+        if isinstance(mltype, SRecord):
+            return MTRepr(
+                psi=PsiConst(0),
+                sigma=closed_sigma(
+                    [closed_pi([self.rho(f.type) for f in mltype.fields])]
+                ),
+            )
+        if isinstance(mltype, SSum):
+            return self._rho_sum(mltype)
+        if isinstance(mltype, SConstrApp):
+            return self._rho_constr_app(mltype)
+        if isinstance(mltype, SPolyVariant):
+            if self.on_poly_variant is not None:
+                self.on_poly_variant(mltype)
+            # Unsupported: leave it unconstrained so later unifications
+            # neither succeed vacuously nor fail spuriously at this node.
+            return fresh_mt("polyvariant")
+        if isinstance(mltype, SOpaque):
+            return self._opaque(mltype.name)
+        raise TranslationError(f"cannot translate OCaml type `{mltype}`")
+
+    def _rho_sum(self, sum_type: SSum) -> MLType:
+        nullary = sum_type.nullary()
+        products = [
+            closed_pi([self.rho(arg) for arg in ctor.args])
+            for ctor in sum_type.non_nullary()
+        ]
+        return MTRepr(psi=PsiConst(len(nullary)), sigma=closed_sigma(products))
+
+    def _rho_constr_app(self, app: SConstrApp) -> MLType:
+        if app.name == "ref" and len(app.args) == 1:
+            # ρ(t ref) = (0, ρ(t)) — one non-nullary constructor of size 1.
+            return MTRepr(
+                psi=PsiConst(0),
+                sigma=closed_sigma([closed_pi([self.rho(app.args[0])])]),
+            )
+        if app.name == "option" and len(app.args) == 1:
+            # None | Some of t
+            return MTRepr(
+                psi=PsiConst(1),
+                sigma=closed_sigma([closed_pi([self.rho(app.args[0])])]),
+            )
+        if app.name == "list" and len(app.args) == 1:
+            # [] | (::) of t * t list — the tail is the recursive knot.
+            key = self._recursion_key(app)
+            if key in self._in_progress:
+                return fresh_mt(f"rec:{app.name}")
+            self._in_progress.add(key)
+            try:
+                head = self.rho(app.args[0])
+                tail = self.rho(app)
+            finally:
+                self._in_progress.discard(key)
+            return MTRepr(
+                psi=PsiConst(1),
+                sigma=closed_sigma([closed_pi([head, tail])]),
+            )
+        if app.name == "array" and len(app.args) == 1:
+            # A boxed block of statically unknown arity; the element type
+            # constrains index 0 and the row may grow per access site.
+            elem = self.rho(app.args[0])
+            return MTRepr(
+                psi=PsiConst(0),
+                sigma=closed_sigma([Pi(elems=(elem,), tail=fresh_pi_row().tail)]),
+            )
+        if app.name in BOXED_BUILTINS and not app.args:
+            return boxed_builtin(app.name)
+        if self.resolve is not None:
+            key = self._recursion_key(app)
+            if key in self._in_progress:
+                return fresh_mt(f"rec:{app.name}")
+            body = self.resolve(app.name, app.args)
+            if body is not None:
+                self._in_progress.add(key)
+                try:
+                    return self.rho(body)
+                finally:
+                    self._in_progress.discard(key)
+        # Unknown named type: treat as opaque/abstract (paper §5.1 treats
+        # hidden types as the types they hide *when available*).
+        return self._opaque(app.name)
+
+    @staticmethod
+    def _recursion_key(app: SConstrApp) -> str:
+        return f"{app.name}/{'/'.join(str(a) for a in app.args)}"
+
+    def _tyvar(self, name: str) -> MTVar:
+        if name not in self._tyvars:
+            self._tyvars[name] = fresh_mt(f"'{name}")
+        return self._tyvars[name]
+
+    # -- phi -----------------------------------------------------------------
+
+    def phi(self, mltype: MLSrcType, arity: Optional[int] = None) -> CFun:
+        """Paper Figure 4's ``Φ``: an external's OCaml type to its C type.
+
+        ``arity`` lets the caller stop uncurrying early when the external
+        really returns a function value; by default every arrow is a
+        parameter (the usual glue-code situation).
+        """
+        chain = arrow_chain(mltype)
+        if len(chain) < 2:
+            raise TranslationError(
+                f"external type `{mltype}` is not a function type"
+            )
+        if arity is not None:
+            if not 1 <= arity <= len(chain) - 1:
+                raise TranslationError(
+                    f"arity {arity} impossible for `{mltype}`"
+                )
+            params = chain[:arity]
+            from .srctypes import make_arrows
+
+            result: MLSrcType = make_arrows(chain[arity:-1], chain[-1])
+        else:
+            params, result = chain[:-1], chain[-1]
+        return CFun(
+            params=tuple(CValue(self.rho(p)) for p in params),
+            result=CValue(self.rho(result)),
+            effect=fresh_gc(),
+        )
+
+
+def eta(ctype: CSrcType) -> CType:
+    """Paper §3.3.2's ``η``: surface C types to ``ct`` with fresh ``α value``."""
+    if isinstance(ctype, CSrcVoid):
+        return C_VOID
+    if isinstance(ctype, CSrcScalar):
+        return C_INT
+    if isinstance(ctype, CSrcValue):
+        return CValue(fresh_mt())
+    if isinstance(ctype, CSrcPtr):
+        return CPtr(eta(ctype.target))
+    if isinstance(ctype, CSrcStruct):
+        return CStruct(ctype.name)
+    if isinstance(ctype, CSrcFun):
+        return CFun(
+            params=tuple(eta(p) for p in ctype.params),
+            result=eta(ctype.result),
+            effect=fresh_gc(),
+        )
+    raise TranslationError(f"cannot translate C type `{ctype}`")
+
+
+def rho(mltype: MLSrcType) -> MLType:
+    """Convenience: ``ρ`` with no named-type resolution."""
+    return Translator().rho(mltype)
+
+
+def phi(mltype: MLSrcType) -> CFun:
+    """Convenience: ``Φ`` with no named-type resolution."""
+    return Translator().phi(mltype)

@@ -1,0 +1,543 @@
+"""Unification for the multi-lingual type language (paper §3.3.3).
+
+The inference rules generate equality constraints ``ct = ct'`` and
+``mt = mt'`` which are solved by ordinary unification, with three twists:
+
+* ``Σ`` and ``Π`` are *rows* (Rémy-style): a row may end in a variable, and
+  unifying a short open row against a longer one grows the short row.  This
+  is how sum and product types "grow during inference" — every
+  ``if_sum_tag(x) == n`` test adds products up to index ``n``.
+* ``Ψ`` components unify exactly: a known nullary-constructor count ``n``
+  never unifies with ``⊤`` (an OCaml ``int`` is not a sum).
+* unifying two function types does not equate their effects directly; it
+  records mutual ``⊑`` constraints which the GC solver later closes by
+  reachability.
+
+The substitution lives in this class (terms themselves stay immutable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .types import (
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CStruct,
+    CTVar,
+    CType,
+    CValue,
+    CVoid,
+    CInt,
+    GCEffect,
+    MLType,
+    MTArrow,
+    MTCustom,
+    MTRepr,
+    MTVar,
+    PSI_TOP,
+    Pi,
+    PiVar,
+    Psi,
+    PsiConst,
+    PsiVar,
+    Sigma,
+    SigmaVar,
+)
+
+
+class UnificationError(Exception):
+    """Raised when two types cannot be made equal."""
+
+    def __init__(self, left: object, right: object, reason: str = ""):
+        self.left = left
+        self.right = right
+        self.reason = reason or f"cannot unify `{left}` with `{right}`"
+        super().__init__(self.reason)
+
+
+class OccursCheckError(UnificationError):
+    """A variable would be bound to a term containing itself."""
+
+    def __init__(self, var: object, term: object):
+        super().__init__(var, term, f"occurs check: `{var}` occurs in `{term}`")
+
+
+EffectHook = Callable[[GCEffect, GCEffect], None]
+
+
+class Unifier:
+    """Union-find style substitution over mt / Ψ / Σ / Π variables."""
+
+    def __init__(self, on_effect_equal: Optional[EffectHook] = None):
+        self._mt: dict[int, MLType] = {}
+        self._psi: dict[int, Psi] = {}
+        self._sigma: dict[int, Sigma] = {}
+        self._pi: dict[int, Pi] = {}
+        self._ct: dict[int, CType] = {}
+        self._on_effect_equal = on_effect_equal
+        #: number of successful unification steps, for ablation metrics
+        self.steps = 0
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_mt(self, mt: MLType) -> MLType:
+        """Follow variable bindings to the representative (shallow)."""
+        seen = []
+        while isinstance(mt, MTVar) and mt.id in self._mt:
+            seen.append(mt.id)
+            mt = self._mt[mt.id]
+        for var_id in seen[:-1]:
+            if isinstance(mt, MTVar):
+                self._mt[var_id] = mt
+        return mt
+
+    def resolve_psi(self, psi: Psi) -> Psi:
+        while isinstance(psi, PsiVar) and psi.id in self._psi:
+            psi = self._psi[psi.id]
+        return psi
+
+    def resolve_ct(self, ct: CType) -> CType:
+        """Follow C-type variable bindings to the representative (shallow)."""
+        while isinstance(ct, CTVar) and ct.id in self._ct:
+            ct = self._ct[ct.id]
+        return ct
+
+    def resolve_sigma(self, sigma: Sigma) -> Sigma:
+        """Normalize a sum row: splice in every bound tail variable."""
+        prods = list(sigma.prods)
+        tail = sigma.tail
+        while tail is not None and tail.id in self._sigma:
+            bound = self._sigma[tail.id]
+            prods.extend(bound.prods)
+            tail = bound.tail
+        return Sigma(prods=tuple(prods), tail=tail)
+
+    def resolve_pi(self, pi: Pi) -> Pi:
+        """Normalize a product row: splice in every bound tail variable."""
+        elems = list(pi.elems)
+        tail = pi.tail
+        while tail is not None and tail.id in self._pi:
+            bound = self._pi[tail.id]
+            elems.extend(bound.elems)
+            tail = bound.tail
+        return Pi(elems=tuple(elems), tail=tail)
+
+    def deep_resolve_mt(self, mt: MLType) -> MLType:
+        """Fully substitute an mt term (for display and final checks)."""
+        mt = self.resolve_mt(mt)
+        if isinstance(mt, MTArrow):
+            return MTArrow(
+                self.deep_resolve_mt(mt.param), self.deep_resolve_mt(mt.result)
+            )
+        if isinstance(mt, MTCustom):
+            return MTCustom(self.deep_resolve_ct(mt.ctype))
+        if isinstance(mt, MTRepr):
+            return MTRepr(self.resolve_psi(mt.psi), self.deep_resolve_sigma(mt.sigma))
+        return mt
+
+    def deep_resolve_sigma(self, sigma: Sigma) -> Sigma:
+        sigma = self.resolve_sigma(sigma)
+        return Sigma(
+            prods=tuple(self.deep_resolve_pi(p) for p in sigma.prods),
+            tail=sigma.tail,
+        )
+
+    def deep_resolve_pi(self, pi: Pi) -> Pi:
+        pi = self.resolve_pi(pi)
+        return Pi(
+            elems=tuple(self.deep_resolve_mt(e) for e in pi.elems),
+            tail=pi.tail,
+        )
+
+    def deep_resolve_ct(self, ct: CType) -> CType:
+        ct = self.resolve_ct(ct)
+        if isinstance(ct, CValue):
+            return CValue(self.deep_resolve_mt(ct.mt))
+        if isinstance(ct, CPtr):
+            return CPtr(self.deep_resolve_ct(ct.target))
+        if isinstance(ct, CFun):
+            return CFun(
+                params=tuple(self.deep_resolve_ct(p) for p in ct.params),
+                result=self.deep_resolve_ct(ct.result),
+                effect=ct.effect,
+            )
+        return ct
+
+    def _ct_occurs(self, var: CTVar, ct: CType) -> bool:
+        ct = self.resolve_ct(ct)
+        if ct is var:
+            return True
+        if isinstance(ct, CPtr):
+            return self._ct_occurs(var, ct.target)
+        if isinstance(ct, CFun):
+            return any(self._ct_occurs(var, p) for p in ct.params) or (
+                self._ct_occurs(var, ct.result)
+            )
+        if isinstance(ct, CValue):
+            return self._ct_occurs_mt(var, ct.mt)
+        return False
+
+    def _ct_occurs_mt(self, var: CTVar, mt: MLType) -> bool:
+        mt = self.resolve_mt(mt)
+        if isinstance(mt, MTCustom):
+            return self._ct_occurs(var, mt.ctype)
+        if isinstance(mt, MTArrow):
+            return self._ct_occurs_mt(var, mt.param) or self._ct_occurs_mt(
+                var, mt.result
+            )
+        if isinstance(mt, MTRepr):
+            sigma = self.resolve_sigma(mt.sigma)
+            return any(
+                self._ct_occurs_mt(var, elem)
+                for prod in sigma.prods
+                for elem in self.resolve_pi(prod).elems
+            )
+        return False
+
+    # -- occurs checks -------------------------------------------------------
+
+    def _mt_occurs(self, var: MTVar, term: MLType) -> bool:
+        term = self.resolve_mt(term)
+        if isinstance(term, MTVar):
+            return term is var
+        if isinstance(term, MTArrow):
+            return self._mt_occurs(var, term.param) or self._mt_occurs(
+                var, term.result
+            )
+        if isinstance(term, MTCustom):
+            return self._mt_occurs_ct(var, term.ctype)
+        if isinstance(term, MTRepr):
+            sigma = self.resolve_sigma(term.sigma)
+            return any(
+                self._mt_occurs(var, elem)
+                for prod in sigma.prods
+                for elem in self.resolve_pi(prod).elems
+            )
+        return False
+
+    def _mt_occurs_ct(self, var: MTVar, ct: CType) -> bool:
+        if isinstance(ct, CValue):
+            return self._mt_occurs(var, ct.mt)
+        if isinstance(ct, CPtr):
+            return self._mt_occurs_ct(var, ct.target)
+        if isinstance(ct, CFun):
+            return any(self._mt_occurs_ct(var, p) for p in ct.params) or (
+                self._mt_occurs_ct(var, ct.result)
+            )
+        return False
+
+    def _sigma_occurs(self, var: SigmaVar, sigma: Sigma) -> bool:
+        sigma = self.resolve_sigma(sigma)
+        if sigma.tail is var:
+            return True
+        return any(
+            self._sigma_occurs_mt(var, elem)
+            for prod in sigma.prods
+            for elem in self.resolve_pi(prod).elems
+        )
+
+    def _sigma_occurs_mt(self, var: SigmaVar, mt: MLType) -> bool:
+        mt = self.resolve_mt(mt)
+        if isinstance(mt, MTRepr):
+            return self._sigma_occurs(var, mt.sigma)
+        if isinstance(mt, MTArrow):
+            return self._sigma_occurs_mt(var, mt.param) or self._sigma_occurs_mt(
+                var, mt.result
+            )
+        return False
+
+    def _pi_occurs(self, var: PiVar, pi: Pi) -> bool:
+        pi = self.resolve_pi(pi)
+        if pi.tail is var:
+            return True
+        return any(self._pi_occurs_mt(var, elem) for elem in pi.elems)
+
+    def _pi_occurs_mt(self, var: PiVar, mt: MLType) -> bool:
+        mt = self.resolve_mt(mt)
+        if isinstance(mt, MTRepr):
+            sigma = self.resolve_sigma(mt.sigma)
+            return any(self._pi_occurs(var, prod) for prod in sigma.prods)
+        if isinstance(mt, MTArrow):
+            return self._pi_occurs_mt(var, mt.param) or self._pi_occurs_mt(
+                var, mt.result
+            )
+        return False
+
+    # -- unification ----------------------------------------------------------
+
+    def unify_ct(self, left: CType, right: CType) -> None:
+        """Solve ``ct = ct'`` or raise :class:`UnificationError`."""
+        self.steps += 1
+        left = self.resolve_ct(left)
+        right = self.resolve_ct(right)
+        if left is right:
+            return
+        if isinstance(left, CTVar):
+            if self._ct_occurs(left, right):
+                raise OccursCheckError(left, right)
+            self._ct[left.id] = right
+            return
+        if isinstance(right, CTVar):
+            if self._ct_occurs(right, left):
+                raise OccursCheckError(right, left)
+            self._ct[right.id] = left
+            return
+        if isinstance(left, CVoid) and isinstance(right, CVoid):
+            return
+        if isinstance(left, CInt) and isinstance(right, CInt):
+            return
+        if isinstance(left, CStruct) and isinstance(right, CStruct):
+            if left.name != right.name:
+                raise UnificationError(left, right)
+            return
+        if isinstance(left, CValue) and isinstance(right, CValue):
+            self.unify_mt(left.mt, right.mt)
+            return
+        if isinstance(left, CPtr) and isinstance(right, CPtr):
+            self.unify_ct(left.target, right.target)
+            return
+        if isinstance(left, CFun) and isinstance(right, CFun):
+            if len(left.params) != len(right.params):
+                raise UnificationError(
+                    left,
+                    right,
+                    f"function arity mismatch: {len(left.params)} vs "
+                    f"{len(right.params)}",
+                )
+            for l_param, r_param in zip(left.params, right.params):
+                self.unify_ct(l_param, r_param)
+            self.unify_ct(left.result, right.result)
+            if self._on_effect_equal is not None:
+                self._on_effect_equal(left.effect, right.effect)
+            return
+        raise UnificationError(left, right)
+
+    def unify_mt(self, left: MLType, right: MLType) -> None:
+        """Solve ``mt = mt'`` or raise :class:`UnificationError`."""
+        self.steps += 1
+        left = self.resolve_mt(left)
+        right = self.resolve_mt(right)
+        if left is right:
+            return
+        if isinstance(left, MTVar):
+            if self._mt_occurs(left, right):
+                raise OccursCheckError(left, right)
+            self._mt[left.id] = right
+            return
+        if isinstance(right, MTVar):
+            if self._mt_occurs(right, left):
+                raise OccursCheckError(right, left)
+            self._mt[right.id] = left
+            return
+        if isinstance(left, MTArrow) and isinstance(right, MTArrow):
+            self.unify_mt(left.param, right.param)
+            self.unify_mt(left.result, right.result)
+            return
+        if isinstance(left, MTCustom) and isinstance(right, MTCustom):
+            self.unify_ct(left.ctype, right.ctype)
+            return
+        if isinstance(left, MTRepr) and isinstance(right, MTRepr):
+            self.unify_psi(left.psi, right.psi)
+            self.unify_sigma(left.sigma, right.sigma)
+            return
+        raise UnificationError(left, right)
+
+    def unify_psi(self, left: Psi, right: Psi) -> None:
+        """Ψ components unify exactly; ``n`` does not unify with ``⊤``."""
+        left = self.resolve_psi(left)
+        right = self.resolve_psi(right)
+        if left is right:
+            return
+        if isinstance(left, PsiVar):
+            self._psi[left.id] = right
+            return
+        if isinstance(right, PsiVar):
+            self._psi[right.id] = left
+            return
+        if isinstance(left, PsiConst) and isinstance(right, PsiConst):
+            if left.count != right.count:
+                raise UnificationError(
+                    left,
+                    right,
+                    f"sum types have different nullary-constructor counts "
+                    f"({left.count} vs {right.count})",
+                )
+            return
+        if left is PSI_TOP and right is PSI_TOP:
+            return
+        raise UnificationError(
+            left,
+            right,
+            f"an integer type (Ψ=⊤) is not a sum type (Ψ={right if left is PSI_TOP else left})",
+        )
+
+    def unify_sigma(self, left: Sigma, right: Sigma) -> None:
+        """Row-unify two sums product-by-product in tag order."""
+        left = self.resolve_sigma(left)
+        right = self.resolve_sigma(right)
+        common = min(len(left.prods), len(right.prods))
+        for l_prod, r_prod in zip(left.prods[:common], right.prods[:common]):
+            self.unify_pi(l_prod, r_prod)
+        l_rest = Sigma(prods=left.prods[common:], tail=left.tail)
+        r_rest = Sigma(prods=right.prods[common:], tail=right.tail)
+        if l_rest.prods:
+            # right must be open so it can grow to include the extra products
+            self._bind_sigma_tail(right, l_rest)
+        elif r_rest.prods:
+            self._bind_sigma_tail(left, r_rest)
+        else:
+            self._unify_sigma_tails(left.tail, right.tail)
+
+    def _bind_sigma_tail(self, short: Sigma, rest: Sigma) -> None:
+        if short.tail is None:
+            raise UnificationError(
+                short,
+                rest,
+                "sum type has fewer non-nullary constructors than required",
+            )
+        if self._sigma_occurs(short.tail, rest):
+            raise OccursCheckError(short.tail, rest)
+        self._sigma[short.tail.id] = rest
+
+    def _unify_sigma_tails(
+        self, left: Optional[SigmaVar], right: Optional[SigmaVar]
+    ) -> None:
+        if left is right:
+            return
+        if left is not None and left.id in self._sigma:
+            raise AssertionError("unresolved sigma tail after normalization")
+        if left is None and right is None:
+            return
+        if left is None:
+            assert right is not None
+            self._sigma[right.id] = Sigma(prods=(), tail=None)
+        elif right is None:
+            self._sigma[left.id] = Sigma(prods=(), tail=None)
+        else:
+            self._sigma[left.id] = Sigma(prods=(), tail=right)
+
+    def unify_pi(self, left: Pi, right: Pi) -> None:
+        """Row-unify two products element-by-element."""
+        left = self.resolve_pi(left)
+        right = self.resolve_pi(right)
+        common = min(len(left.elems), len(right.elems))
+        for l_elem, r_elem in zip(left.elems[:common], right.elems[:common]):
+            self.unify_mt(l_elem, r_elem)
+        l_rest = Pi(elems=left.elems[common:], tail=left.tail)
+        r_rest = Pi(elems=right.elems[common:], tail=right.tail)
+        if l_rest.elems:
+            self._bind_pi_tail(right, l_rest)
+        elif r_rest.elems:
+            self._bind_pi_tail(left, r_rest)
+        else:
+            self._unify_pi_tails(left.tail, right.tail)
+
+    def _bind_pi_tail(self, short: Pi, rest: Pi) -> None:
+        if short.tail is None:
+            raise UnificationError(
+                short,
+                rest,
+                "structured block has fewer fields than the access requires",
+            )
+        if self._pi_occurs(short.tail, rest):
+            raise OccursCheckError(short.tail, rest)
+        self._pi[short.tail.id] = rest
+
+    def _unify_pi_tails(self, left: Optional[PiVar], right: Optional[PiVar]) -> None:
+        if left is right:
+            return
+        if left is None and right is None:
+            return
+        if left is None:
+            assert right is not None
+            self._pi[right.id] = Pi(elems=(), tail=None)
+        elif right is None:
+            self._pi[left.id] = Pi(elems=(), tail=None)
+        else:
+            self._pi[left.id] = Pi(elems=(), tail=right)
+
+    # -- queries ---------------------------------------------------------------
+
+    def sigma_min_size(self, sigma: Sigma) -> int:
+        """Number of non-nullary constructors known so far (``|Σ|`` lower bound)."""
+        return len(self.resolve_sigma(sigma).prods)
+
+    def is_heap_pointer_type(self, ct: CType) -> bool:
+        """ValPtrs membership (paper (App) rule).
+
+        A variable may point into the OCaml heap when its type is
+        ``(Ψ, Σ) value`` with ``|Σ| > 0``, or when it is one of the boxed
+        builtins (string/float/boxed ints) or an abstract OCaml type —
+        modelled here as ``caml_* / abstract_*`` custom blocks, which live
+        on the OCaml heap just the same.
+        """
+        if not isinstance(ct, CValue):
+            return False
+        mt = self.resolve_mt(ct.mt)
+        if isinstance(mt, MTRepr):
+            return self.sigma_min_size(mt.sigma) > 0
+        if isinstance(mt, MTCustom):
+            inner = self.resolve_ct(mt.ctype)
+            if isinstance(inner, CPtr):
+                target = self.resolve_ct(inner.target)
+                if isinstance(target, CStruct):
+                    name = target.name
+                    return name.startswith("caml_") or name.startswith("abstract_")
+        return False
+
+
+def instantiate_ct(ct: CType, mapping: Optional[dict[int, MTVar]] = None) -> CType:
+    """Copy a ct with all mt variables replaced by fresh ones.
+
+    Used for C functions hand-annotated as polymorphic (paper §5.1 notes 4
+    such annotations in the benchmark suite) and for stdlib repository
+    entries that mention type variables.
+    """
+    if mapping is None:
+        mapping = {}
+
+    def fresh_for(var: MTVar) -> MTVar:
+        if var.id not in mapping:
+            mapping[var.id] = MTVar(name=var.name)
+        return mapping[var.id]
+
+    def go_ct(term: CType) -> CType:
+        if isinstance(term, CValue):
+            return CValue(go_mt(term.mt))
+        if isinstance(term, CPtr):
+            return CPtr(go_ct(term.target))
+        if isinstance(term, CFun):
+            return CFun(
+                params=tuple(go_ct(p) for p in term.params),
+                result=go_ct(term.result),
+                effect=term.effect,
+            )
+        return term
+
+    def go_mt(term: MLType) -> MLType:
+        if isinstance(term, MTVar):
+            return fresh_for(term)
+        if isinstance(term, MTArrow):
+            return MTArrow(go_mt(term.param), go_mt(term.result))
+        if isinstance(term, MTCustom):
+            return MTCustom(go_ct(term.ctype))
+        if isinstance(term, MTRepr):
+            return MTRepr(
+                term.psi,
+                Sigma(
+                    prods=tuple(
+                        Pi(
+                            elems=tuple(go_mt(e) for e in prod.elems),
+                            tail=prod.tail,
+                        )
+                        for prod in term.sigma.prods
+                    ),
+                    tail=term.sigma.tail,
+                ),
+            )
+        return term
+
+    return go_ct(ct)

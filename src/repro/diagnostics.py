@@ -1,0 +1,183 @@
+"""Diagnostics emitted by the multi-lingual checker.
+
+The paper's evaluation (Figure 9) classifies every report into one of four
+columns: outright *errors*, *warnings* for questionable coding practice,
+*false positives* (reports about code that is actually correct), and
+*imprecision* warnings (places where the analysis lost too much information
+to say anything).  :class:`Category` mirrors those columns so the benchmark
+harness can regenerate the table mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .source import DUMMY_SPAN, Span
+
+
+class Category(enum.Enum):
+    """Figure 9 column a diagnostic belongs to."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    FALSE_POSITIVE_PRONE = "false-positive"
+    IMPRECISION = "imprecision"
+
+
+class Kind(enum.Enum):
+    """Fine-grained diagnostic kinds, following the taxonomy of paper §5.2.
+
+    Each kind carries its default :class:`Category`; the categories are what
+    Figure 9 tabulates, the kinds are what §5.2 describes in prose.
+    """
+
+    # -- outright errors ---------------------------------------------------
+    TYPE_MISMATCH = ("type mismatch between OCaml and C", Category.ERROR)
+    BAD_VAL_INT = ("Val_int applied to a boxed/value argument", Category.ERROR)
+    BAD_INT_VAL = ("Int_val applied to a non-value or boxed argument", Category.ERROR)
+    TAG_OUT_OF_RANGE = ("tag test exceeds the constructors of the type", Category.ERROR)
+    UNPROTECTED_VALUE = (
+        "value live across a call that may trigger the OCaml GC "
+        "but never registered with CAMLprotect",
+        Category.ERROR,
+    )
+    MISSING_CAMLRETURN = (
+        "function registers values with CAMLparam/CAMLlocal but returns "
+        "with plain return",
+        Category.ERROR,
+    )
+    SPURIOUS_CAMLRETURN = (
+        "CAMLreturn used but no values were registered",
+        Category.ERROR,
+    )
+    BAD_FIELD_ACCESS = ("Field access on unboxed or mistyped value", Category.ERROR)
+    ARITY_MISMATCH = ("C function arity differs from external declaration", Category.ERROR)
+    OPTION_MISUSE = (
+        "option argument dereferenced as its payload without a tag test",
+        Category.ERROR,
+    )
+    UNSAFE_VALUE = ("unsafe value (interior pointer) escapes the function", Category.ERROR)
+
+    # -- questionable practice --------------------------------------------
+    TRAILING_UNIT = (
+        "external declares a trailing unit parameter the C function omits",
+        Category.WARNING,
+    )
+    POLYMORPHIC_ABUSE = (
+        "polymorphic 'a parameter is used at a concrete type in C",
+        Category.WARNING,
+    )
+    VALUE_CAST = ("suspicious cast involving a value type", Category.WARNING)
+
+    # -- patterns the checker cannot prove safe (paper's false positives) --
+    POLY_VARIANT = (
+        "polymorphic variants are not supported; uses are flagged",
+        Category.FALSE_POSITIVE_PRONE,
+    )
+    DISGUISED_PTR_ARITH = (
+        "pointer arithmetic disguised as integer arithmetic on a value",
+        Category.FALSE_POSITIVE_PRONE,
+    )
+
+    # -- imprecision --------------------------------------------------------
+    UNKNOWN_OFFSET = (
+        "offset into a structured block is statically unknown",
+        Category.IMPRECISION,
+    )
+    GLOBAL_VALUE = ("global variable of type value", Category.IMPRECISION)
+    ADDRESS_TAKEN = ("address of a value variable is taken", Category.IMPRECISION)
+    FUNCTION_POINTER = (
+        "call through an unknown C function pointer",
+        Category.IMPRECISION,
+    )
+
+    def __init__(self, summary: str, category: Category):
+        self.summary = summary
+        self.category = category
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A single report: a kind, a location, and a human-readable message."""
+
+    kind: Kind
+    span: Span
+    message: str
+    function: str | None = None
+
+    @property
+    def category(self) -> Category:
+        return self.kind.category
+
+    def render(self) -> str:
+        where = f"{self.span}" if self.span is not DUMMY_SPAN else "<unknown>"
+        scope = f" [in {self.function}]" if self.function else ""
+        return f"{where}: {self.category.value}: {self.message}{scope}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class DiagnosticBag:
+    """Mutable collection of diagnostics with Figure 9 style tallies."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def emit(
+        self,
+        kind: Kind,
+        span: Span,
+        message: str,
+        *,
+        function: str | None = None,
+    ) -> Diagnostic:
+        diag = Diagnostic(kind=kind, span=span, message=message, function=function)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "DiagnosticBag" | Iterable[Diagnostic]) -> None:
+        items = other.diagnostics if isinstance(other, DiagnosticBag) else other
+        self.diagnostics.extend(items)
+
+    def by_category(self, category: Category) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.category is category]
+
+    def count(self, category: Category) -> int:
+        return len(self.by_category(category))
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_category(Category.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_category(Category.WARNING)
+
+    @property
+    def false_positives(self) -> list[Diagnostic]:
+        return self.by_category(Category.FALSE_POSITIVE_PRONE)
+
+    @property
+    def imprecision(self) -> list[Diagnostic]:
+        return self.by_category(Category.IMPRECISION)
+
+    def tally(self) -> dict[str, int]:
+        """Counts in Figure 9 column order."""
+        return {
+            "errors": self.count(Category.ERROR),
+            "warnings": self.count(Category.WARNING),
+            "false_positives": self.count(Category.FALSE_POSITIVE_PRONE),
+            "imprecision": self.count(Category.IMPRECISION),
+        }
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)

@@ -1,0 +1,55 @@
+"""Declarations extracted from OCaml source.
+
+Only two forms matter to the analysis (paper §3.1): type declarations —
+needed to resolve the types mentioned by externals to concrete
+representations — and ``external`` declarations, which are translated by
+``Φ`` into the initial environment ``Γ_I``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.srctypes import MLSrcType
+from ..source import DUMMY_SPAN, Span
+
+
+@dataclass(frozen=True)
+class TypeDecl:
+    """``type ('a, 'b) name = body``; ``body`` None means abstract/opaque."""
+
+    name: str
+    params: Tuple[str, ...] = ()
+    body: Optional[MLSrcType] = None
+    span: Span = DUMMY_SPAN
+
+    @property
+    def is_opaque(self) -> bool:
+        return self.body is None
+
+
+@dataclass(frozen=True)
+class ExternalDecl:
+    """``external ml_name : mltype = "c_name" [attrs]``."""
+
+    ml_name: str
+    mltype: MLSrcType
+    c_name: str
+    #: second C name for arity>5 externals (bytecode stub), if any
+    c_name_bytecode: Optional[str] = None
+    attributes: Tuple[str, ...] = ()
+    span: Span = DUMMY_SPAN
+
+    @property
+    def noalloc(self) -> bool:
+        return "noalloc" in self.attributes
+
+
+@dataclass
+class MLUnit:
+    """Everything extracted from one .ml/.mli file."""
+
+    types: list[TypeDecl] = field(default_factory=list)
+    externals: list[ExternalDecl] = field(default_factory=list)
+    filename: str = "<unknown>"

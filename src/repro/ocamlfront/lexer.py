@@ -1,0 +1,211 @@
+"""Tokenizer for the OCaml subset (type and external declarations).
+
+The first tool of the paper (§5.1) is a camlp4 preprocessor that only
+consumes type information; accordingly this lexer handles exactly the
+surface needed for ``type`` and ``external`` declarations plus enough
+structure to skip over everything else (let bindings, modules, ...).
+OCaml comments ``(* ... *)`` nest and are stripped here.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from ..source import SourceFile, Span
+
+
+class MLTokKind(enum.Enum):
+    LIDENT = "lident"  # lowercase identifier (possibly dotted: Unix.t)
+    UIDENT = "uident"  # capitalized identifier
+    TYVAR = "tyvar"  # 'a
+    STRING = "string"
+    INT = "int"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class MLToken:
+    kind: MLTokKind
+    text: str
+    span: Span
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is MLTokKind.PUNCT and self.text in texts
+
+    def is_kw(self, *texts: str) -> bool:
+        return self.kind is MLTokKind.LIDENT and self.text in texts
+
+    def __str__(self) -> str:
+        return self.text or "<eof>"
+
+
+class MLLexError(Exception):
+    def __init__(self, message: str, span: Span):
+        self.span = span
+        super().__init__(f"{span}: {message}")
+
+
+_PUNCTS = [
+    "->", ":=", "::", ";;", "[<", "[>", "[|", "|]",
+    "=", "|", "*", ":", ";", ",", "(", ")", "{", "}", "[", "]",
+    "<", ">", "?", "~", ".", "'", "`", "#", "&", "!", "@", "^", "-", "+", "/",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
+#: type-variable names exclude the prime (it would swallow char literals)
+_TYVAR_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_INT_RE = re.compile(r"[0-9][0-9_]*")
+
+
+class MLLexer:
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+
+    def tokenize(self) -> list[MLToken]:
+        tokens: list[MLToken] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.text):
+                break
+            tokens.append(self._next_token())
+        tokens.append(MLToken(MLTokKind.EOF, "", self.source.span(self.pos, self.pos)))
+        return tokens
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("(*", self.pos):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        start = self.pos
+        depth = 0
+        while self.pos < len(self.text):
+            if self.text.startswith("(*", self.pos):
+                depth += 1
+                self.pos += 2
+            elif self.text.startswith("*)", self.pos):
+                depth -= 1
+                self.pos += 2
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise MLLexError(
+            "unterminated comment", self.source.span(start, len(self.text))
+        )
+
+    def _next_token(self) -> MLToken:
+        start = self.pos
+        char = self.text[start]
+
+        if char == "'":
+            # char literal 'x' / '\n', else a type variable 'a
+            if (
+                start + 2 < len(self.text)
+                and self.text[start + 1] != "\\"
+                and self.text[start + 2] == "'"
+            ):
+                self.pos = start + 3
+                return MLToken(
+                    MLTokKind.INT,
+                    str(ord(self.text[start + 1])),
+                    self.source.span(start, self.pos),
+                )
+            if (
+                start + 3 < len(self.text)
+                and self.text[start + 1] == "\\"
+                and self.text[start + 3] == "'"
+            ):
+                escapes = {"n": "\n", "t": "\t", "r": "\r", "0": "\0"}
+                literal = escapes.get(
+                    self.text[start + 2], self.text[start + 2]
+                )
+                self.pos = start + 4
+                return MLToken(
+                    MLTokKind.INT,
+                    str(ord(literal)),
+                    self.source.span(start, self.pos),
+                )
+            if match := _TYVAR_RE.match(self.text, start + 1):
+                self.pos = match.end()
+                return MLToken(
+                    MLTokKind.TYVAR,
+                    match.group(),
+                    self.source.span(start, self.pos),
+                )
+
+        if match := _IDENT_RE.match(self.text, start):
+            self.pos = match.end()
+            name = match.group()
+            # dotted paths: Unix.file_descr, Buffer.t
+            while (
+                self.pos < len(self.text)
+                and self.text[self.pos] == "."
+                and (next_m := _IDENT_RE.match(self.text, self.pos + 1))
+            ):
+                name += "." + next_m.group()
+                self.pos = next_m.end()
+            kind = (
+                MLTokKind.UIDENT
+                if name[0].isupper() and "." not in name
+                else MLTokKind.LIDENT
+            )
+            return MLToken(kind, name, self.source.span(start, self.pos))
+
+        if match := _INT_RE.match(self.text, start):
+            self.pos = match.end()
+            return MLToken(
+                MLTokKind.INT,
+                match.group().replace("_", ""),
+                self.source.span(start, self.pos),
+            )
+
+        if char == '"':
+            return self._string_token(start)
+
+        for punct in _PUNCTS:
+            if self.text.startswith(punct, start):
+                self.pos = start + len(punct)
+                return MLToken(
+                    MLTokKind.PUNCT, punct, self.source.span(start, self.pos)
+                )
+
+        raise MLLexError(
+            f"unexpected character {char!r}", self.source.span(start, start + 1)
+        )
+
+    def _string_token(self, start: int) -> MLToken:
+        pos = start + 1
+        chars: list[str] = []
+        while pos < len(self.text):
+            char = self.text[pos]
+            if char == "\\" and pos + 1 < len(self.text):
+                chars.append(self.text[pos + 1])
+                pos += 2
+            elif char == '"':
+                self.pos = pos + 1
+                return MLToken(
+                    MLTokKind.STRING,
+                    "".join(chars),
+                    self.source.span(start, self.pos),
+                )
+            else:
+                chars.append(char)
+                pos += 1
+        raise MLLexError(
+            "unterminated string", self.source.span(start, len(self.text))
+        )
+
+
+def tokenize_ml(source: SourceFile) -> list[MLToken]:
+    return MLLexer(source).tokenize()

@@ -1,0 +1,363 @@
+"""Parser extracting type/external declarations from OCaml source.
+
+Everything that is not a ``type`` or ``external`` declaration (let
+bindings, opens, module headers, exceptions ...) is skipped by balanced
+scanning — mirroring the paper's camlp4 tool, which only records type
+signatures while the compiler does the real parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.srctypes import (
+    MLSrcType,
+    SArrow,
+    SBool,
+    SChar,
+    SConstrApp,
+    SConstructor,
+    SFloat,
+    SInt,
+    SPolyVariant,
+    SRecord,
+    SField,
+    SString,
+    STuple,
+    SUnit,
+    SVar,
+)
+from ..source import SourceFile, Span
+from .ast import ExternalDecl, MLUnit, TypeDecl
+from .lexer import MLTokKind, MLToken, tokenize_ml
+
+
+class MLParseError(Exception):
+    def __init__(self, message: str, span: Span):
+        self.span = span
+        super().__init__(f"{span}: {message}")
+
+
+_BUILTIN_ATOMS: dict[str, MLSrcType] = {
+    "unit": SUnit(),
+    "int": SInt(),
+    "bool": SBool(),
+    "char": SChar(),
+    "string": SString(),
+    "bytes": SString(),
+    "float": SFloat(),
+}
+
+#: top-level keywords that end a skipped region
+_TOP_KEYWORDS = {
+    "type", "external", "let", "open", "module", "exception", "val",
+    "include", "class",
+}
+
+
+class MLParser:
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.tokens = tokenize_ml(source)
+        self.pos = 0
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> MLToken:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> MLToken:
+        token = self.tokens[self.pos]
+        if token.kind is not MLTokKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect_punct(self, text: str) -> MLToken:
+        token = self.advance()
+        if not token.is_punct(text):
+            raise MLParseError(f"expected `{text}`, found `{token}`", token.span)
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().kind is MLTokKind.EOF
+
+    # -- top level -----------------------------------------------------------------
+
+    def parse_unit(self) -> MLUnit:
+        unit = MLUnit(filename=self.source.filename)
+        while not self.at_eof():
+            token = self.peek()
+            if token.is_kw("type") or token.is_kw("and"):
+                self.advance()
+                unit.types.append(self._parse_type_decl())
+            elif token.is_kw("external"):
+                self.advance()
+                unit.externals.append(self._parse_external())
+            else:
+                self._skip_item()
+        return unit
+
+    def _skip_item(self) -> None:
+        """Skip a top-level item we do not model, with bracket balancing."""
+        self.advance()
+        depth = 0
+        while not self.at_eof():
+            token = self.peek()
+            if depth == 0 and (
+                token.is_kw(*_TOP_KEYWORDS) or token.is_punct(";;")
+            ):
+                if token.is_punct(";;"):
+                    self.advance()
+                return
+            if token.is_punct("(", "[", "{"):
+                depth += 1
+            elif token.is_punct(")", "]", "}"):
+                depth = max(0, depth - 1)
+            self.advance()
+
+    # -- type declarations -------------------------------------------------------------
+
+    def _parse_type_decl(self) -> TypeDecl:
+        start = self.peek().span
+        params: list[str] = []
+        if self.peek().kind is MLTokKind.TYVAR:
+            params.append(self.advance().text)
+        elif self.peek().is_punct("("):
+            self.advance()
+            while True:
+                token = self.advance()
+                if token.kind is MLTokKind.TYVAR:
+                    params.append(token.text)
+                if self.peek().is_punct(","):
+                    self.advance()
+                    continue
+                break
+            self.expect_punct(")")
+        name_token = self.advance()
+        if name_token.kind is not MLTokKind.LIDENT:
+            raise MLParseError(
+                f"expected type name, found `{name_token}`", name_token.span
+            )
+        if not self.peek().is_punct("="):
+            return TypeDecl(
+                name=name_token.text, params=tuple(params), body=None, span=start
+            )
+        self.advance()  # =
+        # `type t = private ...` / re-exported definitions
+        if self.peek().is_kw("private"):
+            self.advance()
+        body = self._parse_type_rhs()
+        return TypeDecl(
+            name=name_token.text, params=tuple(params), body=body, span=start
+        )
+
+    def _parse_type_rhs(self) -> MLSrcType:
+        token = self.peek()
+        if token.is_punct("{"):
+            return self._parse_record()
+        if token.is_punct("|") or self._looks_like_variant():
+            return self._parse_variant()
+        return self.parse_type_expr()
+
+    def _looks_like_variant(self) -> bool:
+        token = self.peek()
+        if token.kind is not MLTokKind.UIDENT:
+            return False
+        after = self.peek(1)
+        # `A of ...` or `A | ...` or a bare single constructor; a UIDENT
+        # followed by `.`-path is impossible (lexer merges dotted names).
+        return after.is_kw("of") or after.is_punct("|") or self._is_decl_end(after)
+
+    @staticmethod
+    def _is_decl_end(token: MLToken) -> bool:
+        return (
+            token.kind is MLTokKind.EOF
+            or token.is_punct(";;")
+            or token.is_kw("and", *_TOP_KEYWORDS)
+        )
+
+    def _parse_variant(self) -> MLSrcType:
+        constructors: list[SConstructor] = []
+        if self.peek().is_punct("|"):
+            self.advance()
+        while True:
+            name_token = self.advance()
+            if name_token.kind is not MLTokKind.UIDENT:
+                raise MLParseError(
+                    f"expected constructor, found `{name_token}`", name_token.span
+                )
+            args: tuple[MLSrcType, ...] = ()
+            if self.peek().is_kw("of"):
+                # `C of a * b` has two fields; `C of (a * b)` has ONE tuple
+                # field — physically a block holding a pointer to a block.
+                self.advance()
+                arg_list = [self._parse_app_type()]
+                while self.peek().is_punct("*"):
+                    self.advance()
+                    arg_list.append(self._parse_app_type())
+                args = tuple(arg_list)
+            constructors.append(SConstructor(name=name_token.text, args=args))
+            if self.peek().is_punct("|"):
+                self.advance()
+                continue
+            break
+        from ..core.srctypes import SSum
+
+        return SSum(constructors=tuple(constructors))
+
+    def _parse_record(self) -> MLSrcType:
+        self.expect_punct("{")
+        fields: list[SField] = []
+        while not self.peek().is_punct("}"):
+            mutable = False
+            if self.peek().is_kw("mutable"):
+                self.advance()
+                mutable = True
+            name_token = self.advance()
+            self.expect_punct(":")
+            ftype = self.parse_type_expr()
+            fields.append(
+                SField(name=name_token.text, type=ftype, mutable=mutable)
+            )
+            if self.peek().is_punct(";"):
+                self.advance()
+        self.expect_punct("}")
+        return SRecord(fields=tuple(fields))
+
+    # -- externals ----------------------------------------------------------------------
+
+    def _parse_external(self) -> ExternalDecl:
+        start = self.peek().span
+        name_token = self.advance()
+        self.expect_punct(":")
+        mltype = self.parse_type_expr()
+        self.expect_punct("=")
+        strings: list[str] = []
+        while self.peek().kind is MLTokKind.STRING:
+            strings.append(self.advance().text)
+        if not strings:
+            raise MLParseError("external lacks a C name", self.peek().span)
+        c_names = [s for s in strings if not s.startswith("%")]
+        attrs = tuple(
+            s for s in strings[1:] if s in ("noalloc", "float", "unboxed")
+        )
+        real_names = [s for s in c_names if s not in attrs]
+        c_name = real_names[0] if real_names else strings[0]
+        bytecode = real_names[1] if len(real_names) > 1 else None
+        return ExternalDecl(
+            ml_name=name_token.text,
+            mltype=mltype,
+            c_name=c_name,
+            c_name_bytecode=bytecode,
+            attributes=attrs,
+            span=start,
+        )
+
+    # -- type expressions ------------------------------------------------------------------
+
+    def parse_type_expr(self, no_arrow: bool = False) -> MLSrcType:
+        left = self._parse_tuple_type()
+        if not no_arrow and self.peek().is_punct("->"):
+            self.advance()
+            right = self.parse_type_expr()
+            return SArrow(param=left, result=right)
+        return left
+
+    def _parse_tuple_type(self) -> MLSrcType:
+        parts = [self._parse_app_type()]
+        while self.peek().is_punct("*"):
+            self.advance()
+            parts.append(self._parse_app_type())
+        if len(parts) == 1:
+            return parts[0]
+        return STuple(elems=tuple(parts))
+
+    def _parse_app_type(self) -> MLSrcType:
+        atom = self._parse_atom_type()
+        # postfix constructor application: int list, int option array ...
+        while self.peek().kind is MLTokKind.LIDENT and not self.peek().is_kw(
+            "of", "mutable", "private", "and", *_TOP_KEYWORDS
+        ):
+            name = self.advance().text
+            atom = SConstrApp(name=name, args=(atom,))
+        return atom
+
+    def _parse_atom_type(self) -> MLSrcType:
+        token = self.advance()
+        # optional/labelled arguments: ?label: / label: — skip the label
+        if token.is_punct("?", "~"):
+            token = self.advance()  # the label
+            if self.peek().is_punct(":"):
+                self.advance()
+            token = self.advance()
+        if token.kind is MLTokKind.TYVAR:
+            return SVar(name=token.text)
+        if token.kind is MLTokKind.LIDENT:
+            builtin = _BUILTIN_ATOMS.get(token.text)
+            if builtin is not None:
+                return builtin
+            return SConstrApp(name=token.text)
+        if token.kind is MLTokKind.UIDENT:
+            # bare module-ish name used as a type (unusual) — opaque
+            return SConstrApp(name=token.text)
+        if token.is_punct("("):
+            first = self.parse_type_expr()
+            args = [first]
+            while self.peek().is_punct(","):
+                self.advance()
+                args.append(self.parse_type_expr())
+            self.expect_punct(")")
+            if len(args) > 1 or (
+                self.peek().kind is MLTokKind.LIDENT
+                and not self.peek().is_kw(*_TOP_KEYWORDS)
+            ):
+                name = self.advance().text
+                return SConstrApp(name=name, args=tuple(args))
+            return first
+        if token.is_punct("[", "[<", "[>"):
+            return self._parse_poly_variant(token)
+        if token.is_punct("<"):
+            # object type — skip to matching '>' and treat as opaque
+            depth = 1
+            while depth and not self.at_eof():
+                inner = self.advance()
+                if inner.is_punct("<"):
+                    depth += 1
+                elif inner.is_punct(">"):
+                    depth -= 1
+            from ..core.srctypes import SOpaque
+
+            return SOpaque(name="object")
+        raise MLParseError(f"unexpected token `{token}` in type", token.span)
+
+    def _parse_poly_variant(self, open_token: MLToken) -> MLSrcType:
+        tags: list[SConstructor] = []
+        while not self.peek().is_punct("]"):
+            if self.at_eof():
+                raise MLParseError("unterminated variant type", open_token.span)
+            token = self.advance()
+            if token.is_punct("`"):
+                name_token = self.advance()
+                args: tuple[MLSrcType, ...] = ()
+                if self.peek().is_kw("of"):
+                    self.advance()
+                    arg = self.parse_type_expr(no_arrow=True)
+                    args = arg.elems if isinstance(arg, STuple) else (arg,)
+                tags.append(SConstructor(name=name_token.text, args=args))
+        self.expect_punct("]")
+        return SPolyVariant(tags=tuple(tags))
+
+
+def parse_ml(source: SourceFile) -> MLUnit:
+    return MLParser(source).parse_unit()
+
+
+def parse_ml_text(text: str, filename: str = "<string>") -> MLUnit:
+    return parse_ml(SourceFile(filename, text))
+
+
+def parse_type_text(text: str) -> MLSrcType:
+    """Parse a standalone OCaml type expression (handy in tests)."""
+    parser = MLParser(SourceFile("<type>", text))
+    return parser.parse_type_expr()

@@ -1,0 +1,81 @@
+"""Pre-generated repository entries for the OCaml standard library.
+
+The paper's tool ships "a pre-generated repository from the standard OCaml
+library" (§5.1).  This module plays that role: the handful of stdlib types
+that 2004-era glue code actually mentions, declared in source form so the
+ordinary resolution path handles them.
+
+``ref``, ``option``, ``list`` and ``array`` are handled structurally by
+``ρ`` itself (:mod:`repro.core.translate`) and need no entry here.
+"""
+
+from __future__ import annotations
+
+from ..core.srctypes import (
+    SConstrApp,
+    SConstructor,
+    SField,
+    SInt,
+    SRecord,
+    SString,
+    SSum,
+    STuple,
+    SVar,
+)
+from .ast import TypeDecl
+
+
+def stdlib_declarations() -> list[TypeDecl]:
+    """Declarations seeded into every fresh repository."""
+    return [
+        # I/O channels are custom blocks managed by the runtime.
+        TypeDecl(name="in_channel"),
+        TypeDecl(name="out_channel"),
+        TypeDecl(name="Buffer.t"),
+        TypeDecl(name="Queue.t", params=("a",)),
+        TypeDecl(name="Hashtbl.t", params=("a", "b")),
+        # Unix file descriptors are plain ints at the C boundary.
+        TypeDecl(name="Unix.file_descr", body=SInt()),
+        TypeDecl(name="Unix.inet_addr"),
+        # result/either as ordinary sums
+        TypeDecl(
+            name="result",
+            params=("a", "b"),
+            body=SSum(
+                (
+                    SConstructor("Ok", (SVar("a"),)),
+                    SConstructor("Error", (SVar("b"),)),
+                )
+            ),
+        ),
+        TypeDecl(
+            name="either",
+            params=("a", "b"),
+            body=SSum(
+                (
+                    SConstructor("Left", (SVar("a"),)),
+                    SConstructor("Right", (SVar("b"),)),
+                )
+            ),
+        ),
+        # Lexing positions show up in parser glue.
+        TypeDecl(
+            name="Lexing.position",
+            body=SRecord(
+                (
+                    SField("pos_fname", SString()),
+                    SField("pos_lnum", SInt()),
+                    SField("pos_bol", SInt()),
+                    SField("pos_cnum", SInt()),
+                )
+            ),
+        ),
+        # exn is abstract to the FFI.
+        TypeDecl(name="exn"),
+        # Common aliases.
+        TypeDecl(name="pos", body=SInt()),
+        TypeDecl(
+            name="Complex.t",
+            body=SRecord((SField("re", SInt()), SField("im", SInt()))),
+        ),
+    ]

@@ -1,0 +1,219 @@
+"""Reduction contexts (paper Figure 11) and context-based reduction.
+
+The paper specifies evaluation order with contexts::
+
+    R ::= [] | *R | R aop e | v aop R | R +p e | v +p R
+        | Val_int R | Int_val R | R ; s | if R then L | R := e | v := R
+
+This module implements the expression fragment literally: `decompose`
+splits an expression into a context (the path to the innermost reducible
+position) and a *redex* whose sub-expressions are all values; `plug` puts a
+result back.  `context_eval` iterates decompose → contract → plug, one
+reduction per step, and is provably (and in the test suite, empirically)
+equivalent to the big-step evaluator in :mod:`repro.semantics.reduce` —
+the small-step/abstract-machine correspondence that the appendix's subject
+reduction lemma for expressions relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+from ..cfront.ir import (
+    AOp,
+    Deref,
+    Expr,
+    IntLit,
+    IntValExp,
+    PtrAdd,
+    ValIntExp,
+    VarExp,
+)
+from .reduce import _AOPS, StuckError
+from .stores import MachineState
+from .values import CIntVal, CLoc, MLInt, MLLoc, Value
+
+#: An expression whose evaluation is finished is represented by a literal
+#: carrier: C ints map back to IntLit; other values need a wrapper.
+
+
+@dataclass(frozen=True)
+class ValueExp:
+    """A computed runtime value embedded back into expression syntax.
+
+    The paper's grammar adds values ``v`` to expressions for exactly this
+    purpose (Figure 10: ``e ::= v | x | ...``).
+    """
+
+    value: Value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+CExpr = Union[Expr, ValueExp]
+
+#: A context is represented as a function that plugs a hole — composing
+#: closures keeps the datatype honest (each frame is one Figure 11 form).
+Context = Callable[[CExpr], CExpr]
+
+
+def _hole(exp: CExpr) -> CExpr:
+    return exp
+
+
+def is_value_exp(exp: CExpr) -> bool:
+    return isinstance(exp, ValueExp) or isinstance(exp, IntLit)
+
+
+def as_value(exp: CExpr) -> Value:
+    if isinstance(exp, IntLit):
+        return CIntVal(exp.value)
+    assert isinstance(exp, ValueExp)
+    return exp.value
+
+
+def decompose(exp: CExpr) -> Optional[Tuple[Context, CExpr]]:
+    """Split into ``(R, redex)`` — None when ``exp`` is already a value.
+
+    The redex is the leftmost-innermost reducible sub-expression; every
+    frame follows a Figure 11 production.
+    """
+    if is_value_exp(exp):
+        return None
+    if isinstance(exp, VarExp):
+        return _hole, exp
+    if isinstance(exp, Deref):
+        inner = decompose(exp.exp)
+        if inner is None:
+            return _hole, exp
+        context, redex = inner
+        return (lambda e: Deref(context(e), exp.span)), redex  # *R
+    if isinstance(exp, AOp):
+        left = decompose(exp.left)
+        if left is not None:
+            context, redex = left
+            return (
+                lambda e: AOp(exp.op, context(e), exp.right, exp.span)
+            ), redex  # R aop e
+        right = decompose(exp.right)
+        if right is not None:
+            context, redex = right
+            return (
+                lambda e: AOp(exp.op, exp.left, context(e), exp.span)
+            ), redex  # v aop R
+        return _hole, exp
+    if isinstance(exp, PtrAdd):
+        base = decompose(exp.base)
+        if base is not None:
+            context, redex = base
+            return (
+                lambda e: PtrAdd(context(e), exp.offset, exp.span)
+            ), redex  # R +p e
+        offset = decompose(exp.offset)
+        if offset is not None:
+            context, redex = offset
+            return (
+                lambda e: PtrAdd(exp.base, context(e), exp.span)
+            ), redex  # v +p R
+        return _hole, exp
+    if isinstance(exp, ValIntExp):
+        inner = decompose(exp.exp)
+        if inner is not None:
+            context, redex = inner
+            return (lambda e: ValIntExp(context(e), exp.span)), redex
+        return _hole, exp
+    if isinstance(exp, IntValExp):
+        inner = decompose(exp.exp)
+        if inner is not None:
+            context, redex = inner
+            return (lambda e: IntValExp(context(e), exp.span)), redex
+        return _hole, exp
+    raise StuckError(f"expression outside the restricted grammar: {exp}")
+
+
+def contract(state: MachineState, redex: CExpr) -> CExpr:
+    """One reduction of a redex whose sub-expressions are all values."""
+    from .stores import StoreError
+
+    if isinstance(redex, VarExp):
+        try:
+            return ValueExp(state.variables.read(redex.name))  # (o-var)
+        except StoreError as err:
+            raise StuckError(str(err)) from err
+    if isinstance(redex, Deref):
+        target = as_value(redex.exp)
+        try:
+            if isinstance(target, CLoc):
+                return ValueExp(state.c_store.read(target))  # (o-c-deref)
+            if isinstance(target, MLLoc):
+                return ValueExp(state.ml_store.read(target))  # (o-ml-deref)
+        except StoreError as err:
+            raise StuckError(str(err)) from err
+        raise StuckError(f"dereference of non-location {target}")
+    if isinstance(redex, AOp):
+        left = as_value(redex.left)
+        right = as_value(redex.right)
+        if not (isinstance(left, CIntVal) and isinstance(right, CIntVal)):
+            raise StuckError(f"arithmetic on {left}, {right}")
+        op = _AOPS.get(redex.op)
+        if op is None:
+            raise StuckError(f"unknown operator {redex.op}")
+        return ValueExp(CIntVal(op(left.value, right.value)))  # (o-aop)
+    if isinstance(redex, PtrAdd):
+        base = as_value(redex.base)
+        offset = as_value(redex.offset)
+        if not isinstance(offset, CIntVal):
+            raise StuckError(f"pointer offset {offset}")
+        if isinstance(base, MLLoc):
+            return ValueExp(base.shifted(offset.value))  # (o-ml-add)
+        if isinstance(base, CLoc):
+            if offset.value != 0:
+                raise StuckError("non-zero C pointer arithmetic")
+            return ValueExp(base)  # (o-c-add)
+        raise StuckError(f"pointer arithmetic on {base}")
+    if isinstance(redex, ValIntExp):
+        inner = as_value(redex.exp)
+        if not isinstance(inner, CIntVal):
+            raise StuckError(f"Val_int of {inner}")
+        return ValueExp(MLInt(inner.value))  # (o-valint)
+    if isinstance(redex, IntValExp):
+        inner = as_value(redex.exp)
+        if not isinstance(inner, MLInt):
+            raise StuckError(f"Int_val of {inner}")
+        return ValueExp(CIntVal(inner.value))  # (o-intval)
+    raise StuckError(f"not a redex: {redex}")
+
+
+def _subexprs_are_values(exp: CExpr) -> bool:
+    children = []
+    if isinstance(exp, Deref):
+        children = [exp.exp]
+    elif isinstance(exp, AOp):
+        children = [exp.left, exp.right]
+    elif isinstance(exp, PtrAdd):
+        children = [exp.base, exp.offset]
+    elif isinstance(exp, (ValIntExp, IntValExp)):
+        children = [exp.exp]
+    return all(is_value_exp(c) for c in children)
+
+
+def context_eval(
+    state: MachineState, exp: Expr, max_steps: int = 10_000
+) -> Tuple[Value, int]:
+    """Evaluate by repeated decompose/contract/plug; returns (value, steps)."""
+    current: CExpr = exp
+    steps = 0
+    while not is_value_exp(current):
+        if steps >= max_steps:
+            raise StuckError("expression evaluation did not terminate")
+        split = decompose(current)
+        if split is None:
+            break
+        context, redex = split
+        if not (isinstance(redex, VarExp) or _subexprs_are_values(redex)):
+            raise StuckError(f"decompose returned a non-redex: {redex}")
+        current = context(contract(state, redex))
+        steps += 1
+    return as_value(current), steps

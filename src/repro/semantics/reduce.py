@@ -1,0 +1,239 @@
+"""Small-step operational semantics (paper Figure 12).
+
+The machine executes the restricted statement language of Figure 10 — the
+Figure 5 IR minus calls, casts and CAMLprotect/CAMLreturn — over the three
+stores.  Any transition the rules do not license raises :class:`StuckError`;
+Theorem 1 says well-typed programs never do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cfront.ir import (
+    AOp,
+    Deref,
+    Expr,
+    IntLit,
+    IntValExp,
+    MemLval,
+    PtrAdd,
+    SAssign,
+    SGoto,
+    SIf,
+    SIfIntTag,
+    SIfSumTag,
+    SIfUnboxed,
+    SNop,
+    SReturn,
+    Stmt,
+    ValIntExp,
+    VarExp,
+)
+from .stores import MachineState, StoreError
+from .values import CIntVal, CLoc, MLInt, MLLoc, Value
+
+
+class StuckError(Exception):
+    """No reduction rule applies: the configuration is stuck."""
+
+
+_AOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if b else 0,
+    "%": lambda a, b: a % b if b else 0,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << (b % 64),
+    ">>": lambda a, b: a >> (b % 64),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+def eval_expr(state: MachineState, exp: Expr) -> Value:
+    """Evaluate a side-effect-free expression (Figure 12a)."""
+    if isinstance(exp, IntLit):
+        return CIntVal(exp.value)
+    if isinstance(exp, VarExp):
+        # (o-var)
+        try:
+            return state.variables.read(exp.name)
+        except StoreError as err:
+            raise StuckError(str(err)) from err
+    if isinstance(exp, Deref):
+        target = eval_expr(state, exp.exp)
+        try:
+            if isinstance(target, CLoc):
+                return state.c_store.read(target)  # (o-c-deref)
+            if isinstance(target, MLLoc):
+                return state.ml_store.read(target)  # (o-ml-deref)
+        except StoreError as err:
+            raise StuckError(str(err)) from err
+        raise StuckError(f"dereference of non-location {target}")
+    if isinstance(exp, PtrAdd):
+        base = eval_expr(state, exp.base)
+        offset = eval_expr(state, exp.offset)
+        if not isinstance(offset, CIntVal):
+            raise StuckError(f"pointer offset {offset} is not a C integer")
+        if isinstance(base, MLLoc):
+            return base.shifted(offset.value)  # (o-ml-add)
+        if isinstance(base, CLoc):
+            if offset.value != 0:
+                # (o-c-add) licenses only trivial C pointer arithmetic
+                raise StuckError("non-zero arithmetic on a C pointer")
+            return base
+        raise StuckError(f"pointer arithmetic on non-pointer {base}")
+    if isinstance(exp, AOp):
+        left = eval_expr(state, exp.left)
+        right = eval_expr(state, exp.right)
+        if not (isinstance(left, CIntVal) and isinstance(right, CIntVal)):
+            raise StuckError(
+                f"arithmetic on non-integers {left} {exp.op} {right}"
+            )
+        op = _AOPS.get(exp.op)
+        if op is None:
+            raise StuckError(f"unknown operator {exp.op}")
+        return CIntVal(op(left.value, right.value))  # (o-aop)
+    if isinstance(exp, ValIntExp):
+        inner = eval_expr(state, exp.exp)
+        if not isinstance(inner, CIntVal):
+            raise StuckError(f"Val_int of non-integer {inner}")
+        return MLInt(inner.value)  # (o-valint)
+    if isinstance(exp, IntValExp):
+        inner = eval_expr(state, exp.exp)
+        if not isinstance(inner, MLInt):
+            raise StuckError(f"Int_val of non-OCaml-integer {inner}")
+        return CIntVal(inner.value)  # (o-intval)
+    raise StuckError(f"expression form not in the restricted language: {exp}")
+
+
+class Outcome(enum.Enum):
+    """How a program run ended."""
+
+    FINISHED = "finished"  # reduced to () — fell off the end or returned
+    STUCK = "stuck"
+    EXHAUSTED = "exhausted"  # step budget hit (diverging per Theorem 1)
+
+
+@dataclass
+class RunResult:
+    outcome: Outcome
+    steps: int
+    reason: Optional[str] = None
+    returned: Optional[Value] = None
+
+
+class Machine:
+    """Iterates the reduction relation over a statement list."""
+
+    def __init__(self, body: list[Stmt], labels: dict[str, int], state: MachineState):
+        self.body = body
+        self.labels = labels
+        self.state = state
+
+    def _jump(self, label: str) -> int:
+        if label not in self.labels:
+            raise StuckError(f"goto to undefined label {label}")
+        return self.labels[label]
+
+    def step(self, index: int) -> tuple[int, Optional[Value]]:
+        """One reduction; returns the next index (or len(body) to finish)."""
+        stmt = self.body[index]
+        state = self.state
+        if isinstance(stmt, SNop):
+            return index + 1, None
+        if isinstance(stmt, SGoto):
+            return self._jump(stmt.label), None  # (o-goto)
+        if isinstance(stmt, SReturn):
+            value = eval_expr(state, stmt.exp) if stmt.exp is not None else None
+            return len(self.body), value
+        if isinstance(stmt, SAssign):
+            return self._step_assign(index, stmt), None
+        if isinstance(stmt, SIf):
+            cond = eval_expr(state, stmt.cond)
+            if not isinstance(cond, CIntVal):
+                raise StuckError(f"branch on non-integer {cond}")
+            if cond.value != 0:
+                return self._jump(stmt.label), None  # (o-if)
+            return index + 1, None  # (o-if2)
+        if isinstance(stmt, SIfUnboxed):
+            value = state.variables.read(stmt.var)
+            if isinstance(value, MLInt):
+                return self._jump(stmt.label), None  # (o-iflong)
+            if isinstance(value, MLLoc) and value.offset == 0:
+                return index + 1, None  # (o-iflong2)
+            raise StuckError(
+                f"Is_long on {value} (not an OCaml value at offset 0)"
+            )
+        if isinstance(stmt, SIfSumTag):
+            value = state.variables.read(stmt.var)
+            if not (isinstance(value, MLLoc) and value.offset == 0):
+                raise StuckError(f"Tag_val on {value} (not a block at offset 0)")
+            tag = state.ml_store.tag_of(value)
+            if tag == stmt.tag:
+                return self._jump(stmt.label), None  # (o-ifsum)
+            return index + 1, None  # (o-ifsum2)
+        if isinstance(stmt, SIfIntTag):
+            value = state.variables.read(stmt.var)
+            if not isinstance(value, MLInt):
+                raise StuckError(f"Int_val comparison on {value}")
+            if value.value == stmt.tag:
+                return self._jump(stmt.label), None  # (o-ifi)
+            return index + 1, None  # (o-ifi2)
+        raise StuckError(f"statement form not in the restricted language: {stmt}")
+
+    def _step_assign(self, index: int, stmt: SAssign) -> int:
+        state = self.state
+        if not isinstance(stmt.rhs, (IntLit, VarExp, Deref, AOp, PtrAdd, ValIntExp, IntValExp)):
+            raise StuckError(f"rhs form not in the restricted language: {stmt.rhs}")
+        value = eval_expr(state, stmt.rhs)
+        if isinstance(stmt.lval, VarExp):
+            state.variables.write(stmt.lval.name, value)  # (o-var-assign)
+            return index + 1
+        if isinstance(stmt.lval, MemLval):
+            base = eval_expr(state, stmt.lval.base)
+            if isinstance(base, MLLoc):
+                target = base.shifted(stmt.lval.offset)
+                try:
+                    state.ml_store.write(target, value)  # (o-ml-assign)
+                except StoreError as err:
+                    raise StuckError(str(err)) from err
+                return index + 1
+            if isinstance(base, CLoc):
+                if stmt.lval.offset != 0:
+                    raise StuckError("non-zero store offset on a C pointer")
+                try:
+                    state.c_store.write(base, value)  # (o-c-assign)
+                except StoreError as err:
+                    raise StuckError(str(err)) from err
+                return index + 1
+            raise StuckError(f"store through non-location {base}")
+        raise StuckError("assignment without a target")
+
+    def run(self, max_steps: int = 100_000) -> RunResult:
+        index = 0
+        steps = 0
+        returned: Optional[Value] = None
+        try:
+            while index < len(self.body):
+                if steps >= max_steps:
+                    return RunResult(Outcome.EXHAUSTED, steps)
+                index, value = self.step(index)
+                if value is not None:
+                    returned = value
+                steps += 1
+        except (StuckError, StoreError) as err:
+            return RunResult(Outcome.STUCK, steps, reason=str(err))
+        return RunResult(Outcome.FINISHED, steps, returned=returned)

@@ -1,0 +1,121 @@
+"""The three stores of the operational semantics (paper §4 / Appendix A).
+
+* ``SC`` maps C locations ``l`` to values,
+* ``SML`` maps OCaml locations ``{l + n}`` to values, with the convention
+  that ``{l + -1}`` holds the block's runtime tag,
+* ``V`` maps local variables to values.
+
+Blocks in ``SML`` are allocated whole: a tag plus ``size`` fields, matching
+the structured-block layout of §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from .values import CIntVal, CLoc, MLInt, MLLoc, Value
+
+
+class StoreError(Exception):
+    """An access the stores cannot satisfy (the machine is stuck)."""
+
+
+@dataclass
+class CStore:
+    """``SC`` — the flat C heap."""
+
+    cells: Dict[int, Value] = field(default_factory=dict)
+    _next: int = 0
+
+    def alloc(self, value: Value) -> CLoc:
+        address = self._next
+        self._next += 1
+        self.cells[address] = value
+        return CLoc(address)
+
+    def read(self, loc: CLoc) -> Value:
+        if loc.address not in self.cells:
+            raise StoreError(f"read from unallocated C location {loc}")
+        return self.cells[loc.address]
+
+    def write(self, loc: CLoc, value: Value) -> None:
+        if loc.address not in self.cells:
+            raise StoreError(f"write to unallocated C location {loc}")
+        self.cells[loc.address] = value
+
+    def __contains__(self, loc: CLoc) -> bool:
+        return loc.address in self.cells
+
+
+@dataclass
+class MLStore:
+    """``SML`` — the OCaml heap of tagged structured blocks."""
+
+    #: (base, offset) -> value; offset -1 holds the tag
+    cells: Dict[tuple[int, int], Value] = field(default_factory=dict)
+    sizes: Dict[int, int] = field(default_factory=dict)
+    _next: int = 0
+
+    def alloc_block(self, tag: int, fields: Iterable[Value]) -> MLLoc:
+        """Allocate a structured block with the given tag and fields."""
+        base = self._next
+        self._next += 1
+        values = list(fields)
+        self.cells[(base, -1)] = CIntVal(tag)
+        for index, value in enumerate(values):
+            self.cells[(base, index)] = value
+        self.sizes[base] = len(values)
+        return MLLoc(base, 0)
+
+    def tag_of(self, loc: MLLoc) -> int:
+        cell = self.cells.get((loc.base, -1))
+        if cell is None:
+            raise StoreError(f"tag read from unallocated block {loc}")
+        assert isinstance(cell, CIntVal)
+        return cell.value
+
+    def read(self, loc: MLLoc) -> Value:
+        if (loc.base, loc.offset) not in self.cells:
+            raise StoreError(f"read from unallocated OCaml cell {loc}")
+        return self.cells[(loc.base, loc.offset)]
+
+    def write(self, loc: MLLoc, value: Value) -> None:
+        if (loc.base, loc.offset) not in self.cells:
+            raise StoreError(f"write to unallocated OCaml cell {loc}")
+        self.cells[(loc.base, loc.offset)] = value
+
+    def size_of(self, base: int) -> int:
+        if base not in self.sizes:
+            raise StoreError(f"size of unallocated block l{base}")
+        return self.sizes[base]
+
+    def __contains__(self, loc: MLLoc) -> bool:
+        return (loc.base, loc.offset) in self.cells
+
+
+@dataclass
+class VarStore:
+    """``V`` — the local variables."""
+
+    bindings: Dict[str, Value] = field(default_factory=dict)
+
+    def read(self, name: str) -> Value:
+        if name not in self.bindings:
+            raise StoreError(f"read of unbound variable `{name}`")
+        return self.bindings[name]
+
+    def write(self, name: str, value: Value) -> None:
+        self.bindings[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.bindings
+
+
+@dataclass
+class MachineState:
+    """The full configuration ⟨SC, SML, V, s⟩ minus the statement cursor."""
+
+    c_store: CStore = field(default_factory=CStore)
+    ml_store: MLStore = field(default_factory=MLStore)
+    variables: VarStore = field(default_factory=VarStore)

@@ -1,0 +1,202 @@
+"""Checking-mode typing of runtime values and store compatibility.
+
+This mirrors the appendix of the paper: Figure 13 types syntactic values
+(``Int Exp``, ``Loc Exp``, ``ML Int Exp``, ``ML Loc Exp``) and Definition 4
+(*Compatibility*) relates a type environment to the three stores.  The
+soundness property test uses these to establish the premises of Theorem 1
+before running the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.lattice import (
+    BOXED,
+    FLAT_TOP,
+    Qualifier,
+    TOP_B,
+    UNBOXED,
+    is_const,
+)
+from ..core.types import (
+    C_INT,
+    CPtr,
+    CType,
+    CValue,
+    EMPTY_SIGMA,
+    MLType,
+    MTCustom,
+    MTRepr,
+    PSI_TOP,
+    PsiConst,
+    PsiVar,
+)
+from ..core.unify import Unifier
+from .stores import MachineState
+from .values import CIntVal, CLoc, MLInt, MLLoc, Value
+
+
+@dataclass
+class HeapTyping:
+    """Γ restricted to locations: block and C-cell type assignments.
+
+    ``blocks[base]`` is the representational type of the block at ``base``;
+    ``c_cells[address]`` is the pointee ct of the C location.
+    """
+
+    blocks: Dict[int, MTRepr] = field(default_factory=dict)
+    c_cells: Dict[int, CType] = field(default_factory=dict)
+
+
+class ValueTypeError(Exception):
+    """A value does not inhabit the claimed type (Figure 13 rejection)."""
+
+
+def check_value(
+    unifier: Unifier,
+    heap: HeapTyping,
+    value: Value,
+    ct: CType,
+    qual: Qualifier,
+) -> None:
+    """Check ``Γ ⊢ v : ct[B{I}]{T}`` per Figure 13's value rules."""
+    ct = unifier.resolve_ct(ct) if hasattr(unifier, "resolve_ct") else ct
+    if isinstance(value, CIntVal):
+        # (Int Exp): int type, any B? — the figure gives int[⊤{I}]{T} with
+        # 0 ⊑ I and n ⊑ T.
+        if not isinstance(ct, type(C_INT)):
+            raise ValueTypeError(f"C integer {value} claimed at `{ct}`")
+        if is_const(qual.tag) and qual.tag != value.value:
+            raise ValueTypeError(
+                f"integer {value.value} claimed tag {qual.tag}"
+            )
+        return
+    if isinstance(value, CLoc):
+        # (Loc Exp)
+        if not isinstance(ct, CPtr):
+            raise ValueTypeError(f"C location {value} claimed at `{ct}`")
+        if value.address not in heap.c_cells:
+            raise ValueTypeError(f"unknown C location {value}")
+        return
+    if isinstance(value, MLInt):
+        # (ML Int Exp): n+1 ≤ Ψ, unboxed ⊑ B, n ⊑ T
+        repr_type = _claimed_repr(unifier, ct)
+        psi = unifier.resolve_psi(repr_type.psi)
+        if isinstance(psi, PsiConst):
+            if not 0 <= value.value < psi.count:
+                raise ValueTypeError(
+                    f"unboxed {value} exceeds {psi.count} nullary constructors"
+                )
+        if qual.boxedness is BOXED:
+            raise ValueTypeError(f"unboxed {value} claimed boxed")
+        if is_const(qual.tag) and qual.tag != value.value:
+            raise ValueTypeError(f"{value} claimed tag {qual.tag}")
+        return
+    if isinstance(value, MLLoc):
+        # (ML Loc Exp): boxed ⊑ B, n ⊑ I, tag ⊑ T, structural bounds
+        repr_type = heap.blocks.get(value.base)
+        if repr_type is None:
+            raise ValueTypeError(f"unknown OCaml block at {value}")
+        if qual.boxedness is UNBOXED:
+            raise ValueTypeError(f"boxed {value} claimed unboxed")
+        if is_const(qual.offset) and qual.offset != value.offset:
+            raise ValueTypeError(
+                f"{value} claimed offset {qual.offset}"
+            )
+        sigma = unifier.resolve_sigma(repr_type.sigma)
+        return
+
+
+def _claimed_repr(unifier: Unifier, ct: CType) -> MTRepr:
+    if not isinstance(ct, CValue):
+        raise ValueTypeError(f"OCaml value claimed at C type `{ct}`")
+    mt = unifier.resolve_mt(ct.mt)
+    if isinstance(mt, MTRepr):
+        return mt
+    if isinstance(mt, MTCustom):
+        raise ValueTypeError("OCaml integer claimed at a custom type")
+    # an unconstrained variable admits everything
+    return MTRepr(psi=PSI_TOP, sigma=EMPTY_SIGMA)
+
+
+def check_compatibility(
+    unifier: Unifier,
+    heap: HeapTyping,
+    state: MachineState,
+    var_types: Dict[str, tuple[CType, Qualifier]],
+) -> List[str]:
+    """Definition 4: Γ ∼ ⟨SC, SML, V⟩.  Returns human-readable violations.
+
+    1. every store location / variable has a typing;
+    2. C cells hold values of their pointee type;
+    3. OCaml blocks: the stored tag matches, each field inhabits the
+       corresponding element type, and the claimed product is long enough;
+    4. every variable's value inhabits its claimed type.
+    """
+    problems: List[str] = []
+
+    # (2) C store
+    for address, stored in state.c_store.cells.items():
+        pointee = heap.c_cells.get(address)
+        if pointee is None:
+            problems.append(f"C location l{address} has no typing")
+            continue
+        try:
+            check_value(
+                unifier, heap, stored, pointee, Qualifier(TOP_B, 0, FLAT_TOP)
+            )
+        except ValueTypeError as err:
+            problems.append(f"C cell l{address}: {err}")
+
+    # (3) OCaml store
+    for base, size in state.ml_store.sizes.items():
+        repr_type = heap.blocks.get(base)
+        if repr_type is None:
+            problems.append(f"block l{base} has no typing")
+            continue
+        tag = state.ml_store.tag_of(MLLoc(base, 0))
+        sigma = unifier.resolve_sigma(repr_type.sigma)
+        if tag >= len(sigma.prods) and sigma.is_closed:
+            problems.append(
+                f"block l{base} has tag {tag} but type has only "
+                f"{len(sigma.prods)} non-nullary constructors"
+            )
+            continue
+        if tag < len(sigma.prods):
+            product = unifier.resolve_pi(sigma.prods[tag])
+            if product.is_closed and size > len(product.elems):
+                problems.append(
+                    f"block l{base} has {size} fields but product only "
+                    f"{len(product.elems)}"
+                )
+            for offset in range(size):
+                if offset >= len(product.elems):
+                    break
+                stored = state.ml_store.read(MLLoc(base, offset))
+                elem_mt = unifier.resolve_mt(product.elems[offset])
+                try:
+                    check_value(
+                        unifier,
+                        heap,
+                        stored,
+                        CValue(elem_mt),
+                        Qualifier(TOP_B, 0, FLAT_TOP),
+                    )
+                except ValueTypeError as err:
+                    problems.append(f"block l{base} field {offset}: {err}")
+
+    # (4) variables
+    for name, value in state.variables.bindings.items():
+        typing = var_types.get(name)
+        if typing is None:
+            problems.append(f"variable `{name}` has no typing")
+            continue
+        ct, qual = typing
+        try:
+            check_value(unifier, heap, value, ct, qual)
+        except ValueTypeError as err:
+            problems.append(f"variable `{name}`: {err}")
+
+    return problems

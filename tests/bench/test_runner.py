@@ -1,0 +1,66 @@
+"""Tests for the benchmark runner and the report tables."""
+
+import pytest
+
+from repro.bench.report import comparison_table, error_taxonomy, figure9_table
+from repro.bench.runner import BenchmarkResult, SuiteResult, run_benchmark
+from repro.bench.specs import spec_by_name
+from repro.core.exprs import Options
+
+
+@pytest.fixture(scope="module")
+def mad_result():
+    return run_benchmark(spec_by_name("ocaml-mad-0.1.0"), unique_prefix=80)
+
+
+class TestRunner:
+    def test_row_fields(self, mad_result):
+        row = mad_result.row()
+        assert row["program"] == "ocaml-mad-0.1.0"
+        assert row["errors"] == 1
+        assert row["time_s"] >= 0
+
+    def test_matches_both_baselines(self, mad_result):
+        assert mad_result.matches_ground_truth
+        assert mad_result.matches_paper
+
+    def test_deterministic_across_runs(self):
+        first = run_benchmark(spec_by_name("ocaml-ssl-0.1.0"), unique_prefix=81)
+        second = run_benchmark(spec_by_name("ocaml-ssl-0.1.0"), unique_prefix=81)
+        assert first.tally == second.tally
+
+    def test_options_change_results(self):
+        strict = run_benchmark(spec_by_name("ftplib-0.12"), unique_prefix=82)
+        relaxed = run_benchmark(
+            spec_by_name("ftplib-0.12"),
+            Options(gc_effects=False),
+            unique_prefix=82,
+        )
+        assert strict.tally["errors"] > relaxed.tally["errors"]
+
+
+class TestReportTables:
+    def test_figure9_table_contains_rows_and_total(self, mad_result):
+        suite = SuiteResult(results=[mad_result])
+        table = figure9_table(suite)
+        assert "ocaml-mad-0.1.0" in table
+        assert "Total" in table
+        assert "Errors" in table
+
+    def test_comparison_table_marks_matches(self, mad_result):
+        suite = SuiteResult(results=[mad_result])
+        table = comparison_table(suite)
+        assert "1/1" in table
+        assert "yes" in table
+
+    def test_error_taxonomy(self, mad_result):
+        suite = SuiteResult(results=[mad_result])
+        taxonomy = error_taxonomy(suite)
+        assert taxonomy == {"MISSING_CAMLRETURN": 1}
+
+    def test_suite_totals_accumulate(self, mad_result):
+        other = run_benchmark(spec_by_name("ocaml-ssl-0.1.0"), unique_prefix=83)
+        suite = SuiteResult(results=[mad_result, other])
+        totals = suite.totals()
+        assert totals["errors"] == 1 + 4
+        assert totals["warnings"] == 0 + 2

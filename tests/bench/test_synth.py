@@ -1,0 +1,129 @@
+"""Tests for the benchmark specs, templates and synthesizer."""
+
+import pytest
+
+from repro import analyze_project
+from repro.bench.defects import DEFECT_TEMPLATES, FILLER_TEMPLATES
+from repro.bench.specs import (
+    PAPER_TOTALS,
+    SUITE,
+    spec_by_name,
+    suite_totals,
+)
+from repro.bench.synth import synthesize, synthesize_scaled
+from repro.diagnostics import Category
+
+
+class TestSpecs:
+    def test_eleven_programs(self):
+        assert len(SUITE) == 11
+
+    def test_seed_totals_equal_paper_totals(self):
+        # the defect seeds across the suite must add up to Figure 9's row
+        assert suite_totals() == PAPER_TOTALS
+
+    def test_row_expectations_match_seed_sums(self):
+        from repro.bench.defects import DEFECT_TEMPLATES
+
+        for spec in SUITE:
+            seeded = {
+                "errors": 0,
+                "warnings": 0,
+                "false_positives": 0,
+                "imprecision": 0,
+            }
+            for seed in spec.seeds:
+                unit = DEFECT_TEMPLATES[seed.kind](0)
+                seeded["errors"] += seed.count * unit.expected[Category.ERROR]
+                seeded["warnings"] += seed.count * unit.expected[Category.WARNING]
+                seeded["false_positives"] += (
+                    seed.count * unit.expected[Category.FALSE_POSITIVE_PRONE]
+                )
+                seeded["imprecision"] += (
+                    seed.count * unit.expected[Category.IMPRECISION]
+                )
+            assert seeded == spec.expected, spec.name
+
+    def test_spec_by_name(self):
+        assert spec_by_name("gz-0.5.5").warnings == 1
+        with pytest.raises(KeyError):
+            spec_by_name("nonexistent-1.0")
+
+
+class TestDefectTemplates:
+    @pytest.mark.parametrize("name", sorted(DEFECT_TEMPLATES))
+    def test_template_ground_truth(self, name):
+        """Each defect template in isolation produces exactly its counts."""
+        unit = DEFECT_TEMPLATES[name](7)
+        report = analyze_project([unit.ml] if unit.ml else [], [unit.c])
+        got = {cat: report.diagnostics.count(cat) for cat in Category}
+        assert got == unit.expected, [d.render() for d in report.diagnostics]
+
+    @pytest.mark.parametrize("name", sorted(DEFECT_TEMPLATES))
+    def test_template_unique_per_index(self, name):
+        """Two instances must not collide (names are index-qualified)."""
+        first = DEFECT_TEMPLATES[name](1)
+        second = DEFECT_TEMPLATES[name](2)
+        report = analyze_project(
+            [first.ml + second.ml], [first.c + second.c]
+        )
+        expected = {
+            cat: first.expected[cat] + second.expected[cat] for cat in Category
+        }
+        got = {cat: report.diagnostics.count(cat) for cat in Category}
+        assert got == expected
+
+
+class TestFillerTemplates:
+    @pytest.mark.parametrize(
+        "template", FILLER_TEMPLATES, ids=[t.__name__ for t in FILLER_TEMPLATES]
+    )
+    def test_filler_analyzes_clean(self, template):
+        unit = template(3)
+        report = analyze_project([unit.ml] if unit.ml else [], [unit.c])
+        assert not report.diagnostics, [
+            d.render() for d in report.diagnostics
+        ]
+
+
+class TestSynthesizer:
+    def test_loc_budgets_met(self):
+        spec = spec_by_name("gz-0.5.5")
+        program = synthesize(spec, unique_prefix=40)
+        assert program.c_loc >= spec.c_loc
+        assert program.ocaml_loc >= spec.ocaml_loc
+
+    def test_expected_tally_is_row(self):
+        spec = spec_by_name("ocaml-ssl-0.1.0")
+        program = synthesize(spec, unique_prefix=41)
+        assert program.expected_tally() == spec.expected
+
+    def test_small_row_end_to_end(self):
+        spec = spec_by_name("ocaml-mad-0.1.0")
+        program = synthesize(spec, unique_prefix=42)
+        report = analyze_project([program.ocaml_source], [program.c_source])
+        assert report.tally() == spec.expected
+
+    def test_medium_row_end_to_end(self):
+        spec = spec_by_name("ocaml-glpk-0.1.1")
+        program = synthesize(spec, unique_prefix=43)
+        report = analyze_project([program.ocaml_source], [program.c_source])
+        assert report.tally() == spec.expected
+
+    def test_scaled_variant_clean(self):
+        program = synthesize_scaled(
+            spec_by_name("apm-1.00"), 300, unique_prefix=44
+        )
+        assert program.c_loc >= 300
+        report = analyze_project([program.ocaml_source], [program.c_source])
+        assert not report.diagnostics
+
+    def test_unique_prefixes_do_not_collide(self):
+        spec = spec_by_name("apm-1.00")
+        first = synthesize(spec, unique_prefix=45)
+        second = synthesize(spec, unique_prefix=46)
+        report = analyze_project(
+            [first.ocaml_source, second.ocaml_source],
+            [first.c_source, second.c_source],
+        )
+        assert not report.diagnostics

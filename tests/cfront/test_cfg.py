@@ -1,0 +1,131 @@
+"""Tests for the basic-block CFG over the Figure 5 IR."""
+
+import pytest
+
+from repro.cfront.cfg import build_cfg, check_wellformed, statement_successors
+from repro.cfront.lower import lower_unit
+from repro.cfront.parser import parse_c_text
+
+
+def lower_fn(body, signature="value f(value x)"):
+    program = lower_unit(parse_c_text(f"{signature} {{ {body} }}"))
+    return program.function("f")
+
+
+class TestStatementSuccessors:
+    def test_return_has_none(self):
+        fn = lower_fn("return x;")
+        assert statement_successors(fn, 0) == []
+
+    def test_branch_has_two(self):
+        fn = lower_fn("if (Is_long(x)) return Val_int(0); return Val_int(1);")
+        # statement 0 is the SIfUnboxed
+        succs = statement_successors(fn, 0)
+        assert len(succs) == 2
+
+
+class TestCFGConstruction:
+    def test_straight_line_single_block(self):
+        fn = lower_fn("int n = Int_val(x); return Val_int(n);")
+        cfg = build_cfg(fn)
+        assert len(cfg.blocks) == 1
+        assert cfg.entry.successors == []
+
+    def test_if_produces_diamond(self):
+        fn = lower_fn(
+            "int r; if (Is_long(x)) { r = 1; } else { r = 2; } return Val_int(r);"
+        )
+        cfg = build_cfg(fn)
+        assert len(cfg.blocks) >= 4
+        assert len(cfg.entry.successors) == 2
+        # the join block has two predecessors
+        joins = [b for b in cfg.blocks if len(b.predecessors) >= 2]
+        assert joins
+
+    def test_loop_back_edge(self):
+        fn = lower_fn(
+            "int i = 0; while (i < 3) { i = i + 1; } return Val_int(i);"
+        )
+        cfg = build_cfg(fn)
+        edges = set(cfg.edges())
+        assert any(dst <= src for src, dst in edges), "no back edge found"
+
+    def test_every_statement_in_exactly_one_block(self):
+        fn = lower_fn(
+            "int i = 0; if (Is_long(x)) { i = 1; } while (i < 9) { i = i + 2; } return Val_int(i);"
+        )
+        cfg = build_cfg(fn)
+        covered = []
+        for block in cfg.blocks:
+            covered.extend(range(block.start, block.end))
+        assert sorted(covered) == list(range(len(fn.body)))
+
+    def test_block_lookup(self):
+        fn = lower_fn("int n = Int_val(x); return Val_int(n);")
+        cfg = build_cfg(fn)
+        assert cfg.block_at(0) is cfg.entry
+
+
+class TestReachability:
+    def test_all_reachable_in_simple_function(self):
+        fn = lower_fn("return Val_int(0);")
+        cfg = build_cfg(fn)
+        assert cfg.reachable_blocks() == {0}
+        assert cfg.unreachable_statements() == []
+
+    def test_code_after_return_unreachable(self):
+        fn = lower_fn("return Val_int(0); x = Val_int(1);")
+        cfg = build_cfg(fn)
+        dead = cfg.unreachable_statements()
+        assert dead  # the assignment (and trailing implicit return)
+
+    def test_lowered_control_flow_fully_reachable(self):
+        # realistic lowering artifacts (gotos, nops) stay reachable
+        fn = lower_fn(
+            """
+            int r = 0;
+            if (Is_long(x)) {
+                switch (Int_val(x)) { case 0: r = 1; break; case 1: r = 2; break; }
+            } else {
+                switch (Tag_val(x)) { case 0: r = 3; break; }
+            }
+            return Val_int(r);
+            """
+        )
+        cfg = build_cfg(fn)
+        assert cfg.unreachable_statements() == []
+
+
+class TestWellFormedness:
+    def test_lowered_functions_are_wellformed(self):
+        sources = [
+            "value f(value x) { return x; }",
+            "value f(value x) { if (Is_long(x)) return x; return Val_int(0); }",
+            "value f(value x) { int i; for (i = 0; i < 3; i++) {} return Val_int(i); }",
+            "value f(value x) { goto out; out: return x; }",
+        ]
+        for source in sources:
+            fn = lower_unit(parse_c_text(source)).function("f")
+            assert check_wellformed(fn) == []
+
+    def test_dot_output(self):
+        fn = lower_fn("if (Is_long(x)) return Val_int(0); return Val_int(1);")
+        dot = build_cfg(fn).to_dot()
+        assert dot.startswith("digraph")
+        assert "->" in dot
+
+
+class TestCFGOverBenchmarks:
+    def test_synthesized_suite_is_wellformed(self):
+        """Every function in a mid-size synthesized benchmark lowers to a
+        well-formed CFG with no stranded statements."""
+        from repro.bench.specs import spec_by_name
+        from repro.bench.synth import synthesize
+
+        program = synthesize(spec_by_name("ocaml-glpk-0.1.1"), unique_prefix=60)
+        lowered = lower_unit(parse_c_text(program.c_source))
+        for fn in lowered.functions:
+            if not fn.is_definition:
+                continue
+            assert check_wellformed(fn) == [], fn.name
+            build_cfg(fn)  # must not raise

@@ -1,0 +1,96 @@
+"""Tests for the C tokenizer."""
+
+import pytest
+
+from repro.cfront.lexer import LexError, Lexer, TokKind, tokenize
+from repro.source import SourceFile
+
+
+def toks(text):
+    return tokenize(SourceFile("t.c", text))
+
+
+def texts(text):
+    return [t.text for t in toks(text) if t.kind is not TokKind.EOF]
+
+
+class TestBasics:
+    def test_empty(self):
+        assert [t.kind for t in toks("")] == [TokKind.EOF]
+
+    def test_identifiers(self):
+        assert texts("foo _bar baz123") == ["foo", "_bar", "baz123"]
+
+    def test_numbers(self):
+        tokens = toks("42 0x1F 017 5L 7UL")
+        values = [t.text for t in tokens[:-1]]
+        assert values == ["42", "31", "15", "5", "7"]
+
+    def test_char_literal(self):
+        assert texts("'a'") == [str(ord("a"))]
+        assert texts("'\\n'") == [str(ord("\n"))]
+
+    def test_string_literal(self):
+        tokens = toks('"hello world"')
+        assert tokens[0].kind is TokKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_with_escapes(self):
+        assert toks('"a\\"b"')[0].text == 'a"b'
+
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a->b") == ["a", "->", "b"]
+        assert texts("x++ + ++y") == ["x", "++", "+", "++", "y"]
+
+    def test_unterminated_string_fails(self):
+        with pytest.raises(LexError):
+            toks('"abc')
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert texts("a /* 1\n2\n3 */ b") == ["a", "b"]
+
+    def test_unterminated_comment_fails(self):
+        with pytest.raises(LexError):
+            toks("/* never closed")
+
+    def test_include_skipped(self):
+        assert texts("#include <caml/mlvalues.h>\nint x;") == ["int", "x", ";"]
+
+    def test_continued_directive_skipped(self):
+        assert texts("#define F(a) \\\n  (a+1)\nint x;") == ["int", "x", ";"]
+
+
+class TestDefines:
+    def test_object_define_substituted(self):
+        assert texts("#define TAG_FOO 3\nint x = TAG_FOO;") == [
+            "int", "x", "=", "3", ";",
+        ]
+
+    def test_hex_define(self):
+        assert "255" in texts("#define MASK 0xFF\nMASK")
+
+    def test_parenthesized_define(self):
+        assert "7" in texts("#define N (7)\nN")
+
+    def test_non_integer_define_ignored(self):
+        lexer = Lexer(SourceFile("t.c", "#define F(x) x\nF"))
+        tokens = lexer.tokenize()
+        assert tokens[0].text == "F"
+        assert tokens[0].kind is TokKind.IDENT
+
+
+class TestSpans:
+    def test_line_column(self):
+        tokens = toks("int\n  foo;")
+        assert tokens[0].span.start.line == 1
+        assert tokens[1].span.start.line == 2
+        assert tokens[1].span.start.column == 3

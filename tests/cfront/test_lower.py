@@ -1,0 +1,341 @@
+"""Tests for the CIL-style lowering to the Figure 5 IR."""
+
+import pytest
+
+from repro.cfront import ir
+from repro.cfront.lower import lower_unit
+from repro.cfront.parser import parse_c_text
+from repro.core.srctypes import CSrcValue
+
+
+def lower(text):
+    return lower_unit(parse_c_text(text))
+
+
+def lower_fn(body, signature="value f(value x)"):
+    program = lower(f"{signature} {{ {body} }}")
+    return program.function("f")
+
+
+def stmt_types(fn):
+    return [type(s).__name__ for s in fn.body]
+
+
+class TestMacroRewrites:
+    def test_val_int(self):
+        fn = lower_fn("return Val_int(5);")
+        (ret, *_rest) = fn.body
+        assert isinstance(ret, ir.SReturn)
+        assert isinstance(ret.exp, ir.ValIntExp)
+
+    def test_int_val(self):
+        fn = lower_fn("int n = Int_val(x); return Val_int(n);")
+        assign = next(s for s in fn.body if isinstance(s, ir.SAssign))
+        assert isinstance(assign.rhs, ir.IntValExp)
+
+    def test_long_val_alias(self):
+        fn = lower_fn("int n = Long_val(x); return Val_long(n);")
+        assign = next(s for s in fn.body if isinstance(s, ir.SAssign))
+        assert isinstance(assign.rhs, ir.IntValExp)
+
+    def test_field_read(self):
+        fn = lower_fn("return Field(x, 1);")
+        ret = fn.body[0]
+        assert isinstance(ret.exp, ir.Deref)
+        assert isinstance(ret.exp.exp, ir.PtrAdd)
+        assert isinstance(ret.exp.exp.offset, ir.IntLit)
+        assert ret.exp.exp.offset.value == 1
+
+    def test_val_unit_constant(self):
+        fn = lower_fn("return Val_unit;")
+        ret = fn.body[0]
+        assert isinstance(ret.exp, ir.ValIntExp)
+        assert ret.exp.exp.value == 0
+
+    def test_val_true_constant(self):
+        fn = lower_fn("return Val_true;")
+        assert fn.body[0].exp.exp.value == 1
+
+    def test_store_field(self):
+        fn = lower_fn("Store_field(x, 2, Val_int(0)); return x;")
+        store = fn.body[0]
+        assert isinstance(store, ir.SAssign)
+        assert isinstance(store.lval, ir.MemLval)
+        assert store.lval.offset == 2
+
+    def test_store_field_nonconst_index(self):
+        fn = lower_fn(
+            "int i = Int_val(x); Store_field(x, i, Val_int(0)); return x;"
+        )
+        store = next(
+            s
+            for s in fn.body
+            if isinstance(s, ir.SAssign) and isinstance(s.lval, ir.MemLval)
+        )
+        assert isinstance(store.lval.base, ir.PtrAdd)
+
+    def test_caml_modify_of_field(self):
+        fn = lower_fn("caml_modify(&Field(x, 0), Val_int(1)); return x;")
+        store = fn.body[0]
+        assert isinstance(store.lval, ir.MemLval)
+        assert store.lval.offset == 0
+
+    def test_string_val_becomes_builtin_call(self):
+        fn = lower_fn("char *s = String_val(x); return Val_int(0);")
+        call = next(
+            s
+            for s in fn.body
+            if isinstance(s, ir.SAssign) and isinstance(s.rhs, ir.CallExp)
+        )
+        assert call.rhs.func == "caml_string_val"
+
+    def test_value_pointer_cast_transparent(self):
+        fn = lower_fn("return *((value *)x + 1);")
+        ret = fn.body[0]
+        assert isinstance(ret.exp, ir.Deref)
+        inner = ret.exp.exp
+        assert isinstance(inner, ir.PtrAdd)
+        assert isinstance(inner.base, ir.VarExp)  # cast erased
+
+
+class TestProtection:
+    def test_camlparam_becomes_protect(self):
+        fn = lower_fn("CAMLparam1(x); CAMLreturn(x);")
+        assert fn.protected_names == ["x"]
+
+    def test_camlparam2(self):
+        fn = lower_fn(
+            "CAMLparam2(a, b); CAMLreturn(a);", "value f(value a, value b)"
+        )
+        assert fn.protected_names == ["a", "b"]
+
+    def test_camllocal_declares_and_protects(self):
+        fn = lower_fn("CAMLparam1(x); CAMLlocal1(tmp); CAMLreturn(tmp);")
+        assert "tmp" in fn.protected_names
+        assert any(
+            isinstance(d, ir.VarDecl) and d.name == "tmp" for d in fn.decls
+        )
+
+    def test_camllocal_has_no_init_statement(self):
+        # CAMLlocal must not pin tmp's type to Val_unit (paper Fig. 5)
+        fn = lower_fn("CAMLparam1(x); CAMLlocal1(tmp); CAMLreturn(tmp);")
+        assigns = [s for s in fn.body if isinstance(s, ir.SAssign)]
+        assert not any(
+            isinstance(s.lval, ir.VarExp) and s.lval.name == "tmp"
+            for s in assigns
+        )
+
+    def test_camlreturn(self):
+        fn = lower_fn("CAMLparam1(x); CAMLreturn(Val_unit);")
+        ret = next(s for s in fn.body if isinstance(s, ir.SCamlReturn))
+        assert isinstance(ret.exp, ir.ValIntExp)
+
+    def test_camlreturn0(self):
+        fn = lower_fn("CAMLparam1(x); CAMLreturn0;", "void f(value x)")
+        assert any(isinstance(s, ir.SCamlReturn) and s.exp is None for s in fn.body)
+
+
+class TestConditionLowering:
+    def test_is_long_becomes_if_unboxed(self):
+        fn = lower_fn("if (Is_long(x)) return Val_int(0); return Val_int(1);")
+        assert isinstance(fn.body[0], ir.SIfUnboxed)
+
+    def test_is_block_swaps_branches(self):
+        fn = lower_fn("if (Is_block(x)) return Val_int(0); return Val_int(1);")
+        branch = fn.body[0]
+        assert isinstance(branch, ir.SIfUnboxed)
+        # the unboxed target must be the *false* side: next stmt is the goto
+        # to the true label
+        assert isinstance(fn.body[1], ir.SGoto)
+
+    def test_negated_is_long(self):
+        fn = lower_fn("if (!Is_long(x)) return Val_int(0); return Val_int(1);")
+        assert isinstance(fn.body[0], ir.SIfUnboxed)
+
+    def test_tag_comparison(self):
+        fn = lower_fn(
+            "if (Is_block(x)) { if (Tag_val(x) == 1) return Val_int(0); } return Val_int(1);"
+        )
+        tags = [s for s in fn.body if isinstance(s, ir.SIfSumTag)]
+        assert len(tags) == 1
+        assert tags[0].tag == 1
+
+    def test_tag_comparison_reversed_operands(self):
+        fn = lower_fn(
+            "if (Is_block(x)) { if (0 == Tag_val(x)) return Val_int(0); } return Val_int(1);"
+        )
+        assert any(isinstance(s, ir.SIfSumTag) for s in fn.body)
+
+    def test_int_val_comparison(self):
+        fn = lower_fn(
+            "if (Is_long(x)) { if (Int_val(x) == 2) return Val_int(0); } return Val_int(1);"
+        )
+        tags = [s for s in fn.body if isinstance(s, ir.SIfIntTag)]
+        assert tags and tags[0].tag == 2
+
+    def test_short_circuit_and(self):
+        fn = lower_fn(
+            "if (Is_block(x) && Tag_val(x) == 0) return Field(x, 0); return Val_int(1);"
+        )
+        assert any(isinstance(s, ir.SIfUnboxed) for s in fn.body)
+        assert any(isinstance(s, ir.SIfSumTag) for s in fn.body)
+
+    def test_plain_condition(self):
+        fn = lower_fn(
+            "int n = Int_val(x); if (n > 3) return Val_int(0); return Val_int(1);"
+        )
+        assert any(isinstance(s, ir.SIf) for s in fn.body)
+
+    def test_switch_on_tag_val(self):
+        fn = lower_fn(
+            "if (Is_block(x)) { switch (Tag_val(x)) { case 0: break; case 1: break; } } return Val_int(0);"
+        )
+        tags = sorted(s.tag for s in fn.body if isinstance(s, ir.SIfSumTag))
+        assert tags == [0, 1]
+
+    def test_switch_on_int_val(self):
+        fn = lower_fn(
+            "if (Is_long(x)) { switch (Int_val(x)) { case 0: break; default: break; } } return Val_int(0);"
+        )
+        assert any(isinstance(s, ir.SIfIntTag) for s in fn.body)
+
+    def test_switch_on_plain_int(self):
+        fn = lower_fn(
+            "int n = Int_val(x); switch (n) { case 1: break; case 2: break; } return Val_int(0);"
+        )
+        assert sum(1 for s in fn.body if isinstance(s, ir.SIf)) == 2
+
+
+class TestControlFlow:
+    def test_labels_resolve(self):
+        fn = lower_fn("goto out; out: return x;")
+        goto = fn.body[0]
+        assert isinstance(goto, ir.SGoto)
+        assert fn.label_index(goto.label) < len(fn.body)
+
+    def test_while_loop_shape(self):
+        fn = lower_fn(
+            "int i = 0; while (i < 3) { i = i + 1; } return Val_int(i);"
+        )
+        gotos = [s for s in fn.body if isinstance(s, ir.SGoto)]
+        assert gotos  # back edge exists
+        assert any(isinstance(s, ir.SIf) for s in fn.body)
+
+    def test_break_exits_loop(self):
+        fn = lower_fn(
+            "int i = 0; while (1) { if (i > 2) break; i = i + 1; } return Val_int(i);"
+        )
+        assert any(isinstance(s, ir.SGoto) for s in fn.body)
+
+    def test_continue_targets_head(self):
+        fn = lower_fn(
+            "int i = 0; while (i < 3) { i = i + 1; continue; } return Val_int(i);"
+        )
+        assert sum(1 for s in fn.body if isinstance(s, ir.SGoto)) >= 2
+
+    def test_for_loop(self):
+        fn = lower_fn(
+            "int i; int t = 0; for (i = 0; i < 4; i++) { t = t + i; } return Val_int(t);"
+        )
+        assert any(isinstance(s, ir.SIf) for s in fn.body)
+
+    def test_do_while(self):
+        fn = lower_fn(
+            "int i = 0; do { i = i + 1; } while (i < 3); return Val_int(i);"
+        )
+        assert any(isinstance(s, ir.SIf) for s in fn.body)
+
+    def test_implicit_void_return_appended(self):
+        program = lower("void f(value x) { x = Val_int(0); }")
+        fn = program.function("f")
+        assert isinstance(fn.body[-1], ir.SReturn)
+        assert fn.body[-1].exp is None
+
+    def test_conditional_expression(self):
+        fn = lower_fn(
+            "int n = Int_val(x); int m = n > 0 ? n : 0; return Val_int(m);"
+        )
+        # lowered through a temp with branches
+        assert any(isinstance(s, ir.SIf) for s in fn.body)
+
+
+class TestCallExtraction:
+    def test_nested_call_gets_temp(self):
+        fn = lower_fn("return caml_copy_string(String_val(x));")
+        calls = [
+            s
+            for s in fn.body
+            if isinstance(s, ir.SAssign) and isinstance(s.rhs, ir.CallExp)
+        ]
+        assert len(calls) == 2  # String_val temp + copy_string temp
+
+    def test_temp_type_follows_callee(self):
+        fn = lower_fn("return caml_copy_string(\"hi\");")
+        call = next(
+            s
+            for s in fn.body
+            if isinstance(s, ir.SAssign) and isinstance(s.rhs, ir.CallExp)
+        )
+        assert isinstance(call.lval, ir.VarExp)
+        temp_decl = next(
+            d
+            for d in fn.decls
+            if isinstance(d, ir.VarDecl) and d.name == call.lval.name
+        )
+        assert isinstance(temp_decl.ctype, CSrcValue)
+
+    def test_bare_call_statement(self):
+        fn = lower_fn("helper(Int_val(x)); return Val_int(0);")
+        bare = [
+            s
+            for s in fn.body
+            if isinstance(s, ir.SAssign)
+            and s.lval is None
+            and isinstance(s.rhs, ir.CallExp)
+        ]
+        assert len(bare) == 1
+
+    def test_indirect_call_marked(self):
+        program = lower(
+            "typedef int (*cb_t)(int);\n"
+            "int f(cb_t cb) { int r = cb(1); return r; }"
+        )
+        fn = program.function("f")
+        call = next(
+            s
+            for s in fn.body
+            if isinstance(s, ir.SAssign) and isinstance(s.rhs, ir.CallExp)
+        )
+        assert call.rhs.is_indirect
+
+
+class TestPointerArithmetic:
+    def test_value_plus_int_is_ptr_add(self):
+        fn = lower_fn("return *(x + 1);")
+        ret = fn.body[0]
+        assert isinstance(ret.exp, ir.Deref)
+        assert isinstance(ret.exp.exp, ir.PtrAdd)
+
+    def test_int_plus_int_is_aop(self):
+        fn = lower_fn("int a = 1; int b = a + 2; return Val_int(b);")
+        assign = [s for s in fn.body if isinstance(s, ir.SAssign)][1]
+        assert isinstance(assign.rhs, ir.AOp)
+
+    def test_sizeof_is_word_size(self):
+        fn = lower_fn("int n = sizeof(value); return Val_int(n);")
+        assign = fn.body[0]
+        assert isinstance(assign.rhs, ir.IntLit) and assign.rhs.value == 8
+
+    def test_array_index_on_pointer(self):
+        program = lower("int get(int *p) { return p[3]; }")
+        ret = program.function("get").body[0]
+        assert isinstance(ret.exp, ir.Deref)
+        assert isinstance(ret.exp.exp, ir.PtrAdd)
+
+
+class TestPrettyPrinting:
+    def test_pretty_output_contains_labels(self):
+        fn = lower_fn("goto out; out: return x;")
+        pretty = fn.pretty()
+        assert "goto" in pretty
+        assert "out" in pretty

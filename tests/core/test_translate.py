@@ -1,0 +1,240 @@
+"""Tests for Φ / ρ / η (paper Figure 4 and §3.3.2)."""
+
+import pytest
+
+from repro.core.srctypes import (
+    CSrcPtr,
+    CSrcScalar,
+    CSrcStruct,
+    CSrcValue,
+    CSrcVoid,
+    SArrow,
+    SBool,
+    SConstrApp,
+    SConstructor,
+    SField,
+    SInt,
+    SOpaque,
+    SPolyVariant,
+    SRecord,
+    SSum,
+    SString,
+    STuple,
+    SUnit,
+    SVar,
+    arrow_chain,
+    make_arrows,
+)
+from repro.core.translate import (
+    TranslationError,
+    Translator,
+    eta,
+    phi,
+    rho,
+)
+from repro.core.types import (
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CStruct,
+    CTVar,
+    CValue,
+    GCVar,
+    MTArrow,
+    MTCustom,
+    MTRepr,
+    MTVar,
+    PSI_TOP,
+    PsiConst,
+)
+
+
+class TestRho:
+    def test_unit(self):
+        result = rho(SUnit())
+        assert isinstance(result, MTRepr)
+        assert result.psi == PsiConst(1)
+        assert result.sigma.is_closed and not result.sigma.prods
+
+    def test_int(self):
+        result = rho(SInt())
+        assert result.psi is PSI_TOP
+        assert not result.sigma.prods
+
+    def test_bool_is_two_constructor_sum(self):
+        result = rho(SBool())
+        assert result.psi == PsiConst(2)
+
+    def test_ref_single_boxed_field(self):
+        result = rho(SConstrApp("ref", (SInt(),)))
+        assert result.psi == PsiConst(0)
+        assert len(result.sigma.prods) == 1
+        assert len(result.sigma.prods[0].elems) == 1
+
+    def test_tuple(self):
+        result = rho(STuple((SInt(), SUnit())))
+        assert result.psi == PsiConst(0)
+        (prod,) = result.sigma.prods
+        assert len(prod.elems) == 2
+        assert prod.is_closed
+
+    def test_record_like_tuple(self):
+        record = SRecord(
+            (SField("x", SInt()), SField("y", SInt(), mutable=True))
+        )
+        result = rho(record)
+        assert result.psi == PsiConst(0)
+        assert len(result.sigma.prods[0].elems) == 2
+
+    def test_paper_type_t(self):
+        # type t = A of int | B | C of int * int | D  →  (2, (⊤,∅) + (⊤,∅)×(⊤,∅))
+        t = SSum(
+            (
+                SConstructor("A", (SInt(),)),
+                SConstructor("B"),
+                SConstructor("C", (SInt(), SInt())),
+                SConstructor("D"),
+            )
+        )
+        result = rho(t)
+        assert result.psi == PsiConst(2)
+        assert len(result.sigma.prods) == 2
+        assert len(result.sigma.prods[0].elems) == 1
+        assert len(result.sigma.prods[1].elems) == 2
+
+    def test_option(self):
+        result = rho(SConstrApp("option", (SInt(),)))
+        assert result.psi == PsiConst(1)
+        assert len(result.sigma.prods) == 1
+
+    def test_list_recursive_cutoff(self):
+        result = rho(SConstrApp("list", (SInt(),)))
+        assert result.psi == PsiConst(1)
+        (cons,) = result.sigma.prods
+        assert len(cons.elems) == 2  # head, tail
+        assert isinstance(cons.elems[1], MTVar)  # recursion cut to a var
+
+    def test_array_open_product(self):
+        result = rho(SConstrApp("array", (SInt(),)))
+        (prod,) = result.sigma.prods
+        assert not prod.is_closed  # arity unknown statically
+
+    def test_string_is_custom_block(self):
+        result = rho(SString())
+        assert isinstance(result, MTCustom)
+
+    def test_arrow(self):
+        result = rho(SArrow(SInt(), SUnit()))
+        assert isinstance(result, MTArrow)
+
+    def test_tyvars_shared_within_declaration(self):
+        translator = Translator()
+        first = translator.rho(SVar("a"))
+        second = translator.rho(SVar("a"))
+        other = translator.rho(SVar("b"))
+        assert first is second
+        assert first is not other
+
+    def test_opaque_shared_per_name(self):
+        translator = Translator()
+        first = translator.rho(SOpaque("window"))
+        second = translator.rho(SOpaque("window"))
+        other = translator.rho(SOpaque("cursor"))
+        assert first is second
+        assert first is not other
+        assert isinstance(first, MTCustom)
+        assert isinstance(first.ctype, CTVar)
+
+    def test_unknown_named_type_is_opaque(self):
+        result = rho(SConstrApp("mystery", ()))
+        assert isinstance(result, MTCustom)
+
+    def test_poly_variant_callback(self):
+        seen = []
+        translator = Translator(on_poly_variant=seen.append)
+        result = translator.rho(SPolyVariant((SConstructor("A"),)))
+        assert isinstance(result, MTVar)
+        assert len(seen) == 1
+
+    def test_named_resolution(self):
+        def resolve(name, args):
+            if name == "t":
+                return SSum((SConstructor("X"), SConstructor("Y", (SInt(),))))
+            return None
+
+        translator = Translator(resolve=resolve)
+        result = translator.rho(SConstrApp("t"))
+        assert isinstance(result, MTRepr)
+        assert result.psi == PsiConst(1)
+
+    def test_mutual_recursion_terminates(self):
+        def resolve(name, args):
+            if name == "even":
+                return SSum((SConstructor("Z"), SConstructor("S", (SConstrApp("odd"),))))
+            if name == "odd":
+                return SSum((SConstructor("S'", (SConstrApp("even"),)),))
+            return None
+
+        translator = Translator(resolve=resolve)
+        result = translator.rho(SConstrApp("even"))
+        assert isinstance(result, MTRepr)
+
+
+class TestPhi:
+    def test_simple_external(self):
+        fn = phi(SArrow(SInt(), SUnit()))
+        assert isinstance(fn, CFun)
+        assert len(fn.params) == 1
+        assert isinstance(fn.params[0], CValue)
+        assert isinstance(fn.result, CValue)
+        assert isinstance(fn.effect, GCVar)
+
+    def test_multi_arg_uncurried(self):
+        mltype = make_arrows([SInt(), SBool(), SUnit()], SInt())
+        fn = phi(mltype)
+        assert len(fn.params) == 3
+
+    def test_non_function_rejected(self):
+        with pytest.raises(TranslationError):
+            phi(SInt())
+
+    def test_explicit_arity_keeps_result_curried(self):
+        mltype = make_arrows([SInt(), SInt()], SInt())
+        fn = Translator().phi(mltype, arity=1)
+        assert len(fn.params) == 1
+        assert isinstance(fn.result, CValue)
+        assert isinstance(fn.result.mt, MTArrow)
+
+
+class TestEta:
+    def test_void(self):
+        assert eta(CSrcVoid()) is C_VOID
+
+    def test_scalars_collapse(self):
+        assert eta(CSrcScalar("int")) is C_INT
+        assert eta(CSrcScalar("unsigned long")) is C_INT
+
+    def test_value_gets_fresh_var(self):
+        first = eta(CSrcValue())
+        second = eta(CSrcValue())
+        assert isinstance(first, CValue)
+        assert first.mt is not second.mt
+
+    def test_pointer(self):
+        result = eta(CSrcPtr(CSrcScalar("char")))
+        assert result == CPtr(C_INT)
+
+    def test_struct(self):
+        assert eta(CSrcStruct("win")) == CStruct("win")
+
+
+class TestArrowChain:
+    def test_chain_roundtrip(self):
+        mltype = make_arrows([SInt(), SBool()], SUnit())
+        chain = arrow_chain(mltype)
+        assert len(chain) == 3
+        assert chain[-1] == SUnit()
+
+    def test_non_arrow_single(self):
+        assert arrow_chain(SInt()) == [SInt()]

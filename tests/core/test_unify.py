@@ -1,0 +1,304 @@
+"""Tests for unification over the multi-lingual type language."""
+
+import pytest
+
+from repro.core.types import (
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CStruct,
+    CTVar,
+    CValue,
+    GC,
+    MTArrow,
+    MTCustom,
+    MTRepr,
+    MTVar,
+    NOGC,
+    PSI_TOP,
+    Pi,
+    PiVar,
+    PsiConst,
+    PsiVar,
+    Sigma,
+    SigmaVar,
+    closed_pi,
+    closed_sigma,
+    fresh_gc,
+    fresh_mt,
+    fresh_psi,
+    fresh_sigma_row,
+    INT_REPR,
+    UNIT_REPR,
+)
+from repro.core.unify import (
+    OccursCheckError,
+    UnificationError,
+    Unifier,
+    instantiate_ct,
+)
+
+
+@pytest.fixture()
+def unifier():
+    return Unifier()
+
+
+class TestMTUnification:
+    def test_var_binds_to_term(self, unifier):
+        var = fresh_mt()
+        unifier.unify_mt(var, INT_REPR)
+        assert unifier.resolve_mt(var) == INT_REPR
+
+    def test_var_var_chain(self, unifier):
+        a, b = fresh_mt(), fresh_mt()
+        unifier.unify_mt(a, b)
+        unifier.unify_mt(b, UNIT_REPR)
+        assert unifier.resolve_mt(a) == UNIT_REPR
+
+    def test_same_var_is_noop(self, unifier):
+        var = fresh_mt()
+        unifier.unify_mt(var, var)
+        assert unifier.resolve_mt(var) is var
+
+    def test_arrow_components_unify(self, unifier):
+        a, b = fresh_mt(), fresh_mt()
+        unifier.unify_mt(MTArrow(a, INT_REPR), MTArrow(UNIT_REPR, b))
+        assert unifier.resolve_mt(a) == UNIT_REPR
+        assert unifier.resolve_mt(b) == INT_REPR
+
+    def test_arrow_vs_repr_fails(self, unifier):
+        arrow = MTArrow(INT_REPR, INT_REPR)
+        with pytest.raises(UnificationError):
+            unifier.unify_mt(arrow, INT_REPR)
+
+    def test_custom_components_unify(self, unifier):
+        with pytest.raises(UnificationError):
+            unifier.unify_mt(
+                MTCustom(CPtr(CStruct("a"))), MTCustom(CPtr(CStruct("b")))
+            )
+        unifier.unify_mt(
+            MTCustom(CPtr(CStruct("a"))), MTCustom(CPtr(CStruct("a")))
+        )
+
+    def test_occurs_check(self, unifier):
+        var = fresh_mt()
+        looped = MTArrow(var, INT_REPR)
+        with pytest.raises(OccursCheckError):
+            unifier.unify_mt(var, looped)
+
+    def test_occurs_check_through_sigma(self, unifier):
+        var = fresh_mt()
+        repr_with_var = MTRepr(
+            psi=PsiConst(0), sigma=closed_sigma([closed_pi([var])])
+        )
+        with pytest.raises(OccursCheckError):
+            unifier.unify_mt(var, repr_with_var)
+
+
+class TestPsiUnification:
+    def test_const_with_same_const(self, unifier):
+        unifier.unify_psi(PsiConst(2), PsiConst(2))
+
+    def test_const_with_different_const_fails(self, unifier):
+        with pytest.raises(UnificationError):
+            unifier.unify_psi(PsiConst(2), PsiConst(3))
+
+    def test_const_never_unifies_with_top(self, unifier):
+        # paper §3.3.3: an int is not a sum
+        with pytest.raises(UnificationError):
+            unifier.unify_psi(PsiConst(1), PSI_TOP)
+        with pytest.raises(UnificationError):
+            unifier.unify_psi(PSI_TOP, PsiConst(1))
+
+    def test_top_with_top(self, unifier):
+        unifier.unify_psi(PSI_TOP, PSI_TOP)
+
+    def test_var_binds_either_way(self, unifier):
+        var = fresh_psi()
+        unifier.unify_psi(var, PsiConst(4))
+        assert unifier.resolve_psi(var) == PsiConst(4)
+        var2 = fresh_psi()
+        unifier.unify_psi(PSI_TOP, var2)
+        assert unifier.resolve_psi(var2) is PSI_TOP
+
+    def test_unit_int_incompatible(self, unifier):
+        # ρ(unit) = (1, ∅) vs ρ(int) = (⊤, ∅)
+        with pytest.raises(UnificationError):
+            unifier.unify_mt(UNIT_REPR, INT_REPR)
+
+
+class TestSigmaRowUnification:
+    def test_closed_rows_same_arity(self, unifier):
+        a, b = fresh_mt(), fresh_mt()
+        left = closed_sigma([closed_pi([a])])
+        right = closed_sigma([closed_pi([INT_REPR])])
+        unifier.unify_sigma(left, right)
+        assert unifier.resolve_mt(a) == INT_REPR
+        assert unifier.resolve_mt(b) is b
+
+    def test_open_row_grows(self, unifier):
+        tail = SigmaVar()
+        open_row = Sigma(prods=(), tail=tail)
+        closed = closed_sigma([closed_pi([INT_REPR]), closed_pi([])])
+        unifier.unify_sigma(open_row, closed)
+        resolved = unifier.resolve_sigma(open_row)
+        assert len(resolved.prods) == 2
+        assert resolved.is_closed
+
+    def test_closed_row_cannot_grow(self, unifier):
+        small = closed_sigma([closed_pi([])])
+        large = closed_sigma([closed_pi([]), closed_pi([])])
+        with pytest.raises(UnificationError):
+            unifier.unify_sigma(small, large)
+
+    def test_two_open_rows_link_tails(self, unifier):
+        left = Sigma(prods=(closed_pi([INT_REPR]),), tail=SigmaVar())
+        right = Sigma(prods=(), tail=SigmaVar())
+        unifier.unify_sigma(left, right)
+        resolved_right = unifier.resolve_sigma(right)
+        assert len(resolved_right.prods) == 1
+
+    def test_open_vs_closed_empty_closes(self, unifier):
+        open_row = Sigma(prods=(), tail=SigmaVar())
+        unifier.unify_sigma(open_row, closed_sigma([]))
+        assert unifier.resolve_sigma(open_row).is_closed
+
+    def test_figure8_growth_scenario(self, unifier):
+        """Paper §3.4: σ = π0 + σ', then σ' = π1 + σ'', then unify with t."""
+        sigma = fresh_sigma_row()
+        mt = MTRepr(psi=fresh_psi(), sigma=sigma)
+        # tag test 0, then tag test 1 grow the row
+        grow_to_0 = Sigma(prods=(Pi(elems=(), tail=PiVar()),), tail=SigmaVar())
+        unifier.unify_sigma(mt.sigma, grow_to_0)
+        grown = unifier.resolve_sigma(mt.sigma)
+        assert len(grown.prods) >= 1
+        grow_to_1 = Sigma(
+            prods=(Pi(elems=(), tail=PiVar()), Pi(elems=(), tail=PiVar())),
+            tail=SigmaVar(),
+        )
+        unifier.unify_sigma(mt.sigma, grow_to_1)
+        # now unify with the closed representational type of t:
+        # (2, (int) + (int × int))
+        t_repr = MTRepr(
+            psi=PsiConst(2),
+            sigma=closed_sigma(
+                [closed_pi([INT_REPR]), closed_pi([INT_REPR, INT_REPR])]
+            ),
+        )
+        unifier.unify_mt(mt, t_repr)
+        final = unifier.resolve_sigma(mt.sigma)
+        assert final.is_closed
+        assert len(final.prods) == 2
+        assert unifier.resolve_psi(mt.psi) == PsiConst(2)
+
+
+class TestPiRowUnification:
+    def test_element_growth(self, unifier):
+        open_pi = Pi(elems=(), tail=PiVar())
+        closed = closed_pi([INT_REPR, UNIT_REPR])
+        unifier.unify_pi(open_pi, closed)
+        resolved = unifier.resolve_pi(open_pi)
+        assert len(resolved.elems) == 2
+        assert resolved.is_closed
+
+    def test_closed_too_short_fails(self, unifier):
+        with pytest.raises(UnificationError):
+            unifier.unify_pi(closed_pi([INT_REPR]), closed_pi([INT_REPR, INT_REPR]))
+
+    def test_elements_unify_pointwise(self, unifier):
+        a = fresh_mt()
+        unifier.unify_pi(closed_pi([a]), closed_pi([UNIT_REPR]))
+        assert unifier.resolve_mt(a) == UNIT_REPR
+
+
+class TestCTUnification:
+    def test_scalars(self, unifier):
+        unifier.unify_ct(C_INT, C_INT)
+        unifier.unify_ct(C_VOID, C_VOID)
+        with pytest.raises(UnificationError):
+            unifier.unify_ct(C_INT, C_VOID)
+
+    def test_struct_names(self, unifier):
+        unifier.unify_ct(CStruct("a"), CStruct("a"))
+        with pytest.raises(UnificationError):
+            unifier.unify_ct(CStruct("a"), CStruct("b"))
+
+    def test_value_vs_int_fails(self, unifier):
+        with pytest.raises(UnificationError):
+            unifier.unify_ct(CValue(fresh_mt()), C_INT)
+
+    def test_pointer_targets(self, unifier):
+        var = fresh_mt()
+        unifier.unify_ct(CPtr(CValue(var)), CPtr(CValue(INT_REPR)))
+        assert unifier.resolve_mt(var) == INT_REPR
+
+    def test_function_arity_mismatch(self, unifier):
+        f1 = CFun((C_INT,), C_INT, NOGC)
+        f2 = CFun((C_INT, C_INT), C_INT, NOGC)
+        with pytest.raises(UnificationError, match="arity"):
+            unifier.unify_ct(f1, f2)
+
+    def test_function_effects_reported_to_hook(self):
+        seen = []
+        unifier = Unifier(on_effect_equal=lambda a, b: seen.append((a, b)))
+        g1, g2 = fresh_gc(), fresh_gc()
+        unifier.unify_ct(CFun((), C_INT, g1), CFun((), C_INT, g2))
+        assert seen == [(g1, g2)]
+
+    def test_ctvar_binds(self, unifier):
+        var = CTVar(name="window")
+        unifier.unify_ct(var, CPtr(CStruct("win")))
+        assert unifier.resolve_ct(var) == CPtr(CStruct("win"))
+        # second binding at a different type must fail
+        with pytest.raises(UnificationError):
+            unifier.unify_ct(var, CPtr(CStruct("cursor")))
+
+    def test_ctvar_occurs_check(self, unifier):
+        var = CTVar()
+        with pytest.raises(OccursCheckError):
+            unifier.unify_ct(var, CPtr(var))
+
+
+class TestDeepResolve:
+    def test_deep_resolve_substitutes_everywhere(self, unifier):
+        a = fresh_mt()
+        ct = CValue(MTRepr(psi=PsiConst(0), sigma=closed_sigma([closed_pi([a])])))
+        unifier.unify_mt(a, INT_REPR)
+        resolved = unifier.deep_resolve_ct(ct)
+        assert "⊤" in str(resolved)
+
+    def test_heap_pointer_detection(self, unifier):
+        boxed = CValue(
+            MTRepr(psi=PsiConst(0), sigma=closed_sigma([closed_pi([INT_REPR])]))
+        )
+        unboxed = CValue(INT_REPR)
+        assert unifier.is_heap_pointer_type(boxed)
+        assert not unifier.is_heap_pointer_type(unboxed)
+        assert not unifier.is_heap_pointer_type(C_INT)
+
+    def test_heap_pointer_boxed_builtin(self, unifier):
+        string = CValue(MTCustom(CPtr(CStruct("caml_string"))))
+        naked = CValue(MTCustom(CPtr(CStruct("win"))))
+        assert unifier.is_heap_pointer_type(string)
+        assert not unifier.is_heap_pointer_type(naked)
+
+
+class TestInstantiate:
+    def test_fresh_vars_per_instantiation(self):
+        var = MTVar(name="a")
+        fn = CFun((CValue(var),), CValue(var), NOGC)
+        inst1 = instantiate_ct(fn)
+        inst2 = instantiate_ct(fn)
+        assert isinstance(inst1, CFun)
+        v1 = inst1.params[0].mt
+        v2 = inst2.params[0].mt
+        assert v1 is not var and v2 is not var and v1 is not v2
+        # sharing within one instantiation is preserved
+        assert inst1.params[0].mt is inst1.result.mt
+
+    def test_effect_identity_preserved(self):
+        effect = fresh_gc()
+        fn = CFun((), C_INT, effect)
+        assert instantiate_ct(fn).effect is effect

@@ -1,0 +1,84 @@
+"""The §5.1 hand annotations: C helpers polymorphic in value parameters.
+
+The analysis of C functions is monomorphic; a helper like "store this
+value into that block" used at two different OCaml types would conflate
+them.  The paper allowed hand-annotating such functions (4 in its suite);
+ours uses the ``MLFFI_POLYMORPHIC`` marker.
+"""
+
+from repro import Kind, analyze_project
+
+
+def kinds(report):
+    return [d.kind for d in report.diagnostics]
+
+
+ML = """
+external wrap_int    : int -> int ref       = "ml_wrap_int"
+external wrap_string : string -> string ref = "ml_wrap_string"
+"""
+
+HELPER = """
+MLFFI_POLYMORPHIC value make_ref(value v)
+{
+    CAMLparam1(v);
+    CAMLlocal1(r);
+    r = caml_alloc(1, 0);
+    Store_field(r, 0, v);
+    CAMLreturn(r);
+}
+"""
+
+MONO_HELPER = HELPER.replace("MLFFI_POLYMORPHIC ", "")
+
+USERS = """
+value ml_wrap_int(value n)
+{
+    CAMLparam1(n);
+    CAMLlocal1(r);
+    r = make_ref(n);
+    CAMLreturn(r);
+}
+value ml_wrap_string(value s)
+{
+    CAMLparam1(s);
+    CAMLlocal1(r);
+    r = make_ref(s);
+    CAMLreturn(r);
+}
+"""
+
+
+class TestPolymorphicHelper:
+    def test_annotated_helper_usable_at_two_types(self):
+        report = analyze_project([ML], [HELPER + USERS])
+        assert kinds(report) == []
+
+    def test_monomorphic_helper_conflates(self):
+        report = analyze_project([ML], [MONO_HELPER + USERS])
+        # int ref and string ref meet in make_ref's parameter: a mismatch
+        assert Kind.TYPE_MISMATCH in kinds(report)
+
+    def test_single_use_needs_no_annotation(self):
+        single = """
+        value ml_wrap_int(value n)
+        {
+            CAMLparam1(n);
+            CAMLlocal1(r);
+            r = make_ref(n);
+            CAMLreturn(r);
+        }
+        """
+        report = analyze_project(
+            ['external wrap_int : int -> int ref = "ml_wrap_int"'],
+            [MONO_HELPER + single],
+        )
+        assert kinds(report) == []
+
+    def test_annotation_does_not_weaken_checking(self):
+        # a genuinely wrong use through the polymorphic helper still fails
+        bad_users = USERS.replace(
+            "r = make_ref(s);", "r = make_ref(Val_int(s));"
+        )
+        report = analyze_project([ML], [HELPER + bad_users])
+        assert Kind.BAD_VAL_INT in kinds(report)

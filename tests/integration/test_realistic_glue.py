@@ -1,0 +1,333 @@
+"""Integration pack: realistic 2004-era glue idioms end to end.
+
+Each test is modeled on a pattern that appears in the paper's benchmark
+libraries (zlib/ssl/gtk-style wrappers): exception raising, custom handles
+threaded through sums, bytecode stubs, blocking sections, early-error
+gotos, and multi-function modules sharing helpers.
+"""
+
+import pytest
+
+from repro import Kind, analyze_project
+
+
+def kinds(report):
+    return [d.kind for d in report.diagnostics]
+
+
+class TestExceptionRaising:
+    def test_failwith_on_error_path(self):
+        ml = 'external openf : string -> int = "ml_openf"'
+        c = """
+        value ml_openf(value path)
+        {
+            CAMLparam1(path);
+            int fd = sys_open(String_val(path));
+            if (fd < 0) {
+                caml_failwith("open failed");
+            }
+            CAMLreturn(Val_int(fd));
+        }
+        """
+        report = analyze_project([ml], [c])
+        assert kinds(report) == []
+
+    def test_failwith_makes_function_gc(self):
+        # raising allocates the exception: callers must protect across it
+        ml = """
+        external check : string -> string -> unit = "ml_check"
+        """
+        c = """
+        void die(void)
+        {
+            caml_failwith("bad");
+        }
+        value ml_check(value a, value b)
+        {
+            if (caml_string_length(a) == 0) die();
+            use_string(String_val(b));
+            return Val_unit;
+        }
+        """
+        report = analyze_project([ml], [c])
+        assert Kind.UNPROTECTED_VALUE in kinds(report)
+
+    def test_invalid_argument_clean_when_nothing_live(self):
+        ml = 'external halve : int -> int = "ml_halve"'
+        c = """
+        value ml_halve(value n)
+        {
+            int k = Int_val(n);
+            if (k % 2) caml_invalid_argument("odd");
+            return Val_int(k / 2);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+
+class TestErrorGotoIdiom:
+    def test_cleanup_label(self):
+        ml = 'external run : int -> int = "ml_run"'
+        c = """
+        value ml_run(value n)
+        {
+            int rc = 0;
+            int handle = acquire(Int_val(n));
+            if (handle < 0) goto fail;
+            rc = use_handle(handle);
+            if (rc < 0) goto fail;
+            release(handle);
+            return Val_int(rc);
+        fail:
+            release(handle);
+            return Val_int(-1);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_tag_facts_flow_along_goto(self):
+        ml = """
+        type t = A of int | B of int * int
+        external pick : t -> int = "ml_pick"
+        """
+        c = """
+        value ml_pick(value x)
+        {
+            value payload;
+            if (Is_block(x)) {
+                if (Tag_val(x) == 1) goto second;
+                if (Tag_val(x) == 0) {
+                    payload = Field(x, 0);
+                    return payload;
+                }
+            }
+            return Val_int(0);
+        second:
+            payload = Field(x, 1);
+            return payload;
+        }
+        """
+        # at `second`, x is boxed with tag 1 — Field(x, 1) is B's 2nd field
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_untested_tag_after_failed_test_rejected(self):
+        # the fall-through of a tag test learns nothing (paper (If sum tag));
+        # reading a field there without another test is an error
+        ml = """
+        type t = A of int | B of int * int
+        external pick : t -> int = "ml_pick"
+        """
+        c = """
+        value ml_pick(value x)
+        {
+            value payload;
+            if (Is_block(x)) {
+                if (Tag_val(x) == 1) goto second;
+                payload = Field(x, 0);   /* tag untested here */
+                return payload;
+            }
+            return Val_int(0);
+        second:
+            payload = Field(x, 1);
+            return payload;
+        }
+        """
+        assert Kind.BAD_FIELD_ACCESS in kinds(analyze_project([ml], [c]))
+
+
+class TestCustomHandleLifecycle:
+    def test_handle_in_option(self):
+        ml = """
+        type db
+        external find : db -> int -> int option = "ml_find"
+        """
+        c = """
+        struct database;
+        int db_lookup(struct database *d, int key);
+        value ml_find(value dbv, value key)
+        {
+            CAMLparam2(dbv, key);
+            CAMLlocal1(some);
+            struct database *db = (struct database *)dbv;
+            int hit = db_lookup(db, Int_val(key));
+            if (hit < 0) CAMLreturn(Val_none);
+            some = caml_alloc(1, 0);
+            Store_field(some, 0, Val_int(hit));
+            CAMLreturn(some);
+        }
+        """
+        report = analyze_project([ml], [c])
+        assert kinds(report) == []
+
+    def test_blocking_section_around_syscall(self):
+        ml = 'external wait : int -> int = "ml_wait"'
+        c = """
+        value ml_wait(value fd)
+        {
+            int n = Int_val(fd);
+            int r;
+            caml_enter_blocking_section();
+            r = do_wait(n);
+            caml_leave_blocking_section();
+            return Val_int(r);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+
+class TestBytecodeStubs:
+    ML = (
+        "external blit : int -> int -> int -> int -> int -> int -> unit"
+        ' = "ml_blit_bc" "ml_blit"'
+    )
+
+    def test_native_stub_checked_per_argument(self):
+        c = """
+        value ml_blit(value a, value b, value c, value d, value e, value f)
+        {
+            do_blit(Int_val(a), Int_val(b), Int_val(c),
+                    Int_val(d), Int_val(e), Int_val(f));
+            return Val_unit;
+        }
+        value ml_blit_bc(value *argv, int argn)
+        {
+            value r = ml_blit(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5]);
+            return r;
+        }
+        """
+        report = analyze_project([self.ML], [c])
+        assert kinds(report) == []
+
+    def test_native_stub_bug_still_found(self):
+        c = """
+        value ml_blit(value a, value b, value c, value d, value e, value f)
+        {
+            return Val_int(a);
+        }
+        value ml_blit_bc(value *argv, int argn)
+        {
+            value r = ml_blit(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5]);
+            return r;
+        }
+        """
+        report = analyze_project([self.ML], [c])
+        assert Kind.BAD_VAL_INT in kinds(report)
+
+
+class TestMultiFunctionModules:
+    def test_shared_helper_effects_propagate_transitively(self):
+        ml = 'external push : string -> unit = "ml_push"'
+        c = """
+        value make_node(value v)
+        {
+            CAMLparam1(v);
+            CAMLlocal1(n);
+            n = caml_alloc(2, 0);
+            Store_field(n, 0, v);
+            CAMLreturn(n);
+        }
+        value wrap_node(value v)
+        {
+            CAMLparam1(v);
+            CAMLlocal1(r);
+            r = make_node(v);
+            CAMLreturn(r);
+        }
+        value ml_push(value s)
+        {
+            value node = wrap_node(s);
+            touch_string(String_val(s));
+            return Val_unit;
+        }
+        """
+        # make_node allocates -> wrap_node may GC -> ml_push must protect s
+        report = analyze_project([ml], [c])
+        assert Kind.UNPROTECTED_VALUE in kinds(report)
+
+    def test_fixed_version_clean(self):
+        ml = 'external push : string -> unit = "ml_push"'
+        c = """
+        value make_node(value v)
+        {
+            CAMLparam1(v);
+            CAMLlocal1(n);
+            n = caml_alloc(2, 0);
+            Store_field(n, 0, v);
+            CAMLreturn(n);
+        }
+        value ml_push(value s)
+        {
+            CAMLparam1(s);
+            CAMLlocal1(node);
+            node = make_node(s);
+            touch_string(String_val(s));
+            CAMLreturn(Val_unit);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+
+class TestNestedData:
+    def test_pair_of_options(self):
+        ml = 'external both : int option * int option -> int = "ml_both"'
+        c = """
+        value ml_both(value p)
+        {
+            value left = Field(p, 0);
+            value right = Field(p, 1);
+            int total = 0;
+            if (Is_block(left)) total += Int_val(Field(left, 0));
+            if (Is_block(right)) total += Int_val(Field(right, 0));
+            return Val_int(total);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_sum_carrying_tuple(self):
+        ml = """
+        type shape = Dot | Box of (int * int)
+        external area : shape -> int = "ml_area"
+        """
+        c = """
+        value ml_area(value s)
+        {
+            if (Is_long(s)) return Val_int(0);
+            if (Tag_val(s) == 0) {
+                value dims = Field(s, 0);
+                return Val_int(Int_val(Field(dims, 0)) * Int_val(Field(dims, 1)));
+            }
+            return Val_int(0);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_record_with_string_field(self):
+        ml = """
+        type entry = { key : string; weight : int }
+        external weigh : entry -> int = "ml_weigh"
+        """
+        c = """
+        value ml_weigh(value e)
+        {
+            value k = Field(e, 0);
+            int w = Int_val(Field(e, 1));
+            int len = caml_string_length(k);
+            return Val_int(w * len);
+        }
+        """
+        assert kinds(analyze_project([ml], [c])) == []
+
+    def test_wrong_field_order_caught(self):
+        ml = """
+        type entry = { key : string; weight : int }
+        external weigh : entry -> int = "ml_weigh"
+        """
+        c = """
+        value ml_weigh(value e)
+        {
+            int w = Int_val(Field(e, 0));   /* field 0 is the string! */
+            return Val_int(w);
+        }
+        """
+        report = analyze_project([ml], [c])
+        assert report.errors

@@ -1,0 +1,73 @@
+"""Tests for the inferred-signature dump on analysis reports."""
+
+from repro import analyze_project
+
+
+class TestSignatureDump:
+    def test_signature_for_every_analyzed_function(self):
+        report = analyze_project(
+            ['external f : int -> int = "ml_f"'],
+            [
+                "value ml_f(value x) { return Val_int(Int_val(x)); }\n"
+                "int helper(int n) { return n + 1; }"
+            ],
+        )
+        assert set(report.signatures) == {"ml_f", "helper"}
+
+    def test_ocaml_types_visible_through_value(self):
+        report = analyze_project(
+            [
+                "type t = A of int | B\n"
+                'external f : t -> int = "ml_f"'
+            ],
+            [
+                """
+                value ml_f(value x)
+                {
+                    if (Is_long(x)) return Val_int(0);
+                    return Field(x, 0);
+                }
+                """
+            ],
+        )
+        signature = report.signatures["ml_f"]
+        # ρ(t) = (1, (⊤,∅)) — one nullary ctor, one int-payload product
+        assert "(1, " in signature
+        assert "value" in signature
+
+    def test_solved_effects_rendered(self):
+        report = analyze_project(
+            ['external f : unit -> string = "ml_f"'],
+            [
+                """
+                value ml_f(value u)
+                {
+                    value s = caml_copy_string("x");
+                    return s;
+                }
+                int pure(int n) { return n; }
+                """
+            ],
+        )
+        assert "-[gc]->" in report.signatures["ml_f"]
+        assert "-[nogc]->" in report.signatures["pure"]
+
+    def test_transitive_gc_effect_in_signature(self):
+        report = analyze_project(
+            [],
+            [
+                """
+                value mk(void)
+                {
+                    value v = caml_alloc(1, 0);
+                    return v;
+                }
+                value outer(void)
+                {
+                    value v = mk();
+                    return v;
+                }
+                """
+            ],
+        )
+        assert "-[gc]->" in report.signatures["outer"]

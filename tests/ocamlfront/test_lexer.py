@@ -1,0 +1,79 @@
+"""Tests for the OCaml tokenizer."""
+
+import pytest
+
+from repro.ocamlfront.lexer import MLLexError, MLTokKind, tokenize_ml
+from repro.source import SourceFile
+
+
+def toks(text):
+    return tokenize_ml(SourceFile("t.ml", text))
+
+
+def texts(text):
+    return [t.text for t in toks(text) if t.kind is not MLTokKind.EOF]
+
+
+class TestBasics:
+    def test_identifiers(self):
+        tokens = toks("type foo Bar")
+        assert tokens[0].kind is MLTokKind.LIDENT
+        assert tokens[1].kind is MLTokKind.LIDENT
+        assert tokens[2].kind is MLTokKind.UIDENT
+
+    def test_dotted_path_merged(self):
+        tokens = toks("Unix.file_descr")
+        assert tokens[0].text == "Unix.file_descr"
+        assert tokens[0].kind is MLTokKind.LIDENT
+
+    def test_type_variable(self):
+        tokens = toks("'a 'key")
+        assert tokens[0].kind is MLTokKind.TYVAR
+        assert tokens[0].text == "a"
+        assert tokens[1].text == "key"
+
+    def test_char_literal_not_tyvar(self):
+        tokens = toks("'x'")
+        assert tokens[0].kind is MLTokKind.INT
+        assert tokens[0].text == str(ord("x"))
+
+    def test_string(self):
+        tokens = toks('"ml_stub_name"')
+        assert tokens[0].kind is MLTokKind.STRING
+        assert tokens[0].text == "ml_stub_name"
+
+    def test_string_with_escape(self):
+        assert toks('"a\\"b"')[0].text == 'a"b'
+
+    def test_integers(self):
+        assert texts("42 1_000") == ["42", "1000"]
+
+    def test_arrow_and_star(self):
+        assert texts("int -> int * int") == ["int", "->", "int", "*", "int"]
+
+    def test_polymorphic_variant_backtick(self):
+        tokens = toks("`On")
+        assert tokens[0].is_punct("`")
+        assert tokens[1].kind is MLTokKind.UIDENT
+
+
+class TestComments:
+    def test_simple_comment(self):
+        assert texts("(* hi *) type") == ["type"]
+
+    def test_nested_comment(self):
+        assert texts("(* a (* b *) c *) type") == ["type"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(MLLexError):
+            toks("(* never")
+
+    def test_string_inside_comment_ignored(self):
+        # our lexer treats comment content as opaque text
+        assert texts('(* "quoted" *) x') == ["x"]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(MLLexError):
+            toks('"open')

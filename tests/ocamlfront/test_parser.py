@@ -1,0 +1,207 @@
+"""Tests for the OCaml declaration parser."""
+
+import pytest
+
+from repro.core.srctypes import (
+    SArrow,
+    SBool,
+    SConstrApp,
+    SInt,
+    SPolyVariant,
+    SRecord,
+    SSum,
+    SString,
+    STuple,
+    SUnit,
+    SVar,
+)
+from repro.ocamlfront.parser import MLParseError, parse_ml_text, parse_type_text
+
+
+class TestTypeExpressions:
+    def test_builtins(self):
+        assert parse_type_text("int") == SInt()
+        assert parse_type_text("unit") == SUnit()
+        assert parse_type_text("bool") == SBool()
+        assert parse_type_text("string") == SString()
+
+    def test_arrow(self):
+        result = parse_type_text("int -> unit")
+        assert result == SArrow(SInt(), SUnit())
+
+    def test_arrow_right_associative(self):
+        result = parse_type_text("int -> bool -> unit")
+        assert isinstance(result.result, SArrow)
+
+    def test_tuple(self):
+        result = parse_type_text("int * bool")
+        assert result == STuple((SInt(), SBool()))
+
+    def test_tuple_binds_tighter_than_arrow(self):
+        result = parse_type_text("int * bool -> unit")
+        assert isinstance(result, SArrow)
+        assert isinstance(result.param, STuple)
+
+    def test_postfix_application(self):
+        result = parse_type_text("int list")
+        assert result == SConstrApp("list", (SInt(),))
+
+    def test_stacked_postfix(self):
+        result = parse_type_text("int list array")
+        assert result == SConstrApp("array", (SConstrApp("list", (SInt(),)),))
+
+    def test_type_variable(self):
+        assert parse_type_text("'a") == SVar("a")
+
+    def test_parenthesized_multi_args(self):
+        result = parse_type_text("(int, string) Hashtbl.t")
+        assert result == SConstrApp("Hashtbl.t", (SInt(), SString()))
+
+    def test_dotted_path(self):
+        assert parse_type_text("Unix.file_descr") == SConstrApp("Unix.file_descr")
+
+    def test_poly_variant(self):
+        result = parse_type_text("[ `A | `B of int ]")
+        assert isinstance(result, SPolyVariant)
+        assert len(result.tags) == 2
+        assert result.tags[1].args == (SInt(),)
+
+    def test_labelled_argument_skipped(self):
+        result = parse_type_text("~x:int -> unit")
+        assert result == SArrow(SInt(), SUnit())
+
+    def test_optional_argument_skipped(self):
+        result = parse_type_text("?x:int -> unit")
+        assert result == SArrow(SInt(), SUnit())
+
+
+class TestTypeDeclarations:
+    def test_simple_variant(self):
+        unit = parse_ml_text("type t = A of int | B | C of int * int | D")
+        (decl,) = unit.types
+        assert decl.name == "t"
+        body = decl.body
+        assert isinstance(body, SSum)
+        assert [c.name for c in body.constructors] == ["A", "B", "C", "D"]
+        assert body.constructors[2].args == (SInt(), SInt())
+
+    def test_leading_bar(self):
+        unit = parse_ml_text("type t = | A | B")
+        assert len(unit.types[0].body.constructors) == 2
+
+    def test_constructor_of_tuple_type(self):
+        # `C of (int * int)` takes ONE tuple argument... but unparenthesized
+        # `C of int * int` takes two.  Both shapes parse; we model the
+        # unparenthesized form as multiple fields like the compiler does.
+        unit = parse_ml_text("type t = C of int * bool")
+        assert unit.types[0].body.constructors[0].args == (SInt(), SBool())
+
+    def test_record(self):
+        unit = parse_ml_text("type p = { x : int; mutable y : int }")
+        body = unit.types[0].body
+        assert isinstance(body, SRecord)
+        assert [f.name for f in body.fields] == ["x", "y"]
+        assert body.fields[1].mutable
+
+    def test_alias(self):
+        unit = parse_ml_text("type fd = int")
+        assert unit.types[0].body == SInt()
+
+    def test_opaque(self):
+        unit = parse_ml_text("type window")
+        assert unit.types[0].is_opaque
+
+    def test_parameterized(self):
+        unit = parse_ml_text("type 'a pair = 'a * 'a")
+        decl = unit.types[0]
+        assert decl.params == ("a",)
+        assert decl.body == STuple((SVar("a"), SVar("a")))
+
+    def test_two_parameters(self):
+        unit = parse_ml_text("type ('k, 'v) entry = 'k * 'v")
+        assert unit.types[0].params == ("k", "v")
+
+    def test_mutually_recursive_and(self):
+        unit = parse_ml_text("type a = A of b and b = B of a")
+        assert [d.name for d in unit.types] == ["a", "b"]
+
+    def test_private_type(self):
+        unit = parse_ml_text("type t = private int")
+        assert unit.types[0].body == SInt()
+
+
+class TestExternals:
+    def test_basic(self):
+        unit = parse_ml_text('external f : int -> unit = "ml_f"')
+        (ext,) = unit.externals
+        assert ext.ml_name == "f"
+        assert ext.c_name == "ml_f"
+        assert ext.mltype == SArrow(SInt(), SUnit())
+
+    def test_noalloc_attribute(self):
+        unit = parse_ml_text('external f : int -> int = "ml_f" "noalloc"')
+        assert unit.externals[0].noalloc
+
+    def test_bytecode_native_pair(self):
+        unit = parse_ml_text(
+            'external f : int -> int -> int -> int -> int -> int -> int'
+            ' = "ml_f_bytecode" "ml_f_native"'
+        )
+        ext = unit.externals[0]
+        assert ext.c_name == "ml_f_bytecode"
+        assert ext.c_name_bytecode == "ml_f_native"
+
+    def test_missing_c_name_fails(self):
+        with pytest.raises(MLParseError):
+            parse_ml_text("external f : int -> unit = 3")
+
+
+class TestSkipping:
+    def test_let_bindings_skipped(self):
+        unit = parse_ml_text(
+            """
+            let helper x = x + 1
+            type t = A | B
+            let other = function A -> 0 | B -> 1
+            external f : t -> int = "ml_f"
+            """
+        )
+        assert len(unit.types) == 1
+        assert len(unit.externals) == 1
+
+    def test_open_and_module_skipped(self):
+        unit = parse_ml_text(
+            """
+            open Printf
+            module M = struct let x = 1 end
+            type t = int
+            """
+        )
+        assert unit.types[0].name == "t"
+
+    def test_nested_parens_in_skipped_code(self):
+        unit = parse_ml_text(
+            """
+            let f x = (match x with (a, b) -> [a; b])
+            external g : int -> int = "ml_g"
+            """
+        )
+        assert len(unit.externals) == 1
+
+    def test_comments_stripped(self):
+        unit = parse_ml_text(
+            """
+            (* a comment (* nested! *) still comment *)
+            type t = A (* trailing *) | B
+            """
+        )
+        assert len(unit.types[0].body.constructors) == 2
+
+    def test_exception_skipped(self):
+        unit = parse_ml_text(
+            """
+            exception Failure of string
+            type t = int
+            """
+        )
+        assert unit.types[0].name == "t"

@@ -1,0 +1,163 @@
+"""Tests for the central type repository and Γ_I construction (phase one)."""
+
+from repro.core.checker import InitialEnv
+from repro.core.srctypes import (
+    SConstrApp,
+    SInt,
+    SOpaque,
+    SSum,
+    STuple,
+    SVar,
+)
+from repro.core.types import CFun, CValue, GCVar, MTCustom, MTRepr, NOGC, PsiConst
+from repro.ocamlfront.repository import (
+    TypeRepository,
+    build_initial_env,
+    substitute,
+)
+
+
+class TestSubstitution:
+    def test_var_replaced(self):
+        assert substitute(SVar("a"), {"a": SInt()}) == SInt()
+
+    def test_unbound_var_kept(self):
+        assert substitute(SVar("b"), {"a": SInt()}) == SVar("b")
+
+    def test_inside_tuple(self):
+        result = substitute(STuple((SVar("a"), SVar("a"))), {"a": SInt()})
+        assert result == STuple((SInt(), SInt()))
+
+    def test_inside_constr_app(self):
+        result = substitute(
+            SConstrApp("list", (SVar("a"),)), {"a": SInt()}
+        )
+        assert result == SConstrApp("list", (SInt(),))
+
+
+class TestRepository:
+    def test_resolve_simple(self):
+        repo = TypeRepository()
+        repo.add_text("type t = A | B of int")
+        body = repo.resolve("t", ())
+        assert isinstance(body, SSum)
+
+    def test_resolve_unknown_is_none(self):
+        assert TypeRepository().resolve("nope", ()) is None
+
+    def test_resolve_opaque(self):
+        repo = TypeRepository()
+        repo.add_text("type window")
+        assert isinstance(repo.resolve("window", ()), SOpaque)
+
+    def test_resolve_parameterized(self):
+        repo = TypeRepository()
+        repo.add_text("type 'a pair = 'a * 'a")
+        body = repo.resolve("pair", (SInt(),))
+        assert body == STuple((SInt(), SInt()))
+
+    def test_arity_mismatch_becomes_opaque(self):
+        repo = TypeRepository()
+        repo.add_text("type 'a pair = 'a * 'a")
+        assert isinstance(repo.resolve("pair", ()), SOpaque)
+
+    def test_concrete_body_wins_over_opaque(self):
+        repo = TypeRepository()
+        repo.add_text("type t = A | B", "impl.ml")
+        repo.add_text("type t", "intf.mli")
+        assert isinstance(repo.resolve("t", ()), SSum)
+
+    def test_later_unit_overrides(self):
+        repo = TypeRepository()
+        repo.add_text("type t = int")
+        repo.add_text("type t = bool")
+        body = repo.resolve("t", ())
+        assert body is not None and body != SInt()
+
+    def test_stdlib_seeded(self):
+        repo = TypeRepository.with_stdlib()
+        assert repo.resolve("Unix.file_descr", ()) == SInt()
+        assert isinstance(repo.resolve("in_channel", ()), SOpaque)
+
+
+class TestInitialEnv:
+    def test_external_translated(self):
+        repo = TypeRepository()
+        repo.add_text(
+            'type t = A of int | B\nexternal get : t -> int = "ml_get"'
+        )
+        env = build_initial_env(repo)
+        fn = env.functions["ml_get"]
+        assert isinstance(fn, CFun)
+        assert len(fn.params) == 1
+        param = fn.params[0]
+        assert isinstance(param, CValue)
+        assert isinstance(param.mt, MTRepr)
+        assert param.mt.psi == PsiConst(1)
+
+    def test_effect_is_variable_by_default(self):
+        repo = TypeRepository()
+        repo.add_text('external f : int -> int = "ml_f"')
+        env = build_initial_env(repo)
+        assert isinstance(env.functions["ml_f"].effect, GCVar)
+
+    def test_noalloc_forces_nogc(self):
+        repo = TypeRepository()
+        repo.add_text('external f : int -> int = "ml_f" "noalloc"')
+        env = build_initial_env(repo)
+        assert env.functions["ml_f"].effect is NOGC
+
+    def test_poly_params_recorded(self):
+        repo = TypeRepository()
+        repo.add_text("external seek : 'a -> int -> unit = \"ml_seek\"")
+        env = build_initial_env(repo)
+        assert len(env.poly_params) == 1
+        assert env.poly_params[0].c_name == "ml_seek"
+        assert env.poly_params[0].param_index == 0
+
+    def test_poly_variant_users_recorded(self):
+        repo = TypeRepository()
+        repo.add_text(
+            "external f : [ `A | `B ] -> unit = \"ml_f\""
+        )
+        env = build_initial_env(repo)
+        assert "ml_f" in env.poly_variant_users
+
+    def test_opaque_types_shared_across_externals(self):
+        repo = TypeRepository()
+        repo.add_text(
+            """
+            type window
+            external a : window -> unit = "ml_a"
+            external b : window -> unit = "ml_b"
+            """
+        )
+        env = build_initial_env(repo)
+        mt_a = env.functions["ml_a"].params[0].mt
+        mt_b = env.functions["ml_b"].params[0].mt
+        assert isinstance(mt_a, MTCustom)
+        assert mt_a is mt_b  # the same hidden representation
+
+    def test_bytecode_and_native_stub_types(self):
+        from repro.core.types import CPtr
+
+        repo = TypeRepository()
+        repo.add_text(
+            'external f : int -> int -> int -> int -> int -> int -> int'
+            ' = "ml_b" "ml_n"'
+        )
+        env = build_initial_env(repo)
+        native = env.functions["ml_n"]
+        assert len(native.params) == 6
+        stub = env.functions["ml_b"]
+        # uniform signature: (value *argv, int argn)
+        assert len(stub.params) == 2
+        assert isinstance(stub.params[0], CPtr)
+        # same effect: solving one solves the other
+        assert stub.effect is native.effect
+
+    def test_merge(self):
+        left = InitialEnv(functions={"a": None})  # type: ignore[dict-item]
+        right = InitialEnv(functions={"b": None})  # type: ignore[dict-item]
+        merged = left.merge(right)
+        assert set(merged.functions) == {"a", "b"}

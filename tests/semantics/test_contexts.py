@@ -1,0 +1,175 @@
+"""Tests for the Figure 11 reduction contexts.
+
+The key property: the context-based small-step evaluator agrees with the
+recursive evaluator of :mod:`repro.semantics.reduce` on every expression —
+both on the resulting value and on getting stuck.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront.ir import (
+    AOp,
+    Deref,
+    IntLit,
+    IntValExp,
+    PtrAdd,
+    ValIntExp,
+    VarExp,
+)
+from repro.semantics.contexts import (
+    ValueExp,
+    as_value,
+    context_eval,
+    contract,
+    decompose,
+    is_value_exp,
+)
+from repro.semantics.reduce import StuckError, eval_expr
+from repro.semantics.stores import MachineState
+from repro.semantics.values import CIntVal, MLInt, MLLoc
+
+
+@pytest.fixture()
+def state():
+    state = MachineState()
+    state.variables.write("n", CIntVal(10))
+    state.variables.write("u", MLInt(3))
+    block = state.ml_store.alloc_block(1, [MLInt(7), MLInt(8)])
+    state.variables.write("b", block)
+    return state
+
+
+class TestDecompose:
+    def test_value_has_no_decomposition(self):
+        assert decompose(IntLit(3)) is None
+        assert decompose(ValueExp(MLInt(1))) is None
+
+    def test_variable_is_its_own_redex(self):
+        context, redex = decompose(VarExp("x"))
+        assert isinstance(redex, VarExp)
+        assert context(IntLit(1)) == IntLit(1)
+
+    def test_leftmost_innermost(self):
+        # (x + 1) + y — the first redex is x
+        exp = AOp("+", AOp("+", VarExp("x"), IntLit(1)), VarExp("y"))
+        _context, redex = decompose(exp)
+        assert isinstance(redex, VarExp) and redex.name == "x"
+
+    def test_plug_reconstructs(self):
+        exp = AOp("*", VarExp("x"), IntLit(2))
+        context, _redex = decompose(exp)
+        rebuilt = context(ValueExp(CIntVal(5)))
+        assert isinstance(rebuilt, AOp)
+        assert isinstance(rebuilt.left, ValueExp)
+
+    def test_right_operand_after_left(self):
+        exp = AOp("+", IntLit(1), VarExp("y"))
+        _context, redex = decompose(exp)
+        assert isinstance(redex, VarExp) and redex.name == "y"
+
+
+class TestContract:
+    def test_var_lookup(self, state):
+        result = contract(state, VarExp("n"))
+        assert as_value(result) == CIntVal(10)
+
+    def test_aop(self, state):
+        result = contract(state, AOp("+", IntLit(2), IntLit(3)))
+        assert as_value(result) == CIntVal(5)
+
+    def test_stuck_propagates(self, state):
+        with pytest.raises(StuckError):
+            contract(state, IntValExp(IntLit(3)))
+
+
+class TestContextEval:
+    def test_simple(self, state):
+        value, steps = context_eval(state, AOp("+", VarExp("n"), IntLit(5)))
+        assert value == CIntVal(15)
+        assert steps == 2  # lookup, then add
+
+    def test_field_read(self, state):
+        exp = IntValExp(Deref(PtrAdd(VarExp("b"), IntLit(1))))
+        value, _ = context_eval(state, exp)
+        assert value == CIntVal(8)
+
+    def test_stuck_on_bad_program(self, state):
+        with pytest.raises(StuckError):
+            context_eval(state, ValIntExp(VarExp("u")))
+
+
+# -- equivalence with the recursive evaluator -----------------------------------
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """Random restricted-language expressions over the fixture's variables."""
+    if depth == 0:
+        return draw(
+            st.sampled_from(
+                [IntLit(0), IntLit(5), VarExp("n"), VarExp("u"), VarExp("b")]
+            )
+        )
+    choice = draw(st.integers(min_value=0, max_value=5))
+    sub = expressions(depth=depth - 1)
+    if choice == 0:
+        return draw(sub)
+    if choice == 1:
+        op = draw(st.sampled_from(["+", "-", "*", "==", "<"]))
+        return AOp(op, draw(sub), draw(sub))
+    if choice == 2:
+        return PtrAdd(draw(sub), draw(sub))
+    if choice == 3:
+        return Deref(draw(sub))
+    if choice == 4:
+        return ValIntExp(draw(sub))
+    return IntValExp(draw(sub))
+
+
+@settings(max_examples=200, deadline=None)
+@given(expressions())
+def test_context_eval_agrees_with_recursive_eval(exp):
+    def fresh_state():
+        state = MachineState()
+        state.variables.write("n", CIntVal(10))
+        state.variables.write("u", MLInt(3))
+        block = state.ml_store.alloc_block(1, [MLInt(7), MLInt(8)])
+        state.variables.write("b", block)
+        return state
+
+    recursive_state = fresh_state()
+    context_state = fresh_state()
+
+    try:
+        expected = eval_expr(recursive_state, exp)
+        recursive_stuck = None
+    except StuckError as err:
+        expected = None
+        recursive_stuck = err
+
+    try:
+        actual, _steps = context_eval(context_state, exp)
+        context_stuck = None
+    except StuckError as err:
+        actual = None
+        context_stuck = err
+
+    if recursive_stuck is None:
+        assert context_stuck is None, (
+            f"context eval stuck but recursive succeeded on {exp}: "
+            f"{context_stuck}"
+        )
+        # values may live at different block bases across states with the
+        # same construction order, so compare structurally
+        assert type(actual) is type(expected)
+        if isinstance(expected, (CIntVal, MLInt)):
+            assert actual == expected
+        elif isinstance(expected, MLLoc):
+            assert actual.offset == expected.offset
+    else:
+        assert context_stuck is not None, (
+            f"recursive eval stuck but context eval produced {actual} "
+            f"on {exp}"
+        )

@@ -1,0 +1,214 @@
+"""Tests for the Figure 13 value typing and Definition 4 compatibility."""
+
+import random
+
+import pytest
+
+from repro.core.lattice import (
+    BOXED,
+    FLAT_TOP,
+    Qualifier,
+    TOP_B,
+    UNBOXED,
+)
+from repro.core.types import (
+    C_INT,
+    CPtr,
+    CValue,
+    INT_REPR,
+    MTRepr,
+    PsiConst,
+    closed_pi,
+    closed_sigma,
+    fresh_mt,
+)
+from repro.core.unify import Unifier
+from repro.semantics.generator import random_inhabitant, random_variant
+from repro.semantics.stores import MachineState
+from repro.semantics.typecheck import (
+    HeapTyping,
+    ValueTypeError,
+    check_compatibility,
+    check_value,
+)
+from repro.semantics.values import CIntVal, CLoc, MLInt, MLLoc
+
+TOP_QUAL = Qualifier(TOP_B, 0, FLAT_TOP)
+
+
+@pytest.fixture()
+def unifier():
+    return Unifier()
+
+
+@pytest.fixture()
+def heap():
+    return HeapTyping()
+
+
+def pair_repr():
+    """(0, int × int) — an int pair."""
+    return MTRepr(
+        psi=PsiConst(0), sigma=closed_sigma([closed_pi([INT_REPR, INT_REPR])])
+    )
+
+
+class TestCheckValue:
+    def test_c_int_at_int(self, unifier, heap):
+        check_value(unifier, heap, CIntVal(5), C_INT, TOP_QUAL)
+
+    def test_c_int_tag_must_match(self, unifier, heap):
+        check_value(unifier, heap, CIntVal(5), C_INT, Qualifier(TOP_B, 0, 5))
+        with pytest.raises(ValueTypeError):
+            check_value(
+                unifier, heap, CIntVal(5), C_INT, Qualifier(TOP_B, 0, 6)
+            )
+
+    def test_c_int_at_value_rejected(self, unifier, heap):
+        with pytest.raises(ValueTypeError):
+            check_value(
+                unifier, heap, CIntVal(5), CValue(INT_REPR), TOP_QUAL
+            )
+
+    def test_ml_int_at_int_repr(self, unifier, heap):
+        check_value(unifier, heap, MLInt(42), CValue(INT_REPR), TOP_QUAL)
+
+    def test_ml_int_nullary_bound(self, unifier, heap):
+        two = MTRepr(psi=PsiConst(2), sigma=closed_sigma([]))
+        check_value(unifier, heap, MLInt(1), CValue(two), TOP_QUAL)
+        with pytest.raises(ValueTypeError):
+            check_value(unifier, heap, MLInt(2), CValue(two), TOP_QUAL)
+
+    def test_ml_int_claimed_boxed_rejected(self, unifier, heap):
+        with pytest.raises(ValueTypeError):
+            check_value(
+                unifier,
+                heap,
+                MLInt(0),
+                CValue(INT_REPR),
+                Qualifier(BOXED, 0, FLAT_TOP),
+            )
+
+    def test_ml_loc_requires_known_block(self, unifier, heap):
+        with pytest.raises(ValueTypeError):
+            check_value(
+                unifier, heap, MLLoc(0, 0), CValue(pair_repr()), TOP_QUAL
+            )
+
+    def test_ml_loc_offset_claim_checked(self, unifier, heap):
+        heap.blocks[0] = pair_repr()
+        check_value(
+            unifier,
+            heap,
+            MLLoc(0, 1),
+            CValue(pair_repr()),
+            Qualifier(BOXED, 1, FLAT_TOP),
+        )
+        with pytest.raises(ValueTypeError):
+            check_value(
+                unifier,
+                heap,
+                MLLoc(0, 1),
+                CValue(pair_repr()),
+                Qualifier(BOXED, 0, FLAT_TOP),
+            )
+
+    def test_ml_loc_claimed_unboxed_rejected(self, unifier, heap):
+        heap.blocks[0] = pair_repr()
+        with pytest.raises(ValueTypeError):
+            check_value(
+                unifier,
+                heap,
+                MLLoc(0, 0),
+                CValue(pair_repr()),
+                Qualifier(UNBOXED, 0, FLAT_TOP),
+            )
+
+    def test_c_loc_needs_pointer_type(self, unifier, heap):
+        heap.c_cells[0] = C_INT
+        check_value(unifier, heap, CLoc(0), CPtr(C_INT), TOP_QUAL)
+        with pytest.raises(ValueTypeError):
+            check_value(unifier, heap, CLoc(0), C_INT, TOP_QUAL)
+
+
+class TestCompatibility:
+    def test_empty_state_compatible(self, unifier, heap):
+        assert check_compatibility(unifier, heap, MachineState(), {}) == []
+
+    def test_well_formed_block(self, unifier, heap):
+        state = MachineState()
+        loc = state.ml_store.alloc_block(0, [MLInt(1), MLInt(2)])
+        heap.blocks[loc.base] = pair_repr()
+        state.variables.write("x", loc)
+        problems = check_compatibility(
+            unifier,
+            heap,
+            state,
+            {"x": (CValue(pair_repr()), Qualifier(BOXED, 0, 0))},
+        )
+        assert problems == []
+
+    def test_tag_out_of_type_detected(self, unifier, heap):
+        state = MachineState()
+        loc = state.ml_store.alloc_block(7, [MLInt(1)])
+        heap.blocks[loc.base] = pair_repr()
+        problems = check_compatibility(unifier, heap, state, {})
+        assert any("tag 7" in p for p in problems)
+
+    def test_untyped_block_detected(self, unifier, heap):
+        state = MachineState()
+        state.ml_store.alloc_block(0, [MLInt(1)])
+        problems = check_compatibility(unifier, heap, state, {})
+        assert any("no typing" in p for p in problems)
+
+    def test_wrong_field_value_detected(self, unifier, heap):
+        state = MachineState()
+        # field claims int but holds a C location
+        cloc = state.c_store.alloc(CIntVal(0))
+        heap.c_cells[cloc.address] = C_INT
+        loc = state.ml_store.alloc_block(0, [cloc, MLInt(2)])
+        heap.blocks[loc.base] = pair_repr()
+        problems = check_compatibility(unifier, heap, state, {})
+        assert any("field 0" in p for p in problems)
+
+    def test_variable_against_wrong_type(self, unifier, heap):
+        state = MachineState()
+        state.variables.write("x", MLInt(3))
+        problems = check_compatibility(
+            unifier,
+            heap,
+            state,
+            {"x": (C_INT, TOP_QUAL)},
+        )
+        assert any("`x`" in p for p in problems)
+
+    def test_generated_inhabitants_always_compatible(self, unifier):
+        """The generator builds blocks from types — Definition 4 holds."""
+        from repro.core.srctypes import SConstructor, SSum, SInt
+        from repro.core.translate import rho
+
+        rng = random.Random(5)
+        for _ in range(30):
+            variant = random_variant(rng)
+            source_sum = SSum(
+                tuple(
+                    SConstructor(c.name, tuple(SInt() for _ in range(c.arity)))
+                    for c in variant.constructors
+                )
+            )
+            repr_type = rho(source_sum)
+            state = MachineState()
+            value = random_inhabitant(rng, variant, state)
+            heap = HeapTyping()
+            for base in state.ml_store.sizes:
+                heap.blocks[base] = repr_type
+            qual = (
+                Qualifier(UNBOXED, 0, FLAT_TOP)
+                if isinstance(value, MLInt)
+                else Qualifier(BOXED, 0, FLAT_TOP)
+            )
+            state.variables.write("x", value)
+            problems = check_compatibility(
+                unifier, heap, state, {"x": (CValue(repr_type), qual)}
+            )
+            assert problems == [], problems

@@ -1,0 +1,173 @@
+"""Tests for the high-level API surface."""
+
+import pytest
+
+from repro import (
+    AnalysisReport,
+    Category,
+    Kind,
+    Options,
+    Project,
+    SourceFile,
+    analyze_project,
+    check_c_source,
+)
+from repro.source import count_code_lines
+
+
+class TestProject:
+    def test_fluent_building(self):
+        project = (
+            Project()
+            .add_ocaml('external f : int -> int = "ml_f"', "a.ml")
+            .add_c("value ml_f(value x) { return x; }", "a.c")
+        )
+        assert len(project.ocaml_sources) == 1
+        assert len(project.c_sources) == 1
+        assert project.ocaml_sources[0].filename == "a.ml"
+
+    def test_source_file_objects_accepted(self):
+        source = SourceFile("x.c", "int f(void) { return 0; }")
+        report = analyze_project([], [source])
+        assert isinstance(report, AnalysisReport)
+
+    def test_repository_accessible(self):
+        project = Project().add_ocaml("type t = A | B")
+        repo = project.build_repository()
+        assert repo.resolve("t", ()) is not None
+
+    def test_lower_merges_multiple_c_files(self):
+        project = (
+            Project()
+            .add_c("int f(void) { return 0; }", "a.c")
+            .add_c("int g(void) { return 1; }", "b.c")
+        )
+        program = project.lower()
+        assert {fn.name for fn in program.functions} == {"f", "g"}
+
+    def test_diagnostics_point_at_right_file(self):
+        project = (
+            Project()
+            .add_ocaml('external f : int -> int = "ml_f"', "lib.ml")
+            .add_c("value ml_f(value x) { return Val_int(x); }", "stubs.c")
+        )
+        report = project.analyze()
+        assert report.errors[0].span.filename == "stubs.c"
+
+
+class TestAnalyzeProject:
+    def test_multiple_ml_files_share_repository(self):
+        ml_types = "type t = A of int | B"
+        ml_externals = 'external get : t -> int = "ml_get"'
+        c = """
+        value ml_get(value x)
+        {
+            if (Is_long(x)) return Val_int(0);
+            return Field(x, 0);
+        }
+        """
+        report = analyze_project([ml_types, ml_externals], [c])
+        assert not report.diagnostics
+
+    def test_multiple_c_files_share_function_env(self):
+        # helper defined in one file allocates; caller in another file
+        ml = 'external f : string -> string = "ml_f"'
+        helper = """
+        value make_cell(value v)
+        {
+            CAMLparam1(v);
+            CAMLlocal1(r);
+            r = caml_alloc(1, 0);
+            Store_field(r, 0, v);
+            CAMLreturn(r);
+        }
+        """
+        caller = """
+        value make_cell(value v);
+        value ml_f(value s)
+        {
+            value c = make_cell(s);
+            return s;
+        }
+        """
+        report = analyze_project([ml], [helper, caller])
+        assert Kind.UNPROTECTED_VALUE in [d.kind for d in report.diagnostics]
+
+    def test_options_threaded(self):
+        ml = 'external f : string -> string ref = "ml_f"'
+        c = """
+        value ml_f(value s)
+        {
+            value r = caml_alloc(1, 0);
+            Store_field(r, 0, s);
+            return r;
+        }
+        """
+        strict = analyze_project([ml], [c])
+        relaxed = analyze_project([ml], [c], Options(gc_effects=False))
+        assert strict.tally()["errors"] == 1
+        assert relaxed.tally()["errors"] == 0
+
+    def test_check_c_source_shortcut(self):
+        report = check_c_source("int f(void) { return 0; }")
+        assert not report.diagnostics
+
+    def test_report_statistics(self):
+        report = check_c_source("int f(void) { return 0; }")
+        assert report.elapsed_seconds >= 0
+        assert report.unification_steps >= 0
+        assert "f" in report.function_results
+
+
+class TestSourceHelpers:
+    def test_count_code_lines_skips_blanks(self):
+        assert count_code_lines("a\n\n  \nb\n") == 2
+
+    def test_source_file_positions(self):
+        source = SourceFile("t.c", "ab\ncd")
+        assert source.position(0).line == 1
+        assert source.position(3).line == 2
+        assert source.position(3).column == 1
+        assert source.line_text(2) == "cd"
+        assert source.line_count == 2
+
+    def test_span_merge(self):
+        from repro.source import Span
+
+        source = SourceFile("t.c", "hello world")
+        first = source.span(0, 2)
+        last = source.span(6, 11)
+        merged = Span.merge(first, last)
+        assert merged.start.offset == 0
+        assert merged.end.offset == 11
+        with pytest.raises(ValueError):
+            Span.merge(first, SourceFile("u.c", "x").span(0, 1))
+
+
+class TestDiagnosticsAPI:
+    def test_category_tally_keys(self):
+        report = check_c_source("int f(void) { return 0; }")
+        assert set(report.tally()) == {
+            "errors",
+            "warnings",
+            "false_positives",
+            "imprecision",
+        }
+
+    def test_every_kind_has_category(self):
+        for kind in Kind:
+            assert isinstance(kind.category, Category)
+            assert kind.summary
+
+    def test_bag_iteration_and_len(self):
+        from repro.diagnostics import DiagnosticBag
+        from repro.source import DUMMY_SPAN
+
+        bag = DiagnosticBag()
+        assert not bag
+        bag.emit(Kind.TYPE_MISMATCH, DUMMY_SPAN, "one")
+        bag.emit(Kind.GLOBAL_VALUE, DUMMY_SPAN, "two")
+        assert len(bag) == 2
+        assert len(list(bag)) == 2
+        assert bag.count(Category.ERROR) == 1
+        assert bag.count(Category.IMPRECISION) == 1

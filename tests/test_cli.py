@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def project_files(tmp_path):
+    ml = tmp_path / "lib.ml"
+    ml.write_text(
+        'type t = A of int | B\nexternal get : t -> int = "ml_get"\n'
+    )
+    c = tmp_path / "stubs.c"
+    c.write_text(
+        """
+value ml_get(value x)
+{
+    if (Is_long(x)) return Val_int(0);
+    return Field(x, 0);
+}
+"""
+    )
+    return ml, c
+
+
+class TestCheck:
+    def test_clean_project_exit_zero(self, project_files, capsys):
+        ml, c = project_files
+        code = main(["check", str(ml), str(c)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_buggy_project_exit_counts_errors(self, tmp_path, capsys):
+        ml = tmp_path / "lib.ml"
+        ml.write_text('external f : int -> int = "ml_f"\n')
+        c = tmp_path / "stubs.c"
+        c.write_text("value ml_f(value x) { return Val_int(x); }\n")
+        code = main(["check", str(ml), str(c)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "Val_int" in out
+
+    def test_quiet_mode(self, project_files, capsys):
+        ml, c = project_files
+        main(["check", "--quiet", str(ml), str(c)])
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("--")
+        assert len(out.splitlines()) == 1
+
+    def test_missing_file(self, capsys):
+        code = main(["check", "/nonexistent/file.c"])
+        assert code == 125
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_extension(self, tmp_path, capsys):
+        path = tmp_path / "data.txt"
+        path.write_text("hello")
+        code = main(["check", str(path)])
+        assert code == 125
+
+    def test_ablation_flags(self, tmp_path, capsys):
+        ml = tmp_path / "lib.ml"
+        ml.write_text(
+            'external f : string -> string ref = "ml_f"\n'
+        )
+        c = tmp_path / "stubs.c"
+        c.write_text(
+            """
+value ml_f(value s)
+{
+    value r = caml_alloc(1, 0);
+    Store_field(r, 0, s);
+    return r;
+}
+"""
+        )
+        assert main(["check", str(ml), str(c)]) == 1
+        assert main(["check", "--no-gc-effects", str(ml), str(c)]) == 0
+
+
+class TestBench:
+    def test_single_program(self, capsys):
+        code = main(["bench", "--program", "apm-1.00"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "apm-1.00" in out
+        assert "Total" in out
+
+    def test_unknown_program(self, capsys):
+        code = main(["bench", "--program", "no-such-lib"])
+        assert code == 125
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_compare_flag(self, capsys):
+        code = main(["bench", "--program", "ocaml-mad-0.1.0", "--compare"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper/ours" in out
+
+
+class TestExample:
+    def test_example_is_clean(self, capsys):
+        code = main(["example"])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out

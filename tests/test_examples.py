@@ -1,0 +1,33 @@
+"""Every example script must run to success (they self-verify)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sum_types_demo.py",
+    "gc_safety_demo.py",
+    "custom_blocks_demo.py",
+    "interpreter_demo.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    with pytest.raises(SystemExit) as exit_info:
+        runpy.run_path(str(path), run_name="__main__")
+    assert exit_info.value.code == 0, capsys.readouterr().out
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert "figure9_table.py" in names
+    assert len(names) >= 6  # quickstart + >=5 scenario walkthroughs
