@@ -8,9 +8,7 @@ the Figure 9 suite with one ingredient disabled and measures both the
 report deltas and the timing.
 """
 
-import pytest
 
-from repro.api import analyze_project
 from repro.bench.runner import run_benchmark
 from repro.bench.specs import spec_by_name
 from repro.core.exprs import Options

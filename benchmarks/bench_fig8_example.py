@@ -10,7 +10,6 @@ assert the final, fully-resolved representational type of ``x``:
     type t = A of int | B | C of int * int | D
 """
 
-import pytest
 
 from repro.api import Project
 from repro.core.checker import Checker

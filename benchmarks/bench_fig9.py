@@ -10,7 +10,7 @@ import pytest
 
 from repro.bench.report import error_taxonomy, figure9_table
 from repro.bench.runner import run_benchmark, run_suite
-from repro.bench.specs import PAPER_TOTALS, SUITE, spec_by_name, suite_totals
+from repro.bench.specs import PAPER_TOTALS, SUITE, spec_by_name
 from repro.bench.synth import synthesize
 from repro.api import analyze_project
 

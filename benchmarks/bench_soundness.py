@@ -8,7 +8,6 @@ acceptance implies the machine never gets stuck.
 
 import random
 
-import pytest
 
 from repro.semantics.generator import SABOTAGES, generate_program
 from repro.semantics.machine import run_generated

@@ -1,0 +1,5 @@
+(* counter.ml — a record-backed counter exposed to C *)
+type counter = { count : int; step : int }
+
+external make  : int -> counter = "ml_counter_make"
+external next  : counter -> int = "ml_counter_next"

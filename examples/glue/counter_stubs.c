@@ -1,0 +1,22 @@
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+
+/* correct glue: record allocation with protection, field reads */
+
+value ml_counter_make(value step)
+{
+    CAMLparam1(step);
+    CAMLlocal1(result);
+    result = caml_alloc(2, 0);
+    Store_field(result, 0, Val_int(0));
+    Store_field(result, 1, step);
+    CAMLreturn(result);
+}
+
+value ml_counter_next(value counter)
+{
+    int count = Int_val(Field(counter, 0));
+    int step = Int_val(Field(counter, 1));
+    return Val_int(count + step);
+}

@@ -1,0 +1,4 @@
+(* shapes.ml — a sum type whose C dispatch has a seeded defect *)
+type shape = Point | Circle of int | Rect of int * int
+
+external area : shape -> int = "ml_shape_area"

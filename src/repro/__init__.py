@@ -22,22 +22,36 @@ from .api import Project, analyze_project, check_c_source
 from .core.checker import AnalysisReport, Checker, InitialEnv
 from .core.exprs import Options
 from .diagnostics import Category, Diagnostic, DiagnosticBag, Kind
+from .engine import (
+    BatchReport,
+    CheckRequest,
+    CheckResult,
+    NullCache,
+    ResultCache,
+    run_batch,
+)
 from .source import SourceFile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisReport",
+    "BatchReport",
     "Category",
     "Checker",
+    "CheckRequest",
+    "CheckResult",
     "Diagnostic",
     "DiagnosticBag",
     "InitialEnv",
     "Kind",
+    "NullCache",
     "Options",
     "Project",
+    "ResultCache",
     "SourceFile",
     "analyze_project",
     "check_c_source",
+    "run_batch",
     "__version__",
 ]

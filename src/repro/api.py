@@ -2,23 +2,32 @@
 
 This is the library's public face, mirroring §5.1's two-tool pipeline:
 the OCaml tool builds the type repository and ``Γ_I``; the C tool lowers
-the glue code and runs the multi-lingual inference.
+the glue code and runs the multi-lingual inference.  Both the single-shot
+(:meth:`Project.analyze`) and batched (:meth:`Project.analyze_batch`)
+paths delegate to :mod:`repro.engine`, so one analysis implementation
+serves the library API, the CLI, and the parallel batch driver.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Union
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from .cfront.ir import ProgramIR
 from .cfront.lower import lower_unit
 from .cfront.parser import parse_c
-from .core.checker import AnalysisReport, Checker, InitialEnv
+from .core.checker import AnalysisReport, InitialEnv
 from .core.exprs import Options
+from .engine import BatchReport, CheckRequest, run_batch
+from .engine.scheduler import Cache
+from .engine.worker import analyze_request
 from .ocamlfront.repository import TypeRepository, build_initial_env
 from .source import SourceFile
 
 SourceLike = Union[str, SourceFile]
+
+OCAML_SUFFIXES = (".ml", ".mli")
 
 
 def _as_source(source: SourceLike, default_name: str) -> SourceFile:
@@ -42,6 +51,21 @@ class Project:
         self.c_sources.append(_as_source(source, name))
         return self
 
+    @classmethod
+    def from_directory(cls, root: str | Path) -> "Project":
+        """Scan ``root`` recursively: every ``.ml``/``.mli`` feeds the type
+        repository, every ``.c`` becomes a translation unit."""
+        project = cls()
+        root = Path(root)
+        for path in sorted(root.rglob("*")):
+            if not path.is_file():
+                continue
+            if path.suffix in OCAML_SUFFIXES:
+                project.add_ocaml(SourceFile(str(path), path.read_text()))
+            elif path.suffix == ".c":
+                project.add_c(SourceFile(str(path), path.read_text()))
+        return project
+
     def build_repository(self) -> TypeRepository:
         repo = TypeRepository.with_stdlib()
         for source in self.ocaml_sources:
@@ -58,11 +82,50 @@ class Project:
             program = program.merge(lower_unit(unit))
         return program
 
+    # -- engine integration ----------------------------------------------------
+
+    def to_request(
+        self, options: Optional[Options] = None, name: str = "<project>"
+    ) -> CheckRequest:
+        """The whole project as one translation unit (single-shot path)."""
+        return CheckRequest(
+            name=name,
+            c_sources=tuple(self.c_sources),
+            ocaml_sources=tuple(self.ocaml_sources),
+            options=options or Options(),
+        )
+
+    def to_requests(
+        self, options: Optional[Options] = None
+    ) -> list[CheckRequest]:
+        """One :class:`CheckRequest` per C file, sharing the OCaml side.
+
+        This is the batch decomposition: the repository inputs travel with
+        every unit (workers memoize parsing them), and each C file is
+        analyzed — and cached — independently.
+        """
+        options = options or Options()
+        return [
+            replace(
+                self.to_request(options, name=source.filename),
+                c_sources=(source,),
+            )
+            for source in self.c_sources
+        ]
+
     def analyze(self, options: Optional[Options] = None) -> AnalysisReport:
         """Run both phases and return the full report."""
-        initial_env = self.build_initial_env()
-        program = self.lower()
-        return Checker(program, initial_env, options).run()
+        return analyze_request(self.to_request(options))
+
+    def analyze_batch(
+        self,
+        options: Optional[Options] = None,
+        *,
+        jobs: int = 1,
+        cache: Optional[Cache] = None,
+    ) -> BatchReport:
+        """Analyze every C file as its own unit via the batch engine."""
+        return run_batch(self.to_requests(options), jobs=jobs, cache=cache)
 
 
 def analyze_project(

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .runner import BenchmarkResult, SuiteResult
-from .specs import PAPER_TOTALS, SUITE
+from .runner import SuiteResult
+from .specs import PAPER_TOTALS
 
 
 _HEADER = (
@@ -107,7 +107,7 @@ def comparison_table(suite: SuiteResult) -> str:
 
 def error_taxonomy(suite: SuiteResult) -> dict[str, int]:
     """The §5.2 error breakdown: how the 24 errors divide by kind."""
-    from ..diagnostics import Category, Kind
+    from ..diagnostics import Category
 
     taxonomy: dict[str, int] = {}
     for result in suite.results:

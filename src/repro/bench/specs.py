@@ -18,7 +18,7 @@ seeds whose detections should land in each Figure 9 column:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

@@ -15,14 +15,12 @@ from typing import Dict, Iterator, List, Set
 
 from .ir import (
     FunctionIR,
-    SAssign,
     SCamlReturn,
     SGoto,
     SIf,
     SIfIntTag,
     SIfSumTag,
     SIfUnboxed,
-    SNop,
     SReturn,
     Stmt,
 )

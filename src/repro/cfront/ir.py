@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
-from ..core.srctypes import CSrcType, CSrcValue
+from ..core.srctypes import CSrcType
 from ..source import DUMMY_SPAN, Span
 
 

@@ -22,15 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..core.srctypes import (
-    CSrcFun,
-    CSrcPtr,
-    CSrcScalar,
-    CSrcStruct,
-    CSrcType,
-    CSrcValue,
-    CSrcVoid,
-)
+from ..core.srctypes import CSrcFun, CSrcPtr, CSrcScalar, CSrcType, CSrcValue, CSrcVoid
 from ..source import DUMMY_SPAN, Span
 from . import ast, ir
 from .macros import (

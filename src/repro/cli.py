@@ -4,25 +4,31 @@ Usage::
 
     mlffi-check check glue.ml stubs.c [more .ml/.c files ...]
     mlffi-check check --no-flow-sensitive --no-gc-effects stubs.c
+    mlffi-check batch src/glue --jobs 4 --format json
     mlffi-check bench [--program lablgtk-2.2.0]
     mlffi-check example
 
 ``check`` analyzes a multi-lingual project and prints the diagnostics plus
 the Figure 9 style tally; the exit status is the number of errors (capped
-at 125 so it stays a valid exit code).  ``bench`` regenerates the Figure 9
-table from the synthesized suite.  ``example`` runs the paper's Figure 2
-program as a smoke test.
+at 125 so it stays a valid exit code).  ``batch`` sweeps a directory tree —
+every ``.ml``/``.mli`` feeds the shared type repository, every ``.c`` is an
+independently analyzed (and content-hash cached) translation unit fanned
+out across a worker pool.  ``bench`` regenerates the Figure 9 table from
+the synthesized suite.  ``example`` runs the paper's Figure 2 program as a
+smoke test.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .api import Project
 from .core.exprs import Options
+from .engine import DEFAULT_CACHE_DIR, NullCache, ResultCache
 from .source import SourceFile
 
 
@@ -57,6 +63,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--signatures",
         action="store_true",
         help="also print the inferred multi-lingual signatures",
+    )
+
+    batch = sub.add_parser(
+        "batch",
+        help="analyze every translation unit under a directory, in parallel "
+        "and with content-hash caching",
+    )
+    batch.add_argument(
+        "directory",
+        help="root to scan: .ml/.mli files feed the shared type repository, "
+        "each .c file becomes one translation unit",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = auto-detect; default: 1, sequential)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze every unit from scratch and store nothing",
+    )
+    batch.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is machine-readable, one report object)",
+    )
+    batch.add_argument(
+        "--no-flow-sensitive",
+        action="store_true",
+        help="disable B/I/T dataflow (ablation)",
+    )
+    batch.add_argument(
+        "--no-gc-effects",
+        action="store_true",
+        help="disable GC effect checking (ablation)",
     )
 
     bench = sub.add_parser("bench", help="regenerate the Figure 9 table")
@@ -106,6 +157,33 @@ def _run_check(args: argparse.Namespace) -> int:
         for name in sorted(report.signatures):
             print("  " + report.signatures[name])
     return min(len(report.errors), 125)
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"error: no such directory: {args.directory}", file=sys.stderr)
+        return 125
+    project = Project.from_directory(root)
+    if not project.c_sources:
+        print(
+            f"error: no .c translation units under {args.directory}",
+            file=sys.stderr,
+        )
+        return 125
+    options = Options(
+        flow_sensitive=not args.no_flow_sensitive,
+        gc_effects=not args.no_gc_effects,
+    )
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    report = project.analyze_batch(options, jobs=args.jobs, cache=cache)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if report.failures:
+        return 125
+    return min(report.tally()["errors"], 125)
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -170,6 +248,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "check":
         return _run_check(args)
+    if args.command == "batch":
+        return _run_batch(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "example":

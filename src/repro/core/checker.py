@@ -21,19 +21,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..cfront.ir import FunctionIR, ProgramIR, VarDecl
+from ..cfront.ir import ProgramIR
 from ..cfront.macros import POLYMORPHIC_BUILTINS, builtin_entries
-from ..diagnostics import Category, DiagnosticBag, Kind
+from ..diagnostics import DiagnosticBag, Kind
 from ..source import DUMMY_SPAN, Span
 from .constraints import EffectConstraintStore, PsiConstraintStore
 from .environment import Entry
 from .exprs import Context, Options
 from .gceffects import GCCheckSummary, discharge_gc_checks
-from .srctypes import CSrcType, CSrcValue, is_value_src
+from .srctypes import CSrcType, is_value_src
 from .stmts import FunctionAnalyzer, FunctionResult
 from .translate import eta
-from .types import CFun, CType, CValue, MTVar, MLType
-from .unify import UnificationError, Unifier
+from .types import CFun, MTVar
+from .unify import Unifier
 
 
 @dataclass(frozen=True)

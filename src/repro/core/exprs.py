@@ -21,7 +21,6 @@ from typing import Callable, Optional
 from ..cfront.ir import (
     AOp,
     AddrOf,
-    CallExp,
     CastExp,
     Deref,
     Expr,
@@ -39,9 +38,7 @@ from .environment import Entry, TypeEnv
 from .lattice import (
     BOTTOM_QUALIFIER,
     BOXED,
-    FLAT_BOT,
     FLAT_TOP,
-    FlatValue,
     Qualifier,
     TOP_B,
     UNBOXED,
@@ -50,16 +47,14 @@ from .lattice import (
     is_const,
     qualifier_for_int,
 )
-from .srctypes import CSrcPtr, CSrcScalar, CSrcType, CSrcValue, CSrcVoid
+from .srctypes import CSrcPtr, CSrcType, CSrcValue, CSrcVoid
 from .translate import eta
 from .types import (
     C_INT,
     CFun,
     CPtr,
-    CStruct,
     CType,
     CValue,
-    CVoid,
     CInt,
     GCEffect,
     MLType,

@@ -15,7 +15,7 @@ into real glue code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..diagnostics import Category, Diagnostic, Kind
 from ..source import Span

@@ -26,7 +26,6 @@ from ..cfront.ir import (
     SIfSumTag,
     SIfUnboxed,
     SReturn,
-    Stmt,
     VarExp,
     expr_vars,
 )

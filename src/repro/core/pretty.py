@@ -22,20 +22,16 @@ from .types import (
     CInt,
     GCConst,
     GCEffect,
-    GCVar,
     MLType,
     MTArrow,
     MTCustom,
     MTRepr,
     MTVar,
-    PSI_TOP,
     Pi,
-    PiVar,
     Psi,
     PsiConst,
     PsiVar,
     Sigma,
-    SigmaVar,
 )
 from .unify import Unifier
 

@@ -16,7 +16,7 @@ false-positive source, §5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Sequence, Tuple, Union
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,6 @@ from ..cfront.ir import (
     FunctionIR,
     IntLit,
     MemLval,
-    ProtectDecl,
     PtrAdd,
     Rhs,
     SAssign,
@@ -38,24 +37,13 @@ from ..diagnostics import Kind
 from ..source import Span
 from .environment import Entry, LabelEnv, TypeEnv
 from .exprs import Context, ExprTyper, PendingGCCheck, RuleError
-from .lattice import (
-    BOXED,
-    FLAT_BOT,
-    FLAT_TOP,
-    Qualifier,
-    TOP_B,
-    UNBOXED,
-    UNKNOWN_QUALIFIER,
-    is_const,
-)
+from .lattice import BOXED, FLAT_TOP, Qualifier, UNBOXED, UNKNOWN_QUALIFIER, is_const
 from .liveness import LivenessResult, compute_liveness
-from .srctypes import CSrcValue, CSrcVoid
 from .translate import eta
 from .types import (
     C_INT,
     C_VOID,
     CFun,
-    CPtr,
     CType,
     CValue,
     GCEffect,
@@ -63,7 +51,6 @@ from .types import (
     NOGC,
     PsiConst,
     fresh_gc,
-    fresh_mt,
 )
 from .unify import UnificationError, instantiate_ct
 

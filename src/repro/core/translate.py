@@ -39,7 +39,6 @@ from .srctypes import (
     SBool,
     SChar,
     SConstrApp,
-    SConstructor,
     SFloat,
     SInt,
     SOpaque,
@@ -61,17 +60,14 @@ from .types import (
     CStruct,
     CType,
     CValue,
-    GCEffect,
     INT_REPR,
     MLType,
     MTArrow,
     MTCustom,
     MTRepr,
     MTVar,
-    PSI_TOP,
     Pi,
     PsiConst,
-    Sigma,
     UNIT_REPR,
     closed_pi,
     closed_sigma,

@@ -21,8 +21,6 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from .types import (
-    C_INT,
-    C_VOID,
     CFun,
     CPtr,
     CStruct,

@@ -119,6 +119,25 @@ class Diagnostic:
     def __str__(self) -> str:
         return self.render()
 
+    def to_dict(self) -> dict:
+        """JSON-able form, round-tripped by the batch-engine result cache."""
+        return {
+            "kind": self.kind.name,
+            "category": self.category.value,
+            "span": self.span.to_dict(),
+            "message": self.message,
+            "function": self.function,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        return cls(
+            kind=Kind[data["kind"]],
+            span=Span.from_dict(data["span"]),
+            message=data["message"],
+            function=data.get("function"),
+        )
+
 
 @dataclass
 class DiagnosticBag:

@@ -1,0 +1,35 @@
+"""Batch-analysis engine: jobs, scheduling, and the result cache.
+
+Turns the single-shot two-phase pipeline into a scalable driver: translation
+units become :class:`CheckRequest` jobs, a scheduler fans them out across a
+worker pool, a content-hash :class:`ResultCache` skips unchanged units, and
+the per-unit outcomes merge into one Figure-9-style :class:`BatchReport`.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, NullCache, ResultCache
+from .jobs import (
+    CACHE_SCHEMA_VERSION,
+    BatchReport,
+    CheckRequest,
+    CheckResult,
+    options_fingerprint,
+    repository_fingerprint,
+)
+from .scheduler import default_jobs, run_batch
+from .worker import analyze_request, run_request
+
+__all__ = [
+    "BatchReport",
+    "CACHE_SCHEMA_VERSION",
+    "CheckRequest",
+    "CheckResult",
+    "DEFAULT_CACHE_DIR",
+    "NullCache",
+    "ResultCache",
+    "analyze_request",
+    "default_jobs",
+    "options_fingerprint",
+    "repository_fingerprint",
+    "run_batch",
+    "run_request",
+]

@@ -1,0 +1,107 @@
+"""Content-hash result cache for the batch engine.
+
+Results are stored one JSON file per cache key under a cache directory
+(default ``.mlffi-cache``).  Keys come from
+:meth:`repro.engine.jobs.CheckRequest.cache_key`, which digests the C
+sources, the OCaml repository fingerprint, and the analysis options — so a
+hit is only possible when re-analyzing would provably reproduce the stored
+diagnostics.  Corrupt or stale entries are treated as misses, never errors:
+the cache can always be deleted wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .jobs import CACHE_SCHEMA_VERSION, CheckResult
+
+DEFAULT_CACHE_DIR = ".mlffi-cache"
+
+
+class ResultCache:
+    """Filesystem-backed store of :class:`CheckResult` keyed by content hash."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[CheckResult]:
+        """Return the cached result for ``key``, or ``None`` on any miss."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("schema_version") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        try:
+            result = CheckResult.from_dict(data["result"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.from_cache = True
+        return result
+
+    def store(self, key: str, result: CheckResult) -> None:
+        """Persist ``result`` under ``key`` (atomically; failures ignored)."""
+        if result.failure is not None:
+            return  # infrastructure failures must re-run next time
+        payload = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "result": result.to_dict(),
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._path(key))
+        except OSError:
+            pass  # a read-only cache dir degrades to "no cache", not a crash
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+class NullCache:
+    """The ``--no-cache`` policy: every lookup misses, nothing is stored."""
+
+    hits = 0
+
+    def __init__(self) -> None:
+        self.misses = 0
+
+    def load(self, key: str) -> Optional[CheckResult]:
+        self.misses += 1
+        return None
+
+    def store(self, key: str, result: CheckResult) -> None:
+        pass

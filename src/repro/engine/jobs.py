@@ -1,0 +1,215 @@
+"""Job model for the batch-analysis engine.
+
+A :class:`CheckRequest` is one self-contained translation unit: the C glue
+sources to analyze plus the OCaml sources that build its type repository
+(``Γ_I``) and the analysis :class:`~repro.core.exprs.Options`.  Requests
+carry everything a worker process needs, so they pickle cleanly across a
+``multiprocessing`` pool and hash deterministically for the result cache.
+
+A :class:`CheckResult` is the flattened, JSON-able outcome of one request —
+structured diagnostics, the Figure 9 tally, inferred signatures — decoupled
+from the in-process :class:`~repro.core.checker.AnalysisReport` so results
+can cross process boundaries and survive on disk between runs.
+
+A :class:`BatchReport` merges per-unit results into one Figure-9-style
+tally, in deterministic (submission) order regardless of which worker
+finished first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional
+
+from ..core.checker import AnalysisReport
+from ..core.exprs import Options
+from ..diagnostics import Diagnostic, DiagnosticBag
+from ..source import SourceFile
+
+#: Bump whenever the analysis output format or semantics change, so stale
+#: cache entries from older engine revisions can never be replayed.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _digest_sources(sources: Iterable[SourceFile]) -> str:
+    """Content hash of a sequence of sources, in the given order.
+
+    Order matters: repository building and ``ProgramIR.merge`` are
+    last-wins, so permuted inputs can analyze differently and must not
+    collide to one digest.
+    """
+    hasher = hashlib.sha256()
+    for source in sources:
+        hasher.update(source.filename.encode("utf-8", "replace"))
+        hasher.update(b"\x00")
+        hasher.update(source.text.encode("utf-8", "replace"))
+        hasher.update(b"\x01")
+    return hasher.hexdigest()
+
+
+def repository_fingerprint(ocaml_sources: Iterable[SourceFile]) -> str:
+    """Content hash of the OCaml side (the type repository inputs)."""
+    return _digest_sources(ocaml_sources)
+
+
+def options_fingerprint(options: Options) -> str:
+    """Stable hash of the analysis switches."""
+    payload = json.dumps(asdict(options), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """One translation unit queued for analysis."""
+
+    name: str
+    c_sources: tuple[SourceFile, ...]
+    ocaml_sources: tuple[SourceFile, ...] = ()
+    options: Options = field(default_factory=Options)
+
+    def cache_key(self) -> str:
+        """Content hash identifying this unit's analysis outcome.
+
+        Keyed on the C source digest, the OCaml repository fingerprint,
+        and the :class:`Options` — any change to any of the three must
+        miss — plus the engine schema version.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"v{CACHE_SCHEMA_VERSION}".encode())
+        hasher.update(_digest_sources(self.c_sources).encode())
+        hasher.update(repository_fingerprint(self.ocaml_sources).encode())
+        hasher.update(options_fingerprint(self.options).encode())
+        return hasher.hexdigest()
+
+
+@dataclass
+class CheckResult:
+    """Flattened outcome of one :class:`CheckRequest`."""
+
+    name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    signatures: dict[str, str] = field(default_factory=dict)
+    unification_steps: int = 0
+    elapsed_seconds: float = 0.0
+    cache_key: str = ""
+    from_cache: bool = False
+    #: set when the worker itself failed (parse crash, etc.); such results
+    #: are reported but never cached
+    failure: Optional[str] = None
+
+    @classmethod
+    def from_report(
+        cls, name: str, report: AnalysisReport, cache_key: str = ""
+    ) -> "CheckResult":
+        return cls(
+            name=name,
+            diagnostics=list(report.diagnostics),
+            signatures=dict(report.signatures),
+            unification_steps=report.unification_steps,
+            elapsed_seconds=report.elapsed_seconds,
+            cache_key=cache_key,
+        )
+
+    def _bag(self) -> DiagnosticBag:
+        return DiagnosticBag(list(self.diagnostics))
+
+    def tally(self) -> dict[str, int]:
+        return self._bag().tally()
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self._bag().errors
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tally": self.tally(),
+            "diagnostics": [diag.to_dict() for diag in self.diagnostics],
+            "signatures": dict(self.signatures),
+            "unification_steps": self.unification_steps,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cache_key": self.cache_key,
+            "from_cache": self.from_cache,
+            "failure": self.failure,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckResult":
+        return cls(
+            name=data["name"],
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
+            ],
+            signatures=dict(data.get("signatures", {})),
+            unification_steps=data.get("unification_steps", 0),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            cache_key=data.get("cache_key", ""),
+            from_cache=data.get("from_cache", False),
+            failure=data.get("failure"),
+        )
+
+
+@dataclass
+class BatchReport:
+    """Merged outcome of one batch run, in submission order."""
+
+    results: list[CheckResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
+
+    def tally(self) -> dict[str, int]:
+        total = DiagnosticBag().tally()
+        for result in self.results:
+            for column, count in result.tally().items():
+                total[column] += count
+        return total
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.from_cache)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.results if not r.from_cache)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        return [r for r in self.results if r.failure is not None]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for r in self.results for d in r.errors]
+
+    def render(self) -> str:
+        """Figure-9-style aggregate, one block per unit plus the tally."""
+        lines: list[str] = []
+        for result in self.results:
+            tag = " (cached)" if result.from_cache else ""
+            lines.append(f"== {result.name}{tag}")
+            if result.failure is not None:
+                lines.append(f"   engine failure: {result.failure}")
+                continue
+            for diag in result.diagnostics:
+                lines.append("   " + diag.render())
+        counts = self.tally()
+        lines.append(
+            f"-- {len(self.results)} unit(s): {counts['errors']} error(s), "
+            f"{counts['warnings']} warning(s), "
+            f"{counts['false_positives']} false-positive-prone report(s), "
+            f"{counts['imprecision']} imprecision warning(s) "
+            f"[{self.cache_hits} cached, {self.cache_misses} analyzed, "
+            f"jobs={self.jobs}] in {self.elapsed_seconds:.2f}s"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "units": [result.to_dict() for result in self.results],
+            "tally": self.tally(),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "jobs": self.jobs,
+            "elapsed_seconds": self.elapsed_seconds,
+        }

@@ -1,0 +1,93 @@
+"""Batch scheduler: cache lookup, worker fan-out, deterministic merge.
+
+The scheduler is the seam the ROADMAP's scaling work builds on.  Given a
+sequence of :class:`~repro.engine.jobs.CheckRequest` it
+
+1. probes the result cache with each request's content hash — hits are
+   never re-analyzed;
+2. fans the misses out across a ``multiprocessing`` pool (``jobs > 1``) or
+   runs them inline (``jobs == 1``, or whenever a pool cannot be created —
+   sandboxes without semaphores, restricted platforms — in which case it
+   degrades to sequential rather than failing);
+3. stores fresh results back into the cache and merges everything into a
+   :class:`~repro.engine.jobs.BatchReport` in submission order, so output
+   is deterministic no matter which worker finished first.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Protocol, Sequence
+
+from .jobs import BatchReport, CheckRequest, CheckResult
+from .worker import run_request
+
+
+class Cache(Protocol):
+    def load(self, key: str) -> Optional[CheckResult]: ...
+
+    def store(self, key: str, result: CheckResult) -> None: ...
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0`` (auto)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _run_pool(
+    requests: Sequence[tuple[CheckRequest, str]], jobs: int
+) -> Optional[list[CheckResult]]:
+    """Fan out across processes; ``None`` means 'pool unavailable, go
+    sequential'."""
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context()
+        chunksize = max(1, len(requests) // (jobs * 4))
+        with context.Pool(processes=jobs) as pool:
+            return pool.starmap(run_request, requests, chunksize=chunksize)
+    except (ImportError, OSError, PermissionError, ValueError):
+        return None
+
+
+def run_batch(
+    requests: Sequence[CheckRequest],
+    *,
+    jobs: int = 1,
+    cache: Optional[Cache] = None,
+) -> BatchReport:
+    """Analyze ``requests`` and merge their results into one report."""
+    started = time.perf_counter()
+    if jobs <= 0:
+        jobs = default_jobs()
+
+    results: dict[int, CheckResult] = {}
+    pending: list[tuple[int, CheckRequest, str]] = []
+    for index, request in enumerate(requests):
+        key = request.cache_key()
+        cached = cache.load(key) if cache is not None else None
+        if cached is not None:
+            cached.name = request.name  # cache files are key-addressed
+            results[index] = cached
+        else:
+            pending.append((index, request, key))
+
+    fresh: Optional[list[CheckResult]] = None
+    worker_count = min(jobs, len(pending))
+    if worker_count > 1:
+        fresh = _run_pool([(req, key) for _, req, key in pending], worker_count)
+    if fresh is None:
+        fresh = [run_request(req, key) for _, req, key in pending]
+
+    for (index, _req, key), result in zip(pending, fresh):
+        if cache is not None:
+            cache.store(key, result)
+        results[index] = result
+
+    ordered = [results[index] for index in range(len(requests))]
+    return BatchReport(
+        results=ordered,
+        elapsed_seconds=time.perf_counter() - started,
+        jobs=jobs,
+    )

@@ -1,0 +1,72 @@
+"""Per-unit analysis entry points, safe to run inside worker processes.
+
+Everything here is reachable from a module-level name (a requirement of
+``multiprocessing`` pickling) and depends only on the contents of the
+:class:`~repro.engine.jobs.CheckRequest` it is handed — no ambient state
+crosses the process boundary.  The two §5.1 phases run exactly as in the
+single-shot path: phase one builds the type repository / ``Γ_I`` from the
+request's OCaml sources, phase two lowers and analyzes its C sources.
+
+Because every unit in a batch usually shares the same OCaml side, each
+worker process memoizes the *repository* by content fingerprint; ``Γ_I``
+itself is rebuilt per unit so fresh inference variables never leak between
+units (the unifier must not see another unit's bindings).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cfront.ir import ProgramIR
+from ..cfront.lower import lower_unit
+from ..cfront.parser import parse_c
+from ..core.checker import AnalysisReport, Checker
+from ..ocamlfront.repository import TypeRepository, build_initial_env
+from .jobs import CheckRequest, CheckResult, repository_fingerprint
+
+#: Per-process memo: repository fingerprint -> parsed TypeRepository.
+#: Bounded (batches reuse one or two OCaml sides); reset on process exit.
+_REPOSITORY_MEMO: dict[str, TypeRepository] = {}
+_REPOSITORY_MEMO_LIMIT = 32
+
+
+def _repository_for(request: CheckRequest) -> TypeRepository:
+    fingerprint = repository_fingerprint(request.ocaml_sources)
+    repo = _REPOSITORY_MEMO.get(fingerprint)
+    if repo is None:
+        repo = TypeRepository.with_stdlib()
+        for source in request.ocaml_sources:
+            repo.add_source(source)
+        if len(_REPOSITORY_MEMO) >= _REPOSITORY_MEMO_LIMIT:
+            _REPOSITORY_MEMO.clear()
+        _REPOSITORY_MEMO[fingerprint] = repo
+    return repo
+
+
+def analyze_request(request: CheckRequest) -> AnalysisReport:
+    """Run both phases for one unit and return the full in-process report."""
+    initial_env = build_initial_env(_repository_for(request))
+    program = ProgramIR()
+    for source in request.c_sources:
+        program = program.merge(lower_unit(parse_c(source)))
+    return Checker(program, initial_env, request.options).run()
+
+
+def run_request(
+    request: CheckRequest, cache_key: Optional[str] = None
+) -> CheckResult:
+    """Worker entry point: analyze one unit, flattened for the wire.
+
+    Analysis crashes (lexer/parser/lowering defects in user input) become a
+    ``failure`` on the result rather than poisoning the whole pool.
+    """
+    key = cache_key if cache_key is not None else request.cache_key()
+    try:
+        report = analyze_request(request)
+    except Exception as exc:  # noqa: BLE001 - one bad unit must not kill the batch
+        return CheckResult(
+            name=request.name,
+            cache_key=key,
+            failure=f"{type(exc).__name__}: {exc}",
+        )
+    return CheckResult.from_report(request.name, report, cache_key=key)

@@ -8,7 +8,6 @@ signatures while the compiler does the real parsing.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..core.srctypes import (
     MLSrcType,

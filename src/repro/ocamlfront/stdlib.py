@@ -11,17 +11,7 @@ ordinary resolution path handles them.
 
 from __future__ import annotations
 
-from ..core.srctypes import (
-    SConstrApp,
-    SConstructor,
-    SField,
-    SInt,
-    SRecord,
-    SString,
-    SSum,
-    STuple,
-    SVar,
-)
+from ..core.srctypes import SConstructor, SField, SInt, SRecord, SString, SSum, SVar
 from .ast import TypeDecl
 
 

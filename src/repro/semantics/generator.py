@@ -15,11 +15,11 @@ stuck on any generated inhabitant.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .stores import MachineState
-from .values import CIntVal, MLInt, MLLoc, Value
+from .values import MLInt, Value
 
 
 @dataclass(frozen=True)

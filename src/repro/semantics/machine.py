@@ -26,7 +26,7 @@ from ..core.checker import AnalysisReport
 from .generator import GeneratedProgram, random_inhabitant
 from .reduce import Machine, Outcome, RunResult
 from .stores import MachineState
-from .values import MLInt, Value
+from .values import Value
 
 
 @dataclass

@@ -12,9 +12,9 @@ the structured-block layout of §2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
-from .values import CIntVal, CLoc, MLInt, MLLoc, Value
+from .values import CIntVal, CLoc, MLLoc, Value
 
 
 class StoreError(Exception):

@@ -10,7 +10,7 @@ before running the machine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.lattice import (
     BOXED,
@@ -26,12 +26,10 @@ from ..core.types import (
     CType,
     CValue,
     EMPTY_SIGMA,
-    MLType,
     MTCustom,
     MTRepr,
     PSI_TOP,
     PsiConst,
-    PsiVar,
 )
 from ..core.unify import Unifier
 from .stores import MachineState

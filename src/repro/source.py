@@ -35,6 +35,22 @@ class Span:
     def __str__(self) -> str:
         return f"{self.filename}:{self.start}"
 
+    def to_dict(self) -> dict:
+        """JSON-able form, round-tripped by the batch-engine result cache."""
+        return {
+            "filename": self.filename,
+            "start": [self.start.offset, self.start.line, self.start.column],
+            "end": [self.end.offset, self.end.line, self.end.column],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Span":
+        return Span(
+            data["filename"],
+            Position(*data["start"]),
+            Position(*data["end"]),
+        )
+
     @staticmethod
     def merge(first: "Span", last: "Span") -> "Span":
         """Smallest span covering both inputs (must share a file)."""

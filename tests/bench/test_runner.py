@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.report import comparison_table, error_taxonomy, figure9_table
-from repro.bench.runner import BenchmarkResult, SuiteResult, run_benchmark
+from repro.bench.runner import SuiteResult, run_benchmark
 from repro.bench.specs import spec_by_name
 from repro.core.exprs import Options
 

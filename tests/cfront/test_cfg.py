@@ -1,6 +1,5 @@
 """Tests for the basic-block CFG over the Figure 5 IR."""
 
-import pytest
 
 from repro.cfront.cfg import build_cfg, check_wellformed, statement_successors
 from repro.cfront.lower import lower_unit

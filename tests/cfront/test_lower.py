@@ -1,6 +1,5 @@
 """Tests for the CIL-style lowering to the Figure 5 IR."""
 
-import pytest
 
 from repro.cfront import ir
 from repro.cfront.lower import lower_unit

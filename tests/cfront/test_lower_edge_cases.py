@@ -1,8 +1,7 @@
 """Lowering edge cases: expression-context tests, complex operands, temps."""
 
-import pytest
 
-from repro import Kind, analyze_project
+from repro import analyze_project
 from repro.cfront import ir
 from repro.cfront.lower import lower_unit
 from repro.cfront.parser import parse_c_text

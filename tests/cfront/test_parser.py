@@ -4,14 +4,7 @@ import pytest
 
 from repro.cfront import ast
 from repro.cfront.parser import ParseError, parse_c_text
-from repro.core.srctypes import (
-    CSrcFun,
-    CSrcPtr,
-    CSrcScalar,
-    CSrcStruct,
-    CSrcValue,
-    CSrcVoid,
-)
+from repro.core.srctypes import CSrcFun, CSrcPtr, CSrcScalar, CSrcStruct, CSrcValue
 
 
 class TestTopLevel:

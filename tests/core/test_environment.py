@@ -10,7 +10,7 @@ from repro.core.lattice import (
     UNBOXED,
     UNKNOWN_QUALIFIER,
 )
-from repro.core.types import C_INT, CValue, fresh_mt
+from repro.core.types import CValue, fresh_mt
 
 
 def entry(qual=UNKNOWN_QUALIFIER):

@@ -30,7 +30,7 @@ from repro.core.lattice import (
     UNBOXED,
     UNKNOWN_QUALIFIER,
 )
-from repro.core.srctypes import CSrcPtr, CSrcScalar, CSrcStruct, CSrcValue, CSrcVoid
+from repro.core.srctypes import CSrcPtr, CSrcStruct, CSrcValue, CSrcVoid
 from repro.core.types import (
     C_INT,
     CPtr,

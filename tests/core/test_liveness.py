@@ -16,7 +16,7 @@ from repro.cfront.ir import (
     expr_vars,
 )
 from repro.core.liveness import compute_liveness, statement_facts
-from repro.core.srctypes import CSrcScalar, CSrcValue
+from repro.core.srctypes import CSrcScalar
 
 
 def make_fn(body, labels=None, params=None):

@@ -9,7 +9,6 @@ from repro.core.types import (
     CStruct,
     CTVar,
     CValue,
-    GC,
     INT_REPR,
     MTArrow,
     MTCustom,
@@ -21,7 +20,6 @@ from repro.core.types import (
     closed_sigma,
     fresh_gc,
     fresh_mt,
-    fresh_pi_row,
     fresh_sigma_row,
 )
 from repro.core.unify import Unifier

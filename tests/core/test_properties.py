@@ -1,18 +1,9 @@
 """Hypothesis property tests on the core data structures and invariants."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.srctypes import (
-    SBool,
-    SConstrApp,
-    SConstructor,
-    SInt,
-    SSum,
-    STuple,
-    SUnit,
-)
+from repro.core.srctypes import SBool, SConstructor, SInt, SSum, STuple, SUnit
 from repro.core.translate import rho
 from repro.core.types import (
     INT_REPR,

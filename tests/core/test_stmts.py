@@ -6,7 +6,6 @@ threading, label joins, reset after unconditional branches, the protection
 set discipline, and the (App) rule.
 """
 
-import pytest
 
 from repro.cfront.ir import (
     CallExp,
@@ -33,17 +32,7 @@ from repro.core.environment import Entry
 from repro.core.exprs import Context, Options
 from repro.core.srctypes import CSrcScalar, CSrcValue
 from repro.core.stmts import FunctionAnalyzer
-from repro.core.types import (
-    C_INT,
-    CFun,
-    CValue,
-    GC,
-    INT_REPR,
-    NOGC,
-    UNIT_REPR,
-    fresh_gc,
-    fresh_mt,
-)
+from repro.core.types import CFun, CValue, INT_REPR, UNIT_REPR, fresh_gc
 from repro.core.unify import Unifier
 from repro.diagnostics import DiagnosticBag, Kind
 from repro.cfront.macros import builtin_entries, POLYMORPHIC_BUILTINS
@@ -183,7 +172,6 @@ class TestReturns:
 
 class TestBranching:
     def test_if_unboxed_refines_both_arms(self):
-        from repro.core.lattice import BOXED, UNBOXED
 
         ctx = make_ctx()
         fn = make_fn(

@@ -10,7 +10,6 @@ from repro.core.types import (
     CStruct,
     CTVar,
     CValue,
-    GC,
     MTArrow,
     MTCustom,
     MTRepr,
@@ -20,7 +19,6 @@ from repro.core.types import (
     Pi,
     PiVar,
     PsiConst,
-    PsiVar,
     Sigma,
     SigmaVar,
     closed_pi,

@@ -1,0 +1,72 @@
+"""Shared fixtures for the batch-engine tests.
+
+Helpers are exposed as fixtures (not module imports): with pytest's
+importlib import mode, test directories are not on ``sys.path``, so
+``from conftest import ...`` would not resolve.
+"""
+
+import pytest
+
+from repro.core.exprs import Options
+from repro.engine import CheckRequest
+from repro.source import SourceFile
+
+ML_SOURCE = (
+    "type t = A of int | B\n"
+    'external get : t -> int = "ml_get"\n'
+)
+
+CLEAN_C = """\
+value ml_get(value x)
+{
+    if (Is_long(x)) return Val_int(0);
+    return Field(x, 0);
+}
+"""
+
+BUGGY_C = "value ml_get(value x) { return Val_int(x); }\n"
+
+MALFORMED_C = "value ml_get( {\n"
+
+
+@pytest.fixture()
+def sources():
+    """The raw glue texts the engine tests compose requests from."""
+    return {
+        "ml": ML_SOURCE,
+        "clean": CLEAN_C,
+        "buggy": BUGGY_C,
+        "malformed": MALFORMED_C,
+    }
+
+
+@pytest.fixture()
+def make_request():
+    """Factory: a single-unit CheckRequest over the shared OCaml side."""
+
+    def _make(
+        name="unit.c",
+        c_text=CLEAN_C,
+        ml_text=ML_SOURCE,
+        options=None,
+    ) -> CheckRequest:
+        return CheckRequest(
+            name=name,
+            c_sources=(SourceFile(name, c_text),),
+            ocaml_sources=(
+                (SourceFile("lib.ml", ml_text),) if ml_text else ()
+            ),
+            options=options or Options(),
+        )
+
+    return _make
+
+
+@pytest.fixture()
+def clean_request(make_request):
+    return make_request()
+
+
+@pytest.fixture()
+def buggy_request(make_request):
+    return make_request(name="buggy.c", c_text=BUGGY_C)

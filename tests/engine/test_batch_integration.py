@@ -1,0 +1,76 @@
+"""Batch over a real directory must agree with per-file single-shot checks."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import Project
+from repro.engine import ResultCache
+
+GLUE_DIR = Path(__file__).resolve().parent.parent.parent / "examples" / "glue"
+
+
+@pytest.fixture(scope="module")
+def glue_project():
+    assert GLUE_DIR.is_dir(), GLUE_DIR
+    return Project.from_directory(GLUE_DIR)
+
+
+class TestFromDirectory:
+    def test_scan_finds_both_sides(self, glue_project):
+        ml_names = {Path(s.filename).name for s in glue_project.ocaml_sources}
+        c_names = {Path(s.filename).name for s in glue_project.c_sources}
+        assert ml_names == {"counter.ml", "shapes.ml"}
+        assert c_names == {"counter_stubs.c", "shapes_stubs.c"}
+
+    def test_scan_order_is_deterministic(self):
+        first = Project.from_directory(GLUE_DIR)
+        second = Project.from_directory(GLUE_DIR)
+        assert [s.filename for s in first.c_sources] == [
+            s.filename for s in second.c_sources
+        ]
+
+
+class TestBatchMatchesPerFileCheck:
+    def test_diagnostics_agree(self, glue_project):
+        batch = glue_project.analyze_batch()
+
+        for result in batch.results:
+            assert result.failure is None
+            single = Project(
+                ocaml_sources=list(glue_project.ocaml_sources),
+                c_sources=[
+                    s
+                    for s in glue_project.c_sources
+                    if s.filename == result.name
+                ],
+            ).analyze()
+            assert [d.render() for d in result.diagnostics] == [
+                d.render() for d in single.diagnostics
+            ]
+            assert result.tally() == single.tally()
+            assert result.signatures == single.signatures
+
+    def test_seeded_defect_is_the_only_error(self, glue_project):
+        batch = glue_project.analyze_batch()
+        assert batch.tally()["errors"] == 1
+        (error,) = batch.errors
+        assert error.span.filename.endswith("shapes_stubs.c")
+        assert "tag 2" in error.message
+
+    def test_cached_batch_agrees_too(self, tmp_path, glue_project):
+        cache = ResultCache(tmp_path)
+        cold = glue_project.analyze_batch(cache=cache)
+        warm = glue_project.analyze_batch(cache=cache)
+        assert warm.cache_hits == len(warm.results)
+        assert [
+            d.render() for r in warm.results for d in r.diagnostics
+        ] == [d.render() for r in cold.results for d in r.diagnostics]
+
+    def test_parallel_batch_agrees(self, glue_project):
+        sequential = glue_project.analyze_batch(jobs=1)
+        parallel = glue_project.analyze_batch(jobs=2)
+        assert parallel.tally() == sequential.tally()
+        assert [
+            d.render() for r in parallel.results for d in r.diagnostics
+        ] == [d.render() for r in sequential.results for d in r.diagnostics]

@@ -1,0 +1,174 @@
+"""Cache keying and storage semantics for the batch engine."""
+
+import json
+
+from repro.core.exprs import Options
+from repro.engine import (
+    CheckRequest,
+    CACHE_SCHEMA_VERSION,
+    CheckResult,
+    NullCache,
+    ResultCache,
+    run_batch,
+    run_request,
+)
+
+
+class TestCacheKey:
+    def test_identical_input_same_key(self, make_request):
+        assert make_request().cache_key() == make_request().cache_key()
+
+    def test_c_source_change_misses(self, make_request, sources):
+        assert (
+            make_request(c_text=sources["clean"]).cache_key()
+            != make_request(c_text=sources["buggy"]).cache_key()
+        )
+
+    def test_c_filename_change_misses(self, make_request):
+        # spans embed the filename, so renamed files must re-analyze
+        assert (
+            make_request(name="a.c").cache_key()
+            != make_request(name="b.c").cache_key()
+        )
+
+    def test_repository_change_misses(self, make_request):
+        changed_ml = (
+            "type t = A of int | B | C\n"
+            'external get : t -> int = "ml_get"\n'
+        )
+        assert (
+            make_request().cache_key()
+            != make_request(ml_text=changed_ml).cache_key()
+        )
+
+    def test_options_change_misses(self, make_request):
+        assert (
+            make_request(options=Options()).cache_key()
+            != make_request(options=Options(gc_effects=False)).cache_key()
+        )
+
+    def test_source_order_changes_key(self):
+        # repository building is last-wins on type names, so permuted
+        # .ml orders can analyze differently and must not share a key
+        from repro.source import SourceFile
+
+        first = SourceFile("a.ml", "type t = X of int")
+        second = SourceFile("b.ml", "type t = Y of int")
+        one = CheckRequest(
+            name="u.c",
+            c_sources=(SourceFile("u.c", "int f(void) { return 0; }"),),
+            ocaml_sources=(first, second),
+        )
+        other = CheckRequest(
+            name="u.c",
+            c_sources=(SourceFile("u.c", "int f(void) { return 0; }"),),
+            ocaml_sources=(second, first),
+        )
+        assert one.cache_key() != other.cache_key()
+
+    def test_units_sharing_repository_get_distinct_keys(
+        self, make_request, sources
+    ):
+        first = make_request(name="x.c", c_text=sources["clean"])
+        second = make_request(name="y.c", c_text=sources["buggy"])
+        assert first.cache_key() != second.cache_key()
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path, buggy_request):
+        cache = ResultCache(tmp_path)
+        result = run_request(buggy_request)
+        assert result.failure is None and len(result.errors) == 1
+        cache.store(result.cache_key, result)
+
+        loaded = cache.load(result.cache_key)
+        assert loaded is not None
+        assert loaded.from_cache is True
+        assert loaded.tally() == result.tally()
+        assert [d.render() for d in loaded.diagnostics] == [
+            d.render() for d in result.diagnostics
+        ]
+        assert loaded.signatures == result.signatures
+
+    def test_missing_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ("f" * 64 + ".json")).write_text("{not json")
+        assert cache.load("f" * 64) is None
+
+    def test_schema_version_mismatch_is_miss(self, tmp_path, clean_request):
+        cache = ResultCache(tmp_path)
+        result = run_request(clean_request)
+        cache.store(result.cache_key, result)
+        path = tmp_path / f"{result.cache_key}.json"
+        data = json.loads(path.read_text())
+        data["schema_version"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert cache.load(result.cache_key) is None
+
+    def test_failures_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        failed = CheckResult(name="x.c", cache_key="a" * 64, failure="boom")
+        cache.store(failed.cache_key, failed)
+        assert cache.load(failed.cache_key) is None
+
+    def test_clear_and_len(self, tmp_path, clean_request):
+        cache = ResultCache(tmp_path)
+        result = run_request(clean_request)
+        cache.store(result.cache_key, result)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_null_cache_always_misses(self, clean_request):
+        cache = NullCache()
+        result = run_request(clean_request)
+        cache.store(result.cache_key, result)
+        assert cache.load(result.cache_key) is None
+
+
+class TestBatchCaching:
+    def test_second_run_is_all_hits_and_identical(
+        self, tmp_path, make_request, sources
+    ):
+        requests = [
+            make_request(name="clean.c"),
+            make_request(name="buggy.c", c_text=sources["buggy"]),
+        ]
+        cache = ResultCache(tmp_path)
+        cold = run_batch(requests, cache=cache)
+        warm = run_batch(requests, cache=cache)
+
+        assert cold.cache_hits == 0 and cold.cache_misses == 2
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert warm.tally() == cold.tally()
+        assert [r.name for r in warm.results] == [r.name for r in cold.results]
+        assert [
+            d.render() for r in warm.results for d in r.diagnostics
+        ] == [d.render() for r in cold.results for d in r.diagnostics]
+
+    def test_editing_one_unit_invalidates_only_it(
+        self, tmp_path, make_request, sources
+    ):
+        requests = [
+            make_request(name="clean.c"),
+            make_request(name="buggy.c", c_text=sources["buggy"]),
+        ]
+        cache = ResultCache(tmp_path)
+        run_batch(requests, cache=cache)
+
+        edited = [
+            make_request(name="clean.c"),
+            make_request(
+                name="buggy.c",
+                c_text=sources["buggy"] + "\n/* touched */\n",
+            ),
+        ]
+        rerun = run_batch(edited, cache=cache)
+        assert rerun.cache_hits == 1 and rerun.cache_misses == 1
+        assert rerun.results[0].from_cache is True
+        assert rerun.results[1].from_cache is False

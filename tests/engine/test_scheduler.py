@@ -1,0 +1,133 @@
+"""Scheduler ordering, parallel/sequential equivalence, failure isolation."""
+
+
+from repro.engine import ResultCache, run_batch, run_request
+from repro.engine.scheduler import default_jobs
+
+
+def _rendered(report):
+    return [
+        (r.name, r.failure, [d.render() for d in r.diagnostics])
+        for r in report.results
+    ]
+
+
+class TestDeterminism:
+    def test_results_in_submission_order(self, make_request, sources):
+        names = [f"unit{i}.c" for i in range(6)]
+        requests = [
+            make_request(
+                name=name,
+                c_text=sources["buggy"] if i % 2 else sources["clean"],
+            )
+            for i, name in enumerate(names)
+        ]
+        report = run_batch(requests)
+        assert [r.name for r in report.results] == names
+
+    def test_parallel_matches_sequential(self, make_request, sources):
+        requests = [
+            make_request(name="a.c"),
+            make_request(name="b.c", c_text=sources["buggy"]),
+            make_request(name="c.c", c_text=sources["malformed"]),
+            make_request(name="d.c"),
+        ]
+        sequential = run_batch(requests, jobs=1)
+        parallel = run_batch(requests, jobs=2)
+        assert _rendered(parallel) == _rendered(sequential)
+        assert parallel.tally() == sequential.tally()
+
+    def test_partial_cache_preserves_order(
+        self, tmp_path, make_request, sources
+    ):
+        cache = ResultCache(tmp_path)
+        first = make_request(name="a.c")
+        run_batch([first], cache=cache)  # warm only unit a
+
+        requests = [
+            make_request(name="b.c", c_text=sources["buggy"]),
+            first,
+            make_request(name="c.c"),
+        ]
+        report = run_batch(requests, cache=cache)
+        assert [r.name for r in report.results] == ["b.c", "a.c", "c.c"]
+        assert [r.from_cache for r in report.results] == [False, True, False]
+
+
+class TestFailureIsolation:
+    def test_malformed_unit_does_not_kill_batch(self, make_request, sources):
+        requests = [
+            make_request(name="ok.c"),
+            make_request(name="broken.c", c_text=sources["malformed"]),
+            make_request(name="also-ok.c"),
+        ]
+        report = run_batch(requests)
+        assert len(report.results) == 3
+        assert [r.failure is not None for r in report.results] == [
+            False,
+            True,
+            False,
+        ]
+        assert "ParseError" in report.results[1].failure
+        assert report.failures == [report.results[1]]
+        assert "engine failure" in report.render()
+
+    def test_failure_reruns_after_cache_round(
+        self, tmp_path, make_request, sources
+    ):
+        cache = ResultCache(tmp_path)
+        requests = [make_request(name="broken.c", c_text=sources["malformed"])]
+        run_batch(requests, cache=cache)
+        rerun = run_batch(requests, cache=cache)
+        assert rerun.results[0].from_cache is False
+        assert rerun.results[0].failure is not None
+
+
+class TestTallyMerge:
+    def test_batch_tally_is_sum_of_units(self, make_request, sources):
+        requests = [
+            make_request(name=f"buggy{i}.c", c_text=sources["buggy"])
+            for i in range(3)
+        ] + [make_request(name="clean.c")]
+        report = run_batch(requests)
+        assert report.tally()["errors"] == 3
+        assert len(report.errors) == 3
+        per_unit = [r.tally()["errors"] for r in report.results]
+        assert per_unit == [1, 1, 1, 0]
+
+    def test_render_mentions_cache_and_jobs(self, make_request):
+        report = run_batch([make_request()], jobs=1)
+        summary = report.render().splitlines()[-1]
+        assert "1 unit(s)" in summary
+        assert "jobs=1" in summary
+
+    def test_to_dict_round_trips_as_json(self, make_request, sources):
+        import json
+
+        report = run_batch(
+            [make_request(name="buggy.c", c_text=sources["buggy"])]
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["tally"]["errors"] == 1
+        assert payload["units"][0]["name"] == "buggy.c"
+        assert payload["units"][0]["diagnostics"][0]["category"] == "error"
+
+
+class TestJobs:
+    def test_auto_jobs_is_positive(self):
+        assert default_jobs() >= 1
+
+    def test_jobs_zero_means_auto(self, make_request):
+        report = run_batch([make_request()], jobs=0)
+        assert report.jobs == default_jobs()
+
+    def test_worker_entry_point_is_module_level(self):
+        # multiprocessing pickles workers by qualified name
+        assert run_request.__module__ == "repro.engine.worker"
+        assert run_request.__qualname__ == "run_request"
+
+
+class TestSignatures:
+    def test_signatures_survive_the_wire(self, make_request):
+        result = run_request(make_request())
+        assert "ml_get" in result.signatures

@@ -6,7 +6,6 @@ warnings, false-positive-prone reports, imprecision — or that correct glue
 code is accepted silently.
 """
 
-import pytest
 
 from repro import Kind, Options, analyze_project
 

@@ -6,7 +6,6 @@ threaded through sums, bytecode stubs, blocking sections, early-error
 gotos, and multi-function modules sharing helpers.
 """
 
-import pytest
 
 from repro import Kind, analyze_project
 

@@ -24,7 +24,6 @@ from repro.semantics.contexts import (
     context_eval,
     contract,
     decompose,
-    is_value_exp,
 )
 from repro.semantics.reduce import StuckError, eval_expr
 from repro.semantics.stores import MachineState

@@ -22,7 +22,7 @@ from repro.cfront.ir import (
 )
 from repro.semantics.reduce import Machine, Outcome, StuckError, eval_expr
 from repro.semantics.stores import MachineState
-from repro.semantics.values import CIntVal, CLoc, MLInt, MLLoc
+from repro.semantics.values import CIntVal, MLInt, MLLoc
 
 
 @pytest.fixture()

@@ -19,8 +19,6 @@ from hypothesis import strategies as st
 
 from repro.semantics.generator import (
     SABOTAGES,
-    GenConstructor,
-    GenVariant,
     generate_program,
     random_inhabitant,
     random_variant,

@@ -20,7 +20,6 @@ from repro.core.types import (
     PsiConst,
     closed_pi,
     closed_sigma,
-    fresh_mt,
 )
 from repro.core.unify import Unifier
 from repro.semantics.generator import random_inhabitant, random_variant

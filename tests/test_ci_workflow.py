@@ -1,0 +1,53 @@
+"""The CI workflow must stay a syntactically valid Actions definition."""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = (
+    Path(__file__).resolve().parent.parent
+    / ".github"
+    / "workflows"
+    / "ci.yml"
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    assert WORKFLOW.is_file(), WORKFLOW
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def test_triggers_on_push_and_pr(workflow):
+    # PyYAML parses the bare `on:` key as boolean True
+    triggers = workflow.get("on", workflow.get(True))
+    assert "push" in triggers
+    assert "pull_request" in triggers
+
+
+def test_jobs_cover_lint_tests_and_bench(workflow):
+    assert set(workflow["jobs"]) == {"lint", "test", "bench-smoke"}
+
+
+def test_every_step_is_well_formed(workflow):
+    for name, job in workflow["jobs"].items():
+        assert "runs-on" in job, name
+        assert job["steps"], name
+        for step in job["steps"]:
+            assert "uses" in step or "run" in step, (name, step)
+
+
+def test_python_matrix_spans_310_to_312(workflow):
+    matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+
+
+def test_bench_smoke_runs_engine_benchmark_and_uploads_artifact(workflow):
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "mlffi-check bench" in runs
+    assert "bench_batch.py --units 8 --quick" in runs
+    uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
+    assert uploads and "batch-report.json" in uploads[0]["with"]["path"]

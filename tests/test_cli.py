@@ -1,5 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -78,6 +84,179 @@ value ml_f(value s)
         )
         assert main(["check", str(ml), str(c)]) == 1
         assert main(["check", "--no-gc-effects", str(ml), str(c)]) == 0
+
+
+@pytest.fixture()
+def glue_tree(tmp_path):
+    """A tiny directory tree: one clean unit, one with a Val_int misuse."""
+    root = tmp_path / "tree"
+    (root / "nested").mkdir(parents=True)
+    (root / "lib.ml").write_text(
+        'type t = A of int | B\n'
+        'external get : t -> int = "ml_get"\n'
+        'external bad : int -> int = "ml_bad"\n'
+    )
+    (root / "good.c").write_text(
+        "value ml_get(value x)\n"
+        "{\n"
+        "    if (Is_long(x)) return Val_int(0);\n"
+        "    return Field(x, 0);\n"
+        "}\n"
+    )
+    (root / "nested" / "bad.c").write_text(
+        "value ml_bad(value x) { return Val_int(x); }\n"
+    )
+    return root
+
+
+class TestBatch:
+    def test_text_output_and_exit_code(self, glue_tree, tmp_path, capsys):
+        code = main(
+            ["batch", str(glue_tree), "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 1  # exactly the seeded Val_int error
+        out = capsys.readouterr().out
+        assert "bad.c" in out
+        assert "2 unit(s)" in out
+        assert "1 error(s)" in out
+
+    def test_json_output_is_machine_readable(self, glue_tree, tmp_path, capsys):
+        code = main(
+            [
+                "batch",
+                str(glue_tree),
+                "--format",
+                "json",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tally"]["errors"] == 1
+        assert len(payload["units"]) == 2
+        names = {Path(u["name"]).name for u in payload["units"]}
+        assert names == {"good.c", "bad.c"}
+        assert payload["cache"] == {"hits": 0, "misses": 2}
+
+    def test_second_run_hits_cache(self, glue_tree, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["batch", str(glue_tree), "--cache-dir", cache_dir])
+        capsys.readouterr()
+        code = main(
+            ["batch", str(glue_tree), "--format", "json", "--cache-dir", cache_dir]
+        )
+        assert code == 1  # cached diagnostics keep their exit semantics
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"hits": 2, "misses": 0}
+
+    def test_no_cache_flag(self, glue_tree, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["batch", str(glue_tree), "--no-cache", "--cache-dir", str(cache_dir)]
+        )
+        assert code == 1
+        assert not cache_dir.exists()
+
+    def test_parallel_jobs_flag(self, glue_tree, capsys):
+        code = main(["batch", str(glue_tree), "--no-cache", "--jobs", "2"])
+        assert code == 1
+        assert "1 error(s)" in capsys.readouterr().out
+
+    def test_ablation_flag_changes_cache_key(self, glue_tree, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["batch", str(glue_tree), "--cache-dir", cache_dir])
+        capsys.readouterr()
+        code = main(
+            [
+                "batch",
+                str(glue_tree),
+                "--no-flow-sensitive",
+                "--format",
+                "json",
+                "--cache-dir",
+                cache_dir,
+            ]
+        )
+        assert code >= 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hits"] == 0  # different Options, fresh keys
+
+    def test_missing_directory(self, capsys):
+        assert main(["batch", "/nonexistent/dir"]) == 125
+        assert "no such directory" in capsys.readouterr().err
+
+    def test_directory_without_units(self, tmp_path, capsys):
+        (tmp_path / "readme.txt").write_text("nothing to check")
+        assert main(["batch", str(tmp_path)]) == 125
+        assert "no .c translation units" in capsys.readouterr().err
+
+    def test_malformed_unit_exits_125(self, glue_tree, capsys):
+        (glue_tree / "broken.c").write_text("value f( {\n")
+        code = main(["batch", str(glue_tree), "--no-cache"])
+        assert code == 125
+        assert "engine failure" in capsys.readouterr().out
+
+
+class TestBatchSubprocess:
+    """End-to-end: drive `mlffi-check batch` as a real child process."""
+
+    @staticmethod
+    def _invoke(args, cwd):
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        src = str(repo_root / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env=env,
+            timeout=120,
+        )
+
+    def test_exit_code_counts_errors(self, glue_tree, tmp_path):
+        proc = self._invoke(
+            ["batch", str(glue_tree), "--no-cache"], cwd=tmp_path
+        )
+        assert proc.returncode == 1, proc.stderr
+        assert "1 error(s)" in proc.stdout
+
+    def test_json_output_parses_and_matches(self, glue_tree, tmp_path):
+        proc = self._invoke(
+            [
+                "batch",
+                str(glue_tree),
+                "--jobs",
+                "2",
+                "--format",
+                "json",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ],
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 1, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["tally"] == {
+            "errors": 1,
+            "warnings": 0,
+            "false_positives": 0,
+            "imprecision": 0,
+        }
+        assert payload["jobs"] == 2
+        units = {Path(u["name"]).name: u for u in payload["units"]}
+        assert units["bad.c"]["tally"]["errors"] == 1
+        assert units["good.c"]["tally"]["errors"] == 0
+        (diag,) = units["bad.c"]["diagnostics"]
+        assert diag["kind"] == "BAD_VAL_INT"
+        assert diag["span"]["filename"].endswith("bad.c")
+
+    def test_missing_directory_exit_125(self, tmp_path):
+        proc = self._invoke(["batch", str(tmp_path / "absent")], cwd=tmp_path)
+        assert proc.returncode == 125
+        assert "no such directory" in proc.stderr
 
 
 class TestBench:

@@ -1,7 +1,6 @@
 """Every example script must run to success (they self-verify)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
