@@ -1,0 +1,207 @@
+"""pyext-dialect benchmark: throughput and detection over synthesized modules.
+
+Synthesizes N CPython extension modules — half clean, half seeded with one
+defect each, cycling through the dialect's defect classes (format arity,
+format type, reference leak, use-after-decref, borrowed escape) — and runs
+them through the batch engine under ``dialect="pyext"``.
+
+Gates (exit non-zero on failure):
+
+* every seeded module reports its planted defect class, and only the
+  planted one among the pyext kinds;
+* every clean module reports zero diagnostics;
+* a warm rerun against the same cache is all hits.
+
+Results print as one JSON object (unit wall-times included), matching the
+shape CI's bench-smoke artifacts expect.
+
+Run::
+
+    python benchmarks/bench_pyext.py --units 16
+    python benchmarks/bench_pyext.py --units 6 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro.engine import CheckRequest, ResultCache, run_batch
+from repro.source import SourceFile
+
+CLEAN_TEMPLATE = """\
+#include <Python.h>
+
+static PyObject *
+work_{i}(PyObject *self, PyObject *args)
+{{
+    long a, b;
+    if (!PyArg_ParseTuple(args, "ll", &a, &b))
+        return NULL;
+    return PyLong_FromLong(a * {i} + b);
+}}
+
+static PyMethodDef Methods_{i}[] = {{
+    {{"work_{i}", work_{i}, METH_VARARGS, "synthesized worker"}},
+    {{NULL, NULL, 0, NULL}}
+}};
+
+static struct PyModuleDef module_{i} = {{
+    PyModuleDef_HEAD_INIT, "mod{i}", NULL, -1, Methods_{i}
+}};
+
+PyMODINIT_FUNC
+PyInit_mod{i}(void)
+{{
+    return PyModule_Create(&module_{i});
+}}
+"""
+
+#: defect class -> (expected Kind name, body of the seeded function)
+DEFECTS: dict[str, tuple[str, str]] = {
+    "format-arity": (
+        "PY_FORMAT_MISMATCH",
+        '    long a;\n'
+        '    if (!PyArg_ParseTuple(args, "ll", &a))\n'
+        "        return NULL;\n"
+        "    return PyLong_FromLong(a);\n",
+    ),
+    "format-type": (
+        "PY_FORMAT_MISMATCH",
+        '    long n;\n'
+        '    if (!PyArg_ParseTuple(args, "s", &n))\n'
+        "        return NULL;\n"
+        "    return PyLong_FromLong(n);\n",
+    ),
+    "ref-leak": (
+        "PY_REF_LEAK",
+        "    PyObject *tmp = PyList_New(0);\n"
+        "    return PyLong_FromLong(1);\n",
+    ),
+    "use-after-decref": (
+        "PY_USE_AFTER_DECREF",
+        "    PyObject *tmp = PyLong_FromLong(7);\n"
+        "    Py_DECREF(tmp);\n"
+        "    return tmp;\n",
+    ),
+    "borrowed-escape": (
+        "PY_BORROWED_ESCAPE",
+        "    PyObject *item = PyTuple_GetItem(args, 0);\n"
+        "    return item;\n",
+    ),
+}
+
+SEEDED_TEMPLATE = """\
+#include <Python.h>
+
+static PyObject *
+seeded_{i}(PyObject *self, PyObject *args)
+{{
+{body}}}
+
+static PyMethodDef Methods_{i}[] = {{
+    {{"seeded_{i}", seeded_{i}, METH_VARARGS, "synthesized defect"}},
+    {{NULL, NULL, 0, NULL}}
+}};
+"""
+
+
+def build_corpus(units: int) -> list[tuple[CheckRequest, str | None]]:
+    """(request, expected-kind-or-None) pairs, clean/seeded interleaved."""
+    corpus: list[tuple[CheckRequest, str | None]] = []
+    defect_cycle = list(DEFECTS.items())
+    for index in range(units):
+        if index % 2 == 0:
+            text = CLEAN_TEMPLATE.format(i=index)
+            expected = None
+        else:
+            label, (kind, body) = defect_cycle[
+                (index // 2) % len(defect_cycle)
+            ]
+            text = SEEDED_TEMPLATE.format(i=index, body=body)
+            expected = kind
+        name = f"mod{index:03}.c"
+        corpus.append(
+            (
+                CheckRequest(
+                    name=name,
+                    c_sources=(SourceFile(name, text),),
+                    dialect="pyext",
+                ),
+                expected,
+            )
+        )
+    return corpus
+
+
+PYEXT_KINDS = {
+    "PY_FORMAT_MISMATCH",
+    "PY_REF_LEAK",
+    "PY_USE_AFTER_DECREF",
+    "PY_BORROWED_ESCAPE",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--units", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--quick", action="store_true", help="6-unit smoke")
+    args = parser.parse_args(argv)
+    units = 6 if args.quick else args.units
+
+    corpus = build_corpus(units)
+    requests = [request for request, _ in corpus]
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        started = time.perf_counter()
+        cold = run_batch(requests, jobs=args.jobs, cache=cache)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_batch(requests, jobs=args.jobs, cache=cache)
+        warm_seconds = time.perf_counter() - started
+
+    for (request, expected), result in zip(corpus, cold.results):
+        kinds = {diag.kind.name for diag in result.diagnostics}
+        planted = kinds & PYEXT_KINDS
+        if result.failure is not None:
+            failures.append(f"{request.name}: engine failure {result.failure}")
+        elif expected is None and kinds:
+            failures.append(f"{request.name}: clean module reported {kinds}")
+        elif expected is not None and planted != {expected}:
+            failures.append(
+                f"{request.name}: expected {{{expected}}}, got {planted}"
+            )
+    if warm.cache_hits != len(requests):
+        failures.append(
+            f"warm rerun: {warm.cache_hits}/{len(requests)} cache hits"
+        )
+
+    print(
+        json.dumps(
+            {
+                "units": units,
+                "jobs": args.jobs,
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "unit_wall_seconds": {
+                    r.name: r.wall_seconds for r in cold.results
+                },
+                "tally": cold.tally(),
+                "gates": {"failures": failures},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#include <Python.h>
+
+/* seeded defects, one per function:
+ *   bad_arity    - "ll" converts two arguments, only one pointer given
+ *   bad_types    - "s" writes a char* but &count is a long*
+ *   bad_leak     - the tuple built first is never released
+ *   bad_use      - scratch is used after Py_DECREF released it
+ *   bad_borrow   - a borrowed item is returned without Py_INCREF
+ */
+
+static PyObject *
+bad_arity(PyObject *self, PyObject *args)
+{
+    long a;
+    if (!PyArg_ParseTuple(args, "ll", &a))
+        return NULL;
+    return PyLong_FromLong(a);
+}
+
+static PyObject *
+bad_types(PyObject *self, PyObject *args)
+{
+    long count;
+    if (!PyArg_ParseTuple(args, "s", &count))
+        return NULL;
+    return PyLong_FromLong(count);
+}
+
+static PyObject *
+bad_leak(PyObject *self, PyObject *args)
+{
+    PyObject *scratch = PyList_New(0);
+    long x;
+    if (!PyArg_ParseTuple(args, "l", &x))
+        return NULL;
+    return PyLong_FromLong(x + 1);
+}
+
+static PyObject *
+bad_use(PyObject *self, PyObject *args)
+{
+    PyObject *scratch = PyLong_FromLong(7);
+    Py_DECREF(scratch);
+    return scratch;
+}
+
+static PyObject *
+bad_borrow(PyObject *self, PyObject *args)
+{
+    PyObject *seq;
+    PyObject *item;
+    if (!PyArg_ParseTuple(args, "O", &seq))
+        return NULL;
+    item = PyTuple_GetItem(seq, 0);
+    return item;
+}
+
+static PyMethodDef BadMethods[] = {
+    {"bad_arity", bad_arity, METH_VARARGS, "format converts more than supplied"},
+    {"bad_types", bad_types, METH_VARARGS, "format unit disagrees with pointer"},
+    {"bad_leak", bad_leak, METH_VARARGS, "owned reference never released"},
+    {"bad_use", bad_use, METH_VARARGS, "use after Py_DECREF"},
+    {"bad_borrow", bad_borrow, METH_VARARGS, "borrowed reference escapes"},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef badmodule = {
+    PyModuleDef_HEAD_INIT, "bad", NULL, -1, BadMethods
+};
+
+PyMODINIT_FUNC
+PyInit_bad(void)
+{
+    return PyModule_Create(&badmodule);
+}

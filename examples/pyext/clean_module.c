@@ -1,0 +1,64 @@
+#include <Python.h>
+
+/* correct CPython extension glue: formats match their output pointers,
+ * every new reference is returned or released, borrowed references are
+ * INCREF-ed before they escape */
+
+static PyObject *
+spam_add(PyObject *self, PyObject *args)
+{
+    long a, b;
+    if (!PyArg_ParseTuple(args, "ll", &a, &b))
+        return NULL;
+    return PyLong_FromLong(a + b);
+}
+
+static PyObject *
+spam_greet(PyObject *self, PyObject *args)
+{
+    const char *name;
+    if (!PyArg_ParseTuple(args, "s", &name))
+        return NULL;
+    return PyUnicode_FromString(name);
+}
+
+static PyObject *
+spam_first(PyObject *self, PyObject *args)
+{
+    PyObject *seq;
+    PyObject *item;
+    if (!PyArg_ParseTuple(args, "O", &seq))
+        return NULL;
+    item = PyTuple_GetItem(seq, 0);
+    if (item == NULL)
+        return NULL;
+    Py_INCREF(item);
+    return item;
+}
+
+static PyObject *
+spam_pair(PyObject *self, PyObject *args)
+{
+    long x;
+    if (!PyArg_ParseTuple(args, "l", &x))
+        return NULL;
+    return Py_BuildValue("ll", x, x);
+}
+
+static PyMethodDef SpamMethods[] = {
+    {"add", spam_add, METH_VARARGS, "Add two integers."},
+    {"greet", spam_greet, METH_VARARGS, "Greet by name."},
+    {"first", spam_first, METH_VARARGS, "First element of a tuple."},
+    {"pair", spam_pair, METH_VARARGS, "Duplicate an integer into a pair."},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef spammodule = {
+    PyModuleDef_HEAD_INIT, "spam", NULL, -1, SpamMethods
+};
+
+PyMODINIT_FUNC
+PyInit_spam(void)
+{
+    return PyModule_Create(&spammodule);
+}

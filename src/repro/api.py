@@ -10,10 +10,12 @@ serves the library API, the CLI, and the parallel batch driver.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from .boundary import get_dialect
 from .cfront.ir import ProgramIR
 from .cfront.lower import lower_unit
 from .cfront.parser import parse_c
@@ -38,10 +40,19 @@ def _as_source(source: SourceLike, default_name: str) -> SourceFile:
 
 @dataclass
 class Project:
-    """A multi-lingual project: OCaml sources plus C glue sources."""
+    """A multi-lingual project: host-language sources plus C glue sources.
+
+    ``dialect`` selects the boundary being checked (``"ocaml"`` by
+    default, ``"pyext"`` for CPython extension modules); it travels with
+    every :class:`CheckRequest` the project produces.  ``ocaml_sources``
+    holds the host-language side regardless of dialect — for pyext the
+    list is simply empty, since the boundary contract (``PyMethodDef``
+    tables) lives in the C sources themselves.
+    """
 
     ocaml_sources: list[SourceFile] = field(default_factory=list)
     c_sources: list[SourceFile] = field(default_factory=list)
+    dialect: str = "ocaml"
 
     def add_ocaml(self, source: SourceLike, name: str = "glue.ml") -> "Project":
         self.ocaml_sources.append(_as_source(source, name))
@@ -52,18 +63,40 @@ class Project:
         return self
 
     @classmethod
-    def from_directory(cls, root: str | Path) -> "Project":
-        """Scan ``root`` recursively: every ``.ml``/``.mli`` feeds the type
-        repository, every ``.c`` becomes a translation unit."""
-        project = cls()
-        root = Path(root)
-        for path in sorted(root.rglob("*")):
+    def from_directory(
+        cls, root: str | Path, dialect: str = "ocaml"
+    ) -> "Project":
+        """Scan ``root`` recursively using the dialect's suffix map: host
+        sources (``.ml``/``.mli`` for OCaml) feed the type repository,
+        every ``.c`` becomes a translation unit.
+
+        Files that cannot be decoded as text and files with no content are
+        skipped with a :class:`UserWarning` — a stray binary or an empty
+        placeholder must not sink a directory sweep.
+        """
+        project = cls(dialect=dialect)
+        spec = get_dialect(dialect)
+        for path in sorted(Path(root).rglob("*")):
             if not path.is_file():
                 continue
-            if path.suffix in OCAML_SUFFIXES:
-                project.add_ocaml(SourceFile(str(path), path.read_text()))
-            elif path.suffix == ".c":
-                project.add_c(SourceFile(str(path), path.read_text()))
+            is_host = path.suffix in spec.host_suffixes
+            if not is_host and path.suffix not in (".c",):
+                continue
+            try:
+                text = path.read_text()
+            except (UnicodeDecodeError, OSError) as exc:
+                warnings.warn(
+                    f"skipping unreadable source {path}: {exc}",
+                    stacklevel=2,
+                )
+                continue
+            if not text.strip():
+                warnings.warn(f"skipping empty source {path}", stacklevel=2)
+                continue
+            if is_host:
+                project.add_ocaml(SourceFile(str(path), text))
+            else:
+                project.add_c(SourceFile(str(path), text))
         return project
 
     def build_repository(self) -> TypeRepository:
@@ -93,6 +126,7 @@ class Project:
             c_sources=tuple(self.c_sources),
             ocaml_sources=tuple(self.ocaml_sources),
             options=options or Options(),
+            dialect=self.dialect,
         )
 
     def to_requests(

@@ -1,0 +1,111 @@
+"""The multi-dialect boundary layer.
+
+The paper's inference is not OCaml-specific: it needs (a) an initial
+environment ``Γ_I`` giving the C types of the functions the host language
+calls, (b) a table of runtime entry points with their GC effects, and
+(c) a notion of which C type is "a host value".  Everything else — the
+Figure 6/7 rules, the representational lattice, the effect solver — is
+shared.  A :class:`BoundaryDialect` packages exactly that per-FFI
+knowledge, so the engine, the CLI, and the library API can check any
+foreign boundary the same way:
+
+* ``ocaml`` — the paper's OCaml-to-C FFI (:mod:`repro.ocamlfront.dialect`);
+* ``pyext`` — CPython extension modules (:mod:`repro.pyext.dialect`),
+  where ``PyObject *`` plays the role of ``value``, ``PyMethodDef``
+  tables play the role of ``external`` declarations, and the
+  ``Py_INCREF``/``Py_DECREF`` reference discipline plays the role of
+  ``CAMLprotect``.
+
+Adding a third dialect (JNI, Rust ``extern "C"``, ...) means implementing
+the protocol below and registering it; nothing in the core or the engine
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # avoid import cycles: core/engine never import us back
+    from .core.checker import AnalysisReport, InitialEnv
+    from .core.environment import Entry
+    from .engine.jobs import CheckRequest
+
+
+@runtime_checkable
+class BoundaryDialect(Protocol):
+    """Everything dialect-specific the shared analysis consumes.
+
+    The seeding methods build *fresh* inference variables on every call —
+    entries must never be shared between analysis runs, or one program's
+    unifier bindings would leak into the next.
+    """
+
+    #: registry key, also the CLI's ``--dialect`` value
+    name: str
+    #: suffixes of host-language sources feeding ``Γ_I`` (may be empty:
+    #: pyext reads its boundary contract out of the C sources themselves)
+    host_suffixes: tuple[str, ...]
+    #: suffixes of C translation units
+    unit_suffixes: tuple[str, ...]
+
+    def builtin_entries(self) -> dict[str, "Entry"]:
+        """The runtime entry-point table (the dialect's `macros.py`)."""
+        ...
+
+    def polymorphic_builtins(self) -> frozenset[str]:
+        """Builtins instantiated afresh at every call site."""
+        ...
+
+    def global_entries(self) -> dict[str, "Entry"]:
+        """Well-known runtime globals visible in every function."""
+        ...
+
+    def alloc_result_tags(self) -> dict[str, int | str]:
+        """Allocators whose result is a fresh block with a known tag."""
+        ...
+
+    def initial_env(self, request: "CheckRequest") -> "InitialEnv":
+        """Phase one: build ``Γ_I`` for one translation unit."""
+        ...
+
+    def analyze(self, request: "CheckRequest") -> "AnalysisReport":
+        """Run both phases for one unit and return the full report."""
+        ...
+
+
+_REGISTRY: dict[str, BoundaryDialect] = {}
+_BOOTSTRAPPED = False
+
+
+def register_dialect(dialect: BoundaryDialect) -> BoundaryDialect:
+    """Make a dialect addressable by name (last registration wins)."""
+    _REGISTRY[dialect.name] = dialect
+    return dialect
+
+
+def _bootstrap() -> None:
+    """Import the built-in dialect modules (they self-register)."""
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    from .ocamlfront import dialect as _ocaml  # noqa: F401
+    from .pyext import dialect as _pyext  # noqa: F401
+
+
+def get_dialect(name: str) -> BoundaryDialect:
+    """Resolve a dialect by name, loading the built-ins on first use."""
+    _bootstrap()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown boundary dialect `{name}` (known: {known})"
+        ) from None
+
+
+def available_dialects() -> tuple[str, ...]:
+    """Names of every registered dialect, sorted."""
+    _bootstrap()
+    return tuple(sorted(_REGISTRY))

@@ -115,9 +115,31 @@ class IncDec:
     span: Span = DUMMY_SPAN
 
 
+@dataclass(frozen=True)
+class InitItem:
+    """One element of a brace initializer, optionally designated."""
+
+    value: "CExpr"
+    field_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class InitList:
+    """A brace initializer ``{ e, .f = e, { ... }, ... }``.
+
+    The analysis does not evaluate these (aggregate initialization is
+    outside the Figure 5 IR); they exist so declaration-level tables —
+    ``PyMethodDef`` method tables, ``PyModuleDef`` records, static arrays —
+    survive parsing and can be read by dialect front-ends.
+    """
+
+    items: Tuple["InitItem", ...] = ()
+    span: Span = DUMMY_SPAN
+
+
 CExpr = Union[
     Num, Str, Name, Unary, Binary, Conditional, Cast, Call, Index, Member,
-    SizeOf, Assign, IncDec,
+    SizeOf, Assign, IncDec, InitList,
 ]
 
 

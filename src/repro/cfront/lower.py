@@ -75,11 +75,19 @@ class SymbolTable:
     fn_param_types: dict[str, list[CSrcType]] = field(default_factory=dict)
 
     @classmethod
-    def for_unit(cls, unit: ast.TranslationUnit) -> "SymbolTable":
+    def for_unit(
+        cls,
+        unit: ast.TranslationUnit,
+        extra_returns: Optional[dict[str, CSrcType]] = None,
+    ) -> "SymbolTable":
         table = cls()
         for name, spec in RUNTIME_FUNCTIONS.items():
             table.returns[name] = _kind_to_src(spec.result)
             table.fn_param_types[name] = [_kind_to_src(k) for k in spec.params]
+        if extra_returns:
+            # dialect runtime tables (e.g. the CPython C API) so embedded
+            # calls land in temporaries of the right surface type
+            table.returns.update(extra_returns)
         for func in unit.functions:
             table.returns[func.name] = func.return_type
             table.fn_param_types[func.name] = [t for _, t in func.params]
@@ -526,6 +534,10 @@ class FunctionLowerer:
     def lower_stmt(self, stmt: ast.CStmtOrDecl) -> None:
         if isinstance(stmt, ast.Declaration):
             self.declare(stmt)
+            if isinstance(stmt.init, ast.InitList):
+                # aggregate initialization is outside the Figure 5 IR; the
+                # declaration itself (and its type) is all the analysis sees
+                return
             if stmt.init is not None:
                 if isinstance(stmt.init, ast.Call) and self._is_plain_call(stmt.init):
                     assert isinstance(stmt.init.func, ast.Name)
@@ -836,9 +848,12 @@ class FunctionLowerer:
         )
 
 
-def lower_unit(unit: ast.TranslationUnit) -> ir.ProgramIR:
+def lower_unit(
+    unit: ast.TranslationUnit,
+    extra_returns: Optional[dict[str, CSrcType]] = None,
+) -> ir.ProgramIR:
     """Lower a parsed translation unit to the Figure 5 IR."""
-    symbols = SymbolTable.for_unit(unit)
+    symbols = SymbolTable.for_unit(unit, extra_returns)
     program = ir.ProgramIR()
     for func in unit.functions:
         if func.body is None:

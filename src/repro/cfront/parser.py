@@ -14,6 +14,7 @@ in its suite).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.srctypes import (
@@ -36,6 +37,25 @@ class ParseError(Exception):
         super().__init__(f"{span}: {message}")
 
 
+@dataclass(frozen=True)
+class ParseHints:
+    """Dialect-specific knowledge injected into the parser.
+
+    The grammar is shared between boundary dialects; what differs is the
+    type vocabulary.  ``typedefs`` pre-registers names (``PyMethodDef`` →
+    an opaque struct).  ``value_pointer_structs`` names struct types whose
+    *pointers* are the dialect's boxed-value type, so ``PyObject *`` parses
+    as the same ``CSrcValue`` that OCaml's ``value`` does and the Figure 6/7
+    inference applies unchanged.  ``null_is_identifier`` keeps ``NULL`` as a
+    name (instead of folding it to the integer 0) so a dialect rewrite can
+    give it value meaning.
+    """
+
+    typedefs: dict[str, CSrcType] = field(default_factory=dict)
+    value_pointer_structs: frozenset[str] = frozenset()
+    null_is_identifier: bool = False
+
+
 _TYPE_KEYWORDS = {
     "void", "char", "short", "int", "long", "float", "double",
     "unsigned", "signed", "value", "intnat", "uintnat", "size_t", "mlsize_t",
@@ -53,11 +73,13 @@ _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="
 
 
 class Parser:
-    def __init__(self, source: SourceFile):
+    def __init__(self, source: SourceFile, hints: Optional[ParseHints] = None):
         self.source = source
+        self.hints = hints or ParseHints()
         self.tokens = tokenize(source)
         self.pos = 0
         self.typedefs: dict[str, CSrcType] = {"value": CSrcValue()}
+        self.typedefs.update(self.hints.typedefs)
         self.struct_names: set[str] = set()
 
     # -- token plumbing ------------------------------------------------------
@@ -104,7 +126,14 @@ class Parser:
         base = self._parse_base_type()
         while self.peek().is_punct("*"):
             self.advance()
-            base = CSrcPtr(base)
+            if (
+                isinstance(base, CSrcStruct)
+                and base.name in self.hints.value_pointer_structs
+            ):
+                # the dialect's boxed-value pointer (e.g. `PyObject *`)
+                base = CSrcValue()
+            else:
+                base = CSrcPtr(base)
             while self.peek().is_ident(*(_QUALIFIERS & {"const", "volatile"})):
                 self.advance()
         return base
@@ -192,7 +221,7 @@ class Parser:
             init = None
             if self.peek().is_punct("="):
                 self.advance()
-                init = self.parse_assignment_expr()
+                init = self._parse_initializer()
             unit.globals.append(
                 ast.GlobalDecl(name=name, ctype=ctype, init=init, span=start_span)
             )
@@ -249,6 +278,30 @@ class Parser:
             ctype = CSrcPtr(ctype)
         return ctype
 
+    def _parse_initializer(self) -> ast.CExpr:
+        """An initializer: an assignment expression or a brace list."""
+        if self.peek().is_punct("{"):
+            return self._parse_init_list()
+        return self.parse_assignment_expr()
+
+    def _parse_init_list(self) -> ast.InitList:
+        start = self.expect_punct("{")
+        items: list[ast.InitItem] = []
+        while not self.peek().is_punct("}"):
+            field_name: Optional[str] = None
+            if self.peek().is_punct(".") and self.peek(1).kind is TokKind.IDENT:
+                self.advance()
+                field_name = self.expect_ident().text
+                self.expect_punct("=")
+            value = self._parse_initializer()
+            items.append(ast.InitItem(value=value, field_name=field_name))
+            if self.peek().is_punct(","):
+                self.advance()  # also permits a trailing comma
+                continue
+            break
+        self.expect_punct("}")
+        return ast.InitList(items=tuple(items), span=start.span)
+
     def _parse_function(
         self, name: str, return_type: CSrcType, start_span: Span
     ) -> ast.FunctionDef:
@@ -304,27 +357,60 @@ class Parser:
 
     def parse_block_item(self) -> ast.CStmtOrDecl:
         if self.at_type_start() and not self._is_label_ahead():
-            return self._parse_declaration()
+            decls = self._parse_declaration()
+            if len(decls) == 1:
+                return decls[0]
+            return ast.Block(items=list(decls), span=decls[0].span)
         return self.parse_statement()
 
     def _is_label_ahead(self) -> bool:
         return self.peek().kind is TokKind.IDENT and self.peek(1).is_punct(":")
 
-    def _parse_declaration(self) -> ast.Declaration:
+    def _parse_declaration(self) -> list[ast.Declaration]:
+        """One declaration statement, possibly ``long a, b = 0, *c;``."""
         start = self.peek().span
-        ctype = self.parse_type()
+        base = self._parse_base_type()
         if self.peek().is_punct("("):
-            name, ctype = self._parse_fnptr_declarator(ctype)
+            name, ctype = self._parse_fnptr_declarator(base)
             self.expect_punct(";")
-            return ast.Declaration(name=name, ctype=ctype, init=None, span=start)
-        name = self.expect_ident().text
-        ctype = self._parse_array_suffix(ctype)
-        init = None
-        if self.peek().is_punct("="):
-            self.advance()
-            init = self.parse_assignment_expr()
+            return [ast.Declaration(name=name, ctype=ctype, init=None, span=start)]
+        decls: list[ast.Declaration] = []
+        while True:
+            ctype = base
+            while self.peek().is_punct("*"):
+                self.advance()
+                if (
+                    isinstance(ctype, CSrcStruct)
+                    and ctype.name in self.hints.value_pointer_structs
+                ):
+                    ctype = CSrcValue()
+                else:
+                    ctype = CSrcPtr(ctype)
+                while self.peek().is_ident("const", "volatile"):
+                    self.advance()
+            if self.peek().is_punct("("):
+                # pointer-returning function pointer: char *(*cb)(int);
+                name, ctype = self._parse_fnptr_declarator(ctype)
+                decls.append(
+                    ast.Declaration(name=name, ctype=ctype, init=None, span=start)
+                )
+                self.expect_punct(";")
+                return decls
+            name = self.expect_ident().text
+            ctype = self._parse_array_suffix(ctype)
+            init = None
+            if self.peek().is_punct("="):
+                self.advance()
+                init = self._parse_initializer()
+            decls.append(
+                ast.Declaration(name=name, ctype=ctype, init=init, span=start)
+            )
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
         self.expect_punct(";")
-        return ast.Declaration(name=name, ctype=ctype, init=init, span=start)
+        return decls
 
     def parse_statement(self) -> ast.CStmt:
         token = self.peek()
@@ -412,7 +498,12 @@ class Parser:
         init: Optional[ast.CStmtOrDecl] = None
         if not self.peek().is_punct(";"):
             if self.at_type_start():
-                init = self._parse_declaration()
+                decls = self._parse_declaration()
+                init = (
+                    decls[0]
+                    if len(decls) == 1
+                    else ast.Block(items=list(decls), span=decls[0].span)
+                )
             else:
                 init = ast.ExprStmt(expr=self.parse_expr(), span=self.peek().span)
                 self.expect_punct(";")
@@ -599,7 +690,7 @@ class Parser:
                 text += self.advance().text
             return ast.Str(value=text, span=token.span)
         if token.kind is TokKind.IDENT:
-            if token.text == "NULL":
+            if token.text == "NULL" and not self.hints.null_is_identifier:
                 return ast.Num(value=0, span=token.span)
             return ast.Name(ident=token.text, span=token.span)
         if token.is_punct("("):
@@ -609,10 +700,16 @@ class Parser:
         raise ParseError(f"unexpected token `{token}`", token.span)
 
 
-def parse_c(source: SourceFile) -> ast.TranslationUnit:
+def parse_c(
+    source: SourceFile, hints: Optional[ParseHints] = None
+) -> ast.TranslationUnit:
     """Parse one C translation unit."""
-    return Parser(source).parse_translation_unit()
+    return Parser(source, hints).parse_translation_unit()
 
 
-def parse_c_text(text: str, filename: str = "<string>") -> ast.TranslationUnit:
-    return parse_c(SourceFile(filename, text))
+def parse_c_text(
+    text: str,
+    filename: str = "<string>",
+    hints: Optional[ParseHints] = None,
+) -> ast.TranslationUnit:
+    return parse_c(SourceFile(filename, text), hints)

@@ -3,8 +3,10 @@
 Usage::
 
     mlffi-check check glue.ml stubs.c [more .ml/.c files ...]
+    mlffi-check check --dialect pyext extension_module.c
     mlffi-check check --no-flow-sensitive --no-gc-effects stubs.c
     mlffi-check batch src/glue --jobs 4 --format json
+    mlffi-check batch --dialect pyext src/ext --jobs 4
     mlffi-check bench [--program lablgtk-2.2.0]
     mlffi-check example
 
@@ -27,6 +29,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .api import Project
+from .boundary import available_dialects, get_dialect
 from .core.exprs import Options
 from .engine import DEFAULT_CACHE_DIR, NullCache, ResultCache
 from .source import SourceFile
@@ -40,11 +43,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="analyze OCaml + C sources")
+    check = sub.add_parser("check", help="analyze host + C sources")
     check.add_argument(
         "files",
         nargs="+",
-        help=".ml/.mli files feed the type repository; .c files are analyzed",
+        help="host sources (.ml/.mli for the ocaml dialect) feed the type "
+        "repository; .c files are analyzed",
+    )
+    check.add_argument(
+        "--dialect",
+        choices=available_dialects(),
+        default="ocaml",
+        help="boundary dialect to check (default: ocaml)",
     )
     check.add_argument(
         "--no-flow-sensitive",
@@ -72,8 +82,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "directory",
-        help="root to scan: .ml/.mli files feed the shared type repository, "
+        help="root to scan: host sources feed the shared type repository, "
         "each .c file becomes one translation unit",
+    )
+    batch.add_argument(
+        "--dialect",
+        choices=available_dialects(),
+        default="ocaml",
+        help="boundary dialect to check (default: ocaml)",
     )
     batch.add_argument(
         "--jobs",
@@ -125,20 +141,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_check(args: argparse.Namespace) -> int:
-    project = Project()
+    dialect = get_dialect(args.dialect)
+    project = Project(dialect=dialect.name)
     for name in args.files:
         path = Path(name)
         if not path.exists():
             print(f"error: no such file: {name}", file=sys.stderr)
             return 125
         source = SourceFile(str(path), path.read_text())
-        if path.suffix in (".ml", ".mli"):
+        if path.suffix in dialect.host_suffixes:
             project.add_ocaml(source)
-        elif path.suffix in (".c", ".h"):
+        elif path.suffix in dialect.unit_suffixes:
             project.add_c(source)
         else:
+            wanted = "/".join(dialect.host_suffixes + dialect.unit_suffixes)
             print(
-                f"error: unknown extension on {name} (want .ml/.mli/.c/.h)",
+                f"error: unknown extension on {name} for dialect "
+                f"{dialect.name} (want {wanted})",
                 file=sys.stderr,
             )
             return 125
@@ -164,7 +183,7 @@ def _run_batch(args: argparse.Namespace) -> int:
     if not root.is_dir():
         print(f"error: no such directory: {args.directory}", file=sys.stderr)
         return 125
-    project = Project.from_directory(root)
+    project = Project.from_directory(root, dialect=args.dialect)
     if not project.c_sources:
         print(
             f"error: no .c translation units under {args.directory}",

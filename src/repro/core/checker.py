@@ -102,16 +102,26 @@ class AnalysisReport:
 
 
 class Checker:
-    """Run the full analysis over a lowered program."""
+    """Run the full analysis over a lowered program.
+
+    ``dialect`` supplies the boundary-specific seeds — the runtime builtin
+    table, the polymorphic-builtin set, well-known runtime globals, and the
+    allocator tag table (any object satisfying
+    :class:`repro.boundary.BoundaryDialect` works).  When omitted, the
+    OCaml defaults from :mod:`repro.cfront.macros` apply, which keeps the
+    historical single-dialect entry points working unchanged.
+    """
 
     def __init__(
         self,
         program: ProgramIR,
         initial_env: Optional[InitialEnv] = None,
         options: Optional[Options] = None,
+        dialect=None,
     ):
         self.program = program
         self.initial_env = initial_env or InitialEnv()
+        self.dialect = dialect
         effect_constraints = EffectConstraintStore()
         self.ctx = Context(
             unifier=Unifier(on_effect_equal=effect_constraints.equate),
@@ -120,12 +130,18 @@ class Checker:
             diagnostics=DiagnosticBag(),
             options=options or Options(),
         )
+        if dialect is not None:
+            self.ctx.alloc_result_tags = dialect.alloc_result_tags()
 
     # -- seeding -------------------------------------------------------------
 
     def _seed_functions(self) -> None:
-        self.ctx.functions.update(builtin_entries())
-        self.ctx.polymorphic.update(POLYMORPHIC_BUILTINS)
+        if self.dialect is not None:
+            self.ctx.functions.update(self.dialect.builtin_entries())
+            self.ctx.polymorphic.update(self.dialect.polymorphic_builtins())
+        else:
+            self.ctx.functions.update(builtin_entries())
+            self.ctx.polymorphic.update(POLYMORPHIC_BUILTINS)
         for name, fn_ct in self.initial_env.functions.items():
             self.ctx.functions[name] = Entry(fn_ct)
         for fn in self.program.functions:
@@ -144,6 +160,8 @@ class Checker:
                 )
 
     def _seed_globals(self) -> None:
+        if self.dialect is not None:
+            self.ctx.global_bindings.update(self.dialect.global_entries())
         for decl in self.program.globals:
             if self._mentions_value(decl.ctype):
                 self.ctx.report(

@@ -129,6 +129,9 @@ class Context:
     pending_gc_checks: list[PendingGCCheck] = field(default_factory=list)
     #: names of variables pinned to ⊤ because their address was taken (§5.1)
     address_taken: set[str] = field(default_factory=set)
+    #: dialect override of the allocator→result-tag table (None = OCaml's
+    #: :data:`repro.cfront.macros.ALLOC_RESULT_TAG`)
+    alloc_result_tags: Optional[dict[str, int | str]] = None
     _reported: set[tuple[Kind, str, int, str]] = field(default_factory=set)
 
     def report(

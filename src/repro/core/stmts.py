@@ -413,14 +413,16 @@ class FunctionAnalyzer:
                 )
         return fn_ct.result, self._call_result_qual(call, arg_quals)
 
-    @staticmethod
     def _call_result_qual(
-        call: CallExp, arg_quals: list[Qualifier]
+        self, call: CallExp, arg_quals: list[Qualifier]
     ) -> Qualifier:
         """Allocators return a fresh block at offset 0 with a known tag."""
-        from ..cfront.macros import ALLOC_RESULT_TAG
+        tags = self.ctx.alloc_result_tags
+        if tags is None:
+            from ..cfront.macros import ALLOC_RESULT_TAG
 
-        spec = ALLOC_RESULT_TAG.get(call.func)
+            tags = ALLOC_RESULT_TAG
+        spec = tags.get(call.func)
         if spec is None:
             return UNKNOWN_QUALIFIER
         if spec == "arg1":

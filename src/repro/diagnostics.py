@@ -60,6 +60,21 @@ class Kind(enum.Enum):
     )
     UNSAFE_VALUE = ("unsafe value (interior pointer) escapes the function", Category.ERROR)
 
+    # -- pyext dialect: the CPython boundary analogues ---------------------
+    PY_FORMAT_MISMATCH = (
+        "PyArg_ParseTuple/Py_BuildValue format string disagrees with the "
+        "supplied C arguments",
+        Category.ERROR,
+    )
+    PY_REF_LEAK = (
+        "new (owned) reference is never released",
+        Category.ERROR,
+    )
+    PY_USE_AFTER_DECREF = (
+        "object used after Py_DECREF released the only reference",
+        Category.ERROR,
+    )
+
     # -- questionable practice --------------------------------------------
     TRAILING_UNIT = (
         "external declares a trailing unit parameter the C function omits",
@@ -70,6 +85,10 @@ class Kind(enum.Enum):
         Category.WARNING,
     )
     VALUE_CAST = ("suspicious cast involving a value type", Category.WARNING)
+    PY_BORROWED_ESCAPE = (
+        "borrowed reference escapes (returned or stored) without Py_INCREF",
+        Category.WARNING,
+    )
 
     # -- patterns the checker cannot prove safe (paper's false positives) --
     POLY_VARIANT = (

@@ -30,7 +30,8 @@ from ..source import SourceFile
 
 #: Bump whenever the analysis output format or semantics change, so stale
 #: cache entries from older engine revisions can never be replayed.
-CACHE_SCHEMA_VERSION = 1
+#: v2: requests carry a boundary dialect (and results a per-unit wall time).
+CACHE_SCHEMA_VERSION = 2
 
 
 def _digest_sources(sources: Iterable[SourceFile]) -> str:
@@ -62,22 +63,32 @@ def options_fingerprint(options: Options) -> str:
 
 @dataclass(frozen=True)
 class CheckRequest:
-    """One translation unit queued for analysis."""
+    """One translation unit queued for analysis.
+
+    ``dialect`` names the boundary dialect (see :mod:`repro.boundary`)
+    that interprets the unit: which runtime table seeds the environment
+    and where ``Γ_I`` comes from.  The same C text under a different
+    dialect is a different analysis, so the dialect participates in
+    :meth:`cache_key`.
+    """
 
     name: str
     c_sources: tuple[SourceFile, ...]
     ocaml_sources: tuple[SourceFile, ...] = ()
     options: Options = field(default_factory=Options)
+    dialect: str = "ocaml"
 
     def cache_key(self) -> str:
         """Content hash identifying this unit's analysis outcome.
 
-        Keyed on the C source digest, the OCaml repository fingerprint,
-        and the :class:`Options` — any change to any of the three must
-        miss — plus the engine schema version.
+        Keyed on the dialect, the C source digest, the host-side
+        repository fingerprint, and the :class:`Options` — any change to
+        any of the four must miss — plus the engine schema version.
         """
         hasher = hashlib.sha256()
         hasher.update(f"v{CACHE_SCHEMA_VERSION}".encode())
+        hasher.update(self.dialect.encode("utf-8", "replace"))
+        hasher.update(b"\x00")
         hasher.update(_digest_sources(self.c_sources).encode())
         hasher.update(repository_fingerprint(self.ocaml_sources).encode())
         hasher.update(options_fingerprint(self.options).encode())
@@ -93,6 +104,10 @@ class CheckResult:
     signatures: dict[str, str] = field(default_factory=dict)
     unification_steps: int = 0
     elapsed_seconds: float = 0.0
+    #: end-to-end time this unit cost the batch: parse + analysis for a
+    #: miss, the cache probe for a hit (``elapsed_seconds`` is only the
+    #: checker fixpoint).  This is what cold-vs-warm plots should use.
+    wall_seconds: float = 0.0
     cache_key: str = ""
     from_cache: bool = False
     #: set when the worker itself failed (parse crash, etc.); such results
@@ -130,6 +145,7 @@ class CheckResult:
             "signatures": dict(self.signatures),
             "unification_steps": self.unification_steps,
             "elapsed_seconds": self.elapsed_seconds,
+            "wall_seconds": self.wall_seconds,
             "cache_key": self.cache_key,
             "from_cache": self.from_cache,
             "failure": self.failure,
@@ -145,6 +161,7 @@ class CheckResult:
             signatures=dict(data.get("signatures", {})),
             unification_steps=data.get("unification_steps", 0),
             elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            wall_seconds=data.get("wall_seconds", 0.0),
             cache_key=data.get("cache_key", ""),
             from_cache=data.get("from_cache", False),
             failure=data.get("failure"),

@@ -65,10 +65,13 @@ def run_batch(
     results: dict[int, CheckResult] = {}
     pending: list[tuple[int, CheckRequest, str]] = []
     for index, request in enumerate(requests):
+        probe_started = time.perf_counter()
         key = request.cache_key()
         cached = cache.load(key) if cache is not None else None
         if cached is not None:
             cached.name = request.name  # cache files are key-addressed
+            # a hit's wall time is what the batch actually paid: the probe
+            cached.wall_seconds = time.perf_counter() - probe_started
             results[index] = cached
         else:
             pending.append((index, request, key))

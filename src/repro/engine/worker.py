@@ -3,53 +3,31 @@
 Everything here is reachable from a module-level name (a requirement of
 ``multiprocessing`` pickling) and depends only on the contents of the
 :class:`~repro.engine.jobs.CheckRequest` it is handed — no ambient state
-crosses the process boundary.  The two §5.1 phases run exactly as in the
-single-shot path: phase one builds the type repository / ``Γ_I`` from the
-request's OCaml sources, phase two lowers and analyzes its C sources.
+crosses the process boundary.  The request's ``dialect`` names the
+boundary dialect that interprets it; phase one (``Γ_I``) and phase two
+(lower + infer) both live behind
+:meth:`repro.boundary.BoundaryDialect.analyze`, so the engine schedules
+OCaml glue and CPython extension modules identically.
 
-Because every unit in a batch usually shares the same OCaml side, each
-worker process memoizes the *repository* by content fingerprint; ``Γ_I``
-itself is rebuilt per unit so fresh inference variables never leak between
-units (the unifier must not see another unit's bindings).
+Dialects memoize what is profitably shared per process (the OCaml dialect
+memoizes its type repository by content fingerprint); ``Γ_I`` itself is
+rebuilt per unit so fresh inference variables never leak between units
+(the unifier must not see another unit's bindings).
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
-from ..cfront.ir import ProgramIR
-from ..cfront.lower import lower_unit
-from ..cfront.parser import parse_c
-from ..core.checker import AnalysisReport, Checker
-from ..ocamlfront.repository import TypeRepository, build_initial_env
-from .jobs import CheckRequest, CheckResult, repository_fingerprint
-
-#: Per-process memo: repository fingerprint -> parsed TypeRepository.
-#: Bounded (batches reuse one or two OCaml sides); reset on process exit.
-_REPOSITORY_MEMO: dict[str, TypeRepository] = {}
-_REPOSITORY_MEMO_LIMIT = 32
-
-
-def _repository_for(request: CheckRequest) -> TypeRepository:
-    fingerprint = repository_fingerprint(request.ocaml_sources)
-    repo = _REPOSITORY_MEMO.get(fingerprint)
-    if repo is None:
-        repo = TypeRepository.with_stdlib()
-        for source in request.ocaml_sources:
-            repo.add_source(source)
-        if len(_REPOSITORY_MEMO) >= _REPOSITORY_MEMO_LIMIT:
-            _REPOSITORY_MEMO.clear()
-        _REPOSITORY_MEMO[fingerprint] = repo
-    return repo
+from ..boundary import get_dialect
+from ..core.checker import AnalysisReport
+from .jobs import CheckRequest, CheckResult
 
 
 def analyze_request(request: CheckRequest) -> AnalysisReport:
     """Run both phases for one unit and return the full in-process report."""
-    initial_env = build_initial_env(_repository_for(request))
-    program = ProgramIR()
-    for source in request.c_sources:
-        program = program.merge(lower_unit(parse_c(source)))
-    return Checker(program, initial_env, request.options).run()
+    return get_dialect(request.dialect).analyze(request)
 
 
 def run_request(
@@ -61,12 +39,16 @@ def run_request(
     ``failure`` on the result rather than poisoning the whole pool.
     """
     key = cache_key if cache_key is not None else request.cache_key()
+    started = time.perf_counter()
     try:
         report = analyze_request(request)
     except Exception as exc:  # noqa: BLE001 - one bad unit must not kill the batch
         return CheckResult(
             name=request.name,
             cache_key=key,
+            wall_seconds=time.perf_counter() - started,
             failure=f"{type(exc).__name__}: {exc}",
         )
-    return CheckResult.from_report(request.name, report, cache_key=key)
+    result = CheckResult.from_report(request.name, report, cache_key=key)
+    result.wall_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,84 @@
+"""The OCaml-to-C FFI as a :class:`~repro.boundary.BoundaryDialect`.
+
+This is the paper's original configuration, repackaged: ``Γ_I`` comes from
+``external`` declarations in ``.ml``/``.mli`` sources via ``Φ``, the
+runtime table is ``caml/mlvalues.h``'s entry points, and the protection
+discipline is ``CAMLparam``/``CAMLlocal``/``CAMLreturn``.
+
+Because every unit in a batch usually shares the same OCaml side, the
+*repository* is memoized per process by content fingerprint; ``Γ_I``
+itself is rebuilt per unit so fresh inference variables never leak between
+units (the unifier must not see another unit's bindings).
+"""
+
+from __future__ import annotations
+
+from ..boundary import register_dialect
+from ..cfront.ir import ProgramIR
+from ..cfront.lower import lower_unit
+from ..cfront.macros import (
+    ALLOC_RESULT_TAG,
+    POLYMORPHIC_BUILTINS,
+    builtin_entries,
+)
+from ..cfront.parser import parse_c
+from ..core.checker import AnalysisReport, Checker, InitialEnv
+from ..core.environment import Entry
+from ..engine.jobs import CheckRequest, repository_fingerprint
+from .repository import TypeRepository, build_initial_env
+
+#: Per-process memo: repository fingerprint -> parsed TypeRepository.
+#: Bounded (batches reuse one or two OCaml sides); reset on process exit.
+_REPOSITORY_MEMO: dict[str, TypeRepository] = {}
+_REPOSITORY_MEMO_LIMIT = 32
+
+
+class OCamlDialect:
+    """The paper's OCaml FFI boundary."""
+
+    name = "ocaml"
+    host_suffixes = (".ml", ".mli")
+    unit_suffixes = (".c", ".h")
+
+    # -- seeds ---------------------------------------------------------------
+
+    def builtin_entries(self) -> dict[str, Entry]:
+        return builtin_entries()
+
+    def polymorphic_builtins(self) -> frozenset[str]:
+        return POLYMORPHIC_BUILTINS
+
+    def global_entries(self) -> dict[str, Entry]:
+        return {}
+
+    def alloc_result_tags(self) -> dict[str, int | str]:
+        return dict(ALLOC_RESULT_TAG)
+
+    # -- phases --------------------------------------------------------------
+
+    def repository_for(self, request: CheckRequest) -> TypeRepository:
+        fingerprint = repository_fingerprint(request.ocaml_sources)
+        repo = _REPOSITORY_MEMO.get(fingerprint)
+        if repo is None:
+            repo = TypeRepository.with_stdlib()
+            for source in request.ocaml_sources:
+                repo.add_source(source)
+            if len(_REPOSITORY_MEMO) >= _REPOSITORY_MEMO_LIMIT:
+                _REPOSITORY_MEMO.clear()
+            _REPOSITORY_MEMO[fingerprint] = repo
+        return repo
+
+    def initial_env(self, request: CheckRequest) -> InitialEnv:
+        return build_initial_env(self.repository_for(request))
+
+    def analyze(self, request: CheckRequest) -> AnalysisReport:
+        initial_env = self.initial_env(request)
+        program = ProgramIR()
+        for source in request.c_sources:
+            program = program.merge(lower_unit(parse_c(source)))
+        return Checker(
+            program, initial_env, request.options, dialect=self
+        ).run()
+
+
+OCAML_DIALECT = register_dialect(OCamlDialect())

@@ -1,0 +1,87 @@
+"""The CPython extension-module boundary as a ``BoundaryDialect``.
+
+Phase one reads the boundary contract out of the C sources themselves
+(``PyMethodDef`` tables → ``Γ_I``; there is no separate host-language
+input).  Phase two runs three passes over each unit:
+
+1. the shared Figure 6/7 inference, over the rewritten AST, seeded with
+   the CPython runtime table — this catches calling-convention arity and
+   type clashes exactly as the OCaml dialect catches ``external``
+   mismatches;
+2. the format-string checker (:mod:`repro.pyext.formats`);
+3. the reference-count discipline (:mod:`repro.pyext.refcount`).
+
+Their diagnostics merge into one :class:`AnalysisReport`, so batch
+tallies, caching, and rendering need no dialect-specific code.
+"""
+
+from __future__ import annotations
+
+from ..boundary import register_dialect
+from ..cfront.ast import TranslationUnit
+from ..cfront.ir import ProgramIR
+from ..cfront.lower import lower_unit
+from ..cfront.parser import parse_c
+from ..core.checker import AnalysisReport, Checker, InitialEnv
+from ..core.environment import Entry
+from ..engine.jobs import CheckRequest
+from ..source import SourceFile
+from . import formats, methods, refcount, runtime
+from .rewrite import rewrite_unit
+
+
+class PyExtDialect:
+    """CPython C-API glue, checked with the paper's machinery."""
+
+    name = "pyext"
+    host_suffixes: tuple[str, ...] = ()
+    unit_suffixes = (".c", ".h")
+
+    # -- seeds ---------------------------------------------------------------
+
+    def builtin_entries(self) -> dict[str, Entry]:
+        return runtime.builtin_entries()
+
+    def polymorphic_builtins(self) -> frozenset[str]:
+        return runtime.POLYMORPHIC_BUILTINS
+
+    def global_entries(self) -> dict[str, Entry]:
+        return runtime.global_entries()
+
+    def alloc_result_tags(self) -> dict[str, int | str]:
+        # Python objects are not representational blocks; no allocator
+        # produces a known-tag value
+        return {}
+
+    # -- phases --------------------------------------------------------------
+
+    def parse(self, source: SourceFile) -> TranslationUnit:
+        return parse_c(source, runtime.parse_hints())
+
+    def initial_env(self, request: CheckRequest) -> InitialEnv:
+        units = [self.parse(source) for source in request.c_sources]
+        return methods.build_initial_env(units)
+
+    def analyze(self, request: CheckRequest) -> AnalysisReport:
+        units = [self.parse(source) for source in request.c_sources]
+        initial_env = methods.build_initial_env(units)
+
+        return_types = runtime.lowering_return_types()
+        program = ProgramIR()
+        for unit in units:
+            program = program.merge(
+                lower_unit(rewrite_unit(unit), extra_returns=return_types)
+            )
+        report = Checker(
+            program, initial_env, request.options, dialect=self
+        ).run()
+
+        # the dialect-specific passes read the *original* AST: format
+        # strings and refcount operations are erased by the rewrite
+        for unit in units:
+            report.diagnostics.extend(formats.check_unit(unit))
+            report.diagnostics.extend(refcount.check_unit(unit))
+        return report
+
+
+PYEXT_DIALECT = register_dialect(PyExtDialect())

@@ -1,0 +1,145 @@
+"""Phase one for the pyext dialect: ``PyMethodDef`` tables become ``Γ_I``.
+
+An OCaml ``external`` tells the checker which C function the host will
+call and at what type; a CPython method table does exactly the same job::
+
+    static PyMethodDef SpamMethods[] = {
+        {"add", spam_add, METH_VARARGS, "Add two integers."},
+        {NULL, NULL, 0, NULL}
+    };
+
+Each row fixes the C function's calling convention from its flags —
+``METH_VARARGS`` means ``PyObject *f(PyObject *self, PyObject *args)``,
+``METH_KEYWORDS`` adds the ``kwargs`` parameter, and so on.  We translate
+every row into a :class:`~repro.core.types.CFun` over fresh value
+variables and seed the initial environment with it; the shared (Fun Defn)
+rule then unifies the actual definition against it, so a method defined
+with the wrong arity is caught by the very same check that catches an
+``external`` / C-stub mismatch in the OCaml dialect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfront import ast
+from ..core.checker import InitialEnv
+from ..core.srctypes import CSrcPtr, CSrcStruct, CSrcType
+from ..core.types import C_INT, CFun, CPtr, CType, CValue, NOGC, fresh_mt
+from ..source import DUMMY_SPAN, Span
+
+
+@dataclass(frozen=True)
+class MethodDefEntry:
+    """One parsed ``PyMethodDef`` row."""
+
+    py_name: str
+    c_name: str
+    flags: tuple[str, ...]
+    span: Span = DUMMY_SPAN
+
+    def param_types(self) -> tuple[CType, ...]:
+        """The C parameter list the calling convention dictates, over
+        fresh value variables."""
+        if "METH_FASTCALL" in self.flags:
+            # (self, PyObject *const *args, Py_ssize_t nargs[, kwnames])
+            params: list[CType] = [
+                CValue(fresh_mt()),
+                CPtr(CValue(fresh_mt())),
+                C_INT,
+            ]
+            if "METH_KEYWORDS" in self.flags:
+                params.append(CValue(fresh_mt()))
+            return tuple(params)
+        arity = 3 if "METH_KEYWORDS" in self.flags else 2
+        # METH_NOARGS still receives (self, ignored); METH_O receives
+        # (self, arg); METH_VARARGS receives (self, args)
+        return tuple(CValue(fresh_mt()) for _ in range(arity))
+
+    @property
+    def arity(self) -> int:
+        """Number of C parameters the calling convention dictates."""
+        return len(self.param_types())
+
+
+def _is_method_table_type(ctype: CSrcType) -> bool:
+    node = ctype
+    while isinstance(node, CSrcPtr):
+        node = node.target
+    return isinstance(node, CSrcStruct) and node.name == "PyMethodDef"
+
+
+def _flag_names(expr: ast.CExpr) -> tuple[str, ...]:
+    """Collect identifiers from a ``METH_A | METH_B`` flags expression."""
+    if isinstance(expr, ast.Name):
+        return (expr.ident,)
+    if isinstance(expr, ast.Binary) and expr.op == "|":
+        return _flag_names(expr.left) + _flag_names(expr.right)
+    return ()
+
+
+def _row_entry(row: ast.InitList) -> MethodDefEntry | None:
+    """Decode one table row; ``None`` for sentinels and designated forms
+    we cannot read."""
+    by_field: dict[str, ast.CExpr] = {}
+    positional: list[ast.CExpr] = []
+    for item in row.items:
+        if item.field_name is not None:
+            by_field[item.field_name] = item.value
+        else:
+            positional.append(item.value)
+
+    def member(field: str, index: int) -> ast.CExpr | None:
+        if field in by_field:
+            return by_field[field]
+        if index < len(positional):
+            return positional[index]
+        return None
+
+    name_expr = member("ml_name", 0)
+    func_expr = member("ml_meth", 1)
+    flags_expr = member("ml_flags", 2)
+    if not isinstance(name_expr, ast.Str) or not isinstance(func_expr, ast.Name):
+        return None  # the {NULL, NULL, 0, NULL} sentinel, or unreadable
+    flags = _flag_names(flags_expr) if flags_expr is not None else ()
+    return MethodDefEntry(
+        py_name=name_expr.value,
+        c_name=func_expr.ident,
+        flags=flags,
+        span=name_expr.span,
+    )
+
+
+def method_table_entries(unit: ast.TranslationUnit) -> list[MethodDefEntry]:
+    """Every readable row of every ``PyMethodDef`` table in the unit."""
+    entries: list[MethodDefEntry] = []
+    for decl in unit.globals:
+        if not _is_method_table_type(decl.ctype):
+            continue
+        if not isinstance(decl.init, ast.InitList):
+            continue
+        for item in decl.init.items:
+            if isinstance(item.value, ast.InitList):
+                entry = _row_entry(item.value)
+                if entry is not None:
+                    entries.append(entry)
+    return entries
+
+
+def build_initial_env(units: list[ast.TranslationUnit]) -> InitialEnv:
+    """``Γ_I`` for a pyext unit: one entry per method-table row.
+
+    Effects are ``nogc`` (see :mod:`repro.pyext.runtime`); parameters and
+    result are fresh ``α value`` — the interpreter can pass any object, so
+    nothing stronger is known until the body commits to conversions.
+    """
+    env = InitialEnv()
+    for unit in units:
+        for entry in method_table_entries(unit):
+            env.functions[entry.c_name] = CFun(
+                params=entry.param_types(),
+                result=CValue(fresh_mt()),
+                effect=NOGC,
+            )
+            env.spans[entry.c_name] = entry.span
+    return env

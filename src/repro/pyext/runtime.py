@@ -1,0 +1,333 @@
+"""Knowledge base for the CPython C API, mirroring :mod:`repro.cfront.macros`.
+
+Three tables live here:
+
+* parse hints, so the shared C parser reads extension-module source
+  (``PyObject *`` is the boxed-value type, ``PyMethodDef`` et al. are
+  known opaque structs, ``NULL`` stays an identifier for the rewrite);
+* the typing table for runtime entry points, seeding the checker's
+  function environment exactly like the OCaml runtime table does.  Every
+  entry is ``nogc``: CPython's collector neither moves objects nor frees
+  owned references behind C's back, so the OCaml protection obligations
+  never fire — the reference-count discipline is this dialect's analogue
+  and has its own pass (:mod:`repro.pyext.refcount`);
+* the reference-semantics classification (new vs borrowed results,
+  reference-stealing parameters) that the refcount pass interprets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfront.parser import ParseHints
+from ..core.environment import Entry
+from ..core.srctypes import (
+    CSrcPtr,
+    CSrcScalar,
+    CSrcStruct,
+    CSrcType,
+    CSrcValue,
+    CSrcVoid,
+)
+from ..core.types import (
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CStruct,
+    CType,
+    CValue,
+    NOGC,
+    fresh_mt,
+)
+
+# -- parse hints ---------------------------------------------------------------
+
+#: Typedefs the CPython headers would have provided.
+_TYPEDEFS: dict[str, CSrcType] = {
+    "PyObject": CSrcStruct("PyObject"),
+    "PyTypeObject": CSrcStruct("PyTypeObject"),
+    "PyMethodDef": CSrcStruct("PyMethodDef"),
+    "PyModuleDef": CSrcStruct("PyModuleDef"),
+    "PyModuleDef_Slot": CSrcStruct("PyModuleDef_Slot"),
+    "PyMemberDef": CSrcStruct("PyMemberDef"),
+    "PyGetSetDef": CSrcStruct("PyGetSetDef"),
+    "PyCFunction": CSrcPtr(CSrcScalar("int")),
+    "Py_ssize_t": CSrcScalar("int"),
+    "Py_hash_t": CSrcScalar("int"),
+    "uint64_t": CSrcScalar("int"),
+    "int64_t": CSrcScalar("int"),
+    "int32_t": CSrcScalar("int"),
+    #: the macro expands to ``PyObject *`` (plus export goo)
+    "PyMODINIT_FUNC": CSrcValue(),
+}
+
+
+def parse_hints() -> ParseHints:
+    """How to read CPython extension source with the shared parser."""
+    return ParseHints(
+        typedefs=dict(_TYPEDEFS),
+        value_pointer_structs=frozenset({"PyObject"}),
+        null_is_identifier=True,
+    )
+
+
+# -- runtime entry-point signatures --------------------------------------------
+
+
+@dataclass(frozen=True)
+class PySpec:
+    """Shape of one C-API function, in the macros.py spec language.
+
+    Parameter/result kinds: ``value`` (fresh ``α value`` per call site),
+    ``int`` (any C scalar), ``charptr``, ``voidptr``, ``valueptr``
+    (``PyObject **``), ``moddef`` (``struct PyModuleDef *``), ``void``.
+    """
+
+    params: tuple[str, ...]
+    result: str
+
+
+def _kind_to_ct(kind: str) -> CType:
+    if kind == "value":
+        return CValue(fresh_mt())
+    if kind == "int":
+        return C_INT
+    if kind in ("charptr", "voidptr"):
+        return CPtr(C_INT)
+    if kind == "valueptr":
+        return CPtr(CValue(fresh_mt()))
+    if kind == "moddef":
+        return CPtr(CStruct("PyModuleDef"))
+    if kind == "void":
+        return C_VOID
+    raise ValueError(f"unknown pyext builtin kind `{kind}`")
+
+
+def _kind_to_src(kind: str) -> CSrcType:
+    if kind == "value":
+        return CSrcValue()
+    if kind == "int":
+        return CSrcScalar("int")
+    if kind in ("charptr", "voidptr"):
+        return CSrcPtr(CSrcScalar("char"))
+    if kind == "valueptr":
+        return CSrcPtr(CSrcValue())
+    if kind == "moddef":
+        return CSrcPtr(CSrcStruct("PyModuleDef"))
+    if kind == "void":
+        return CSrcVoid()
+    raise ValueError(kind)
+
+
+def spec_to_cfun(spec: PySpec) -> CFun:
+    """Materialize a spec with fresh type variables."""
+    return CFun(
+        params=tuple(_kind_to_ct(k) for k in spec.params),
+        result=_kind_to_ct(spec.result),
+        effect=NOGC,
+    )
+
+
+#: The CPython API surface extension glue actually uses, plus the
+#: ``__pyext_*`` internals the rewrite introduces for varargs macros.
+RUNTIME_FUNCTIONS: dict[str, PySpec] = {
+    # rewrite targets (see repro.pyext.rewrite)
+    "__pyext_null": PySpec((), "value"),
+    "__pyext_none": PySpec((), "value"),
+    "__pyext_is_null": PySpec(("value",), "int"),
+    "__pyext_parse_args": PySpec(("value",), "int"),
+    "__pyext_parse_args_kw": PySpec(("value", "value"), "int"),
+    "__pyext_build_value": PySpec((), "value"),
+    # reference counting
+    "Py_INCREF": PySpec(("value",), "void"),
+    "Py_DECREF": PySpec(("value",), "void"),
+    "Py_XINCREF": PySpec(("value",), "void"),
+    "Py_XDECREF": PySpec(("value",), "void"),
+    "Py_CLEAR": PySpec(("value",), "void"),
+    # scalar conversions
+    "PyLong_FromLong": PySpec(("int",), "value"),
+    "PyLong_FromSsize_t": PySpec(("int",), "value"),
+    "PyLong_FromUnsignedLong": PySpec(("int",), "value"),
+    "PyLong_AsLong": PySpec(("value",), "int"),
+    "PyLong_AsSsize_t": PySpec(("value",), "int"),
+    "PyLong_Check": PySpec(("value",), "int"),
+    "PyFloat_FromDouble": PySpec(("int",), "value"),
+    "PyFloat_AsDouble": PySpec(("value",), "int"),
+    "PyFloat_Check": PySpec(("value",), "int"),
+    "PyBool_FromLong": PySpec(("int",), "value"),
+    # strings and bytes
+    "PyUnicode_FromString": PySpec(("charptr",), "value"),
+    "PyUnicode_AsUTF8": PySpec(("value",), "charptr"),
+    "PyUnicode_Check": PySpec(("value",), "int"),
+    "PyUnicode_Concat": PySpec(("value", "value"), "value"),
+    "PyUnicode_GetLength": PySpec(("value",), "int"),
+    "PyBytes_FromString": PySpec(("charptr",), "value"),
+    "PyBytes_AsString": PySpec(("value",), "charptr"),
+    "PyBytes_Size": PySpec(("value",), "int"),
+    # tuples
+    "PyTuple_New": PySpec(("int",), "value"),
+    "PyTuple_Size": PySpec(("value",), "int"),
+    "PyTuple_GetItem": PySpec(("value", "int"), "value"),
+    "PyTuple_SetItem": PySpec(("value", "int", "value"), "int"),
+    "PyTuple_Pack": PySpec(("int", "value"), "value"),
+    # lists
+    "PyList_New": PySpec(("int",), "value"),
+    "PyList_Size": PySpec(("value",), "int"),
+    "PyList_GetItem": PySpec(("value", "int"), "value"),
+    "PyList_SetItem": PySpec(("value", "int", "value"), "int"),
+    "PyList_Append": PySpec(("value", "value"), "int"),
+    # dicts
+    "PyDict_New": PySpec((), "value"),
+    "PyDict_GetItem": PySpec(("value", "value"), "value"),
+    "PyDict_GetItemString": PySpec(("value", "charptr"), "value"),
+    "PyDict_SetItem": PySpec(("value", "value", "value"), "int"),
+    "PyDict_SetItemString": PySpec(("value", "charptr", "value"), "int"),
+    "PyDict_Size": PySpec(("value",), "int"),
+    # generic object protocol
+    "PyObject_CallObject": PySpec(("value", "value"), "value"),
+    "PyObject_Call": PySpec(("value", "value", "value"), "value"),
+    "PyObject_CallNoArgs": PySpec(("value",), "value"),
+    "PyObject_CallOneArg": PySpec(("value", "value"), "value"),
+    "PyObject_GetAttrString": PySpec(("value", "charptr"), "value"),
+    "PyObject_SetAttrString": PySpec(("value", "charptr", "value"), "int"),
+    "PyObject_Repr": PySpec(("value",), "value"),
+    "PyObject_Str": PySpec(("value",), "value"),
+    "PyObject_IsTrue": PySpec(("value",), "int"),
+    "PyObject_Length": PySpec(("value",), "int"),
+    "PyObject_Size": PySpec(("value",), "int"),
+    "PyCallable_Check": PySpec(("value",), "int"),
+    "PySequence_GetItem": PySpec(("value", "int"), "value"),
+    "PySequence_Length": PySpec(("value",), "int"),
+    "PyNumber_Add": PySpec(("value", "value"), "value"),
+    "PyNumber_Multiply": PySpec(("value", "value"), "value"),
+    "PyIter_Next": PySpec(("value",), "value"),
+    # errors
+    "PyErr_SetString": PySpec(("value", "charptr"), "void"),
+    "PyErr_SetObject": PySpec(("value", "value"), "void"),
+    "PyErr_Format": PySpec(("value", "charptr"), "value"),
+    "PyErr_Occurred": PySpec((), "value"),
+    "PyErr_Clear": PySpec((), "void"),
+    "PyErr_NoMemory": PySpec((), "value"),
+    # modules
+    "PyModule_Create": PySpec(("moddef",), "value"),
+    "PyModule_AddObject": PySpec(("value", "charptr", "value"), "int"),
+    "PyModule_AddIntConstant": PySpec(("value", "charptr", "int"), "int"),
+    "PyModule_AddStringConstant": PySpec(("value", "charptr", "charptr"), "int"),
+    "PyModule_GetDict": PySpec(("value",), "value"),
+    "PyImport_AddModule": PySpec(("charptr",), "value"),
+    # memory
+    "PyMem_Malloc": PySpec(("int",), "voidptr"),
+    "PyMem_Free": PySpec(("voidptr",), "void"),
+    # GIL bookkeeping commonly seen in glue
+    "PyGILState_Ensure": PySpec((), "int"),
+    "PyGILState_Release": PySpec(("int",), "void"),
+}
+
+#: Well-known runtime globals of value type, visible in every function.
+GLOBAL_VALUES: tuple[str, ...] = (
+    "Py_None",
+    "Py_True",
+    "Py_False",
+    "Py_NotImplemented",
+    "PyExc_TypeError",
+    "PyExc_ValueError",
+    "PyExc_RuntimeError",
+    "PyExc_IndexError",
+    "PyExc_KeyError",
+    "PyExc_OverflowError",
+    "PyExc_ZeroDivisionError",
+    "PyExc_StopIteration",
+    "PyExc_MemoryError",
+)
+
+
+def builtin_entries() -> dict[str, Entry]:
+    """Fresh function-environment entries for every C-API entry point."""
+    return {
+        name: Entry(spec_to_cfun(spec))
+        for name, spec in RUNTIME_FUNCTIONS.items()
+    }
+
+
+def global_entries() -> dict[str, Entry]:
+    """Fresh bindings for the singleton/exception objects."""
+    return {name: Entry(CValue(fresh_mt())) for name in GLOBAL_VALUES}
+
+
+#: Builtins whose types are instantiated afresh at every call site.
+POLYMORPHIC_BUILTINS: frozenset[str] = frozenset(RUNTIME_FUNCTIONS)
+
+
+def lowering_return_types() -> dict[str, CSrcType]:
+    """Static return types for the lowering's symbol table, so calls into
+    the C API land in temporaries of the right surface type."""
+    return {
+        name: _kind_to_src(spec.result)
+        for name, spec in RUNTIME_FUNCTIONS.items()
+    }
+
+
+# -- reference semantics -------------------------------------------------------
+
+#: Functions returning a *new* (owned) reference the caller must release.
+NEW_REF_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "PyLong_FromLong",
+        "PyLong_FromSsize_t",
+        "PyLong_FromUnsignedLong",
+        "PyFloat_FromDouble",
+        "PyBool_FromLong",
+        "PyUnicode_FromString",
+        "PyUnicode_Concat",
+        "PyBytes_FromString",
+        "PyTuple_New",
+        "PyTuple_Pack",
+        "PyList_New",
+        "PyDict_New",
+        "PyObject_CallObject",
+        "PyObject_Call",
+        "PyObject_CallNoArgs",
+        "PyObject_CallOneArg",
+        "PyObject_GetAttrString",
+        "PyObject_Repr",
+        "PyObject_Str",
+        "PySequence_GetItem",
+        "PyNumber_Add",
+        "PyNumber_Multiply",
+        "PyIter_Next",
+        "Py_BuildValue",
+        "PyModule_Create",
+    }
+)
+
+#: Functions returning a *borrowed* reference (do not DECREF, INCREF to keep).
+BORROWED_REF_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "PyTuple_GetItem",
+        "PyList_GetItem",
+        "PyDict_GetItem",
+        "PyDict_GetItemString",
+        "PyErr_Occurred",
+        "PyModule_GetDict",
+        "PyImport_AddModule",
+    }
+)
+
+#: Functions that *steal* a reference: name -> stolen argument index.
+STEALS_REFERENCE: dict[str, int] = {
+    "PyTuple_SetItem": 2,
+    "PyList_SetItem": 2,
+    "PyModule_AddObject": 2,
+}
+
+#: INCREF/DECREF spellings the refcount pass interprets.
+INCREF_FUNCTIONS: frozenset[str] = frozenset({"Py_INCREF", "Py_XINCREF"})
+DECREF_FUNCTIONS: frozenset[str] = frozenset(
+    {"Py_DECREF", "Py_XDECREF", "Py_CLEAR"}
+)
+
+#: Statement macros `Py_RETURN_x;` — sugar for INCREF-and-return.
+RETURN_MACROS: frozenset[str] = frozenset(
+    {"Py_RETURN_NONE", "Py_RETURN_TRUE", "Py_RETURN_FALSE", "Py_RETURN_NOTIMPLEMENTED"}
+)

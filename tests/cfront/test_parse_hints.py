@@ -1,0 +1,143 @@
+"""Dialect parse hints: value-pointer structs, NULL, brace initializers,
+multi-declarator declarations."""
+
+import pytest
+
+from repro.cfront import ast
+from repro.cfront.parser import ParseHints, parse_c_text
+from repro.core.srctypes import (
+    CSrcPtr,
+    CSrcScalar,
+    CSrcStruct,
+    CSrcValue,
+)
+
+HINTS = ParseHints(
+    typedefs={
+        "PyObject": CSrcStruct("PyObject"),
+        "PyMethodDef": CSrcStruct("PyMethodDef"),
+    },
+    value_pointer_structs=frozenset({"PyObject"}),
+    null_is_identifier=True,
+)
+
+
+class TestValuePointerStructs:
+    def test_pyobject_pointer_is_value(self):
+        unit = parse_c_text("PyObject *f(PyObject *x) { return x; }", hints=HINTS)
+        fn = unit.functions[0]
+        assert isinstance(fn.return_type, CSrcValue)
+        assert isinstance(fn.params[0][1], CSrcValue)
+
+    def test_double_pointer_is_pointer_to_value(self):
+        unit = parse_c_text("int f(PyObject **out) { return 0; }", hints=HINTS)
+        ptr = unit.functions[0].params[0][1]
+        assert isinstance(ptr, CSrcPtr)
+        assert isinstance(ptr.target, CSrcValue)
+
+    def test_local_declarations_see_the_hint(self):
+        unit = parse_c_text(
+            "int f(void) { PyObject *x; return 0; }", hints=HINTS
+        )
+        decl = unit.functions[0].body.items[0]
+        assert isinstance(decl, ast.Declaration)
+        assert isinstance(decl.ctype, CSrcValue)
+
+    def test_without_hints_pyobject_is_unknown(self):
+        from repro.cfront.parser import ParseError
+
+        with pytest.raises(ParseError):
+            parse_c_text("PyObject *f(void) { return 0; }")
+
+
+class TestNullHandling:
+    def test_default_null_folds_to_zero(self):
+        unit = parse_c_text("int f(void) { return NULL; }")
+        ret = unit.functions[0].body.items[0]
+        assert isinstance(ret.value, ast.Num) and ret.value.value == 0
+
+    def test_hinted_null_stays_identifier(self):
+        unit = parse_c_text("int f(void) { return NULL; }", hints=HINTS)
+        ret = unit.functions[0].body.items[0]
+        assert isinstance(ret.value, ast.Name) and ret.value.ident == "NULL"
+
+
+class TestBraceInitializers:
+    def test_global_table_survives_parsing(self):
+        unit = parse_c_text(
+            'static PyMethodDef M[] = {\n'
+            '    {"add", f, 1, "doc"},\n'
+            '    {NULL, NULL, 0, NULL}\n'
+            '};\n',
+            hints=HINTS,
+        )
+        (decl,) = unit.globals
+        assert isinstance(decl.init, ast.InitList)
+        assert len(decl.init.items) == 2
+        row = decl.init.items[0].value
+        assert isinstance(row, ast.InitList)
+        assert isinstance(row.items[0].value, ast.Str)
+
+    def test_designated_initializers(self):
+        unit = parse_c_text(
+            'static PyMethodDef M[] = {{.ml_name = "x", .ml_meth = f}};',
+            hints=HINTS,
+        )
+        row = unit.globals[0].init.items[0].value
+        assert row.items[0].field_name == "ml_name"
+        assert row.items[1].field_name == "ml_meth"
+
+    def test_trailing_comma(self):
+        unit = parse_c_text("int xs[] = {1, 2, 3,};")
+        assert len(unit.globals[0].init.items) == 3
+
+    def test_local_aggregate_initializer_lowers_quietly(self):
+        from repro.cfront.lower import lower_unit
+
+        unit = parse_c_text("int f(void) { int xs[] = {1, 2}; return 0; }")
+        program = lower_unit(unit)  # must not raise
+        assert program.functions[0].name == "f"
+
+
+class TestMultiDeclarators:
+    def test_two_scalars_one_statement(self):
+        unit = parse_c_text("int f(void) { long a, b; return 0; }")
+        block = unit.functions[0].body.items[0]
+        assert isinstance(block, ast.Block)
+        names = [d.name for d in block.items]
+        assert names == ["a", "b"]
+
+    def test_stars_bind_per_declarator(self):
+        unit = parse_c_text("int f(void) { long *p, q; return 0; }")
+        block = unit.functions[0].body.items[0]
+        p, q = block.items
+        assert isinstance(p.ctype, CSrcPtr)
+        assert isinstance(q.ctype, CSrcScalar)
+
+    def test_inits_attach_to_their_declarator(self):
+        unit = parse_c_text("int f(void) { int a = 1, b = 2; return a + b; }")
+        block = unit.functions[0].body.items[0]
+        assert [d.init.value for d in block.items] == [1, 2]
+
+    def test_value_pointers_per_declarator(self):
+        unit = parse_c_text(
+            "int f(void) { PyObject *x, *y; return 0; }", hints=HINTS
+        )
+        block = unit.functions[0].body.items[0]
+        assert all(isinstance(d.ctype, CSrcValue) for d in block.items)
+
+    def test_function_pointer_with_pointer_result(self):
+        from repro.core.srctypes import CSrcFun
+
+        unit = parse_c_text("int f(void) { char *(*cb)(int); return 0; }")
+        decl = unit.functions[0].body.items[0]
+        assert isinstance(decl, ast.Declaration) and decl.name == "cb"
+        assert isinstance(decl.ctype, CSrcFun)
+        assert isinstance(decl.ctype.result, CSrcPtr)
+
+    def test_function_pointer_without_stars_still_parses(self):
+        from repro.core.srctypes import CSrcFun
+
+        unit = parse_c_text("int f(void) { int (*cb)(int); return 0; }")
+        decl = unit.functions[0].body.items[0]
+        assert isinstance(decl.ctype, CSrcFun)

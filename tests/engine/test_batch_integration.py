@@ -1,5 +1,6 @@
 """Batch over a real directory must agree with per-file single-shot checks."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -29,6 +30,48 @@ class TestFromDirectory:
         assert [s.filename for s in first.c_sources] == [
             s.filename for s in second.c_sources
         ]
+
+
+class TestPerUnitTiming:
+    """The JSON report carries per-unit wall time and cache provenance so
+    CI artifacts can plot cold-vs-warm without re-deriving anything."""
+
+    def test_cold_run_stamps_wall_time(self, glue_project):
+        report = glue_project.analyze_batch()
+        for result in report.results:
+            assert result.from_cache is False
+            assert result.wall_seconds > 0.0
+            # wall time covers parse + analysis, so it bounds the fixpoint
+            assert result.wall_seconds >= result.elapsed_seconds
+
+    def test_warm_run_stamps_probe_time(self, tmp_path, glue_project):
+        cache = ResultCache(tmp_path)
+        glue_project.analyze_batch(cache=cache)
+        warm = glue_project.analyze_batch(cache=cache)
+        for result in warm.results:
+            assert result.from_cache is True
+            assert result.wall_seconds > 0.0
+
+    def test_json_report_exposes_timing_and_cache_fields(
+        self, tmp_path, glue_project
+    ):
+        cache = ResultCache(tmp_path)
+        report = glue_project.analyze_batch(cache=cache)
+        data = report.to_dict()
+        assert data["cache"] == {"hits": 0, "misses": len(report.results)}
+        for unit in data["units"]:
+            assert "wall_seconds" in unit
+            assert "elapsed_seconds" in unit
+            assert "from_cache" in unit
+
+    def test_wall_time_round_trips_through_the_cache(
+        self, tmp_path, glue_project
+    ):
+        cache = ResultCache(tmp_path)
+        glue_project.analyze_batch(cache=cache)
+        warm = glue_project.analyze_batch(cache=cache)
+        parsed = [json.loads(json.dumps(r.to_dict())) for r in warm.results]
+        assert all(u["from_cache"] for u in parsed)
 
 
 class TestBatchMatchesPerFileCheck:

@@ -73,6 +73,19 @@ class TestCacheKey:
         second = make_request(name="y.c", c_text=sources["buggy"])
         assert first.cache_key() != second.cache_key()
 
+    def test_dialect_change_misses(self):
+        # same sources, different boundary dialect ⇒ different analysis
+        from dataclasses import replace
+
+        from repro.source import SourceFile
+
+        base = CheckRequest(
+            name="u.c",
+            c_sources=(SourceFile("u.c", "int f(void) { return 0; }"),),
+            dialect="ocaml",
+        )
+        assert base.cache_key() != replace(base, dialect="pyext").cache_key()
+
 
 class TestResultCache:
     def test_round_trip(self, tmp_path, buggy_request):
@@ -128,6 +141,79 @@ class TestResultCache:
         cache = NullCache()
         result = run_request(clean_request)
         cache.store(result.cache_key, result)
+        assert cache.load(result.cache_key) is None
+
+
+class TestCacheFailurePaths:
+    """Corrupt, truncated, or stale entries must degrade to re-analysis —
+    a poisoned cache directory may never crash or poison a batch."""
+
+    def _store_one(self, tmp_path, request):
+        cache = ResultCache(tmp_path)
+        result = run_request(request)
+        cache.store(result.cache_key, result)
+        return cache, result, tmp_path / f"{result.cache_key}.json"
+
+    def test_truncated_entry_is_miss(self, tmp_path, clean_request):
+        cache, result, path = self._store_one(tmp_path, clean_request)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.load(result.cache_key) is None
+
+    def test_empty_entry_is_miss(self, tmp_path, clean_request):
+        cache, result, path = self._store_one(tmp_path, clean_request)
+        path.write_text("")
+        assert cache.load(result.cache_key) is None
+
+    def test_valid_json_wrong_shape_is_miss(self, tmp_path, clean_request):
+        cache, result, path = self._store_one(tmp_path, clean_request)
+        path.write_text(
+            json.dumps({"schema_version": CACHE_SCHEMA_VERSION, "result": 42})
+        )
+        assert cache.load(result.cache_key) is None
+
+    def test_entry_with_garbled_diagnostic_is_miss(
+        self, tmp_path, buggy_request
+    ):
+        cache, result, path = self._store_one(tmp_path, buggy_request)
+        data = json.loads(path.read_text())
+        data["result"]["diagnostics"] = [{"kind": "NO_SUCH_KIND"}]
+        path.write_text(json.dumps(data))
+        assert cache.load(result.cache_key) is None
+
+    def test_missing_schema_version_is_miss(self, tmp_path, clean_request):
+        cache, result, path = self._store_one(tmp_path, clean_request)
+        data = json.loads(path.read_text())
+        del data["schema_version"]
+        path.write_text(json.dumps(data))
+        assert cache.load(result.cache_key) is None
+
+    def test_batch_reanalyzes_over_corrupt_entries(
+        self, tmp_path, make_request, sources
+    ):
+        requests = [
+            make_request(name="clean.c"),
+            make_request(name="buggy.c", c_text=sources["buggy"]),
+        ]
+        cache = ResultCache(tmp_path)
+        cold = run_batch(requests, cache=cache)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{broken")
+
+        rerun = run_batch(requests, cache=cache)
+        assert rerun.cache_hits == 0 and rerun.cache_misses == 2
+        assert rerun.tally() == cold.tally()
+        assert not rerun.failures
+
+    def test_store_into_unusable_directory_degrades(
+        self, tmp_path, clean_request
+    ):
+        # a plain file squats on the cache-directory path: every store and
+        # load hits OSError and must degrade to "no cache", never raise
+        target = tmp_path / "cache"
+        target.write_text("not a directory")
+        cache = ResultCache(target)
+        result = run_request(clean_request)
+        cache.store(result.cache_key, result)  # must not raise
         assert cache.load(result.cache_key) is None
 
 

@@ -1,0 +1,140 @@
+"""End-to-end pyext dialect: the acceptance-criteria scenarios."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import Project
+from repro.diagnostics import Kind
+from repro.source import SourceFile
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples" / "pyext"
+
+
+def analyze_text(text, name="mod.c"):
+    return Project(dialect="pyext").add_c(SourceFile(name, text)).analyze()
+
+
+def analyze_example(filename):
+    path = EXAMPLES / filename
+    return analyze_text(path.read_text(), name=str(path))
+
+
+class TestExampleCorpus:
+    def test_clean_module_has_zero_diagnostics(self):
+        report = analyze_example("clean_module.c")
+        assert len(report.diagnostics) == 0
+
+    def test_bad_stubs_reports_the_seeded_defects(self):
+        report = analyze_example("bad_stubs.c")
+        kinds = {d.kind for d in report.diagnostics}
+        assert Kind.PY_FORMAT_MISMATCH in kinds
+        assert Kind.PY_REF_LEAK in kinds
+        assert Kind.PY_USE_AFTER_DECREF in kinds
+        assert Kind.PY_BORROWED_ESCAPE in kinds
+
+    def test_bad_stubs_defects_land_in_the_right_functions(self):
+        report = analyze_example("bad_stubs.c")
+        by_fn = {(d.kind, d.function) for d in report.diagnostics}
+        assert (Kind.PY_FORMAT_MISMATCH, "bad_arity") in by_fn
+        assert (Kind.PY_FORMAT_MISMATCH, "bad_types") in by_fn
+        assert (Kind.PY_REF_LEAK, "bad_leak") in by_fn
+        assert (Kind.PY_USE_AFTER_DECREF, "bad_use") in by_fn
+        assert (Kind.PY_BORROWED_ESCAPE, "bad_borrow") in by_fn
+
+
+class TestMethodTableContract:
+    def test_wrong_arity_definition_is_flagged(self):
+        # METH_VARARGS dictates (self, args); a three-parameter definition
+        # clashes with Γ_I exactly like an external/stub arity mismatch
+        report = analyze_text(
+            "static PyObject *f(PyObject *a, PyObject *b, PyObject *c)\n"
+            "{\n"
+            "    Py_INCREF(a);\n"
+            "    return a;\n"
+            "}\n"
+            'static PyMethodDef M[] = {{"f", f, METH_VARARGS, "d"}};\n'
+        )
+        assert any(d.kind is Kind.ARITY_MISMATCH for d in report.errors)
+
+    def test_fastcall_definition_is_clean(self):
+        report = analyze_text(
+            "static PyObject *\n"
+            "f(PyObject *self, PyObject **args, Py_ssize_t nargs)\n"
+            "{\n"
+            "    return PyLong_FromLong(nargs);\n"
+            "}\n"
+            'static PyMethodDef M[] = {{"f", f, METH_FASTCALL, "d"}};\n'
+        )
+        assert len(report.diagnostics) == 0
+
+    def test_keywords_method_with_three_params_is_clean(self):
+        report = analyze_text(
+            "static PyObject *f(PyObject *a, PyObject *b, PyObject *c)\n"
+            "{\n"
+            "    Py_INCREF(a);\n"
+            "    return a;\n"
+            "}\n"
+            "static PyMethodDef M[] = "
+            '{{"f", f, METH_VARARGS | METH_KEYWORDS, "d"}};\n'
+        )
+        assert len(report.diagnostics) == 0
+
+
+class TestCoreInferenceReuse:
+    def test_value_used_as_scalar_is_a_type_error(self):
+        # no PyLong_AsLong conversion: the shared (App) rule rejects the
+        # raw PyObject* where the API wants a C scalar
+        report = analyze_text(
+            "static PyObject *f(PyObject *self, PyObject *args)\n"
+            "{\n"
+            "    return PyLong_FromLong(args);\n"
+            "}\n"
+        )
+        assert any(d.kind is Kind.TYPE_MISMATCH for d in report.errors)
+
+    def test_signatures_render_value_types(self):
+        report = analyze_text(
+            "static PyObject *f(PyObject *self, PyObject *args)\n"
+            "{\n"
+            "    Py_INCREF(args);\n"
+            "    return args;\n"
+            "}\n"
+        )
+        assert "value" in report.signatures["f"]
+
+
+class TestBatchIntegration:
+    def test_pyext_batch_over_examples(self, tmp_path):
+        project = Project.from_directory(EXAMPLES, dialect="pyext")
+        assert [Path(s.filename).name for s in project.c_sources] == [
+            "bad_stubs.c",
+            "clean_module.c",
+        ]
+        report = project.analyze_batch()
+        assert report.tally()["errors"] == 4
+        names = {Path(r.name).name: r for r in report.results}
+        assert names["clean_module.c"].tally()["errors"] == 0
+
+    def test_dialect_rides_the_requests(self):
+        project = Project.from_directory(EXAMPLES, dialect="pyext")
+        assert all(r.dialect == "pyext" for r in project.to_requests())
+
+
+class TestModuleBoilerplate:
+    def test_module_init_is_clean(self):
+        report = analyze_text(
+            "static PyMethodDef M[] = {{NULL, NULL, 0, NULL}};\n"
+            "static struct PyModuleDef mod = "
+            '{PyModuleDef_HEAD_INIT, "m", NULL, -1, M};\n'
+            "PyMODINIT_FUNC PyInit_m(void)\n"
+            "{\n"
+            "    return PyModule_Create(&mod);\n"
+            "}\n"
+        )
+        assert len(report.diagnostics) == 0
+
+
+@pytest.mark.parametrize("filename", ["clean_module.c", "bad_stubs.c"])
+def test_examples_exist(filename):
+    assert (EXAMPLES / filename).is_file()

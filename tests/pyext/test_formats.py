@@ -1,0 +1,154 @@
+"""Format-string model and checker for PyArg_ParseTuple / Py_BuildValue."""
+
+from repro.diagnostics import Kind
+from repro.pyext.dialect import PYEXT_DIALECT
+from repro.pyext.formats import (
+    ANY,
+    CHARPTR,
+    SCALAR,
+    VALUE,
+    build_value_units,
+    check_unit,
+    parse_tuple_units,
+)
+from repro.source import SourceFile
+
+
+def expects(fmt):
+    units = parse_tuple_units(fmt)
+    return None if units is None else [u.expect for u in units]
+
+
+class TestParseTupleUnits:
+    def test_scalars(self):
+        assert expects("iil") == [SCALAR, SCALAR, SCALAR]
+
+    def test_strings_and_values(self):
+        assert expects("sO") == [CHARPTR, VALUE]
+
+    def test_optional_marker_still_counts(self):
+        assert expects("i|i") == [SCALAR, SCALAR]
+
+    def test_length_suffix_adds_a_scalar(self):
+        assert expects("s#") == [CHARPTR, SCALAR]
+
+    def test_typed_object_takes_two(self):
+        assert expects("O!") == [ANY, VALUE]
+
+    def test_converter_takes_two_unchecked(self):
+        assert expects("O&") == [ANY, ANY]
+
+    def test_function_name_suffix_ignored(self):
+        assert expects("ii:add") == [SCALAR, SCALAR]
+
+    def test_unknown_code_disables_checking(self):
+        assert expects("i?") is None
+
+    def test_tuple_nesting(self):
+        assert expects("(ii)s") == [SCALAR, SCALAR, CHARPTR]
+
+
+class TestBuildValueUnits:
+    def test_mixed(self):
+        units = build_value_units("(is)O")
+        assert [u.expect for u in units] == [SCALAR, CHARPTR, VALUE]
+
+    def test_stolen_reference_code_counts(self):
+        assert [u.expect for u in build_value_units("N")] == [VALUE]
+
+
+def diags_for(text):
+    unit = PYEXT_DIALECT.parse(SourceFile("mod.c", text))
+    return check_unit(unit)
+
+
+class TestChecker:
+    def test_clean_call_silent(self):
+        out = diags_for(
+            "static PyObject *f(PyObject *self, PyObject *args)\n"
+            "{\n"
+            "    long a, b;\n"
+            '    if (!PyArg_ParseTuple(args, "ll", &a, &b))\n'
+            "        return NULL;\n"
+            "    return PyLong_FromLong(a + b);\n"
+            "}\n"
+        )
+        assert out == []
+
+    def test_arity_mismatch(self):
+        out = diags_for(
+            "static PyObject *f(PyObject *self, PyObject *args)\n"
+            "{\n"
+            "    long a;\n"
+            '    PyArg_ParseTuple(args, "ll", &a);\n'
+            "    return PyLong_FromLong(a);\n"
+            "}\n"
+        )
+        assert [d.kind for d in out] == [Kind.PY_FORMAT_MISMATCH]
+        assert "2 argument(s)" in out[0].message
+
+    def test_type_mismatch_scalar_for_string(self):
+        out = diags_for(
+            "static PyObject *f(PyObject *self, PyObject *args)\n"
+            "{\n"
+            "    long n;\n"
+            '    PyArg_ParseTuple(args, "s", &n);\n'
+            "    return PyLong_FromLong(n);\n"
+            "}\n"
+        )
+        assert [d.kind for d in out] == [Kind.PY_FORMAT_MISMATCH]
+        assert "&n" in out[0].message
+
+    def test_value_slot_wants_pyobject(self):
+        out = diags_for(
+            "static PyObject *f(PyObject *self, PyObject *args)\n"
+            "{\n"
+            "    long n;\n"
+            '    PyArg_ParseTuple(args, "O", &n);\n'
+            "    return PyLong_FromLong(n);\n"
+            "}\n"
+        )
+        assert [d.kind for d in out] == [Kind.PY_FORMAT_MISMATCH]
+
+    def test_keywords_variant_skips_kwlist(self):
+        out = diags_for(
+            "static PyObject *f(PyObject *self, PyObject *args, PyObject *kw)\n"
+            "{\n"
+            "    long a;\n"
+            "    char **names;\n"
+            '    PyArg_ParseTupleAndKeywords(args, kw, "l", names, &a);\n'
+            "    return PyLong_FromLong(a);\n"
+            "}\n"
+        )
+        assert out == []
+
+    def test_build_value_arity(self):
+        out = diags_for(
+            "static PyObject *f(PyObject *self, PyObject *args)\n"
+            "{\n"
+            "    long a;\n"
+            '    return Py_BuildValue("ll", a);\n'
+            "}\n"
+        )
+        assert [d.kind for d in out] == [Kind.PY_FORMAT_MISMATCH]
+
+    def test_build_value_type(self):
+        out = diags_for(
+            "static PyObject *f(PyObject *self, PyObject *obj)\n"
+            "{\n"
+            '    return Py_BuildValue("i", obj);\n'
+            "}\n"
+        )
+        assert [d.kind for d in out] == [Kind.PY_FORMAT_MISMATCH]
+        assert "PyObject" in out[0].message
+
+    def test_non_literal_format_skipped(self):
+        out = diags_for(
+            "static PyObject *f(PyObject *self, PyObject *args, char *fmt)\n"
+            "{\n"
+            "    long a;\n"
+            "    PyArg_ParseTuple(args, fmt, &a);\n"
+            "    return PyLong_FromLong(a);\n"
+            "}\n"
+        )
+        assert out == []

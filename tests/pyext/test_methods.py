@@ -1,0 +1,83 @@
+"""PyMethodDef tables become Γ_I."""
+
+from repro.core.types import CFun, CValue
+from repro.pyext.dialect import PYEXT_DIALECT
+from repro.pyext.methods import build_initial_env, method_table_entries
+from repro.source import SourceFile
+
+
+def parse(text):
+    return PYEXT_DIALECT.parse(SourceFile("mod.c", text))
+
+
+TABLE = """
+static PyMethodDef M[] = {
+    {"plain", f_plain, METH_VARARGS, "doc"},
+    {"kw", f_kw, METH_VARARGS | METH_KEYWORDS, "doc"},
+    {"noargs", f_noargs, METH_NOARGS, "doc"},
+    {"one", f_one, METH_O, "doc"},
+    {NULL, NULL, 0, NULL}
+};
+"""
+
+
+class TestExtraction:
+    def test_rows_and_sentinel(self):
+        entries = method_table_entries(parse(TABLE))
+        assert [e.py_name for e in entries] == ["plain", "kw", "noargs", "one"]
+        assert [e.c_name for e in entries] == [
+            "f_plain", "f_kw", "f_noargs", "f_one",
+        ]
+
+    def test_flags_drive_arity(self):
+        entries = {e.py_name: e for e in method_table_entries(parse(TABLE))}
+        assert entries["plain"].arity == 2
+        assert entries["kw"].arity == 3
+        assert entries["noargs"].arity == 2
+        assert entries["one"].arity == 2
+
+    def test_fastcall_arity(self):
+        unit = parse(
+            "static PyMethodDef M[] = {\n"
+            '    {"fast", f_fast, METH_FASTCALL, "doc"},\n'
+            '    {"fastkw", f_fkw, METH_FASTCALL | METH_KEYWORDS, "doc"},\n'
+            "};\n"
+        )
+        entries = {e.py_name: e for e in method_table_entries(unit)}
+        assert entries["fast"].arity == 3
+        assert entries["fastkw"].arity == 4
+
+    def test_designated_rows(self):
+        unit = parse(
+            "static PyMethodDef M[] = {\n"
+            '    {.ml_name = "x", .ml_meth = f_x, .ml_flags = METH_O},\n'
+            "};\n"
+        )
+        (entry,) = method_table_entries(unit)
+        assert entry.py_name == "x"
+        assert entry.c_name == "f_x"
+        assert entry.flags == ("METH_O",)
+
+    def test_non_method_globals_ignored(self):
+        unit = parse("static int counters[] = {1, 2, 3};")
+        assert method_table_entries(unit) == []
+
+
+class TestInitialEnv:
+    def test_env_entries_are_value_functions(self):
+        env = build_initial_env([parse(TABLE)])
+        fn = env.functions["f_kw"]
+        assert isinstance(fn, CFun)
+        assert len(fn.params) == 3
+        assert all(isinstance(p, CValue) for p in fn.params)
+        assert isinstance(fn.result, CValue)
+
+    def test_spans_recorded(self):
+        env = build_initial_env([parse(TABLE)])
+        assert env.spans["f_plain"].filename == "mod.c"
+
+    def test_fresh_variables_per_build(self):
+        units = [parse(TABLE)]
+        first = build_initial_env(units).functions["f_plain"]
+        second = build_initial_env(units).functions["f_plain"]
+        assert first.params[0].mt is not second.params[0].mt

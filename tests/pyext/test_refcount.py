@@ -1,0 +1,190 @@
+"""The Py_INCREF/Py_DECREF discipline: leaks, use-after-decref, escapes."""
+
+from repro.diagnostics import Kind
+from repro.pyext.dialect import PYEXT_DIALECT
+from repro.pyext.refcount import check_unit
+from repro.source import SourceFile
+
+
+def diags_for(body, params="PyObject *self, PyObject *args"):
+    text = f"static PyObject *f({params})\n{{\n{body}\n}}\n"
+    unit = PYEXT_DIALECT.parse(SourceFile("mod.c", text))
+    return check_unit(unit)
+
+
+def kinds(body, **kw):
+    return [d.kind for d in diags_for(body, **kw)]
+
+
+class TestLeaks:
+    def test_owned_never_released_leaks(self):
+        assert kinds(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    return PyLong_FromLong(1);"
+        ) == [Kind.PY_REF_LEAK]
+
+    def test_released_does_not_leak(self):
+        assert kinds(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    Py_DECREF(tmp);\n"
+            "    return PyLong_FromLong(1);"
+        ) == []
+
+    def test_returned_reference_is_consumed(self):
+        assert kinds(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    return tmp;"
+        ) == []
+
+    def test_overwrite_while_owned_leaks(self):
+        assert kinds(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    tmp = PyLong_FromLong(8);\n"
+            "    Py_DECREF(tmp);\n"
+            "    return PyLong_FromLong(1);"
+        ) == [Kind.PY_REF_LEAK]
+
+    def test_transfer_to_stealing_call_is_not_a_leak(self):
+        assert kinds(
+            "    PyObject *pair = PyTuple_New(2);\n"
+            "    PyObject *one = PyLong_FromLong(1);\n"
+            "    PyTuple_SetItem(pair, 0, one);\n"
+            "    return pair;"
+        ) == []
+
+    def test_leak_reported_on_early_error_return(self):
+        out = diags_for(
+            "    PyObject *tmp = PyList_New(0);\n"
+            "    long x;\n"
+            '    if (!PyArg_ParseTuple(args, "l", &x))\n'
+            "        return NULL;\n"
+            "    Py_DECREF(tmp);\n"
+            "    return PyLong_FromLong(x);"
+        )
+        assert [d.kind for d in out] == [Kind.PY_REF_LEAK]
+
+    def test_null_guarded_early_return_is_clean(self):
+        # allocation-failure idiom: the pointer is null on the early path
+        assert kinds(
+            "    PyObject *tmp = PyList_New(0);\n"
+            "    if (tmp == NULL)\n"
+            "        return NULL;\n"
+            "    Py_DECREF(tmp);\n"
+            "    return PyLong_FromLong(1);"
+        ) == []
+
+
+class TestUseAfterDecref:
+    def test_return_after_decref(self):
+        assert kinds(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    Py_DECREF(tmp);\n"
+            "    return tmp;"
+        ) == [Kind.PY_USE_AFTER_DECREF]
+
+    def test_call_argument_after_decref(self):
+        assert kinds(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    Py_DECREF(tmp);\n"
+            "    PyList_Append(args, tmp);\n"
+            "    return PyLong_FromLong(1);"
+        ) == [Kind.PY_USE_AFTER_DECREF]
+
+    def test_double_decref(self):
+        assert kinds(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    Py_DECREF(tmp);\n"
+            "    Py_DECREF(tmp);\n"
+            "    return PyLong_FromLong(1);"
+        ) == [Kind.PY_USE_AFTER_DECREF]
+
+    def test_reported_once_per_variable(self):
+        out = diags_for(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    Py_DECREF(tmp);\n"
+            "    PyList_Append(args, tmp);\n"
+            "    PyList_Append(args, tmp);\n"
+            "    return PyLong_FromLong(1);"
+        )
+        assert len(out) == 1
+
+    def test_decref_on_one_branch_only_is_silent(self):
+        # disagreement joins to unknown: no must-fact, no report
+        assert kinds(
+            "    PyObject *tmp = PyLong_FromLong(7);\n"
+            "    long x;\n"
+            '    if (!PyArg_ParseTuple(args, "l", &x)) {\n'
+            "        Py_DECREF(tmp);\n"
+            "    } else {\n"
+            "        Py_DECREF(tmp);\n"
+            "        tmp = NULL;\n"
+            "    }\n"
+            "    return PyLong_FromLong(1);"
+        ) == []
+
+
+class TestBorrowedEscapes:
+    def test_returning_borrowed_item_warns(self):
+        assert kinds(
+            "    PyObject *item = PyTuple_GetItem(args, 0);\n"
+            "    return item;"
+        ) == [Kind.PY_BORROWED_ESCAPE]
+
+    def test_increfed_item_returns_clean(self):
+        assert kinds(
+            "    PyObject *item = PyTuple_GetItem(args, 0);\n"
+            "    Py_INCREF(item);\n"
+            "    return item;"
+        ) == []
+
+    def test_returning_parameter_warns(self):
+        assert kinds("    return self;") == [Kind.PY_BORROWED_ESCAPE]
+
+    def test_singleton_without_incref_warns(self):
+        assert kinds("    return Py_None;") == [Kind.PY_BORROWED_ESCAPE]
+
+    def test_incref_then_singleton_return_is_clean(self):
+        assert kinds(
+            "    Py_INCREF(Py_None);\n"
+            "    return Py_None;"
+        ) == []
+
+    def test_py_return_none_macro_is_clean(self):
+        assert kinds("    Py_RETURN_NONE;") == []
+
+    def test_stealing_a_borrowed_reference_warns(self):
+        assert kinds(
+            "    PyObject *pair = PyTuple_New(2);\n"
+            "    PyObject *item = PyTuple_GetItem(args, 0);\n"
+            "    PyTuple_SetItem(pair, 0, item);\n"
+            "    return pair;"
+        ) == [Kind.PY_BORROWED_ESCAPE]
+
+    def test_returning_owned_through_cast_is_clean(self):
+        assert kinds(
+            "    PyObject *scratch = PyLong_FromLong(7);\n"
+            "    return (PyObject *)scratch;"
+        ) == []
+
+    def test_alias_moves_ownership(self):
+        # one object, one owned reference: returning the alias consumes it
+        assert kinds(
+            "    PyObject *x = PyLong_FromLong(1);\n"
+            "    PyObject *y = x;\n"
+            "    return y;"
+        ) == []
+
+    def test_alias_does_not_hide_a_real_leak(self):
+        assert kinds(
+            "    PyObject *x = PyLong_FromLong(1);\n"
+            "    PyObject *y = x;\n"
+            "    return PyLong_FromLong(2);"
+        ) == [Kind.PY_REF_LEAK]
+
+    def test_parse_tuple_outputs_are_borrowed(self):
+        assert kinds(
+            "    PyObject *obj;\n"
+            '    if (!PyArg_ParseTuple(args, "O", &obj))\n'
+            "        return NULL;\n"
+            "    return obj;"
+        ) == [Kind.PY_BORROWED_ESCAPE]

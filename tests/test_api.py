@@ -55,6 +55,58 @@ class TestProject:
         assert report.errors[0].span.filename == "stubs.c"
 
 
+class TestFromDirectoryHardening:
+    """Undecodable and empty files are skipped with a warning, not fatal."""
+
+    def _tree(self, tmp_path):
+        (tmp_path / "lib.ml").write_text(
+            'external f : int -> int = "ml_f"\n'
+        )
+        (tmp_path / "stubs.c").write_text(
+            "value ml_f(value x) { return x; }\n"
+        )
+        return tmp_path
+
+    def test_undecodable_file_is_skipped_with_warning(self, tmp_path):
+        self._tree(tmp_path)
+        (tmp_path / "binary.c").write_bytes(b"\xff\xfe\x00\x80garbage")
+        with pytest.warns(UserWarning, match="unreadable source.*binary.c"):
+            project = Project.from_directory(tmp_path)
+        assert [s.filename for s in project.c_sources] == [
+            str(tmp_path / "stubs.c")
+        ]
+
+    def test_empty_file_is_skipped_with_warning(self, tmp_path):
+        self._tree(tmp_path)
+        (tmp_path / "empty.c").write_text("")
+        (tmp_path / "blank.ml").write_text("   \n\t\n")
+        with pytest.warns(UserWarning, match="empty source"):
+            project = Project.from_directory(tmp_path)
+        assert len(project.c_sources) == 1
+        assert len(project.ocaml_sources) == 1
+
+    def test_healthy_tree_emits_no_warnings(self, tmp_path, recwarn):
+        self._tree(tmp_path)
+        project = Project.from_directory(tmp_path)
+        assert len(project.c_sources) == 1
+        assert not [w for w in recwarn if w.category is UserWarning]
+
+    def test_skipped_files_still_analyze_the_rest(self, tmp_path):
+        self._tree(tmp_path)
+        (tmp_path / "binary.c").write_bytes(b"\xff\xfe\x00\x80")
+        with pytest.warns(UserWarning):
+            report = Project.from_directory(tmp_path).analyze()
+        assert isinstance(report, AnalysisReport)
+
+    def test_pyext_scan_takes_only_c_files(self, tmp_path):
+        (tmp_path / "mod.c").write_text("int f(void) { return 0; }\n")
+        (tmp_path / "lib.ml").write_text("type t = A\n")
+        project = Project.from_directory(tmp_path, dialect="pyext")
+        assert len(project.c_sources) == 1
+        assert project.ocaml_sources == []
+        assert project.dialect == "pyext"
+
+
 class TestAnalyzeProject:
     def test_multiple_ml_files_share_repository(self):
         ml_types = "type t = A of int | B"

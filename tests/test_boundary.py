@@ -1,0 +1,83 @@
+"""The dialect registry and the BoundaryDialect contract."""
+
+import pytest
+
+from repro.boundary import (
+    BoundaryDialect,
+    available_dialects,
+    get_dialect,
+    register_dialect,
+)
+
+
+class TestRegistry:
+    def test_builtin_dialects_available(self):
+        assert set(available_dialects()) >= {"ocaml", "pyext"}
+
+    def test_get_dialect_resolves(self):
+        assert get_dialect("ocaml").name == "ocaml"
+        assert get_dialect("pyext").name == "pyext"
+
+    def test_unknown_dialect_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="jni.*known.*ocaml"):
+            get_dialect("jni")
+
+    def test_dialects_satisfy_the_protocol(self):
+        for name in ("ocaml", "pyext"):
+            assert isinstance(get_dialect(name), BoundaryDialect)
+
+    def test_third_dialect_registration(self):
+        class Stub:
+            name = "stub-test-dialect"
+            host_suffixes = ()
+            unit_suffixes = (".c",)
+
+            def builtin_entries(self):
+                return {}
+
+            def polymorphic_builtins(self):
+                return frozenset()
+
+            def global_entries(self):
+                return {}
+
+            def alloc_result_tags(self):
+                return {}
+
+            def initial_env(self, request):
+                raise NotImplementedError
+
+            def analyze(self, request):
+                raise NotImplementedError
+
+        try:
+            register_dialect(Stub())
+            assert "stub-test-dialect" in available_dialects()
+            assert isinstance(get_dialect("stub-test-dialect"), BoundaryDialect)
+        finally:
+            from repro import boundary
+
+            boundary._REGISTRY.pop("stub-test-dialect", None)
+
+
+class TestSuffixMaps:
+    def test_ocaml_suffixes(self):
+        dialect = get_dialect("ocaml")
+        assert dialect.host_suffixes == (".ml", ".mli")
+        assert ".c" in dialect.unit_suffixes
+
+    def test_pyext_has_no_host_side(self):
+        dialect = get_dialect("pyext")
+        assert dialect.host_suffixes == ()
+        assert ".c" in dialect.unit_suffixes
+
+
+class TestSeedIsolation:
+    def test_builtin_entries_are_fresh_per_call(self):
+        for name in ("ocaml", "pyext"):
+            dialect = get_dialect(name)
+            first = dialect.builtin_entries()
+            second = dialect.builtin_entries()
+            probe = next(iter(first))
+            assert first[probe] is not second[probe]
+            assert first[probe].ct is not second[probe].ct

@@ -39,9 +39,17 @@ def test_every_step_is_well_formed(workflow):
             assert "uses" in step or "run" in step, (name, step)
 
 
-def test_python_matrix_spans_310_to_312(workflow):
+def test_python_matrix_spans_310_to_313(workflow):
     matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
-    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12", "3.13"]
+
+
+def test_lint_job_includes_format_check(workflow):
+    runs = " ".join(
+        step.get("run", "") for step in workflow["jobs"]["lint"]["steps"]
+    )
+    assert "ruff check" in runs
+    assert "ruff format --check" in runs
 
 
 def test_bench_smoke_runs_engine_benchmark_and_uploads_artifact(workflow):
@@ -51,3 +59,12 @@ def test_bench_smoke_runs_engine_benchmark_and_uploads_artifact(workflow):
     assert "bench_batch.py --units 8 --quick" in runs
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
     assert uploads and "batch-report.json" in uploads[0]["with"]["path"]
+
+
+def test_bench_smoke_covers_the_pyext_dialect(workflow):
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "bench_pyext.py" in runs
+    assert "--dialect pyext" in runs
+    uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
+    assert "pyext-report.json" in uploads[0]["with"]["path"]

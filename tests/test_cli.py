@@ -86,6 +86,87 @@ value ml_f(value s)
         assert main(["check", "--no-gc-effects", str(ml), str(c)]) == 0
 
 
+EXAMPLES_PYEXT = Path(__file__).resolve().parent.parent / "examples" / "pyext"
+
+
+class TestDialectFlag:
+    def test_pyext_clean_module_exits_zero(self, capsys):
+        code = main(
+            [
+                "check",
+                "--dialect",
+                "pyext",
+                str(EXAMPLES_PYEXT / "clean_module.c"),
+            ]
+        )
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_pyext_bad_stubs_reports_seeded_defects(self, capsys):
+        code = main(
+            ["check", "--dialect", "pyext", str(EXAMPLES_PYEXT / "bad_stubs.c")]
+        )
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "PyArg_ParseTuple" in out  # format/arity mismatch
+        assert "Py_DECREF is missing" in out  # reference leak
+        assert "after Py_DECREF" in out  # use-after-decref
+
+    def test_ml_file_rejected_under_pyext(self, tmp_path, capsys):
+        ml = tmp_path / "lib.ml"
+        ml.write_text("type t = A\n")
+        code = main(["check", "--dialect", "pyext", str(ml)])
+        assert code == 125
+        assert "dialect pyext" in capsys.readouterr().err
+
+    def test_default_dialect_is_ocaml(self, project_files, capsys):
+        ml, c = project_files
+        assert main(["check", str(ml), str(c)]) == 0
+
+    def test_batch_dialect_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "batch",
+                "--dialect",
+                "pyext",
+                str(EXAMPLES_PYEXT),
+                "--no-cache",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 4
+        data = json.loads(capsys.readouterr().out)
+        errors = {
+            Path(u["name"]).name: u["tally"]["errors"] for u in data["units"]
+        }
+        assert errors == {"bad_stubs.c": 4, "clean_module.c": 0}
+        assert all("wall_seconds" in u for u in data["units"])
+
+    def test_dialects_cache_separately(self, tmp_path, capsys):
+        # same file through both dialects: four analyses, zero cross-hits
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "unit.c").write_text("int helper(void) { return 0; }\n")
+        cache_dir = tmp_path / "cache"
+        for dialect in ("ocaml", "pyext"):
+            code = main(
+                [
+                    "batch",
+                    "--dialect",
+                    dialect,
+                    str(tree),
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--format",
+                    "json",
+                ]
+            )
+            assert code == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["cache"] == {"hits": 0, "misses": 1}
+
+
 @pytest.fixture()
 def glue_tree(tmp_path):
     """A tiny directory tree: one clean unit, one with a Val_int misuse."""
