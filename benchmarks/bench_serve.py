@@ -1,0 +1,164 @@
+"""Persistent-service benchmark: warm incremental re-check vs. cold batch.
+
+Builds a working tree from the shipped examples corpora (``examples/glue``
+for the ocaml dialect, ``examples/pyext`` for pyext), padded with copies
+of the example stubs so the corpus has enough units for the incremental
+win to be visible, then measures per dialect:
+
+1. **cold batch** — ``run_batch`` over the whole tree, ``jobs=1``, no
+   cache: what ``mlffi-check batch`` pays on every invocation;
+2. **warm incremental** — a resident :class:`repro.api.Session` that
+   already checked the tree once; one example file is edited and the
+   re-check (which re-runs only the touched unit) is timed.
+
+Acceptance gates (the CI smoke and ISSUE 3 contract):
+
+* per dialect, the warm re-check is at least **5x** faster than the
+  cold batch over the same corpus;
+* the daemon's wire-format diagnostics for every original example unit
+  are **byte-identical** to a one-shot ``Project.analyze`` of the same
+  sources, for both dialects.
+
+Run::
+
+    python benchmarks/bench_serve.py
+    python benchmarks/bench_serve.py --pad 3 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import Project, Session
+from repro.engine import NullCache, run_batch
+from repro.server import encode
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: dialect -> (corpus dir, host suffixes, file edited for the warm run)
+CORPORA = {
+    "ocaml": ("glue", (".ml", ".mli"), "counter_stubs.c"),
+    "pyext": ("pyext", (), "clean_module.c"),
+}
+
+
+def build_tree(workdir: Path, corpus: str, pad: int) -> Path:
+    """Copy one examples corpus and pad it with renamed unit copies."""
+    root = workdir / corpus
+    shutil.copytree(EXAMPLES / corpus, root)
+    for unit in sorted(root.glob("*.c")):
+        for copy in range(pad):
+            target = root / f"{unit.stem}_copy{copy:02}.c"
+            target.write_text(unit.read_text())
+    return root
+
+
+def one_shot_diagnostics(root: Path, unit: Path, dialect: str) -> list[dict]:
+    """``Project.analyze`` of a single unit, exactly as ``check`` runs it."""
+    project = Project(dialect=dialect)
+    for host in sorted(root.glob("*.ml")) + sorted(root.glob("*.mli")):
+        project.add_ocaml(host.read_text(), name=str(host))
+    project.add_c(unit.read_text(), name=str(unit))
+    report = project.analyze()
+    return [diag.to_dict() for diag in report.diagnostics]
+
+
+def bench_dialect(workdir: Path, dialect: str, pad: int) -> dict:
+    corpus, _hosts, edit_name = CORPORA[dialect]
+    root = build_tree(workdir, corpus, pad)
+
+    # 1. cold batch: every unit analyzed from scratch
+    project = Project.from_directory(root, dialect=dialect)
+    started = time.perf_counter()
+    cold_report = run_batch(project.to_requests(), jobs=1, cache=NullCache())
+    cold_s = time.perf_counter() - started
+
+    # 2. resident session: warm up, edit one file, time the re-check
+    session = Session(root, dialect=dialect)
+    session.check()
+    edited = root / edit_name
+    edited.write_text(edited.read_text() + "\n/* bench edit */\n")
+    session.invalidate([edited])
+    started = time.perf_counter()
+    warm_report = session.check()
+    warm_s = time.perf_counter() - started
+
+    # 3. wire stability: daemon diagnostics byte-identical to one-shot
+    service = session.service()
+    response = service.handle(encode({"id": 1, "method": "check"}).strip())
+    by_name = {u["name"]: u for u in response["result"]["units"]}
+    identical = True
+    for unit in sorted((EXAMPLES / corpus).glob("*.c")):
+        local = root / unit.name
+        daemon_bytes = encode(
+            {"diagnostics": by_name[str(local)]["diagnostics"]}
+        ).encode()
+        direct_bytes = encode(
+            {"diagnostics": one_shot_diagnostics(root, local, dialect)}
+        ).encode()
+        if daemon_bytes != direct_bytes:
+            identical = False
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    return {
+        "units": len(cold_report.results),
+        "cold_batch_s": round(cold_s, 4),
+        "warm_recheck_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "reran": [Path(name).name for name in warm_report.ran],
+        "reused": warm_report.reused,
+        "gates": {
+            "warm_5x_faster_than_cold": speedup >= 5.0,
+            "only_edited_unit_reran": [
+                Path(name).name for name in warm_report.ran
+            ] == [edit_name],
+            "diagnostics_byte_identical": identical,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pad",
+        type=int,
+        default=6,
+        help="renamed copies of each example unit (default: 6)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller padding for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    pad = 3 if args.quick else args.pad
+
+    workdir = Path(tempfile.mkdtemp(prefix="mlffi-bench-serve-"))
+    try:
+        payload = {
+            "pad_copies_per_unit": pad,
+            "dialects": {
+                dialect: bench_dialect(workdir, dialect, pad)
+                for dialect in sorted(CORPORA)
+            },
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    passed = all(
+        all(result["gates"].values())
+        for result in payload["dialects"].values()
+    )
+    payload["gates_passed"] = passed
+    print(json.dumps(payload, indent=2))
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

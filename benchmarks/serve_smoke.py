@@ -1,0 +1,150 @@
+"""CI smoke for the analysis daemon: drive `mlffi-check serve` over the wire.
+
+For each dialect's examples corpus (``examples/glue``, ``examples/pyext``):
+
+1. copy the corpus to a scratch tree and start the daemon on stdio;
+2. ``check`` — every unit must analyze (cold daemon);
+3. edit one file on disk, ``invalidate`` it, ``check`` again — exactly the
+   touched unit must re-run, everything else must be served from the
+   resident memory tier;
+4. ``shutdown`` — the daemon must exit 0.
+
+Exits non-zero on the first violated expectation.
+
+Run::
+
+    python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: dialect -> (examples corpus, file to edit mid-session)
+CORPORA = {
+    "ocaml": ("glue", "counter_stubs.c"),
+    "pyext": ("pyext", "clean_module.c"),
+}
+
+
+class Daemon:
+    """One `mlffi-check serve --stdio` child with line-framed requests."""
+
+    def __init__(self, root: Path, dialect: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                str(root),
+                "--dialect",
+                dialect,
+                "--no-cache",
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        self.next_id = 0
+
+    def call(self, method: str, params: dict | None = None) -> dict:
+        self.next_id += 1
+        frame = {"id": self.next_id, "method": method}
+        if params is not None:
+            frame["params"] = params
+        self.proc.stdin.write(json.dumps(frame) + "\n")
+        self.proc.stdin.flush()
+        line = self.proc.stdout.readline()
+        response = json.loads(line)
+        if "error" in response:
+            raise AssertionError(f"{method} failed: {response['error']}")
+        return response["result"]
+
+    def close(self) -> int:
+        self.proc.stdin.close()
+        return self.proc.wait(timeout=60)
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def smoke_dialect(workdir: Path, dialect: str) -> None:
+    corpus, edit_name = CORPORA[dialect]
+    root = workdir / corpus
+    shutil.copytree(REPO / "examples" / corpus, root)
+    unit_count = len(list(root.glob("*.c")))
+
+    daemon = Daemon(root, dialect)
+    try:
+        pong = daemon.call("ping")
+        expect(
+            pong["pong"] and pong["units"] == unit_count,
+            f"[{dialect}] daemon is up with {unit_count} units",
+        )
+
+        first = daemon.call("check")
+        expect(
+            len(first["incremental"]["ran"]) == unit_count,
+            f"[{dialect}] cold check analyzed every unit",
+        )
+
+        edited = root / edit_name
+        edited.write_text(edited.read_text() + "\n/* smoke edit */\n")
+        invalidated = daemon.call("invalidate", {"paths": [edit_name]})
+        expect(
+            [Path(p).name for p in invalidated["invalidated"]] == [edit_name],
+            f"[{dialect}] invalidate touched exactly {edit_name}",
+        )
+
+        second = daemon.call("check")
+        reran = [Path(p).name for p in second["incremental"]["ran"]]
+        expect(
+            reran == [edit_name],
+            f"[{dialect}] only the edited unit re-ran (got {reran})",
+        )
+        expect(
+            second["incremental"]["reused"] == unit_count - 1,
+            f"[{dialect}] remaining units served from resident state",
+        )
+        expect(
+            second["tally"] == first["tally"],
+            f"[{dialect}] comment edit left the tally unchanged",
+        )
+
+        daemon.call("shutdown")
+    finally:
+        code = daemon.close()
+    expect(code == 0, f"[{dialect}] daemon exited 0 after shutdown")
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="mlffi-serve-smoke-"))
+    try:
+        for dialect in sorted(CORPORA):
+            smoke_dialect(workdir, dialect)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("serve smoke: all expectations held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

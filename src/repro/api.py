@@ -10,18 +10,27 @@ serves the library API, the CLI, and the parallel batch driver.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from .boundary import get_dialect
 from .cfront.ir import ProgramIR
+from .corpus import scan_tree
 from .cfront.lower import lower_unit
 from .cfront.parser import parse_c
 from .core.checker import AnalysisReport, InitialEnv
 from .core.exprs import Options
-from .engine import BatchReport, CheckRequest, run_batch
+from .engine import (
+    DEFAULT_MAX_ENTRIES,
+    BatchReport,
+    CheckRequest,
+    IncrementalEngine,
+    IncrementalReport,
+    NullCache,
+    ResultCache,
+    run_batch,
+)
 from .engine.scheduler import Cache
 from .engine.worker import analyze_request
 from .ocamlfront.repository import TypeRepository, build_initial_env
@@ -75,28 +84,9 @@ class Project:
         placeholder must not sink a directory sweep.
         """
         project = cls(dialect=dialect)
-        spec = get_dialect(dialect)
-        for path in sorted(Path(root).rglob("*")):
-            if not path.is_file():
-                continue
-            is_host = path.suffix in spec.host_suffixes
-            if not is_host and path.suffix not in (".c",):
-                continue
-            try:
-                text = path.read_text()
-            except (UnicodeDecodeError, OSError) as exc:
-                warnings.warn(
-                    f"skipping unreadable source {path}: {exc}",
-                    stacklevel=2,
-                )
-                continue
-            if not text.strip():
-                warnings.warn(f"skipping empty source {path}", stacklevel=2)
-                continue
-            if is_host:
-                project.add_ocaml(SourceFile(str(path), text))
-            else:
-                project.add_c(SourceFile(str(path), text))
+        scan = scan_tree(root, get_dialect(dialect))
+        project.ocaml_sources.extend(scan.hosts)
+        project.c_sources.extend(scan.units)
         return project
 
     def build_repository(self) -> TypeRepository:
@@ -160,6 +150,101 @@ class Project:
     ) -> BatchReport:
         """Analyze every C file as its own unit via the batch engine."""
         return run_batch(self.to_requests(options), jobs=jobs, cache=cache)
+
+
+class Session:
+    """A long-lived incremental analysis session.
+
+    This is the library face of the persistent service: it owns one
+    :class:`~repro.engine.IncrementalEngine` (resident host environment,
+    per-unit requests, dependency graph, and a memory result tier over an
+    optional on-disk cold cache) and exposes the daemon's lifecycle as
+    plain method calls::
+
+        with Session("src/glue", dialect="ocaml", cache_dir=".mlffi-cache") as s:
+            first = s.check()            # cold: every unit analyzed
+            s.invalidate(["src/glue/stubs.c"])   # after an edit
+            second = s.check()           # warm: only stubs.c re-runs
+
+    ``service()`` upgrades the session to the JSON-RPC surface
+    (:class:`repro.server.AnalysisService`) without a separate process —
+    useful for driving the exact wire semantics in-process.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        dialect: str = "ocaml",
+        options: Optional[Options] = None,
+        jobs: int = 1,
+        cache_dir: Optional[str | Path] = None,
+        cache: Optional[Cache] = None,
+        memory_max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    ):
+        if cache is None:
+            cache = (
+                ResultCache(cache_dir) if cache_dir is not None else NullCache()
+            )
+        self.engine = IncrementalEngine(
+            root,
+            dialect=dialect,
+            options=options,
+            jobs=jobs,
+            cache=cache,
+            memory_max_entries=memory_max_entries,
+        )
+        self._service = None
+        self._closed = False
+
+    # -- daemon lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release resident state; further calls raise ``RuntimeError``."""
+        self._closed = True
+        self.engine.memory.clear()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # -- operations ------------------------------------------------------------
+
+    def check(
+        self, paths: Optional[Sequence[str | Path]] = None
+    ) -> IncrementalReport:
+        """Incrementally re-check (optionally restricted to ``paths``)."""
+        self._require_open()
+        return self.engine.check(paths)
+
+    def invalidate(self, paths: Sequence[str | Path]) -> set[str]:
+        """Tell the session ``paths`` changed; returns affected units."""
+        self._require_open()
+        return self.engine.invalidate(paths)
+
+    def reload(self) -> set[str]:
+        """Rescan the whole tree (e.g. after a branch switch)."""
+        self._require_open()
+        return self.engine.reload()
+
+    def status(self) -> dict:
+        self._require_open()
+        return self.engine.status()
+
+    def service(self):
+        """The JSON-RPC face of this session (lazily constructed)."""
+        self._require_open()
+        if self._service is None:
+            from .server import AnalysisService
+
+            self._service = AnalysisService(self.engine)
+        return self._service
 
 
 def analyze_project(

@@ -72,6 +72,17 @@ class BoundaryDialect(Protocol):
         """Run both phases for one unit and return the full report."""
         ...
 
+    def unit_dependencies(self, request: "CheckRequest") -> tuple[str, ...]:
+        """Files an edit to which must invalidate this unit's result.
+
+        Returned names are as written in the sources: host-language
+        interface files by their recorded filename, quoted ``#include``
+        targets verbatim.  The incremental engine resolves them against
+        the unit's directory and the project root to build its
+        dependency graph.
+        """
+        ...
+
 
 _REGISTRY: dict[str, BoundaryDialect] = {}
 _BOOTSTRAPPED = False

@@ -64,6 +64,22 @@ _DEFINE_RE = re.compile(
     r"#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\s+(.+?)\s*$", re.MULTILINE
 )
 
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"\n]+)"', re.MULTILINE)
+
+
+def scan_includes(text: str) -> tuple[str, ...]:
+    """Quoted (project-local) ``#include`` targets, in order, deduplicated.
+
+    Angle-bracket includes are system headers and never part of the
+    project's dependency graph; quoted ones name files an edit to which
+    must invalidate the including translation unit, so the incremental
+    engine records them even though tokenization drops the directive.
+    """
+    seen: dict[str, None] = {}
+    for match in _INCLUDE_RE.finditer(text):
+        seen.setdefault(match.group(1))
+    return tuple(seen)
+
 
 class Lexer:
     """Produces the token list for a :class:`SourceFile`."""

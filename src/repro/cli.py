@@ -5,17 +5,24 @@ Usage::
     mlffi-check check glue.ml stubs.c [more .ml/.c files ...]
     mlffi-check check --dialect pyext extension_module.c
     mlffi-check check --no-flow-sensitive --no-gc-effects stubs.c
+    mlffi-check check --format sarif glue.ml stubs.c > report.sarif
     mlffi-check batch src/glue --jobs 4 --format json
     mlffi-check batch --dialect pyext src/ext --jobs 4
+    mlffi-check serve src/glue --cache-dir .mlffi-cache
+    mlffi-check serve src/glue --tcp 127.0.0.1:9178
+    mlffi-check watch src/glue --interval 1
     mlffi-check bench [--program lablgtk-2.2.0]
     mlffi-check example
 
 ``check`` analyzes a multi-lingual project and prints the diagnostics plus
 the Figure 9 style tally; the exit status is the number of errors (capped
-at 125 so it stays a valid exit code).  ``batch`` sweeps a directory tree —
-every ``.ml``/``.mli`` feeds the shared type repository, every ``.c`` is an
-independently analyzed (and content-hash cached) translation unit fanned
-out across a worker pool.  ``bench`` regenerates the Figure 9 table from
+at 125 so it stays a valid exit code; ``--strict`` makes warnings count
+too).  ``batch`` sweeps a directory tree — every ``.ml``/``.mli`` feeds
+the shared type repository, every ``.c`` is an independently analyzed (and
+content-hash cached) translation unit fanned out across a worker pool.
+``serve`` keeps the analysis resident and answers newline-delimited
+JSON-RPC on stdio or TCP; ``watch`` polls the tree and incrementally
+re-checks on every change.  ``bench`` regenerates the Figure 9 table from
 the synthesized suite.  ``example`` runs the paper's Figure 2 program as a
 smoke test.
 """
@@ -28,11 +35,81 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from . import __version__
 from .api import Project
 from .boundary import available_dialects, get_dialect
 from .core.exprs import Options
-from .engine import DEFAULT_CACHE_DIR, NullCache, ResultCache
+from .engine import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_MAX_ENTRIES,
+    IncrementalEngine,
+    NullCache,
+    ResultCache,
+)
+from .sarif import sarif_log
 from .source import SourceFile
+
+
+def _add_dialect_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--dialect",
+        choices=available_dialects(),
+        default="ocaml",
+        help="boundary dialect to check (default: ocaml)",
+    )
+
+
+def _add_ablation_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--no-flow-sensitive",
+        action="store_true",
+        help="disable B/I/T dataflow (ablation)",
+    )
+    command.add_argument(
+        "--no-gc-effects",
+        action="store_true",
+        help="disable GC effect checking (ablation)",
+    )
+
+
+def _add_cache_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    command.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze every unit from scratch and store nothing",
+    )
+    command.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=DEFAULT_MAX_ENTRIES,
+        metavar="N",
+        help="LRU cap on cache entries; 0 disables the cap "
+        f"(default: {DEFAULT_MAX_ENTRIES})",
+    )
+
+
+def _add_strict_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail the run (count toward the exit status)",
+    )
+
+
+def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = auto-detect; default: 1, sequential)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,21 +127,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="host sources (.ml/.mli for the ocaml dialect) feed the type "
         "repository; .c files are analyzed",
     )
+    _add_dialect_flag(check)
+    _add_ablation_flags(check)
+    _add_strict_flag(check)
     check.add_argument(
-        "--dialect",
-        choices=available_dialects(),
-        default="ocaml",
-        help="boundary dialect to check (default: ocaml)",
-    )
-    check.add_argument(
-        "--no-flow-sensitive",
-        action="store_true",
-        help="disable B/I/T dataflow (ablation)",
-    )
-    check.add_argument(
-        "--no-gc-effects",
-        action="store_true",
-        help="disable GC effect checking (ablation)",
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (sarif feeds GitHub code scanning)",
     )
     check.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
@@ -85,45 +155,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="root to scan: host sources feed the shared type repository, "
         "each .c file becomes one translation unit",
     )
-    batch.add_argument(
-        "--dialect",
-        choices=available_dialects(),
-        default="ocaml",
-        help="boundary dialect to check (default: ocaml)",
-    )
-    batch.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes (0 = auto-detect; default: 1, sequential)",
-    )
-    batch.add_argument(
-        "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
-        metavar="DIR",
-        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
-    )
-    batch.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="analyze every unit from scratch and store nothing",
-    )
+    _add_dialect_flag(batch)
+    _add_jobs_flag(batch)
+    _add_cache_flags(batch)
+    _add_strict_flag(batch)
     batch.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (json is machine-readable, one report object)",
+        help="output format (json is one report object, sarif feeds "
+        "GitHub code scanning)",
     )
-    batch.add_argument(
-        "--no-flow-sensitive",
-        action="store_true",
-        help="disable B/I/T dataflow (ablation)",
+    _add_ablation_flags(batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="persistent analysis daemon: newline-delimited JSON-RPC over "
+        "stdio (default) or TCP, re-checking only what changed",
     )
-    batch.add_argument(
-        "--no-gc-effects",
-        action="store_true",
-        help="disable GC effect checking (ablation)",
+    serve.add_argument(
+        "directory",
+        help="project root the resident engine keeps warm",
+    )
+    _add_dialect_flag(serve)
+    _add_jobs_flag(serve)
+    _add_cache_flags(serve)
+    _add_ablation_flags(serve)
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="listen on TCP instead of stdio (e.g. 127.0.0.1:9178; "
+        "port 0 picks a free port)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="poll the tree and incrementally re-check on every change",
+    )
+    watch.add_argument(
+        "directory",
+        help="project root to watch",
+    )
+    _add_dialect_flag(watch)
+    _add_jobs_flag(watch)
+    _add_cache_flags(watch)
+    _add_ablation_flags(watch)
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="polling interval (default: 1.0)",
+    )
+    watch.add_argument(
+        "--max-polls",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N polls (0 = run until interrupted)",
     )
 
     bench = sub.add_parser("bench", help="regenerate the Figure 9 table")
@@ -138,6 +228,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("example", help="run the paper's Figure 2 example")
     return parser
+
+
+def _exit_code(tally: dict, strict: bool) -> int:
+    """Exit-status contract: errors always fail; warnings only when
+    ``--strict`` asked for them.  Capped at 125 (a valid exit code)."""
+    failing = tally["errors"]
+    if strict:
+        failing += tally["warnings"]
+    return min(failing, 125)
+
+
+def _make_cache(args: argparse.Namespace):
+    """The cold-tier cache the flags describe."""
+    if args.no_cache:
+        return NullCache()
+    max_entries = args.cache_max_entries if args.cache_max_entries > 0 else None
+    return ResultCache(args.cache_dir, max_entries=max_entries)
 
 
 def _run_check(args: argparse.Namespace) -> int:
@@ -166,16 +273,28 @@ def _run_check(args: argparse.Namespace) -> int:
         gc_effects=not args.no_gc_effects,
     )
     report = project.analyze(options)
-    if args.quiet:
+    if args.format == "sarif":
+        log = sarif_log(report.diagnostics, tool_version=__version__)
+        print(json.dumps(log, indent=2, sort_keys=True))
+    elif args.format == "json":
+        payload = {
+            "diagnostics": [d.to_dict() for d in report.diagnostics],
+            "tally": report.tally(),
+            "signatures": dict(report.signatures),
+            "unification_steps": report.unification_steps,
+            "elapsed_seconds": report.elapsed_seconds,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.quiet:
         print(report.render().splitlines()[-1])
     else:
         print(report.render())
-    if args.signatures and not args.quiet:
-        print()
-        print("inferred signatures:")
-        for name in sorted(report.signatures):
-            print("  " + report.signatures[name])
-    return min(len(report.errors), 125)
+        if args.signatures:
+            print()
+            print("inferred signatures:")
+            for name in sorted(report.signatures):
+                print("  " + report.signatures[name])
+    return _exit_code(report.tally(), args.strict)
 
 
 def _run_batch(args: argparse.Namespace) -> int:
@@ -194,15 +313,91 @@ def _run_batch(args: argparse.Namespace) -> int:
         flow_sensitive=not args.no_flow_sensitive,
         gc_effects=not args.no_gc_effects,
     )
-    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    cache = _make_cache(args)
     report = project.analyze_batch(options, jobs=args.jobs, cache=cache)
-    if args.format == "json":
+    if args.format == "sarif":
+        diagnostics = [d for r in report.results for d in r.diagnostics]
+        log = sarif_log(diagnostics, tool_version=__version__)
+        print(json.dumps(log, indent=2, sort_keys=True))
+    elif args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
     if report.failures:
         return 125
-    return min(report.tally()["errors"], 125)
+    return _exit_code(report.tally(), args.strict)
+
+
+def _build_engine(args: argparse.Namespace) -> Optional[IncrementalEngine]:
+    """The resident engine behind both ``serve`` and ``watch``."""
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"error: no such directory: {args.directory}", file=sys.stderr)
+        return None
+    options = Options(
+        flow_sensitive=not args.no_flow_sensitive,
+        gc_effects=not args.no_gc_effects,
+    )
+    return IncrementalEngine(
+        root,
+        dialect=args.dialect,
+        options=options,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .server import AnalysisService, serve_stdio, serve_tcp
+
+    engine = _build_engine(args)
+    if engine is None:
+        return 125
+    service = AnalysisService(engine)
+    if args.tcp is None:
+        return serve_stdio(service)
+    host, _, port_text = args.tcp.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: bad --tcp address: {args.tcp}", file=sys.stderr)
+        return 125
+    try:
+        return serve_tcp(service, host or "127.0.0.1", port)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    from .server import WatchEvent, Watcher
+
+    engine = _build_engine(args)
+    if engine is None:
+        return 125
+    # snapshot BEFORE the (potentially long) initial check: an edit made
+    # while it runs must show up as a diff on the first poll
+    watcher = Watcher(engine, interval=args.interval)
+    initial = engine.check()
+    print(initial.render(), flush=True)
+
+    def on_event(event: WatchEvent) -> None:
+        changed = ", ".join(Path(path).name for path in event.changed)
+        print(f"\n== change: {changed}", flush=True)
+        print(event.report.render(), flush=True)
+        ran = len(event.report.ran)
+        print(
+            f"   re-ran {ran} unit(s), reused {event.report.reused}",
+            flush=True,
+        )
+
+    try:
+        watcher.run(
+            max_polls=args.max_polls if args.max_polls > 0 else None,
+            on_event=on_event,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -269,6 +464,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_check(args)
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "watch":
+        return _run_watch(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "example":

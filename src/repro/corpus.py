@@ -1,0 +1,71 @@
+"""Project-tree scanning shared by the batch and incremental drivers.
+
+One place decides what a corpus is: host-language sources (the dialect's
+``host_suffixes``) feed the shared type repository, every ``.c`` file is
+a translation unit, and files that cannot be decoded or have no content
+are skipped with a :class:`UserWarning` — a stray binary or an empty
+placeholder must not sink a sweep.  Both
+:meth:`repro.api.Project.from_directory` and
+:meth:`repro.engine.IncrementalEngine.reload` go through here, so batch
+mode and the persistent service can never disagree about which files a
+tree contains.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from .source import SourceFile
+
+
+def read_source(
+    path: str | Path, name: Optional[str] = None
+) -> Optional[SourceFile]:
+    """Load one source file, or ``None`` (with a warning) if unusable.
+
+    ``name`` overrides the filename recorded on the :class:`SourceFile`
+    (the incremental engine uses normalized absolute paths).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except (UnicodeDecodeError, OSError) as exc:
+        warnings.warn(
+            f"skipping unreadable source {path}: {exc}", stacklevel=2
+        )
+        return None
+    if not text.strip():
+        warnings.warn(f"skipping empty source {path}", stacklevel=2)
+        return None
+    return SourceFile(name if name is not None else str(path), text)
+
+
+@dataclass
+class CorpusScan:
+    """The usable sources found under one project root."""
+
+    hosts: list[SourceFile] = field(default_factory=list)
+    units: list[SourceFile] = field(default_factory=list)
+
+
+def scan_tree(
+    root: str | Path,
+    spec,
+    name_for: Callable[[Path], str] = str,
+) -> CorpusScan:
+    """Walk ``root`` with the dialect's suffix map, in sorted order."""
+    scan = CorpusScan()
+    for path in sorted(Path(root).rglob("*")):
+        if not path.is_file():
+            continue
+        is_host = path.suffix in spec.host_suffixes
+        if not is_host and path.suffix != ".c":
+            continue
+        source = read_source(path, name_for(path))
+        if source is None:
+            continue
+        (scan.hosts if is_host else scan.units).append(source)
+    return scan

@@ -25,6 +25,21 @@ class Category(enum.Enum):
     FALSE_POSITIVE_PRONE = "false-positive"
     IMPRECISION = "imprecision"
 
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` this column maps to.
+
+        Outright errors and questionable practice keep their severity;
+        the analysis-confidence columns (false-positive-prone patterns,
+        imprecision) become ``note`` so code-scanning UIs surface them
+        without failing a gate.
+        """
+        if self is Category.ERROR:
+            return "error"
+        if self is Category.WARNING:
+            return "warning"
+        return "note"
+
 
 class Kind(enum.Enum):
     """Fine-grained diagnostic kinds, following the taxonomy of paper §5.2.

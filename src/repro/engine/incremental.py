@@ -1,0 +1,388 @@
+"""Dependency-aware incremental scheduler.
+
+This is the layer that turns the one-shot batch engine into a persistent
+service.  An :class:`IncrementalEngine` keeps a whole corpus resident:
+
+* the parsed host side and every translation unit's :class:`CheckRequest`,
+  rebuilt only when the file behind it changes;
+* a :class:`DependencyGraph` linking each unit to the files it reads — its
+  own ``.c`` source, every host-language interface file feeding ``Γ_I``,
+  and the quoted headers found during lowering (see
+  :meth:`repro.boundary.BoundaryDialect.unit_dependencies`) — so an edit
+  dirties exactly the affected units;
+* a two-tier result cache: an in-memory LRU in front of the on-disk
+  :class:`~repro.engine.cache.ResultCache`, which is thereby demoted to a
+  cold-start tier.
+
+Both entry points funnel into the same code path: :meth:`check` submits
+only the dirty units to :func:`repro.engine.scheduler.run_batch` (the
+batch scheduler), so parallel fan-out, cache probing, and deterministic
+merging behave identically in ``mlffi-check batch``, ``mlffi-check
+serve``, and ``mlffi-check watch``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from ..boundary import get_dialect
+from ..core.exprs import Options
+from ..corpus import read_source, scan_tree
+from ..source import SourceFile
+from .cache import DEFAULT_MAX_ENTRIES, MemoryCache, NullCache, TieredCache
+from .jobs import BatchReport, CheckRequest, CheckResult
+from .scheduler import run_batch
+
+
+def _normalize(path: str | os.PathLike, base: Path) -> str:
+    """Absolute, ``..``-free form of ``path``, resolved against ``base``."""
+    candidate = Path(path)
+    if not candidate.is_absolute():
+        candidate = base / candidate
+    return os.path.normpath(str(candidate))
+
+
+class DependencyGraph:
+    """Bidirectional map between translation units and the files they read."""
+
+    def __init__(self) -> None:
+        self._deps: dict[str, frozenset[str]] = {}
+        self._dependents: dict[str, set[str]] = {}
+
+    def set_dependencies(self, unit: str, paths: Iterable[str]) -> None:
+        self.remove_unit(unit)
+        deps = frozenset(paths)
+        self._deps[unit] = deps
+        for path in deps:
+            self._dependents.setdefault(path, set()).add(unit)
+
+    def remove_unit(self, unit: str) -> None:
+        for path in self._deps.pop(unit, frozenset()):
+            dependents = self._dependents.get(path)
+            if dependents is not None:
+                dependents.discard(unit)
+                if not dependents:
+                    del self._dependents[path]
+
+    def dependencies(self, unit: str) -> frozenset[str]:
+        return self._deps.get(unit, frozenset())
+
+    def dependents(self, path: str) -> set[str]:
+        """Units that must re-check when ``path`` changes."""
+        return set(self._dependents.get(path, ()))
+
+    def __len__(self) -> int:
+        return len(self._deps)
+
+
+@dataclass
+class UnitState:
+    """One resident translation unit: its request, deps, and last result.
+
+    The result is held as its JSON payload, not an object: report
+    consumers get fresh :class:`CheckResult` copies they may mutate, and
+    the payload is serialized once when stored instead of on every check.
+    """
+
+    name: str
+    request: CheckRequest
+    payload: Optional[dict] = None
+
+
+@dataclass
+class IncrementalReport(BatchReport):
+    """A :class:`BatchReport` over the whole corpus, annotated with what
+    this particular check actually did."""
+
+    #: dirty units submitted to the batch scheduler this check
+    checked: list[str] = field(default_factory=list)
+    #: subset of ``checked`` that was really analyzed (no cache tier hit)
+    ran: list[str] = field(default_factory=list)
+    #: clean units served straight from resident engine state
+    reused: int = 0
+    #: dirty units a restricted check did NOT submit: their results in
+    #: this report are the pre-edit ones and must not be trusted as fresh
+    stale: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["incremental"] = {
+            "checked": list(self.checked),
+            "ran": list(self.ran),
+            "reused": self.reused,
+            "stale": list(self.stale),
+        }
+        return data
+
+
+class IncrementalEngine:
+    """A resident corpus with dependency-aware re-checking.
+
+    Thread-safe: the server handles requests from multiple connections,
+    so every public method takes the engine lock.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        dialect: str = "ocaml",
+        options: Optional[Options] = None,
+        jobs: int = 1,
+        cache=None,
+        memory_max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    ):
+        self.root = Path(_normalize(root, Path.cwd()))
+        self.dialect = dialect
+        self.options = options or Options()
+        self.jobs = jobs
+        self.memory = MemoryCache(memory_max_entries)
+        self.cold = cache if cache is not None else NullCache()
+        self.cache = TieredCache(self.memory, self.cold)
+        self.graph = DependencyGraph()
+        self.checks_run = 0
+        self._spec = get_dialect(dialect)
+        self._lock = threading.RLock()
+        self._hosts: dict[str, SourceFile] = {}
+        self._units: dict[str, UnitState] = {}
+        self._dirty: set[str] = set()
+        self.reload()
+
+    # -- corpus maintenance ---------------------------------------------------
+
+    def _read(self, path: str) -> Optional[SourceFile]:
+        """Load one source for ``invalidate``: a vanished file is a plain
+        removal (no warning), an unreadable or empty one is skipped with
+        the same warning :func:`repro.corpus.read_source` gives a sweep."""
+        if not Path(path).is_file():
+            return None
+        return read_source(path, name=path)
+
+    def _host_tuple(self) -> tuple[SourceFile, ...]:
+        return tuple(self._hosts[path] for path in sorted(self._hosts))
+
+    def _build_request(self, source: SourceFile) -> CheckRequest:
+        return CheckRequest(
+            name=source.filename,
+            c_sources=(source,),
+            ocaml_sources=self._host_tuple(),
+            options=self.options,
+            dialect=self.dialect,
+        )
+
+    def _index_unit(self, state: UnitState) -> None:
+        """Record the unit's dependency edges, resolving quoted include
+        names against the unit's directory and then the project root."""
+        unit_dir = Path(state.name).parent
+        deps = {state.name}
+        for dep in self._spec.unit_dependencies(state.request):
+            if dep in self._hosts:
+                deps.add(dep)
+                continue
+            local = _normalize(dep, unit_dir)
+            shared = _normalize(dep, self.root)
+            deps.add(local if Path(local).exists() or local == shared else shared)
+        self.graph.set_dependencies(state.name, deps)
+
+    def _adopt_unit(self, source: SourceFile) -> None:
+        state = UnitState(name=source.filename, request=self._build_request(source))
+        self._units[state.name] = state
+        self._index_unit(state)
+        self._dirty.add(state.name)
+
+    def _drop_unit(self, name: str) -> None:
+        self._units.pop(name, None)
+        self._dirty.discard(name)
+        self.graph.remove_unit(name)
+
+    def _rebuild_all_requests(self) -> None:
+        """The host side changed: every unit's ``Γ_I`` inputs did too."""
+        hosts = self._host_tuple()
+        for state in self._units.values():
+            state.request = replace(state.request, ocaml_sources=hosts)
+            self._index_unit(state)
+            self._dirty.add(state.name)
+
+    def reload(self) -> set[str]:
+        """Rescan the project tree from scratch; returns the dirtied units."""
+        with self._lock:
+            self._hosts.clear()
+            for state in list(self._units.values()):
+                self._drop_unit(state.name)
+            scan = scan_tree(
+                self.root,
+                self._spec,
+                name_for=lambda path: _normalize(path, self.root),
+            )
+            self._hosts = {source.filename: source for source in scan.hosts}
+            for source in scan.units:
+                self._adopt_unit(source)
+            return set(self._dirty)
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate(self, paths: Sequence[str | os.PathLike]) -> set[str]:
+        """Re-read ``paths`` and return the units that now need re-checking.
+
+        Handles edits, deletions, and brand-new files: host-language
+        changes rebuild every unit's request, unit changes rebuild one,
+        header changes dirty the dependents recorded by the graph.
+        """
+        with self._lock:
+            affected: set[str] = set()
+            host_changed = False
+            for raw in paths:
+                path = _normalize(raw, self.root)
+                suffix = Path(path).suffix
+                if suffix in self._spec.host_suffixes:
+                    source = self._read(path)
+                    previous = self._hosts.get(path)
+                    if source is None:
+                        if previous is not None:
+                            del self._hosts[path]
+                            host_changed = True
+                    elif previous is None or previous.text != source.text:
+                        self._hosts[path] = source
+                        host_changed = True
+                elif path in self._units:
+                    source = self._read(path)
+                    if source is None:
+                        self._drop_unit(path)
+                    else:
+                        state = self._units[path]
+                        state.request = replace(
+                            state.request, c_sources=(source,)
+                        )
+                        self._index_unit(state)
+                        self._dirty.add(path)
+                        affected.add(path)
+                elif suffix == ".c" and Path(path).is_file():
+                    source = self._read(path)
+                    if source is not None:
+                        self._adopt_unit(source)
+                        affected.add(path)
+                else:
+                    dependents = self.graph.dependents(path)
+                    self._dirty.update(dependents)
+                    affected.update(dependents)
+            if host_changed:
+                self._rebuild_all_requests()
+                affected.update(self._units)
+            return affected
+
+    # -- checking -------------------------------------------------------------
+
+    def _reused_result(self, state: UnitState) -> CheckResult:
+        """A clean unit's resident result, copied so report consumers can
+        never mutate engine state."""
+        result = CheckResult.from_dict(state.payload)
+        result.from_cache = True
+        result.cache_tier = "memory"
+        result.wall_seconds = 0.0
+        return result
+
+    def check(
+        self,
+        names: Optional[Sequence[str | os.PathLike]] = None,
+        *,
+        jobs: Optional[int] = None,
+    ) -> IncrementalReport:
+        """Re-check the dirty subset and report over the whole corpus.
+
+        ``names`` restricts the submission to particular units (clean ones
+        among them are served from resident state like any other).
+        """
+        started = time.perf_counter()
+        with self._lock:
+            wanted = None
+            if names is not None:
+                wanted = {_normalize(name, self.root) for name in names}
+            order = sorted(self._units)
+            candidates = [
+                name
+                for name in order
+                # never-checked units are always submitted (the report spans
+                # the whole corpus, so each unit needs at least one result)
+                if self._units[name].payload is None
+                or (name in self._dirty and (wanted is None or name in wanted))
+            ]
+            requests = [self._units[name].request for name in candidates]
+            sub = run_batch(
+                requests, jobs=jobs or self.jobs, cache=self.cache
+            )
+            submitted: dict[str, CheckResult] = {}
+            for name, result in zip(candidates, sub.results):
+                # resident state keeps the payload: the report's objects
+                # belong to the caller, who may filter/mutate them freely
+                self._units[name].payload = result.to_dict()
+                self._dirty.discard(name)
+                submitted[name] = result
+            ordered = []
+            for name in order:
+                if name in submitted:
+                    ordered.append(submitted[name])
+                else:
+                    ordered.append(self._reused_result(self._units[name]))
+            self.checks_run += 1
+            return IncrementalReport(
+                results=ordered,
+                elapsed_seconds=time.perf_counter() - started,
+                jobs=jobs or self.jobs,
+                cache_evictions=sub.cache_evictions,
+                checked=list(candidates),
+                ran=[
+                    name
+                    for name, result in zip(candidates, sub.results)
+                    if not result.from_cache
+                ],
+                reused=len(order) - len(candidates),
+                # a restricted check leaves excluded dirty units stale:
+                # their rows above are pre-edit results, not fresh ones
+                stale=sorted(self._dirty),
+            )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def unit_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._units)
+
+    @property
+    def dirty(self) -> set[str]:
+        with self._lock:
+            return set(self._dirty)
+
+    def dependencies(self, name: str | os.PathLike) -> frozenset[str]:
+        with self._lock:
+            return self.graph.dependencies(_normalize(name, self.root))
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "dialect": self.dialect,
+                "units": len(self._units),
+                "hosts": len(self._hosts),
+                "dirty": sorted(self._dirty),
+                "checks_run": self.checks_run,
+                "jobs": self.jobs,
+                "cache": {
+                    "memory": {
+                        "entries": len(self.memory),
+                        "hits": self.memory.hits,
+                        "misses": self.memory.misses,
+                        "evictions": self.memory.evictions,
+                    },
+                    "disk": {
+                        "hits": getattr(self.cold, "hits", 0),
+                        "misses": getattr(self.cold, "misses", 0),
+                        "evictions": getattr(self.cold, "evictions", 0),
+                    },
+                },
+            }

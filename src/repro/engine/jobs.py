@@ -31,7 +31,9 @@ from ..source import SourceFile
 #: Bump whenever the analysis output format or semantics change, so stale
 #: cache entries from older engine revisions can never be replayed.
 #: v2: requests carry a boundary dialect (and results a per-unit wall time).
-CACHE_SCHEMA_VERSION = 2
+#: v3: results carry the cache tier that served them; batch reports carry
+#: cache eviction counts.
+CACHE_SCHEMA_VERSION = 3
 
 
 def _digest_sources(sources: Iterable[SourceFile]) -> str:
@@ -110,6 +112,8 @@ class CheckResult:
     wall_seconds: float = 0.0
     cache_key: str = ""
     from_cache: bool = False
+    #: which tier satisfied a hit: "memory", "disk", or "" for a fresh run
+    cache_tier: str = ""
     #: set when the worker itself failed (parse crash, etc.); such results
     #: are reported but never cached
     failure: Optional[str] = None
@@ -148,6 +152,7 @@ class CheckResult:
             "wall_seconds": self.wall_seconds,
             "cache_key": self.cache_key,
             "from_cache": self.from_cache,
+            "cache_tier": self.cache_tier,
             "failure": self.failure,
         }
 
@@ -164,6 +169,7 @@ class CheckResult:
             wall_seconds=data.get("wall_seconds", 0.0),
             cache_key=data.get("cache_key", ""),
             from_cache=data.get("from_cache", False),
+            cache_tier=data.get("cache_tier", ""),
             failure=data.get("failure"),
         )
 
@@ -175,6 +181,8 @@ class BatchReport:
     results: list[CheckResult] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     jobs: int = 1
+    #: LRU evictions the cache performed while this batch stored results
+    cache_evictions: int = 0
 
     def tally(self) -> dict[str, int]:
         total = DiagnosticBag().tally()
@@ -211,12 +219,15 @@ class BatchReport:
             for diag in result.diagnostics:
                 lines.append("   " + diag.render())
         counts = self.tally()
+        evicted = (
+            f", {self.cache_evictions} evicted" if self.cache_evictions else ""
+        )
         lines.append(
             f"-- {len(self.results)} unit(s): {counts['errors']} error(s), "
             f"{counts['warnings']} warning(s), "
             f"{counts['false_positives']} false-positive-prone report(s), "
             f"{counts['imprecision']} imprecision warning(s) "
-            f"[{self.cache_hits} cached, {self.cache_misses} analyzed, "
+            f"[{self.cache_hits} cached, {self.cache_misses} analyzed{evicted}, "
             f"jobs={self.jobs}] in {self.elapsed_seconds:.2f}s"
         )
         return "\n".join(lines)
@@ -226,7 +237,11 @@ class BatchReport:
             "schema_version": CACHE_SCHEMA_VERSION,
             "units": [result.to_dict() for result in self.results],
             "tally": self.tally(),
-            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+            },
             "jobs": self.jobs,
             "elapsed_seconds": self.elapsed_seconds,
         }

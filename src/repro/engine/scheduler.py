@@ -83,6 +83,7 @@ def run_batch(
     if fresh is None:
         fresh = [run_request(req, key) for _, req, key in pending]
 
+    evictions_before = getattr(cache, "evictions", 0)
     for (index, _req, key), result in zip(pending, fresh):
         if cache is not None:
             cache.store(key, result)
@@ -93,4 +94,5 @@ def run_batch(
         results=ordered,
         elapsed_seconds=time.perf_counter() - started,
         jobs=jobs,
+        cache_evictions=getattr(cache, "evictions", 0) - evictions_before,
     )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..boundary import register_dialect
 from ..cfront.ir import ProgramIR
+from ..cfront.lexer import scan_includes
 from ..cfront.lower import lower_unit
 from ..cfront.macros import (
     ALLOC_RESULT_TAG,
@@ -79,6 +80,18 @@ class OCamlDialect:
         return Checker(
             program, initial_env, request.options, dialect=self
         ).run()
+
+    def unit_dependencies(self, request: CheckRequest) -> tuple[str, ...]:
+        """Every ``Γ_I`` input plus the unit's quoted includes: an edit to
+        any ``.ml``/``.mli`` rebuilds the shared repository, so every unit
+        depends on the whole host side."""
+        deps: dict[str, None] = {}
+        for source in request.ocaml_sources:
+            deps.setdefault(source.filename)
+        for source in request.c_sources:
+            for header in scan_includes(source.text):
+                deps.setdefault(header)
+        return tuple(deps)
 
 
 OCAML_DIALECT = register_dialect(OCamlDialect())

@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..boundary import register_dialect
 from ..cfront.ast import TranslationUnit
 from ..cfront.ir import ProgramIR
+from ..cfront.lexer import scan_includes
 from ..cfront.lower import lower_unit
 from ..cfront.parser import parse_c
 from ..core.checker import AnalysisReport, Checker, InitialEnv
@@ -82,6 +83,16 @@ class PyExtDialect:
             report.diagnostics.extend(formats.check_unit(unit))
             report.diagnostics.extend(refcount.check_unit(unit))
         return report
+
+    def unit_dependencies(self, request: CheckRequest) -> tuple[str, ...]:
+        """Quoted includes only: the boundary contract (``PyMethodDef``
+        tables) lives in the C sources themselves, so there is no host
+        side to depend on."""
+        deps: dict[str, None] = {}
+        for source in request.c_sources:
+            for header in scan_includes(source.text):
+                deps.setdefault(header)
+        return tuple(deps)
 
 
 PYEXT_DIALECT = register_dialect(PyExtDialect())

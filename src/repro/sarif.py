@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+Maps the checker's diagnostics onto the Static Analysis Results
+Interchange Format: each :class:`~repro.diagnostics.Kind` becomes a
+reporting rule (``ruleId`` = the kind's name), each
+:class:`~repro.diagnostics.Category` maps to a SARIF ``level`` via
+:attr:`Category.sarif_level`, and spans become physical locations with
+1-based line/column regions.  ``mlffi-check check --format sarif`` and
+``mlffi-check batch --format sarif`` emit one log with a single run, so
+the output can be uploaded with ``github/codeql-action/upload-sarif``
+unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic, Kind
+from .source import DUMMY_SPAN, Span
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "mlffi-check"
+TOOL_URI = "https://github.com/paper-repo-growth/mlffi-check"
+
+
+def rule_for(kind: Kind) -> dict:
+    """The ``reportingDescriptor`` for one diagnostic kind."""
+    return {
+        "id": kind.name,
+        "shortDescription": {"text": kind.summary},
+        "defaultConfiguration": {"level": kind.category.sarif_level},
+        "properties": {"category": kind.category.value},
+    }
+
+
+def _region(span: Span) -> dict:
+    return {
+        "startLine": span.start.line,
+        "startColumn": span.start.column,
+        "endLine": span.end.line,
+        "endColumn": span.end.column,
+    }
+
+
+def result_for(diag: Diagnostic, rule_index: int) -> dict:
+    """The SARIF ``result`` object for one diagnostic."""
+    result = {
+        "ruleId": diag.kind.name,
+        "ruleIndex": rule_index,
+        "level": diag.category.sarif_level,
+        "message": {"text": diag.message},
+    }
+    # value comparison, not identity: diagnostics round-tripped through
+    # the result cache or the daemon wire rebuild an equal-but-distinct
+    # Span, and SARIF forbids the synthetic 0:0 region either way
+    if diag.span != DUMMY_SPAN:
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.span.filename},
+                    "region": _region(diag.span),
+                }
+            }
+        ]
+    if diag.function is not None:
+        result["properties"] = {"function": diag.function}
+    return result
+
+
+def sarif_log(
+    diagnostics: Iterable[Diagnostic], *, tool_version: str = "1.1.0"
+) -> dict:
+    """One SARIF log with a single run over ``diagnostics``.
+
+    Rules cover only the kinds that actually fired, in first-appearance
+    order, so the log stays small and deterministic for a given report.
+    """
+    diags: Sequence[Diagnostic] = list(diagnostics)
+    rule_index: dict[str, int] = {}
+    rules: list[dict] = []
+    for diag in diags:
+        if diag.kind.name not in rule_index:
+            rule_index[diag.kind.name] = len(rules)
+            rules.append(rule_for(diag.kind))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    result_for(diag, rule_index[diag.kind.name])
+                    for diag in diags
+                ],
+            }
+        ],
+    }

@@ -1,0 +1,36 @@
+"""Persistent analysis service.
+
+A long-running daemon around :class:`repro.engine.IncrementalEngine`:
+ASTs, dialect environments, and typed-unit results stay warm in memory,
+and clients drive re-checking over a newline-delimited JSON-RPC protocol
+(:mod:`repro.server.protocol`) on stdio or TCP
+(:mod:`repro.server.daemon`).  :mod:`repro.server.watch` is a polling
+file-watcher that feeds the same engine, and
+:class:`repro.api.Session` wraps the service for library users.
+"""
+
+from .daemon import serve_stdio, serve_tcp
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    result_response,
+)
+from .service import AnalysisService
+from .watch import WatchEvent, Watcher
+
+__all__ = [
+    "AnalysisService",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "WatchEvent",
+    "Watcher",
+    "decode_line",
+    "encode",
+    "error_response",
+    "result_response",
+    "serve_stdio",
+    "serve_tcp",
+]

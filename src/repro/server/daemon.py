@@ -1,0 +1,97 @@
+"""Transports for the analysis service: stdio and TCP.
+
+Both speak the newline-delimited protocol of
+:mod:`repro.server.protocol` and share one
+:class:`~repro.server.service.AnalysisService`, so a ``shutdown`` frame
+on any connection stops the daemon.
+
+* ``serve_stdio`` — one client on stdin/stdout; what editors and the CI
+  smoke job drive.
+* ``serve_tcp`` — a threading TCP server for many concurrent clients;
+  the engine lock serializes actual analysis.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import sys
+import threading
+from typing import IO, Optional
+
+from .service import AnalysisService
+
+
+def serve_stdio(
+    service: AnalysisService,
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+) -> int:
+    """Serve one client over text streams until EOF or ``shutdown``."""
+    reader = stdin if stdin is not None else sys.stdin
+    writer = stdout if stdout is not None else sys.stdout
+    try:
+        for line in reader:
+            response = service.handle_line(line)
+            if response is not None:
+                writer.write(response)
+                writer.flush()
+            if service.shutdown_requested.is_set():
+                break
+    except (BrokenPipeError, KeyboardInterrupt):
+        pass  # client hung up / operator interrupt: a clean daemon exit
+    return 0
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: AnalysisService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            raw = self.rfile.readline()
+            if not raw:
+                return
+            response = service.handle_line(
+                raw.decode("utf-8", "replace")
+            )
+            if response is not None:
+                self.wfile.write(response.encode("utf-8"))
+                self.wfile.flush()
+            if service.shutdown_requested.is_set():
+                # stop accepting from a helper thread: shutdown() blocks
+                # until serve_forever() returns, so it must not run here
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+
+class AnalysisTCPServer(socketserver.ThreadingTCPServer):
+    """TCP transport bound to one service; ``server_address`` tells the
+    caller which port an ephemeral bind (port 0) actually got."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: AnalysisService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def serve_tcp(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = 9178,
+    *,
+    ready: Optional[threading.Event] = None,
+) -> int:
+    """Serve until a ``shutdown`` frame arrives; returns 0."""
+    with AnalysisTCPServer((host, port), service) as server:
+        if ready is not None:
+            ready.set()
+        bound = server.server_address
+        print(
+            f"mlffi-check serve: listening on {bound[0]}:{bound[1]}",
+            file=sys.stderr,
+            flush=True,
+        )
+        server.serve_forever(poll_interval=0.1)
+    return 0

@@ -1,0 +1,88 @@
+"""Wire format of the analysis service: newline-delimited JSON-RPC.
+
+One request or response per line.  Requests are objects with an ``id``
+(number or string, echoed back), a ``method`` name, and an optional
+``params`` object::
+
+    {"id": 1, "method": "check", "params": {}}
+
+Responses carry either ``result`` or ``error`` (never both)::
+
+    {"id": 1, "protocol": 1, "result": {...}}
+    {"id": 1, "protocol": 1, "error": {"code": -32601, "message": "..."}}
+
+Serialization is *stable*: keys sorted, compact separators, ASCII-safe —
+so the same diagnostics always hit the wire as the same bytes, which is
+what the bench gate (daemon output byte-identical to one-shot ``check``)
+and CI smoke diffs rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Bump on incompatible wire changes; echoed in every response.
+PROTOCOL_VERSION = 1
+
+# JSON-RPC 2.0 error codes (the subset this service uses)
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+
+class ProtocolError(Exception):
+    """A malformed frame; carries the JSON-RPC error code."""
+
+    def __init__(self, code: int, message: str):
+        self.code = code
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded request frame."""
+
+    id: Any
+    method: str
+    params: dict
+
+
+def encode(payload: dict) -> str:
+    """One stable wire line (sorted keys, compact, trailing newline)."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+
+
+def decode_line(line: str) -> Request:
+    """Parse one frame; raises :class:`ProtocolError` on malformed input."""
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(PARSE_ERROR, f"invalid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ProtocolError(INVALID_REQUEST, "request must be an object")
+    method = data.get("method")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError(INVALID_REQUEST, "missing method name")
+    params = data.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(INVALID_PARAMS, "params must be an object")
+    return Request(id=data.get("id"), method=method, params=params)
+
+
+def result_response(request_id: Any, result: dict) -> dict:
+    return {"id": request_id, "protocol": PROTOCOL_VERSION, "result": result}
+
+
+def error_response(
+    request_id: Any, code: int, message: str, data: Optional[dict] = None
+) -> dict:
+    error: dict = {"code": code, "message": message}
+    if data is not None:
+        error["data"] = data
+    return {"id": request_id, "protocol": PROTOCOL_VERSION, "error": error}

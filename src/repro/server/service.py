@@ -1,0 +1,124 @@
+"""Method dispatch for the analysis service.
+
+:class:`AnalysisService` owns one :class:`~repro.engine.IncrementalEngine`
+and maps protocol methods onto it.  It is transport-agnostic: the stdio
+loop, the TCP server, and in-process users (:class:`repro.api.Session`)
+all call :meth:`handle_line` / :meth:`handle` with plain dicts.
+
+Methods:
+
+``ping``
+    Liveness probe; returns the protocol version and corpus size.
+``check``
+    Incremental re-check.  Optional ``units`` (list of paths) restricts
+    the submission.  The result is the full-corpus report dict plus an
+    ``incremental`` stanza saying which units were submitted (*checked*),
+    which really re-analyzed (*ran*), how many were served from resident
+    state (*reused*), and which dirty units a restricted check skipped —
+    their rows are pre-edit results (*stale*).
+``invalidate``
+    ``paths`` (required list) were created/edited/deleted; re-reads them
+    and returns the affected unit names.  Dirty units re-check on the
+    next ``check``.
+``status``
+    Engine introspection: units, dirty set, cache-tier statistics.
+``shutdown``
+    Acknowledges, then makes the transport loop exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..engine import IncrementalEngine
+from . import protocol
+
+
+class AnalysisService:
+    """One resident engine behind a JSON-RPC method table."""
+
+    def __init__(self, engine: IncrementalEngine):
+        self.engine = engine
+        self.shutdown_requested = threading.Event()
+        self._methods = {
+            "ping": self._ping,
+            "check": self._check,
+            "invalidate": self._invalidate,
+            "status": self._status,
+            "shutdown": self._shutdown,
+        }
+
+    # -- dispatch -------------------------------------------------------------
+
+    def handle_line(self, line: str) -> Optional[str]:
+        """Serve one wire frame; blank lines are ignored (returns None)."""
+        if not line.strip():
+            return None
+        return protocol.encode(self.handle(line))
+
+    def handle(self, line: str) -> dict:
+        """Decode, dispatch, and build the response object for one frame."""
+        try:
+            request = protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            return protocol.error_response(None, exc.code, str(exc))
+        method = self._methods.get(request.method)
+        if method is None:
+            return protocol.error_response(
+                request.id,
+                protocol.METHOD_NOT_FOUND,
+                f"unknown method `{request.method}` "
+                f"(known: {', '.join(sorted(self._methods))})",
+            )
+        try:
+            result = method(request.params)
+        except protocol.ProtocolError as exc:
+            return protocol.error_response(request.id, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - must not kill the daemon
+            return protocol.error_response(
+                request.id,
+                protocol.INTERNAL_ERROR,
+                f"{type(exc).__name__}: {exc}",
+            )
+        return protocol.result_response(request.id, result)
+
+    # -- methods --------------------------------------------------------------
+
+    def _ping(self, params: dict) -> dict:
+        return {
+            "pong": True,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "dialect": self.engine.dialect,
+            "units": len(self.engine.unit_names),
+        }
+
+    def _check(self, params: dict) -> dict:
+        units = params.get("units")
+        if units is not None and (
+            not isinstance(units, list)
+            or not all(isinstance(u, str) for u in units)
+        ):
+            raise protocol.ProtocolError(
+                protocol.INVALID_PARAMS, "units must be a list of paths"
+            )
+        report = self.engine.check(units)
+        return report.to_dict()
+
+    def _invalidate(self, params: dict) -> dict:
+        paths = params.get("paths")
+        if not isinstance(paths, list) or not all(
+            isinstance(p, str) for p in paths
+        ):
+            raise protocol.ProtocolError(
+                protocol.INVALID_PARAMS, "paths must be a list of strings"
+            )
+        affected = self.engine.invalidate(paths)
+        return {"invalidated": sorted(affected)}
+
+    def _status(self, params: dict) -> dict:
+        return self.engine.status()
+
+    def _shutdown(self, params: dict) -> dict:
+        self.shutdown_requested.set()
+        return {"ok": True}

@@ -1,0 +1,95 @@
+"""Polling file-watcher driving the incremental engine.
+
+No inotify/kqueue dependency: a portable mtime+size snapshot of the
+project tree is diffed every ``interval`` seconds, and any change —
+created, edited, or deleted sources — is fed to
+:meth:`~repro.engine.IncrementalEngine.invalidate` followed by an
+incremental :meth:`~repro.engine.IncrementalEngine.check`.  This is the
+``mlffi-check watch`` workflow; it shares the engine (and therefore the
+caches and the dependency graph) with the JSON-RPC daemon.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..boundary import get_dialect
+from ..engine import IncrementalEngine, IncrementalReport
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One observed change set and the re-check it triggered."""
+
+    changed: tuple[str, ...]
+    affected: tuple[str, ...]
+    report: IncrementalReport
+
+
+class Watcher:
+    """Snapshot-diff watcher over one engine's project root."""
+
+    def __init__(self, engine: IncrementalEngine, interval: float = 1.0):
+        self.engine = engine
+        self.interval = interval
+        spec = get_dialect(engine.dialect)
+        self.suffixes = tuple(spec.host_suffixes) + (".c", ".h")
+        self._snapshot = self._scan()
+
+    def _scan(self) -> dict[str, tuple[float, int]]:
+        snapshot: dict[str, tuple[float, int]] = {}
+        root = Path(self.engine.root)
+        if not root.is_dir():
+            return snapshot
+        for path in root.rglob("*"):
+            if path.suffix not in self.suffixes or not path.is_file():
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            snapshot[str(path)] = (stat.st_mtime, stat.st_size)
+        return snapshot
+
+    def poll(self) -> Optional[WatchEvent]:
+        """Diff the tree once; re-check and report if anything changed."""
+        current = self._scan()
+        previous = self._snapshot
+        changed = sorted(
+            set(previous) ^ set(current)
+            | {
+                path
+                for path in set(previous) & set(current)
+                if previous[path] != current[path]
+            }
+        )
+        self._snapshot = current
+        if not changed:
+            return None
+        affected = self.engine.invalidate(changed)
+        report = self.engine.check()
+        return WatchEvent(
+            changed=tuple(changed),
+            affected=tuple(sorted(affected)),
+            report=report,
+        )
+
+    def run(
+        self,
+        *,
+        max_polls: Optional[int] = None,
+        on_event: Optional[Callable[[WatchEvent], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> int:
+        """Poll forever (or ``max_polls`` times); returns polls performed."""
+        polls = 0
+        while max_polls is None or polls < max_polls:
+            sleep(self.interval)
+            polls += 1
+            event = self.poll()
+            if event is not None and on_event is not None:
+                on_event(event)
+        return polls

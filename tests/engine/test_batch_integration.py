@@ -58,7 +58,11 @@ class TestPerUnitTiming:
         cache = ResultCache(tmp_path)
         report = glue_project.analyze_batch(cache=cache)
         data = report.to_dict()
-        assert data["cache"] == {"hits": 0, "misses": len(report.results)}
+        assert data["cache"] == {
+            "hits": 0,
+            "misses": len(report.results),
+            "evictions": 0,
+        }
         for unit in data["units"]:
             assert "wall_seconds" in unit
             assert "elapsed_seconds" in unit

@@ -1,0 +1,276 @@
+"""Dependency graph and incremental re-checking semantics."""
+
+import pytest
+
+from repro.engine import (
+    DependencyGraph,
+    IncrementalEngine,
+    MemoryCache,
+    NullCache,
+    ResultCache,
+    TieredCache,
+)
+
+ML = (
+    "type t = A of int | B\n"
+    'external get : t -> int = "ml_get"\n'
+    'external bad : int -> int = "ml_bad"\n'
+)
+
+GOOD_C = """\
+value ml_get(value x)
+{
+    if (Is_long(x)) return Val_int(0);
+    return Field(x, 0);
+}
+"""
+
+BAD_C = "value ml_bad(value x) { return Val_int(x); }\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "tree"
+    (root / "nested").mkdir(parents=True)
+    (root / "lib.ml").write_text(ML)
+    (root / "good.c").write_text(GOOD_C)
+    (root / "nested" / "bad.c").write_text(BAD_C)
+    return root
+
+
+@pytest.fixture()
+def engine(tree):
+    return IncrementalEngine(tree)
+
+
+def names(paths):
+    return sorted(p.rsplit("/", 1)[-1] for p in paths)
+
+
+class TestDependencyGraph:
+    def test_set_and_query(self):
+        graph = DependencyGraph()
+        graph.set_dependencies("u.c", ["u.c", "lib.ml", "shared.h"])
+        graph.set_dependencies("v.c", ["v.c", "lib.ml"])
+        assert graph.dependents("lib.ml") == {"u.c", "v.c"}
+        assert graph.dependents("shared.h") == {"u.c"}
+        assert graph.dependencies("u.c") == {"u.c", "lib.ml", "shared.h"}
+        assert len(graph) == 2
+
+    def test_reset_replaces_old_edges(self):
+        graph = DependencyGraph()
+        graph.set_dependencies("u.c", ["old.h"])
+        graph.set_dependencies("u.c", ["new.h"])
+        assert graph.dependents("old.h") == set()
+        assert graph.dependents("new.h") == {"u.c"}
+
+    def test_remove_unit_clears_reverse_index(self):
+        graph = DependencyGraph()
+        graph.set_dependencies("u.c", ["lib.ml"])
+        graph.remove_unit("u.c")
+        assert graph.dependents("lib.ml") == set()
+        assert len(graph) == 0
+
+    def test_unknown_paths_are_empty(self):
+        graph = DependencyGraph()
+        assert graph.dependents("nowhere.h") == set()
+        assert graph.dependencies("nowhere.c") == frozenset()
+
+
+class TestCorpusLoading:
+    def test_units_and_hosts_discovered(self, engine):
+        assert names(engine.unit_names) == ["bad.c", "good.c"]
+        assert engine.status()["hosts"] == 1
+
+    def test_units_depend_on_host_side(self, engine):
+        for unit in engine.unit_names:
+            deps = engine.dependencies(unit)
+            assert any(path.endswith("lib.ml") for path in deps)
+            assert unit in deps
+
+    def test_all_units_start_dirty(self, engine):
+        assert names(engine.dirty) == ["bad.c", "good.c"]
+
+
+class TestCheck:
+    def test_cold_check_runs_everything(self, engine):
+        report = engine.check()
+        assert names(report.checked) == ["bad.c", "good.c"]
+        assert names(report.ran) == ["bad.c", "good.c"]
+        assert report.reused == 0
+        assert report.tally()["errors"] == 1
+
+    def test_noop_recheck_reuses_resident_results(self, engine):
+        engine.check()
+        report = engine.check()
+        assert report.checked == [] and report.ran == []
+        assert report.reused == 2
+        # diagnostics survive verbatim in the reused results
+        assert report.tally()["errors"] == 1
+        assert all(r.from_cache and r.cache_tier == "memory" for r in report.results)
+
+    def test_edit_recheck_runs_only_the_touched_unit(self, engine, tree):
+        engine.check()
+        good = tree / "good.c"
+        good.write_text(GOOD_C + "\n/* touched */\n")
+        affected = engine.invalidate([good])
+        assert names(affected) == ["good.c"]
+        report = engine.check()
+        assert names(report.ran) == ["good.c"]
+        assert report.reused == 1
+
+    def test_host_edit_invalidates_every_unit(self, engine, tree):
+        engine.check()
+        (tree / "lib.ml").write_text(ML + "type u = C\n")
+        affected = engine.invalidate([tree / "lib.ml"])
+        assert names(affected) == ["bad.c", "good.c"]
+        report = engine.check()
+        assert names(report.ran) == ["bad.c", "good.c"]
+
+    def test_unchanged_host_rewrite_is_not_an_invalidation(self, engine, tree):
+        engine.check()
+        (tree / "lib.ml").write_text(ML)  # same bytes
+        assert engine.invalidate([tree / "lib.ml"]) == set()
+        assert engine.check().checked == []
+
+    def test_new_unit_joins_the_corpus(self, engine, tree):
+        engine.check()
+        fresh = tree / "fresh.c"
+        fresh.write_text("int helper(void) { return 0; }\n")
+        affected = engine.invalidate([fresh])
+        assert names(affected) == ["fresh.c"]
+        report = engine.check()
+        assert names(report.ran) == ["fresh.c"]
+        assert len(report.results) == 3
+
+    def test_deleted_unit_leaves_the_corpus(self, engine, tree):
+        engine.check()
+        (tree / "nested" / "bad.c").unlink()
+        engine.invalidate([tree / "nested" / "bad.c"])
+        report = engine.check()
+        assert names(r.name for r in report.results) == ["good.c"]
+        assert report.tally()["errors"] == 0
+
+    def test_restricted_check_only_submits_named_units(self, engine, tree):
+        engine.check()
+        for name in ("good.c", "nested/bad.c"):
+            path = tree / name
+            path.write_text(path.read_text() + "\n")
+        engine.invalidate([tree / "good.c", tree / "nested" / "bad.c"])
+        report = engine.check([tree / "good.c"])
+        assert names(report.checked) == ["good.c"]
+        # the other unit stays dirty for the next full check, and the
+        # report flags its result as stale (pre-edit, not re-verified)
+        assert names(engine.dirty) == ["bad.c"]
+        assert names(report.stale) == ["bad.c"]
+        full = engine.check()
+        assert full.stale == []
+
+    def test_relative_paths_resolve_against_root(self, engine, tree):
+        engine.check()
+        (tree / "good.c").write_text(GOOD_C + "\n")
+        assert names(engine.invalidate(["good.c"])) == ["good.c"]
+
+
+class TestHeaderDependencies:
+    def test_quoted_include_edges_recorded(self, tmp_path):
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "lib.ml").write_text(ML)
+        (root / "tags.h").write_text("#define SHAPE_TAG 1\n")
+        (root / "unit.c").write_text('#include "tags.h"\n' + GOOD_C)
+        engine = IncrementalEngine(root)
+        deps = engine.dependencies(root / "unit.c")
+        assert any(path.endswith("tags.h") for path in deps)
+
+    def test_header_edit_dirties_dependents_only(self, tmp_path):
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "lib.ml").write_text(ML)
+        (root / "tags.h").write_text("#define SHAPE_TAG 1\n")
+        (root / "uses.c").write_text('#include "tags.h"\n' + GOOD_C)
+        (root / "plain.c").write_text(BAD_C)
+        engine = IncrementalEngine(root)
+        engine.check()
+        (root / "tags.h").write_text("#define SHAPE_TAG 2\n")
+        affected = engine.invalidate([root / "tags.h"])
+        assert names(affected) == ["uses.c"]
+        assert names(engine.dirty) == ["uses.c"]
+
+
+class TestCacheTiers:
+    def test_disk_cache_serves_cold_start(self, tree, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = IncrementalEngine(tree, cache=ResultCache(cache_dir))
+        first.check()
+        # a brand-new engine (fresh memory tier) over the same tree
+        second = IncrementalEngine(tree, cache=ResultCache(cache_dir))
+        report = second.check()
+        assert report.ran == []
+        assert names(report.checked) == ["bad.c", "good.c"]
+        assert all(r.cache_tier == "disk" for r in report.results)
+
+    def test_memory_tier_beats_disk_on_rewarm(self, tree, tmp_path):
+        engine = IncrementalEngine(tree, cache=ResultCache(tmp_path / "c"))
+        engine.check()
+        # dirty the units without changing bytes: same key, memory hit
+        (tree / "good.c").write_text(GOOD_C)
+        engine.invalidate([tree / "good.c"])
+        report = engine.check()
+        assert report.ran == []
+        assert names(report.checked) == ["good.c"]
+        (unit,) = [r for r in report.results if r.name.endswith("good.c")]
+        assert unit.cache_tier == "memory"
+
+    def test_tiered_cache_promotes_disk_hits(self, tmp_path):
+        memory = MemoryCache()
+        disk = ResultCache(tmp_path / "cache")
+        from repro.engine import CheckResult
+
+        disk.store("k" * 64, CheckResult(name="u.c"))
+        tiered = TieredCache(memory, disk)
+        first = tiered.load("k" * 64)
+        assert first.cache_tier == "disk"
+        second = tiered.load("k" * 64)
+        assert second.cache_tier == "memory"
+
+    def test_status_reports_tier_stats(self, engine):
+        engine.check()
+        engine.check()
+        status = engine.status()
+        assert status["units"] == 2
+        assert status["dirty"] == []
+        assert status["checks_run"] == 2
+        assert set(status["cache"]) == {"memory", "disk"}
+
+
+class TestIncrementalReport:
+    def test_to_dict_carries_incremental_stanza(self, engine):
+        data = engine.check().to_dict()
+        assert set(data["incremental"]) == {
+            "checked",
+            "ran",
+            "reused",
+            "stale",
+        }
+        assert names(data["incremental"]["ran"]) == ["bad.c", "good.c"]
+        assert data["incremental"]["stale"] == []
+
+    def test_reused_results_are_copies(self, engine):
+        engine.check()
+        report = engine.check()
+        report.results[0].diagnostics.clear()
+        again = engine.check()
+        assert again.tally()["errors"] == 1  # engine state untouched
+
+    def test_fresh_results_are_isolated_from_engine_state(self, engine):
+        report = engine.check()  # every result fresh from the scheduler
+        for result in report.results:
+            result.diagnostics.clear()
+        assert engine.check().tally()["errors"] == 1
+
+    def test_null_cache_engine_still_incremental(self, tree):
+        engine = IncrementalEngine(tree, cache=NullCache())
+        engine.check()
+        report = engine.check()
+        assert report.reused == 2 and report.ran == []

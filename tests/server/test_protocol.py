@@ -1,0 +1,76 @@
+"""Wire-format semantics: framing, stability, and error mapping."""
+
+import json
+
+import pytest
+
+from repro.server import protocol
+
+
+class TestDecode:
+    def test_roundtrip_minimal_request(self):
+        request = protocol.decode_line('{"id": 1, "method": "ping"}')
+        assert request.id == 1
+        assert request.method == "ping"
+        assert request.params == {}
+
+    def test_params_passed_through(self):
+        request = protocol.decode_line(
+            '{"id": "a", "method": "check", "params": {"units": ["x.c"]}}'
+        )
+        assert request.params == {"units": ["x.c"]}
+
+    def test_invalid_json_is_parse_error(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_line("{nope")
+        assert err.value.code == protocol.PARSE_ERROR
+
+    @pytest.mark.parametrize(
+        "line",
+        ["[1,2]", '"just a string"', "42"],
+    )
+    def test_non_object_is_invalid_request(self, line):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_line(line)
+        assert err.value.code == protocol.INVALID_REQUEST
+
+    def test_missing_method_is_invalid_request(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_line('{"id": 1}')
+        assert err.value.code == protocol.INVALID_REQUEST
+
+    def test_non_object_params_is_invalid_params(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_line('{"id": 1, "method": "check", "params": [1]}')
+        assert err.value.code == protocol.INVALID_PARAMS
+
+
+class TestEncode:
+    def test_one_line_per_frame(self):
+        frame = protocol.encode({"id": 1, "result": {"ok": True}})
+        assert frame.endswith("\n")
+        assert "\n" not in frame[:-1]
+
+    def test_serialization_is_stable(self):
+        """Same payload, same bytes: key order must never leak through."""
+        first = protocol.encode({"b": 1, "a": {"d": 2, "c": 3}})
+        second = protocol.encode({"a": {"c": 3, "d": 2}, "b": 1})
+        assert first == second
+        assert first == '{"a":{"c":3,"d":2},"b":1}\n'
+
+    def test_responses_carry_protocol_version(self):
+        ok = protocol.result_response(7, {"x": 1})
+        bad = protocol.error_response(7, protocol.INTERNAL_ERROR, "boom")
+        assert ok["protocol"] == protocol.PROTOCOL_VERSION
+        assert bad["protocol"] == protocol.PROTOCOL_VERSION
+        assert ok["id"] == bad["id"] == 7
+
+    def test_error_data_is_optional(self):
+        plain = protocol.error_response(1, -1, "m")
+        detailed = protocol.error_response(1, -1, "m", {"k": "v"})
+        assert "data" not in plain["error"]
+        assert detailed["error"]["data"] == {"k": "v"}
+
+    def test_encoded_frames_parse_back(self):
+        payload = protocol.result_response(3, {"tally": {"errors": 0}})
+        assert json.loads(protocol.encode(payload)) == payload

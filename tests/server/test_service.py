@@ -1,0 +1,182 @@
+"""Method dispatch of the analysis service, driven in-process."""
+
+import json
+
+import pytest
+
+from repro.api import Project, Session
+from repro.engine import IncrementalEngine
+from repro.server import AnalysisService, protocol
+
+ML = (
+    "type t = A of int | B\n"
+    'external get : t -> int = "ml_get"\n'
+    'external bad : int -> int = "ml_bad"\n'
+)
+
+GOOD_C = """\
+value ml_get(value x)
+{
+    if (Is_long(x)) return Val_int(0);
+    return Field(x, 0);
+}
+"""
+
+BAD_C = "value ml_bad(value x) { return Val_int(x); }\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "lib.ml").write_text(ML)
+    (root / "good.c").write_text(GOOD_C)
+    (root / "bad.c").write_text(BAD_C)
+    return root
+
+
+@pytest.fixture()
+def service(tree):
+    return AnalysisService(IncrementalEngine(tree))
+
+
+def call(service, method, params=None, request_id=1):
+    frame = {"id": request_id, "method": method}
+    if params is not None:
+        frame["params"] = params
+    return service.handle(json.dumps(frame))
+
+
+class TestMethods:
+    def test_ping(self, service):
+        response = call(service, "ping")
+        assert response["result"]["pong"] is True
+        assert response["result"]["units"] == 2
+
+    def test_check_returns_full_report(self, service):
+        response = call(service, "check")
+        result = response["result"]
+        assert result["tally"]["errors"] == 1
+        assert len(result["units"]) == 2
+        assert len(result["incremental"]["ran"]) == 2
+
+    def test_check_twice_reuses_resident_state(self, service):
+        call(service, "check")
+        result = call(service, "check")["result"]
+        assert result["incremental"]["ran"] == []
+        assert result["incremental"]["reused"] == 2
+        assert result["tally"]["errors"] == 1
+
+    def test_invalidate_then_check_reruns_only_touched(self, service, tree):
+        call(service, "check")
+        (tree / "good.c").write_text(GOOD_C + "\n/* edit */\n")
+        invalidated = call(
+            service, "invalidate", {"paths": ["good.c"]}
+        )["result"]["invalidated"]
+        assert [p.rsplit("/", 1)[-1] for p in invalidated] == ["good.c"]
+        result = call(service, "check")["result"]
+        ran = [p.rsplit("/", 1)[-1] for p in result["incremental"]["ran"]]
+        assert ran == ["good.c"]
+
+    def test_status(self, service):
+        result = call(service, "status")["result"]
+        assert result["units"] == 2
+        assert "cache" in result
+
+    def test_shutdown_sets_the_event(self, service):
+        assert not service.shutdown_requested.is_set()
+        response = call(service, "shutdown")
+        assert response["result"] == {"ok": True}
+        assert service.shutdown_requested.is_set()
+
+
+class TestErrors:
+    def test_unknown_method(self, service):
+        response = call(service, "compile")
+        assert response["error"]["code"] == protocol.METHOD_NOT_FOUND
+        assert "compile" in response["error"]["message"]
+
+    def test_malformed_frame(self, service):
+        response = service.handle("{broken")
+        assert response["error"]["code"] == protocol.PARSE_ERROR
+        assert response["id"] is None
+
+    def test_invalidate_requires_paths(self, service):
+        response = call(service, "invalidate", {})
+        assert response["error"]["code"] == protocol.INVALID_PARAMS
+
+    def test_check_rejects_non_list_units(self, service):
+        response = call(service, "check", {"units": "good.c"})
+        assert response["error"]["code"] == protocol.INVALID_PARAMS
+
+    def test_blank_lines_ignored(self, service):
+        assert service.handle_line("   \n") is None
+
+    def test_id_echoed_back(self, service):
+        response = call(service, "ping", request_id="req-77")
+        assert response["id"] == "req-77"
+
+
+class TestWireStability:
+    def test_daemon_diagnostics_byte_identical_to_one_shot(self, service, tree):
+        """The bench gate's core claim, in miniature: serializing the
+        daemon's diagnostics for a unit equals serializing a one-shot
+        ``Project.analyze`` of the same sources."""
+        result = call(service, "check")["result"]
+        (unit,) = [
+            u for u in result["units"] if u["name"].endswith("bad.c")
+        ]
+        project = Project().add_ocaml(
+            (tree / "lib.ml").read_text(), name=str(tree / "lib.ml")
+        )
+        project.add_c((tree / "bad.c").read_text(), name=str(tree / "bad.c"))
+        report = project.analyze()
+        one_shot = [d.to_dict() for d in report.diagnostics]
+        wire = protocol.encode({"diagnostics": unit["diagnostics"]})
+        direct = protocol.encode({"diagnostics": one_shot})
+        assert wire.encode() == direct.encode()
+
+
+class TestSession:
+    def test_session_context_manager_checks(self, tree):
+        with Session(tree) as session:
+            report = session.check()
+            assert report.tally()["errors"] == 1
+            assert session.status()["units"] == 2
+
+    def test_session_invalidate_flow(self, tree):
+        with Session(tree) as session:
+            session.check()
+            (tree / "good.c").write_text(GOOD_C + "\n")
+            affected = session.invalidate(["good.c"])
+            assert len(affected) == 1
+            report = session.check()
+            assert len(report.checked) == 1 and report.reused == 1
+
+    def test_closed_session_raises(self, tree):
+        session = Session(tree)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.check()
+
+    def test_session_service_shares_the_engine(self, tree):
+        with Session(tree) as session:
+            session.check()
+            service = session.service()
+            result = call(service, "check")["result"]
+            assert result["incremental"]["reused"] == 2
+
+    def test_session_cold_cache_dir(self, tree, tmp_path):
+        with Session(tree, cache_dir=tmp_path / "cache") as session:
+            session.check()
+        with Session(tree, cache_dir=tmp_path / "cache") as session:
+            report = session.check()
+            assert report.ran == []  # disk tier warmed the new session
+
+    def test_session_reload_rescans(self, tree):
+        with Session(tree) as session:
+            session.check()
+            (tree / "extra.c").write_text("int f(void) { return 0; }\n")
+            session.reload()
+            report = session.check()
+            assert len(report.results) == 3

@@ -1,0 +1,113 @@
+"""Polling watcher: snapshot diffs driving incremental re-checks."""
+
+import pytest
+
+from repro.engine import IncrementalEngine
+from repro.server import Watcher
+
+ML = (
+    "type t = A of int | B\n"
+    'external get : t -> int = "ml_get"\n'
+    'external bad : int -> int = "ml_bad"\n'
+)
+
+GOOD_C = """\
+value ml_get(value x)
+{
+    if (Is_long(x)) return Val_int(0);
+    return Field(x, 0);
+}
+"""
+
+BAD_C = "value ml_bad(value x) { return Val_int(x); }\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "lib.ml").write_text(ML)
+    (root / "good.c").write_text(GOOD_C)
+    (root / "bad.c").write_text(BAD_C)
+    return root
+
+
+@pytest.fixture()
+def engine(tree):
+    engine = IncrementalEngine(tree)
+    engine.check()  # watcher sessions start from a checked corpus
+    return engine
+
+
+def _bump_mtime(path):
+    """Force an observable stat change even on coarse-mtime filesystems."""
+    import os
+    import time
+
+    later = time.time() + 10
+    os.utime(path, (later, later))
+
+
+class TestPoll:
+    def test_quiet_tree_yields_no_event(self, engine):
+        assert Watcher(engine).poll() is None
+
+    def test_edit_triggers_targeted_recheck(self, engine, tree):
+        watcher = Watcher(engine)
+        (tree / "good.c").write_text(GOOD_C + "\n/* touched */\n")
+        _bump_mtime(tree / "good.c")
+        event = watcher.poll()
+        assert event is not None
+        assert [p.rsplit("/", 1)[-1] for p in event.changed] == ["good.c"]
+        assert [p.rsplit("/", 1)[-1] for p in event.report.ran] == ["good.c"]
+        assert event.report.reused == 1
+
+    def test_size_preserving_edit_detected_via_mtime(self, engine, tree):
+        watcher = Watcher(engine)
+        text = (tree / "good.c").read_text()
+        (tree / "good.c").write_text(text[:-2] + "x\n")  # same byte count
+        _bump_mtime(tree / "good.c")
+        event = watcher.poll()
+        assert event is not None
+
+    def test_new_and_deleted_files_observed(self, engine, tree):
+        watcher = Watcher(engine)
+        (tree / "bad.c").unlink()
+        (tree / "new.c").write_text("int f(void) { return 0; }\n")
+        event = watcher.poll()
+        changed = {p.rsplit("/", 1)[-1] for p in event.changed}
+        assert changed == {"bad.c", "new.c"}
+        names = {r.name.rsplit("/", 1)[-1] for r in event.report.results}
+        assert names == {"good.c", "new.c"}
+
+    def test_host_edit_rechecks_everything(self, engine, tree):
+        watcher = Watcher(engine)
+        (tree / "lib.ml").write_text(ML + "type u = C\n")
+        _bump_mtime(tree / "lib.ml")
+        event = watcher.poll()
+        assert len(event.report.ran) == 2
+
+    def test_irrelevant_files_ignored(self, engine, tree):
+        watcher = Watcher(engine)
+        (tree / "notes.txt").write_text("not a source\n")
+        assert watcher.poll() is None
+
+
+class TestRun:
+    def test_run_polls_and_reports_events(self, engine, tree):
+        watcher = Watcher(engine, interval=0.01)
+        events = []
+        slept = []
+
+        def fake_sleep(seconds):
+            slept.append(seconds)
+            if len(slept) == 2:  # edit between the first and second poll
+                (tree / "good.c").write_text(GOOD_C + "\n")
+                _bump_mtime(tree / "good.c")
+
+        polls = watcher.run(
+            max_polls=3, on_event=events.append, sleep=fake_sleep
+        )
+        assert polls == 3
+        assert len(events) == 1
+        assert slept == [0.01] * 3

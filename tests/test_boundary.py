@@ -50,6 +50,9 @@ class TestRegistry:
             def analyze(self, request):
                 raise NotImplementedError
 
+            def unit_dependencies(self, request):
+                return ()
+
         try:
             register_dialect(Stub())
             assert "stub-test-dialect" in available_dialects()

@@ -28,7 +28,26 @@ def test_triggers_on_push_and_pr(workflow):
 
 
 def test_jobs_cover_lint_tests_and_bench(workflow):
-    assert set(workflow["jobs"]) == {"lint", "test", "bench-smoke"}
+    assert set(workflow["jobs"]) == {
+        "lint",
+        "test",
+        "bench-smoke",
+        "serve-smoke",
+    }
+
+
+def test_serve_smoke_drives_the_daemon(workflow):
+    steps = workflow["jobs"]["serve-smoke"]["steps"]
+    commands = " ".join(step.get("run", "") for step in steps)
+    assert "serve_smoke.py" in commands
+    assert "watch" in commands
+
+
+def test_bench_smoke_gates_the_serve_benchmark(workflow):
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    commands = " ".join(step.get("run", "") for step in steps)
+    assert "bench_serve.py" in commands
+    assert "sarif" in commands
 
 
 def test_every_step_is_well_formed(workflow):

@@ -164,7 +164,7 @@ class TestDialectFlag:
             )
             assert code == 0
             data = json.loads(capsys.readouterr().out)
-            assert data["cache"] == {"hits": 0, "misses": 1}
+            assert data["cache"] == {"hits": 0, "misses": 1, "evictions": 0}
 
 
 @pytest.fixture()
@@ -218,7 +218,7 @@ class TestBatch:
         assert len(payload["units"]) == 2
         names = {Path(u["name"]).name for u in payload["units"]}
         assert names == {"good.c", "bad.c"}
-        assert payload["cache"] == {"hits": 0, "misses": 2}
+        assert payload["cache"] == {"hits": 0, "misses": 2, "evictions": 0}
 
     def test_second_run_hits_cache(self, glue_tree, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -229,7 +229,7 @@ class TestBatch:
         )
         assert code == 1  # cached diagnostics keep their exit semantics
         payload = json.loads(capsys.readouterr().out)
-        assert payload["cache"] == {"hits": 2, "misses": 0}
+        assert payload["cache"] == {"hits": 2, "misses": 0, "evictions": 0}
 
     def test_no_cache_flag(self, glue_tree, tmp_path, capsys):
         cache_dir = tmp_path / "cache"
@@ -338,6 +338,120 @@ class TestBatchSubprocess:
         proc = self._invoke(["batch", str(tmp_path / "absent")], cwd=tmp_path)
         assert proc.returncode == 125
         assert "no such directory" in proc.stderr
+
+
+@pytest.fixture()
+def warning_tree(tmp_path):
+    """A corpus whose only finding is a questionable-practice warning."""
+    root = tmp_path / "warn"
+    root.mkdir()
+    (root / "lib.ml").write_text(
+        'external flush : int -> unit -> unit = "ml_flush"\n'
+    )
+    (root / "stubs.c").write_text(
+        "value ml_flush(value fd) { do_flush(Int_val(fd)); return Val_unit; }\n"
+    )
+    return root
+
+
+class TestExitCodeContract:
+    def test_warnings_only_batch_exits_zero(self, warning_tree, capsys):
+        code = main(["batch", str(warning_tree), "--no-cache"])
+        assert code == 0
+        assert "1 warning(s)" in capsys.readouterr().out
+
+    def test_strict_batch_counts_warnings(self, warning_tree, capsys):
+        code = main(["batch", str(warning_tree), "--no-cache", "--strict"])
+        assert code == 1
+
+    def test_warnings_only_check_exits_zero(self, warning_tree, capsys):
+        files = [str(warning_tree / "lib.ml"), str(warning_tree / "stubs.c")]
+        assert main(["check", *files]) == 0
+        assert main(["check", "--strict", *files]) == 1
+
+    def test_strict_does_not_change_error_counting(self, glue_tree, capsys):
+        code = main(["batch", str(glue_tree), "--no-cache", "--strict"])
+        assert code == 1  # 1 error + 0 warnings
+
+    def test_check_json_format(self, warning_tree, capsys):
+        files = [str(warning_tree / "lib.ml"), str(warning_tree / "stubs.c")]
+        code = main(["check", "--format", "json", *files])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tally"]["warnings"] == 1
+        (diag,) = payload["diagnostics"]
+        assert diag["kind"] == "TRAILING_UNIT"
+
+
+class TestCacheMaxEntries:
+    def test_eviction_stats_surface_in_json(self, glue_tree, tmp_path, capsys):
+        code = main(
+            [
+                "batch",
+                str(glue_tree),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--cache-max-entries",
+                "1",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["evictions"] == 1
+        assert len(list((tmp_path / "cache").glob("*.json"))) == 1
+
+    def test_zero_disables_the_cap(self, glue_tree, tmp_path, capsys):
+        code = main(
+            [
+                "batch",
+                str(glue_tree),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--cache-max-entries",
+                "0",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["evictions"] == 0
+        assert len(list((tmp_path / "cache").glob("*.json"))) == 2
+
+
+class TestWatchCommand:
+    def test_watch_initial_check_and_bounded_polls(self, glue_tree, capsys):
+        code = main(
+            [
+                "watch",
+                str(glue_tree),
+                "--no-cache",
+                "--interval",
+                "0.01",
+                "--max-polls",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 unit(s)" in out  # the initial full check printed
+
+    def test_watch_missing_directory(self, capsys):
+        assert main(["watch", "/nonexistent/dir"]) == 125
+        assert "no such directory" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_missing_directory(self, capsys):
+        assert main(["serve", "/nonexistent/dir"]) == 125
+        assert "no such directory" in capsys.readouterr().err
+
+    def test_serve_bad_tcp_address(self, glue_tree, capsys):
+        code = main(["serve", str(glue_tree), "--no-cache", "--tcp", "nope"])
+        assert code == 125
+        assert "bad --tcp address" in capsys.readouterr().err
 
 
 class TestBench:

@@ -1,0 +1,164 @@
+"""SARIF 2.1.0 emission: level mapping, rules, locations, CLI surface."""
+
+import json
+
+import pytest
+
+from repro.api import check_c_source
+from repro.cli import main
+from repro.diagnostics import Category, Diagnostic, Kind
+from repro.sarif import SARIF_VERSION, rule_for, sarif_log
+from repro.source import DUMMY_SPAN, Position, Span
+
+
+def span(filename="stubs.c", line=3):
+    return Span(
+        filename, Position(10, line, 5), Position(20, line, 15)
+    )
+
+
+def diag(kind=Kind.BAD_VAL_INT, message="boom", where=None, function="ml_f"):
+    return Diagnostic(
+        kind=kind,
+        span=where if where is not None else span(),
+        message=message,
+        function=function,
+    )
+
+
+class TestLevelMapping:
+    def test_error_column_maps_to_error(self):
+        assert Category.ERROR.sarif_level == "error"
+
+    def test_warning_column_maps_to_warning(self):
+        assert Category.WARNING.sarif_level == "warning"
+
+    @pytest.mark.parametrize(
+        "category",
+        [Category.FALSE_POSITIVE_PRONE, Category.IMPRECISION],
+    )
+    def test_confidence_columns_map_to_note(self, category):
+        assert category.sarif_level == "note"
+
+    def test_every_kind_has_a_level(self):
+        for kind in Kind:
+            assert rule_for(kind)["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+                "note",
+            )
+
+
+class TestLog:
+    def test_shape_and_version(self):
+        log = sarif_log([diag()])
+        assert log["version"] == SARIF_VERSION
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "mlffi-check"
+
+    def test_rules_cover_only_fired_kinds_once(self):
+        log = sarif_log(
+            [
+                diag(Kind.BAD_VAL_INT),
+                diag(Kind.BAD_VAL_INT),
+                diag(Kind.TRAILING_UNIT),
+            ]
+        )
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["BAD_VAL_INT", "TRAILING_UNIT"]
+        results = log["runs"][0]["results"]
+        assert [r["ruleIndex"] for r in results] == [0, 0, 1]
+
+    def test_result_location_regions_are_one_based(self):
+        log = sarif_log([diag(where=span("glue.c", line=7))])
+        (result,) = log["runs"][0]["results"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "glue.c"
+        assert location["region"]["startLine"] == 7
+        assert location["region"]["startColumn"] == 5
+
+    def test_builtin_span_omits_location(self):
+        log = sarif_log([diag(where=DUMMY_SPAN)])
+        (result,) = log["runs"][0]["results"]
+        assert "locations" not in result
+
+    def test_roundtripped_builtin_span_still_omits_location(self):
+        # cache hits and daemon responses rebuild spans via from_dict; the
+        # revived DUMMY_SPAN equal (not identical) twin must also vanish
+        revived = Diagnostic.from_dict(diag(where=DUMMY_SPAN).to_dict())
+        log = sarif_log([revived])
+        (result,) = log["runs"][0]["results"]
+        assert "locations" not in result
+
+    def test_function_recorded_as_property(self):
+        log = sarif_log([diag(function="ml_examine")])
+        (result,) = log["runs"][0]["results"]
+        assert result["properties"]["function"] == "ml_examine"
+
+    def test_empty_report_is_valid_sarif(self):
+        log = sarif_log([])
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_real_analysis_diagnostics_serialize(self):
+        report = check_c_source(
+            "value ml_f(value x) { return Val_int(x); }\n",
+            'external f : int -> int = "ml_f"\n',
+        )
+        log = sarif_log(report.diagnostics)
+        (result,) = log["runs"][0]["results"]
+        assert result["level"] == "error"
+        json.dumps(log)  # fully JSON-able
+
+
+@pytest.fixture()
+def buggy_tree(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "lib.ml").write_text('external f : int -> int = "ml_f"\n')
+    (root / "stubs.c").write_text(
+        "value ml_f(value x) { return Val_int(x); }\n"
+    )
+    return root
+
+
+class TestCLISarif:
+    def test_check_format_sarif(self, buggy_tree, capsys):
+        code = main(
+            [
+                "check",
+                "--format",
+                "sarif",
+                str(buggy_tree / "lib.ml"),
+                str(buggy_tree / "stubs.c"),
+            ]
+        )
+        assert code == 1  # exit contract unchanged by the format
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == SARIF_VERSION
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "BAD_VAL_INT"
+        assert result["level"] == "error"
+
+    def test_batch_format_sarif(self, buggy_tree, capsys):
+        code = main(
+            ["batch", str(buggy_tree), "--no-cache", "--format", "sarif"]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        results = log["runs"][0]["results"]
+        assert len(results) == 1
+        uri = results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri.endswith("stubs.c")
+
+    def test_clean_project_sarif_is_empty_run(self, tmp_path, capsys):
+        (tmp_path / "ok.c").write_text("int f(void) { return 0; }\n")
+        code = main(
+            ["batch", str(tmp_path), "--no-cache", "--format", "sarif"]
+        )
+        assert code == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
