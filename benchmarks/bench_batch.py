@@ -26,6 +26,7 @@ import os
 import sys
 import tempfile
 import time
+from pathlib import Path
 
 from repro.bench.specs import spec_by_name
 from repro.bench.synth import synthesize_scaled
@@ -76,6 +77,12 @@ def main(argv=None) -> int:
         "--cache-dir",
         default=None,
         help="cache location (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON payload to PATH (for bench-trend)",
     )
     args = parser.parse_args(argv)
 
@@ -139,7 +146,10 @@ def main(argv=None) -> int:
             "warm_under_quarter_of_cold": warm_s < 0.25 * sequential_s,
         },
     }
-    print(json.dumps(payload, indent=2))
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.json is not None:
+        Path(args.json).write_text(text + "\n")
     passed = (
         payload["gates"]["parallel"]
         and payload["gates"]["warm_under_quarter_of_cold"]

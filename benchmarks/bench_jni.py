@@ -1,0 +1,222 @@
+"""jni-dialect benchmark: throughput and detection over synthesized natives.
+
+Synthesizes N JNI translation units — half clean, half seeded with one
+defect each, cycling through the dialect's defect classes (descriptor
+syntax, descriptor mismatch, call arity, local-ref loop leak,
+use-after-delete, global-ref leak) — and runs them through the batch
+engine under ``dialect="jni"``.
+
+Gates (exit non-zero on failure):
+
+* every seeded unit reports its planted defect class, and only the
+  planted one among the jni kinds;
+* every clean unit reports zero diagnostics;
+* a warm rerun against the same cache is all hits.
+
+Results print as one JSON object (unit wall-times included), matching
+the shape CI's bench-smoke artifacts expect; ``--json PATH`` also writes
+the same object to a file for the bench-trend harness.
+
+Run::
+
+    python benchmarks/bench_jni.py --units 16
+    python benchmarks/bench_jni.py --units 6 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import CheckRequest, ResultCache, run_batch
+from repro.source import SourceFile
+
+CLEAN_TEMPLATE = """\
+#include <jni.h>
+
+JNIEXPORT jint JNICALL
+Java_com_bench_Mod_1{i}_work(JNIEnv *env, jobject self, jobjectArray items)
+{{
+    jint total = {i};
+    jsize count = (*env)->GetArrayLength(env, items);
+    jsize index;
+    for (index = 0; index < count; index = index + 1) {{
+        jobject item = (*env)->GetObjectArrayElement(env, items, index);
+        total = total + (*env)->GetStringLength(env, item);
+        (*env)->DeleteLocalRef(env, item);
+    }}
+    return total;
+}}
+
+JNIEXPORT jint JNICALL
+Java_com_bench_Mod_1{i}_callSize(JNIEnv *env, jobject self, jobject list)
+{{
+    jclass cls = (*env)->GetObjectClass(env, list);
+    jmethodID size = (*env)->GetMethodID(env, cls, "size", "()I");
+    if (size == NULL)
+        return -1;
+    return (*env)->CallIntMethod(env, list, size);
+}}
+"""
+
+#: defect class -> (expected Kind name, body of the seeded function)
+DEFECTS: dict[str, tuple[str, str]] = {
+    "descriptor-syntax": (
+        "JNI_BAD_DESCRIPTOR",
+        "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+        '    jfieldID fid = (*env)->GetFieldID(env, cls, "n", "Q");\n'
+        "    return (*env)->GetIntField(env, box, fid);\n",
+    ),
+    "descriptor-mismatch": (
+        "JNI_DESCRIPTOR_MISMATCH",
+        "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+        '    jmethodID size = (*env)->GetMethodID(env, cls, "size", "()I");\n'
+        "    (*env)->CallObjectMethod(env, box, size);\n"
+        "    return 0;\n",
+    ),
+    "call-arity": (
+        "JNI_DESCRIPTOR_MISMATCH",
+        "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+        '    jmethodID m = (*env)->GetMethodID(env, cls, "get", "(I)I");\n'
+        "    return (*env)->CallIntMethod(env, box, m, 1, 2);\n",
+    ),
+    "loop-leak": (
+        "JNI_LOCAL_REF_LEAK",
+        "    jint total = 0;\n"
+        "    jsize index;\n"
+        "    for (index = 0; index < 8; index = index + 1) {\n"
+        "        jobject item = (*env)->GetObjectArrayElement(env, box, index);\n"
+        "        total = total + (*env)->GetStringLength(env, item);\n"
+        "    }\n"
+        "    return total;\n",
+    ),
+    "use-after-delete": (
+        "JNI_USE_AFTER_DELETE",
+        "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+        "    (*env)->DeleteLocalRef(env, cls);\n"
+        "    return (*env)->IsInstanceOf(env, box, cls);\n",
+    ),
+    "global-leak": (
+        "JNI_GLOBAL_REF_LEAK",
+        "    jobject pinned = (*env)->NewGlobalRef(env, box);\n"
+        "    (*env)->GetStringLength(env, pinned);\n"
+        "    return 0;\n",
+    ),
+}
+
+SEEDED_TEMPLATE = """\
+#include <jni.h>
+
+JNIEXPORT jint JNICALL
+Java_com_bench_Bad_1{i}_seeded(JNIEnv *env, jobject self, jobject box)
+{{
+{body}}}
+"""
+
+JNI_KINDS = {
+    "JNI_BAD_DESCRIPTOR",
+    "JNI_DESCRIPTOR_MISMATCH",
+    "JNI_LOCAL_REF_LEAK",
+    "JNI_USE_AFTER_DELETE",
+    "JNI_GLOBAL_REF_LEAK",
+    "JNI_LOCAL_ESCAPE",
+}
+
+
+def build_corpus(units: int) -> list[tuple[CheckRequest, str | None]]:
+    """(request, expected-kind-or-None) pairs, clean/seeded interleaved."""
+    corpus: list[tuple[CheckRequest, str | None]] = []
+    defect_cycle = list(DEFECTS.items())
+    for index in range(units):
+        if index % 2 == 0:
+            text = CLEAN_TEMPLATE.format(i=index)
+            expected = None
+        else:
+            label, (kind, body) = defect_cycle[
+                (index // 2) % len(defect_cycle)
+            ]
+            text = SEEDED_TEMPLATE.format(i=index, body=body)
+            expected = kind
+        name = f"native{index:03}.c"
+        corpus.append(
+            (
+                CheckRequest(
+                    name=name,
+                    c_sources=(SourceFile(name, text),),
+                    dialect="jni",
+                ),
+                expected,
+            )
+        )
+    return corpus
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--units", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--quick", action="store_true", help="6-unit smoke")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON payload to PATH (for bench-trend)",
+    )
+    args = parser.parse_args(argv)
+    units = 6 if args.quick else args.units
+
+    corpus = build_corpus(units)
+    requests = [request for request, _ in corpus]
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        started = time.perf_counter()
+        cold = run_batch(requests, jobs=args.jobs, cache=cache)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_batch(requests, jobs=args.jobs, cache=cache)
+        warm_seconds = time.perf_counter() - started
+
+    for (request, expected), result in zip(corpus, cold.results):
+        kinds = {diag.kind.name for diag in result.diagnostics}
+        planted = kinds & JNI_KINDS
+        if result.failure is not None:
+            failures.append(f"{request.name}: engine failure {result.failure}")
+        elif expected is None and kinds:
+            failures.append(f"{request.name}: clean unit reported {kinds}")
+        elif expected is not None and planted != {expected}:
+            failures.append(
+                f"{request.name}: expected {{{expected}}}, got {planted}"
+            )
+    if warm.cache_hits != len(requests):
+        failures.append(
+            f"warm rerun: {warm.cache_hits}/{len(requests)} cache hits"
+        )
+
+    payload = {
+        "units": units,
+        "jobs": args.jobs,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_fraction_of_cold": round(
+            warm_seconds / max(cold_seconds, 1e-9), 4
+        ),
+        "unit_wall_seconds": {r.name: r.wall_seconds for r in cold.results},
+        "tally": cold.tally(),
+        "gates": {"failures": failures},
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json is not None:
+        Path(args.json).write_text(text + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

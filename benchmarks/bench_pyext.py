@@ -28,6 +28,7 @@ import json
 import sys
 import tempfile
 import time
+from pathlib import Path
 
 from repro.engine import CheckRequest, ResultCache, run_batch
 from repro.source import SourceFile
@@ -150,6 +151,12 @@ def main(argv=None) -> int:
     parser.add_argument("--units", type=int, default=16)
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--quick", action="store_true", help="6-unit smoke")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON payload to PATH (for bench-trend)",
+    )
     args = parser.parse_args(argv)
     units = 6 if args.quick else args.units
 
@@ -183,23 +190,22 @@ def main(argv=None) -> int:
             f"warm rerun: {warm.cache_hits}/{len(requests)} cache hits"
         )
 
-    print(
-        json.dumps(
-            {
-                "units": units,
-                "jobs": args.jobs,
-                "cold_seconds": cold_seconds,
-                "warm_seconds": warm_seconds,
-                "unit_wall_seconds": {
-                    r.name: r.wall_seconds for r in cold.results
-                },
-                "tally": cold.tally(),
-                "gates": {"failures": failures},
-            },
-            indent=2,
-            sort_keys=True,
-        )
-    )
+    payload = {
+        "units": units,
+        "jobs": args.jobs,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_fraction_of_cold": round(
+            warm_seconds / max(cold_seconds, 1e-9), 4
+        ),
+        "unit_wall_seconds": {r.name: r.wall_seconds for r in cold.results},
+        "tally": cold.tally(),
+        "gates": {"failures": failures},
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json is not None:
+        Path(args.json).write_text(text + "\n")
     return 1 if failures else 0
 
 

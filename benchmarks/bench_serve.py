@@ -45,6 +45,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 CORPORA = {
     "ocaml": ("glue", (".ml", ".mli"), "counter_stubs.c"),
     "pyext": ("pyext", (), "clean_module.c"),
+    "jni": ("jni", (), "clean_native.c"),
 }
 
 
@@ -136,6 +137,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="smaller padding for CI smoke runs",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON payload to PATH (for bench-trend)",
+    )
     args = parser.parse_args(argv)
     pad = 3 if args.quick else args.pad
 
@@ -156,7 +163,10 @@ def main(argv=None) -> int:
         for result in payload["dialects"].values()
     )
     payload["gates_passed"] = passed
-    print(json.dumps(payload, indent=2))
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.json is not None:
+        Path(args.json).write_text(text + "\n")
     return 0 if passed else 1
 
 

@@ -1,0 +1,90 @@
+#include <jni.h>
+
+/* seeded defects, one per function:
+ *   bad_descriptor      - "Q" is not a JVM field descriptor
+ *   bad_dotted_class    - FindClass wants slash-separated internal names
+ *   bad_return_variant  - CallObjectMethod on a method looked up as "()I"
+ *   bad_call_arity      - descriptor declares 1 argument, 2 supplied
+ *   bad_loop_leak       - local ref created per iteration, never deleted
+ *   bad_use_after_delete - cls used after DeleteLocalRef released it
+ *   bad_global_leak     - NewGlobalRef result never released
+ *   bad_cache           - raw local ref cached in a global (no NewGlobalRef)
+ * plus one malformed "(II" signature in the registration table
+ */
+
+static jclass cached_string_class;
+
+JNIEXPORT jint JNICALL
+bad_descriptor(JNIEnv *env, jobject self, jobject box)
+{
+    jclass cls = (*env)->GetObjectClass(env, box);
+    jfieldID count = (*env)->GetFieldID(env, cls, "count", "Q");
+    return (*env)->GetIntField(env, box, count);
+}
+
+JNIEXPORT jclass JNICALL
+bad_dotted_class(JNIEnv *env, jobject self)
+{
+    return (*env)->FindClass(env, "java.lang.String");
+}
+
+JNIEXPORT jobject JNICALL
+bad_return_variant(JNIEnv *env, jobject self, jobject list)
+{
+    jclass cls = (*env)->GetObjectClass(env, list);
+    jmethodID size = (*env)->GetMethodID(env, cls, "size", "()I");
+    return (*env)->CallObjectMethod(env, list, size);
+}
+
+JNIEXPORT jint JNICALL
+bad_call_arity(JNIEnv *env, jobject self, jobject list, jint n)
+{
+    jclass cls = (*env)->GetObjectClass(env, list);
+    jmethodID get = (*env)->GetMethodID(env, cls, "get", "(I)Ljava/lang/Object;");
+    jobject item = (*env)->CallObjectMethod(env, list, get, n, n);
+    if (item == NULL)
+        return 0;
+    (*env)->DeleteLocalRef(env, item);
+    return 1;
+}
+
+JNIEXPORT jint JNICALL
+bad_loop_leak(JNIEnv *env, jobject self, jobjectArray items)
+{
+    jint total = 0;
+    jsize count = (*env)->GetArrayLength(env, items);
+    jsize i;
+    for (i = 0; i < count; i = i + 1) {
+        jobject item = (*env)->GetObjectArrayElement(env, items, i);
+        total = total + (*env)->GetStringLength(env, item);
+    }
+    return total;
+}
+
+JNIEXPORT jint JNICALL
+bad_use_after_delete(JNIEnv *env, jobject self, jobject box)
+{
+    jclass cls = (*env)->GetObjectClass(env, box);
+    (*env)->DeleteLocalRef(env, cls);
+    return (*env)->IsInstanceOf(env, box, cls);
+}
+
+JNIEXPORT void JNICALL
+bad_global_leak(JNIEnv *env, jobject self, jobject listener, jmethodID notify)
+{
+    jobject pinned = (*env)->NewGlobalRef(env, listener);
+    if (pinned == NULL)
+        return;
+    (*env)->CallVoidMethod(env, pinned, notify);
+}
+
+JNIEXPORT void JNICALL
+bad_cache(JNIEnv *env, jobject self)
+{
+    jclass cls = (*env)->FindClass(env, "java/lang/String");
+    cached_string_class = cls;
+}
+
+static JNINativeMethod gBadMethods[] = {
+    {"broken", "(II", (void *) bad_call_arity},
+};

@@ -1,0 +1,63 @@
+#include <jni.h>
+
+/* correct JNI glue: descriptors agree with their uses, loop-created
+ * local references are deleted per iteration, cached references are
+ * promoted with NewGlobalRef first */
+
+static jclass cached_list_class;
+
+JNIEXPORT jint JNICALL
+Java_com_example_Native_add(JNIEnv *env, jobject self, jint a, jint b)
+{
+    return a + b;
+}
+
+JNIEXPORT jstring JNICALL
+Java_com_example_Native_greet(JNIEnv *env, jobject self, jstring name)
+{
+    const char *utf = (*env)->GetStringUTFChars(env, name, NULL);
+    jstring result;
+    if (utf == NULL)
+        return NULL;
+    result = (*env)->NewStringUTF(env, utf);
+    (*env)->ReleaseStringUTFChars(env, name, utf);
+    return result;
+}
+
+JNIEXPORT jint JNICALL
+Java_com_example_Native_sumLengths(JNIEnv *env, jobject self, jobjectArray items)
+{
+    jint total = 0;
+    jsize count = (*env)->GetArrayLength(env, items);
+    jsize i;
+    for (i = 0; i < count; i = i + 1) {
+        jobject item = (*env)->GetObjectArrayElement(env, items, i);
+        total = total + (*env)->GetStringLength(env, item);
+        (*env)->DeleteLocalRef(env, item);
+    }
+    return total;
+}
+
+JNIEXPORT jint JNICALL
+Java_com_example_Native_callSize(JNIEnv *env, jobject self, jobject list)
+{
+    jclass cls = (*env)->GetObjectClass(env, list);
+    jmethodID size = (*env)->GetMethodID(env, cls, "size", "()I");
+    if (size == NULL)
+        return -1;
+    return (*env)->CallIntMethod(env, list, size);
+}
+
+JNIEXPORT void JNICALL
+Java_com_example_Native_cacheClass(JNIEnv *env, jobject self)
+{
+    jclass cls = (*env)->FindClass(env, "java/util/ArrayList");
+    if (cls == NULL)
+        return;
+    cached_list_class = (*env)->NewGlobalRef(env, cls);
+}
+
+static JNINativeMethod gMethods[] = {
+    {"add", "(II)I", (void *) Java_com_example_Native_add},
+    {"callSize", "(Ljava/util/List;)I", (void *) Java_com_example_Native_callSize},
+};

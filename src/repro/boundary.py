@@ -14,11 +14,16 @@ foreign boundary the same way:
   where ``PyObject *`` plays the role of ``value``, ``PyMethodDef``
   tables play the role of ``external`` declarations, and the
   ``Py_INCREF``/``Py_DECREF`` reference discipline plays the role of
-  ``CAMLprotect``.
+  ``CAMLprotect``;
+* ``jni`` — Java Native Interface glue (:mod:`repro.jni.dialect`), where
+  ``jobject`` is the boxed value, ``JNINativeMethod`` tables and the
+  ``Java_*`` export convention are the boundary contract, JVM type
+  descriptors are the conversion signatures, and the local/global
+  reference lifecycle is the protection discipline.
 
-Adding a third dialect (JNI, Rust ``extern "C"``, ...) means implementing
-the protocol below and registering it; nothing in the core or the engine
-changes.
+Adding a fourth dialect (Rust ``extern "C"``, Lua, ...) means
+implementing the protocol below and registering it; nothing in the core
+or the engine changes.
 """
 
 from __future__ import annotations
@@ -100,6 +105,7 @@ def _bootstrap() -> None:
     if _BOOTSTRAPPED:
         return
     _BOOTSTRAPPED = True
+    from .jni import dialect as _jni  # noqa: F401
     from .ocamlfront import dialect as _ocaml  # noqa: F401
     from .pyext import dialect as _pyext  # noqa: F401
 

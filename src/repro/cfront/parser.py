@@ -48,12 +48,15 @@ class ParseHints:
     as the same ``CSrcValue`` that OCaml's ``value`` does and the Figure 6/7
     inference applies unchanged.  ``null_is_identifier`` keeps ``NULL`` as a
     name (instead of folding it to the integer 0) so a dialect rewrite can
-    give it value meaning.
+    give it value meaning.  ``qualifiers`` adds dialect storage/linkage
+    markers (``JNIEXPORT``, ``JNICALL``) that may appear before the type or
+    between the type and the declarator, and are skipped like ``CAMLprim``.
     """
 
     typedefs: dict[str, CSrcType] = field(default_factory=dict)
     value_pointer_structs: frozenset[str] = frozenset()
     null_is_identifier: bool = False
+    qualifiers: frozenset[str] = frozenset()
 
 
 _TYPE_KEYWORDS = {
@@ -80,6 +83,7 @@ class Parser:
         self.pos = 0
         self.typedefs: dict[str, CSrcType] = {"value": CSrcValue()}
         self.typedefs.update(self.hints.typedefs)
+        self.qualifiers = _QUALIFIERS | self.hints.qualifiers
         self.struct_names: set[str] = set()
 
     # -- token plumbing ------------------------------------------------------
@@ -115,7 +119,7 @@ class Parser:
         token = self.peek(offset)
         if token.kind is not TokKind.IDENT:
             return False
-        if token.text in _TYPE_KEYWORDS or token.text in _QUALIFIERS:
+        if token.text in _TYPE_KEYWORDS or token.text in self.qualifiers:
             return True
         if token.text in ("struct", "union", "enum"):
             return True
@@ -136,10 +140,17 @@ class Parser:
                 base = CSrcPtr(base)
             while self.peek().is_ident(*(_QUALIFIERS & {"const", "volatile"})):
                 self.advance()
+        # calling-convention markers between the type and the declarator
+        # (JNI's `JNIEXPORT jint JNICALL f(...)`)
+        while (
+            self.hints.qualifiers
+            and self.peek().is_ident(*self.hints.qualifiers)
+        ):
+            self.advance()
         return base
 
     def _parse_base_type(self) -> CSrcType:
-        while self.peek().is_ident(*_QUALIFIERS):
+        while self.peek().is_ident(*self.qualifiers):
             self.advance()
         token = self.peek()
         if token.is_ident("struct", "union"):
@@ -166,7 +177,7 @@ class Parser:
             spelling: list[str] = []
             while self.peek().is_ident(*_TYPE_KEYWORDS):
                 spelling.append(self.advance().text)
-            while self.peek().is_ident(*_QUALIFIERS):
+            while self.peek().is_ident(*self.qualifiers):
                 self.advance()
             return CSrcScalar(" ".join(spelling))
         raise ParseError(f"expected type, found `{token}`", token.span)

@@ -4,6 +4,7 @@ Usage::
 
     mlffi-check check glue.ml stubs.c [more .ml/.c files ...]
     mlffi-check check --dialect pyext extension_module.c
+    mlffi-check check --dialect jni native_lib.c
     mlffi-check check --no-flow-sensitive --no-gc-effects stubs.c
     mlffi-check check --format sarif glue.ml stubs.c > report.sarif
     mlffi-check batch src/glue --jobs 4 --format json
@@ -46,7 +47,7 @@ from .engine import (
     NullCache,
     ResultCache,
 )
-from .sarif import sarif_log
+from .sarif import batch_sarif_log, sarif_log
 from .source import SourceFile
 
 
@@ -316,8 +317,7 @@ def _run_batch(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     report = project.analyze_batch(options, jobs=args.jobs, cache=cache)
     if args.format == "sarif":
-        diagnostics = [d for r in report.results for d in r.diagnostics]
-        log = sarif_log(diagnostics, tool_version=__version__)
+        log = batch_sarif_log(report, tool_version=__version__)
         print(json.dumps(log, indent=2, sort_keys=True))
     elif args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))

@@ -167,7 +167,7 @@ class Checker:
                 self.ctx.report(
                     Kind.GLOBAL_VALUE,
                     decl.span,
-                    f"global `{decl.name}` holds OCaml values; the analysis "
+                    f"global `{decl.name}` holds host values; the analysis "
                     "does not track globals (register it as a global root)",
                 )
                 continue

@@ -90,6 +90,31 @@ class Kind(enum.Enum):
         Category.ERROR,
     )
 
+    # -- jni dialect: the JVM boundary analogues ---------------------------
+    JNI_BAD_DESCRIPTOR = (
+        "malformed JVM type/method descriptor (or dotted class name) in a "
+        "FindClass/GetMethodID/GetFieldID string constant",
+        Category.ERROR,
+    )
+    JNI_DESCRIPTOR_MISMATCH = (
+        "JNI call disagrees with the descriptor its jmethodID/jfieldID "
+        "was looked up with",
+        Category.ERROR,
+    )
+    JNI_LOCAL_REF_LEAK = (
+        "local reference created on every loop iteration without "
+        "DeleteLocalRef; the local reference table will overflow",
+        Category.ERROR,
+    )
+    JNI_USE_AFTER_DELETE = (
+        "reference used after DeleteLocalRef/DeleteGlobalRef released it",
+        Category.ERROR,
+    )
+    JNI_GLOBAL_REF_LEAK = (
+        "global reference from NewGlobalRef is never released",
+        Category.ERROR,
+    )
+
     # -- questionable practice --------------------------------------------
     TRAILING_UNIT = (
         "external declares a trailing unit parameter the C function omits",
@@ -102,6 +127,11 @@ class Kind(enum.Enum):
     VALUE_CAST = ("suspicious cast involving a value type", Category.WARNING)
     PY_BORROWED_ESCAPE = (
         "borrowed reference escapes (returned or stored) without Py_INCREF",
+        Category.WARNING,
+    )
+    JNI_LOCAL_ESCAPE = (
+        "local reference cached beyond the native frame (stored in a "
+        "global) without NewGlobalRef",
         Category.WARNING,
     )
 

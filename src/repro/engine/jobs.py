@@ -33,7 +33,9 @@ from ..source import SourceFile
 #: v2: requests carry a boundary dialect (and results a per-unit wall time).
 #: v3: results carry the cache tier that served them; batch reports carry
 #: cache eviction counts.
-CACHE_SCHEMA_VERSION = 3
+#: v4: third dialect (jni) with new JNI_* kinds; ParseHints grew dialect
+#: qualifiers, changing how shared-suffix sources can parse.
+CACHE_SCHEMA_VERSION = 4
 
 
 def _digest_sources(sources: Iterable[SourceFile]) -> str:

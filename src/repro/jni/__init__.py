@@ -1,0 +1,11 @@
+"""The JNI (Java Native Interface) boundary dialect.
+
+``jobject`` plays the role OCaml's ``value`` and CPython's ``PyObject *``
+play: an opaque reference into the host VM's heap.  The boundary contract
+comes from ``JNINativeMethod`` registration tables and the ``Java_*``
+export naming convention; the conversion checks read JVM type descriptors
+(``(ILjava/lang/String;)V``) the way the pyext dialect reads
+``PyArg_ParseTuple`` formats; and the protection discipline is the
+local/global reference lifecycle (``NewLocalRef``/``DeleteLocalRef``/
+``NewGlobalRef``).
+"""

@@ -1,0 +1,571 @@
+"""Static checking of JVM type/method descriptor strings.
+
+A descriptor is a little type signature in disguise: ``(ILjava/lang/
+String;)V`` promises the runtime an ``int`` and an object argument and no
+result.  The C compiler cannot see through ``jmethodID``/``jfieldID``
+handles or the varargs of ``Call<T>Method``, so glue that looks a method
+up with one descriptor and calls it as another scribbles over the JVM's
+calling convention — the JNI twin of the ``PyArg_ParseTuple`` format
+confusions the pyext dialect checks.
+
+The checker is syntactic and flow-insensitive: within each function we
+record which descriptor literal every ``jmethodID``/``jfieldID`` variable
+was looked up with (``mid = (*env)->GetMethodID(env, cls, "size",
+"()I")``), then compare each use — the ``Call<T>Method`` family's return
+variant, its argument count and classes, the ``Get<T>Field``/
+``Set<T>Field`` field variants — against that descriptor.  Handles bound
+on more than one path with different descriptors are never guessed at.
+Malformed descriptors (and dotted class names handed to ``FindClass``,
+which want ``/`` separators) are reported wherever they appear, including
+``JNINativeMethod`` registration tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cfront import ast
+from ..core.srctypes import CSrcPtr, CSrcScalar, CSrcStruct, CSrcValue
+from ..diagnostics import Diagnostic, Kind
+from .calls import VarTypes, env_call
+from .runtime import RUNTIME_FUNCTIONS, TYPE_VARIANTS
+
+#: argument classes (same vocabulary as pyext formats)
+SCALAR = "scalar"
+VALUE = "value"
+
+_SCALAR_LETTERS = set("ZBCSIJFD")
+
+#: lookup entry points -> index (after env-drop) of the descriptor literal
+_METHOD_LOOKUPS = {"GetMethodID": 2, "GetStaticMethodID": 2}
+_FIELD_LOOKUPS = {"GetFieldID": 2, "GetStaticFieldID": 2}
+
+#: call families: callee -> (expected return letter, fixed-arg count)
+_CALL_FAMILIES: dict[str, tuple[str, int]] = {}
+#: field families: callee -> (expected letter, value-arg index for Set or None)
+_FIELD_FAMILIES: dict[str, tuple[str, Optional[int]]] = {}
+
+for _suffix, (_letter, _) in TYPE_VARIANTS.items():
+    _CALL_FAMILIES[f"Call{_suffix}Method"] = (_letter, 2)
+    _CALL_FAMILIES[f"CallStatic{_suffix}Method"] = (_letter, 2)
+    _CALL_FAMILIES[f"CallNonvirtual{_suffix}Method"] = (_letter, 3)
+    _FIELD_FAMILIES[f"Get{_suffix}Field"] = (_letter, None)
+    _FIELD_FAMILIES[f"GetStatic{_suffix}Field"] = (_letter, None)
+    _FIELD_FAMILIES[f"Set{_suffix}Field"] = (_letter, 2)
+    _FIELD_FAMILIES[f"SetStatic{_suffix}Field"] = (_letter, 2)
+_CALL_FAMILIES["CallVoidMethod"] = ("V", 2)
+_CALL_FAMILIES["CallStaticVoidMethod"] = ("V", 2)
+_CALL_FAMILIES["CallNonvirtualVoidMethod"] = ("V", 3)
+
+
+# -- descriptor grammar --------------------------------------------------------
+
+
+def _parse_field(desc: str, i: int) -> Optional[tuple[str, int]]:
+    """``(letter, end)`` of one field descriptor at ``i``; None = malformed.
+
+    The letter is the descriptor's head: a primitive letter, ``L`` for a
+    class reference, ``[`` for an array.
+    """
+    if i >= len(desc):
+        return None
+    ch = desc[i]
+    if ch in _SCALAR_LETTERS:
+        return ch, i + 1
+    if ch == "L":
+        end = desc.find(";", i + 1)
+        name = desc[i + 1 : end] if end > 0 else ""
+        if not name or "." in name or " " in name:
+            return None
+        return "L", end + 1
+    if ch == "[":
+        inner = _parse_field(desc, i + 1)
+        if inner is None:
+            return None
+        return "[", inner[1]
+    return None
+
+
+def field_descriptor(desc: str) -> Optional[str]:
+    """Head letter of a complete field descriptor; None = malformed."""
+    parsed = _parse_field(desc, 0)
+    if parsed is None or parsed[1] != len(desc):
+        return None
+    return parsed[0]
+
+
+def method_descriptor(desc: str) -> Optional[tuple[tuple[str, ...], str]]:
+    """``(param letters, return letter)``; None = malformed."""
+    if not desc.startswith("("):
+        return None
+    i = 1
+    params: list[str] = []
+    while i < len(desc) and desc[i] != ")":
+        parsed = _parse_field(desc, i)
+        if parsed is None:
+            return None
+        params.append(parsed[0])
+        i = parsed[1]
+    if i >= len(desc) or i + 1 == len(desc):
+        return None
+    i += 1  # the ')'
+    if desc[i] == "V":
+        ret, end = "V", i + 1
+    else:
+        parsed = _parse_field(desc, i)
+        if parsed is None:
+            return None
+        ret, end = parsed
+    if end != len(desc):
+        return None
+    return tuple(params), ret
+
+
+def class_name_ok(name: str) -> bool:
+    """Internal (slash-separated) class names; array forms allowed.
+
+    ``;`` never appears in an internal name, which also rejects the
+    frequent ``FindClass("Ljava/lang/String;")`` descriptor-spelling
+    confusion the JVM turns into ``NoClassDefFoundError`` at runtime.
+    """
+    if name.startswith("["):
+        return field_descriptor(name) is not None
+    return (
+        bool(name)
+        and "." not in name
+        and ";" not in name
+        and " " not in name
+    )
+
+
+def _letter_class(letter: str) -> str:
+    return SCALAR if letter in _SCALAR_LETTERS else VALUE
+
+
+def _letters_match(expected: str, actual: str) -> bool:
+    """Does a descriptor head satisfy a ``Call<T>``/``<T>Field`` variant?"""
+    if expected == "L":
+        return actual in ("L", "[")
+    return expected == actual
+
+
+_LETTER_NOUN = {
+    "L": "an object reference",
+    "[": "an array reference",
+    "V": "void",
+    "Z": "a Z (jboolean)",
+    "B": "a B (jbyte)",
+    "C": "a C (jchar)",
+    "S": "an S (jshort)",
+    "I": "an I (jint)",
+    "J": "a J (jlong)",
+    "F": "an F (jfloat)",
+    "D": "a D (jdouble)",
+}
+
+
+# -- AST plumbing --------------------------------------------------------------
+
+
+def _collect_calls(node, out: list[ast.Call]) -> None:
+    """Every Call anywhere under a statement or expression."""
+    if isinstance(node, ast.Call):
+        out.append(node)
+        _collect_calls(node.func, out)
+        for arg in node.args:
+            _collect_calls(arg, out)
+    elif isinstance(node, ast.Unary):
+        _collect_calls(node.operand, out)
+    elif isinstance(node, ast.Binary):
+        _collect_calls(node.left, out)
+        _collect_calls(node.right, out)
+    elif isinstance(node, ast.Conditional):
+        _collect_calls(node.cond, out)
+        _collect_calls(node.then, out)
+        _collect_calls(node.other, out)
+    elif isinstance(node, ast.Cast):
+        _collect_calls(node.operand, out)
+    elif isinstance(node, ast.Index):
+        _collect_calls(node.base, out)
+        _collect_calls(node.index, out)
+    elif isinstance(node, ast.Member):
+        _collect_calls(node.base, out)
+    elif isinstance(node, ast.Assign):
+        _collect_calls(node.target, out)
+        _collect_calls(node.value, out)
+    elif isinstance(node, ast.IncDec):
+        _collect_calls(node.target, out)
+    elif isinstance(node, ast.Declaration):
+        if node.init is not None and not isinstance(node.init, ast.InitList):
+            _collect_calls(node.init, out)
+    elif isinstance(node, ast.Block):
+        for item in node.items:
+            _collect_calls(item, out)
+    elif isinstance(node, ast.ExprStmt):
+        _collect_calls(node.expr, out)
+    elif isinstance(node, ast.IfStmt):
+        _collect_calls(node.cond, out)
+        _collect_calls(node.then, out)
+        if node.other is not None:
+            _collect_calls(node.other, out)
+    elif isinstance(node, (ast.WhileStmt, ast.DoWhileStmt)):
+        _collect_calls(node.cond, out)
+        _collect_calls(node.body, out)
+    elif isinstance(node, ast.ForStmt):
+        for part in (node.init, node.cond, node.step, node.body):
+            if part is not None:
+                _collect_calls(part, out)
+    elif isinstance(node, ast.SwitchStmt):
+        _collect_calls(node.scrutinee, out)
+        for case in node.cases:
+            for item in case.body:
+                _collect_calls(item, out)
+    elif isinstance(node, ast.ReturnStmt):
+        if node.value is not None:
+            _collect_calls(node.value, out)
+    elif isinstance(node, ast.LabeledStmt):
+        _collect_calls(node.stmt, out)
+
+
+class _Bindings:
+    """Which descriptor literal each handle variable was looked up with.
+
+    Flow-insensitive: a handle re-bound with a *different* descriptor is
+    poisoned (mapped to None) so its uses are never checked against the
+    wrong lookup.
+    """
+
+    def __init__(self, fn: ast.FunctionDef, vars: VarTypes):
+        self.methods: dict[str, Optional[str]] = {}
+        self.fields: dict[str, Optional[str]] = {}
+        if fn.body is not None:
+            self._scan(fn.body, vars)
+
+    def _record(
+        self, table: dict[str, Optional[str]], name: str, desc: str
+    ) -> None:
+        if name in table and table[name] != desc:
+            table[name] = None
+        else:
+            table[name] = desc
+
+    def _bind(self, name: str, value: ast.CExpr, vars: VarTypes) -> None:
+        while isinstance(value, ast.Cast):
+            value = value.operand
+        if not isinstance(value, ast.Call):
+            return
+        found = env_call(value, vars)
+        if found is None:
+            return
+        callee, args = found
+        lookup = _METHOD_LOOKUPS.get(callee)
+        table = self.methods
+        if lookup is None:
+            lookup = _FIELD_LOOKUPS.get(callee)
+            table = self.fields
+        if lookup is None or len(args) <= lookup:
+            return
+        desc = args[lookup]
+        if isinstance(desc, ast.Str):
+            self._record(table, name, desc.value)
+
+    def _scan(self, node, vars: VarTypes) -> None:
+        if isinstance(node, ast.Declaration):
+            if node.init is not None and not isinstance(node.init, ast.InitList):
+                self._bind(node.name, node.init, vars)
+        elif isinstance(node, ast.ExprStmt):
+            expr = node.expr
+            if isinstance(expr, ast.Assign) and isinstance(
+                expr.target, ast.Name
+            ):
+                self._bind(expr.target.ident, expr.value, vars)
+        elif isinstance(node, ast.Block):
+            for item in node.items:
+                self._scan(item, vars)
+        elif isinstance(node, ast.IfStmt):
+            self._scan(node.then, vars)
+            if node.other is not None:
+                self._scan(node.other, vars)
+        elif isinstance(node, (ast.WhileStmt, ast.DoWhileStmt)):
+            self._scan(node.body, vars)
+        elif isinstance(node, ast.ForStmt):
+            if node.init is not None:
+                self._scan(node.init, vars)
+            self._scan(node.body, vars)
+        elif isinstance(node, ast.SwitchStmt):
+            for case in node.cases:
+                for item in case.body:
+                    self._scan(item, vars)
+        elif isinstance(node, ast.LabeledStmt):
+            self._scan(node.stmt, vars)
+
+
+def _arg_class(arg: ast.CExpr, vars: VarTypes) -> Optional[str]:
+    """SCALAR/VALUE class of a supplied call argument; None = don't check."""
+    while isinstance(arg, ast.Cast):
+        arg = arg.operand
+    if isinstance(arg, ast.Name):
+        ctype = vars.get(arg.ident)
+        if isinstance(ctype, CSrcValue):
+            return VALUE
+        if isinstance(ctype, CSrcScalar):
+            return SCALAR
+        return None
+    if isinstance(arg, (ast.Num, ast.Binary)):
+        return SCALAR
+    if isinstance(arg, ast.Call):
+        found = env_call(arg, vars)
+        if found is not None:
+            spec = RUNTIME_FUNCTIONS.get(found[0])
+            if spec is not None and spec.result == "value":
+                return VALUE
+            if spec is not None and spec.result == "int":
+                return SCALAR
+    return None
+
+
+def _describe(arg: ast.CExpr) -> str:
+    while isinstance(arg, ast.Cast):
+        arg = arg.operand
+    if isinstance(arg, ast.Name):
+        return arg.ident
+    return "<expression>"
+
+
+# -- the pass ------------------------------------------------------------------
+
+
+class _DescriptorChecker:
+    def __init__(self, fn: ast.FunctionDef):
+        self.fn = fn
+        self.vars = VarTypes(fn)
+        self.bindings = _Bindings(fn, self.vars)
+        self.diags: list[Diagnostic] = []
+
+    def _report(self, kind: Kind, span, message: str) -> None:
+        self.diags.append(
+            Diagnostic(
+                kind=kind, span=span, message=message, function=self.fn.name
+            )
+        )
+
+    def _handle_name(self, arg: ast.CExpr) -> Optional[str]:
+        while isinstance(arg, ast.Cast):
+            arg = arg.operand
+        if isinstance(arg, ast.Name):
+            return arg.ident
+        return None
+
+    # -- lookup sites ------------------------------------------------------
+
+    def _check_lookup(
+        self, call: ast.Call, callee: str, args: tuple[ast.CExpr, ...]
+    ) -> None:
+        index = _METHOD_LOOKUPS.get(callee)
+        parse = method_descriptor
+        noun = "method"
+        if index is None:
+            index = _FIELD_LOOKUPS.get(callee)
+            parse = field_descriptor
+            noun = "field"
+        if index is None or len(args) <= index:
+            return
+        desc = args[index]
+        if isinstance(desc, ast.Str) and parse(desc.value) is None:
+            self._report(
+                Kind.JNI_BAD_DESCRIPTOR,
+                call.span,
+                f"`{callee}` {noun} descriptor \"{desc.value}\" is "
+                f"malformed; the lookup will always fail",
+            )
+
+    def _check_find_class(
+        self, call: ast.Call, args: tuple[ast.CExpr, ...]
+    ) -> None:
+        if not args or not isinstance(args[0], ast.Str):
+            return
+        name = args[0].value
+        if not class_name_ok(name):
+            if "." in name:
+                hint = " (use '/'-separated internal names, not '.')"
+            elif name.startswith("L") and name.endswith(";"):
+                hint = (
+                    " (that is the field-descriptor spelling; FindClass "
+                    "wants the bare internal name)"
+                )
+            else:
+                hint = ""
+            self._report(
+                Kind.JNI_BAD_DESCRIPTOR,
+                call.span,
+                f"`FindClass` class name \"{name}\" is not a valid "
+                f"internal name{hint}",
+            )
+
+    # -- use sites ---------------------------------------------------------
+
+    def _check_method_call(
+        self, call: ast.Call, callee: str, args: tuple[ast.CExpr, ...]
+    ) -> None:
+        expected, fixed = _CALL_FAMILIES[callee]
+        if len(args) < fixed:
+            return
+        handle = self._handle_name(args[fixed - 1])
+        if handle is None:
+            return
+        desc = self.bindings.methods.get(handle)
+        if desc is None:
+            return
+        parsed = method_descriptor(desc)
+        if parsed is None:
+            return  # already reported at the lookup site
+        params, ret = parsed
+        if not _letters_match(expected, ret):
+            self._report(
+                Kind.JNI_DESCRIPTOR_MISMATCH,
+                call.span,
+                f"`{callee}` expects the method to return "
+                f"{_LETTER_NOUN[expected]} but `{handle}` was looked up "
+                f"with \"{desc}\", which returns {_LETTER_NOUN[ret]}",
+            )
+        supplied = args[fixed:]
+        if len(supplied) != len(params):
+            self._report(
+                Kind.JNI_DESCRIPTOR_MISMATCH,
+                call.span,
+                f"`{callee}` passes {len(supplied)} argument(s) but "
+                f"`{handle}`'s descriptor \"{desc}\" declares "
+                f"{len(params)}; the JVM will read stack garbage",
+            )
+            return
+        for index, (letter, arg) in enumerate(zip(params, supplied)):
+            want = _letter_class(letter)
+            got = _arg_class(arg, self.vars)
+            if got is None or got == want:
+                continue
+            self._report(
+                Kind.JNI_DESCRIPTOR_MISMATCH,
+                call.span,
+                f"`{callee}` argument {index + 1} should be "
+                f"{_LETTER_NOUN[letter]} per \"{desc}\" but "
+                f"`{_describe(arg)}` is a "
+                + ("JVM reference" if got is VALUE else "C scalar"),
+            )
+
+    def _check_field_access(
+        self, call: ast.Call, callee: str, args: tuple[ast.CExpr, ...]
+    ) -> None:
+        expected, value_index = _FIELD_FAMILIES[callee]
+        if len(args) < 2:
+            return
+        handle = self._handle_name(args[1])
+        if handle is None:
+            return
+        desc = self.bindings.fields.get(handle)
+        if desc is None:
+            return
+        letter = field_descriptor(desc)
+        if letter is None:
+            return  # already reported at the lookup site
+        if not _letters_match(expected, letter):
+            self._report(
+                Kind.JNI_DESCRIPTOR_MISMATCH,
+                call.span,
+                f"`{callee}` accesses the field as {_LETTER_NOUN[expected]} "
+                f"but `{handle}` was looked up with \"{desc}\" "
+                f"({_LETTER_NOUN[letter]})",
+            )
+            return
+        if value_index is not None and len(args) > value_index:
+            want = _letter_class(letter)
+            got = _arg_class(args[value_index], self.vars)
+            if got is not None and got != want:
+                self._report(
+                    Kind.JNI_DESCRIPTOR_MISMATCH,
+                    call.span,
+                    f"`{callee}` stores `{_describe(args[value_index])}` "
+                    f"(a " + ("JVM reference" if got is VALUE else "C scalar")
+                    + f") into a \"{desc}\" field",
+                )
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        if self.fn.body is None:
+            return []
+        calls: list[ast.Call] = []
+        _collect_calls(self.fn.body, calls)
+        for call in calls:
+            found = env_call(call, self.vars)
+            if found is None:
+                continue
+            callee, args = found
+            if callee in _METHOD_LOOKUPS or callee in _FIELD_LOOKUPS:
+                self._check_lookup(call, callee, args)
+            elif callee == "FindClass":
+                self._check_find_class(call, args)
+            elif callee in _CALL_FAMILIES:
+                self._check_method_call(call, callee, args)
+            elif callee in _FIELD_FAMILIES:
+                self._check_field_access(call, callee, args)
+        return self.diags
+
+
+def _is_native_method_table(ctype) -> bool:
+    node = ctype
+    while isinstance(node, CSrcPtr):
+        node = node.target
+    return isinstance(node, CSrcStruct) and node.name == "JNINativeMethod"
+
+
+def _row_signature(row: ast.InitList) -> ast.CExpr | None:
+    """The ``signature`` cell of one table row: designated initializers
+    resolve by field name (in any order), all-positional rows by index."""
+    positional: list[ast.CExpr] = []
+    designated = False
+    for item in row.items:
+        if item.field_name == "signature":
+            return item.value
+        if item.field_name is None:
+            positional.append(item.value)
+        else:
+            designated = True
+    if not designated and len(positional) > 1:
+        return positional[1]
+    return None
+
+
+def check_tables(unit: ast.TranslationUnit) -> list[Diagnostic]:
+    """Malformed signature strings in ``JNINativeMethod`` tables."""
+    diags: list[Diagnostic] = []
+    for decl in unit.globals:
+        if not _is_native_method_table(decl.ctype):
+            continue
+        if not isinstance(decl.init, ast.InitList):
+            continue
+        for item in decl.init.items:
+            row = item.value
+            if not isinstance(row, ast.InitList):
+                continue
+            sig = _row_signature(row)
+            if isinstance(sig, ast.Str) and method_descriptor(sig.value) is None:
+                diags.append(
+                    Diagnostic(
+                        kind=Kind.JNI_BAD_DESCRIPTOR,
+                        span=sig.span,
+                        message=(
+                            f"JNINativeMethod signature \"{sig.value}\" is "
+                            "not a valid method descriptor; RegisterNatives "
+                            "will reject the table"
+                        ),
+                    )
+                )
+    return diags
+
+
+def check_unit(unit: ast.TranslationUnit) -> list[Diagnostic]:
+    """All descriptor diagnostics for one translation unit."""
+    diags = check_tables(unit)
+    for fn in unit.functions:
+        diags.extend(_DescriptorChecker(fn).run())
+    return diags

@@ -1,0 +1,99 @@
+"""The JNI boundary as a ``BoundaryDialect``.
+
+Phase one reads the boundary contract out of the C sources themselves
+(``JNINativeMethod`` tables and the ``Java_*`` export convention →
+``Γ_I``; there is no separate host-language input — ``.class`` files are
+opaque to a source checker).  Phase two runs three passes over each
+unit:
+
+1. the shared Figure 6/7 inference, over the rewritten AST, seeded with
+   the ``JNIEnv`` runtime table — this catches registration arity and
+   type clashes exactly as the OCaml dialect catches ``external``
+   mismatches;
+2. the descriptor checker (:mod:`repro.jni.descriptors`);
+3. the local/global reference discipline (:mod:`repro.jni.refs`).
+
+Their diagnostics merge into one :class:`AnalysisReport`, so batch
+tallies, caching, and rendering need no dialect-specific code.
+"""
+
+from __future__ import annotations
+
+from ..boundary import register_dialect
+from ..cfront.ast import TranslationUnit
+from ..cfront.ir import ProgramIR
+from ..cfront.lexer import scan_includes
+from ..cfront.lower import lower_unit
+from ..cfront.parser import parse_c
+from ..core.checker import AnalysisReport, Checker, InitialEnv
+from ..core.environment import Entry
+from ..engine.jobs import CheckRequest
+from ..source import SourceFile
+from . import descriptors, refs, repository, runtime
+from .rewrite import rewrite_unit
+
+
+class JniDialect:
+    """The Java Native Interface, checked with the paper's machinery."""
+
+    name = "jni"
+    host_suffixes: tuple[str, ...] = ()
+    unit_suffixes = (".c", ".h")
+
+    # -- seeds ---------------------------------------------------------------
+
+    def builtin_entries(self) -> dict[str, Entry]:
+        return runtime.builtin_entries()
+
+    def polymorphic_builtins(self) -> frozenset[str]:
+        return runtime.POLYMORPHIC_BUILTINS
+
+    def global_entries(self) -> dict[str, Entry]:
+        return runtime.global_entries()
+
+    def alloc_result_tags(self) -> dict[str, int | str]:
+        # JVM references are opaque; no allocator yields a known-tag block
+        return {}
+
+    # -- phases --------------------------------------------------------------
+
+    def parse(self, source: SourceFile) -> TranslationUnit:
+        return parse_c(source, runtime.parse_hints())
+
+    def initial_env(self, request: CheckRequest) -> InitialEnv:
+        units = [self.parse(source) for source in request.c_sources]
+        return repository.build_initial_env(units)
+
+    def analyze(self, request: CheckRequest) -> AnalysisReport:
+        units = [self.parse(source) for source in request.c_sources]
+        initial_env = repository.build_initial_env(units)
+
+        return_types = runtime.lowering_return_types()
+        program = ProgramIR()
+        for unit in units:
+            program = program.merge(
+                lower_unit(rewrite_unit(unit), extra_returns=return_types)
+            )
+        report = Checker(
+            program, initial_env, request.options, dialect=self
+        ).run()
+
+        # the dialect-specific passes read the *original* AST: descriptor
+        # strings and env-table calls are erased by the rewrite
+        for unit in units:
+            report.diagnostics.extend(descriptors.check_unit(unit))
+            report.diagnostics.extend(refs.check_unit(unit))
+        return report
+
+    def unit_dependencies(self, request: CheckRequest) -> tuple[str, ...]:
+        """Quoted includes only: the boundary contract (registration
+        tables, ``Java_*`` exports) lives in the C sources themselves,
+        so there is no host side to depend on."""
+        deps: dict[str, None] = {}
+        for source in request.c_sources:
+            for header in scan_includes(source.text):
+                deps.setdefault(header)
+        return tuple(deps)
+
+
+JNI_DIALECT = register_dialect(JniDialect())

@@ -1,0 +1,264 @@
+"""Phase one for the JNI dialect: the class/method repository and ``Γ_I``.
+
+An OCaml ``external`` tells the checker which C function the host will
+call and at what type; JNI spells the same contract two ways, and this
+module reads both (mirroring :mod:`repro.ocamlfront.repository`):
+
+* ``JNINativeMethod`` registration tables carry the exact JVM signature::
+
+      static JNINativeMethod gMethods[] = {
+          {"add", "(II)I", (void *) native_add},
+      };
+
+  The descriptor fixes the C signature — ``(II)I`` means ``jint
+  native_add(JNIEnv *, jobject, jint, jint)`` — so every readable row
+  becomes a :class:`~repro.core.types.CFun` in ``Γ_I`` and the shared
+  (Fun Defn) rule unifies the definition against it, exactly as a
+  ``PyMethodDef`` row or an ``external`` declaration would be checked.
+
+* Exported ``Java_<Class>_<method>`` functions follow the static-linking
+  naming convention; their contract pins the two leading parameters
+  (``JNIEnv *`` and the ``jobject``/``jclass`` receiver) while the
+  remainder stays free for the body to commit.
+
+The repository also gathers the string constants the unit looks up —
+``FindClass`` internal names, ``GetMethodID``/``GetFieldID`` name and
+descriptor pairs — into a queryable :class:`ClassRepository`, the JNI
+analogue of the OCaml type repository: the descriptor checker consults
+per-function bindings, while this index serves whole-unit introspection
+and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfront import ast
+from ..core.checker import InitialEnv
+from ..core.types import (
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CStruct,
+    CType,
+    CValue,
+    NOGC,
+    fresh_ctvar,
+    fresh_mt,
+)
+from ..source import DUMMY_SPAN, Span
+from ..core.srctypes import CSrcPtr, CSrcStruct
+from .calls import VarTypes, env_call
+from .descriptors import (
+    _FIELD_LOOKUPS,
+    _METHOD_LOOKUPS,
+    _SCALAR_LETTERS,
+    _collect_calls,
+    method_descriptor,
+)
+
+# -- the native-method tables --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NativeMethodEntry:
+    """One parsed ``JNINativeMethod`` row."""
+
+    java_name: str
+    signature: str
+    c_name: str
+    span: Span = DUMMY_SPAN
+
+    def param_types(self) -> tuple[CType, ...] | None:
+        """The C parameter list the descriptor dictates, over fresh
+        variables; None when the signature does not parse (the table
+        checker reports it, and no contract is seeded)."""
+        parsed = method_descriptor(self.signature)
+        if parsed is None:
+            return None
+        letters, _ = parsed
+        params: list[CType] = [CPtr(CStruct("JNIEnv")), CValue(fresh_mt())]
+        for letter in letters:
+            params.append(
+                C_INT if letter in _SCALAR_LETTERS else CValue(fresh_mt())
+            )
+        return tuple(params)
+
+    def result_type(self) -> CType | None:
+        parsed = method_descriptor(self.signature)
+        if parsed is None:
+            return None
+        _, ret = parsed
+        if ret == "V":
+            return C_VOID
+        return C_INT if ret in _SCALAR_LETTERS else CValue(fresh_mt())
+
+
+def _is_table_type(ctype) -> bool:
+    node = ctype
+    while isinstance(node, CSrcPtr):
+        node = node.target
+    return isinstance(node, CSrcStruct) and node.name == "JNINativeMethod"
+
+
+def _fn_pointer_name(expr: ast.CExpr) -> str | None:
+    """The function a ``(void *) name`` / ``&name`` row cell points at."""
+    while isinstance(expr, ast.Cast):
+        expr = expr.operand
+    if isinstance(expr, ast.Unary) and expr.op == "&":
+        expr = expr.operand
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    return None
+
+
+def _row_entry(row: ast.InitList) -> NativeMethodEntry | None:
+    by_field: dict[str, ast.CExpr] = {}
+    positional: list[ast.CExpr] = []
+    for item in row.items:
+        if item.field_name is not None:
+            by_field[item.field_name] = item.value
+        else:
+            positional.append(item.value)
+
+    def member(name: str, index: int) -> ast.CExpr | None:
+        if name in by_field:
+            return by_field[name]
+        if index < len(positional):
+            return positional[index]
+        return None
+
+    name_expr = member("name", 0)
+    sig_expr = member("signature", 1)
+    fn_expr = member("fnPtr", 2)
+    if not isinstance(name_expr, ast.Str) or not isinstance(sig_expr, ast.Str):
+        return None  # a sentinel row, or unreadable
+    c_name = _fn_pointer_name(fn_expr) if fn_expr is not None else None
+    if c_name is None:
+        return None
+    return NativeMethodEntry(
+        java_name=name_expr.value,
+        signature=sig_expr.value,
+        c_name=c_name,
+        span=name_expr.span,
+    )
+
+
+def native_method_entries(unit: ast.TranslationUnit) -> list[NativeMethodEntry]:
+    """Every readable row of every ``JNINativeMethod`` table in the unit."""
+    entries: list[NativeMethodEntry] = []
+    for decl in unit.globals:
+        if not _is_table_type(decl.ctype):
+            continue
+        if not isinstance(decl.init, ast.InitList):
+            continue
+        for item in decl.init.items:
+            if isinstance(item.value, ast.InitList):
+                entry = _row_entry(item.value)
+                if entry is not None:
+                    entries.append(entry)
+    return entries
+
+
+# -- the class/method constant index -------------------------------------------
+
+
+@dataclass
+class ClassRepository:
+    """String constants the unit resolves against the JVM at runtime.
+
+    ``classes`` are ``FindClass`` internal names; ``methods`` and
+    ``fields`` map ``(name, descriptor)`` pairs to the lookup spans, for
+    every ``GetMethodID``/``GetFieldID`` family call with literal
+    arguments.
+    """
+
+    classes: dict[str, Span] = field(default_factory=dict)
+    methods: dict[tuple[str, str], Span] = field(default_factory=dict)
+    fields: dict[tuple[str, str], Span] = field(default_factory=dict)
+
+    def add_unit(self, unit: ast.TranslationUnit) -> "ClassRepository":
+        for fn in unit.functions:
+            if fn.body is None:
+                continue
+            vars = VarTypes(fn)
+            calls: list[ast.Call] = []
+            _collect_calls(fn.body, calls)
+            for call in calls:
+                found = env_call(call, vars)
+                if found is None:
+                    continue
+                callee, args = found
+                if callee == "FindClass":
+                    if args and isinstance(args[0], ast.Str):
+                        self.classes.setdefault(args[0].value, call.span)
+                    continue
+                table = None
+                if callee in _METHOD_LOOKUPS:
+                    table = self.methods
+                elif callee in _FIELD_LOOKUPS:
+                    table = self.fields
+                if table is None or len(args) < 3:
+                    continue
+                name, desc = args[1], args[2]
+                if isinstance(name, ast.Str) and isinstance(desc, ast.Str):
+                    table.setdefault((name.value, desc.value), call.span)
+        return self
+
+
+def build_repository(units: list[ast.TranslationUnit]) -> ClassRepository:
+    repo = ClassRepository()
+    for unit in units:
+        repo.add_unit(unit)
+    return repo
+
+
+# -- Γ_I -----------------------------------------------------------------------
+
+_EXPORT_PREFIXES = ("Java_", "JNICALL_Java_")
+
+
+def is_native_export(name: str) -> bool:
+    return name.startswith(_EXPORT_PREFIXES)
+
+
+def build_initial_env(units: list[ast.TranslationUnit]) -> InitialEnv:
+    """``Γ_I`` for a JNI unit.
+
+    ``JNINativeMethod`` rows contribute full signatures (their descriptor
+    fixes every parameter); ``Java_*`` exports not covered by a table get
+    the naming-convention contract — ``JNIEnv *`` then a receiver value,
+    the rest free — at their *declared* arity, so a definition missing
+    the env parameter clashes in unification exactly like an
+    ``external``/stub mismatch.  Effects are ``nogc`` (see
+    :mod:`repro.jni.runtime`).
+    """
+    env = InitialEnv()
+    for unit in units:
+        for entry in native_method_entries(unit):
+            params = entry.param_types()
+            result = entry.result_type()
+            if params is None or result is None:
+                continue  # malformed signature: reported by check_tables
+            env.functions[entry.c_name] = CFun(
+                params=params, result=result, effect=NOGC
+            )
+            env.spans[entry.c_name] = entry.span
+        for fn in unit.functions:
+            if fn.name in env.functions or not is_native_export(fn.name):
+                continue
+            if len(fn.params) < 2:
+                # too few parameters to even carry the convention; the
+                # shared arity check against this two-param contract fires
+                params = (CPtr(CStruct("JNIEnv")), CValue(fresh_mt()))
+            else:
+                params = (
+                    CPtr(CStruct("JNIEnv")),
+                    CValue(fresh_mt()),
+                ) + tuple(fresh_ctvar() for _ in fn.params[2:])
+            env.functions[fn.name] = CFun(
+                params=params, result=fresh_ctvar(), effect=NOGC
+            )
+            env.spans[fn.name] = fn.span
+    return env

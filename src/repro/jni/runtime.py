@@ -1,0 +1,381 @@
+"""Knowledge base for the JNI ``JNIEnv`` API, mirroring :mod:`repro.pyext.runtime`.
+
+Three tables live here:
+
+* parse hints, so the shared C parser reads JNI glue (``jobject`` and its
+  typedef family *are* the boxed-value type, ``jmethodID``/``jfieldID``
+  are opaque handles, ``JNIEXPORT``/``JNICALL`` are calling-convention
+  markers, ``NULL`` stays an identifier for the rewrite);
+* the typing table for the ``JNIEnv*`` entry points, seeding the
+  checker's function environment.  Entries are named by the function-table
+  member (``GetIntField``, ``CallObjectMethod``, ...) — the rewrite
+  flattens ``(*env)->GetIntField(env, obj, fid)`` into a direct
+  ``GetIntField(obj, fid)`` call before lowering.  Every entry is
+  ``nogc``: the JVM collector pins objects behind references, so the
+  OCaml protection obligations never fire — the local/global reference
+  discipline is this dialect's analogue (:mod:`repro.jni.refs`);
+* the reference-semantics classification (local-ref producers, global-ref
+  producers, the delete functions) that the refs pass interprets, and the
+  descriptor letter each ``Call<T>Method``/``Get<T>Field`` variant
+  commits to, which the descriptor checker compares against the string
+  the ``jmethodID``/``jfieldID`` was looked up with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfront.parser import ParseHints
+from ..core.environment import Entry
+from ..core.srctypes import (
+    CSrcPtr,
+    CSrcScalar,
+    CSrcStruct,
+    CSrcType,
+    CSrcValue,
+    CSrcVoid,
+)
+from ..core.types import (
+    C_INT,
+    C_VOID,
+    CFun,
+    CPtr,
+    CStruct,
+    CType,
+    CValue,
+    NOGC,
+    fresh_ctvar,
+    fresh_mt,
+)
+
+# -- parse hints ---------------------------------------------------------------
+
+#: typedef names whose values are opaque JVM references (the dialect's
+#: boxed-value type — ``jobject`` is ``void *`` in ``jni.h`` and used
+#: by value, so unlike ``PyObject`` no pointer hop is involved)
+REFERENCE_TYPEDEFS: tuple[str, ...] = (
+    "jobject",
+    "jclass",
+    "jstring",
+    "jthrowable",
+    "jweak",
+    "jarray",
+    "jobjectArray",
+    "jbooleanArray",
+    "jbyteArray",
+    "jcharArray",
+    "jshortArray",
+    "jintArray",
+    "jlongArray",
+    "jfloatArray",
+    "jdoubleArray",
+)
+
+#: JVM scalar typedefs (all modelled as C ints, like ``Py_ssize_t``)
+SCALAR_TYPEDEFS: tuple[str, ...] = (
+    "jboolean",
+    "jbyte",
+    "jchar",
+    "jshort",
+    "jint",
+    "jlong",
+    "jfloat",
+    "jdouble",
+    "jsize",
+)
+
+#: Typedefs the ``jni.h`` header would have provided.
+_TYPEDEFS: dict[str, CSrcType] = {
+    "JNIEnv": CSrcStruct("JNIEnv"),
+    "JavaVM": CSrcStruct("JavaVM"),
+    "JNINativeMethod": CSrcStruct("JNINativeMethod"),
+    "jvalue": CSrcStruct("jvalue"),
+    "jmethodID": CSrcPtr(CSrcStruct("jmethodID")),
+    "jfieldID": CSrcPtr(CSrcStruct("jfieldID")),
+}
+_TYPEDEFS.update({name: CSrcValue() for name in REFERENCE_TYPEDEFS})
+_TYPEDEFS.update({name: CSrcScalar("int") for name in SCALAR_TYPEDEFS})
+
+
+def parse_hints() -> ParseHints:
+    """How to read JNI glue source with the shared parser."""
+    return ParseHints(
+        typedefs=dict(_TYPEDEFS),
+        null_is_identifier=True,
+        qualifiers=frozenset({"JNIEXPORT", "JNIIMPORT", "JNICALL"}),
+    )
+
+
+# -- runtime entry-point signatures --------------------------------------------
+
+
+@dataclass(frozen=True)
+class JniSpec:
+    """Shape of one ``JNIEnv`` entry point, in the macros.py spec language.
+
+    Parameter/result kinds: ``value`` (fresh ``α value`` per call site),
+    ``int`` (any C scalar), ``charptr``, ``voidptr``, ``methodid``,
+    ``fieldid``, ``any`` (a fresh C type variable: unifies with anything,
+    for out-parameters like ``jboolean *isCopy`` that glue passes NULL
+    to), ``void``.
+    """
+
+    params: tuple[str, ...]
+    result: str
+
+
+def _kind_to_ct(kind: str) -> CType:
+    if kind == "value":
+        return CValue(fresh_mt())
+    if kind == "int":
+        return C_INT
+    if kind in ("charptr", "voidptr"):
+        return CPtr(C_INT)
+    if kind == "methodid":
+        return CPtr(CStruct("jmethodID"))
+    if kind == "fieldid":
+        return CPtr(CStruct("jfieldID"))
+    if kind == "any":
+        return fresh_ctvar()
+    if kind == "void":
+        return C_VOID
+    raise ValueError(f"unknown jni builtin kind `{kind}`")
+
+
+def _kind_to_src(kind: str) -> CSrcType:
+    if kind == "value":
+        return CSrcValue()
+    if kind == "int":
+        return CSrcScalar("int")
+    if kind in ("charptr", "voidptr", "any"):
+        return CSrcPtr(CSrcScalar("char"))
+    if kind == "methodid":
+        return CSrcPtr(CSrcStruct("jmethodID"))
+    if kind == "fieldid":
+        return CSrcPtr(CSrcStruct("jfieldID"))
+    if kind == "void":
+        return CSrcVoid()
+    raise ValueError(kind)
+
+
+def spec_to_cfun(spec: JniSpec) -> CFun:
+    """Materialize a spec with fresh type variables."""
+    return CFun(
+        params=tuple(_kind_to_ct(k) for k in spec.params),
+        result=_kind_to_ct(spec.result),
+        effect=NOGC,
+    )
+
+
+#: The primitive letters of ``Call<T>Method``/``Get<T>Field`` families:
+#: suffix -> (descriptor letter, spec kind).
+TYPE_VARIANTS: dict[str, tuple[str, str]] = {
+    "Object": ("L", "value"),
+    "Boolean": ("Z", "int"),
+    "Byte": ("B", "int"),
+    "Char": ("C", "int"),
+    "Short": ("S", "int"),
+    "Int": ("I", "int"),
+    "Long": ("J", "int"),
+    "Float": ("F", "int"),
+    "Double": ("D", "int"),
+}
+
+#: jobject-valued JVM scalar arrays, for ``New<T>Array`` and friends.
+_ARRAY_VARIANTS = (
+    "Boolean",
+    "Byte",
+    "Char",
+    "Short",
+    "Int",
+    "Long",
+    "Float",
+    "Double",
+)
+
+
+def _build_runtime_table() -> dict[str, JniSpec]:
+    table: dict[str, JniSpec] = {
+        # rewrite targets (see repro.jni.rewrite)
+        "__jni_null": JniSpec((), "value"),
+        "__jni_is_null": JniSpec(("value",), "int"),
+        # classes and reflection
+        "FindClass": JniSpec(("charptr",), "value"),
+        "GetObjectClass": JniSpec(("value",), "value"),
+        "GetSuperclass": JniSpec(("value",), "value"),
+        "IsAssignableFrom": JniSpec(("value", "value"), "int"),
+        "IsInstanceOf": JniSpec(("value", "value"), "int"),
+        "IsSameObject": JniSpec(("value", "value"), "int"),
+        # method / field lookup
+        "GetMethodID": JniSpec(("value", "charptr", "charptr"), "methodid"),
+        "GetStaticMethodID": JniSpec(
+            ("value", "charptr", "charptr"), "methodid"
+        ),
+        "GetFieldID": JniSpec(("value", "charptr", "charptr"), "fieldid"),
+        "GetStaticFieldID": JniSpec(
+            ("value", "charptr", "charptr"), "fieldid"
+        ),
+        # object construction (varargs tail truncated by the rewrite)
+        "NewObject": JniSpec(("value", "methodid"), "value"),
+        "AllocObject": JniSpec(("value",), "value"),
+        # strings
+        "NewStringUTF": JniSpec(("charptr",), "value"),
+        "NewString": JniSpec(("voidptr", "int"), "value"),
+        "GetStringLength": JniSpec(("value",), "int"),
+        "GetStringUTFLength": JniSpec(("value",), "int"),
+        "GetStringUTFChars": JniSpec(("value", "any"), "charptr"),
+        "ReleaseStringUTFChars": JniSpec(("value", "charptr"), "void"),
+        "GetStringChars": JniSpec(("value", "any"), "voidptr"),
+        "ReleaseStringChars": JniSpec(("value", "voidptr"), "void"),
+        # reference lifecycle
+        "NewLocalRef": JniSpec(("value",), "value"),
+        "DeleteLocalRef": JniSpec(("value",), "void"),
+        "NewGlobalRef": JniSpec(("value",), "value"),
+        "DeleteGlobalRef": JniSpec(("value",), "void"),
+        "NewWeakGlobalRef": JniSpec(("value",), "value"),
+        "DeleteWeakGlobalRef": JniSpec(("value",), "void"),
+        "EnsureLocalCapacity": JniSpec(("int",), "int"),
+        "PushLocalFrame": JniSpec(("int",), "int"),
+        "PopLocalFrame": JniSpec(("value",), "value"),
+        # exceptions
+        "Throw": JniSpec(("value",), "int"),
+        "ThrowNew": JniSpec(("value", "charptr"), "int"),
+        "ExceptionOccurred": JniSpec((), "value"),
+        "ExceptionCheck": JniSpec((), "int"),
+        "ExceptionClear": JniSpec((), "void"),
+        "ExceptionDescribe": JniSpec((), "void"),
+        "FatalError": JniSpec(("charptr",), "void"),
+        # object arrays
+        "GetArrayLength": JniSpec(("value",), "int"),
+        "NewObjectArray": JniSpec(("int", "value", "value"), "value"),
+        "GetObjectArrayElement": JniSpec(("value", "int"), "value"),
+        "SetObjectArrayElement": JniSpec(("value", "int", "value"), "void"),
+        # monitors and the VM
+        "MonitorEnter": JniSpec(("value",), "int"),
+        "MonitorExit": JniSpec(("value",), "int"),
+        "GetJavaVM": JniSpec(("voidptr",), "int"),
+        "GetVersion": JniSpec((), "int"),
+        "RegisterNatives": JniSpec(("value", "voidptr", "int"), "int"),
+        "UnregisterNatives": JniSpec(("value",), "int"),
+    }
+    for suffix, (_, kind) in TYPE_VARIANTS.items():
+        # instance and static calls (varargs tails truncated by the rewrite)
+        table[f"Call{suffix}Method"] = JniSpec(("value", "methodid"), kind)
+        table[f"CallStatic{suffix}Method"] = JniSpec(
+            ("value", "methodid"), kind
+        )
+        table[f"CallNonvirtual{suffix}Method"] = JniSpec(
+            ("value", "value", "methodid"), kind
+        )
+        # field access
+        table[f"Get{suffix}Field"] = JniSpec(("value", "fieldid"), kind)
+        table[f"Set{suffix}Field"] = JniSpec(("value", "fieldid", kind), "void")
+        table[f"GetStatic{suffix}Field"] = JniSpec(("value", "fieldid"), kind)
+        table[f"SetStatic{suffix}Field"] = JniSpec(
+            ("value", "fieldid", kind), "void"
+        )
+    table["CallVoidMethod"] = JniSpec(("value", "methodid"), "void")
+    table["CallStaticVoidMethod"] = JniSpec(("value", "methodid"), "void")
+    table["CallNonvirtualVoidMethod"] = JniSpec(
+        ("value", "value", "methodid"), "void"
+    )
+    for variant in _ARRAY_VARIANTS:
+        table[f"New{variant}Array"] = JniSpec(("int",), "value")
+        table[f"Get{variant}ArrayElements"] = JniSpec(
+            ("value", "any"), "voidptr"
+        )
+        table[f"Release{variant}ArrayElements"] = JniSpec(
+            ("value", "voidptr", "int"), "void"
+        )
+        table[f"Get{variant}ArrayRegion"] = JniSpec(
+            ("value", "int", "int", "voidptr"), "void"
+        )
+        table[f"Set{variant}ArrayRegion"] = JniSpec(
+            ("value", "int", "int", "voidptr"), "void"
+        )
+    return table
+
+
+#: The ``JNIEnv`` function-table surface glue actually uses, plus the
+#: ``__jni_*`` internals the rewrite introduces.
+RUNTIME_FUNCTIONS: dict[str, JniSpec] = _build_runtime_table()
+
+#: Well-known runtime constants visible in every function (``jni.h``
+#: macros the tokenizer would otherwise leave as bare identifiers).
+GLOBAL_SCALARS: tuple[str, ...] = (
+    "JNI_TRUE",
+    "JNI_FALSE",
+    "JNI_OK",
+    "JNI_ERR",
+    "JNI_COMMIT",
+    "JNI_ABORT",
+    "JNI_VERSION_1_2",
+    "JNI_VERSION_1_4",
+    "JNI_VERSION_1_6",
+    "JNI_VERSION_1_8",
+)
+
+
+def builtin_entries() -> dict[str, Entry]:
+    """Fresh function-environment entries for every JNIEnv entry point."""
+    return {
+        name: Entry(spec_to_cfun(spec))
+        for name, spec in RUNTIME_FUNCTIONS.items()
+    }
+
+
+def global_entries() -> dict[str, Entry]:
+    """Fresh bindings for the well-known scalar constants."""
+    return {name: Entry(C_INT) for name in GLOBAL_SCALARS}
+
+
+#: Builtins whose types are instantiated afresh at every call site.
+POLYMORPHIC_BUILTINS: frozenset[str] = frozenset(RUNTIME_FUNCTIONS)
+
+
+def lowering_return_types() -> dict[str, CSrcType]:
+    """Static return types for the lowering's symbol table."""
+    return {
+        name: _kind_to_src(spec.result)
+        for name, spec in RUNTIME_FUNCTIONS.items()
+    }
+
+
+# -- reference semantics -------------------------------------------------------
+
+#: Entry points whose result is a *local* reference the VM frees when the
+#: native frame returns — but which overflows the local-reference table
+#: when created per loop iteration without DeleteLocalRef.
+LOCAL_REF_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "FindClass",
+        "GetObjectClass",
+        "GetSuperclass",
+        "NewObject",
+        "AllocObject",
+        "NewStringUTF",
+        "NewString",
+        "NewLocalRef",
+        "NewObjectArray",
+        "GetObjectArrayElement",
+        "CallObjectMethod",
+        "CallStaticObjectMethod",
+        "CallNonvirtualObjectMethod",
+        "GetObjectField",
+        "GetStaticObjectField",
+        "ExceptionOccurred",
+        "PopLocalFrame",
+    }
+    | {f"New{variant}Array" for variant in _ARRAY_VARIANTS}
+)
+
+#: Entry points whose result outlives the frame and must be released.
+GLOBAL_REF_FUNCTIONS: frozenset[str] = frozenset(
+    {"NewGlobalRef", "NewWeakGlobalRef"}
+)
+
+#: Delete spellings the refs pass interprets.
+DELETE_LOCAL_FUNCTIONS: frozenset[str] = frozenset({"DeleteLocalRef"})
+DELETE_GLOBAL_FUNCTIONS: frozenset[str] = frozenset(
+    {"DeleteGlobalRef", "DeleteWeakGlobalRef"}
+)

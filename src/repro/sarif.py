@@ -9,14 +9,25 @@ reporting rule (``ruleId`` = the kind's name), each
 ``mlffi-check batch --format sarif`` emit one log with a single run, so
 the output can be uploaded with ``github/codeql-action/upload-sarif``
 unmodified.
+
+A batch sweep goes through :func:`batch_sarif_log` — the single place
+that flattens per-unit results, so the log can never split into one run
+per translation unit and rule metadata is deduplicated across units
+(two units firing the same kind share one ``rules`` entry).  Units the
+engine itself failed on (parse crashes) have no diagnostics to report;
+they surface as tool-execution notifications on the run's invocation,
+with ``executionSuccessful`` cleared, instead of being dropped.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .diagnostics import Diagnostic, Kind
 from .source import DUMMY_SPAN, Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine.jobs import BatchReport
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
@@ -106,3 +117,33 @@ def sarif_log(
             }
         ],
     }
+
+
+def batch_sarif_log(
+    report: "BatchReport", *, tool_version: str = "1.1.0"
+) -> dict:
+    """One merged SARIF log for a whole batch sweep.
+
+    All unit diagnostics flatten, in submission order, into a *single*
+    run with rule metadata deduplicated across units; per-unit engine
+    failures become tool-execution notifications and clear the
+    invocation's ``executionSuccessful`` flag.
+    """
+    log = sarif_log(
+        (diag for result in report.results for diag in result.diagnostics),
+        tool_version=tool_version,
+    )
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": f"{result.name}: {result.failure}"},
+            "properties": {"unit": result.name},
+        }
+        for result in report.results
+        if result.failure is not None
+    ]
+    invocation: dict = {"executionSuccessful": not notifications}
+    if notifications:
+        invocation["toolExecutionNotifications"] = notifications
+    log["runs"][0]["invocations"] = [invocation]
+    return log

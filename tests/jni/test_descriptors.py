@@ -1,0 +1,252 @@
+"""JVM descriptor grammar and the descriptor-use checking pass."""
+
+import pytest
+
+from repro.cfront.parser import parse_c_text
+from repro.diagnostics import Kind
+from repro.jni import runtime
+from repro.jni.descriptors import (
+    check_unit,
+    class_name_ok,
+    field_descriptor,
+    method_descriptor,
+)
+
+HINTS = runtime.parse_hints()
+
+
+def analyze(text):
+    return check_unit(parse_c_text(text, hints=HINTS))
+
+
+class TestFieldDescriptors:
+    @pytest.mark.parametrize(
+        "desc,letter",
+        [
+            ("I", "I"),
+            ("Z", "Z"),
+            ("D", "D"),
+            ("Ljava/lang/String;", "L"),
+            ("[I", "["),
+            ("[[Ljava/lang/Object;", "["),
+        ],
+    )
+    def test_valid(self, desc, letter):
+        assert field_descriptor(desc) == letter
+
+    @pytest.mark.parametrize(
+        "desc",
+        ["", "Q", "II", "L;", "Ljava/lang/String", "Ljava.lang.String;", "["],
+    )
+    def test_malformed(self, desc):
+        assert field_descriptor(desc) is None
+
+
+class TestMethodDescriptors:
+    def test_params_and_return(self):
+        assert method_descriptor("(ILjava/lang/String;)V") == (
+            ("I", "L"),
+            "V",
+        )
+
+    def test_array_params(self):
+        assert method_descriptor("([I[Ljava/lang/Object;)J") == (
+            ("[", "["),
+            "J",
+        )
+
+    def test_no_params(self):
+        assert method_descriptor("()I") == ((), "I")
+
+    @pytest.mark.parametrize(
+        "desc", ["", "I", "(I", "(I)", "()", "(Q)V", "()IV", "(I)V extra"]
+    )
+    def test_malformed(self, desc):
+        assert method_descriptor(desc) is None
+
+
+class TestClassNames:
+    def test_internal_names_ok(self):
+        assert class_name_ok("java/lang/String")
+        assert class_name_ok("[Ljava/lang/String;")
+
+    def test_dotted_names_rejected(self):
+        assert not class_name_ok("java.lang.String")
+
+    def test_descriptor_spelling_rejected(self):
+        # FindClass("Ljava/lang/String;") is a NoClassDefFoundError at
+        # runtime: ';' never appears in an internal name
+        assert not class_name_ok("Ljava/lang/String;")
+
+
+class TestLookupSites:
+    def test_malformed_field_descriptor_reported(self):
+        diags = analyze(
+            "jint f(JNIEnv *env, jobject box)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            '    jfieldID fid = (*env)->GetFieldID(env, cls, "n", "Q");\n'
+            "    return (*env)->GetIntField(env, box, fid);\n"
+            "}\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_BAD_DESCRIPTOR]
+
+    def test_dotted_find_class_reported(self):
+        diags = analyze(
+            "jclass f(JNIEnv *env)\n"
+            "{\n"
+            '    return (*env)->FindClass(env, "java.lang.String");\n'
+            "}\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_BAD_DESCRIPTOR]
+
+    def test_descriptor_spelled_find_class_reported(self):
+        diags = analyze(
+            "jclass f(JNIEnv *env)\n"
+            "{\n"
+            '    return (*env)->FindClass(env, "Ljava/lang/String;");\n'
+            "}\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_BAD_DESCRIPTOR]
+        assert "field-descriptor spelling" in diags[0].message
+
+    def test_well_formed_lookups_are_silent(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jclass cls)\n"
+            "{\n"
+            '    jmethodID m = (*env)->GetMethodID(env, cls, "get", "(I)Ljava/lang/Object;");\n'
+            '    jfieldID fid = (*env)->GetStaticFieldID(env, cls, "N", "J");\n'
+            "}\n"
+        )
+        assert diags == []
+
+
+class TestUseSites:
+    def test_return_variant_mismatch(self):
+        diags = analyze(
+            "jobject f(JNIEnv *env, jobject list)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, list);\n"
+            '    jmethodID size = (*env)->GetMethodID(env, cls, "size", "()I");\n'
+            "    return (*env)->CallObjectMethod(env, list, size);\n"
+            "}\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_DESCRIPTOR_MISMATCH]
+
+    def test_argument_count_mismatch(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject list, jint n)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, list);\n"
+            '    jmethodID m = (*env)->GetMethodID(env, cls, "add", "(I)V");\n'
+            "    (*env)->CallVoidMethod(env, list, m, n, n);\n"
+            "}\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_DESCRIPTOR_MISMATCH]
+
+    def test_argument_class_mismatch(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject list, jobject item)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, list);\n"
+            '    jmethodID m = (*env)->GetMethodID(env, cls, "get", "(I)V");\n'
+            "    (*env)->CallVoidMethod(env, list, m, item);\n"
+            "}\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_DESCRIPTOR_MISMATCH]
+
+    def test_matching_call_is_silent(self):
+        diags = analyze(
+            "jint f(JNIEnv *env, jobject list, jint n)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, list);\n"
+            '    jmethodID m = (*env)->GetMethodID(env, cls, "get", "(I)I");\n'
+            "    return (*env)->CallIntMethod(env, list, m, n);\n"
+            "}\n"
+        )
+        assert diags == []
+
+    def test_field_variant_mismatch(self):
+        diags = analyze(
+            "jint f(JNIEnv *env, jobject box)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            '    jfieldID fid = (*env)->GetFieldID(env, cls, "name", "Ljava/lang/String;");\n'
+            "    return (*env)->GetIntField(env, box, fid);\n"
+            "}\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_DESCRIPTOR_MISMATCH]
+
+    def test_set_field_value_class_checked(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject box, jobject item)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            '    jfieldID fid = (*env)->GetFieldID(env, cls, "n", "I");\n'
+            "    (*env)->SetIntField(env, box, fid, item);\n"
+            "}\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_DESCRIPTOR_MISMATCH]
+
+    def test_object_field_accepts_arrays(self):
+        diags = analyze(
+            "jobject f(JNIEnv *env, jobject box)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            '    jfieldID fid = (*env)->GetFieldID(env, cls, "xs", "[I");\n'
+            "    return (*env)->GetObjectField(env, box, fid);\n"
+            "}\n"
+        )
+        assert diags == []
+
+    def test_conflicting_rebind_is_never_guessed(self):
+        diags = analyze(
+            "jint f(JNIEnv *env, jobject box, jint which)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            '    jfieldID fid = (*env)->GetFieldID(env, cls, "a", "I");\n'
+            "    if (which)\n"
+            '        fid = (*env)->GetFieldID(env, cls, "b", "J");\n'
+            "    return (*env)->GetIntField(env, box, fid);\n"
+            "}\n"
+        )
+        assert diags == []
+
+
+class TestNativeMethodTables:
+    def test_malformed_table_signature(self):
+        diags = analyze(
+            "static jint work(JNIEnv *env, jobject self) { return 1; }\n"
+            "static JNINativeMethod M[] = {\n"
+            '    {"work", "(II", (void *) work},\n'
+            "};\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_BAD_DESCRIPTOR]
+
+    def test_well_formed_table_is_silent(self):
+        diags = analyze(
+            "static jint work(JNIEnv *env, jobject self) { return 1; }\n"
+            "static JNINativeMethod M[] = {\n"
+            '    {"work", "()I", (void *) work},\n'
+            "};\n"
+        )
+        assert diags == []
+
+    def test_designated_rows_resolve_by_field_name(self):
+        # .signature may appear in any position; the row is valid
+        diags = analyze(
+            "static jint work(JNIEnv *env, jobject self) { return 1; }\n"
+            "static JNINativeMethod M[] = {\n"
+            '    {.signature = "()I", .name = "work", .fnPtr = (void *) work},\n'
+            "};\n"
+        )
+        assert diags == []
+
+    def test_designated_rows_still_catch_malformed_signatures(self):
+        diags = analyze(
+            "static jint work(JNIEnv *env, jobject self) { return 1; }\n"
+            "static JNINativeMethod M[] = {\n"
+            '    {.signature = "(II", .name = "work", .fnPtr = (void *) work},\n'
+            "};\n"
+        )
+        assert [d.kind for d in diags] == [Kind.JNI_BAD_DESCRIPTOR]

@@ -1,0 +1,125 @@
+"""End-to-end jni dialect: the acceptance-criteria scenarios."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import Project
+from repro.diagnostics import Kind
+from repro.source import SourceFile
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples" / "jni"
+
+
+def analyze_text(text, name="native.c"):
+    return Project(dialect="jni").add_c(SourceFile(name, text)).analyze()
+
+
+def analyze_example(filename):
+    path = EXAMPLES / filename
+    return analyze_text(path.read_text(), name=str(path))
+
+
+class TestExampleCorpus:
+    def test_clean_module_has_zero_errors_or_warnings(self):
+        report = analyze_example("clean_native.c")
+        tally = report.tally()
+        assert tally["errors"] == 0
+        assert tally["warnings"] == 0
+
+    def test_bad_native_reports_the_seeded_defects(self):
+        report = analyze_example("bad_native.c")
+        kinds = {d.kind for d in report.diagnostics}
+        assert Kind.JNI_BAD_DESCRIPTOR in kinds
+        assert Kind.JNI_DESCRIPTOR_MISMATCH in kinds
+        assert Kind.JNI_LOCAL_REF_LEAK in kinds
+        assert Kind.JNI_USE_AFTER_DELETE in kinds
+        assert Kind.JNI_GLOBAL_REF_LEAK in kinds
+        assert Kind.JNI_LOCAL_ESCAPE in kinds
+
+    def test_bad_native_defects_land_in_the_right_functions(self):
+        report = analyze_example("bad_native.c")
+        by_fn = {(d.kind, d.function) for d in report.diagnostics}
+        assert (Kind.JNI_BAD_DESCRIPTOR, "bad_descriptor") in by_fn
+        assert (Kind.JNI_BAD_DESCRIPTOR, "bad_dotted_class") in by_fn
+        assert (Kind.JNI_DESCRIPTOR_MISMATCH, "bad_return_variant") in by_fn
+        assert (Kind.JNI_DESCRIPTOR_MISMATCH, "bad_call_arity") in by_fn
+        assert (Kind.JNI_LOCAL_REF_LEAK, "bad_loop_leak") in by_fn
+        assert (Kind.JNI_USE_AFTER_DELETE, "bad_use_after_delete") in by_fn
+        assert (Kind.JNI_GLOBAL_REF_LEAK, "bad_global_leak") in by_fn
+        assert (Kind.JNI_LOCAL_ESCAPE, "bad_cache") in by_fn
+
+    def test_bad_native_error_count_is_stable(self):
+        # the CI smoke gate pins the `check` exit status to this number
+        report = analyze_example("bad_native.c")
+        assert report.tally()["errors"] == 8
+
+
+class TestRegistrationContract:
+    def test_wrong_arity_definition_is_flagged(self):
+        # "(I)I" dictates (env, self, jint); a two-parameter definition
+        # clashes with Γ_I exactly like an external/stub arity mismatch
+        report = analyze_text(
+            "static jint work(JNIEnv *env, jobject self) { return 1; }\n"
+            'static JNINativeMethod M[] = {{"work", "(I)I", (void *) work}};\n'
+        )
+        assert any(d.kind is Kind.ARITY_MISMATCH for d in report.errors)
+
+    def test_matching_definition_is_clean(self):
+        report = analyze_text(
+            "static jint work(JNIEnv *env, jobject self, jint n)\n"
+            "{ return n; }\n"
+            'static JNINativeMethod M[] = {{"work", "(I)I", (void *) work}};\n'
+        )
+        assert len(report.diagnostics) == 0
+
+    def test_export_without_env_parameter_is_flagged(self):
+        report = analyze_text(
+            "JNIEXPORT jint JNICALL Java_A_f(jobject self, jint n)\n"
+            "{ return n; }\n"
+        )
+        assert any(d.kind is Kind.TYPE_MISMATCH for d in report.errors)
+
+
+class TestCoreInferenceReuse:
+    def test_reference_used_as_scalar_is_a_type_error(self):
+        # no CallIntMethod conversion: the shared rules reject the raw
+        # jobject where arithmetic wants a C scalar
+        report = analyze_text(
+            "JNIEXPORT jint JNICALL Java_A_g(JNIEnv *env, jobject self, jobject x)\n"
+            "{\n"
+            "    return x + 1;\n"
+            "}\n"
+        )
+        assert report.tally()["errors"] >= 1
+
+    def test_signatures_render_value_types(self):
+        report = analyze_text(
+            "JNIEXPORT jobject JNICALL Java_A_id(JNIEnv *env, jobject self, jobject x)\n"
+            "{\n"
+            "    return x;\n"
+            "}\n"
+        )
+        assert "value" in report.signatures["Java_A_id"]
+
+
+class TestBatchIntegration:
+    def test_jni_batch_over_examples(self):
+        project = Project.from_directory(EXAMPLES, dialect="jni")
+        assert [Path(s.filename).name for s in project.c_sources] == [
+            "bad_native.c",
+            "clean_native.c",
+        ]
+        report = project.analyze_batch()
+        assert report.tally()["errors"] == 8
+        names = {Path(r.name).name: r for r in report.results}
+        assert names["clean_native.c"].tally()["errors"] == 0
+
+    def test_dialect_rides_the_requests(self):
+        project = Project.from_directory(EXAMPLES, dialect="jni")
+        assert all(r.dialect == "jni" for r in project.to_requests())
+
+
+@pytest.mark.parametrize("filename", ["clean_native.c", "bad_native.c"])
+def test_examples_exist(filename):
+    assert (EXAMPLES / filename).is_file()

@@ -1,0 +1,241 @@
+"""The local/global reference discipline pass."""
+
+from repro.cfront.parser import parse_c_text
+from repro.diagnostics import Kind
+from repro.jni import runtime
+from repro.jni.refs import check_unit
+
+HINTS = runtime.parse_hints()
+
+
+def analyze(text):
+    return check_unit(parse_c_text(text, hints=HINTS))
+
+
+def kinds(diags):
+    return [d.kind for d in diags]
+
+
+class TestLoopLeak:
+    def test_per_iteration_local_without_delete(self):
+        diags = analyze(
+            "jint f(JNIEnv *env, jobjectArray items, jsize n)\n"
+            "{\n"
+            "    jsize i;\n"
+            "    for (i = 0; i < n; i = i + 1) {\n"
+            "        jobject item = (*env)->GetObjectArrayElement(env, items, i);\n"
+            "        (*env)->GetStringLength(env, item);\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_LOCAL_REF_LEAK]
+
+    def test_deleted_per_iteration_is_clean(self):
+        diags = analyze(
+            "jint f(JNIEnv *env, jobjectArray items, jsize n)\n"
+            "{\n"
+            "    jsize i;\n"
+            "    for (i = 0; i < n; i = i + 1) {\n"
+            "        jobject item = (*env)->GetObjectArrayElement(env, items, i);\n"
+            "        (*env)->GetStringLength(env, item);\n"
+            "        (*env)->DeleteLocalRef(env, item);\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        assert diags == []
+
+    def test_while_loop_also_checked(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject it, jmethodID next)\n"
+            "{\n"
+            "    while ((*env)->ExceptionCheck(env)) {\n"
+            "        jobject item = (*env)->CallObjectMethod(env, it, next);\n"
+            "        (*env)->GetStringLength(env, item);\n"
+            "    }\n"
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_LOCAL_REF_LEAK]
+
+    def test_straight_line_local_is_not_a_leak(self):
+        # the VM frees the frame's locals itself; only iteration overflows
+        diags = analyze(
+            "void f(JNIEnv *env, jobject box)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            "    (*env)->IsInstanceOf(env, box, cls);\n"
+            "}\n"
+        )
+        assert diags == []
+
+    def test_body_that_returns_does_not_iterate(self):
+        diags = analyze(
+            "jobject f(JNIEnv *env, jobjectArray items, jsize n)\n"
+            "{\n"
+            "    jsize i;\n"
+            "    for (i = 0; i < n; i = i + 1) {\n"
+            "        jobject item = (*env)->GetObjectArrayElement(env, items, i);\n"
+            "        return item;\n"
+            "    }\n"
+            "    return NULL;\n"
+            "}\n"
+        )
+        assert diags == []
+
+
+class TestUseAfterDelete:
+    def test_use_after_delete_local(self):
+        diags = analyze(
+            "jint f(JNIEnv *env, jobject box)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            "    (*env)->DeleteLocalRef(env, cls);\n"
+            "    return (*env)->IsInstanceOf(env, box, cls);\n"
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_USE_AFTER_DELETE]
+
+    def test_double_delete(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject box)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            "    (*env)->DeleteLocalRef(env, cls);\n"
+            "    (*env)->DeleteLocalRef(env, cls);\n"
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_USE_AFTER_DELETE]
+
+    def test_delete_on_one_path_only_is_unknown(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject box, jint flag)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, box);\n"
+            "    if (flag)\n"
+            "        (*env)->DeleteLocalRef(env, cls);\n"
+            "    (*env)->IsInstanceOf(env, box, cls);\n"
+            "}\n"
+        )
+        assert diags == []
+
+
+class TestGlobalRefs:
+    def test_unreleased_global_leaks(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject obj, jmethodID m)\n"
+            "{\n"
+            "    jobject pinned = (*env)->NewGlobalRef(env, obj);\n"
+            "    (*env)->CallVoidMethod(env, pinned, m);\n"
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_GLOBAL_REF_LEAK]
+
+    def test_released_global_is_clean(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject obj, jmethodID m)\n"
+            "{\n"
+            "    jobject pinned = (*env)->NewGlobalRef(env, obj);\n"
+            "    (*env)->CallVoidMethod(env, pinned, m);\n"
+            "    (*env)->DeleteGlobalRef(env, pinned);\n"
+            "}\n"
+        )
+        assert diags == []
+
+    def test_returned_global_escapes_cleanly(self):
+        diags = analyze(
+            "jobject f(JNIEnv *env, jobject obj)\n"
+            "{\n"
+            "    jobject pinned = (*env)->NewGlobalRef(env, obj);\n"
+            "    return pinned;\n"
+            "}\n"
+        )
+        assert diags == []
+
+    def test_global_stored_in_global_var_is_clean(self):
+        diags = analyze(
+            "static jclass cached;\n"
+            "void f(JNIEnv *env, jobject obj)\n"
+            "{\n"
+            "    jclass cls = (*env)->GetObjectClass(env, obj);\n"
+            "    cached = (*env)->NewGlobalRef(env, cls);\n"
+            "}\n"
+        )
+        assert diags == []
+
+    def test_local_and_global_leaks_on_one_name_both_report(self):
+        # the two leak kinds must not share a per-name dedup set
+        diags = analyze(
+            "void f(JNIEnv *env, jobjectArray items, jobject obj, jsize n)\n"
+            "{\n"
+            "    jsize i;\n"
+            "    for (i = 0; i < n; i = i + 1) {\n"
+            "        jobject x = (*env)->GetObjectArrayElement(env, items, i);\n"
+            "        (*env)->GetStringLength(env, x);\n"
+            "    }\n"
+            "    jobject x = (*env)->NewGlobalRef(env, obj);\n"
+            "    (*env)->GetStringLength(env, x);\n"
+            "}\n"
+        )
+        assert sorted(d.kind.name for d in diags) == [
+            "JNI_GLOBAL_REF_LEAK",
+            "JNI_LOCAL_REF_LEAK",
+        ]
+
+    def test_overwritten_global_leaks(self):
+        diags = analyze(
+            "void f(JNIEnv *env, jobject a, jobject b)\n"
+            "{\n"
+            "    jobject pinned = (*env)->NewGlobalRef(env, a);\n"
+            "    pinned = (*env)->NewGlobalRef(env, b);\n"
+            "    (*env)->DeleteGlobalRef(env, pinned);\n"
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_GLOBAL_REF_LEAK]
+
+
+class TestLocalEscape:
+    def test_local_cached_in_global_var(self):
+        diags = analyze(
+            "static jclass cached;\n"
+            "void f(JNIEnv *env)\n"
+            "{\n"
+            '    jclass cls = (*env)->FindClass(env, "java/lang/String");\n'
+            "    cached = cls;\n"
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_LOCAL_ESCAPE]
+
+    def test_parameter_cached_in_global_var(self):
+        diags = analyze(
+            "static jobject cached;\n"
+            "void f(JNIEnv *env, jobject obj)\n"
+            "{\n"
+            "    cached = obj;\n"
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_LOCAL_ESCAPE]
+
+    def test_fresh_local_cached_directly(self):
+        diags = analyze(
+            "static jclass cached;\n"
+            "void f(JNIEnv *env)\n"
+            "{\n"
+            '    cached = (*env)->FindClass(env, "java/lang/String");\n'
+            "}\n"
+        )
+        assert kinds(diags) == [Kind.JNI_LOCAL_ESCAPE]
+
+
+class TestNullRefinement:
+    def test_failed_lookup_early_return_is_clean(self):
+        diags = analyze(
+            "jstring f(JNIEnv *env, jstring name)\n"
+            "{\n"
+            "    jstring result = (*env)->NewStringUTF(env, 0);\n"
+            "    if (result == NULL)\n"
+            "        return NULL;\n"
+            "    return result;\n"
+            "}\n"
+        )
+        assert diags == []

@@ -1,0 +1,126 @@
+"""Phase one: JNINativeMethod tables, Java_* exports, the constant index."""
+
+from repro.cfront.parser import parse_c_text
+from repro.core.types import C_INT, C_VOID, CPtr, CStruct, CValue
+from repro.jni import runtime
+from repro.jni.repository import (
+    build_initial_env,
+    build_repository,
+    is_native_export,
+    native_method_entries,
+)
+
+HINTS = runtime.parse_hints()
+
+
+def parse(text):
+    return parse_c_text(text, hints=HINTS)
+
+
+TABLE = (
+    "static jint native_add(JNIEnv *env, jobject self, jint a, jint b)\n"
+    "{ return a + b; }\n"
+    "static JNINativeMethod gMethods[] = {\n"
+    '    {"add", "(II)I", (void *) native_add},\n'
+    '    {"name", "()Ljava/lang/String;", (void *) native_name},\n'
+    "};\n"
+)
+
+
+class TestNativeMethodTables:
+    def test_rows_parse(self):
+        entries = native_method_entries(parse(TABLE))
+        assert [(e.java_name, e.signature, e.c_name) for e in entries] == [
+            ("add", "(II)I", "native_add"),
+            ("name", "()Ljava/lang/String;", "native_name"),
+        ]
+
+    def test_descriptor_dictates_the_c_signature(self):
+        entries = native_method_entries(parse(TABLE))
+        add = entries[0]
+        params = add.param_types()
+        assert isinstance(params[0], CPtr)
+        assert params[0].target == CStruct("JNIEnv")
+        assert isinstance(params[1], CValue)
+        assert params[2] is C_INT and params[3] is C_INT
+        assert add.result_type() is C_INT
+
+    def test_object_return_is_a_value(self):
+        entries = native_method_entries(parse(TABLE))
+        assert isinstance(entries[1].result_type(), CValue)
+
+    def test_designated_initializers(self):
+        unit = parse(
+            "static JNINativeMethod M[] = {\n"
+            '    {.name = "f", .signature = "()V", .fnPtr = (void *) g},\n'
+            "};\n"
+        )
+        (entry,) = native_method_entries(unit)
+        assert entry.c_name == "g"
+        assert entry.signature == "()V"
+
+    def test_malformed_signature_seeds_nothing(self):
+        unit = parse(
+            'static JNINativeMethod M[] = {{"f", "(II", (void *) g}};\n'
+        )
+        env = build_initial_env([unit])
+        assert "g" not in env.functions
+
+
+class TestInitialEnv:
+    def test_table_rows_become_gamma_entries(self):
+        env = build_initial_env([parse(TABLE)])
+        fun = env.functions["native_add"]
+        assert len(fun.params) == 4
+        assert fun.result is C_INT
+
+    def test_void_return(self):
+        unit = parse(
+            'static JNINativeMethod M[] = {{"f", "(I)V", (void *) g}};\n'
+        )
+        assert build_initial_env([unit]).functions["g"].result is C_VOID
+
+    def test_java_exports_get_the_convention_contract(self):
+        unit = parse(
+            "JNIEXPORT jint JNICALL Java_A_f(JNIEnv *env, jobject self, jint n)\n"
+            "{ return n; }\n"
+        )
+        env = build_initial_env([unit])
+        fun = env.functions["Java_A_f"]
+        assert len(fun.params) == 3
+        assert fun.params[0] == CPtr(CStruct("JNIEnv"))
+        assert isinstance(fun.params[1], CValue)
+
+    def test_helpers_are_not_seeded(self):
+        unit = parse("static jint helper(jint n) { return n; }\n")
+        assert build_initial_env([unit]).functions == {}
+
+    def test_is_native_export(self):
+        assert is_native_export("Java_com_example_Native_add")
+        assert not is_native_export("native_add")
+
+
+class TestClassRepository:
+    def test_constants_are_indexed(self):
+        unit = parse(
+            "void f(JNIEnv *env, jobject box)\n"
+            "{\n"
+            '    jclass cls = (*env)->FindClass(env, "java/util/List");\n'
+            '    jmethodID m = (*env)->GetMethodID(env, cls, "size", "()I");\n'
+            '    jfieldID fid = (*env)->GetFieldID(env, cls, "n", "I");\n'
+            "}\n"
+        )
+        repo = build_repository([unit])
+        assert "java/util/List" in repo.classes
+        assert ("size", "()I") in repo.methods
+        assert ("n", "I") in repo.fields
+
+    def test_non_literal_lookups_are_skipped(self):
+        unit = parse(
+            "void f(JNIEnv *env, jclass cls, char *name)\n"
+            "{\n"
+            '    jmethodID m = (*env)->GetMethodID(env, cls, name, "()I");\n'
+            "}\n"
+        )
+        repo = build_repository([unit])
+        assert repo.methods == {}

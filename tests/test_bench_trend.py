@@ -1,0 +1,159 @@
+"""The bench-trend harness: schema of the committed trajectory document,
+ratio extraction, and the regression gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+TREND_DOC = ROOT / "BENCH_PR4.json"
+
+
+def _load_trend_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trend", ROOT / "benchmarks" / "bench_trend.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def trend():
+    return _load_trend_module()
+
+
+class TestCommittedDocument:
+    """CI produces BENCH_PR4.json; this is the schema it must satisfy."""
+
+    def test_document_is_committed(self):
+        assert TREND_DOC.is_file(), TREND_DOC
+
+    def test_document_validates(self, trend):
+        document = json.loads(TREND_DOC.read_text())
+        assert trend.validate(document) == []
+
+    def test_document_covers_all_four_benchmarks(self):
+        document = json.loads(TREND_DOC.read_text())
+        assert set(document["benchmarks"]) >= {
+            "batch",
+            "pyext",
+            "serve",
+            "jni",
+        }
+
+    def test_document_tracks_serve_speedups_per_dialect(self):
+        ratios = json.loads(TREND_DOC.read_text())["ratios"]
+        for dialect in ("ocaml", "pyext", "jni"):
+            assert ratios[f"serve_speedup_{dialect}"] > 0
+
+    def test_document_records_no_failures(self):
+        gates = json.loads(TREND_DOC.read_text())["gates"]
+        assert gates["bench_failures"] == []
+        assert gates["regressions"] == []
+
+
+class TestValidate:
+    def test_missing_ratio_is_a_problem(self, trend):
+        document = json.loads(TREND_DOC.read_text())
+        del document["ratios"]["serve_speedup_jni"]
+        assert any("serve_speedup_jni" in p for p in trend.validate(document))
+
+    def test_wrong_schema_name_is_a_problem(self, trend):
+        document = json.loads(TREND_DOC.read_text())
+        document["schema"] = "something-else"
+        assert trend.validate(document)
+
+
+class TestRegressionGate:
+    RATIOS = {
+        "batch_parallel_speedup": 2.0,
+        "batch_warm_fraction_of_cold": 0.10,
+        "pyext_warm_fraction_of_cold": 0.10,
+        "jni_warm_fraction_of_cold": 0.10,
+        "serve_speedup_ocaml": 10.0,
+        "serve_speedup_pyext": 10.0,
+        "serve_speedup_jni": 10.0,
+    }
+
+    def test_identical_ratios_pass(self, trend):
+        assert trend.compare_ratios(self.RATIOS, self.RATIOS, 0.20) == []
+
+    def test_speedup_drop_beyond_tolerance_fails(self, trend):
+        current = dict(self.RATIOS, serve_speedup_jni=7.0)  # -30%
+        problems = trend.compare_ratios(current, self.RATIOS, 0.20)
+        assert any("serve_speedup_jni" in p for p in problems)
+
+    def test_speedup_drop_within_tolerance_passes(self, trend):
+        current = dict(self.RATIOS, serve_speedup_jni=8.5)  # -15%
+        assert trend.compare_ratios(current, self.RATIOS, 0.20) == []
+
+    def test_warm_fraction_growth_beyond_tolerance_fails(self, trend):
+        current = dict(self.RATIOS, batch_warm_fraction_of_cold=0.15)  # +50%
+        problems = trend.compare_ratios(current, self.RATIOS, 0.20)
+        assert any("batch_warm_fraction_of_cold" in p for p in problems)
+
+    def test_improvements_always_pass(self, trend):
+        current = dict(
+            self.RATIOS,
+            serve_speedup_jni=20.0,
+            batch_warm_fraction_of_cold=0.01,
+        )
+        assert trend.compare_ratios(current, self.RATIOS, 0.20) == []
+
+    def test_ratios_absent_from_baseline_are_skipped(self, trend):
+        baseline = {"serve_speedup_ocaml": 10.0}
+        current = dict(self.RATIOS, serve_speedup_ocaml=9.0)
+        assert trend.compare_ratios(current, baseline, 0.20) == []
+
+
+class TestBaselineSelection:
+    def test_highest_pr_number_wins(self, trend, tmp_path):
+        for name in ("BENCH_PR2.json", "BENCH_PR10.json", "BENCH_PR4.json"):
+            (tmp_path / name).write_text("{}")
+        found = trend.find_baseline(tmp_path, None)
+        assert found.name == "BENCH_PR10.json"
+
+    def test_output_file_is_excluded(self, trend, tmp_path):
+        for name in ("BENCH_PR2.json", "BENCH_PR4.json"):
+            (tmp_path / name).write_text("{}")
+        found = trend.find_baseline(tmp_path, tmp_path / "BENCH_PR4.json")
+        assert found.name == "BENCH_PR2.json"
+
+    def test_empty_trajectory_has_no_baseline(self, trend, tmp_path):
+        assert trend.find_baseline(tmp_path, None) is None
+
+
+class TestCompareOnlyCLI:
+    def test_compare_only_gates_a_regressed_document(self, trend, tmp_path):
+        baseline = json.loads(TREND_DOC.read_text())
+        (tmp_path / "BENCH_PR3.json").write_text(json.dumps(baseline))
+        regressed = json.loads(TREND_DOC.read_text())
+        for key in regressed["ratios"]:
+            if key.startswith("serve_speedup"):
+                regressed["ratios"][key] = regressed["ratios"][key] * 0.5
+        candidate = tmp_path / "BENCH_PR4.json"
+        candidate.write_text(json.dumps(regressed))
+        code = trend.main(
+            [
+                "--compare-only",
+                str(candidate),
+                "--baseline-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+
+    def test_compare_only_passes_the_committed_document(self, trend, capsys):
+        code = trend.main(
+            [
+                "--compare-only",
+                str(TREND_DOC),
+                "--baseline-dir",
+                str(ROOT),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0

@@ -12,18 +12,19 @@ from repro.boundary import (
 
 class TestRegistry:
     def test_builtin_dialects_available(self):
-        assert set(available_dialects()) >= {"ocaml", "pyext"}
+        assert set(available_dialects()) >= {"ocaml", "pyext", "jni"}
 
     def test_get_dialect_resolves(self):
         assert get_dialect("ocaml").name == "ocaml"
         assert get_dialect("pyext").name == "pyext"
+        assert get_dialect("jni").name == "jni"
 
     def test_unknown_dialect_raises_with_known_names(self):
-        with pytest.raises(ValueError, match="jni.*known.*ocaml"):
-            get_dialect("jni")
+        with pytest.raises(ValueError, match="rustffi.*known.*ocaml"):
+            get_dialect("rustffi")
 
     def test_dialects_satisfy_the_protocol(self):
-        for name in ("ocaml", "pyext"):
+        for name in ("ocaml", "pyext", "jni"):
             assert isinstance(get_dialect(name), BoundaryDialect)
 
     def test_third_dialect_registration(self):
@@ -74,13 +75,41 @@ class TestSuffixMaps:
         assert dialect.host_suffixes == ()
         assert ".c" in dialect.unit_suffixes
 
+    def test_jni_has_no_host_side(self):
+        dialect = get_dialect("jni")
+        assert dialect.host_suffixes == ()
+        assert ".c" in dialect.unit_suffixes
+
 
 class TestSeedIsolation:
     def test_builtin_entries_are_fresh_per_call(self):
-        for name in ("ocaml", "pyext"):
+        for name in ("ocaml", "pyext", "jni"):
             dialect = get_dialect(name)
             first = dialect.builtin_entries()
             second = dialect.builtin_entries()
             probe = next(iter(first))
             assert first[probe] is not second[probe]
             assert first[probe].ct is not second[probe].ct
+
+
+class TestCacheKeyIsolation:
+    """Three dialects coexist without cache-key collisions: the same C
+    text must never replay another dialect's cached analysis."""
+
+    def test_same_source_three_dialects_three_keys(self):
+        from repro.engine.jobs import CheckRequest
+        from repro.source import SourceFile
+
+        source = SourceFile("unit.c", "int f(void) { return 0; }\n")
+        keys = {
+            dialect: CheckRequest(
+                name="unit.c", c_sources=(source,), dialect=dialect
+            ).cache_key()
+            for dialect in ("ocaml", "pyext", "jni")
+        }
+        assert len(set(keys.values())) == 3
+
+    def test_schema_version_bumped_for_the_third_dialect(self):
+        from repro.engine.jobs import CACHE_SCHEMA_VERSION
+
+        assert CACHE_SCHEMA_VERSION >= 4

@@ -32,6 +32,7 @@ def test_jobs_cover_lint_tests_and_bench(workflow):
         "lint",
         "test",
         "bench-smoke",
+        "bench-trend",
         "serve-smoke",
     }
 
@@ -87,3 +88,70 @@ def test_bench_smoke_covers_the_pyext_dialect(workflow):
     assert "--dialect pyext" in runs
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
     assert "pyext-report.json" in uploads[0]["with"]["path"]
+
+
+def test_bench_smoke_covers_the_jni_dialect(workflow):
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "bench_jni.py" in runs
+    assert "--dialect jni" in runs
+    uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
+    assert "jni-report.json" in uploads[0]["with"]["path"]
+
+
+def test_concurrency_cancels_superseded_runs(workflow):
+    concurrency = workflow["concurrency"]
+    assert concurrency["cancel-in-progress"] is True
+    assert "group" in concurrency
+
+
+def test_every_setup_python_step_caches_pip_on_pyproject(workflow):
+    for name, job in workflow["jobs"].items():
+        for step in job["steps"]:
+            if "setup-python" not in step.get("uses", ""):
+                continue
+            with_ = step["with"]
+            assert with_.get("cache") == "pip", (name, step)
+            assert with_.get("cache-dependency-path") == "pyproject.toml", name
+
+
+def test_bench_trend_merges_and_gates_the_trajectory(workflow):
+    steps = workflow["jobs"]["bench-trend"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "bench_trend.py" in runs
+    assert "BENCH_PR4.json" in runs
+    uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
+    assert uploads and "BENCH_PR4.json" in uploads[0]["with"]["path"]
+
+
+def test_bench_trend_stages_the_committed_baseline(workflow):
+    # the regression gate must compare against the committed trajectory
+    # even when the output filename matches the newest BENCH_*.json
+    steps = workflow["jobs"]["bench-trend"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert ".bench-baseline" in runs
+    assert "--baseline-dir" in runs
+
+
+def test_artifacts_upload_only_from_canonical_py312_jobs(workflow):
+    # bench JSON + SARIF artifacts come from single-leg py3.12 jobs; the
+    # version matrix legs upload nothing
+    for name, job in workflow["jobs"].items():
+        uploads = [
+            s for s in job["steps"] if "upload-artifact" in s.get("uses", "")
+        ]
+        if "strategy" in job:
+            assert not uploads, f"matrix job {name} must not upload artifacts"
+        for step in uploads:
+            versions = [
+                s["with"]["python-version"]
+                for s in job["steps"]
+                if "setup-python" in s.get("uses", "")
+            ]
+            assert versions == ["3.12"], name
+
+
+def test_sarif_artifact_rides_the_bench_smoke_leg(workflow):
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
+    assert "glue.sarif" in uploads[0]["with"]["path"]

@@ -7,7 +7,8 @@ import pytest
 from repro.api import check_c_source
 from repro.cli import main
 from repro.diagnostics import Category, Diagnostic, Kind
-from repro.sarif import SARIF_VERSION, rule_for, sarif_log
+from repro.engine.jobs import BatchReport, CheckResult
+from repro.sarif import SARIF_VERSION, batch_sarif_log, rule_for, sarif_log
 from repro.source import DUMMY_SPAN, Position, Span
 
 
@@ -112,6 +113,67 @@ class TestLog:
         json.dumps(log)  # fully JSON-able
 
 
+class TestBatchMerging:
+    """`mlffi-check batch --format sarif` emits ONE merged run with rule
+    metadata deduplicated across units — never one run per unit."""
+
+    def _report(self):
+        return BatchReport(
+            results=[
+                CheckResult(
+                    name="a.c",
+                    diagnostics=[diag(Kind.BAD_VAL_INT, where=span("a.c"))],
+                ),
+                CheckResult(
+                    name="b.c",
+                    diagnostics=[
+                        diag(Kind.BAD_VAL_INT, where=span("b.c")),
+                        diag(Kind.PY_REF_LEAK, where=span("b.c")),
+                    ],
+                ),
+            ]
+        )
+
+    def test_single_run_across_units(self):
+        log = batch_sarif_log(self._report())
+        assert len(log["runs"]) == 1
+        assert len(log["runs"][0]["results"]) == 3
+
+    def test_rules_deduplicated_across_units(self):
+        log = batch_sarif_log(self._report())
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["BAD_VAL_INT", "PY_REF_LEAK"]
+        indexes = [r["ruleIndex"] for r in log["runs"][0]["results"]]
+        assert indexes == [0, 0, 1]
+
+    def test_clean_batch_reports_successful_invocation(self):
+        log = batch_sarif_log(self._report())
+        (invocation,) = log["runs"][0]["invocations"]
+        assert invocation["executionSuccessful"] is True
+        assert "toolExecutionNotifications" not in invocation
+
+    def test_unit_failures_become_notifications(self):
+        report = self._report()
+        report.results.append(
+            CheckResult(name="broken.c", failure="ParseError: boom")
+        )
+        log = batch_sarif_log(report)
+        (invocation,) = log["runs"][0]["invocations"]
+        assert invocation["executionSuccessful"] is False
+        (note,) = invocation["toolExecutionNotifications"]
+        assert note["level"] == "error"
+        assert "broken.c" in note["message"]["text"]
+        json.dumps(log)  # fully JSON-able
+
+    def test_results_keep_submission_order(self):
+        log = batch_sarif_log(self._report())
+        uris = [
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in log["runs"][0]["results"]
+        ]
+        assert uris == ["a.c", "b.c", "b.c"]
+
+
 @pytest.fixture()
 def buggy_tree(tmp_path):
     root = tmp_path / "tree"
@@ -153,6 +215,25 @@ class TestCLISarif:
             "artifactLocation"
         ]["uri"]
         assert uri.endswith("stubs.c")
+
+    def test_batch_two_units_same_kind_share_one_rule(self, buggy_tree, capsys):
+        (buggy_tree / "stubs2.c").write_text(
+            "value ml_g(value x) { return Val_int(x); }\n"
+        )
+        (buggy_tree / "lib.ml").write_text(
+            'external f : int -> int = "ml_f"\n'
+            'external g : int -> int = "ml_g"\n'
+        )
+        code = main(
+            ["batch", str(buggy_tree), "--no-cache", "--format", "sarif"]
+        )
+        assert code == 2
+        log = json.loads(capsys.readouterr().out)
+        assert len(log["runs"]) == 1  # merged, not split per unit
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["BAD_VAL_INT"]
+        assert len(log["runs"][0]["results"]) == 2
+        assert log["runs"][0]["invocations"][0]["executionSuccessful"]
 
     def test_clean_project_sarif_is_empty_run(self, tmp_path, capsys):
         (tmp_path / "ok.c").write_text("int f(void) { return 0; }\n")
