@@ -74,21 +74,32 @@ def bench_dialect(workdir: Path, dialect: str, pad: int) -> dict:
     corpus, _hosts, edit_name = CORPORA[dialect]
     root = build_tree(workdir, corpus, pad)
 
-    # 1. cold batch: every unit analyzed from scratch
+    # 1. cold batch: every unit analyzed from scratch (best-of-2 — the
+    # gate is about steady-state cost, not one noisy sample)
     project = Project.from_directory(root, dialect=dialect)
-    started = time.perf_counter()
-    cold_report = run_batch(project.to_requests(), jobs=1, cache=NullCache())
-    cold_s = time.perf_counter() - started
+    cold_s = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        cold_report = run_batch(
+            project.to_requests(), jobs=1, cache=NullCache()
+        )
+        cold_s = min(cold_s, time.perf_counter() - started)
 
-    # 2. resident session: warm up, edit one file, time the re-check
+    # 2. resident session: warm up, then repeat edit -> invalidate ->
+    # re-check and keep the best cycle (each cycle genuinely re-dirties
+    # and re-analyzes the edited unit)
     session = Session(root, dialect=dialect)
     session.check()
     edited = root / edit_name
-    edited.write_text(edited.read_text() + "\n/* bench edit */\n")
-    session.invalidate([edited])
-    started = time.perf_counter()
-    warm_report = session.check()
-    warm_s = time.perf_counter() - started
+    warm_s = float("inf")
+    for cycle in range(3):
+        edited.write_text(
+            edited.read_text() + f"\n/* bench edit {cycle} */\n"
+        )
+        session.invalidate([edited])
+        started = time.perf_counter()
+        warm_report = session.check()
+        warm_s = min(warm_s, time.perf_counter() - started)
 
     # 3. wire stability: daemon diagnostics byte-identical to one-shot
     service = session.service()

@@ -19,32 +19,32 @@ from ..source import DUMMY_SPAN, Span
 # -- expressions -------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Num:
     value: int
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Str:
     value: str
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Name:
     ident: str
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Unary:
     op: str  # ! ~ - * &
     operand: "CExpr"
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Binary:
     op: str
     left: "CExpr"
@@ -52,7 +52,7 @@ class Binary:
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Conditional:
     cond: "CExpr"
     then: "CExpr"
@@ -60,28 +60,28 @@ class Conditional:
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cast:
     ctype: CSrcType
     operand: "CExpr"
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Call:
     func: "CExpr"
     args: Tuple["CExpr", ...]
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Index:
     base: "CExpr"
     index: "CExpr"
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Member:
     base: "CExpr"
     field_name: str
@@ -89,14 +89,14 @@ class Member:
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SizeOf:
     """``sizeof(type)`` or ``sizeof expr`` — folded to the word size."""
 
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Assign:
     """``lhs op= rhs`` as an expression (op is '' for plain assignment)."""
 
@@ -106,7 +106,7 @@ class Assign:
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IncDec:
     """``x++ / ++x / x-- / --x``."""
 
@@ -115,7 +115,7 @@ class IncDec:
     span: Span = DUMMY_SPAN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InitItem:
     """One element of a brace initializer, optionally designated."""
 
@@ -123,7 +123,7 @@ class InitItem:
     field_name: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InitList:
     """A brace initializer ``{ e, .f = e, { ... }, ... }``.
 
@@ -146,19 +146,19 @@ CExpr = Union[
 # -- statements ----------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Block:
     items: list["CStmtOrDecl"] = field(default_factory=list)
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class ExprStmt:
     expr: CExpr
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class IfStmt:
     cond: CExpr
     then: "CStmt"
@@ -166,21 +166,21 @@ class IfStmt:
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class WhileStmt:
     cond: CExpr
     body: "CStmt"
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class DoWhileStmt:
     body: "CStmt"
     cond: CExpr
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class ForStmt:
     init: Optional["CStmtOrDecl"]
     cond: Optional[CExpr]
@@ -189,50 +189,50 @@ class ForStmt:
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchCase:
     value: Optional[int]  # None for default
     body: list["CStmtOrDecl"]
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchStmt:
     scrutinee: CExpr
     cases: list[SwitchCase]
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class ReturnStmt:
     value: Optional[CExpr]
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class GotoStmt:
     label: str
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class LabeledStmt:
     label: str
     stmt: "CStmt"
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class BreakStmt:
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class ContinueStmt:
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class EmptyStmt:
     span: Span = DUMMY_SPAN
 
@@ -243,7 +243,7 @@ CStmt = Union[
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Declaration:
     """``ctype name = init;`` — one declarator per Declaration node."""
 
@@ -259,7 +259,7 @@ CStmtOrDecl = Union[CStmt, Declaration]
 # -- top level --------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionDef:
     name: str
     return_type: CSrcType
@@ -270,7 +270,7 @@ class FunctionDef:
     polymorphic: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class GlobalDecl:
     name: str
     ctype: CSrcType
@@ -278,7 +278,7 @@ class GlobalDecl:
     span: Span = DUMMY_SPAN
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationUnit:
     functions: list[FunctionDef] = field(default_factory=list)
     globals: list[GlobalDecl] = field(default_factory=list)

@@ -25,7 +25,7 @@ from ..source import DUMMY_SPAN, Span
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntLit:
     """An integer constant ``n``."""
 
@@ -36,7 +36,7 @@ class IntLit:
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StrLit:
     """A C string literal; typed as ``char *`` (scalar pointer)."""
 
@@ -47,7 +47,7 @@ class StrLit:
         return repr(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarExp:
     """A variable reference ``x``."""
 
@@ -58,7 +58,7 @@ class VarExp:
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Deref:
     """``*e``."""
 
@@ -69,7 +69,7 @@ class Deref:
         return f"*{self.exp}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AOp:
     """``e aop e`` — arithmetic/comparison on C integers."""
 
@@ -82,7 +82,7 @@ class AOp:
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PtrAdd:
     """``e +p e`` — address of an offset into a block."""
 
@@ -94,7 +94,7 @@ class PtrAdd:
         return f"({self.base} +p {self.offset})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CastExp:
     """``(ct) e``."""
 
@@ -106,7 +106,7 @@ class CastExp:
         return f"(({self.ctype}) {self.exp})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValIntExp:
     """``Val_int e`` — box a C integer as an OCaml unboxed value."""
 
@@ -117,7 +117,7 @@ class ValIntExp:
         return f"Val_int({self.exp})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntValExp:
     """``Int_val e`` — project an OCaml unboxed value to a C integer."""
 
@@ -128,7 +128,7 @@ class IntValExp:
         return f"Int_val({self.exp})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AddrOf:
     """``&x`` — handled heuristically (paper §5.1)."""
 
@@ -142,7 +142,7 @@ class AddrOf:
 Expr = Union[IntLit, StrLit, VarExp, Deref, AOp, PtrAdd, CastExp, ValIntExp, IntValExp, AddrOf]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallExp:
     """A call ``f(e1, ..., en)``; ``func_exp`` is set for indirect calls."""
 
@@ -165,7 +165,7 @@ Rhs = Union[Expr, CallExp]
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemLval:
     """``*(e +p n)`` — a store into a structured block or through a pointer."""
 
@@ -187,7 +187,7 @@ Lval = Union[VarExp, MemLval]
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SAssign:
     """``lval := e`` or ``lval := f(e, ...)``."""
 
@@ -201,7 +201,7 @@ class SAssign:
         return f"{self.lval} := {self.rhs}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SReturn:
     """``return e``; ``exp`` is None for void returns."""
 
@@ -212,7 +212,7 @@ class SReturn:
         return f"return {self.exp}" if self.exp is not None else "return"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SCamlReturn:
     """``CAMLreturn(e)`` — return releasing registered values."""
 
@@ -223,7 +223,7 @@ class SCamlReturn:
         return f"CAMLreturn({self.exp if self.exp is not None else ''})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SGoto:
     label: str
     span: Span = DUMMY_SPAN
@@ -232,7 +232,7 @@ class SGoto:
         return f"goto {self.label}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SIf:
     """``if e then L`` — branch to ``L`` when ``e`` is non-zero."""
 
@@ -244,7 +244,7 @@ class SIf:
         return f"if {self.cond} then {self.label}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SIfUnboxed:
     """``if unboxed(x) then L`` (from ``Is_long``); fall-through is boxed."""
 
@@ -256,7 +256,7 @@ class SIfUnboxed:
         return f"if unboxed({self.var}) then {self.label}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SIfSumTag:
     """``if sum_tag(x) == n then L`` (from ``Tag_val`` comparisons)."""
 
@@ -269,7 +269,7 @@ class SIfSumTag:
         return f"if sum_tag({self.var}) == {self.tag} then {self.label}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SIfIntTag:
     """``if int_tag(x) == n then L`` (from ``Int_val`` comparisons)."""
 
@@ -282,7 +282,7 @@ class SIfIntTag:
         return f"if int_tag({self.var}) == {self.tag} then {self.label}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SNop:
     """A no-op; exists to give labels a statement to hang on."""
 
@@ -302,7 +302,7 @@ Stmt = Union[
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarDecl:
     """``ctype x = e`` at the top of a function."""
 
@@ -316,7 +316,7 @@ class VarDecl:
         return f"{self.ctype} {self.name}{init}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProtectDecl:
     """``CAMLprotect(x)`` — formalizes CAMLparam/CAMLlocal (paper §3.2)."""
 
@@ -330,7 +330,7 @@ class ProtectDecl:
 Decl = Union[VarDecl, ProtectDecl]
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionIR:
     """One C function lowered to the Figure 5 shape."""
 
@@ -376,7 +376,7 @@ class FunctionIR:
         return "\n".join(lines)
 
 
-@dataclass
+@dataclass(slots=True)
 class ProgramIR:
     """A lowered translation unit (or several merged ones)."""
 

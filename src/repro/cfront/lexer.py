@@ -4,15 +4,20 @@ Handles the preprocessor the way the analysis needs it: ``#include`` lines
 vanish, object-like ``#define NAME <integer>`` macros are collected (glue
 code defines tag numbers this way), and all other directives are skipped
 line-wise.  Comments (both styles) are stripped.
+
+The scanner is a single compiled master regex — one alternation with named
+groups, maximal-munch punctuation baked into the pattern — driven in one
+pass over the text.  Line/column positions are tracked incrementally while
+scanning (tokens arrive in offset order), so no per-token binary search
+over line starts is needed; this is the cold path of every batch sweep.
 """
 
 from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass
 
-from ..source import SourceFile, Span
+from ..source import Position, SourceFile, Span
 
 
 class TokKind(enum.Enum):
@@ -24,11 +29,30 @@ class TokKind(enum.Enum):
     EOF = "eof"
 
 
-@dataclass(frozen=True)
 class Token:
-    kind: TokKind
-    text: str
-    span: Span
+    """One lexeme; a plain slotted class (immutable by convention) because
+    the scanner allocates one per token on the cold path."""
+
+    __slots__ = ("kind", "text", "span")
+
+    def __init__(self, kind: TokKind, text: str, span: Span):
+        self.kind = kind
+        self.text = text
+        self.span = span
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Token)
+            and self.kind is other.kind
+            and self.text == other.text
+            and self.span == other.span
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text, self.span))
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, {self.span!r})"
 
     def is_punct(self, *texts: str) -> bool:
         return self.kind is TokKind.PUNCT and self.text in texts
@@ -55,16 +79,68 @@ _PUNCTS = [
     "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
 ]
 
-_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
-_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
-_OCT_RE = re.compile(r"0[0-7]+")
-_DEC_RE = re.compile(r"[0-9]+")
-_INT_SUFFIX_RE = re.compile(r"[uUlL]*")
 _DEFINE_RE = re.compile(
     r"#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\s+(.+?)\s*$", re.MULTILINE
 )
 
 _INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"\n]+)"', re.MULTILINE)
+
+#: The whole token grammar as one alternation.  Group order encodes the
+#: old scanner's priorities: comments and directives are trivia, numbers
+#: try hex before octal before decimal, and the ``BAD*`` groups catch the
+#: openers of unterminated literals so they raise instead of mis-lexing.
+#: Alternation order is semantic where first characters overlap (the
+#: comment groups must precede PUNCT's ``/``; the BAD* groups catch what
+#: their real groups reject) and frequency-tuned where they don't
+#: (identifiers and punctuation lead).  Group *numbers* drive the token
+#: loop's dispatch — keep `_G_*` below in sync.
+_MASTER_RE = re.compile(
+    r"""
+      (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<WS>[ \t\r\n]+)
+    | (?P<NUMBER>(?:0[xX][0-9a-fA-F]+|0[0-7]+|[0-9]+)[uUlL]*)
+    | (?P<LINECOMMENT>//[^\n]*)
+    | (?P<BLOCKCOMMENT>/\*.*?\*/)
+    | (?P<BADCOMMENT>/\*)
+    | (?P<DIRECTIVE>\#(?:[^\n]*\\\n)*[^\n]*)
+    | (?P<STRING>"(?:\\.|[^"\\])*")
+    | (?P<CHAR>'(?:\\.|[^\\])')
+    | (?P<PUNCT>%s)
+    | (?P<BADSTRING>")
+    | (?P<BADCHAR>')
+    """
+    % "|".join(re.escape(p) for p in _PUNCTS),
+    re.VERBOSE | re.DOTALL,
+)
+
+_G_IDENT = _MASTER_RE.groupindex["IDENT"]
+_G_WS = _MASTER_RE.groupindex["WS"]
+_G_NUMBER = _MASTER_RE.groupindex["NUMBER"]
+_G_LINECOMMENT = _MASTER_RE.groupindex["LINECOMMENT"]
+_G_BLOCKCOMMENT = _MASTER_RE.groupindex["BLOCKCOMMENT"]
+_G_BADCOMMENT = _MASTER_RE.groupindex["BADCOMMENT"]
+_G_DIRECTIVE = _MASTER_RE.groupindex["DIRECTIVE"]
+_G_STRING = _MASTER_RE.groupindex["STRING"]
+_G_CHAR = _MASTER_RE.groupindex["CHAR"]
+_G_PUNCT = _MASTER_RE.groupindex["PUNCT"]
+_G_BADSTRING = _MASTER_RE.groupindex["BADSTRING"]
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+_STRING_ESCAPE_RE = re.compile(r"\\(.)", re.DOTALL)
+
+
+def _unescape(match: "re.Match[str]") -> str:
+    char = match.group(1)
+    return _ESCAPES.get(char, char)
 
 
 def scan_includes(text: str) -> tuple[str, ...]:
@@ -92,17 +168,105 @@ class Lexer:
 
     def tokenize(self) -> list[Token]:
         self._collect_defines()
+        source = self.source
+        text = self.text
+        length = len(text)
+        filename = source.filename
+        defines = self.defines
         tokens: list[Token] = []
-        while True:
-            self._skip_trivia()
-            if self.pos >= len(self.text):
-                break
-            token = self._next_token()
-            if token is not None:
-                tokens.append(token)
-        tokens.append(
-            Token(TokKind.EOF, "", self.source.span(self.pos, self.pos))
-        )
+        append = tokens.append
+        scan = _MASTER_RE.match
+        count_nl = text.count
+        # incremental line/column state: tokens arrive in offset order, so
+        # one left-to-right pass replaces per-token bisects over line starts
+        line = 1
+        line_start = 0
+        pos = 0
+        while pos < length:
+            match = scan(text, pos)
+            if match is None:
+                raise LexError(
+                    f"unexpected character {text[pos]!r}",
+                    source.span(pos, pos + 1),
+                )
+            group = match.lastindex
+            end = match.end()
+            if group == _G_IDENT:
+                word = match.group()
+                span = Span(
+                    filename,
+                    Position(pos, line, pos - line_start + 1),
+                    Position(end, line, end - line_start + 1),
+                )
+                value = defines.get(word)
+                if value is not None:
+                    append(Token(TokKind.NUMBER, str(value), span))
+                else:
+                    append(Token(TokKind.IDENT, word, span))
+                pos = end
+                continue
+            if group == _G_WS:
+                newlines = count_nl("\n", pos, end)
+                if newlines:
+                    line += newlines
+                    line_start = text.rfind("\n", pos, end) + 1
+                pos = end
+                continue
+            if group == _G_PUNCT:
+                span = Span(
+                    filename,
+                    Position(pos, line, pos - line_start + 1),
+                    Position(end, line, end - line_start + 1),
+                )
+                append(Token(TokKind.PUNCT, match.group(), span))
+                pos = end
+                continue
+            if group == _G_NUMBER:
+                span = Span(
+                    filename,
+                    Position(pos, line, pos - line_start + 1),
+                    Position(end, line, end - line_start + 1),
+                )
+                append(Token(TokKind.NUMBER, str(self._number_value(match.group())), span))
+                pos = end
+                continue
+            if group == _G_STRING or group == _G_CHAR:
+                start_pos = Position(pos, line, pos - line_start + 1)
+                newlines = count_nl("\n", pos, end)
+                if newlines:
+                    line += newlines
+                    line_start = text.rfind("\n", pos, end) + 1
+                span = Span(filename, start_pos, Position(end, line, end - line_start + 1))
+                raw = match.group()
+                if group == _G_STRING:
+                    append(Token(TokKind.STRING, _STRING_ESCAPE_RE.sub(_unescape, raw[1:-1]), span))
+                else:
+                    char = _ESCAPES.get(raw[2], raw[2]) if raw[1] == "\\" else raw[1]
+                    append(Token(TokKind.NUMBER, str(ord(char)), span))
+                pos = end
+                continue
+            if group == _G_LINECOMMENT or group == _G_DIRECTIVE or group == _G_BLOCKCOMMENT:
+                newlines = count_nl("\n", pos, end)
+                if newlines:
+                    line += newlines
+                    line_start = text.rfind("\n", pos, end) + 1
+                pos = end
+                continue
+            if group == _G_BADCOMMENT:
+                raise LexError(
+                    "unterminated comment", source.span(pos, length)
+                )
+            if group == _G_BADSTRING:
+                raise LexError(
+                    "unterminated string literal", source.span(pos, length)
+                )
+            # BADCHAR
+            raise LexError(
+                "unterminated character literal", source.span(pos, length)
+            )
+        self.pos = length
+        eof_position = Position(length, line, length - line_start + 1)
+        append(Token(TokKind.EOF, "", Span(filename, eof_position, eof_position)))
         return tokens
 
     # -- preprocessor-lite ---------------------------------------------------
@@ -124,133 +288,20 @@ class Lexer:
         except ValueError:
             return None
 
-    # -- scanning -------------------------------------------------------------
-
-    def _skip_trivia(self) -> None:
-        while self.pos < len(self.text):
-            char = self.text[self.pos]
-            if char in " \t\r\n":
-                self.pos += 1
-            elif self.text.startswith("//", self.pos):
-                end = self.text.find("\n", self.pos)
-                self.pos = len(self.text) if end == -1 else end
-            elif self.text.startswith("/*", self.pos):
-                end = self.text.find("*/", self.pos + 2)
-                if end == -1:
-                    raise LexError(
-                        "unterminated comment",
-                        self.source.span(self.pos, len(self.text)),
-                    )
-                self.pos = end + 2
-            elif char == "#":
-                # directive: skip to end of (possibly continued) line
-                end = self.pos
-                while end < len(self.text):
-                    newline = self.text.find("\n", end)
-                    if newline == -1:
-                        end = len(self.text)
-                        break
-                    if self.text[newline - 1] == "\\":
-                        end = newline + 1
-                        continue
-                    end = newline
-                    break
-                self.pos = end
-            else:
-                return
-
-    def _next_token(self) -> Token | None:
-        start = self.pos
-        char = self.text[start]
-
-        if match := _IDENT_RE.match(self.text, start):
-            self.pos = match.end()
-            name = match.group()
-            if name in self.defines:
-                return Token(
-                    TokKind.NUMBER,
-                    str(self.defines[name]),
-                    self.source.span(start, self.pos),
-                )
-            return Token(TokKind.IDENT, name, self.source.span(start, self.pos))
-
-        for pattern, base in ((_HEX_RE, 16), (_OCT_RE, 8), (_DEC_RE, 10)):
-            if match := pattern.match(self.text, start):
-                end = match.end()
-                suffix = _INT_SUFFIX_RE.match(self.text, end)
-                self.pos = suffix.end() if suffix else end
-                value = int(match.group(), base)
-                return Token(
-                    TokKind.NUMBER, str(value), self.source.span(start, self.pos)
-                )
-
-        if char == '"':
-            return self._string_token(start)
-        if char == "'":
-            return self._char_token(start)
-
-        for punct in _PUNCTS:
-            if self.text.startswith(punct, start):
-                self.pos = start + len(punct)
-                return Token(
-                    TokKind.PUNCT, punct, self.source.span(start, self.pos)
-                )
-
-        raise LexError(
-            f"unexpected character {char!r}", self.source.span(start, start + 1)
-        )
-
-    def _string_token(self, start: int) -> Token:
-        pos = start + 1
-        chars: list[str] = []
-        while pos < len(self.text):
-            char = self.text[pos]
-            if char == "\\" and pos + 1 < len(self.text):
-                chars.append(self._escape(self.text[pos + 1]))
-                pos += 2
-            elif char == '"':
-                self.pos = pos + 1
-                return Token(
-                    TokKind.STRING, "".join(chars), self.source.span(start, self.pos)
-                )
-            else:
-                chars.append(char)
-                pos += 1
-        raise LexError(
-            "unterminated string literal", self.source.span(start, len(self.text))
-        )
-
-    def _char_token(self, start: int) -> Token:
-        pos = start + 1
-        if pos >= len(self.text):
-            raise LexError(
-                "unterminated character literal",
-                self.source.span(start, len(self.text)),
-            )
-        if self.text[pos] == "\\":
-            value = ord(self._escape(self.text[pos + 1]))
-            pos += 2
-        else:
-            value = ord(self.text[pos])
-            pos += 1
-        if pos >= len(self.text) or self.text[pos] != "'":
-            raise LexError(
-                "unterminated character literal", self.source.span(start, pos)
-            )
-        self.pos = pos + 1
-        return Token(TokKind.NUMBER, str(value), self.source.span(start, self.pos))
-
     @staticmethod
-    def _escape(char: str) -> str:
-        return {
-            "n": "\n",
-            "t": "\t",
-            "r": "\r",
-            "0": "\0",
-            "\\": "\\",
-            "'": "'",
-            '"': '"',
-        }.get(char, char)
+    def _number_value(text: str) -> int:
+        """Integer value of a matched literal (suffix already in ``text``)."""
+        digits = text.rstrip("uUlL")
+        if digits.startswith(("0x", "0X")):
+            return int(digits, 16)
+        if len(digits) > 1 and digits.startswith("0"):
+            try:
+                return int(digits, 8)
+            except ValueError:
+                # "08"/"09": never octal-shaped; the old scanner read them
+                # as decimal
+                return int(digits, 10)
+        return int(digits, 10)
 
 
 def tokenize(source: SourceFile) -> list[Token]:

@@ -19,6 +19,8 @@ circuit conditions are compiled branch-wise so that tag tests guarded by
 
 from __future__ import annotations
 
+import functools
+
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -67,6 +69,21 @@ def _kind_to_src(kind: str) -> CSrcType:
     raise ValueError(kind)
 
 
+@functools.cache
+def _base_tables() -> tuple[dict[str, CSrcType], dict[str, list[CSrcType]]]:
+    """The runtime-function tables (PR 5): identical for every unit, so
+    they are built once per process and copied per SymbolTable."""
+    returns = {
+        name: _kind_to_src(spec.result)
+        for name, spec in RUNTIME_FUNCTIONS.items()
+    }
+    params = {
+        name: [_kind_to_src(k) for k in spec.params]
+        for name, spec in RUNTIME_FUNCTIONS.items()
+    }
+    return returns, params
+
+
 @dataclass
 class SymbolTable:
     """Return/param types of every function visible to the lowering."""
@@ -80,10 +97,8 @@ class SymbolTable:
         unit: ast.TranslationUnit,
         extra_returns: Optional[dict[str, CSrcType]] = None,
     ) -> "SymbolTable":
-        table = cls()
-        for name, spec in RUNTIME_FUNCTIONS.items():
-            table.returns[name] = _kind_to_src(spec.result)
-            table.fn_param_types[name] = [_kind_to_src(k) for k in spec.params]
+        base_returns, base_params = _base_tables()
+        table = cls(dict(base_returns), dict(base_params))
         if extra_returns:
             # dialect runtime tables (e.g. the CPython C API) so embedded
             # calls land in temporaries of the right surface type

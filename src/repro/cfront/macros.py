@@ -10,6 +10,8 @@ accessors may not.
 
 from __future__ import annotations
 
+import functools
+
 from dataclasses import dataclass
 
 from ..core.environment import Entry
@@ -199,13 +201,16 @@ ACCESSOR_MACROS: dict[str, str] = {
 }
 
 
+@functools.cache
 def builtin_entries() -> dict[str, Entry]:
-    """Fresh function-environment entries for every runtime entry point.
+    """The function-environment entries for every runtime entry point.
 
-    Built per analysis run so inference variables are never shared between
-    programs.  All builtins are treated polymorphically (instantiated per
-    call site) — they are the FFI's "macros", generic in the value types
-    they handle.
+    Memoized per process (PR 5): all builtins are treated polymorphically
+    (instantiated with fresh variables at every call site via
+    ``instantiate_ct``), and variable *bindings* live in each run's own
+    :class:`~repro.core.unify.Unifier`, so sharing the canonical entries
+    across analysis runs cannot leak inference state between programs.
+    Callers must treat the returned mapping as read-only.
     """
     return {
         name: Entry(spec_to_cfun(spec))

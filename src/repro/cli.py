@@ -95,6 +95,47 @@ def _add_cache_flags(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="wrap the analysis in cProfile and print the top-25 "
+        "cumulative-time entries to stderr (or write them to PATH)",
+    )
+
+
+def _profiled(args: argparse.Namespace, run):
+    """Run ``run()`` under cProfile when ``--profile`` was given.
+
+    Stats go to stderr (or PATH) so machine-readable stdout formats stay
+    parseable; future perf work starts from a profile, not guesswork.
+    """
+    if args.profile is None:
+        return run()
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return run()
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        text = stream.getvalue()
+        if args.profile == "-":
+            sys.stderr.write(text)
+        else:
+            Path(args.profile).write_text(text)
+            print(f"profile written to {args.profile}", file=sys.stderr)
+
+
 def _add_strict_flag(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--strict",
@@ -131,6 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_dialect_flag(check)
     _add_ablation_flags(check)
     _add_strict_flag(check)
+    _add_profile_flag(check)
     check.add_argument(
         "--format",
         choices=("text", "json", "sarif"),
@@ -160,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(batch)
     _add_cache_flags(batch)
     _add_strict_flag(batch)
+    _add_profile_flag(batch)
     batch.add_argument(
         "--format",
         choices=("text", "json", "sarif"),
@@ -273,7 +316,7 @@ def _run_check(args: argparse.Namespace) -> int:
         flow_sensitive=not args.no_flow_sensitive,
         gc_effects=not args.no_gc_effects,
     )
-    report = project.analyze(options)
+    report = _profiled(args, lambda: project.analyze(options))
     if args.format == "sarif":
         log = sarif_log(report.diagnostics, tool_version=__version__)
         print(json.dumps(log, indent=2, sort_keys=True))
@@ -315,7 +358,9 @@ def _run_batch(args: argparse.Namespace) -> int:
         gc_effects=not args.no_gc_effects,
     )
     cache = _make_cache(args)
-    report = project.analyze_batch(options, jobs=args.jobs, cache=cache)
+    report = _profiled(
+        args, lambda: project.analyze_batch(options, jobs=args.jobs, cache=cache)
+    )
     if args.format == "sarif":
         log = batch_sarif_log(report, tool_version=__version__)
         print(json.dumps(log, indent=2, sort_keys=True))

@@ -21,7 +21,7 @@ from .types import CType
 CTUnify = Optional[Callable[[CType, CType], None]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Entry:
     """One binding: flow-insensitive ``ct`` plus flow-sensitive qualifier."""
 
@@ -29,10 +29,14 @@ class Entry:
     qual: Qualifier = UNKNOWN_QUALIFIER
 
     def with_qual(self, qual: Qualifier) -> "Entry":
+        if qual is self.qual:  # qualifiers are interned
+            return self
         return Entry(self.ct, qual)
 
     def reset(self) -> "Entry":
         """All-⊥ qualifier, used after unconditional branches (paper §3.3.2)."""
+        if self.qual is BOTTOM_QUALIFIER:
+            return self
         return Entry(self.ct, BOTTOM_QUALIFIER)
 
     def __str__(self) -> str:
@@ -72,6 +76,11 @@ class TypeEnv:
 
     def reset(self) -> "TypeEnv":
         """``reset(Γ)`` — every qualifier to ⊥ (unreachable)."""
+        for entry in self.bindings.values():
+            if entry.qual is not BOTTOM_QUALIFIER:
+                break
+        else:  # already all-⊥: fixpoint iterations hit this constantly
+            return self
         return TypeEnv({n: e.reset() for n, e in self.bindings.items()})
 
     def join(self, other: "TypeEnv", unify: CTUnify = None) -> "TypeEnv":
@@ -81,30 +90,39 @@ class TypeEnv:
         flow joins the two versions must denote the same type again, which
         is what the ``unify`` callback enforces.
         """
-        names = set(self.bindings) | set(other.bindings)
         joined: Dict[str, Entry] = {}
-        for name in names:
-            left = self.bindings.get(name)
-            right = other.bindings.get(name)
-            if left is None:
-                assert right is not None
-                joined[name] = right
-            elif right is None:
+        other_bindings = other.bindings
+        for name, left in self.bindings.items():
+            right = other_bindings.get(name)
+            if right is None:
                 joined[name] = left
             else:
                 if unify is not None and left.ct is not right.ct:
                     unify(left.ct, right.ct)
-                joined[name] = Entry(left.ct, left.qual.join(right.qual))
+                left_qual = left.qual
+                right_qual = right.qual
+                if left_qual is right_qual:
+                    joined[name] = left
+                else:
+                    joined[name] = left.with_qual(left_qual.join(right_qual))
+        for name, right in other_bindings.items():
+            if name not in joined:
+                joined[name] = right
         return TypeEnv(joined)
 
     def leq(self, other: "TypeEnv") -> bool:
         """``Γ ⊑ Γ'`` pointwise (missing bindings are ⊥ on the left)."""
+        if self.bindings is other.bindings:
+            return True
+        other_bindings = other.bindings
         for name, entry in self.bindings.items():
-            other_entry = other.bindings.get(name)
+            other_entry = other_bindings.get(name)
             if other_entry is None:
                 if not entry.qual.is_bottom:
                     return False
-            elif not entry.qual.leq(other_entry.qual):
+            elif entry.qual is not other_entry.qual and not entry.qual.leq(
+                other_entry.qual
+            ):
                 return False
         return True
 
@@ -137,12 +155,28 @@ class LabelEnv:
         if current is None:
             self.envs[label] = env.copy()
             return True
-        if unify is not None:
-            for name, entry in env.bindings.items():
-                other = current.bindings.get(name)
-                if other is not None and other.ct is not entry.ct:
+        # one fused pass over the incoming bindings does what used to take
+        # three (unify loop, leq check, join): unify shared ct components
+        # and detect growth at the same time
+        current_bindings = current.bindings
+        grew = False
+        for name, entry in env.bindings.items():
+            other = current_bindings.get(name)
+            if other is None:
+                if not entry.qual.is_bottom:
+                    grew = True
+            else:
+                if unify is not None and other.ct is not entry.ct:
                     unify(other.ct, entry.ct)
-        if env.leq(current):
+                entry_qual = entry.qual
+                other_qual = other.qual
+                if entry_qual is not other_qual and not grew and not entry_qual.leq(
+                    other_qual
+                ):
+                    grew = True
+        if not grew:
             return False
-        self.envs[label] = current.join(env, unify)
+        # ct components were unified just above, so the join itself is
+        # pure qualifier work
+        self.envs[label] = current.join(env)
         return True

@@ -1,0 +1,64 @@
+"""Hash-consing for the immutable type languages.
+
+Structurally equal type terms are identical objects: every constructor
+call on an interned class first builds the candidate instance, then
+returns the canonical copy from a per-class cache.  Identity then becomes
+a sound (and very fast) equality pre-check, which the unifier and the
+flow-sensitive join exploit on the cold path — ``a is b`` short-circuits
+structural descent entirely.
+
+Interning is keyed on the frozen dataclass's own structural hash, so
+inference *variables* (declared ``eq=False``, hashed by identity) embed in
+interned terms without ever being conflated: two ``CValue(α)`` terms are
+merged only when they carry the *same* ``α``.
+
+Caches are per-process and bounded; :func:`clear_intern_caches` resets
+them (tests, long-lived daemons).  Sharing canonical terms across
+analysis runs is safe because terms are immutable and all inference
+state — variable bindings, effect constraints — lives in each run's own
+:class:`~repro.core.unify.Unifier`, never in the terms themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Cap per interned class; a full cache is cleared wholesale (the memo is
+#: an optimization, not a registry, so dropping it only costs future hits).
+INTERN_CACHE_LIMIT = 65536
+
+_INTERNED_CLASSES: list[type] = []
+
+
+class InternedMeta(type):
+    """Metaclass giving a frozen dataclass hash-consed construction."""
+
+    def __new__(mcls, name: str, bases: tuple, namespace: dict) -> type:
+        cls = super().__new__(mcls, name, bases, namespace)
+        cls._intern_cache = {}
+        _INTERNED_CLASSES.append(cls)
+        return cls
+
+    def __call__(cls, *args: Any, **kwargs: Any) -> Any:
+        inst = super().__call__(*args, **kwargs)
+        cache = cls._intern_cache
+        cached = cache.get(inst)
+        if cached is not None:
+            return cached
+        if len(cache) >= INTERN_CACHE_LIMIT:
+            cache.clear()
+        cache[inst] = inst
+        return inst
+
+
+def clear_intern_caches() -> None:
+    """Drop every canonical-term cache (safe at any point)."""
+    for cls in _INTERNED_CLASSES:
+        cls._intern_cache.clear()
+
+
+def intern_stats() -> dict[str, int]:
+    """Cache sizes by class name, for instrumentation and tests."""
+    return {
+        cls.__name__: len(cls._intern_cache) for cls in _INTERNED_CLASSES
+    }

@@ -121,7 +121,7 @@ def flat_str(value: FlatValue) -> str:
     return str(value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Qualifier:
     """A full ``[B{I}]{T}`` triple.
 
@@ -134,13 +134,32 @@ class Qualifier:
     tag: FlatValue = FLAT_TOP
 
     def leq(self, other: "Qualifier") -> bool:
-        return (
-            self.boxedness.leq(other.boxedness)
-            and flat_leq(self.offset, other.offset)
-            and flat_leq(self.tag, other.tag)
-        )
+        if self is other:
+            return True
+        # inlined Boxedness.leq / flat_leq: this is the innermost
+        # comparison of the dataflow fixpoint
+        sb = self.boxedness
+        ob = other.boxedness
+        if sb is not ob and sb is not BOT_B and ob is not TOP_B:
+            return False
+        so = self.offset
+        oo = other.offset
+        if so is not FLAT_BOT and oo is not FLAT_TOP and so != oo:
+            return False
+        st = self.tag
+        ot = other.tag
+        return st is FLAT_BOT or ot is FLAT_TOP or st == ot
 
     def join(self, other: "Qualifier") -> "Qualifier":
+        if self is other:
+            return self
+        # returning a dominating side (not a fresh triple) preserves
+        # object identity across fixpoint iterations, which keeps the
+        # `is`-based fast paths in leq/join/with_qual hitting
+        if self.leq(other):
+            return other
+        if other.leq(self):
+            return self
         return Qualifier(
             self.boxedness.join(other.boxedness),
             flat_join(self.offset, other.offset),
@@ -161,7 +180,7 @@ class Qualifier:
 
     @property
     def is_bottom(self) -> bool:
-        return (
+        return self is BOTTOM_QUALIFIER or (
             self.boxedness is BOT_B
             and self.offset is FLAT_BOT
             and self.tag is FLAT_BOT

@@ -16,6 +16,8 @@ false-positive source, §5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from .intern import InternedMeta
 from typing import Sequence, Tuple, Union
 
 
@@ -25,43 +27,43 @@ from typing import Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
-class SUnit:
+class SUnit(metaclass=InternedMeta):
     def __str__(self) -> str:
         return "unit"
 
 
 @dataclass(frozen=True)
-class SInt:
+class SInt(metaclass=InternedMeta):
     def __str__(self) -> str:
         return "int"
 
 
 @dataclass(frozen=True)
-class SBool:
+class SBool(metaclass=InternedMeta):
     def __str__(self) -> str:
         return "bool"
 
 
 @dataclass(frozen=True)
-class SChar:
+class SChar(metaclass=InternedMeta):
     def __str__(self) -> str:
         return "char"
 
 
 @dataclass(frozen=True)
-class SString:
+class SString(metaclass=InternedMeta):
     def __str__(self) -> str:
         return "string"
 
 
 @dataclass(frozen=True)
-class SFloat:
+class SFloat(metaclass=InternedMeta):
     def __str__(self) -> str:
         return "float"
 
 
 @dataclass(frozen=True)
-class SVar:
+class SVar(metaclass=InternedMeta):
     """A type variable ``'a``."""
 
     name: str
@@ -71,7 +73,7 @@ class SVar:
 
 
 @dataclass(frozen=True)
-class SArrow:
+class SArrow(metaclass=InternedMeta):
     param: "MLSrcType"
     result: "MLSrcType"
 
@@ -81,7 +83,7 @@ class SArrow:
 
 
 @dataclass(frozen=True)
-class STuple:
+class STuple(metaclass=InternedMeta):
     elems: Tuple["MLSrcType", ...]
 
     def __str__(self) -> str:
@@ -89,7 +91,7 @@ class STuple:
 
 
 @dataclass(frozen=True)
-class SConstrApp:
+class SConstrApp(metaclass=InternedMeta):
     """A named type possibly applied to arguments: ``int list``, ``'a ref``."""
 
     name: str
@@ -105,7 +107,7 @@ class SConstrApp:
 
 
 @dataclass(frozen=True)
-class SConstructor:
+class SConstructor(metaclass=InternedMeta):
     """One constructor of a sum declaration: ``A of int * int`` or ``B``."""
 
     name: str
@@ -122,7 +124,7 @@ class SConstructor:
 
 
 @dataclass(frozen=True)
-class SSum:
+class SSum(metaclass=InternedMeta):
     """A resolved variant type body."""
 
     constructors: Tuple[SConstructor, ...]
@@ -138,7 +140,7 @@ class SSum:
 
 
 @dataclass(frozen=True)
-class SField:
+class SField(metaclass=InternedMeta):
     """One record field; mutability does not change the representation."""
 
     name: str
@@ -151,7 +153,7 @@ class SField:
 
 
 @dataclass(frozen=True)
-class SRecord:
+class SRecord(metaclass=InternedMeta):
     """A resolved record type body (represented like a tuple)."""
 
     fields: Tuple[SField, ...]
@@ -161,7 +163,7 @@ class SRecord:
 
 
 @dataclass(frozen=True)
-class SPolyVariant:
+class SPolyVariant(metaclass=InternedMeta):
     """``[ `A | `B of int ]`` — unsupported by the analysis, flagged on use."""
 
     tags: Tuple[SConstructor, ...]
@@ -171,7 +173,7 @@ class SPolyVariant:
 
 
 @dataclass(frozen=True)
-class SOpaque:
+class SOpaque(metaclass=InternedMeta):
     """An abstract type whose definition is hidden (treated as custom data)."""
 
     name: str
@@ -227,13 +229,13 @@ def make_arrows(params: Sequence[MLSrcType], result: MLSrcType) -> MLSrcType:
 
 
 @dataclass(frozen=True)
-class CSrcVoid:
+class CSrcVoid(metaclass=InternedMeta):
     def __str__(self) -> str:
         return "void"
 
 
 @dataclass(frozen=True)
-class CSrcScalar:
+class CSrcScalar(metaclass=InternedMeta):
     """Any C arithmetic type; ``spelling`` keeps the original for messages."""
 
     spelling: str = "int"
@@ -243,7 +245,7 @@ class CSrcScalar:
 
 
 @dataclass(frozen=True)
-class CSrcValue:
+class CSrcValue(metaclass=InternedMeta):
     """The OCaml FFI ``value`` typedef."""
 
     def __str__(self) -> str:
@@ -251,7 +253,7 @@ class CSrcValue:
 
 
 @dataclass(frozen=True)
-class CSrcPtr:
+class CSrcPtr(metaclass=InternedMeta):
     target: "CSrcType"
 
     def __str__(self) -> str:
@@ -259,7 +261,7 @@ class CSrcPtr:
 
 
 @dataclass(frozen=True)
-class CSrcStruct:
+class CSrcStruct(metaclass=InternedMeta):
     name: str
 
     def __str__(self) -> str:
@@ -267,7 +269,7 @@ class CSrcStruct:
 
 
 @dataclass(frozen=True)
-class CSrcFun:
+class CSrcFun(metaclass=InternedMeta):
     params: Tuple["CSrcType", ...]
     result: "CSrcType"
 

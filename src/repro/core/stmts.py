@@ -203,13 +203,18 @@ class FunctionAnalyzer:
         fn_ct = self._declare_function()
         env0 = self._initial_env(fn_ct)
         label_env = LabelEnv()
-        for label in self.fn.labels:
-            label_env.initialize(label, env0.reset())
+        if self.fn.labels:
+            # one shared all-bottom env seeds every label: joins replace
+            # (never mutate) stored environments, so sharing is safe
+            bottom0 = env0.reset()
+            for label in self.fn.labels:
+                label_env.initialize(label, bottom0)
 
         self.return_ct: CType = fn_ct.result
         self._join_errors: list[str] = []
         passes = 0
         changed = True
+        env_out = env0
         while changed:
             passes += 1
             if passes > MAX_PASSES:
@@ -217,32 +222,34 @@ class FunctionAnalyzer:
                     f"fixpoint did not converge in {MAX_PASSES} passes "
                     f"for `{self.fn.name}`"
                 )
-            changed = self._one_pass(env0, label_env)
-        env_out = self._one_pass(env0, label_env, final=True) or env0
+            changed, env_out = self._one_pass(env0, label_env)
+        # the last pass saw no growth, so its fall-off-the-end environment
+        # IS the converged one — no separate final walk needed
         return FunctionResult(
             name=self.fn.name, effect=self.effect, env_out=env_out, passes=passes
         )
 
     def _one_pass(
-        self, env0: TypeEnv, label_env: LabelEnv, final: bool = False
-    ) -> TypeEnv | bool:
-        """Walk the whole body once; returns whether any G entry grew.
+        self, env0: TypeEnv, label_env: LabelEnv
+    ) -> tuple[bool, TypeEnv]:
+        """Walk the whole body once.
 
-        With ``final=True`` returns the fall-off-the-end environment instead
-        (used to produce :attr:`FunctionResult.env_out`).
+        Returns whether any G entry grew, plus the fall-off-the-end
+        environment (meaningful once nothing grew).
         """
         env = env0.copy()
         changed = False
+        labels_at = self._labels_at
         for index, stmt in enumerate(self.fn.body):
-            for label in self._labels_at.get(index, ()):
-                # (Lbl Stmt): Γ ⊑ G(L), continue from G(L).
-                changed |= label_env.join_into(label, env, self._merge_cts)
-                env = label_env.get(label).copy()
+            labels = labels_at.get(index)
+            if labels:
+                for label in labels:
+                    # (Lbl Stmt): Γ ⊑ G(L), continue from G(L).
+                    changed |= label_env.join_into(label, env, self._merge_cts)
+                    env = label_env.get(label).copy()
             env, grew = self._step(env, label_env, index, stmt)
             changed |= grew
-        if final:
-            return env
-        return changed
+        return changed, env
 
     # -- statement dispatch ------------------------------------------------------
 
@@ -261,24 +268,27 @@ class FunctionAnalyzer:
     def _step_inner(
         self, env: TypeEnv, label_env: LabelEnv, index: int, stmt: Stmt
     ) -> tuple[TypeEnv, bool]:
-        if isinstance(stmt, SNop):
+        # type-keyed dispatch instead of an isinstance ladder: this runs
+        # once per statement per fixpoint pass
+        kind = type(stmt)
+        if kind is SNop:
             return env, False
-        if isinstance(stmt, SAssign):
+        if kind is SAssign:
             return self._do_assign(env, index, stmt), False
-        if isinstance(stmt, SReturn):
+        if kind is SReturn:
             return self._do_return(env, stmt), False
-        if isinstance(stmt, SCamlReturn):
+        if kind is SCamlReturn:
             return self._do_camlreturn(env, stmt), False
-        if isinstance(stmt, SGoto):
+        if kind is SGoto:
             grew = label_env.join_into(stmt.label, env, self._merge_cts)
             return env.reset(), grew
-        if isinstance(stmt, SIf):
+        if kind is SIf:
             return self._do_if(env, label_env, stmt)
-        if isinstance(stmt, SIfUnboxed):
+        if kind is SIfUnboxed:
             return self._do_if_unboxed(env, label_env, stmt)
-        if isinstance(stmt, SIfSumTag):
+        if kind is SIfSumTag:
             return self._do_if_sum_tag(env, label_env, stmt)
-        if isinstance(stmt, SIfIntTag):
+        if kind is SIfIntTag:
             return self._do_if_int_tag(env, label_env, stmt)
         raise RuleError(Kind.TYPE_MISMATCH, f"unsupported statement `{stmt}`", stmt.span)
 

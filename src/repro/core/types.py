@@ -14,6 +14,13 @@ Function types carry a garbage-collection effect ``γ | gc | nogc``.
 
 All terms are immutable; inference variables are bound through the
 union-find substitution kept by :class:`repro.core.unify.Unifier`.
+
+Structural constructors are hash-consed via
+:class:`repro.core.intern.InternedMeta`, so structurally equal terms are
+identical objects and the unifier's ``a is b`` fast path fires on them.
+The variable classes (``eq=False``) are identity-keyed and never
+interned; ``CValue``/``CFun`` almost always embed fresh variables, so
+they are plain (slotted) constructors — interning them would only miss.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+
+from .intern import InternedMeta
 from typing import Iterator, Optional, Sequence, Tuple, Union
 
 _COUNTER = itertools.count()
@@ -52,7 +61,7 @@ NOGC = GCConst.NOGC
 GC = GCConst.GC
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class GCVar:
     """An effect variable ``γ``; solved by reachability (paper §3.3.3)."""
 
@@ -75,7 +84,7 @@ def fresh_gc(name: str = "") -> GCVar:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class PsiVar:
     """A variable ``ψ`` over nullary-constructor counts."""
 
@@ -86,7 +95,7 @@ class PsiVar:
 
 
 @dataclass(frozen=True)
-class PsiConst:
+class PsiConst(metaclass=InternedMeta):
     """An exact count ``n`` of nullary constructors."""
 
     count: int
@@ -126,7 +135,7 @@ def fresh_psi() -> PsiVar:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class PiVar:
     """A product row variable ``π``."""
 
@@ -137,7 +146,7 @@ class PiVar:
 
 
 @dataclass(frozen=True)
-class Pi:
+class Pi(metaclass=InternedMeta):
     """A product ``mt₀ × ... × mtₖ × tail`` (tail ``None`` means closed)."""
 
     elems: Tuple["MLType", ...] = ()
@@ -170,7 +179,7 @@ def closed_pi(elems: Sequence["MLType"]) -> Pi:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class SigmaVar:
     """A sum row variable ``σ``."""
 
@@ -181,7 +190,7 @@ class SigmaVar:
 
 
 @dataclass(frozen=True)
-class Sigma:
+class Sigma(metaclass=InternedMeta):
     """A sum ``Π₀ + ... + Πⱼ + tail`` (tail ``None`` means closed)."""
 
     prods: Tuple[Pi, ...] = ()
@@ -217,7 +226,7 @@ def closed_sigma(prods: Sequence[Pi]) -> Sigma:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class MTVar:
     """A monomorphic OCaml type variable ``α``."""
 
@@ -229,7 +238,7 @@ class MTVar:
 
 
 @dataclass(frozen=True)
-class MTArrow:
+class MTArrow(metaclass=InternedMeta):
     """An OCaml function type ``mt → mt`` (curried, one step)."""
 
     param: "MLType"
@@ -240,7 +249,7 @@ class MTArrow:
 
 
 @dataclass(frozen=True)
-class MTCustom:
+class MTCustom(metaclass=InternedMeta):
     """``ct custom`` — C data smuggled through OCaml at an opaque type."""
 
     ctype: "CType"
@@ -250,7 +259,7 @@ class MTCustom:
 
 
 @dataclass(frozen=True)
-class MTRepr:
+class MTRepr(metaclass=InternedMeta):
     """A representational type ``(Ψ, Σ)``."""
 
     psi: Psi
@@ -328,7 +337,7 @@ C_INT = CInt()
 
 
 @dataclass(frozen=True)
-class CStruct:
+class CStruct(metaclass=InternedMeta):
     """A named aggregate (struct/union) type, opaque to the analysis."""
 
     name: str
@@ -337,7 +346,7 @@ class CStruct:
         return f"struct {self.name}"
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class CTVar:
     """An unknown C type — the hidden representation of an opaque OCaml type.
 
@@ -354,7 +363,7 @@ class CTVar:
         return self.name or f"τ{self.id}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CValue:
     """``mt value`` — OCaml data seen from C."""
 
@@ -365,7 +374,7 @@ class CValue:
 
 
 @dataclass(frozen=True)
-class CPtr:
+class CPtr(metaclass=InternedMeta):
     """``ct *``."""
 
     target: "CType"
@@ -374,7 +383,7 @@ class CPtr:
         return f"{self.target} *"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CFun:
     """``ct × ... × ct →GC ct``."""
 

@@ -82,31 +82,62 @@ class Unifier:
     # -- resolution ---------------------------------------------------------
 
     def resolve_mt(self, mt: MLType) -> MLType:
-        """Follow variable bindings to the representative (shallow)."""
-        seen = []
-        while isinstance(mt, MTVar) and mt.id in self._mt:
-            seen.append(mt.id)
-            mt = self._mt[mt.id]
-        for var_id in seen[:-1]:
-            if isinstance(mt, MTVar):
-                self._mt[var_id] = mt
+        """Follow variable bindings to the representative (shallow).
+
+        Chains are fully path-compressed: every variable on the walk is
+        re-bound straight to the representative (bindings are write-once
+        per run, so the shortcut can never go stale).
+        """
+        table = self._mt
+        seen = None
+        while isinstance(mt, MTVar):
+            bound = table.get(mt.id)
+            if bound is None:
+                break
+            if seen is None:
+                seen = [mt.id]
+            else:
+                seen.append(mt.id)
+            mt = bound
+        if seen is not None and len(seen) > 1:
+            for var_id in seen[:-1]:
+                table[var_id] = mt
         return mt
 
     def resolve_psi(self, psi: Psi) -> Psi:
-        while isinstance(psi, PsiVar) and psi.id in self._psi:
-            psi = self._psi[psi.id]
+        table = self._psi
+        while isinstance(psi, PsiVar):
+            bound = table.get(psi.id)
+            if bound is None:
+                break
+            psi = bound
         return psi
 
     def resolve_ct(self, ct: CType) -> CType:
-        """Follow C-type variable bindings to the representative (shallow)."""
-        while isinstance(ct, CTVar) and ct.id in self._ct:
-            ct = self._ct[ct.id]
+        """Follow C-type variable bindings to the representative (shallow),
+        path-compressing like :meth:`resolve_mt`."""
+        table = self._ct
+        seen = None
+        while isinstance(ct, CTVar):
+            bound = table.get(ct.id)
+            if bound is None:
+                break
+            if seen is None:
+                seen = [ct.id]
+            else:
+                seen.append(ct.id)
+            ct = bound
+        if seen is not None and len(seen) > 1:
+            for var_id in seen[:-1]:
+                table[var_id] = ct
         return ct
 
     def resolve_sigma(self, sigma: Sigma) -> Sigma:
         """Normalize a sum row: splice in every bound tail variable."""
-        prods = list(sigma.prods)
         tail = sigma.tail
+        if tail is None or tail.id not in self._sigma:
+            return sigma  # already normal — the overwhelmingly common case
+        prods = list(sigma.prods)
         while tail is not None and tail.id in self._sigma:
             bound = self._sigma[tail.id]
             prods.extend(bound.prods)
@@ -115,8 +146,10 @@ class Unifier:
 
     def resolve_pi(self, pi: Pi) -> Pi:
         """Normalize a product row: splice in every bound tail variable."""
-        elems = list(pi.elems)
         tail = pi.tail
+        if tail is None or tail.id not in self._pi:
+            return pi  # already normal — the overwhelmingly common case
+        elems = list(pi.elems)
         while tail is not None and tail.id in self._pi:
             bound = self._pi[tail.id]
             elems.extend(bound.elems)
@@ -164,104 +197,58 @@ class Unifier:
             )
         return ct
 
-    def _ct_occurs(self, var: CTVar, ct: CType) -> bool:
-        ct = self.resolve_ct(ct)
-        if ct is var:
-            return True
-        if isinstance(ct, CPtr):
-            return self._ct_occurs(var, ct.target)
-        if isinstance(ct, CFun):
-            return any(self._ct_occurs(var, p) for p in ct.params) or (
-                self._ct_occurs(var, ct.result)
-            )
-        if isinstance(ct, CValue):
-            return self._ct_occurs_mt(var, ct.mt)
-        return False
-
-    def _ct_occurs_mt(self, var: CTVar, mt: MLType) -> bool:
-        mt = self.resolve_mt(mt)
-        if isinstance(mt, MTCustom):
-            return self._ct_occurs(var, mt.ctype)
-        if isinstance(mt, MTArrow):
-            return self._ct_occurs_mt(var, mt.param) or self._ct_occurs_mt(
-                var, mt.result
-            )
-        if isinstance(mt, MTRepr):
-            sigma = self.resolve_sigma(mt.sigma)
-            return any(
-                self._ct_occurs_mt(var, elem)
-                for prod in sigma.prods
-                for elem in self.resolve_pi(prod).elems
-            )
-        return False
-
     # -- occurs checks -------------------------------------------------------
 
-    def _mt_occurs(self, var: MTVar, term: MLType) -> bool:
-        term = self.resolve_mt(term)
-        if isinstance(term, MTVar):
-            return term is var
-        if isinstance(term, MTArrow):
-            return self._mt_occurs(var, term.param) or self._mt_occurs(
-                var, term.result
-            )
-        if isinstance(term, MTCustom):
-            return self._mt_occurs_ct(var, term.ctype)
-        if isinstance(term, MTRepr):
-            sigma = self.resolve_sigma(term.sigma)
-            return any(
-                self._mt_occurs(var, elem)
-                for prod in sigma.prods
-                for elem in self.resolve_pi(prod).elems
-            )
-        return False
+    def _occurs(self, var: object, root: object) -> bool:
+        """Iterative worklist occurs check, shared by every variable sort.
 
-    def _mt_occurs_ct(self, var: MTVar, ct: CType) -> bool:
-        if isinstance(ct, CValue):
-            return self._mt_occurs(var, ct.mt)
-        if isinstance(ct, CPtr):
-            return self._mt_occurs_ct(var, ct.target)
-        if isinstance(ct, CFun):
-            return any(self._mt_occurs_ct(var, p) for p in ct.params) or (
-                self._mt_occurs_ct(var, ct.result)
-            )
-        return False
-
-    def _sigma_occurs(self, var: SigmaVar, sigma: Sigma) -> bool:
-        sigma = self.resolve_sigma(sigma)
-        if sigma.tail is var:
-            return True
-        return any(
-            self._sigma_occurs_mt(var, elem)
-            for prod in sigma.prods
-            for elem in self.resolve_pi(prod).elems
-        )
-
-    def _sigma_occurs_mt(self, var: SigmaVar, mt: MLType) -> bool:
-        mt = self.resolve_mt(mt)
-        if isinstance(mt, MTRepr):
-            return self._sigma_occurs(var, mt.sigma)
-        if isinstance(mt, MTArrow):
-            return self._sigma_occurs_mt(var, mt.param) or self._sigma_occurs_mt(
-                var, mt.result
-            )
-        return False
-
-    def _pi_occurs(self, var: PiVar, pi: Pi) -> bool:
-        pi = self.resolve_pi(pi)
-        if pi.tail is var:
-            return True
-        return any(self._pi_occurs_mt(var, elem) for elem in pi.elems)
-
-    def _pi_occurs_mt(self, var: PiVar, mt: MLType) -> bool:
-        mt = self.resolve_mt(mt)
-        if isinstance(mt, MTRepr):
-            sigma = self.resolve_sigma(mt.sigma)
-            return any(self._pi_occurs(var, prod) for prod in sigma.prods)
-        if isinstance(mt, MTArrow):
-            return self._pi_occurs_mt(var, mt.param) or self._pi_occurs_mt(
-                var, mt.result
-            )
+        Replaces the recursive ``_ct_occurs``/``_mt_occurs``/``_sigma_occurs``
+        /``_pi_occurs`` family: one explicit stack walks the term through the
+        substitution, and a visited set keeps the traversal linear on the
+        DAGs that hash-consing creates (the recursive version re-walked
+        shared subterms exponentially often in the worst case).
+        """
+        stack: list[object] = [root]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if isinstance(node, MTVar):
+                node = self.resolve_mt(node)
+            elif isinstance(node, CTVar):
+                node = self.resolve_ct(node)
+            elif isinstance(node, PsiVar):
+                node = self.resolve_psi(node)
+            if node is var:
+                return True
+            node_id = id(node)
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            if isinstance(node, CValue):
+                stack.append(node.mt)
+            elif isinstance(node, CPtr):
+                stack.append(node.target)
+            elif isinstance(node, CFun):
+                stack.extend(node.params)
+                stack.append(node.result)
+            elif isinstance(node, MTArrow):
+                stack.append(node.param)
+                stack.append(node.result)
+            elif isinstance(node, MTCustom):
+                stack.append(node.ctype)
+            elif isinstance(node, MTRepr):
+                stack.append(node.psi)
+                stack.append(node.sigma)
+            elif isinstance(node, Sigma):
+                node = self.resolve_sigma(node)
+                if node.tail is var:
+                    return True
+                stack.extend(node.prods)
+            elif isinstance(node, Pi):
+                node = self.resolve_pi(node)
+                if node.tail is var:
+                    return True
+                stack.extend(node.elems)
         return False
 
     # -- unification ----------------------------------------------------------
@@ -269,17 +256,19 @@ class Unifier:
     def unify_ct(self, left: CType, right: CType) -> None:
         """Solve ``ct = ct'`` or raise :class:`UnificationError`."""
         self.steps += 1
+        if left is right:  # interned terms make this hit structurally
+            return
         left = self.resolve_ct(left)
         right = self.resolve_ct(right)
         if left is right:
             return
         if isinstance(left, CTVar):
-            if self._ct_occurs(left, right):
+            if self._occurs(left, right):
                 raise OccursCheckError(left, right)
             self._ct[left.id] = right
             return
         if isinstance(right, CTVar):
-            if self._ct_occurs(right, left):
+            if self._occurs(right, left):
                 raise OccursCheckError(right, left)
             self._ct[right.id] = left
             return
@@ -316,17 +305,19 @@ class Unifier:
     def unify_mt(self, left: MLType, right: MLType) -> None:
         """Solve ``mt = mt'`` or raise :class:`UnificationError`."""
         self.steps += 1
+        if left is right:  # interned terms make this hit structurally
+            return
         left = self.resolve_mt(left)
         right = self.resolve_mt(right)
         if left is right:
             return
         if isinstance(left, MTVar):
-            if self._mt_occurs(left, right):
+            if self._occurs(left, right):
                 raise OccursCheckError(left, right)
             self._mt[left.id] = right
             return
         if isinstance(right, MTVar):
-            if self._mt_occurs(right, left):
+            if self._occurs(right, left):
                 raise OccursCheckError(right, left)
             self._mt[right.id] = left
             return
@@ -396,7 +387,7 @@ class Unifier:
                 rest,
                 "sum type has fewer non-nullary constructors than required",
             )
-        if self._sigma_occurs(short.tail, rest):
+        if self._occurs(short.tail, rest):
             raise OccursCheckError(short.tail, rest)
         self._sigma[short.tail.id] = rest
 
@@ -440,7 +431,7 @@ class Unifier:
                 rest,
                 "structured block has fewer fields than the access requires",
             )
-        if self._pi_occurs(short.tail, rest):
+        if self._occurs(short.tail, rest):
             raise OccursCheckError(short.tail, rest)
         self._pi[short.tail.id] = rest
 
@@ -487,13 +478,44 @@ class Unifier:
         return False
 
 
+#: id(ct) -> (ct, has_mt_vars).  Keeping the term itself in the value pins
+#: its id for the cache's lifetime; bounded like the intern caches.
+_VARFREE_MEMO: dict[int, tuple[CType, bool]] = {}
+_VARFREE_MEMO_LIMIT = 4096
+
+
+def _has_mt_vars(ct: CType) -> bool:
+    """Whether any ``MTVar`` occurs in ``ct`` (raw structure, no subst).
+
+    Memoized by identity: polymorphic builtins are canonical per-process
+    objects (their seed tables are memoized), so each is walked once and
+    every later call site gets the answer for free.
+    """
+    memo = _VARFREE_MEMO.get(id(ct))
+    if memo is not None and memo[0] is ct:
+        return memo[1]
+    from .types import iter_subterms
+
+    answer = any(isinstance(node, MTVar) for node in iter_subterms(ct))
+    if len(_VARFREE_MEMO) >= _VARFREE_MEMO_LIMIT:
+        _VARFREE_MEMO.clear()
+    _VARFREE_MEMO[id(ct)] = (ct, answer)
+    return answer
+
+
 def instantiate_ct(ct: CType, mapping: Optional[dict[int, MTVar]] = None) -> CType:
     """Copy a ct with all mt variables replaced by fresh ones.
 
     Used for C functions hand-annotated as polymorphic (paper §5.1 notes 4
     such annotations in the benchmark suite) and for stdlib repository
     entries that mention type variables.
+
+    Terms without mt variables instantiate to themselves, so they are
+    returned unchanged (no copy) — the common case for scalar-only
+    builtins once the seed tables are shared per process.
     """
+    if mapping is None and not _has_mt_vars(ct):
+        return ct
     if mapping is None:
         mapping = {}
 

@@ -65,9 +65,14 @@ def run_batch(
     results: dict[int, CheckResult] = {}
     pending: list[tuple[int, CheckRequest, str]] = []
     for index, request in enumerate(requests):
+        if cache is None:
+            # cacheless sweeps skip content hashing entirely; "" marks the
+            # result as unkeyed
+            pending.append((index, request, ""))
+            continue
         probe_started = time.perf_counter()
         key = request.cache_key()
-        cached = cache.load(key) if cache is not None else None
+        cached = cache.load(key)
         if cached is not None:
             cached.name = request.name  # cache files are key-addressed
             # a hit's wall time is what the batch actually paid: the probe

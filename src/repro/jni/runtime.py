@@ -23,6 +23,8 @@ Three tables live here:
 
 from __future__ import annotations
 
+import functools
+
 from dataclasses import dataclass
 
 from ..cfront.parser import ParseHints
@@ -97,8 +99,13 @@ _TYPEDEFS.update({name: CSrcValue() for name in REFERENCE_TYPEDEFS})
 _TYPEDEFS.update({name: CSrcScalar("int") for name in SCALAR_TYPEDEFS})
 
 
+@functools.cache
 def parse_hints() -> ParseHints:
-    """How to read JNI glue source with the shared parser."""
+    """How to read JNI glue source with the shared parser.
+
+    Memoized per process; :class:`ParseHints` is frozen and the parser
+    copies the typedef table, so one instance serves every request.
+    """
     return ParseHints(
         typedefs=dict(_TYPEDEFS),
         null_is_identifier=True,
@@ -316,16 +323,24 @@ GLOBAL_SCALARS: tuple[str, ...] = (
 )
 
 
+# Per-process seed memos (PR 5): tables are built once, not per request.
+# Sharing is safe because builtins are polymorphic (instantiated afresh at
+# every call site) and variable bindings live in each run's own Unifier;
+# callers must treat the returned mappings as read-only.
+
+
+@functools.cache
 def builtin_entries() -> dict[str, Entry]:
-    """Fresh function-environment entries for every JNIEnv entry point."""
+    """The function-environment entries for every JNIEnv entry point (memoized)."""
     return {
         name: Entry(spec_to_cfun(spec))
         for name, spec in RUNTIME_FUNCTIONS.items()
     }
 
 
+@functools.cache
 def global_entries() -> dict[str, Entry]:
-    """Fresh bindings for the well-known scalar constants."""
+    """Bindings for the well-known scalar constants (memoized)."""
     return {name: Entry(C_INT) for name in GLOBAL_SCALARS}
 
 
@@ -333,8 +348,9 @@ def global_entries() -> dict[str, Entry]:
 POLYMORPHIC_BUILTINS: frozenset[str] = frozenset(RUNTIME_FUNCTIONS)
 
 
+@functools.cache
 def lowering_return_types() -> dict[str, CSrcType]:
-    """Static return types for the lowering's symbol table."""
+    """Static return types for the lowering's symbol table (memoized)."""
     return {
         name: _kind_to_src(spec.result)
         for name, spec in RUNTIME_FUNCTIONS.items()

@@ -5,15 +5,18 @@ consumes type information; accordingly this lexer handles exactly the
 surface needed for ``type`` and ``external`` declarations plus enough
 structure to skip over everything else (let bindings, modules, ...).
 OCaml comments ``(* ... *)`` nest and are stripped here.
+
+Like :mod:`repro.cfront.lexer`, the scanner is one compiled master regex
+driven in a single pass with incremental line/column tracking; only the
+nested comments fall back to a pointer loop (nesting is not regular).
 """
 
 from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass
 
-from ..source import SourceFile, Span
+from ..source import Position, SourceFile, Span
 
 
 class MLTokKind(enum.Enum):
@@ -26,11 +29,29 @@ class MLTokKind(enum.Enum):
     EOF = "eof"
 
 
-@dataclass(frozen=True)
 class MLToken:
-    kind: MLTokKind
-    text: str
-    span: Span
+    """One lexeme; a plain slotted class (immutable by convention)."""
+
+    __slots__ = ("kind", "text", "span")
+
+    def __init__(self, kind: MLTokKind, text: str, span: Span):
+        self.kind = kind
+        self.text = text
+        self.span = span
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MLToken)
+            and self.kind is other.kind
+            and self.text == other.text
+            and self.span == other.span
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text, self.span))
+
+    def __repr__(self) -> str:
+        return f"MLToken({self.kind!r}, {self.text!r}, {self.span!r})"
 
     def is_punct(self, *texts: str) -> bool:
         return self.kind is MLTokKind.PUNCT and self.text in texts
@@ -54,10 +75,31 @@ _PUNCTS = [
     "<", ">", "?", "~", ".", "'", "`", "#", "&", "!", "@", "^", "-", "+", "/",
 ]
 
-_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
-#: type-variable names exclude the prime (it would swallow char literals)
-_TYVAR_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
-_INT_RE = re.compile(r"[0-9][0-9_]*")
+#: One alternation covering the whole ML token grammar.  Order encodes the
+#: old scanner's priorities: a char literal beats a type variable beats the
+#: bare ``'`` punctuator; comments are handled out-of-band (they nest).
+_MASTER_RE = re.compile(
+    r"""
+      (?P<WS>[ \t\r\n]+)
+    | (?P<COMMENT>\(\*)
+    | (?P<CHARLIT>'[^\\]')
+    | (?P<CHARESC>'\\.')
+    | (?P<TYVAR>'[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<IDENT>[A-Za-z_][A-Za-z0-9_']*(?:\.[A-Za-z_][A-Za-z0-9_']*)*)
+    | (?P<INT>[0-9][0-9_]*)
+    | (?P<STRING>"(?:\\.|[^"\\])*")
+    | (?P<PUNCT>%s)
+    | (?P<BADSTRING>")
+    """
+    % "|".join(re.escape(p) for p in _PUNCTS),
+    re.VERBOSE | re.DOTALL,
+)
+
+_CHAR_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0"}
+
+#: OCaml string escapes keep the escaped character verbatim (the paper's
+#: front end only needs C symbol names out of ``external`` strings).
+_STRING_ESCAPE_RE = re.compile(r"\\(.)", re.DOTALL)
 
 
 class MLLexer:
@@ -67,143 +109,151 @@ class MLLexer:
         self.pos = 0
 
     def tokenize(self) -> list[MLToken]:
+        source = self.source
+        text = self.text
+        length = len(text)
+        filename = source.filename
         tokens: list[MLToken] = []
-        while True:
-            self._skip_trivia()
-            if self.pos >= len(self.text):
-                break
-            tokens.append(self._next_token())
-        tokens.append(MLToken(MLTokKind.EOF, "", self.source.span(self.pos, self.pos)))
+        append = tokens.append
+        scan = _MASTER_RE.match
+        count_nl = text.count
+        line = 1
+        line_start = 0
+        pos = 0
+        while pos < length:
+            match = scan(text, pos)
+            if match is None:
+                raise MLLexError(
+                    f"unexpected character {text[pos]!r}",
+                    source.span(pos, pos + 1),
+                )
+            kind = match.lastgroup
+            end = match.end()
+            if kind == "WS":
+                newlines = count_nl("\n", pos, end)
+                if newlines:
+                    line += newlines
+                    line_start = text.rfind("\n", pos, end) + 1
+                pos = end
+                continue
+            if kind == "COMMENT":
+                end = self._skip_comment(pos)
+                newlines = count_nl("\n", pos, end)
+                if newlines:
+                    line += newlines
+                    line_start = text.rfind("\n", pos, end) + 1
+                pos = end
+                continue
+            if kind == "IDENT":
+                name = match.group()
+                span = Span(
+                    filename,
+                    Position(pos, line, pos - line_start + 1),
+                    Position(end, line, end - line_start + 1),
+                )
+                token_kind = (
+                    MLTokKind.UIDENT
+                    if name[0].isupper() and "." not in name
+                    else MLTokKind.LIDENT
+                )
+                append(MLToken(token_kind, name, span))
+                pos = end
+                continue
+            if kind == "PUNCT":
+                span = Span(
+                    filename,
+                    Position(pos, line, pos - line_start + 1),
+                    Position(end, line, end - line_start + 1),
+                )
+                append(MLToken(MLTokKind.PUNCT, match.group(), span))
+                pos = end
+                continue
+            if kind == "INT":
+                span = Span(
+                    filename,
+                    Position(pos, line, pos - line_start + 1),
+                    Position(end, line, end - line_start + 1),
+                )
+                append(
+                    MLToken(MLTokKind.INT, match.group().replace("_", ""), span)
+                )
+                pos = end
+                continue
+            if kind == "CHARLIT" or kind == "CHARESC":
+                start_pos = Position(pos, line, pos - line_start + 1)
+                newlines = count_nl("\n", pos, end)
+                if newlines:
+                    line += newlines
+                    line_start = text.rfind("\n", pos, end) + 1
+                span = Span(
+                    filename, start_pos, Position(end, line, end - line_start + 1)
+                )
+                raw = match.group()
+                if kind == "CHARLIT":
+                    value = ord(raw[1])
+                else:
+                    value = ord(_CHAR_ESCAPES.get(raw[2], raw[2]))
+                append(MLToken(MLTokKind.INT, str(value), span))
+                pos = end
+                continue
+            if kind == "TYVAR":
+                span = Span(
+                    filename,
+                    Position(pos, line, pos - line_start + 1),
+                    Position(end, line, end - line_start + 1),
+                )
+                append(MLToken(MLTokKind.TYVAR, match.group()[1:], span))
+                pos = end
+                continue
+            if kind == "STRING":
+                start_pos = Position(pos, line, pos - line_start + 1)
+                newlines = count_nl("\n", pos, end)
+                if newlines:
+                    line += newlines
+                    line_start = text.rfind("\n", pos, end) + 1
+                span = Span(
+                    filename, start_pos, Position(end, line, end - line_start + 1)
+                )
+                raw = match.group()
+                append(
+                    MLToken(
+                        MLTokKind.STRING,
+                        _STRING_ESCAPE_RE.sub(r"\1", raw[1:-1]),
+                        span,
+                    )
+                )
+                pos = end
+                continue
+            # BADSTRING
+            raise MLLexError(
+                "unterminated string", source.span(pos, length)
+            )
+        self.pos = length
+        eof_position = Position(length, line, length - line_start + 1)
+        append(MLToken(MLTokKind.EOF, "", Span(filename, eof_position, eof_position)))
         return tokens
 
-    def _skip_trivia(self) -> None:
-        while self.pos < len(self.text):
-            char = self.text[self.pos]
-            if char in " \t\r\n":
-                self.pos += 1
-            elif self.text.startswith("(*", self.pos):
-                self._skip_comment()
-            else:
-                return
-
-    def _skip_comment(self) -> None:
-        start = self.pos
-        depth = 0
-        while self.pos < len(self.text):
-            if self.text.startswith("(*", self.pos):
+    def _skip_comment(self, start: int) -> int:
+        """Skip a nested ``(* ... *)`` comment; returns the end offset."""
+        text = self.text
+        length = len(text)
+        depth = 1
+        pos = start + 2
+        while pos < length:
+            open_index = text.find("(*", pos)
+            close_index = text.find("*)", pos)
+            if close_index == -1:
+                break
+            if open_index != -1 and open_index < close_index:
                 depth += 1
-                self.pos += 2
-            elif self.text.startswith("*)", self.pos):
+                pos = open_index + 2
+            else:
                 depth -= 1
-                self.pos += 2
+                pos = close_index + 2
                 if depth == 0:
-                    return
-            else:
-                self.pos += 1
+                    return pos
         raise MLLexError(
-            "unterminated comment", self.source.span(start, len(self.text))
-        )
-
-    def _next_token(self) -> MLToken:
-        start = self.pos
-        char = self.text[start]
-
-        if char == "'":
-            # char literal 'x' / '\n', else a type variable 'a
-            if (
-                start + 2 < len(self.text)
-                and self.text[start + 1] != "\\"
-                and self.text[start + 2] == "'"
-            ):
-                self.pos = start + 3
-                return MLToken(
-                    MLTokKind.INT,
-                    str(ord(self.text[start + 1])),
-                    self.source.span(start, self.pos),
-                )
-            if (
-                start + 3 < len(self.text)
-                and self.text[start + 1] == "\\"
-                and self.text[start + 3] == "'"
-            ):
-                escapes = {"n": "\n", "t": "\t", "r": "\r", "0": "\0"}
-                literal = escapes.get(
-                    self.text[start + 2], self.text[start + 2]
-                )
-                self.pos = start + 4
-                return MLToken(
-                    MLTokKind.INT,
-                    str(ord(literal)),
-                    self.source.span(start, self.pos),
-                )
-            if match := _TYVAR_RE.match(self.text, start + 1):
-                self.pos = match.end()
-                return MLToken(
-                    MLTokKind.TYVAR,
-                    match.group(),
-                    self.source.span(start, self.pos),
-                )
-
-        if match := _IDENT_RE.match(self.text, start):
-            self.pos = match.end()
-            name = match.group()
-            # dotted paths: Unix.file_descr, Buffer.t
-            while (
-                self.pos < len(self.text)
-                and self.text[self.pos] == "."
-                and (next_m := _IDENT_RE.match(self.text, self.pos + 1))
-            ):
-                name += "." + next_m.group()
-                self.pos = next_m.end()
-            kind = (
-                MLTokKind.UIDENT
-                if name[0].isupper() and "." not in name
-                else MLTokKind.LIDENT
-            )
-            return MLToken(kind, name, self.source.span(start, self.pos))
-
-        if match := _INT_RE.match(self.text, start):
-            self.pos = match.end()
-            return MLToken(
-                MLTokKind.INT,
-                match.group().replace("_", ""),
-                self.source.span(start, self.pos),
-            )
-
-        if char == '"':
-            return self._string_token(start)
-
-        for punct in _PUNCTS:
-            if self.text.startswith(punct, start):
-                self.pos = start + len(punct)
-                return MLToken(
-                    MLTokKind.PUNCT, punct, self.source.span(start, self.pos)
-                )
-
-        raise MLLexError(
-            f"unexpected character {char!r}", self.source.span(start, start + 1)
-        )
-
-    def _string_token(self, start: int) -> MLToken:
-        pos = start + 1
-        chars: list[str] = []
-        while pos < len(self.text):
-            char = self.text[pos]
-            if char == "\\" and pos + 1 < len(self.text):
-                chars.append(self.text[pos + 1])
-                pos += 2
-            elif char == '"':
-                self.pos = pos + 1
-                return MLToken(
-                    MLTokKind.STRING,
-                    "".join(chars),
-                    self.source.span(start, self.pos),
-                )
-            else:
-                chars.append(char)
-                pos += 1
-        raise MLLexError(
-            "unterminated string", self.source.span(start, len(self.text))
+            "unterminated comment", self.source.span(start, length)
         )
 
 

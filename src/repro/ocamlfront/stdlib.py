@@ -11,13 +11,17 @@ ordinary resolution path handles them.
 
 from __future__ import annotations
 
+import functools
+
 from ..core.srctypes import SConstructor, SField, SInt, SRecord, SString, SSum, SVar
 from .ast import TypeDecl
 
 
-def stdlib_declarations() -> list[TypeDecl]:
-    """Declarations seeded into every fresh repository."""
-    return [
+@functools.cache
+def stdlib_declarations() -> tuple[TypeDecl, ...]:
+    """Declarations seeded into every fresh repository (memoized; the
+    declarations are frozen, so one tuple serves every repository)."""
+    return (
         # I/O channels are custom blocks managed by the runtime.
         TypeDecl(name="in_channel"),
         TypeDecl(name="out_channel"),
@@ -68,4 +72,4 @@ def stdlib_declarations() -> list[TypeDecl]:
             name="Complex.t",
             body=SRecord((SField("re", SInt()), SField("im", SInt()))),
         ),
-    ]
+    )

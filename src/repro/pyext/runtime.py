@@ -17,6 +17,8 @@ Three tables live here:
 
 from __future__ import annotations
 
+import functools
+
 from dataclasses import dataclass
 
 from ..cfront.parser import ParseHints
@@ -63,8 +65,13 @@ _TYPEDEFS: dict[str, CSrcType] = {
 }
 
 
+@functools.cache
 def parse_hints() -> ParseHints:
-    """How to read CPython extension source with the shared parser."""
+    """How to read CPython extension source with the shared parser.
+
+    Memoized per process; :class:`ParseHints` is frozen and the parser
+    copies the typedef table, so one instance serves every request.
+    """
     return ParseHints(
         typedefs=dict(_TYPEDEFS),
         value_pointer_structs=frozenset({"PyObject"}),
@@ -242,16 +249,24 @@ GLOBAL_VALUES: tuple[str, ...] = (
 )
 
 
+# Per-process seed memos (PR 5): tables are built once, not per request.
+# Sharing is safe because builtins are polymorphic (instantiated afresh at
+# every call site) and variable bindings live in each run's own Unifier;
+# callers must treat the returned mappings as read-only.
+
+
+@functools.cache
 def builtin_entries() -> dict[str, Entry]:
-    """Fresh function-environment entries for every C-API entry point."""
+    """The function-environment entries for every C-API entry point (memoized)."""
     return {
         name: Entry(spec_to_cfun(spec))
         for name, spec in RUNTIME_FUNCTIONS.items()
     }
 
 
+@functools.cache
 def global_entries() -> dict[str, Entry]:
-    """Fresh bindings for the singleton/exception objects."""
+    """Bindings for the singleton/exception objects (memoized)."""
     return {name: Entry(CValue(fresh_mt())) for name in GLOBAL_VALUES}
 
 
@@ -259,9 +274,10 @@ def global_entries() -> dict[str, Entry]:
 POLYMORPHIC_BUILTINS: frozenset[str] = frozenset(RUNTIME_FUNCTIONS)
 
 
+@functools.cache
 def lowering_return_types() -> dict[str, CSrcType]:
     """Static return types for the lowering's symbol table, so calls into
-    the C API land in temporaries of the right surface type."""
+    the C API land in temporaries of the right surface type (memoized)."""
     return {
         name: _kind_to_src(spec.result)
         for name, spec in RUNTIME_FUNCTIONS.items()

@@ -1,0 +1,33 @@
+"""Regenerate the lexer token-stream fixtures (see test_lexer_equivalence).
+
+Run from the repository root after a *deliberate* lexer change::
+
+    PYTHONPATH=src python tests/cfront/dump_lexer_fixtures.py
+"""
+
+from pathlib import Path
+
+from repro.cfront.lexer import tokenize as c_tokenize
+from repro.ocamlfront.lexer import tokenize_ml
+from repro.source import SourceFile
+
+from test_lexer_equivalence import dump_tokens, fixture_cases  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def main() -> None:
+    for corpus, path in fixture_cases():
+        source = SourceFile(str(path), path.read_text())
+        tokens = (
+            c_tokenize(source)
+            if path.suffix == ".c"
+            else tokenize_ml(source)
+        )
+        out = FIXTURES / f"{corpus}__{path.name}.tokens"
+        out.write_text(dump_tokens(tokens))
+        print(f"wrote {out.name} ({len(tokens)} tokens)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+/* block comment * with / stars **/
+// line comment with "string" and 'c'
+#include <caml/mlvalues.h>
+#include "local_header.h"
+#define TAG_POINT 0
+#define TAG_HEX 0x1F
+#define TAG_OCT 017
+#define TAG_PAREN (42)
+#define TAG_NEG -7
+#define NOT_AN_INT some_expr(1)
+#define MULTI \
+    continued \
+    more
+#pragma once
+value torture(value x, int n)
+{
+    int hex = 0xfFuL;
+    int oct = 0755;
+    int dec = 1234567890L;
+    int zero = 0;
+    int weird = 0779;
+    char a = 'a';
+    char nl = '\n';
+    char tab = '\t';
+    char quote = '\'';
+    char backslash = '\\';
+    char zeroch = '\0';
+    const char *s = "hello \"world\"\n\t\\ with \0 nul";
+    const char *adj = "one" "two";
+    n <<= 2; n >>= 1; n += TAG_HEX; n -= TAG_OCT; n *= 2; n /= 3; n %= 5;
+    n &= 7; n |= 8; n ^= 9;
+    if (n <= 1 && n >= 0 || n == 2 && n != 3) { n++; --n; }
+    int arr[3];
+    arr[0] = n < 1 ? ~n : !n;
+    struct pair { int fst; int snd; } p;
+    p.fst = n >> 1; p.snd = n << 1;
+    int *q = &oct;
+    torture2(x, n, TAG_PAREN, TAG_NEG, MULTI_UNKNOWN);
+    return Val_int(hex + oct + dec + zero + weird + a);
+}

@@ -1,0 +1,130 @@
+"""Hash-consing of the immutable type languages (PR 5).
+
+The interned constructors must behave observably identically to plain
+construction — same equality, same rendering, same diagnostics — while
+making structurally equal terms *identical*, which is what the unifier's
+``a is b`` fast path and the flow-join's ``ct is ct`` check rely on.
+"""
+
+from repro.cfront.lower import lower_unit
+from repro.cfront.parser import parse_c_text
+from repro.core.intern import (
+    INTERN_CACHE_LIMIT,
+    clear_intern_caches,
+    intern_stats,
+)
+from repro.core.srctypes import CSrcPtr, CSrcScalar, CSrcValue
+from repro.core.types import (
+    C_INT,
+    CPtr,
+    CStruct,
+    MTCustom,
+    Pi,
+    PsiConst,
+    Sigma,
+)
+
+SOURCE = """
+value ml_pair(value a, value b)
+{
+    CAMLparam2(a, b);
+    CAMLlocal1(result);
+    result = caml_alloc(2, 0);
+    Store_field(result, 0, a);
+    Store_field(result, 1, b);
+    CAMLreturn(result);
+}
+
+int helper(int *p, struct buf *q)
+{
+    return *p + 1;
+}
+"""
+
+
+class TestCoreTypeInterning:
+    def test_structurally_equal_terms_are_identical(self):
+        assert CPtr(C_INT) is CPtr(C_INT)
+        assert CStruct("camera") is CStruct("camera")
+        assert PsiConst(3) is PsiConst(3)
+        assert Sigma(prods=(), tail=None) is Sigma(prods=(), tail=None)
+        assert Pi(elems=(), tail=None) is Pi(elems=(), tail=None)
+        assert MTCustom(CPtr(CStruct("caml_string"))) is MTCustom(
+            CPtr(CStruct("caml_string"))
+        )
+
+    def test_distinct_terms_stay_distinct(self):
+        assert CStruct("a") is not CStruct("b")
+        assert PsiConst(1) is not PsiConst(2)
+
+    def test_keyword_and_positional_construction_agree(self):
+        assert Sigma((), None) is Sigma(prods=(), tail=None)
+
+    def test_fresh_variables_are_never_conflated(self):
+        from repro.core.types import CValue, fresh_mt
+
+        # CValue embeds inference variables; two fresh ones must not merge
+        assert CValue(fresh_mt()) is not CValue(fresh_mt())
+
+    def test_cache_clear_is_safe(self):
+        probe = CStruct("transient-intern-probe")
+        clear_intern_caches()
+        # a cleared cache only costs future hits; new terms still intern
+        again = CStruct("transient-intern-probe")
+        assert again == probe
+        assert CStruct("transient-intern-probe") is again
+
+    def test_stats_report_per_class_sizes(self):
+        CStruct("stats-probe")
+        stats = intern_stats()
+        assert stats.get("CStruct", 0) >= 1
+        assert all(size <= INTERN_CACHE_LIMIT for size in stats.values())
+
+
+class TestParseLowerInterning:
+    """parse -> lower twice yields identity-equal type objects and the
+    same program shape (the satellite's equivalence requirement)."""
+
+    def _lowered_types(self):
+        program = lower_unit(parse_c_text(SOURCE))
+        types = []
+        for fn in program.functions:
+            types.append(fn.return_type)
+            types.extend(t for _, t in fn.params)
+            types.extend(d.ctype for d in fn.local_decls)
+        return types
+
+    def test_two_lowerings_share_every_type_object(self):
+        first = self._lowered_types()
+        second = self._lowered_types()
+        assert len(first) == len(second)
+        for left, right in zip(first, second):
+            assert left is right, (left, right)
+
+    def test_srctype_constructors_are_interned(self):
+        assert CSrcValue() is CSrcValue()
+        assert CSrcScalar("int") is CSrcScalar("int")
+        assert CSrcPtr(CSrcScalar("char")) is CSrcPtr(CSrcScalar("char"))
+        assert CSrcScalar("int") is not CSrcScalar("long")
+
+    def test_diagnostics_unchanged_across_repeat_analyses(self):
+        from repro.api import Project
+
+        ml = 'type t = { a : int; b : int }\nexternal f : t -> int = "ml_f"'
+        c = (
+            "value ml_f(value x)\n"
+            "{\n"
+            "    int first = Int_val(Field(x, 0));\n"
+            "    int second = Int_val(Field(x, 2));\n"  # out of range
+            "    return Val_int(first + second);\n"
+            "}\n"
+        )
+
+        def run():
+            report = Project().add_ocaml(ml).add_c(c).analyze()
+            return [d.render() for d in report.diagnostics]
+
+        first = run()
+        second = run()
+        assert first == second
+        assert first  # the seeded defect is reported both times

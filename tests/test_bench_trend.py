@@ -8,7 +8,7 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
-TREND_DOC = ROOT / "BENCH_PR4.json"
+TREND_DOC = ROOT / "BENCH_PR5.json"
 
 
 def _load_trend_module():
@@ -26,7 +26,7 @@ def trend():
 
 
 class TestCommittedDocument:
-    """CI produces BENCH_PR4.json; this is the schema it must satisfy."""
+    """CI produces BENCH_PR5.json; this is the schema it must satisfy."""
 
     def test_document_is_committed(self):
         assert TREND_DOC.is_file(), TREND_DOC
@@ -35,13 +35,14 @@ class TestCommittedDocument:
         document = json.loads(TREND_DOC.read_text())
         assert trend.validate(document) == []
 
-    def test_document_covers_all_four_benchmarks(self):
+    def test_document_covers_all_five_benchmarks(self):
         document = json.loads(TREND_DOC.read_text())
         assert set(document["benchmarks"]) >= {
             "batch",
             "pyext",
             "serve",
             "jni",
+            "cold",
         }
 
     def test_document_tracks_serve_speedups_per_dialect(self):
@@ -54,12 +55,26 @@ class TestCommittedDocument:
         assert gates["bench_failures"] == []
         assert gates["regressions"] == []
 
+    def test_document_has_a_non_null_baseline(self):
+        # the PR 4 document recorded `"baseline": null` (nothing to
+        # compare against); from PR 5 on the gate must actually compare
+        gates = json.loads(TREND_DOC.read_text())["gates"]
+        assert gates["baseline"] == "BENCH_PR4.json"
+
 
 class TestValidate:
     def test_missing_ratio_is_a_problem(self, trend):
         document = json.loads(TREND_DOC.read_text())
         del document["ratios"]["serve_speedup_jni"]
         assert any("serve_speedup_jni" in p for p in trend.validate(document))
+
+    def test_conditional_parallel_ratios_may_be_absent(self, trend):
+        # single-core hosts record batch_parallel_overhead, multi-core
+        # hosts batch_parallel_speedup; neither alone is a schema problem
+        document = json.loads(TREND_DOC.read_text())
+        document["ratios"].pop("batch_parallel_speedup", None)
+        document["ratios"].pop("batch_parallel_overhead", None)
+        assert trend.validate(document) == []
 
     def test_wrong_schema_name_is_a_problem(self, trend):
         document = json.loads(TREND_DOC.read_text())
@@ -94,6 +109,13 @@ class TestRegressionGate:
         current = dict(self.RATIOS, batch_warm_fraction_of_cold=0.15)  # +50%
         problems = trend.compare_ratios(current, self.RATIOS, 0.20)
         assert any("batch_warm_fraction_of_cold" in p for p in problems)
+
+    def test_warm_fraction_below_floor_never_gates(self, trend):
+        # a 2x faster cold path doubles the warm fraction without any
+        # regression; tiny absolute fractions are exempt (RATIO_FLOORS)
+        baseline = dict(self.RATIOS, batch_warm_fraction_of_cold=0.006)
+        current = dict(self.RATIOS, batch_warm_fraction_of_cold=0.012)
+        assert trend.compare_ratios(current, baseline, 0.20) == []
 
     def test_improvements_always_pass(self, trend):
         current = dict(

@@ -119,9 +119,17 @@ def test_bench_trend_merges_and_gates_the_trajectory(workflow):
     steps = workflow["jobs"]["bench-trend"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)
     assert "bench_trend.py" in runs
-    assert "BENCH_PR4.json" in runs
+    assert "BENCH_PR5.json" in runs
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
-    assert uploads and "BENCH_PR4.json" in uploads[0]["with"]["path"]
+    assert uploads and "BENCH_PR5.json" in uploads[0]["with"]["path"]
+
+
+def test_bench_smoke_runs_the_cold_benchmark_and_uploads_its_json(workflow):
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "bench_cold.py --quick" in runs
+    uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
+    assert uploads and "cold-report.json" in uploads[0]["with"]["path"]
 
 
 def test_bench_trend_stages_the_committed_baseline(workflow):

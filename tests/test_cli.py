@@ -89,6 +89,62 @@ value ml_f(value s)
 EXAMPLES_PYEXT = Path(__file__).resolve().parent.parent / "examples" / "pyext"
 
 
+class TestProfileFlag:
+    """``--profile [PATH]`` wraps the analysis in cProfile (PR 5): perf
+    work starts from a profile, not guesswork."""
+
+    def test_check_profile_to_stderr(self, project_files, capsys):
+        ml, c = project_files
+        code = main(["check", str(ml), str(c), "--profile"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cumulative" in captured.err
+        assert "function calls" in captured.err
+        # stdout stays the ordinary report
+        assert "0 error(s)" in captured.out
+
+    def test_check_profile_to_path(self, project_files, tmp_path, capsys):
+        ml, c = project_files
+        out_path = tmp_path / "run.pstats"
+        code = main(["check", str(ml), str(c), "--profile", str(out_path)])
+        assert code == 0
+        stats = out_path.read_text()
+        assert "cumulative" in stats
+        capsys.readouterr()
+
+    def test_check_profile_keeps_json_parseable(self, project_files, capsys):
+        ml, c = project_files
+        code = main(
+            ["check", str(ml), str(c), "--format", "json", "--profile"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # profile output must not pollute stdout
+
+    def test_batch_profile_to_path(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "lib.ml").write_text(
+            'external f : int -> int = "ml_f"\n'
+        )
+        (tree / "stubs.c").write_text(
+            "value ml_f(value x) { return Val_int(Int_val(x)); }\n"
+        )
+        out_path = tmp_path / "batch.pstats"
+        code = main(
+            [
+                "batch",
+                str(tree),
+                "--no-cache",
+                "--profile",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "cumulative" in out_path.read_text()
+        capsys.readouterr()
+
+
 class TestDialectFlag:
     def test_pyext_clean_module_exits_zero(self, capsys):
         code = main(
