@@ -1,8 +1,8 @@
 """Benchmark-trend harness: one comparable number per PR.
 
-Runs the five engine benchmarks (``bench_batch``, ``bench_pyext``,
-``bench_serve``, ``bench_jni``, ``bench_cold``) through their common
-``--json`` flag,
+Runs the six engine benchmarks (``bench_batch``, ``bench_pyext``,
+``bench_serve``, ``bench_jni``, ``bench_cold``, ``bench_concurrency``)
+through their common ``--json`` flag,
 merges the payloads into one schema-versioned trend document, and
 compares the speedup/warm-cache *ratios* against the newest committed
 ``BENCH_*.json`` at the repository root.  Ratios — not wall times — are
@@ -16,8 +16,8 @@ reads.
 
 Run::
 
-    python benchmarks/bench_trend.py --quick --output BENCH_PR5.json
-    python benchmarks/bench_trend.py --compare-only BENCH_PR5.json
+    python benchmarks/bench_trend.py --quick --output BENCH_PR6.json
+    python benchmarks/bench_trend.py --compare-only BENCH_PR6.json
 """
 
 from __future__ import annotations
@@ -63,6 +63,11 @@ BENCHMARKS: dict[str, dict[str, list[str]]] = {
         "quick": ["--quick"],
         "full": [],
     },
+    "concurrency": {
+        "script": "bench_concurrency.py",
+        "quick": ["--quick"],
+        "full": [],
+    },
 }
 
 #: ratio key -> direction ("higher" = bigger is better).  The two batch
@@ -78,6 +83,9 @@ RATIO_DIRECTIONS: dict[str, str] = {
     "serve_speedup_ocaml": "higher",
     "serve_speedup_pyext": "higher",
     "serve_speedup_jni": "higher",
+    "concurrency_warm_checks_per_sec": "higher",
+    "concurrency_p99_ms": "lower",
+    "concurrency_shed_rate": "higher",
 }
 
 #: hardware-conditional ratios: present-or-absent is legitimate, so
@@ -96,6 +104,13 @@ RATIO_FLOORS: dict[str, float] = {
     "batch_warm_fraction_of_cold": 0.05,
     "pyext_warm_fraction_of_cold": 0.05,
     "jni_warm_fraction_of_cold": 0.05,
+    # sub-5ms p99 is far below the 50ms gate; scheduler jitter at that
+    # scale is noise, not a regression
+    "concurrency_p99_ms": 5.0,
+    # on single-core hosts the pool-overhead ratio wanders 0.9-1.4 from
+    # scheduling jitter alone; only a blow-up (pickling whole trees,
+    # pool thrash) should fire the gate
+    "batch_parallel_overhead": 1.5,
 }
 
 
@@ -147,6 +162,13 @@ def extract_ratios(payloads: dict[str, dict]) -> dict[str, float]:
     if serve is not None:
         for dialect, result in serve["dialects"].items():
             ratios[f"serve_speedup_{dialect}"] = result["speedup"]
+    concurrency = payloads.get("concurrency")
+    if concurrency is not None:
+        ratios["concurrency_warm_checks_per_sec"] = concurrency[
+            "warm_checks_per_sec"
+        ]
+        ratios["concurrency_p99_ms"] = concurrency["p99_ms"]
+        ratios["concurrency_shed_rate"] = concurrency["shed_rate"]
     cold = payloads.get("cold")
     if cold is not None:
         # recorded for the trajectory but not regression-gated: the cold
@@ -271,9 +293,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(ROOT / "BENCH_PR5.json"),
+        default=str(ROOT / "BENCH_PR6.json"),
         metavar="PATH",
-        help="merged trend document to write (default: BENCH_PR5.json)",
+        help="merged trend document to write (default: BENCH_PR6.json)",
     )
     parser.add_argument(
         "--pr",

@@ -10,7 +10,9 @@ Usage::
     mlffi-check batch src/glue --jobs 4 --format json
     mlffi-check batch --dialect pyext src/ext --jobs 4
     mlffi-check serve src/glue --cache-dir .mlffi-cache
-    mlffi-check serve src/glue --tcp 127.0.0.1:9178
+    mlffi-check serve src/glue --tcp 127.0.0.1:9178 --workers 8
+    mlffi-check serve src/glue --tcp 0.0.0.0:9178 --reuse-port \\
+        --shared-store /var/cache/mlffi
     mlffi-check watch src/glue --interval 1
     mlffi-check bench [--program lablgtk-2.2.0]
     mlffi-check example
@@ -46,8 +48,10 @@ from .engine import (
     IncrementalEngine,
     NullCache,
     ResultCache,
+    SharedResultStore,
 )
 from .sarif import batch_sarif_log, sarif_log
+from .server.async_daemon import DEFAULT_MAX_QUEUE, DEFAULT_WORKERS
 from .source import SourceFile
 
 
@@ -92,6 +96,14 @@ def _add_cache_flags(command: argparse.ArgumentParser) -> None:
         metavar="N",
         help="LRU cap on cache entries; 0 disables the cap "
         f"(default: {DEFAULT_MAX_ENTRIES})",
+    )
+    command.add_argument(
+        "--shared-store",
+        default=None,
+        metavar="DIR",
+        help="use a cross-process shared result store at DIR as the cold "
+        "tier instead of --cache-dir; safe for many daemon replicas and "
+        "batch runs to read and write concurrently",
     )
 
 
@@ -232,6 +244,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="listen on TCP instead of stdio (e.g. 127.0.0.1:9178; "
         "port 0 picks a free port)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        metavar="N",
+        help="analysis worker threads for the async TCP daemon "
+        f"(default: {DEFAULT_WORKERS})",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=DEFAULT_MAX_QUEUE,
+        metavar="N",
+        help="computations allowed to queue beyond the workers before "
+        "the daemon sheds requests with an OVERLOADED error "
+        f"(default: {DEFAULT_MAX_QUEUE})",
+    )
+    serve.add_argument(
+        "--reuse-port",
+        action="store_true",
+        help="set SO_REUSEPORT so several daemon replicas can share one "
+        "port (pair with --shared-store for a fleet-wide warm cache)",
+    )
+    serve.add_argument(
+        "--threaded",
+        action="store_true",
+        help="use the legacy thread-per-connection TCP server instead "
+        "of the async daemon (no coalescing fan-out limit, no "
+        "backpressure)",
+    )
 
     watch = sub.add_parser(
         "watch",
@@ -288,6 +330,8 @@ def _make_cache(args: argparse.Namespace):
     if args.no_cache:
         return NullCache()
     max_entries = args.cache_max_entries if args.cache_max_entries > 0 else None
+    if getattr(args, "shared_store", None):
+        return SharedResultStore(args.shared_store, max_entries=max_entries)
     return ResultCache(args.cache_dir, max_entries=max_entries)
 
 
@@ -393,7 +437,12 @@ def _build_engine(args: argparse.Namespace) -> Optional[IncrementalEngine]:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from .server import AnalysisService, serve_stdio, serve_tcp
+    from .server import (
+        AnalysisService,
+        serve_async_tcp,
+        serve_stdio,
+        serve_tcp,
+    )
 
     engine = _build_engine(args)
     if engine is None:
@@ -408,7 +457,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"error: bad --tcp address: {args.tcp}", file=sys.stderr)
         return 125
     try:
-        return serve_tcp(service, host or "127.0.0.1", port)
+        if args.threaded:
+            return serve_tcp(service, host or "127.0.0.1", port)
+        return serve_async_tcp(
+            service,
+            host or "127.0.0.1",
+            port,
+            workers=max(1, args.workers),
+            max_queue=max(0, args.max_queue),
+            reuse_port=args.reuse_port,
+        )
     except KeyboardInterrupt:
         return 0
 

@@ -31,6 +31,7 @@ from .jobs import (
     repository_fingerprint,
 )
 from .scheduler import default_jobs, run_batch
+from .store import SharedResultStore
 from .worker import analyze_request, run_request
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "MemoryCache",
     "NullCache",
     "ResultCache",
+    "SharedResultStore",
     "TieredCache",
     "analyze_request",
     "default_jobs",

@@ -163,6 +163,14 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
 
+    def stats(self) -> dict:
+        """Uniform tier statistics (no directory scan: stays cheap)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
 
 class MemoryCache:
     """In-process LRU tier: cache key -> JSON payload of a result.
@@ -209,6 +217,14 @@ class MemoryCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
 
 class TieredCache:
     """Memory over disk: the service's warm tier backed by the cold one.
@@ -247,6 +263,18 @@ class TieredCache:
         self.memory.store(key, result)
         self.cold.store(key, result)
 
+    def stats(self) -> dict:
+        cold_stats = (
+            self.cold.stats()
+            if hasattr(self.cold, "stats")
+            else {
+                "hits": getattr(self.cold, "hits", 0),
+                "misses": getattr(self.cold, "misses", 0),
+                "evictions": getattr(self.cold, "evictions", 0),
+            }
+        )
+        return {"memory": self.memory.stats(), "cold": cold_stats}
+
 
 class NullCache:
     """The ``--no-cache`` policy: every lookup misses, nothing is stored."""
@@ -263,3 +291,6 @@ class NullCache:
 
     def store(self, key: str, result: CheckResult) -> None:
         pass
+
+    def stats(self) -> dict:
+        return {"hits": 0, "misses": self.misses, "evictions": 0}

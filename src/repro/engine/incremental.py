@@ -146,6 +146,11 @@ class IncrementalEngine:
         self.cache = TieredCache(self.memory, self.cold)
         self.graph = DependencyGraph()
         self.checks_run = 0
+        #: monotonic state counter: bumped whenever resident results may
+        #: have changed (invalidate, reload, a check that re-analyzed).
+        #: The service's request coalescer keys its memo on this, so a
+        #: memoized response can never outlive the state it encoded.
+        self._revision = 0
         self._spec = get_dialect(dialect)
         self._lock = threading.RLock()
         self._hosts: dict[str, SourceFile] = {}
@@ -222,6 +227,7 @@ class IncrementalEngine:
             self._hosts = {source.filename: source for source in scan.hosts}
             for source in scan.units:
                 self._adopt_unit(source)
+            self._revision += 1
             return set(self._dirty)
 
     # -- invalidation ---------------------------------------------------------
@@ -273,6 +279,9 @@ class IncrementalEngine:
             if host_changed:
                 self._rebuild_all_requests()
                 affected.update(self._units)
+            # conservative: any invalidate may have changed what a check
+            # would report, so coalesced memos must stop being served
+            self._revision += 1
             return affected
 
     # -- checking -------------------------------------------------------------
@@ -329,6 +338,10 @@ class IncrementalEngine:
                 else:
                     ordered.append(self._reused_result(self._units[name]))
             self.checks_run += 1
+            if candidates:
+                # resident payloads changed: a memo of the pre-check
+                # report (ran/reused/results) must not be replayed
+                self._revision += 1
             return IncrementalReport(
                 results=ordered,
                 elapsed_seconds=time.perf_counter() - started,
@@ -358,6 +371,13 @@ class IncrementalEngine:
         with self._lock:
             return set(self._dirty)
 
+    @property
+    def revision(self) -> int:
+        """Current state revision (see ``_revision``); reading it before
+        a coalescer lookup is what makes memoized responses safe."""
+        with self._lock:
+            return self._revision
+
     def dependencies(self, name: str | os.PathLike) -> frozenset[str]:
         with self._lock:
             return self.graph.dependencies(_normalize(name, self.root))
@@ -371,15 +391,16 @@ class IncrementalEngine:
                 "hosts": len(self._hosts),
                 "dirty": sorted(self._dirty),
                 "checks_run": self.checks_run,
+                "revision": self._revision,
                 "jobs": self.jobs,
                 "cache": {
-                    "memory": {
-                        "entries": len(self.memory),
-                        "hits": self.memory.hits,
-                        "misses": self.memory.misses,
-                        "evictions": self.memory.evictions,
-                    },
-                    "disk": {
+                    "memory": self.memory.stats(),
+                    # the cold tier may be the per-process ResultCache or
+                    # the cross-process SharedResultStore; either way its
+                    # stats ride under the stable "disk" key
+                    "disk": self.cold.stats()
+                    if hasattr(self.cold, "stats")
+                    else {
                         "hits": getattr(self.cold, "hits", 0),
                         "misses": getattr(self.cold, "misses", 0),
                         "evictions": getattr(self.cold, "evictions", 0),

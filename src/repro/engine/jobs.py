@@ -35,7 +35,10 @@ from ..source import SourceFile
 #: cache eviction counts.
 #: v4: third dialect (jni) with new JNI_* kinds; ParseHints grew dialect
 #: qualifiers, changing how shared-suffix sources can parse.
-CACHE_SCHEMA_VERSION = 4
+#: v5: the cross-process SharedResultStore joined the tier stack (its
+#: content-addressed layout must never replay pre-store entries) and
+#: results grew the "store" cache tier.
+CACHE_SCHEMA_VERSION = 5
 
 
 def _digest_sources(sources: Iterable[SourceFile]) -> str:
@@ -114,7 +117,8 @@ class CheckResult:
     wall_seconds: float = 0.0
     cache_key: str = ""
     from_cache: bool = False
-    #: which tier satisfied a hit: "memory", "disk", or "" for a fresh run
+    #: which tier satisfied a hit: "memory", "disk", "store" (the
+    #: cross-process shared store), or "" for a fresh run
     cache_tier: str = ""
     #: set when the worker itself failed (parse crash, etc.); such results
     #: are reported but never cached
@@ -185,6 +189,9 @@ class BatchReport:
     jobs: int = 1
     #: LRU evictions the cache performed while this batch stored results
     cache_evictions: int = 0
+    #: duplicate requests served by intra-batch coalescing (identical
+    #: cache keys submitted together analyze once)
+    coalesced: int = 0
 
     def tally(self) -> dict[str, int]:
         total = DiagnosticBag().tally()
@@ -243,6 +250,7 @@ class BatchReport:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "evictions": self.cache_evictions,
+                "coalesced": self.coalesced,
             },
             "jobs": self.jobs,
             "elapsed_seconds": self.elapsed_seconds,

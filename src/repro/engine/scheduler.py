@@ -81,18 +81,42 @@ def run_batch(
         else:
             pending.append((index, request, key))
 
+    # intra-batch coalescing: two requests with the same cache key are
+    # provably the same analysis (content, dialect, options), so only the
+    # first is submitted and the rest receive copies of its result —
+    # the batch-level face of the service's request coalescing
+    unique: list[tuple[int, CheckRequest, str]] = []
+    duplicates: list[tuple[int, CheckRequest, str]] = []
+    seen: set[str] = set()
+    for index, request, key in pending:
+        if key and key in seen:
+            duplicates.append((index, request, key))
+        else:
+            if key:
+                seen.add(key)
+            unique.append((index, request, key))
+
     fresh: Optional[list[CheckResult]] = None
-    worker_count = min(jobs, len(pending))
+    worker_count = min(jobs, len(unique))
     if worker_count > 1:
-        fresh = _run_pool([(req, key) for _, req, key in pending], worker_count)
+        fresh = _run_pool([(req, key) for _, req, key in unique], worker_count)
     if fresh is None:
-        fresh = [run_request(req, key) for _, req, key in pending]
+        fresh = [run_request(req, key) for _, req, key in unique]
 
     evictions_before = getattr(cache, "evictions", 0)
-    for (index, _req, key), result in zip(pending, fresh):
+    by_key: dict[str, CheckResult] = {}
+    for (index, _req, key), result in zip(unique, fresh):
         if cache is not None:
             cache.store(key, result)
+        if key:
+            by_key[key] = result
         results[index] = result
+    for index, request, key in duplicates:
+        shared = by_key[key]
+        copy = CheckResult.from_dict(shared.to_dict())
+        copy.name = request.name
+        copy.wall_seconds = 0.0  # the duplicate cost the batch nothing
+        results[index] = copy
 
     ordered = [results[index] for index in range(len(requests))]
     return BatchReport(
@@ -100,4 +124,5 @@ def run_batch(
         elapsed_seconds=time.perf_counter() - started,
         jobs=jobs,
         cache_evictions=getattr(cache, "evictions", 0) - evictions_before,
+        coalesced=len(duplicates),
     )

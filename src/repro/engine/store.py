@@ -1,0 +1,274 @@
+"""Cross-process content-addressed result store.
+
+One warm cache for a whole fleet: N daemon replicas (``mlffi-check
+serve --reuse-port`` behind one port), batch sweeps, and CI bots can all
+point at the same store directory, and any result computed by one
+process is a warm hit for every other.  This is the cold tier the
+service layers under its :class:`~repro.engine.cache.TieredCache` when
+``--shared-store`` is on.
+
+Layout under the store directory::
+
+    objects/<key[:2]>/<key>.json   one payload per cache key (sharded
+                                   fan-out so no directory grows huge)
+    index.log                      append-only journal of stored keys
+    .lock                          advisory write lock
+
+Concurrency contract:
+
+* **readers never lock** — payloads are written to a temp file and
+  ``os.replace``'d into place, so a reader sees either the old bytes,
+  the new bytes, or a miss; never a torn file.
+* **writers lock the journal** — the ``.lock`` file is held (``flock``
+  where available, an ``O_EXCL`` spin lock otherwise) only while
+  appending to ``index.log`` or evicting, so two processes can store
+  concurrently without corrupting the entry count that drives the LRU
+  cap.
+* corrupt, stale (old ``CACHE_SCHEMA_VERSION``), or vanished entries
+  are misses, never errors: like every other tier, the store can be
+  deleted wholesale at any time.
+
+Hit/miss/eviction counters are per-process (each process observes its
+own traffic); the entry count in :meth:`stats` reflects the shared
+on-disk state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .cache import DEFAULT_MAX_ENTRIES
+from .jobs import CACHE_SCHEMA_VERSION, CheckResult
+
+try:  # POSIX: a real advisory lock
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback below
+    fcntl = None  # type: ignore[assignment]
+
+#: how long a writer spins on the O_EXCL fallback lock before degrading
+#: to lock-free operation (journal append stays atomic-ish via O_APPEND)
+_FALLBACK_LOCK_TIMEOUT_S = 2.0
+
+
+class SharedResultStore:
+    """Content-addressed :class:`CheckResult` store shared by processes.
+
+    Conforms to the scheduler's ``Cache`` protocol (``load``/``store``),
+    so it can serve as the cold tier anywhere a
+    :class:`~repro.engine.cache.ResultCache` can.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    ):
+        self.directory = Path(directory)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: journal lines observed at init plus appends since; eviction
+        #: scans rebase it to the true object count
+        self._approx_count: Optional[int] = None
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def _objects(self) -> Path:
+        return self.directory / "objects"
+
+    @property
+    def _journal(self) -> Path:
+        return self.directory / "index.log"
+
+    @property
+    def _lockfile(self) -> Path:
+        return self.directory / ".lock"
+
+    def _object_path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.json"
+
+    # -- locking --------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[bool]:
+        """Hold the store's write lock; yields False when degraded to
+        lock-free (lock unavailable on this platform or contended past
+        the timeout) — callers proceed, accepting benign index races."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            yield False
+            return
+        if fcntl is not None:
+            try:
+                fd = os.open(self._lockfile, os.O_CREAT | os.O_RDWR, 0o644)
+            except OSError:
+                yield False
+                return
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                yield True
+            finally:
+                with contextlib.suppress(OSError):
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+            return
+        # O_EXCL spin lock: portable, self-cleaning via the finally
+        deadline = time.monotonic() + _FALLBACK_LOCK_TIMEOUT_S
+        spin = self._lockfile.with_suffix(".spin")
+        while True:
+            try:
+                fd = os.open(spin, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    yield False
+                    return
+                time.sleep(0.005)
+            except OSError:
+                yield False
+                return
+        try:
+            yield True
+        finally:
+            os.close(fd)
+            with contextlib.suppress(OSError):
+                os.unlink(spin)
+
+    # -- protocol -------------------------------------------------------------
+
+    def load(self, key: str) -> Optional[CheckResult]:
+        """Return the stored result for ``key``; any failure is a miss."""
+        path = self._object_path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("schema_version") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        try:
+            result = CheckResult.from_dict(data["result"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.from_cache = True
+        result.cache_tier = "store"
+        with contextlib.suppress(OSError):
+            os.utime(path)  # recency: eviction spares keys other processes hit
+        return result
+
+    def store(self, key: str, result: CheckResult) -> None:
+        """Persist ``result`` under ``key``; failures degrade to no-op."""
+        if result.failure is not None:
+            return  # infrastructure failures must re-run next time
+        payload = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "result": result.to_dict(),
+        }
+        path = self._object_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except OSError:
+            return  # read-only store degrades to "no cache", not a crash
+        with self._locked():
+            try:
+                with open(self._journal, "a") as journal:
+                    journal.write(key + "\n")
+            except OSError:
+                return
+            self._enforce_cap()
+
+    # -- maintenance (caller holds the lock) -----------------------------------
+
+    def _journal_count(self) -> int:
+        try:
+            with open(self._journal) as journal:
+                return sum(1 for _ in journal)
+        except OSError:
+            return 0
+
+    def _scan_objects(self) -> list[tuple[float, Path]]:
+        try:
+            return [
+                (path.stat().st_mtime, path)
+                for path in self._objects.glob("*/*.json")
+            ]
+        except OSError:
+            return []
+
+    def _enforce_cap(self) -> None:
+        """Evict least-recently-used objects once past the cap.
+
+        The journal line count over-approximates the object count
+        (overwrites append too), so crossing the cap triggers a real
+        scan that rebases the estimate — same pattern as
+        :class:`~repro.engine.cache.ResultCache`, but under the
+        cross-process lock."""
+        if self.max_entries is None:
+            return
+        if self._approx_count is None:
+            self._approx_count = self._journal_count()
+        else:
+            self._approx_count += 1
+        if self._approx_count <= self.max_entries:
+            return
+        entries = self._scan_objects()
+        excess = len(entries) - self.max_entries
+        if excess > 0:
+            entries.sort()  # oldest mtime (least recently touched) first
+            for _mtime, path in entries[:excess]:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    self.evictions += 1
+            entries = entries[excess:]
+        # compact the journal to the survivors so the estimate stays honest
+        with contextlib.suppress(OSError):
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-index-"
+            )
+            with os.fdopen(fd, "w") as handle:
+                handle.writelines(path.stem + "\n" for _m, path in entries)
+            os.replace(tmp_name, self._journal)
+        self._approx_count = len(entries)
+
+    # -- introspection --------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every object; returns how many were removed."""
+        removed = 0
+        with self._locked():
+            for _mtime, path in self._scan_objects():
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    removed += 1
+            with contextlib.suppress(OSError):
+                self._journal.unlink()
+            self._approx_count = None
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._scan_objects())
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

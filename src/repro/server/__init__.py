@@ -3,34 +3,56 @@
 A long-running daemon around :class:`repro.engine.IncrementalEngine`:
 ASTs, dialect environments, and typed-unit results stay warm in memory,
 and clients drive re-checking over a newline-delimited JSON-RPC protocol
-(:mod:`repro.server.protocol`) on stdio or TCP
-(:mod:`repro.server.daemon`).  :mod:`repro.server.watch` is a polling
-file-watcher that feeds the same engine, and
-:class:`repro.api.Session` wraps the service for library users.
+(:mod:`repro.server.protocol`) on stdio or TCP.  Two TCP transports
+exist: the simple thread-per-connection server
+(:mod:`repro.server.daemon`) and the high-concurrency asyncio daemon
+(:mod:`repro.server.async_daemon`) with request coalescing
+(:mod:`repro.server.coalesce`) and load shedding.
+:mod:`repro.server.watch` is a polling file-watcher that feeds the same
+engine, and :class:`repro.api.Session` wraps the service for library
+users.
 """
 
+from .async_daemon import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WORKERS,
+    serve_async_tcp,
+)
+from .coalesce import CheckCoalescer
 from .daemon import serve_stdio, serve_tcp
 from .protocol import (
+    OVERLOADED,
     PROTOCOL_VERSION,
     ProtocolError,
     decode_line,
     encode,
+    encode_fragment,
     error_response,
     result_response,
+    splice_result,
 )
-from .service import AnalysisService
+from .service import AnalysisService, LoadGauge, Overloaded
 from .watch import WatchEvent, Watcher
 
 __all__ = [
     "AnalysisService",
+    "CheckCoalescer",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_WORKERS",
+    "LoadGauge",
+    "OVERLOADED",
+    "Overloaded",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "WatchEvent",
     "Watcher",
     "decode_line",
     "encode",
+    "encode_fragment",
     "error_response",
     "result_response",
+    "serve_async_tcp",
     "serve_stdio",
     "serve_tcp",
+    "splice_result",
 ]

@@ -7,8 +7,11 @@ on any connection stops the daemon.
 
 * ``serve_stdio`` — one client on stdin/stdout; what editors and the CI
   smoke job drive.
-* ``serve_tcp`` — a threading TCP server for many concurrent clients;
-  the engine lock serializes actual analysis.
+* ``serve_tcp`` — a threading TCP server for a handful of concurrent
+  clients; the engine lock serializes actual analysis.  For fleet
+  traffic (hundreds of clients, backpressure, port sharing) use the
+  asyncio transport in :mod:`repro.server.async_daemon` instead —
+  ``mlffi-check serve --tcp`` defaults to it.
 """
 
 from __future__ import annotations
@@ -68,6 +71,10 @@ class AnalysisTCPServer(socketserver.ThreadingTCPServer):
     """TCP transport bound to one service; ``server_address`` tells the
     caller which port an ephemeral bind (port 0) actually got."""
 
+    #: pinned: a restarted daemon must rebind its port immediately, not
+    #: wait out TIME_WAIT from its predecessor's connections — CI and
+    #: supervisor restarts depend on this (see the rebind regression
+    #: test in tests/server/test_daemon.py)
     allow_reuse_address = True
     daemon_threads = True
 

@@ -32,6 +32,10 @@ INVALID_REQUEST = -32600
 METHOD_NOT_FOUND = -32601
 INVALID_PARAMS = -32602
 INTERNAL_ERROR = -32603
+#: implementation-defined (server-error range): the daemon shed this
+#: request because its analysis queue was full.  Shed responses carry
+#: ``error.data.queue_depth`` so clients can back off proportionally.
+OVERLOADED = -32005
 
 
 class ProtocolError(Exception):
@@ -55,6 +59,37 @@ def encode(payload: dict) -> str:
     """One stable wire line (sorted keys, compact, trailing newline)."""
     return (
         json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+
+
+def encode_fragment(payload: object) -> str:
+    """Stable serialization of one value, without the frame newline.
+
+    This is the inner encoding :func:`splice_result` splices into a
+    response line, so it must match :func:`encode` byte for byte.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def splice_result(request_id: Any, result_fragment: str) -> str:
+    """Assemble a result response around an already-encoded result.
+
+    The coalescing layer serializes a shared ``check`` result once and
+    fans it out to every waiting client; only the echoed ``id`` differs
+    per response.  Because ``encode`` sorts keys and
+    ``id < protocol < result`` is already sorted order, splicing the
+    pre-encoded fragment is byte-identical to
+    ``encode(result_response(request_id, result))`` — the stability
+    contract the bench gates diff against.
+    """
+    return (
+        '{"id":'
+        + encode_fragment(request_id)
+        + ',"protocol":'
+        + str(PROTOCOL_VERSION)
+        + ',"result":'
+        + result_fragment
+        + "}\n"
     )
 
 

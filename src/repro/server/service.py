@@ -2,8 +2,9 @@
 
 :class:`AnalysisService` owns one :class:`~repro.engine.IncrementalEngine`
 and maps protocol methods onto it.  It is transport-agnostic: the stdio
-loop, the TCP server, and in-process users (:class:`repro.api.Session`)
-all call :meth:`handle_line` / :meth:`handle` with plain dicts.
+loop, the threading TCP server, the asyncio daemon, and in-process users
+(:class:`repro.api.Session`) all call :meth:`handle_line` / :meth:`handle`
+with plain dicts.
 
 Methods:
 
@@ -16,31 +17,118 @@ Methods:
     which really re-analyzed (*ran*), how many were served from resident
     state (*reused*), and which dirty units a restricted check skipped —
     their rows are pre-edit results (*stale*).
+
+    ``check`` is **coalesced** (:mod:`repro.server.coalesce`): identical
+    concurrent requests share one computation, and repeat requests at an
+    unchanged engine revision replay the memoized encoded result.  The
+    coalesced response is byte-identical to an uncoalesced one except
+    for the echoed ``id`` (timing fields replay the leader's values).
 ``invalidate``
     ``paths`` (required list) were created/edited/deleted; re-reads them
     and returns the affected unit names.  Dirty units re-check on the
     next ``check``.
 ``status``
-    Engine introspection: units, dirty set, cache-tier statistics.
+    Engine introspection: units, dirty set, cache-tier statistics, plus
+    ``server`` (queue depth / shed counters, fed by the transport) and
+    ``coalescing`` stanzas.
 ``shutdown``
     Acknowledges, then makes the transport loop exit.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from typing import Optional
 
 from ..engine import IncrementalEngine
 from . import protocol
+from .coalesce import CheckCoalescer, InflightEntry
+
+
+class LoadGauge:
+    """Backpressure bookkeeping shared by service and transport.
+
+    The asyncio daemon acquires a slot per computation it dispatches to
+    its worker pool; when ``limit`` (workers + queue allowance) is
+    exhausted the request is *shed* with a
+    :data:`~repro.server.protocol.OVERLOADED` error instead of piling
+    onto an unbounded queue.  ``status`` surfaces the counters so a
+    load balancer can watch saturation without provoking it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: concurrent computation cap; ``None`` = unbounded (stdio and
+        #: threading transports, which carry their own natural limits)
+        self.limit: Optional[int] = None
+        self.workers = 0
+        self.max_queue = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.shed = 0
+        self.served = 0
+
+    def configure(self, workers: int, max_queue: int) -> None:
+        with self._lock:
+            self.workers = workers
+            self.max_queue = max_queue
+            self.limit = workers + max_queue
+
+    def try_acquire(self) -> bool:
+        """Claim a computation slot; False means shed this request."""
+        with self._lock:
+            if self.limit is not None and self.in_flight >= self.limit:
+                self.shed += 1
+                return False
+            self.in_flight += 1
+            if self.in_flight > self.peak_in_flight:
+                self.peak_in_flight = self.in_flight
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self.served += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+                "queue_depth": max(0, self.in_flight - self.workers),
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "shed": self.shed,
+                "served": self.served,
+            }
+
+
+class Overloaded(Exception):
+    """Raised internally when the daemon sheds a request."""
+
+    def __init__(self, gauge: LoadGauge):
+        self.data = gauge.snapshot()
+        super().__init__(
+            "server overloaded: analysis queue is full "
+            f"({self.data['in_flight']} in flight, "
+            f"limit {self.data['workers']} workers "
+            f"+ {self.data['max_queue']} queued)"
+        )
 
 
 class AnalysisService:
     """One resident engine behind a JSON-RPC method table."""
 
+    #: how long a coalescing follower waits on its leader before giving
+    #: up; generous — a leader holds the engine lock at most one check
+    FOLLOWER_TIMEOUT_S = 600.0
+
     def __init__(self, engine: IncrementalEngine):
         self.engine = engine
         self.shutdown_requested = threading.Event()
+        self.coalescer = CheckCoalescer()
+        self.load = LoadGauge()
         self._methods = {
             "ping": self._ping,
             "check": self._check,
@@ -52,17 +140,36 @@ class AnalysisService:
     # -- dispatch -------------------------------------------------------------
 
     def handle_line(self, line: str) -> Optional[str]:
-        """Serve one wire frame; blank lines are ignored (returns None)."""
+        """Serve one wire frame; blank lines are ignored (returns None).
+
+        ``check`` frames take the coalesced fast path so every transport
+        that speaks lines (stdio, threading TCP, asyncio) deduplicates
+        identical work; other methods dispatch normally."""
         if not line.strip():
             return None
-        return protocol.encode(self.handle(line))
+        try:
+            request = protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            return protocol.encode(
+                protocol.error_response(None, exc.code, str(exc))
+            )
+        if request.method == "check":
+            return self.check_line(request)
+        return protocol.encode(self.handle_request(request))
 
     def handle(self, line: str) -> dict:
-        """Decode, dispatch, and build the response object for one frame."""
+        """Decode, dispatch, and build the response object for one frame.
+
+        This is the un-coalesced path (in-process users who want plain
+        dicts); wire transports go through :meth:`handle_line`."""
         try:
             request = protocol.decode_line(line)
         except protocol.ProtocolError as exc:
             return protocol.error_response(None, exc.code, str(exc))
+        return self.handle_request(request)
+
+    def handle_request(self, request: protocol.Request) -> dict:
+        """Dispatch one decoded request to its method handler."""
         method = self._methods.get(request.method)
         if method is None:
             return protocol.error_response(
@@ -83,6 +190,76 @@ class AnalysisService:
             )
         return protocol.result_response(request.id, result)
 
+    # -- coalesced check ------------------------------------------------------
+
+    def check_key(self, params: dict) -> tuple:
+        """Coalescing key: params digest at the current engine revision.
+
+        Reading the revision *before* the lookup is the safety argument:
+        a memo filed under this key encodes state at least as new as the
+        revision, so coalesced responses are never staler than an
+        uncoalesced check issued at the same moment."""
+        self._validate_check_params(params)
+        digest = hashlib.sha256(
+            protocol.encode_fragment(params).encode("utf-8")
+        ).hexdigest()
+        return (digest, self.engine.revision)
+
+    def compute_check(self, params: dict) -> str:
+        """Run the engine check and return the encoded result fragment."""
+        return protocol.encode_fragment(self._check(params))
+
+    def check_line(self, request: protocol.Request) -> str:
+        """One coalesced ``check``: blocking form for sync transports."""
+        try:
+            key = self.check_key(request.params)
+        except protocol.ProtocolError as exc:
+            return protocol.encode(
+                protocol.error_response(request.id, exc.code, str(exc))
+            )
+        probed = self.coalescer.probe(key)
+        if isinstance(probed, str):
+            return protocol.splice_result(request.id, probed)
+        if probed is None:
+            role, entry = self.coalescer.begin(key)
+            if role == "leader":
+                return protocol.splice_result(
+                    request.id, self.lead_check(entry, request.params)
+                )
+            probed = entry
+        try:
+            fragment = probed.future.result(timeout=self.FOLLOWER_TIMEOUT_S)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            return protocol.encode(self.error_for(request.id, exc))
+        return protocol.splice_result(request.id, fragment)
+
+    def lead_check(self, entry: InflightEntry, params: dict) -> str:
+        """Compute as coalescing leader and publish to every follower.
+
+        Raises on failure (after propagating the same failure to the
+        followers) — the caller renders it with :meth:`error_for`."""
+        try:
+            fragment = self.compute_check(params)
+        except BaseException as exc:
+            self.coalescer.fail(entry, exc)
+            raise
+        self.coalescer.resolve(entry, fragment)
+        return fragment
+
+    def error_for(self, request_id, exc: BaseException) -> dict:
+        """Map an exception to the response object for one request id."""
+        if isinstance(exc, Overloaded):
+            return protocol.error_response(
+                request_id, protocol.OVERLOADED, str(exc), data=exc.data
+            )
+        if isinstance(exc, protocol.ProtocolError):
+            return protocol.error_response(request_id, exc.code, str(exc))
+        return protocol.error_response(
+            request_id,
+            protocol.INTERNAL_ERROR,
+            f"{type(exc).__name__}: {exc}",
+        )
+
     # -- methods --------------------------------------------------------------
 
     def _ping(self, params: dict) -> dict:
@@ -93,7 +270,8 @@ class AnalysisService:
             "units": len(self.engine.unit_names),
         }
 
-    def _check(self, params: dict) -> dict:
+    @staticmethod
+    def _validate_check_params(params: dict) -> None:
         units = params.get("units")
         if units is not None and (
             not isinstance(units, list)
@@ -102,7 +280,10 @@ class AnalysisService:
             raise protocol.ProtocolError(
                 protocol.INVALID_PARAMS, "units must be a list of paths"
             )
-        report = self.engine.check(units)
+
+    def _check(self, params: dict) -> dict:
+        self._validate_check_params(params)
+        report = self.engine.check(params.get("units"))
         return report.to_dict()
 
     def _invalidate(self, params: dict) -> dict:
@@ -117,7 +298,10 @@ class AnalysisService:
         return {"invalidated": sorted(affected)}
 
     def _status(self, params: dict) -> dict:
-        return self.engine.status()
+        status = self.engine.status()
+        status["server"] = self.load.snapshot()
+        status["coalescing"] = self.coalescer.stats()
+        return status
 
     def _shutdown(self, params: dict) -> dict:
         self.shutdown_requested.set()

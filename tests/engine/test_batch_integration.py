@@ -62,6 +62,7 @@ class TestPerUnitTiming:
             "hits": 0,
             "misses": len(report.results),
             "evictions": 0,
+            "coalesced": 0,
         }
         for unit in data["units"]:
             assert "wall_seconds" in unit

@@ -131,3 +131,80 @@ class TestSignatures:
     def test_signatures_survive_the_wire(self, make_request):
         result = run_request(make_request())
         assert "ml_get" in result.signatures
+
+
+class _CountingCache:
+    """A cold-miss cache: keys flow (so coalescing sees them), nothing
+    is ever served back."""
+
+    def load(self, key):
+        return None
+
+    def store(self, key, result):
+        pass
+
+
+class TestIntraBatchCoalescing:
+    """Duplicate cache keys inside one batch analyze once."""
+
+    def _aliases(self, make_request, count):
+        # same sources (so the same cache key) under distinct unit names
+        import dataclasses
+
+        base = make_request(name="unit.c")
+        return [
+            dataclasses.replace(base, name=f"alias{i}.c")
+            for i in range(count)
+        ]
+
+    def test_duplicates_compute_once_and_fan_out(self, make_request):
+        report = run_batch(
+            self._aliases(make_request, 4), jobs=1, cache=_CountingCache()
+        )
+        assert report.coalesced == 3
+        assert [r.name for r in report.results] == [
+            "alias0.c",
+            "alias1.c",
+            "alias2.c",
+            "alias3.c",
+        ]
+        # every duplicate carries the shared analysis, costs nothing
+        first = report.results[0]
+        for duplicate in report.results[1:]:
+            assert duplicate.wall_seconds == 0.0
+            assert [d.render() for d in duplicate.diagnostics] == [
+                d.render() for d in first.diagnostics
+            ]
+
+    def test_duplicate_results_are_copies_not_aliases(self, make_request):
+        report = run_batch(
+            self._aliases(make_request, 2), jobs=1, cache=_CountingCache()
+        )
+        first, second = report.results
+        assert first is not second
+        assert first.diagnostics is not second.diagnostics
+
+    def test_unkeyed_requests_are_never_coalesced(self, make_request):
+        # cacheless runs have no content hash to prove identity
+        report = run_batch(self._aliases(make_request, 2), jobs=1)
+        assert report.coalesced == 0
+
+    def test_distinct_content_is_not_coalesced(self, make_request, sources):
+        report = run_batch(
+            [
+                make_request(name="clean.c"),
+                make_request(name="buggy.c", c_text=sources["buggy"]),
+            ],
+            jobs=1,
+            cache=_CountingCache(),
+        )
+        assert report.coalesced == 0
+
+    def test_batch_report_json_carries_coalesced(self, make_request):
+        import json
+
+        report = run_batch(
+            self._aliases(make_request, 2), jobs=1, cache=_CountingCache()
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["cache"]["coalesced"] == 1

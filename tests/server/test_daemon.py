@@ -119,6 +119,33 @@ class TestTCP:
             assert not thread.is_alive()
 
 
+class TestRebind:
+    def test_restart_can_rebind_the_same_port_immediately(self, service):
+        """The rebind regression test referenced by the pinned
+        ``allow_reuse_address = True`` in :mod:`repro.server.daemon`:
+        a restarted daemon must reclaim its port while the old
+        connection lingers in TIME_WAIT, not crash with EADDRINUSE."""
+        with AnalysisTCPServer(("127.0.0.1", 0), service) as server:
+            assert server.allow_reuse_address is True
+            thread = threading.Thread(
+                target=server.serve_forever, kwargs={"poll_interval": 0.05}
+            )
+            thread.start()
+            host, port = server.server_address
+            # a completed exchange leaves the client socket in TIME_WAIT
+            with socket.create_connection((host, port), timeout=10) as conn:
+                handle = conn.makefile("rw", encoding="utf-8")
+                handle.write(json.dumps({"id": 1, "method": "ping"}) + "\n")
+                handle.flush()
+                assert json.loads(handle.readline())["result"]["pong"]
+            server.shutdown()
+            thread.join(timeout=10)
+
+        # without SO_REUSEADDR this raises OSError(EADDRINUSE)
+        with AnalysisTCPServer((host, port), service) as reborn:
+            assert reborn.server_address[1] == port
+
+
 class TestCLIDaemon:
     """End-to-end: `mlffi-check serve` as a real child process."""
 

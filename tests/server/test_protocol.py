@@ -74,3 +74,41 @@ class TestEncode:
     def test_encoded_frames_parse_back(self):
         payload = protocol.result_response(3, {"tally": {"errors": 0}})
         assert json.loads(protocol.encode(payload)) == payload
+
+
+class TestSplice:
+    def test_splice_is_byte_identical_to_full_encode(self):
+        """The coalescing fan-out contract: splicing a pre-encoded result
+        fragment around a request id must produce exactly the bytes
+        ``encode(result_response(...))`` would."""
+        result = {
+            "tally": {"errors": 1, "warnings": 0},
+            "units": [{"name": "x.c", "diagnostics": []}],
+        }
+        fragment = protocol.encode_fragment(result)
+        for request_id in (1, 0, -3, "abc", None, ["compound", 2]):
+            spliced = protocol.splice_result(request_id, fragment)
+            direct = protocol.encode(
+                protocol.result_response(request_id, result)
+            )
+            assert spliced == direct
+
+    def test_fragment_matches_encode_inner_bytes(self):
+        payload = {"b": 1, "a": {"d": 2, "c": 3}}
+        assert protocol.encode_fragment(payload) + "\n" == protocol.encode(
+            payload
+        )
+
+    def test_overloaded_code_is_distinct_and_server_range(self):
+        codes = {
+            protocol.PARSE_ERROR,
+            protocol.INVALID_REQUEST,
+            protocol.METHOD_NOT_FOUND,
+            protocol.INVALID_PARAMS,
+            protocol.INTERNAL_ERROR,
+        }
+        assert protocol.OVERLOADED == -32005
+        assert protocol.OVERLOADED not in codes
+        # JSON-RPC reserves -32000..-32099 for implementation-defined
+        # server errors; OVERLOADED must stay inside it
+        assert -32099 <= protocol.OVERLOADED <= -32000

@@ -8,7 +8,7 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
-TREND_DOC = ROOT / "BENCH_PR5.json"
+TREND_DOC = ROOT / "BENCH_PR6.json"
 
 
 def _load_trend_module():
@@ -26,7 +26,7 @@ def trend():
 
 
 class TestCommittedDocument:
-    """CI produces BENCH_PR5.json; this is the schema it must satisfy."""
+    """CI produces BENCH_PR6.json; this is the schema it must satisfy."""
 
     def test_document_is_committed(self):
         assert TREND_DOC.is_file(), TREND_DOC
@@ -35,7 +35,7 @@ class TestCommittedDocument:
         document = json.loads(TREND_DOC.read_text())
         assert trend.validate(document) == []
 
-    def test_document_covers_all_five_benchmarks(self):
+    def test_document_covers_all_six_benchmarks(self):
         document = json.loads(TREND_DOC.read_text())
         assert set(document["benchmarks"]) >= {
             "batch",
@@ -43,12 +43,20 @@ class TestCommittedDocument:
             "serve",
             "jni",
             "cold",
+            "concurrency",
         }
 
     def test_document_tracks_serve_speedups_per_dialect(self):
         ratios = json.loads(TREND_DOC.read_text())["ratios"]
         for dialect in ("ocaml", "pyext", "jni"):
             assert ratios[f"serve_speedup_{dialect}"] > 0
+
+    def test_document_tracks_the_concurrency_tier(self):
+        ratios = json.loads(TREND_DOC.read_text())["ratios"]
+        # the ISSUE's headline gate, recorded for trend tracking
+        assert ratios["concurrency_warm_checks_per_sec"] > 10_000
+        assert 0 < ratios["concurrency_p99_ms"] < 50
+        assert 0 < ratios["concurrency_shed_rate"] <= 1
 
     def test_document_records_no_failures(self):
         gates = json.loads(TREND_DOC.read_text())["gates"]
@@ -59,7 +67,7 @@ class TestCommittedDocument:
         # the PR 4 document recorded `"baseline": null` (nothing to
         # compare against); from PR 5 on the gate must actually compare
         gates = json.loads(TREND_DOC.read_text())["gates"]
-        assert gates["baseline"] == "BENCH_PR4.json"
+        assert gates["baseline"] == "BENCH_PR5.json"
 
 
 class TestValidate:

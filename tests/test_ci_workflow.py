@@ -34,6 +34,7 @@ def test_jobs_cover_lint_tests_and_bench(workflow):
         "bench-smoke",
         "bench-trend",
         "serve-smoke",
+        "concurrency-smoke",
     }
 
 
@@ -119,9 +120,9 @@ def test_bench_trend_merges_and_gates_the_trajectory(workflow):
     steps = workflow["jobs"]["bench-trend"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)
     assert "bench_trend.py" in runs
-    assert "BENCH_PR5.json" in runs
+    assert "BENCH_PR6.json" in runs
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
-    assert uploads and "BENCH_PR5.json" in uploads[0]["with"]["path"]
+    assert uploads and "BENCH_PR6.json" in uploads[0]["with"]["path"]
 
 
 def test_bench_smoke_runs_the_cold_benchmark_and_uploads_its_json(workflow):
@@ -163,3 +164,31 @@ def test_sarif_artifact_rides_the_bench_smoke_leg(workflow):
     steps = workflow["jobs"]["bench-smoke"]["steps"]
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
     assert "glue.sarif" in uploads[0]["with"]["path"]
+
+
+def test_concurrency_smoke_runs_the_gated_benchmark(workflow):
+    job = workflow["jobs"]["concurrency-smoke"]
+    assert job["needs"] == ["test"]
+    runs = " ".join(step.get("run", "") for step in job["steps"])
+    assert "bench_concurrency.py --quick" in runs
+    # the smoke also drives the CLI-level async daemon once
+    assert "mlffi-check" in runs and "serve" in runs
+
+
+def test_bench_smoke_bundles_the_concurrency_report(workflow):
+    # artifact@v4 forbids two jobs writing one artifact name, so the
+    # report copy for the bundle is produced here, not in
+    # concurrency-smoke
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "bench_concurrency.py" in runs
+    uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
+    assert "concurrency-report.json" in uploads[0]["with"]["path"]
+
+
+def test_every_job_has_a_hang_watchdog_timeout(workflow):
+    # a wedged daemon or benchmark must fail the job, not eat the
+    # runner's 6-hour default
+    for name, job in workflow["jobs"].items():
+        assert isinstance(job.get("timeout-minutes"), int), name
+        assert job["timeout-minutes"] <= 30, name

@@ -220,7 +220,7 @@ class TestDialectFlag:
             )
             assert code == 0
             data = json.loads(capsys.readouterr().out)
-            assert data["cache"] == {"hits": 0, "misses": 1, "evictions": 0}
+            assert data["cache"] == {"hits": 0, "misses": 1, "evictions": 0, "coalesced": 0}
 
 
 @pytest.fixture()
@@ -274,7 +274,7 @@ class TestBatch:
         assert len(payload["units"]) == 2
         names = {Path(u["name"]).name for u in payload["units"]}
         assert names == {"good.c", "bad.c"}
-        assert payload["cache"] == {"hits": 0, "misses": 2, "evictions": 0}
+        assert payload["cache"] == {"hits": 0, "misses": 2, "evictions": 0, "coalesced": 0}
 
     def test_second_run_hits_cache(self, glue_tree, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -285,7 +285,7 @@ class TestBatch:
         )
         assert code == 1  # cached diagnostics keep their exit semantics
         payload = json.loads(capsys.readouterr().out)
-        assert payload["cache"] == {"hits": 2, "misses": 0, "evictions": 0}
+        assert payload["cache"] == {"hits": 2, "misses": 0, "evictions": 0, "coalesced": 0}
 
     def test_no_cache_flag(self, glue_tree, tmp_path, capsys):
         cache_dir = tmp_path / "cache"
