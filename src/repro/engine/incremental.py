@@ -150,7 +150,10 @@ class IncrementalEngine:
         #: have changed (invalidate, reload, a check that re-analyzed).
         #: The service's request coalescer keys its memo on this, so a
         #: memoized response can never outlive the state it encoded.
+        #: Guarded by its own cheap lock — not ``_lock`` — so transports
+        #: can key requests while a check holds the engine lock.
         self._revision = 0
+        self._revision_lock = threading.Lock()
         self._spec = get_dialect(dialect)
         self._lock = threading.RLock()
         self._hosts: dict[str, SourceFile] = {}
@@ -227,7 +230,7 @@ class IncrementalEngine:
             self._hosts = {source.filename: source for source in scan.hosts}
             for source in scan.units:
                 self._adopt_unit(source)
-            self._revision += 1
+            self._bump_revision()
             return set(self._dirty)
 
     # -- invalidation ---------------------------------------------------------
@@ -281,7 +284,7 @@ class IncrementalEngine:
                 affected.update(self._units)
             # conservative: any invalidate may have changed what a check
             # would report, so coalesced memos must stop being served
-            self._revision += 1
+            self._bump_revision()
             return affected
 
     # -- checking -------------------------------------------------------------
@@ -341,7 +344,7 @@ class IncrementalEngine:
             if candidates:
                 # resident payloads changed: a memo of the pre-check
                 # report (ran/reused/results) must not be replayed
-                self._revision += 1
+                self._bump_revision()
             return IncrementalReport(
                 results=ordered,
                 elapsed_seconds=time.perf_counter() - started,
@@ -371,11 +374,19 @@ class IncrementalEngine:
         with self._lock:
             return set(self._dirty)
 
+    def _bump_revision(self) -> None:
+        with self._revision_lock:
+            self._revision += 1
+
     @property
     def revision(self) -> int:
         """Current state revision (see ``_revision``); reading it before
-        a coalescer lookup is what makes memoized responses safe."""
-        with self._lock:
+        a coalescer lookup is what makes memoized responses safe.  Reads
+        take only the revision lock, never the engine lock, so keying a
+        request never waits behind an in-flight analysis (a bump that
+        lands mid-check only makes the memoed state *newer* than its
+        key, which is the safe direction)."""
+        with self._revision_lock:
             return self._revision
 
     def dependencies(self, name: str | os.PathLike) -> frozenset[str]:

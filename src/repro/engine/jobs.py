@@ -118,7 +118,8 @@ class CheckResult:
     cache_key: str = ""
     from_cache: bool = False
     #: which tier satisfied a hit: "memory", "disk", "store" (the
-    #: cross-process shared store), or "" for a fresh run
+    #: cross-process shared store), "coalesced" (an intra-batch copy of
+    #: another request's fresh run), or "" for a fresh run
     cache_tier: str = ""
     #: set when the worker itself failed (parse crash, etc.); such results
     #: are reported but never cached
@@ -206,7 +207,13 @@ class BatchReport:
 
     @property
     def cache_misses(self) -> int:
-        return sum(1 for r in self.results if not r.from_cache)
+        """Units that really re-analyzed: coalesced duplicates replay a
+        leader's fresh run, so they are neither hits nor analyses."""
+        return sum(
+            1
+            for r in self.results
+            if not r.from_cache and r.cache_tier != "coalesced"
+        )
 
     @property
     def failures(self) -> list[CheckResult]:
@@ -231,12 +238,14 @@ class BatchReport:
         evicted = (
             f", {self.cache_evictions} evicted" if self.cache_evictions else ""
         )
+        shared = f", {self.coalesced} coalesced" if self.coalesced else ""
         lines.append(
             f"-- {len(self.results)} unit(s): {counts['errors']} error(s), "
             f"{counts['warnings']} warning(s), "
             f"{counts['false_positives']} false-positive-prone report(s), "
             f"{counts['imprecision']} imprecision warning(s) "
-            f"[{self.cache_hits} cached, {self.cache_misses} analyzed{evicted}, "
+            f"[{self.cache_hits} cached, {self.cache_misses} analyzed"
+            f"{shared}{evicted}, "
             f"jobs={self.jobs}] in {self.elapsed_seconds:.2f}s"
         )
         return "\n".join(lines)

@@ -208,7 +208,12 @@ class SharedResultStore:
         try:
             return [
                 (path.stat().st_mtime, path)
+                # glob matches dotfiles, so skip in-flight ".tmp-*" spill
+                # from concurrent writers: evicting one mid-write breaks
+                # the writer's os.replace, and compaction must not write
+                # temp-file stems into the journal as keys
                 for path in self._objects.glob("*/*.json")
+                if not path.name.startswith(".")
             ]
         except OSError:
             return []

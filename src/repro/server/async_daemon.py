@@ -7,13 +7,18 @@ spends threads only on actual analysis, so fleet traffic — hundreds of
 editors and CI bots banging on one daemon — costs what the *work*
 costs, not what the connection count costs:
 
-* **fast path inline** — coalescer memo hits, ``ping``, ``status`` and
-  ``shutdown`` are answered on the event loop itself: readline, digest,
-  dict lookup, id splice, write.  No thread handoff, no engine lock.
-* **slow path pooled** — ``check`` leaders and ``invalidate`` run on a
-  bounded :class:`~concurrent.futures.ThreadPoolExecutor` (``workers``
-  threads).  Followers of an in-flight check ``await`` the leader's
-  future via :func:`asyncio.wrap_future` without occupying a thread.
+* **fast path inline** — coalescer memo hits and ``shutdown`` are
+  answered on the event loop itself: readline, digest, dict lookup, id
+  splice, write.  No thread handoff, no engine lock (the coalescing key
+  reads the engine revision under its own cheap lock).
+* **slow path pooled** — ``check`` leaders, ``invalidate``, ``ping``
+  and ``status`` run on a bounded
+  :class:`~concurrent.futures.ThreadPoolExecutor` (``workers``
+  threads); they all take the engine lock, which an in-flight analysis
+  holds end to end, so answering them on the loop would stall every
+  connection behind one cold check.  Followers of an in-flight check
+  ``await`` the leader's future via :func:`asyncio.wrap_future` without
+  occupying a thread.
 * **backpressure** — at most ``workers + max_queue`` computations may
   be in flight (:class:`~repro.server.service.LoadGauge`); beyond that
   the daemon *sheds*: the request is answered immediately with an
@@ -65,14 +70,16 @@ class _AsyncDaemon:
     async def respond(self, request: protocol.Request) -> str:
         if request.method == "check":
             return await self.respond_check(request)
-        if request.method == "invalidate":
-            # re-reads sources and takes the engine lock: off the loop
+        if request.method in ("ping", "status", "invalidate"):
+            # these all take the engine lock, which a running check holds
+            # for its entire analysis — answered on the loop they would
+            # stall every connection behind one cold check: off the loop
             loop = asyncio.get_running_loop()
             response = await loop.run_in_executor(
                 self.pool, self.service.handle_request, request
             )
             return protocol.encode(response)
-        # ping/status/shutdown are O(1) snapshots: answer on the loop
+        # shutdown (and unknown-method errors) touch no engine state
         return protocol.encode(self.service.handle_request(request))
 
     async def respond_check(self, request: protocol.Request) -> str:

@@ -223,9 +223,11 @@ class AnalysisService:
         if probed is None:
             role, entry = self.coalescer.begin(key)
             if role == "leader":
-                return protocol.splice_result(
-                    request.id, self.lead_check(entry, request.params)
-                )
+                try:
+                    fragment = self.lead_check(entry, request.params)
+                except Exception as exc:  # noqa: BLE001 - must not kill the daemon
+                    return protocol.encode(self.error_for(request.id, exc))
+                return protocol.splice_result(request.id, fragment)
             probed = entry
         try:
             fragment = probed.future.result(timeout=self.FOLLOWER_TIMEOUT_S)

@@ -274,3 +274,38 @@ class TestIncrementalReport:
         engine.check()
         report = engine.check()
         assert report.reused == 2 and report.ran == []
+
+
+class TestRevisionLocking:
+    def test_revision_readable_while_engine_lock_held(self, engine):
+        """The asyncio transport keys coalesced requests on
+        ``engine.revision`` from its event loop; a check holding the
+        engine lock for a whole analysis must not block that read
+        (regression: ``revision`` used to take the engine lock)."""
+        import threading
+
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def hold_lock():
+            with engine._lock:
+                acquired.set()
+                release.wait(timeout=30)
+
+        holder = threading.Thread(target=hold_lock, daemon=True)
+        holder.start()
+        assert acquired.wait(timeout=30)
+        seen = []
+        reader = threading.Thread(
+            target=lambda: seen.append(engine.revision), daemon=True
+        )
+        try:
+            reader.start()
+            reader.join(timeout=10)
+            assert not reader.is_alive(), (
+                "engine.revision blocked behind the engine lock"
+            )
+            assert seen == [engine.revision]
+        finally:
+            release.set()
+            holder.join(timeout=30)

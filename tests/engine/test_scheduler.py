@@ -176,6 +176,18 @@ class TestIntraBatchCoalescing:
                 d.render() for d in first.diagnostics
             ]
 
+    def test_duplicates_do_not_count_as_analyzed(self, make_request):
+        # replaying a leader's fresh run costs nothing, so stats must
+        # report one analysis, not four
+        report = run_batch(
+            self._aliases(make_request, 4), jobs=1, cache=_CountingCache()
+        )
+        assert report.cache_hits == 0
+        assert report.cache_misses == 1
+        tiers = [r.cache_tier for r in report.results]
+        assert tiers.count("coalesced") == 3
+        assert "3 coalesced" in report.render()
+
     def test_duplicate_results_are_copies_not_aliases(self, make_request):
         report = run_batch(
             self._aliases(make_request, 2), jobs=1, cache=_CountingCache()

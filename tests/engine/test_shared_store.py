@@ -92,6 +92,27 @@ class TestEviction:
             store.store(f"{index:02}" + "a" * 62, make_result())
         assert len(store) == 5
 
+    def test_scan_ignores_in_flight_temp_files(self, tmp_path):
+        """A concurrent writer's ``.tmp-*.json`` spill is invisible to
+        counting, eviction, and journal compaction: evicting it
+        mid-write would break the writer's ``os.replace``, and its stem
+        must never be compacted into ``index.log`` as a key."""
+        store = SharedResultStore(tmp_path / "store", max_entries=2)
+        for index in range(2):
+            store.store(f"{index:02}" + "a" * 62, make_result())
+        shard = tmp_path / "store" / "objects" / "zz"
+        shard.mkdir(parents=True)
+        temp = shard / ".tmp-abc123.json"
+        temp.write_text("{mid-write spill}")
+        assert len(store) == 2
+        # push past the cap: the temp file has the oldest mtime, so the
+        # old dotfile-matching scan would have evicted it first
+        for index in range(2, 5):
+            store.store(f"{index:02}" + "a" * 62, make_result())
+        assert temp.exists()
+        journal = (tmp_path / "store" / "index.log").read_text()
+        assert ".tmp-abc123" not in journal
+
 
 CHILD_SCRIPT = """\
 import json, sys

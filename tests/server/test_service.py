@@ -117,6 +117,48 @@ class TestErrors:
         assert response["id"] == "req-77"
 
 
+class TestLeaderFailureContainment:
+    """A non-protocol engine failure inside a coalescing leader must
+    come back as an INTERNAL_ERROR frame — never propagate out of
+    ``handle_line``, where it would kill the transport's loop."""
+
+    def test_engine_exception_becomes_internal_error(
+        self, service, monkeypatch
+    ):
+        def explode(units=None):
+            raise ValueError("unit path contains an embedded null byte")
+
+        monkeypatch.setattr(service.engine, "check", explode)
+        line = json.dumps({"id": 9, "method": "check"})
+        response = json.loads(service.handle_line(line))
+        assert response["id"] == 9
+        assert response["error"]["code"] == protocol.INTERNAL_ERROR
+        assert "ValueError" in response["error"]["message"]
+
+    def test_failed_leader_does_not_wedge_later_checks(
+        self, service, monkeypatch
+    ):
+        real_check = service.engine.check
+        blew_up = []
+
+        def explode_once(units=None):
+            if not blew_up:
+                blew_up.append(True)
+                raise OSError("transient I/O failure")
+            return real_check(units)
+
+        monkeypatch.setattr(service.engine, "check", explode_once)
+        first = json.loads(
+            service.handle_line(json.dumps({"id": 1, "method": "check"}))
+        )
+        assert first["error"]["code"] == protocol.INTERNAL_ERROR
+        # the failed computation was not memoized; a retry succeeds
+        second = json.loads(
+            service.handle_line(json.dumps({"id": 2, "method": "check"}))
+        )
+        assert second["result"]["tally"]["errors"] == 1
+
+
 class TestWireStability:
     def test_daemon_diagnostics_byte_identical_to_one_shot(self, service, tree):
         """The bench gate's core claim, in miniature: serializing the
