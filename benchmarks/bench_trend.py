@@ -1,8 +1,8 @@
 """Benchmark-trend harness: one comparable number per PR.
 
-Runs the six engine benchmarks (``bench_batch``, ``bench_pyext``,
-``bench_serve``, ``bench_jni``, ``bench_cold``, ``bench_concurrency``)
-through their common ``--json`` flag,
+Runs the seven engine benchmarks (``bench_batch``, ``bench_pyext``,
+``bench_serve``, ``bench_jni``, ``bench_cold``, ``bench_concurrency``,
+``bench_link``) through their common ``--json`` flag,
 merges the payloads into one schema-versioned trend document, and
 compares the speedup/warm-cache *ratios* against the newest committed
 ``BENCH_*.json`` at the repository root.  Ratios — not wall times — are
@@ -16,8 +16,8 @@ reads.
 
 Run::
 
-    python benchmarks/bench_trend.py --quick --output BENCH_PR6.json
-    python benchmarks/bench_trend.py --compare-only BENCH_PR6.json
+    python benchmarks/bench_trend.py --quick --output BENCH_PR7.json
+    python benchmarks/bench_trend.py --compare-only BENCH_PR7.json
 """
 
 from __future__ import annotations
@@ -68,6 +68,11 @@ BENCHMARKS: dict[str, dict[str, list[str]]] = {
         "quick": ["--quick"],
         "full": [],
     },
+    "link": {
+        "script": "bench_link.py",
+        "quick": ["--quick"],
+        "full": ["--units", "10000", "--jobs", "4"],
+    },
 }
 
 #: ratio key -> direction ("higher" = bigger is better).  The two batch
@@ -86,6 +91,9 @@ RATIO_DIRECTIONS: dict[str, str] = {
     "concurrency_warm_checks_per_sec": "higher",
     "concurrency_p99_ms": "lower",
     "concurrency_shed_rate": "higher",
+    # cross-unit link recall over the seeded + planted bug corpora; the
+    # RSS cap is gated inside bench_link itself (absolute, not a ratio)
+    "link_recall": "higher",
 }
 
 #: hardware-conditional ratios: present-or-absent is legitimate, so
@@ -169,6 +177,9 @@ def extract_ratios(payloads: dict[str, dict]) -> dict[str, float]:
         ]
         ratios["concurrency_p99_ms"] = concurrency["p99_ms"]
         ratios["concurrency_shed_rate"] = concurrency["shed_rate"]
+    link = payloads.get("link")
+    if link is not None:
+        ratios["link_recall"] = link["link_recall"]
     cold = payloads.get("cold")
     if cold is not None:
         # recorded for the trajectory but not regression-gated: the cold
@@ -293,9 +304,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(ROOT / "BENCH_PR6.json"),
+        default=str(ROOT / "BENCH_PR7.json"),
         metavar="PATH",
-        help="merged trend document to write (default: BENCH_PR6.json)",
+        help="merged trend document to write (default: BENCH_PR7.json)",
     )
     parser.add_argument(
         "--pr",

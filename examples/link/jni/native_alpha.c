@@ -1,0 +1,23 @@
+#include <jni.h>
+
+/* Unit alpha: one copy of Java_com_example_Link_add and the real
+ * two-argument shared_sum.  Clean in isolation; the cross-unit bugs
+ * are shared with native_beta.c:
+ *
+ * - both units define Java_com_example_Link_add with the same type
+ *   -> LINK_DUPLICATE_REGISTRATION
+ * - native_beta.c declares shared_sum with one argument
+ *   -> LINK_CONFLICTING_DECL
+ * - native_beta.c registers "mul" -> native_mul, defined nowhere
+ *   -> LINK_UNRESOLVED_EXTERN */
+
+jint shared_sum(jint a, jint b)
+{
+    return a + b;
+}
+
+JNIEXPORT jint JNICALL
+Java_com_example_Link_add(JNIEnv *env, jobject self, jint a, jint b)
+{
+    return shared_sum(a, b);
+}

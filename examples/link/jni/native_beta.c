@@ -1,0 +1,26 @@
+#include <jni.h>
+
+/* Unit beta: the drifted twin of native_alpha.c.  It carries its own
+ * identical copy of Java_com_example_Link_add, declares shared_sum
+ * with ONE argument where alpha defines it with two, and its
+ * registration table binds "mul" to a native_mul that no linked unit
+ * defines.  Each file checks clean alone; `mlffi-check link` reports
+ * all three. */
+
+jint shared_sum(jint a);
+
+JNIEXPORT jint JNICALL
+Java_com_example_Link_add(JNIEnv *env, jobject self, jint a, jint b)
+{
+    return a + b;
+}
+
+JNIEXPORT jint JNICALL
+Java_com_example_Link_twice(JNIEnv *env, jobject self, jint a)
+{
+    return shared_sum(a);
+}
+
+static JNINativeMethod link_methods[] = {
+    {"mul", "(II)I", (void *) native_mul},
+};

@@ -1,0 +1,16 @@
+(* api.ml -- the host interface both stub units implement.
+
+   Each external below is per-unit clean: the stub that defines it
+   matches the declared type exactly.  The bugs in this corpus are
+   cross-unit only, visible to `mlffi-check link`:
+
+   - ml_make is defined (identically) in BOTH stubs_a.c and
+     stubs_b.c -> LINK_DUPLICATE_REGISTRATION at link time.
+   - shared_helper is defined with two arguments in stubs_a.c but
+     declared with one in stubs_b.c -> LINK_CONFLICTING_DECL.
+   - ml_missing is bound here but defined in no stub file
+     -> LINK_UNRESOLVED_EXTERN. *)
+
+external make : int -> int = "ml_make"
+external release : int -> unit = "ml_release"
+external missing : int -> int = "ml_missing"

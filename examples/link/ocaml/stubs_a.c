@@ -1,0 +1,15 @@
+#include <caml/mlvalues.h>
+
+/* Unit A: owns the real two-argument shared_helper and one copy of
+ * ml_make.  This unit is clean in isolation; the conflicts only
+ * appear once it is linked against stubs_b.c. */
+
+value shared_helper(value a, value b)
+{
+    return Val_int(Int_val(a) + Int_val(b));
+}
+
+value ml_make(value n)
+{
+    return Val_int(Int_val(n) + 1);
+}

@@ -1,0 +1,20 @@
+#include <caml/mlvalues.h>
+
+/* Unit B: copy-paste drift.  It carries its own (identical) copy of
+ * ml_make, and declares shared_helper with ONE argument where unit A
+ * defines it with two.  Both units check clean on their own; the link
+ * step reports the duplicate definition and the conflicting
+ * declaration. */
+
+value shared_helper(value a);
+
+value ml_make(value n)
+{
+    return Val_int(Int_val(n) + 1);
+}
+
+value ml_release(value n)
+{
+    shared_helper(n);
+    return Val_unit;
+}

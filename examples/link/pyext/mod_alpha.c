@@ -1,0 +1,42 @@
+#include <Python.h>
+
+/* Module alpha: owns the real two-argument shared_log and registers a
+ * method under the Python name "compute".  Clean in isolation; the
+ * link-time bugs are shared with mod_beta.c:
+ *
+ * - both modules register the Python name "compute"
+ *   -> LINK_DUPLICATE_REGISTRATION
+ * - mod_beta.c declares shared_log with one argument
+ *   -> LINK_CONFLICTING_DECL
+ * - mod_beta.c registers "vanish" -> beta_vanish, defined nowhere
+ *   -> LINK_UNRESOLVED_EXTERN */
+
+long shared_log(long level, long amount)
+{
+    return level + amount;
+}
+
+static PyObject *
+alpha_compute(PyObject *self, PyObject *args)
+{
+    long a;
+    long b;
+    if (!PyArg_ParseTuple(args, "ll", &a, &b))
+        return NULL;
+    return PyLong_FromLong(shared_log(a, b));
+}
+
+static PyMethodDef alpha_methods[] = {
+    {"compute", alpha_compute, METH_VARARGS, "Add two integers."},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef alphamodule = {
+    PyModuleDef_HEAD_INIT, "alpha", NULL, -1, alpha_methods
+};
+
+PyMODINIT_FUNC
+PyInit_alpha(void)
+{
+    return PyModule_Create(&alphamodule);
+}

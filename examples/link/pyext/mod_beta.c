@@ -1,0 +1,34 @@
+#include <Python.h>
+
+/* Module beta: the drifted twin of mod_alpha.c.  It re-registers the
+ * Python name "compute" (alpha already claims it), declares shared_log
+ * with ONE argument where alpha defines it with two, and registers
+ * "vanish" against a C function nobody ever wrote.  All three bugs are
+ * invisible per unit and caught by `mlffi-check link`. */
+
+long shared_log(long level);
+
+static PyObject *
+beta_compute(PyObject *self, PyObject *args)
+{
+    long x;
+    if (!PyArg_ParseTuple(args, "l", &x))
+        return NULL;
+    return PyLong_FromLong(shared_log(x));
+}
+
+static PyMethodDef beta_methods[] = {
+    {"compute", beta_compute, METH_VARARGS, "Log one integer."},
+    {"vanish", beta_vanish, METH_VARARGS, "Registered but never defined."},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef betamodule = {
+    PyModuleDef_HEAD_INIT, "beta", NULL, -1, beta_methods
+};
+
+PyMODINIT_FUNC
+PyInit_beta(void)
+{
+    return PyModule_Create(&betamodule);
+}

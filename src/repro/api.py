@@ -244,6 +244,12 @@ class Session:
         self._require_open()
         return self.engine.status()
 
+    def link(self):
+        """Re-check what is dirty, then link the whole corpus's interface
+        summaries; returns ``(IncrementalReport, LinkReport)``."""
+        self._require_open()
+        return self.engine.link()
+
     def service(self):
         """The JSON-RPC face of this session (lazily constructed)."""
         self._require_open()

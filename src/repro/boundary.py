@@ -53,6 +53,13 @@ class BoundaryDialect(Protocol):
     #: suffixes of C translation units
     unit_suffixes: tuple[str, ...]
 
+    # Dialects may additionally pin ``corpus_unit_suffixes`` — the subset
+    # of ``unit_suffixes`` a tree scan treats as standalone translation
+    # units (headers are reached as dependencies, never scanned alone).
+    # When absent, :func:`repro.corpus.unit_suffixes` derives it.  It is
+    # deliberately not a protocol member: existing third-party dialects
+    # remain structurally valid without it.
+
     def builtin_entries(self) -> dict[str, "Entry"]:
         """The runtime entry-point table (the dialect's `macros.py`)."""
         ...

@@ -9,6 +9,10 @@ Usage::
     mlffi-check check --format sarif glue.ml stubs.c > report.sarif
     mlffi-check batch src/glue --jobs 4 --format json
     mlffi-check batch --dialect pyext src/ext --jobs 4
+    mlffi-check batch src/glue --link
+    mlffi-check batch huge-corpus --stream --jobs 8
+    mlffi-check link src/glue --jobs 4
+    mlffi-check link --dialect jni src/native --format sarif
     mlffi-check serve src/glue --cache-dir .mlffi-cache
     mlffi-check serve src/glue --tcp 127.0.0.1:9178 --workers 8
     mlffi-check serve src/glue --tcp 0.0.0.0:9178 --reuse-port \\
@@ -23,9 +27,14 @@ at 125 so it stays a valid exit code; ``--strict`` makes warnings count
 too).  ``batch`` sweeps a directory tree — every ``.ml``/``.mli`` feeds
 the shared type repository, every ``.c`` is an independently analyzed (and
 content-hash cached) translation unit fanned out across a worker pool.
-``serve`` keeps the analysis resident and answers newline-delimited
-JSON-RPC on stdio or TCP; ``watch`` polls the tree and incrementally
-re-checks on every change.  ``bench`` regenerates the Figure 9 table from
+``batch --link`` follows the sweep with the whole-program link pass
+(cross-unit ``LINK_*`` diagnostics over per-unit interface summaries);
+``--stream`` swaps the materializing scheduler for the bounded-memory
+pipeline, so RSS stays flat on 10k–100k unit corpora.  ``link`` is the
+streaming sweep + link pass as one command.  ``serve`` keeps the
+analysis resident and answers newline-delimited JSON-RPC on stdio or
+TCP; ``watch`` polls the tree and incrementally re-checks on every
+change.  ``bench`` regenerates the Figure 9 table from
 the synthesized suite.  ``example`` runs the paper's Figure 2 program as a
 smoke test.
 """
@@ -42,13 +51,17 @@ from . import __version__
 from .api import Project
 from .boundary import available_dialects, get_dialect
 from .core.exprs import Options
+from .corpus import iter_tree
 from .engine import (
     DEFAULT_CACHE_DIR,
     DEFAULT_MAX_ENTRIES,
+    CheckRequest,
     IncrementalEngine,
     NullCache,
     ResultCache,
     SharedResultStore,
+    render_unit,
+    stream_batch,
 )
 from .sarif import batch_sarif_log, sarif_log
 from .server.async_daemon import DEFAULT_MAX_QUEUE, DEFAULT_WORKERS
@@ -222,7 +235,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (json is one report object, sarif feeds "
         "GitHub code scanning)",
     )
+    batch.add_argument(
+        "--link",
+        action="store_true",
+        help="after the sweep, link every unit's interface summary and "
+        "report cross-unit inconsistencies (LINK_* diagnostics)",
+    )
+    batch.add_argument(
+        "--stream",
+        action="store_true",
+        help="bounded-memory pipeline: load, check, summarize and discard "
+        "units under a fixed in-flight window instead of materializing "
+        "the whole corpus (text output streams per-unit blocks; json "
+        "becomes JSON-lines; sarif is unavailable)",
+    )
+    batch.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="N",
+        help="in-flight unit bound for --stream (0 = 4x jobs)",
+    )
     _add_ablation_flags(batch)
+
+    link = sub.add_parser(
+        "link",
+        help="whole-program boundary link: stream-check a corpus, union "
+        "its per-unit interface summaries, and report cross-unit "
+        "inconsistencies (conflicting declarations, duplicate "
+        "registrations, unresolved externs)",
+    )
+    link.add_argument(
+        "directory",
+        help="corpus root to scan, check, and link",
+    )
+    _add_dialect_flag(link)
+    _add_jobs_flag(link)
+    _add_cache_flags(link)
+    _add_strict_flag(link)
+    _add_profile_flag(link)
+    _add_ablation_flags(link)
+    link.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (json reports stream stats + the link "
+        "report; sarif carries the cross-unit diagnostics)",
+    )
+    link.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-unit blocks; print only the link report",
+    )
+    link.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="N",
+        help="in-flight unit bound for the streaming sweep (0 = 4x jobs)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -385,7 +456,117 @@ def _run_check(args: argparse.Namespace) -> int:
     return _exit_code(report.tally(), args.strict)
 
 
+def _combined_tally(*tallies: dict) -> dict:
+    """Sum Figure-9 tallies (per-unit sweep + link pass)."""
+    total: dict = {}
+    for tally in tallies:
+        for column, count in tally.items():
+            total[column] = total.get(column, 0) + count
+    return total
+
+
+def _link_results(results) -> "LinkReport":
+    """Run the link pass over finished results' interface summaries."""
+    from .linker import Linker
+
+    linker = Linker()
+    for result in results:
+        if result.failure is None and result.summary:
+            linker.add_dict(result.summary)
+    return linker.report()
+
+
+def _stream_scan(args: argparse.Namespace, options: Options):
+    """The lazy corpus behind ``batch --stream`` and ``link``: eager
+    hosts, a unit-path list, and a request generator that loads one
+    source at a time.  Returns ``None`` (after printing) on a bad tree.
+    """
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"error: no such directory: {args.directory}", file=sys.stderr)
+        return None
+    scan = iter_tree(root, get_dialect(args.dialect))
+    if not len(scan):
+        print(
+            f"error: no translation units under {args.directory}",
+            file=sys.stderr,
+        )
+        return None
+    hosts = tuple(scan.hosts)
+
+    def requests():
+        for source in scan.iter_units():
+            yield CheckRequest(
+                name=source.filename,
+                c_sources=(source,),
+                ocaml_sources=hosts,
+                options=options,
+                dialect=args.dialect,
+            )
+
+    return requests
+
+
+def _run_batch_stream(args: argparse.Namespace, options: Options) -> int:
+    """``batch --stream``: the bounded-memory sweep, batch-flavoured."""
+    if args.format == "sarif":
+        print(
+            "error: --stream cannot accumulate a sarif log; "
+            "use --format text or json",
+            file=sys.stderr,
+        )
+        return 125
+    requests = _stream_scan(args, options)
+    if requests is None:
+        return 125
+    cache = _make_cache(args)
+    from .linker import Linker
+
+    linker = Linker() if args.link else None
+
+    def on_result(result) -> None:
+        if linker is not None and result.failure is None and result.summary:
+            linker.add_dict(result.summary)
+        if args.format == "json":
+            print(json.dumps(result.to_dict(), sort_keys=True))
+        else:
+            print("\n".join(render_unit(result)))
+
+    stats = _profiled(
+        args,
+        lambda: stream_batch(
+            requests(),
+            jobs=args.jobs,
+            cache=cache,
+            on_result=on_result,
+            window=args.window or None,
+        ),
+    )
+    link_report = linker.report() if linker is not None else None
+    if args.format == "json":
+        trailer: dict = {"stream": stats.to_dict()}
+        if link_report is not None:
+            trailer["link"] = link_report.to_dict()
+        print(json.dumps(trailer, sort_keys=True))
+    else:
+        if link_report is not None:
+            print(link_report.render())
+        print(stats.render())
+    if stats.failures:
+        return 125
+    tallies = [stats.tally]
+    if link_report is not None:
+        tallies.append(link_report.tally())
+    return _exit_code(_combined_tally(*tallies), args.strict)
+
+
 def _run_batch(args: argparse.Namespace) -> int:
+    options = Options(
+        flow_sensitive=not args.no_flow_sensitive,
+        gc_effects=not args.no_gc_effects,
+    )
+    if args.stream:
+        return _run_batch_stream(args, options)
     root = Path(args.directory)
     if not root.is_dir():
         print(f"error: no such directory: {args.directory}", file=sys.stderr)
@@ -397,24 +578,85 @@ def _run_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 125
-    options = Options(
-        flow_sensitive=not args.no_flow_sensitive,
-        gc_effects=not args.no_gc_effects,
-    )
     cache = _make_cache(args)
     report = _profiled(
         args, lambda: project.analyze_batch(options, jobs=args.jobs, cache=cache)
     )
+    link_report = _link_results(report.results) if args.link else None
     if args.format == "sarif":
-        log = batch_sarif_log(report, tool_version=__version__)
+        log = batch_sarif_log(
+            report,
+            tool_version=__version__,
+            link_diagnostics=(
+                list(link_report.diagnostics) if link_report else ()
+            ),
+        )
         print(json.dumps(log, indent=2, sort_keys=True))
     elif args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        doc = report.to_dict()
+        if link_report is not None:
+            doc["link"] = link_report.to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(report.render())
+        if link_report is not None:
+            print(link_report.render())
     if report.failures:
         return 125
-    return _exit_code(report.tally(), args.strict)
+    tallies = [report.tally()]
+    if link_report is not None:
+        tallies.append(link_report.tally())
+    return _exit_code(_combined_tally(*tallies), args.strict)
+
+
+def _run_link(args: argparse.Namespace) -> int:
+    """``mlffi-check link``: stream-check the corpus, then link it."""
+    options = Options(
+        flow_sensitive=not args.no_flow_sensitive,
+        gc_effects=not args.no_gc_effects,
+    )
+    requests = _stream_scan(args, options)
+    if requests is None:
+        return 125
+    cache = _make_cache(args)
+    from .linker import Linker
+
+    linker = Linker()
+
+    def on_result(result) -> None:
+        if result.failure is None and result.summary:
+            linker.add_dict(result.summary)
+        if args.format == "text" and not args.quiet:
+            print("\n".join(render_unit(result)))
+
+    stats = _profiled(
+        args,
+        lambda: stream_batch(
+            requests(),
+            jobs=args.jobs,
+            cache=cache,
+            on_result=on_result,
+            window=args.window or None,
+        ),
+    )
+    link_report = linker.report()
+    if args.format == "sarif":
+        log = sarif_log(link_report.diagnostics, tool_version=__version__)
+        print(json.dumps(log, indent=2, sort_keys=True))
+    elif args.format == "json":
+        doc = {
+            "stream": stats.to_dict(),
+            "link": link_report.to_dict(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(link_report.render())
+        print(stats.render())
+    if stats.failures:
+        return 125
+    return _exit_code(
+        _combined_tally(stats.tally, link_report.tally()), args.strict
+    )
 
 
 def _build_engine(args: argparse.Namespace) -> Optional[IncrementalEngine]:
@@ -567,6 +809,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_check(args)
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "link":
+        return _run_link(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "watch":

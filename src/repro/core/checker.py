@@ -77,6 +77,10 @@ class AnalysisReport:
     elapsed_seconds: float
     #: fully-resolved signatures of the analyzed functions, pretty-printed
     signatures: dict[str, str] = field(default_factory=dict)
+    #: JSON-able per-unit interface summary attached by the boundary
+    #: dialect (see :mod:`repro.linker.summary`); ``None`` until a dialect
+    #: extracts one
+    summary: Optional[dict] = None
 
     def tally(self) -> dict[str, int]:
         return self.diagnostics.tally()

@@ -1,14 +1,20 @@
 """Project-tree scanning shared by the batch and incremental drivers.
 
 One place decides what a corpus is: host-language sources (the dialect's
-``host_suffixes``) feed the shared type repository, every ``.c`` file is
-a translation unit, and files that cannot be decoded or have no content
-are skipped with a :class:`UserWarning` — a stray binary or an empty
-placeholder must not sink a sweep.  Both
-:meth:`repro.api.Project.from_directory` and
-:meth:`repro.engine.IncrementalEngine.reload` go through here, so batch
-mode and the persistent service can never disagree about which files a
-tree contains.
+``host_suffixes``) feed the shared type repository, files with one of the
+dialect's *corpus unit* suffixes are translation units, and files that
+cannot be decoded or have no content are skipped with a
+:class:`UserWarning` — a stray binary or an empty placeholder must not
+sink a sweep.  :meth:`repro.api.Project.from_directory`,
+:meth:`repro.engine.IncrementalEngine.reload` and the streaming link
+driver all go through here, so batch mode and the persistent service can
+never disagree about which files a tree contains.
+
+Two entry points share the walk: :func:`scan_tree` materializes every
+source (the classic batch path), and :func:`iter_tree` loads only the
+host side eagerly while yielding units lazily — the mega-corpus mode,
+where holding 100k parsed units resident would defeat the bounded-memory
+scheduler.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from .source import SourceFile
 
@@ -43,6 +49,28 @@ def read_source(
     return SourceFile(name if name is not None else str(path), text)
 
 
+def unit_suffixes(spec) -> tuple[str, ...]:
+    """The suffixes that make a file a *translation unit* for ``spec``.
+
+    A dialect may pin these explicitly via ``corpus_unit_suffixes``;
+    otherwise they are derived from its ``unit_suffixes`` by dropping
+    header-ish and host suffixes (headers reach the analysis as
+    dependencies of the unit that includes them, never as standalone
+    units).  The historic behaviour — scan ``.c`` only — is the fallback,
+    so a dialect that names no C-like suffix still scans something.
+    """
+    pinned = getattr(spec, "corpus_unit_suffixes", None)
+    if pinned:
+        return tuple(pinned)
+    hosts = set(getattr(spec, "host_suffixes", ()))
+    derived = tuple(
+        suffix
+        for suffix in getattr(spec, "unit_suffixes", ())
+        if suffix not in hosts and suffix not in (".h", ".hpp", ".hh")
+    )
+    return derived or (".c",)
+
+
 @dataclass
 class CorpusScan:
     """The usable sources found under one project root."""
@@ -51,21 +79,55 @@ class CorpusScan:
     units: list[SourceFile] = field(default_factory=list)
 
 
+@dataclass
+class StreamScan:
+    """A lazy corpus: eager hosts, unit *paths* resolved up front, unit
+    *contents* loaded one at a time by :meth:`iter_units`.
+
+    The host side stays eager because every unit's ``Γ_I`` needs it; the
+    unit list stays paths-only so a 100k-unit tree costs a directory walk,
+    not a corpus-sized read, before the first check runs.
+    """
+
+    hosts: list[SourceFile] = field(default_factory=list)
+    unit_paths: list[Path] = field(default_factory=list)
+    name_for: Callable[[Path], str] = str
+
+    def __len__(self) -> int:
+        return len(self.unit_paths)
+
+    def iter_units(self) -> Iterator[SourceFile]:
+        for path in self.unit_paths:
+            source = read_source(path, self.name_for(path))
+            if source is not None:
+                yield source
+
+
+def iter_tree(
+    root: str | Path,
+    spec,
+    name_for: Callable[[Path], str] = str,
+) -> StreamScan:
+    """Walk ``root`` with the dialect's suffix map, hosts eager, units lazy."""
+    units = unit_suffixes(spec)
+    scan = StreamScan(name_for=name_for)
+    for path in sorted(Path(root).rglob("*")):
+        if not path.is_file():
+            continue
+        if path.suffix in spec.host_suffixes:
+            source = read_source(path, name_for(path))
+            if source is not None:
+                scan.hosts.append(source)
+        elif path.suffix in units:
+            scan.unit_paths.append(path)
+    return scan
+
+
 def scan_tree(
     root: str | Path,
     spec,
     name_for: Callable[[Path], str] = str,
 ) -> CorpusScan:
     """Walk ``root`` with the dialect's suffix map, in sorted order."""
-    scan = CorpusScan()
-    for path in sorted(Path(root).rglob("*")):
-        if not path.is_file():
-            continue
-        is_host = path.suffix in spec.host_suffixes
-        if not is_host and path.suffix != ".c":
-            continue
-        source = read_source(path, name_for(path))
-        if source is None:
-            continue
-        (scan.hosts if is_host else scan.units).append(source)
-    return scan
+    stream = iter_tree(root, spec, name_for)
+    return CorpusScan(hosts=stream.hosts, units=list(stream.iter_units()))

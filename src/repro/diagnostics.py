@@ -115,6 +115,23 @@ class Kind(enum.Enum):
         Category.ERROR,
     )
 
+    # -- link step: cross-unit boundary inconsistencies --------------------
+    LINK_CONFLICTING_DECL = (
+        "the same boundary symbol is declared with conflicting C types "
+        "in different translation units",
+        Category.ERROR,
+    )
+    LINK_DUPLICATE_REGISTRATION = (
+        "the same host-visible entry point is registered by more than "
+        "one translation unit",
+        Category.ERROR,
+    )
+    LINK_DUPLICATE_DEFINITION = (
+        "the same boundary function is defined in more than one "
+        "translation unit",
+        Category.ERROR,
+    )
+
     # -- questionable practice --------------------------------------------
     TRAILING_UNIT = (
         "external declares a trailing unit parameter the C function omits",
@@ -132,6 +149,11 @@ class Kind(enum.Enum):
     JNI_LOCAL_ESCAPE = (
         "local reference cached beyond the native frame (stored in a "
         "global) without NewGlobalRef",
+        Category.WARNING,
+    )
+    LINK_UNRESOLVED_EXTERN = (
+        "a registered or host-bound boundary symbol has no definition "
+        "anywhere in the linked corpus",
         Category.WARNING,
     )
 

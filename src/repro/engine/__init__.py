@@ -28,10 +28,12 @@ from .jobs import (
     CheckRequest,
     CheckResult,
     options_fingerprint,
+    render_unit,
     repository_fingerprint,
 )
 from .scheduler import default_jobs, run_batch
 from .store import SharedResultStore
+from .stream import StreamStats, stream_batch
 from .worker import analyze_request, run_request
 
 __all__ = [
@@ -48,11 +50,14 @@ __all__ = [
     "NullCache",
     "ResultCache",
     "SharedResultStore",
+    "StreamStats",
     "TieredCache",
     "analyze_request",
     "default_jobs",
     "options_fingerprint",
+    "render_unit",
     "repository_fingerprint",
     "run_batch",
     "run_request",
+    "stream_batch",
 ]

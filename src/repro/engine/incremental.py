@@ -32,7 +32,8 @@ from typing import Iterable, Optional, Sequence
 
 from ..boundary import get_dialect
 from ..core.exprs import Options
-from ..corpus import read_source, scan_tree
+from ..corpus import read_source, scan_tree, unit_suffixes
+from ..linker import Linker, LinkReport
 from ..source import SourceFile
 from .cache import DEFAULT_MAX_ENTRIES, MemoryCache, NullCache, TieredCache
 from .jobs import BatchReport, CheckRequest, CheckResult
@@ -78,6 +79,15 @@ class DependencyGraph:
 
     def __len__(self) -> int:
         return len(self._deps)
+
+    def stats(self) -> dict[str, int]:
+        """Size of the graph, for the ``status`` RPC: tracked units,
+        distinct watched paths, and total dependency edges."""
+        return {
+            "units": len(self._deps),
+            "paths": len(self._dependents),
+            "edges": sum(len(deps) for deps in self._deps.values()),
+        }
 
 
 @dataclass
@@ -155,6 +165,9 @@ class IncrementalEngine:
         self._revision = 0
         self._revision_lock = threading.Lock()
         self._spec = get_dialect(dialect)
+        self._unit_suffixes = unit_suffixes(self._spec)
+        #: tally of the most recent :meth:`link` pass, for ``status``
+        self._last_link: Optional[dict] = None
         self._lock = threading.RLock()
         self._hosts: dict[str, SourceFile] = {}
         self._units: dict[str, UnitState] = {}
@@ -270,7 +283,7 @@ class IncrementalEngine:
                         self._index_unit(state)
                         self._dirty.add(path)
                         affected.add(path)
-                elif suffix == ".c" and Path(path).is_file():
+                elif suffix in self._unit_suffixes and Path(path).is_file():
                     source = self._read(path)
                     if source is not None:
                         self._adopt_unit(source)
@@ -362,6 +375,37 @@ class IncrementalEngine:
                 stale=sorted(self._dirty),
             )
 
+    # -- linking --------------------------------------------------------------
+
+    def link(
+        self, *, jobs: Optional[int] = None
+    ) -> tuple[IncrementalReport, LinkReport]:
+        """Bring the corpus up to date, then link its resident summaries.
+
+        The check phase only re-analyzes dirty units (summaries ride the
+        per-unit results through every cache tier), so a link after one
+        edit costs one re-summarize plus a pass over summaries — never a
+        second pass over sources.
+        """
+        report = self.check(jobs=jobs)
+        started = time.perf_counter()
+        with self._lock:
+            linker = Linker()
+            for name in sorted(self._units):
+                payload = self._units[name].payload
+                if not payload or payload.get("failure") is not None:
+                    continue
+                summary = payload.get("summary")
+                if summary:
+                    linker.add_dict(summary)
+            link_report = linker.report()
+            link_report.elapsed_seconds = time.perf_counter() - started
+            self._last_link = {
+                **link_report.tally(),
+                "units": link_report.units,
+            }
+            return report, link_report
+
     # -- introspection --------------------------------------------------------
 
     @property
@@ -404,6 +448,15 @@ class IncrementalEngine:
                 "checks_run": self.checks_run,
                 "revision": self._revision,
                 "jobs": self.jobs,
+                # memory-relevant residency: every unit keeps its request,
+                # checked ones also keep a result payload
+                "resident_units": sum(
+                    1
+                    for state in self._units.values()
+                    if state.payload is not None
+                ),
+                "graph": self.graph.stats(),
+                "link": dict(self._last_link) if self._last_link else None,
                 "cache": {
                     "memory": self.memory.stats(),
                     # the cold tier may be the per-process ResultCache or

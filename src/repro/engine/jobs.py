@@ -38,7 +38,10 @@ from ..source import SourceFile
 #: v5: the cross-process SharedResultStore joined the tier stack (its
 #: content-addressed layout must never replay pre-store entries) and
 #: results grew the "store" cache tier.
-CACHE_SCHEMA_VERSION = 5
+#: v6: results carry the per-unit InterfaceSummary the whole-program
+#: linker consumes; pre-link entries would replay without one and the
+#: link pass would silently see an empty corpus.
+CACHE_SCHEMA_VERSION = 6
 
 
 def _digest_sources(sources: Iterable[SourceFile]) -> str:
@@ -124,6 +127,10 @@ class CheckResult:
     #: set when the worker itself failed (parse crash, etc.); such results
     #: are reported but never cached
     failure: Optional[str] = None
+    #: the unit's JSON-able InterfaceSummary (see :mod:`repro.linker`);
+    #: rides every cache tier so the link pass re-runs over summaries,
+    #: never sources
+    summary: Optional[dict] = None
 
     @classmethod
     def from_report(
@@ -136,6 +143,7 @@ class CheckResult:
             unification_steps=report.unification_steps,
             elapsed_seconds=report.elapsed_seconds,
             cache_key=cache_key,
+            summary=report.summary,
         )
 
     def _bag(self) -> DiagnosticBag:
@@ -161,6 +169,7 @@ class CheckResult:
             "from_cache": self.from_cache,
             "cache_tier": self.cache_tier,
             "failure": self.failure,
+            "summary": self.summary,
         }
 
     @classmethod
@@ -178,7 +187,21 @@ class CheckResult:
             from_cache=data.get("from_cache", False),
             cache_tier=data.get("cache_tier", ""),
             failure=data.get("failure"),
+            summary=data.get("summary"),
         )
+
+
+def render_unit(result: CheckResult) -> list[str]:
+    """One unit's text block, shared by the batch report and the
+    streaming path so their per-unit output is byte-identical."""
+    tag = " (cached)" if result.from_cache else ""
+    lines = [f"== {result.name}{tag}"]
+    if result.failure is not None:
+        lines.append(f"   engine failure: {result.failure}")
+        return lines
+    for diag in result.diagnostics:
+        lines.append("   " + diag.render())
+    return lines
 
 
 @dataclass
@@ -227,13 +250,7 @@ class BatchReport:
         """Figure-9-style aggregate, one block per unit plus the tally."""
         lines: list[str] = []
         for result in self.results:
-            tag = " (cached)" if result.from_cache else ""
-            lines.append(f"== {result.name}{tag}")
-            if result.failure is not None:
-                lines.append(f"   engine failure: {result.failure}")
-                continue
-            for diag in result.diagnostics:
-                lines.append("   " + diag.render())
+            lines.extend(render_unit(result))
         counts = self.tally()
         evicted = (
             f", {self.cache_evictions} evicted" if self.cache_evictions else ""

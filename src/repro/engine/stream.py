@@ -1,0 +1,165 @@
+"""Bounded-memory streaming scheduler — the mega-corpus path.
+
+:func:`repro.engine.scheduler.run_batch` materializes every request and
+every result; fine for thousands of units, fatal for 100k.  This module
+pipelines *load → check → summarize → discard*: requests are consumed
+from a lazy iterator (see :func:`repro.corpus.iter_tree`), at most
+``window`` of them are in flight at once, and each result is handed to
+``on_result`` exactly once — in submission order — then dropped.  Peak
+residency is the window, not the corpus, so RSS stays flat as the corpus
+grows; the caller keeps only what it accumulates (the linker keeps
+symbol tables, the CLI keeps a tally).
+
+The per-unit pipeline is the same one the batch scheduler runs — cache
+probe by content hash, :func:`~repro.engine.worker.run_request` on a
+miss, store-back after — so a streamed sweep and a batch sweep over the
+same corpus produce byte-identical per-unit diagnostics.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..diagnostics import DiagnosticBag
+from .jobs import CheckRequest, CheckResult
+from .scheduler import Cache, default_jobs
+from .worker import run_request
+
+
+@dataclass
+class StreamStats:
+    """What a streamed sweep kept: counts, never results."""
+
+    units: int = 0
+    cache_hits: int = 0
+    analyzed: int = 0
+    failures: int = 0
+    tally: dict[str, int] = field(
+        default_factory=lambda: DiagnosticBag().tally()
+    )
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
+
+    def absorb(self, result: CheckResult) -> None:
+        self.units += 1
+        if result.from_cache:
+            self.cache_hits += 1
+        else:
+            self.analyzed += 1
+        if result.failure is not None:
+            self.failures += 1
+        for column, count in result.tally().items():
+            self.tally[column] += count
+
+    def render(self) -> str:
+        """The batch footer's streaming twin."""
+        return (
+            f"-- {self.units} unit(s): {self.tally['errors']} error(s), "
+            f"{self.tally['warnings']} warning(s), "
+            f"{self.tally['false_positives']} false-positive-prone "
+            f"report(s), "
+            f"{self.tally['imprecision']} imprecision warning(s) "
+            f"[{self.cache_hits} cached, {self.analyzed} analyzed, "
+            f"jobs={self.jobs}] in {self.elapsed_seconds:.2f}s"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "units": self.units,
+            "tally": dict(self.tally),
+            "cache": {"hits": self.cache_hits},
+            "analyzed": self.analyzed,
+            "failures": self.failures,
+            "jobs": self.jobs,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def default_window(jobs: int) -> int:
+    """In-flight bound: enough to keep ``jobs`` workers fed, small
+    enough that resident results stay O(jobs), not O(corpus)."""
+    return max(4, jobs * 4)
+
+
+def stream_batch(
+    requests: Iterable[CheckRequest],
+    *,
+    jobs: int = 1,
+    cache: Optional[Cache] = None,
+    on_result: Optional[Callable[[CheckResult], None]] = None,
+    window: Optional[int] = None,
+) -> StreamStats:
+    """Sweep a lazy request stream under a bounded in-flight window.
+
+    ``on_result`` observes each :class:`CheckResult` once, in submission
+    order, before it is discarded — the linker's ``add`` hook, the CLI's
+    renderer.  Exceptions from the worker layer never surface here:
+    :func:`run_request` folds them into ``result.failure``.
+    """
+    started = time.perf_counter()
+    if jobs <= 0:
+        jobs = default_jobs()
+    if window is None:
+        window = default_window(jobs)
+    stats = StreamStats(jobs=jobs)
+
+    pool = None
+    if jobs > 1:
+        import multiprocessing
+
+        try:
+            pool = multiprocessing.get_context().Pool(processes=jobs)
+        except (ImportError, OSError, PermissionError, ValueError):
+            pool = None  # degrade to sequential, like run_batch
+
+    #: (key, ready CheckResult | None, in-flight AsyncResult | None)
+    pending: deque = deque()
+
+    def drain_one() -> None:
+        key, result, handle = pending.popleft()
+        if handle is not None:
+            result = handle.get()
+            if cache is not None:
+                cache.store(key, result)
+        stats.absorb(result)
+        if on_result is not None:
+            on_result(result)
+
+    try:
+        for request in requests:
+            key = ""
+            cached = None
+            if cache is not None:
+                probe_started = time.perf_counter()
+                key = request.cache_key()
+                cached = cache.load(key)
+                if cached is not None:
+                    cached.name = request.name
+                    cached.wall_seconds = (
+                        time.perf_counter() - probe_started
+                    )
+                    pending.append((key, cached, None))
+            if cached is None:
+                if pool is not None:
+                    pending.append(
+                        (key, None, pool.apply_async(run_request, (request, key)))
+                    )
+                else:
+                    result = run_request(request, key)
+                    if cache is not None:
+                        cache.store(key, result)
+                    pending.append((key, result, None))
+            while len(pending) >= window:
+                drain_one()
+        while pending:
+            drain_one()
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return stats

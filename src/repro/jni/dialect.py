@@ -28,6 +28,8 @@ from ..cfront.parser import parse_c
 from ..core.checker import AnalysisReport, Checker, InitialEnv
 from ..core.environment import Entry
 from ..engine.jobs import CheckRequest
+from ..linker.extract import function_row, summarize_units
+from ..linker.summary import InterfaceSummary, SymbolRow
 from ..source import SourceFile
 from . import descriptors, refs, repository, runtime
 from .rewrite import rewrite_unit
@@ -39,6 +41,9 @@ class JniDialect:
     name = "jni"
     host_suffixes: tuple[str, ...] = ()
     unit_suffixes = (".c", ".h")
+    #: only .c files are scanned as standalone units; headers reach
+    #: the analysis as dependencies of their includers
+    corpus_unit_suffixes = (".c",)
 
     # -- seeds ---------------------------------------------------------------
 
@@ -83,7 +88,36 @@ class JniDialect:
         for unit in units:
             report.diagnostics.extend(descriptors.check_unit(unit))
             report.diagnostics.extend(refs.check_unit(unit))
+        report.summary = self.summarize(request, units).to_dict()
         return report
+
+    def summarize(self, request: CheckRequest, units) -> InterfaceSummary:
+        """Link-relevant slice: C exports/externs plus every
+        ``JNINativeMethod`` row and ``Java_*`` convention export."""
+        summary = InterfaceSummary(unit=request.name, dialect=self.name)
+        ignore = frozenset(runtime.builtin_entries()) | frozenset(
+            runtime.global_entries()
+        )
+        summarize_units(summary, units, ignore=ignore)
+        for unit in units:
+            for entry in repository.native_method_entries(unit):
+                summary.registrations.append(
+                    SymbolRow(
+                        symbol=entry.java_name,
+                        type=entry.signature,
+                        file=entry.span.filename,
+                        line=entry.span.start.line,
+                        detail=entry.c_name,
+                    )
+                )
+            for fn in unit.functions:
+                if fn.body is not None and repository.is_native_export(
+                    fn.name
+                ):
+                    summary.registrations.append(
+                        function_row(fn, detail=fn.name)
+                    )
+        return summary
 
     def unit_dependencies(self, request: CheckRequest) -> tuple[str, ...]:
         """Quoted includes only: the boundary contract (registration

@@ -26,6 +26,8 @@ from ..cfront.parser import parse_c
 from ..core.checker import AnalysisReport, Checker, InitialEnv
 from ..core.environment import Entry
 from ..engine.jobs import CheckRequest, repository_fingerprint
+from ..linker.extract import summarize_units
+from ..linker.summary import InterfaceSummary, SymbolRow
 from .repository import TypeRepository, build_initial_env
 
 #: Per-process memo: repository fingerprint -> parsed TypeRepository.
@@ -40,6 +42,9 @@ class OCamlDialect:
     name = "ocaml"
     host_suffixes = (".ml", ".mli")
     unit_suffixes = (".c", ".h")
+    #: only .c files are scanned as standalone units; headers reach
+    #: the analysis as dependencies of their includers
+    corpus_unit_suffixes = (".c",)
 
     # -- seeds ---------------------------------------------------------------
 
@@ -74,12 +79,38 @@ class OCamlDialect:
 
     def analyze(self, request: CheckRequest) -> AnalysisReport:
         initial_env = self.initial_env(request)
+        units = [parse_c(source) for source in request.c_sources]
         program = ProgramIR()
-        for source in request.c_sources:
-            program = program.merge(lower_unit(parse_c(source)))
-        return Checker(
+        for unit in units:
+            program = program.merge(lower_unit(unit))
+        report = Checker(
             program, initial_env, request.options, dialect=self
         ).run()
+        report.summary = self.summarize(request, units).to_dict()
+        return report
+
+    def summarize(self, request: CheckRequest, units) -> InterfaceSummary:
+        """Link-relevant slice: C exports/externs plus the ``external``
+        bindings of the (shared) host side."""
+        summary = InterfaceSummary(unit=request.name, dialect=self.name)
+        ignore = frozenset(builtin_entries()) | POLYMORPHIC_BUILTINS
+        summarize_units(summary, units, ignore=ignore)
+        for external in self.repository_for(request).externals:
+            for c_name in (external.c_name, external.c_name_bytecode):
+                if not c_name:
+                    continue
+                summary.bindings.append(
+                    SymbolRow(
+                        symbol=c_name,
+                        file=external.span.filename,
+                        line=external.span.start.line,
+                        detail=(
+                            f"external {external.ml_name} : "
+                            f"{external.mltype}"
+                        ),
+                    )
+                )
+        return summary
 
     def unit_dependencies(self, request: CheckRequest) -> tuple[str, ...]:
         """Every ``Γ_I`` input plus the unit's quoted includes: an edit to

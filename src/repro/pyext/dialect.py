@@ -26,6 +26,8 @@ from ..cfront.parser import parse_c
 from ..core.checker import AnalysisReport, Checker, InitialEnv
 from ..core.environment import Entry
 from ..engine.jobs import CheckRequest
+from ..linker.extract import function_row, summarize_units
+from ..linker.summary import InterfaceSummary, SymbolRow
 from ..source import SourceFile
 from . import formats, methods, refcount, runtime
 from .rewrite import rewrite_unit
@@ -37,6 +39,9 @@ class PyExtDialect:
     name = "pyext"
     host_suffixes: tuple[str, ...] = ()
     unit_suffixes = (".c", ".h")
+    #: only .c files are scanned as standalone units; headers reach
+    #: the analysis as dependencies of their includers
+    corpus_unit_suffixes = (".c",)
 
     # -- seeds ---------------------------------------------------------------
 
@@ -82,7 +87,33 @@ class PyExtDialect:
         for unit in units:
             report.diagnostics.extend(formats.check_unit(unit))
             report.diagnostics.extend(refcount.check_unit(unit))
+        report.summary = self.summarize(request, units).to_dict()
         return report
+
+    def summarize(self, request: CheckRequest, units) -> InterfaceSummary:
+        """Link-relevant slice: C exports/externs plus every
+        ``PyMethodDef`` row and ``PyInit_*`` module entry point."""
+        summary = InterfaceSummary(unit=request.name, dialect=self.name)
+        ignore = frozenset(runtime.builtin_entries()) | frozenset(
+            runtime.global_entries()
+        )
+        summarize_units(summary, units, ignore=ignore)
+        for unit in units:
+            for entry in methods.method_table_entries(unit):
+                summary.registrations.append(
+                    SymbolRow(
+                        symbol=entry.py_name,
+                        file=entry.span.filename,
+                        line=entry.span.start.line,
+                        detail=entry.c_name,
+                    )
+                )
+            for fn in unit.functions:
+                if fn.body is not None and fn.name.startswith("PyInit_"):
+                    summary.registrations.append(
+                        function_row(fn, detail=fn.name)
+                    )
+        return summary
 
     def unit_dependencies(self, request: CheckRequest) -> tuple[str, ...]:
         """Quoted includes only: the boundary contract (``PyMethodDef``

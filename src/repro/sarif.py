@@ -21,6 +21,7 @@ with ``executionSuccessful`` cleared, instead of being dropped.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .diagnostics import Diagnostic, Kind
@@ -120,17 +121,26 @@ def sarif_log(
 
 
 def batch_sarif_log(
-    report: "BatchReport", *, tool_version: str = "1.1.0"
+    report: "BatchReport",
+    *,
+    tool_version: str = "1.1.0",
+    link_diagnostics: Iterable[Diagnostic] = (),
 ) -> dict:
     """One merged SARIF log for a whole batch sweep.
 
     All unit diagnostics flatten, in submission order, into a *single*
     run with rule metadata deduplicated across units; per-unit engine
     failures become tool-execution notifications and clear the
-    invocation's ``executionSuccessful`` flag.
+    invocation's ``executionSuccessful`` flag.  ``link_diagnostics``
+    (the whole-program link pass's cross-unit reports, ``LINK_*`` kinds)
+    append after every unit's rows — they belong to the corpus, not to
+    any one unit, so they close the run.
     """
     log = sarif_log(
-        (diag for result in report.results for diag in result.diagnostics),
+        chain(
+            (diag for result in report.results for diag in result.diagnostics),
+            link_diagnostics,
+        ),
         tool_version=tool_version,
     )
     notifications = [

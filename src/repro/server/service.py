@@ -23,6 +23,17 @@ Methods:
     unchanged engine revision replay the memoized encoded result.  The
     coalesced response is byte-identical to an uncoalesced one except
     for the echoed ``id`` (timing fields replay the leader's values).
+
+    Optional ``link: true`` also runs the whole-program link pass over
+    the corpus's interface summaries and attaches its report as a
+    ``link`` stanza (the params participate in the coalescing key, so
+    linked and unlinked checks never share a memo).
+``link``
+    Bring the corpus up to date, then union every unit's
+    :class:`~repro.linker.summary.InterfaceSummary` and report cross-unit
+    inconsistencies (``LINK_*`` kinds).  Returns the full check report
+    with the ``link`` stanza — the same shape as ``check`` with
+    ``link: true``.
 ``invalidate``
     ``paths`` (required list) were created/edited/deleted; re-reads them
     and returns the affected unit names.  Dirty units re-check on the
@@ -132,6 +143,7 @@ class AnalysisService:
         self._methods = {
             "ping": self._ping,
             "check": self._check,
+            "link": self._link,
             "invalidate": self._invalidate,
             "status": self._status,
             "shutdown": self._shutdown,
@@ -282,11 +294,26 @@ class AnalysisService:
             raise protocol.ProtocolError(
                 protocol.INVALID_PARAMS, "units must be a list of paths"
             )
+        link = params.get("link")
+        if link is not None and not isinstance(link, bool):
+            raise protocol.ProtocolError(
+                protocol.INVALID_PARAMS, "link must be a boolean"
+            )
 
     def _check(self, params: dict) -> dict:
         self._validate_check_params(params)
+        if params.get("link"):
+            # the link pass spans the whole corpus, so a linked check
+            # ignores any units restriction and brings everything current
+            report, link_report = self.engine.link()
+            data = report.to_dict()
+            data["link"] = link_report.to_dict()
+            return data
         report = self.engine.check(params.get("units"))
         return report.to_dict()
+
+    def _link(self, params: dict) -> dict:
+        return self._check({**params, "link": True})
 
     def _invalidate(self, params: dict) -> dict:
         paths = params.get("paths")

@@ -1,0 +1,231 @@
+"""Incremental engine: the link pass, status stanzas, and dependency
+edge cases (unit removal with shared headers, host-also-dependency
+invalidation, unit-name collisions between subdirectories)."""
+
+import pytest
+
+from repro.engine import IncrementalEngine
+
+ML = 'external get : int -> int = "ml_get"\n'
+GOOD_C = "value ml_get(value x) { return Val_int(Int_val(x) + 1); }\n"
+
+CONFLICT_DEF = """\
+long shared_helper(long a, long b)
+{
+    return a + b;
+}
+"""
+CONFLICT_USE = """\
+long shared_helper(long a);
+
+long use_helper(long x)
+{
+    return shared_helper(x);
+}
+"""
+
+
+def basenames(names):
+    return sorted(str(n).replace("\\", "/").rsplit("/", 1)[-1] for n in names)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "lib.ml").write_text(ML)
+    (root / "good.c").write_text(GOOD_C)
+    return root
+
+
+class TestLinkPass:
+    def test_clean_corpus_links_clean(self, tree):
+        engine = IncrementalEngine(tree)
+        report, link_report = engine.link()
+        assert basenames(report.checked) == ["good.c"]
+        assert link_report.units == 1
+        assert list(link_report.diagnostics) == []
+
+    def test_cross_unit_conflict_is_reported(self, tree):
+        (tree / "def.c").write_text(CONFLICT_DEF)
+        (tree / "use.c").write_text(CONFLICT_USE)
+        engine = IncrementalEngine(tree)
+        _report, link_report = engine.link()
+        assert [d.kind.name for d in link_report.diagnostics] == [
+            "LINK_CONFLICTING_DECL"
+        ]
+        assert "shared_helper" in link_report.errors[0].message
+
+    def test_relink_reuses_clean_units(self, tree):
+        (tree / "def.c").write_text(CONFLICT_DEF)
+        (tree / "use.c").write_text(CONFLICT_USE)
+        engine = IncrementalEngine(tree)
+        engine.link()
+        # fix the conflicting prototype; only use.c may re-analyze
+        (tree / "use.c").write_text(
+            CONFLICT_USE.replace("long shared_helper(long a);",
+                                 "long shared_helper(long a, long b);")
+            .replace("shared_helper(x)", "shared_helper(x, x)")
+        )
+        engine.invalidate([str(tree / "use.c")])
+        report, link_report = engine.link()
+        assert basenames(report.checked) == ["use.c"]
+        assert report.reused == 2
+        assert list(link_report.diagnostics) == []
+
+    def test_link_summaries_survive_a_cold_restart(self, tree, tmp_path):
+        from repro.engine import ResultCache
+
+        (tree / "def.c").write_text(CONFLICT_DEF)
+        (tree / "use.c").write_text(CONFLICT_USE)
+        cache_dir = tmp_path / "cache"
+        first = IncrementalEngine(tree, cache=ResultCache(cache_dir))
+        _report, link_first = first.link()
+        # a fresh engine on the same cache re-links from cached payloads
+        second = IncrementalEngine(tree, cache=ResultCache(cache_dir))
+        report, link_second = second.link()
+        assert report.ran == []
+        assert [d.message for d in link_second.diagnostics] == [
+            d.message for d in link_first.diagnostics
+        ]
+
+
+class TestStatusStanzas:
+    def test_graph_and_residency_surface(self, tree):
+        engine = IncrementalEngine(tree)
+        status = engine.status()
+        assert status["resident_units"] == 0  # nothing checked yet
+        assert status["graph"]["units"] == 1
+        assert status["graph"]["paths"] >= 1
+        assert status["link"] is None
+        engine.check()
+        status = engine.status()
+        assert status["resident_units"] == 1
+
+    def test_link_stanza_records_the_last_pass(self, tree):
+        (tree / "def.c").write_text(CONFLICT_DEF)
+        (tree / "use.c").write_text(CONFLICT_USE)
+        engine = IncrementalEngine(tree)
+        engine.link()
+        stanza = engine.status()["link"]
+        assert stanza["units"] == 3
+        assert stanza["errors"] == 1
+
+
+class TestSharedHeaderRemoval:
+    HEADER = "#define STEP 2\n"
+    WITH_INCLUDE = '#include "shared.h"\n' + GOOD_C
+
+    def test_removing_a_unit_releases_its_header_edges(self, tree):
+        (tree / "shared.h").write_text(self.HEADER)
+        (tree / "good.c").write_text(
+            self.WITH_INCLUDE.replace("ml_get", "ml_a")
+        )
+        (tree / "other.c").write_text(
+            self.WITH_INCLUDE.replace("ml_get", "ml_b")
+        )
+        engine = IncrementalEngine(tree)
+        engine.check()
+        header = str(tree / "shared.h")
+        assert basenames(engine.graph.dependents(header)) == [
+            "good.c",
+            "other.c",
+        ]
+        # delete one unit: the header must stop dirtying it
+        (tree / "good.c").unlink()
+        engine.invalidate([str(tree / "good.c")])
+        assert basenames(engine.unit_names) == ["other.c"]
+        affected = engine.invalidate([header])
+        assert basenames(affected) == ["other.c"]
+        status = engine.status()
+        assert status["graph"]["units"] == 1
+
+    def test_removing_the_last_dependent_drops_the_path(self, tree):
+        (tree / "shared.h").write_text(self.HEADER)
+        (tree / "good.c").write_text(self.WITH_INCLUDE)
+        engine = IncrementalEngine(tree)
+        header = str(tree / "shared.h")
+        assert basenames(engine.graph.dependents(header)) == ["good.c"]
+        (tree / "good.c").unlink()
+        engine.invalidate([str(tree / "good.c")])
+        assert engine.graph.dependents(header) == set()
+        assert engine.invalidate([header]) == set()
+
+
+class TestHostAlsoDependency:
+    def test_host_edit_dirties_every_unit_exactly_once(self, tree):
+        # lib.ml is both the corpus's host input and a recorded
+        # dependency of every unit; one invalidate must not double-count
+        (tree / "second.c").write_text(
+            GOOD_C.replace("ml_get", "ml_more")
+        )
+        (tree / "lib.ml").write_text(
+            ML + 'external more : int -> int = "ml_more"\n'
+        )
+        engine = IncrementalEngine(tree)
+        engine.check()
+        assert engine.dirty == set()
+        (tree / "lib.ml").write_text(
+            ML + 'external more : int -> unit = "ml_more"\n'
+        )
+        affected = engine.invalidate([str(tree / "lib.ml")])
+        assert basenames(affected) == ["good.c", "second.c"]
+        assert basenames(engine.dirty) == ["good.c", "second.c"]
+        report = engine.check()
+        assert basenames(report.checked) == ["good.c", "second.c"]
+
+    def test_unchanged_host_reread_keeps_units_clean(self, tree):
+        engine = IncrementalEngine(tree)
+        engine.check()
+        # touching the host without changing its text is a no-op
+        (tree / "lib.ml").write_text(ML)
+        affected = engine.invalidate([str(tree / "lib.ml")])
+        assert affected == set()
+        assert engine.dirty == set()
+
+
+class TestUnitNameCollisions:
+    def test_same_basename_in_two_subdirectories(self, tree):
+        (tree / "a").mkdir()
+        (tree / "b").mkdir()
+        (tree / "a" / "x.c").write_text(GOOD_C)
+        (tree / "b" / "x.c").write_text(
+            GOOD_C.replace("Int_val(x) + 1", "Int_val(x) + 2")
+        )
+        (tree / "good.c").unlink()
+        engine = IncrementalEngine(tree)
+        assert len(engine.unit_names) == 2
+        report = engine.check()
+        assert len(report.results) == 2
+        assert {r.name for r in report.results} == set(engine.unit_names)
+
+    def test_editing_one_twin_leaves_the_other_clean(self, tree):
+        (tree / "a").mkdir()
+        (tree / "b").mkdir()
+        (tree / "a" / "x.c").write_text(GOOD_C)
+        (tree / "b" / "x.c").write_text(GOOD_C)
+        (tree / "good.c").unlink()
+        engine = IncrementalEngine(tree)
+        engine.check()
+        (tree / "a" / "x.c").write_text(
+            GOOD_C.replace("Int_val(x) + 1", "Int_val(x) + 3")
+        )
+        affected = engine.invalidate([str(tree / "a" / "x.c")])
+        assert affected == {str(tree / "a" / "x.c")}
+        report = engine.check()
+        assert report.checked == [str(tree / "a" / "x.c")]
+        assert report.reused == 1
+
+    def test_removing_one_twin_keeps_the_other(self, tree):
+        (tree / "a").mkdir()
+        (tree / "b").mkdir()
+        (tree / "a" / "x.c").write_text(GOOD_C)
+        (tree / "b" / "x.c").write_text(GOOD_C)
+        (tree / "good.c").unlink()
+        engine = IncrementalEngine(tree)
+        engine.check()
+        (tree / "a" / "x.c").unlink()
+        engine.invalidate([str(tree / "a" / "x.c")])
+        assert engine.unit_names == [str(tree / "b" / "x.c")]
+        report = engine.check()
+        assert [r.name for r in report.results] == engine.unit_names

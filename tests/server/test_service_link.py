@@ -1,0 +1,125 @@
+"""The service's link surface: the `link` method, `check` with
+`link: true`, param validation, coalescing separation, and the status
+stanzas the link/streaming work added."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.engine import IncrementalEngine
+from repro.server import AnalysisService, protocol
+
+CONFLICT_DEF = """\
+long shared_helper(long a, long b)
+{
+    return a + b;
+}
+"""
+CONFLICT_USE = """\
+long shared_helper(long a);
+
+long use_helper(long x)
+{
+    return shared_helper(x);
+}
+"""
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "lib.ml").write_text('external get : int -> int = "ml_get"\n')
+    (root / "good.c").write_text(
+        "value ml_get(value x) { return Val_int(Int_val(x) + 1); }\n"
+    )
+    (root / "def.c").write_text(CONFLICT_DEF)
+    (root / "use.c").write_text(CONFLICT_USE)
+    return root
+
+
+@pytest.fixture()
+def service(tree):
+    return AnalysisService(IncrementalEngine(tree))
+
+
+def call(service, method, params=None, request_id=1):
+    frame = {"id": request_id, "method": method}
+    if params is not None:
+        frame["params"] = params
+    return service.handle(json.dumps(frame))
+
+
+class TestLinkMethod:
+    def test_link_returns_check_report_plus_link_stanza(self, service):
+        result = call(service, "link")["result"]
+        assert result["tally"]["errors"] == 0  # per-unit side is clean
+        link = result["link"]
+        assert link["units"] == 3
+        assert link["tally"]["errors"] == 1
+        (diag,) = link["diagnostics"]
+        assert diag["kind"] == "LINK_CONFLICTING_DECL"
+
+    def test_check_with_link_true_matches_link(self, service):
+        linked = call(service, "check", {"link": True})["result"]
+        direct = call(service, "link")["result"]
+        assert linked["link"]["diagnostics"] == direct["link"]["diagnostics"]
+
+    def test_plain_check_has_no_link_stanza(self, service):
+        result = call(service, "check")["result"]
+        assert "link" not in result
+
+    def test_link_param_must_be_boolean(self, service):
+        response = call(service, "check", {"link": "yes"})
+        assert response["error"]["code"] == -32602
+        assert "boolean" in response["error"]["message"]
+
+    def test_linked_and_plain_checks_never_share_a_memo(self, service):
+        # same engine revision, different params: the coalescer must key
+        # them apart or a plain check could replay a linked response
+        plain_key = service.check_key({})
+        linked_key = service.check_key({"link": True})
+        assert plain_key != linked_key
+
+    def test_coalesced_wire_path_carries_the_link_stanza(self, service):
+        line = service.handle_line(
+            json.dumps({"id": 7, "method": "check", "params": {"link": True}})
+        )
+        response = json.loads(line)
+        assert response["id"] == 7
+        assert response["result"]["link"]["tally"]["errors"] == 1
+
+
+class TestStatusStanzas:
+    def test_status_reports_graph_and_residency(self, service):
+        status = call(service, "status")["result"]
+        assert status["resident_units"] == 0
+        assert status["graph"]["units"] == 3
+        assert status["link"] is None
+        call(service, "check")
+        status = call(service, "status")["result"]
+        assert status["resident_units"] == 3
+
+    def test_status_link_stanza_after_a_link(self, service):
+        call(service, "link")
+        stanza = call(service, "status")["result"]["link"]
+        assert stanza["errors"] == 1
+        assert stanza["units"] == 3
+
+
+class TestSessionLink:
+    def test_session_link_returns_both_reports(self, tree):
+        with Session(tree) as session:
+            report, link_report = session.link()
+            assert len(report.results) == 3
+            assert [d.kind.name for d in link_report.diagnostics] == [
+                "LINK_CONFLICTING_DECL"
+            ]
+
+    def test_session_service_exposes_link(self, tree):
+        with Session(tree) as session:
+            result = session.service().handle_request(
+                protocol.Request(id=1, method="link", params={})
+            )["result"]
+            assert result["link"]["tally"]["errors"] == 1

@@ -8,7 +8,7 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
-TREND_DOC = ROOT / "BENCH_PR6.json"
+TREND_DOC = ROOT / "BENCH_PR7.json"
 
 
 def _load_trend_module():
@@ -26,7 +26,7 @@ def trend():
 
 
 class TestCommittedDocument:
-    """CI produces BENCH_PR6.json; this is the schema it must satisfy."""
+    """CI produces BENCH_PR7.json; this is the schema it must satisfy."""
 
     def test_document_is_committed(self):
         assert TREND_DOC.is_file(), TREND_DOC
@@ -35,7 +35,7 @@ class TestCommittedDocument:
         document = json.loads(TREND_DOC.read_text())
         assert trend.validate(document) == []
 
-    def test_document_covers_all_six_benchmarks(self):
+    def test_document_covers_all_seven_benchmarks(self):
         document = json.loads(TREND_DOC.read_text())
         assert set(document["benchmarks"]) >= {
             "batch",
@@ -44,6 +44,7 @@ class TestCommittedDocument:
             "jni",
             "cold",
             "concurrency",
+            "link",
         }
 
     def test_document_tracks_serve_speedups_per_dialect(self):
@@ -58,6 +59,12 @@ class TestCommittedDocument:
         assert 0 < ratios["concurrency_p99_ms"] < 50
         assert 0 < ratios["concurrency_shed_rate"] <= 1
 
+    def test_document_tracks_full_link_recall(self):
+        # the PR 7 headline: every seeded and planted cross-unit bug in
+        # the link benchmark's corpora was detected
+        ratios = json.loads(TREND_DOC.read_text())["ratios"]
+        assert ratios["link_recall"] == 1.0
+
     def test_document_records_no_failures(self):
         gates = json.loads(TREND_DOC.read_text())["gates"]
         assert gates["bench_failures"] == []
@@ -67,7 +74,7 @@ class TestCommittedDocument:
         # the PR 4 document recorded `"baseline": null` (nothing to
         # compare against); from PR 5 on the gate must actually compare
         gates = json.loads(TREND_DOC.read_text())["gates"]
-        assert gates["baseline"] == "BENCH_PR5.json"
+        assert gates["baseline"] == "BENCH_PR6.json"
 
 
 class TestValidate:

@@ -35,6 +35,7 @@ def test_jobs_cover_lint_tests_and_bench(workflow):
         "bench-trend",
         "serve-smoke",
         "concurrency-smoke",
+        "link-smoke",
     }
 
 
@@ -120,9 +121,9 @@ def test_bench_trend_merges_and_gates_the_trajectory(workflow):
     steps = workflow["jobs"]["bench-trend"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)
     assert "bench_trend.py" in runs
-    assert "BENCH_PR6.json" in runs
+    assert "BENCH_PR7.json" in runs
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
-    assert uploads and "BENCH_PR6.json" in uploads[0]["with"]["path"]
+    assert uploads and "BENCH_PR7.json" in uploads[0]["with"]["path"]
 
 
 def test_bench_smoke_runs_the_cold_benchmark_and_uploads_its_json(workflow):
@@ -184,6 +185,22 @@ def test_bench_smoke_bundles_the_concurrency_report(workflow):
     assert "bench_concurrency.py" in runs
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
     assert "concurrency-report.json" in uploads[0]["with"]["path"]
+
+
+def test_link_smoke_gates_recall_rss_and_exit_codes(workflow):
+    job = workflow["jobs"]["link-smoke"]
+    assert job["needs"] == ["test"]
+    runs = " ".join(step.get("run", "") for step in job["steps"])
+    assert "bench_link.py --quick" in runs
+    # every seeded corpus must be exit-code visible for all three dialects
+    assert "mlffi-check link" in runs
+    assert "--strict" in runs
+    for dialect in ("ocaml", "pyext", "jni"):
+        assert dialect in runs
+    uploads = [
+        s for s in job["steps"] if "upload-artifact" in s.get("uses", "")
+    ]
+    assert uploads and "link-report.json" in uploads[0]["with"]["path"]
 
 
 def test_every_job_has_a_hang_watchdog_timeout(workflow):

@@ -535,3 +535,215 @@ class TestExample:
         code = main(["example"])
         assert code == 0
         assert "0 error(s)" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def link_tree(tmp_path):
+    """Per-unit clean corpus with one cross-unit prototype conflict."""
+    root = tmp_path / "linked"
+    root.mkdir()
+    (root / "lib.ml").write_text('external get : int -> int = "ml_get"\n')
+    (root / "good.c").write_text(
+        "value ml_get(value x) { return Val_int(Int_val(x) + 1); }\n"
+    )
+    (root / "def.c").write_text(
+        "long shared_helper(long a, long b)\n"
+        "{\n"
+        "    return a + b;\n"
+        "}\n"
+    )
+    (root / "use.c").write_text(
+        "long shared_helper(long a);\n"
+        "\n"
+        "long use_helper(long x)\n"
+        "{\n"
+        "    return shared_helper(x);\n"
+        "}\n"
+    )
+    return root
+
+
+class TestLinkCommand:
+    def test_conflict_is_exit_code_visible(self, link_tree, capsys):
+        code = main(["link", str(link_tree), "--no-cache"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "== link" in out
+        assert "LINK" not in out  # rendered messages, not kind names
+        assert "shared_helper" in out
+        assert "conflicting C types" in out
+
+    def test_quiet_prints_only_the_link_report(self, link_tree, capsys):
+        code = main(["link", str(link_tree), "--no-cache", "--quiet"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "== link" in out
+        assert "== " + str(link_tree / "good.c") not in out
+
+    def test_clean_corpus_exits_zero(self, link_tree, capsys):
+        (link_tree / "use.c").unlink()
+        code = main(["link", str(link_tree), "--no-cache", "--quiet"])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_json_reports_stream_and_link(self, link_tree, capsys):
+        code = main(
+            ["link", str(link_tree), "--no-cache", "--format", "json"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stream"]["units"] == 3
+        assert doc["stream"]["tally"]["errors"] == 0
+        (diag,) = doc["link"]["diagnostics"]
+        assert diag["kind"] == "LINK_CONFLICTING_DECL"
+
+    def test_sarif_carries_the_cross_unit_diagnostics(self, link_tree, capsys):
+        code = main(
+            ["link", str(link_tree), "--no-cache", "--format", "sarif"]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        results = log["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["LINK_CONFLICTING_DECL"]
+
+    def test_missing_directory_exits_125(self, tmp_path, capsys):
+        code = main(["link", str(tmp_path / "absent"), "--no-cache"])
+        assert code == 125
+
+    EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "link"
+
+    def test_seeded_example_corpora(self, capsys):
+        for dialect in ("ocaml", "pyext", "jni"):
+            code = main(
+                [
+                    "link",
+                    str(self.EXAMPLES / dialect),
+                    "--dialect",
+                    dialect,
+                    "--no-cache",
+                    "--quiet",
+                ]
+            )
+            assert code == 2, dialect
+            out = capsys.readouterr().out
+            assert "2 error(s), 1 warning(s)" in out, dialect
+
+    def test_strict_counts_the_warning(self, capsys):
+        code = main(
+            [
+                "link",
+                str(self.EXAMPLES / "ocaml"),
+                "--no-cache",
+                "--quiet",
+                "--strict",
+            ]
+        )
+        assert code == 3
+
+
+class TestBatchLinkAndStream:
+    def test_batch_link_appends_the_link_report(self, link_tree, capsys):
+        code = main(["batch", str(link_tree), "--no-cache", "--link"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "== link" in out
+        assert "conflicting C types" in out
+
+    def test_batch_without_link_stays_silent_about_linking(
+        self, link_tree, capsys
+    ):
+        code = main(["batch", str(link_tree), "--no-cache"])
+        assert code == 0
+        assert "== link" not in capsys.readouterr().out
+
+    def test_batch_link_json_stanza(self, link_tree, capsys):
+        code = main(
+            [
+                "batch",
+                str(link_tree),
+                "--no-cache",
+                "--link",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["link"]["tally"]["errors"] == 1
+
+    def test_batch_link_sarif_merges_unit_and_link_rows(
+        self, link_tree, capsys
+    ):
+        code = main(
+            [
+                "batch",
+                str(link_tree),
+                "--no-cache",
+                "--link",
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        rules = [
+            r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]
+        ]
+        assert "LINK_CONFLICTING_DECL" in rules
+
+    def test_streamed_batch_matches_batch_output(self, link_tree, capsys):
+        code = main(["batch", str(link_tree), "--no-cache"])
+        plain = capsys.readouterr().out
+        stream_code = main(
+            ["batch", str(link_tree), "--no-cache", "--stream"]
+        )
+        streamed = capsys.readouterr().out
+        assert stream_code == code == 0
+        plain_units = [
+            line for line in plain.splitlines() if not line.startswith("--")
+        ]
+        streamed_units = [
+            line
+            for line in streamed.splitlines()
+            if not line.startswith("--")
+        ]
+        assert streamed_units == plain_units
+
+    def test_streamed_link_finds_the_conflict(self, link_tree, capsys):
+        code = main(
+            ["batch", str(link_tree), "--no-cache", "--stream", "--link"]
+        )
+        assert code == 1
+        assert "conflicting C types" in capsys.readouterr().out
+
+    def test_stream_rejects_sarif(self, link_tree, capsys):
+        code = main(
+            [
+                "batch",
+                str(link_tree),
+                "--no-cache",
+                "--stream",
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 125
+        assert "sarif" in capsys.readouterr().err
+
+    def test_stream_json_lines_per_unit(self, link_tree, capsys):
+        code = main(
+            [
+                "batch",
+                str(link_tree),
+                "--no-cache",
+                "--stream",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        # one JSON object per unit, then one trailer object
+        parsed = [json.loads(line) for line in lines if line.strip()]
+        assert len(parsed) == 4
+        assert parsed[-1]["stream"]["units"] == 3

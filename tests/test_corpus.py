@@ -1,0 +1,108 @@
+"""Corpus scanning: dialect-derived unit suffixes and the lazy walk."""
+
+import pytest
+
+from repro.boundary import get_dialect
+from repro.corpus import iter_tree, scan_tree, unit_suffixes
+
+
+class _Spec:
+    """A stub dialect spec with configurable suffix attributes."""
+
+    def __init__(self, **attrs):
+        self.host_suffixes = ()
+        self.unit_suffixes = ()
+        for name, value in attrs.items():
+            setattr(self, name, value)
+
+
+class TestUnitSuffixes:
+    def test_pinned_corpus_suffixes_win(self):
+        spec = _Spec(
+            corpus_unit_suffixes=(".c", ".cc"),
+            unit_suffixes=(".c", ".h"),
+        )
+        assert unit_suffixes(spec) == (".c", ".cc")
+
+    def test_derived_from_unit_suffixes_minus_headers_and_hosts(self):
+        # satellite fix: scan_tree used to hardcode `.c` regardless of
+        # what the dialect declared
+        spec = _Spec(
+            unit_suffixes=(".c", ".cpp", ".h", ".ml"),
+            host_suffixes=(".ml", ".mli"),
+        )
+        assert unit_suffixes(spec) == (".c", ".cpp")
+
+    def test_falls_back_to_dot_c(self):
+        assert unit_suffixes(_Spec()) == (".c",)
+        assert unit_suffixes(_Spec(unit_suffixes=(".h",))) == (".c",)
+
+    @pytest.mark.parametrize("dialect", ["ocaml", "pyext", "jni"])
+    def test_registered_dialects_scan_c_units(self, dialect):
+        assert ".c" in unit_suffixes(get_dialect(dialect))
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "lib.ml").write_text('external f : int -> int = "ml_f"\n')
+    (tmp_path / "a.c").write_text("value ml_f(value x) { return x; }\n")
+    (tmp_path / "sub" / "b.c").write_text("long helper(long x) { return x; }\n")
+    (tmp_path / "shared.h").write_text("#define N 1\n")
+    (tmp_path / "notes.txt").write_text("not a source\n")
+    return tmp_path
+
+
+class TestIterTree:
+    def test_hosts_eager_units_lazy(self, tree):
+        spec = get_dialect("ocaml")
+        scan = iter_tree(tree, spec)
+        assert [s.filename.rsplit("/", 1)[-1] for s in scan.hosts] == [
+            "lib.ml"
+        ]
+        # only paths so far; headers and strays excluded
+        names = sorted(p.name for p in scan.unit_paths)
+        assert names == ["a.c", "b.c"]
+        units = list(scan.iter_units())
+        assert len(scan) == 2
+        assert [u.filename.rsplit("/", 1)[-1] for u in units] == ["a.c", "b.c"]
+
+    def test_iter_units_skips_unusable_files_late(self, tree):
+        (tree / "empty.c").write_text("")
+        spec = get_dialect("ocaml")
+        scan = iter_tree(tree, spec)
+        # the walk records the path; only iteration discovers and warns
+        assert "empty.c" in {p.name for p in scan.unit_paths}
+        with pytest.warns(UserWarning, match="empty"):
+            units = list(scan.iter_units())
+        assert "empty.c" not in {
+            u.filename.rsplit("/", 1)[-1] for u in units
+        }
+
+    def test_name_for_controls_recorded_names(self, tree):
+        scan = iter_tree(tree, get_dialect("ocaml"), name_for=lambda p: p.name)
+        assert [u.filename for u in scan.iter_units()] == ["a.c", "b.c"]
+
+
+class TestScanTree:
+    def test_matches_iter_tree(self, tree):
+        spec = get_dialect("ocaml")
+        eager = scan_tree(tree, spec)
+        lazy = iter_tree(tree, spec)
+        assert [s.filename for s in eager.hosts] == [
+            s.filename for s in lazy.hosts
+        ]
+        assert [u.filename for u in eager.units] == [
+            u.filename for u in lazy.iter_units()
+        ]
+
+    def test_respects_dialect_suffixes_not_hardcoded_c(self, tree):
+        (tree / "extra.cc").write_text("long g(long x) { return x; }\n")
+        spec = _Spec(
+            corpus_unit_suffixes=(".cc",),
+            host_suffixes=(".ml", ".mli"),
+        )
+        scan = scan_tree(tree, spec)
+        assert [u.filename.rsplit("/", 1)[-1] for u in scan.units] == [
+            "extra.cc"
+        ]

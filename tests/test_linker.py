@@ -1,0 +1,267 @@
+"""The whole-program linker: summaries, rules, and dialect extraction."""
+
+import pytest
+
+from repro.api import Project
+from repro.diagnostics import Category, Kind
+from repro.engine import run_batch
+from repro.linker import InterfaceSummary, Linker, SymbolRow
+
+
+def summary(unit, **groups):
+    return InterfaceSummary(unit=unit, dialect="ocaml", **groups)
+
+
+def export(symbol, type="value(value)", file="", line=1):
+    return SymbolRow(symbol=symbol, type=type, file=file, line=line)
+
+
+def kinds(report):
+    return sorted(d.kind.name for d in report.diagnostics)
+
+
+class TestSummaryRoundTrip:
+    def test_symbol_row_round_trips(self):
+        row = SymbolRow("ml_f", "value(value)", "a.c", 12, "external f")
+        assert SymbolRow.from_dict(row.to_dict()) == row
+
+    def test_summary_round_trips(self):
+        original = summary(
+            "a.c",
+            exports=[export("ml_f", file="a.c")],
+            externs=[SymbolRow("helper", "value(value)", "a.c", 3)],
+            registrations=[SymbolRow("f", "", "a.c", 9, "ml_f")],
+            bindings=[SymbolRow("ml_f", "", "lib.ml", 2, "external f : ...")],
+        )
+        rebuilt = InterfaceSummary.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_from_dict_tolerates_missing_groups(self):
+        rebuilt = InterfaceSummary.from_dict({"unit": "a.c"})
+        assert rebuilt.unit == "a.c"
+        assert rebuilt.exports == []
+        assert rebuilt.bindings == []
+
+
+class TestLinkerRules:
+    def test_empty_corpus_links_clean(self):
+        report = Linker().report()
+        assert list(report.diagnostics) == []
+        assert report.units == 0
+
+    def test_conflicting_decl_across_units(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                exports=[export("helper", "value(value, value)", "a.c", 4)],
+            )
+        )
+        linker.add(
+            summary(
+                "b.c",
+                externs=[export("helper", "value(value)", "b.c", 2)],
+            )
+        )
+        report = linker.report()
+        assert kinds(report) == ["LINK_CONFLICTING_DECL"]
+        (diag,) = report.diagnostics
+        assert diag.category is Category.ERROR
+        assert "helper" in diag.message
+        assert "a.c:4" in diag.message and "b.c:2" in diag.message
+
+    def test_identical_decls_do_not_conflict(self):
+        linker = Linker()
+        linker.add(summary("a.c", exports=[export("helper", file="a.c")]))
+        linker.add(summary("b.c", externs=[export("helper", file="b.c")]))
+        assert kinds(linker.report()) == []
+
+    def test_duplicate_definition_requires_a_reference(self):
+        # identical private helpers copied between units (the parser
+        # drops `static`) must stay silent until something links to them
+        linker = Linker()
+        linker.add(summary("a.c", exports=[export("helper", file="a.c")]))
+        linker.add(summary("b.c", exports=[export("helper", file="b.c")]))
+        assert kinds(linker.report()) == []
+
+        referenced = Linker()
+        referenced.add(summary("a.c", exports=[export("helper", file="a.c")]))
+        referenced.add(summary("b.c", exports=[export("helper", file="b.c")]))
+        referenced.add(
+            summary("c.c", externs=[export("helper", file="c.c")])
+        )
+        assert kinds(referenced.report()) == ["LINK_DUPLICATE_DEFINITION"]
+
+    def test_duplicate_registration_wins_over_duplicate_definition(self):
+        linker = Linker()
+        for unit in ("a.c", "b.c"):
+            linker.add(
+                summary(
+                    unit,
+                    exports=[export("Java_M_f", "int(int)", unit, 5)],
+                    registrations=[
+                        SymbolRow("Java_M_f", "int(int)", unit, 5, "Java_M_f")
+                    ],
+                )
+            )
+        report = linker.report()
+        assert kinds(report) == ["LINK_DUPLICATE_REGISTRATION"]
+        (diag,) = report.diagnostics
+        assert "a.c" in diag.message and "b.c" in diag.message
+
+    def test_same_key_registered_twice_in_one_unit_is_flagged(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                exports=[export("ml_f", file="a.c")],
+                registrations=[
+                    SymbolRow("f", "", "a.c", 9, "ml_f"),
+                    SymbolRow("f", "", "a.c", 10, "ml_f"),
+                ],
+            )
+        )
+        assert kinds(linker.report()) == ["LINK_DUPLICATE_REGISTRATION"]
+
+    def test_unresolved_registration_target_is_a_warning(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                registrations=[SymbolRow("f", "", "a.c", 9, "ml_vanish")],
+            )
+        )
+        report = linker.report()
+        assert kinds(report) == ["LINK_UNRESOLVED_EXTERN"]
+        (diag,) = report.diagnostics
+        assert diag.category is Category.WARNING
+        assert "ml_vanish" in diag.message
+        assert "registered by" in diag.message
+
+    def test_unresolved_host_binding_is_a_warning(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                bindings=[SymbolRow("ml_missing", "", "lib.ml", 3)],
+            )
+        )
+        (diag,) = linker.report().diagnostics
+        assert diag.kind is Kind.LINK_UNRESOLVED_EXTERN
+        assert "bound by" in diag.message
+
+    def test_plain_undefined_extern_is_not_unresolved(self):
+        # an extern prototype alone (a libc declaration, say) creates no
+        # obligation; only registrations and host bindings do
+        linker = Linker()
+        linker.add(summary("a.c", externs=[export("memcpy", "void*(...)")]))
+        assert kinds(linker.report()) == []
+
+    def test_bindings_dedupe_across_units(self):
+        # every unit of an OCaml corpus reports the same shared host
+        # externals; the report must count and check them once
+        linker = Linker()
+        binding = SymbolRow("ml_f", "", "lib.ml", 2, "external f")
+        linker.add(
+            summary(
+                "a.c", exports=[export("ml_f", file="a.c")],
+                bindings=[binding],
+            )
+        )
+        linker.add(summary("b.c", bindings=[binding]))
+        report = linker.report()
+        assert report.bindings == 1
+        assert kinds(report) == []
+
+
+class TestLinkReport:
+    def _report(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                exports=[export("ml_f", file="a.c", line=3)],
+                bindings=[SymbolRow("ml_gone", "", "lib.ml", 7)],
+            )
+        )
+        return linker.report()
+
+    def test_render_has_header_and_footer(self):
+        text = self._report().render()
+        assert text.startswith("== link")
+        assert "1 unit(s)" in text
+        assert "0 error(s), 1 warning(s)" in text
+
+    def test_to_dict_is_json_shaped(self):
+        data = self._report().to_dict()
+        assert data["units"] == 1
+        assert data["tally"]["warnings"] == 1
+        (diag,) = data["diagnostics"]
+        assert diag["kind"] == "LINK_UNRESOLVED_EXTERN"
+
+    def test_add_dict_accepts_serialized_summaries(self):
+        linker = Linker()
+        linker.add_dict(
+            summary("a.c", exports=[export("ml_f", file="a.c")]).to_dict()
+        )
+        assert linker.report().exports == 1
+
+
+class TestDialectExtraction:
+    """Every dialect's analyze() must attach a usable summary."""
+
+    CORPORA = {
+        "ocaml": "examples/link/ocaml",
+        "pyext": "examples/link/pyext",
+        "jni": "examples/link/jni",
+    }
+
+    #: the exact seeded bugs per corpus (2 errors + 1 warning each)
+    EXPECTED = {
+        "ocaml": [
+            "LINK_CONFLICTING_DECL",
+            "LINK_DUPLICATE_DEFINITION",
+            "LINK_UNRESOLVED_EXTERN",
+        ],
+        "pyext": [
+            "LINK_CONFLICTING_DECL",
+            "LINK_DUPLICATE_REGISTRATION",
+            "LINK_UNRESOLVED_EXTERN",
+        ],
+        "jni": [
+            "LINK_CONFLICTING_DECL",
+            "LINK_DUPLICATE_REGISTRATION",
+            "LINK_UNRESOLVED_EXTERN",
+        ],
+    }
+
+    @pytest.mark.parametrize("dialect", sorted(CORPORA))
+    def test_seeded_corpus_is_per_unit_clean_but_link_dirty(self, dialect):
+        project = Project.from_directory(
+            self.CORPORA[dialect], dialect=dialect
+        )
+        report = run_batch(project.to_requests(), jobs=1, cache=None)
+        linker = Linker()
+        for result in report.results:
+            assert result.failure is None
+            assert list(result.diagnostics) == []
+            assert result.summary is not None
+            linker.add_dict(result.summary)
+        link_report = linker.report()
+        assert kinds(link_report) == sorted(self.EXPECTED[dialect])
+        assert link_report.tally()["errors"] == 2
+        assert link_report.tally()["warnings"] == 1
+
+    def test_summaries_survive_result_serialization(self):
+        from repro.engine import CheckResult
+
+        project = Project.from_directory(
+            self.CORPORA["ocaml"], dialect="ocaml"
+        )
+        report = run_batch(project.to_requests(), jobs=1, cache=None)
+        linker = Linker()
+        for result in report.results:
+            rebuilt = CheckResult.from_dict(result.to_dict())
+            assert rebuilt.summary == result.summary
+            linker.add_dict(rebuilt.summary)
+        assert kinds(linker.report()) == sorted(self.EXPECTED["ocaml"])
