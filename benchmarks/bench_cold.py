@@ -38,6 +38,7 @@ from pathlib import Path
 from repro.api import Project
 from repro.engine import CheckRequest, run_batch
 from repro.source import SourceFile
+from repro.telemetry import set_hooks_enabled
 
 ROOT = Path(__file__).resolve().parent.parent
 EXAMPLES = ROOT / "examples"
@@ -161,6 +162,49 @@ def time_cold(requests: list[CheckRequest], repeats: int) -> float:
     return best
 
 
+def measure_telemetry_off_overhead(units: int, repeats: int) -> float:
+    """What the *disabled* telemetry hooks cost, as a cold-time ratio.
+
+    The instrumentation sites in the analysis call
+    :func:`repro.telemetry.span` and the gated metrics helpers
+    unconditionally; with no tracer installed and metrics off they must
+    be free.  This times the same cold sweep in the normal disabled
+    state and with :func:`set_hooks_enabled` bypassing the hooks
+    entirely, and returns ``normal / bypassed - 1`` — the residue the
+    ``--max-telemetry-overhead`` gate bounds below 2%.
+
+    The gate is one-sided — only a *positive* residue fails it — and a
+    real hook cost would show up in every measurement, while runner load
+    spikes inflate only some of them.  So the estimate is the minimum
+    over a few independent blocks, each an interleaved best-of sweep
+    with the mode order alternating per pair to cancel drift.
+    """
+    requests = build_corpus("ocaml", units)
+    run_batch(requests[:3], jobs=1, cache=None)  # absorb warmup once
+
+    def sweep() -> float:
+        started = time.perf_counter()
+        run_batch(requests, jobs=1, cache=None)
+        return time.perf_counter() - started
+
+    def block(pairs: int) -> float:
+        normal = bypassed = float("inf")
+        for index in range(pairs):
+            order = (True, False) if index % 2 == 0 else (False, True)
+            for hooks in order:
+                set_hooks_enabled(hooks)
+                if hooks:
+                    normal = min(normal, sweep())
+                else:
+                    bypassed = min(bypassed, sweep())
+        return normal / max(bypassed, 1e-9) - 1.0
+
+    try:
+        return min(block(max(4, repeats)) for _ in range(3))
+    finally:
+        set_hooks_enabled(True)
+
+
 # -- diagnostics equivalence ----------------------------------------------------
 
 
@@ -212,6 +256,13 @@ def main(argv=None) -> int:
         type=float,
         default=2.0,
         help="required cold per-unit speedup vs the frozen baseline",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=0.02,
+        help="allowed cold-time ratio overhead of the disabled telemetry "
+        "hooks vs fully bypassed hooks (default: 0.02 = 2%%)",
     )
     parser.add_argument(
         "--record-baseline",
@@ -282,6 +333,21 @@ def main(argv=None) -> int:
                     )
         dialects[dialect] = entry
 
+    # telemetry-off gate: disabled hooks must be indistinguishable from
+    # no hooks (best-of-3 both ways absorbs scheduler noise)
+    telemetry_overhead = measure_telemetry_off_overhead(
+        min(units, 30), max(5, repeats)
+    )
+    if (
+        not args.record_baseline
+        and telemetry_overhead > args.max_telemetry_overhead
+    ):
+        failures.append(
+            f"telemetry: disabled-hook overhead "
+            f"{telemetry_overhead * 100:.2f}% > allowed "
+            f"{args.max_telemetry_overhead * 100:.2f}%"
+        )
+
     # equivalence gate: byte-identical diagnostics on the real examples
     equivalence: dict[str, bool] = {}
     for dialect in CORPORA:
@@ -333,6 +399,8 @@ def main(argv=None) -> int:
         "host_speed_scale": round(scale, 3),
         "min_speedup": args.min_speedup,
         "baseline": BASELINE_PATH.name if baseline is not None else None,
+        "telemetry_off_overhead": round(telemetry_overhead, 4),
+        "max_telemetry_overhead": args.max_telemetry_overhead,
         "dialects": dialects,
         "gates": {
             "diagnostics_byte_identical": equivalence,

@@ -1,8 +1,8 @@
 """Benchmark-trend harness: one comparable number per PR.
 
-Runs the seven engine benchmarks (``bench_batch``, ``bench_pyext``,
+Runs the eight engine benchmarks (``bench_batch``, ``bench_pyext``,
 ``bench_serve``, ``bench_jni``, ``bench_cold``, ``bench_concurrency``,
-``bench_link``) through their common ``--json`` flag,
+``bench_link``, ``bench_telemetry``) through their common ``--json`` flag,
 merges the payloads into one schema-versioned trend document, and
 compares the speedup/warm-cache *ratios* against the newest committed
 ``BENCH_*.json`` at the repository root.  Ratios — not wall times — are
@@ -16,8 +16,8 @@ reads.
 
 Run::
 
-    python benchmarks/bench_trend.py --quick --output BENCH_PR7.json
-    python benchmarks/bench_trend.py --compare-only BENCH_PR7.json
+    python benchmarks/bench_trend.py --quick --output BENCH_PR8.json
+    python benchmarks/bench_trend.py --compare-only BENCH_PR8.json
 """
 
 from __future__ import annotations
@@ -60,7 +60,11 @@ BENCHMARKS: dict[str, dict[str, list[str]]] = {
     },
     "cold": {
         "script": "bench_cold.py",
-        "quick": ["--quick"],
+        # quick runs get the same speedup headroom the CI smoke gate
+        # uses: the trend sweeps seven other benchmarks back to back, so
+        # the frozen-baseline speedup wobbles with runner load in a way
+        # the full run (and the standalone gate) does not
+        "quick": ["--quick", "--min-speedup", "1.5"],
         "full": [],
     },
     "concurrency": {
@@ -72,6 +76,11 @@ BENCHMARKS: dict[str, dict[str, list[str]]] = {
         "script": "bench_link.py",
         "quick": ["--quick"],
         "full": ["--units", "10000", "--jobs", "4"],
+    },
+    "telemetry": {
+        "script": "bench_telemetry.py",
+        "quick": ["--quick"],
+        "full": [],
     },
 }
 
@@ -94,6 +103,7 @@ RATIO_DIRECTIONS: dict[str, str] = {
     # cross-unit link recall over the seeded + planted bug corpora; the
     # RSS cap is gated inside bench_link itself (absolute, not a ratio)
     "link_recall": "higher",
+    "telemetry_overhead_ratio": "lower",
 }
 
 #: hardware-conditional ratios: present-or-absent is legitimate, so
@@ -119,6 +129,10 @@ RATIO_FLOORS: dict[str, float] = {
     # scheduling jitter alone; only a blow-up (pickling whole trees,
     # pool thrash) should fire the gate
     "batch_parallel_overhead": 1.5,
+    # telemetry-on overhead on a sub-50ms sweep jitters a few percent
+    # run to run; bench_telemetry's own 1.25x absolute gate catches a
+    # real blow-up, the trend gate only needs to see drift above noise
+    "telemetry_overhead_ratio": 1.15,
 }
 
 
@@ -180,6 +194,9 @@ def extract_ratios(payloads: dict[str, dict]) -> dict[str, float]:
     link = payloads.get("link")
     if link is not None:
         ratios["link_recall"] = link["link_recall"]
+    telemetry = payloads.get("telemetry")
+    if telemetry is not None:
+        ratios["telemetry_overhead_ratio"] = telemetry["overhead_ratio"]
     cold = payloads.get("cold")
     if cold is not None:
         # recorded for the trajectory but not regression-gated: the cold
@@ -304,9 +321,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(ROOT / "BENCH_PR7.json"),
+        default=str(ROOT / "BENCH_PR8.json"),
         metavar="PATH",
-        help="merged trend document to write (default: BENCH_PR7.json)",
+        help="merged trend document to write (default: BENCH_PR8.json)",
     )
     parser.add_argument(
         "--pr",

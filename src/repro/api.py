@@ -109,19 +109,29 @@ class Project:
     # -- engine integration ----------------------------------------------------
 
     def to_request(
-        self, options: Optional[Options] = None, name: str = "<project>"
+        self,
+        options: Optional[Options] = None,
+        name: str = "<project>",
+        *,
+        trace: bool = False,
     ) -> CheckRequest:
-        """The whole project as one translation unit (single-shot path)."""
+        """The whole project as one translation unit (single-shot path).
+
+        ``trace=True`` asks the worker to record phase spans onto the
+        result (see :mod:`repro.telemetry`); it never changes the
+        analysis or its cache key.
+        """
         return CheckRequest(
             name=name,
             c_sources=tuple(self.c_sources),
             ocaml_sources=tuple(self.ocaml_sources),
             options=options or Options(),
             dialect=self.dialect,
+            trace=trace,
         )
 
     def to_requests(
-        self, options: Optional[Options] = None
+        self, options: Optional[Options] = None, *, trace: bool = False
     ) -> list[CheckRequest]:
         """One :class:`CheckRequest` per C file, sharing the OCaml side.
 
@@ -132,7 +142,7 @@ class Project:
         options = options or Options()
         return [
             replace(
-                self.to_request(options, name=source.filename),
+                self.to_request(options, name=source.filename, trace=trace),
                 c_sources=(source,),
             )
             for source in self.c_sources
@@ -148,9 +158,12 @@ class Project:
         *,
         jobs: int = 1,
         cache: Optional[Cache] = None,
+        trace: bool = False,
     ) -> BatchReport:
         """Analyze every C file as its own unit via the batch engine."""
-        return run_batch(self.to_requests(options), jobs=jobs, cache=cache)
+        return run_batch(
+            self.to_requests(options, trace=trace), jobs=jobs, cache=cache
+        )
 
 
 class Session:

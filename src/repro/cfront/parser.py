@@ -27,6 +27,7 @@ from ..core.srctypes import (
     CSrcVoid,
 )
 from ..source import SourceFile, Span
+from ..telemetry import span as _tspan
 from . import ast
 from .lexer import TokKind, Token, tokenize
 
@@ -771,7 +772,12 @@ def parse_c(
     source: SourceFile, hints: Optional[ParseHints] = None
 ) -> ast.TranslationUnit:
     """Parse one C translation unit."""
-    return Parser(source, hints).parse_translation_unit()
+    # the Parser constructor runs the whole master-regex scan, so the
+    # two spans really are the lex and parse phases
+    with _tspan("lex", cat="phase", file=source.filename):
+        parser = Parser(source, hints)
+    with _tspan("parse", cat="phase", file=source.filename):
+        return parser.parse_translation_unit()
 
 
 def parse_c_text(

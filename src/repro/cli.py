@@ -42,6 +42,7 @@ smoke test.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -66,6 +67,18 @@ from .engine import (
 from .sarif import batch_sarif_log, sarif_log
 from .server.async_daemon import DEFAULT_MAX_QUEUE, DEFAULT_WORKERS
 from .source import SourceFile
+from .telemetry import (
+    REGISTRY,
+    Exposition,
+    JsonLogger,
+    Tracer,
+    aggregate_phases,
+    install,
+    set_metrics_enabled,
+    span,
+    uninstall,
+    write_trace,
+)
 
 
 def _add_dialect_flag(command: argparse.ArgumentParser) -> None:
@@ -179,6 +192,79 @@ def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flags(
+    command: argparse.ArgumentParser, *, metrics: bool = True
+) -> None:
+    command.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record phase-level spans and write a Chrome trace_event "
+        "JSON file (load it in Perfetto or chrome://tracing)",
+    )
+    if metrics:
+        command.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="FILE",
+            help="enable the metrics registry and write a Prometheus "
+            "text exposition to FILE when the run finishes",
+        )
+
+
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace):
+    """Install whatever surfaces the telemetry flags asked for.
+
+    Yields the process-global :class:`Tracer` (``None`` without
+    ``--trace-out``).  With no flags this is a no-op — the hooks in the
+    analysis stay on their disabled fast path and output is untouched.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    tracer = Tracer() if trace_out else None
+    if tracer is not None:
+        install(tracer)
+    if metrics_out:
+        # the exposition describes THIS run, not whatever an embedding
+        # process (tests, notebooks) pushed before it
+        REGISTRY.reset()
+        set_metrics_enabled(True)
+    try:
+        yield tracer
+    finally:
+        if tracer is not None:
+            uninstall()
+            write_trace(trace_out, tracer.export())
+        if metrics_out:
+            set_metrics_enabled(False)
+
+
+def _write_metrics(
+    path: str, cache=None, run_stats: Optional[dict] = None
+) -> None:
+    """Prometheus exposition for one CLI run: the pushed registry plus
+    snapshot families (cold-tier cache stats, run totals)."""
+    exposition = Exposition(REGISTRY)
+    if cache is not None and hasattr(cache, "stats"):
+        exposition.add_stats(
+            "mlffi_cache",
+            cache.stats(),
+            kind="counter",
+            tier=getattr(cache, "tier", "disk"),
+        )
+    if run_stats:
+        exposition.add_stats("mlffi_run", run_stats, kind="gauge")
+    Path(path).write_text(exposition.render(), encoding="utf-8")
+
+
+def _telemetry_stanza(tracer: Optional[Tracer]) -> Optional[dict]:
+    """The per-phase breakdown JSON reports carry when tracing is on."""
+    if tracer is None:
+        return None
+    return {"phases": aggregate_phases(tracer.export())}
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mlffi-check",
@@ -198,6 +284,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_ablation_flags(check)
     _add_strict_flag(check)
     _add_profile_flag(check)
+    _add_telemetry_flags(check)
     check.add_argument(
         "--format",
         choices=("text", "json", "sarif"),
@@ -228,6 +315,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(batch)
     _add_strict_flag(batch)
     _add_profile_flag(batch)
+    _add_telemetry_flags(batch)
     batch.add_argument(
         "--format",
         choices=("text", "json", "sarif"),
@@ -274,6 +362,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(link)
     _add_strict_flag(link)
     _add_profile_flag(link)
+    _add_telemetry_flags(link)
     _add_ablation_flags(link)
     link.add_argument(
         "--format",
@@ -308,6 +397,14 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(serve)
     _add_cache_flags(serve)
     _add_ablation_flags(serve)
+    _add_telemetry_flags(serve, metrics=False)
+    serve.add_argument(
+        "--log-json",
+        default=None,
+        metavar="FILE",
+        help="append one JSON event per served request to FILE (async "
+        "TCP daemon only): method, id, outcome, duration, coalesce role",
+    )
     serve.add_argument(
         "--tcp",
         metavar="HOST:PORT",
@@ -431,7 +528,27 @@ def _run_check(args: argparse.Namespace) -> int:
         flow_sensitive=not args.no_flow_sensitive,
         gc_effects=not args.no_gc_effects,
     )
-    report = _profiled(args, lambda: project.analyze(options))
+    with _telemetry(args) as tracer:
+
+        def run():
+            # the single-shot path runs in-process, so phase spans land
+            # on the installed tracer directly; the unit span is ours
+            with span("<project>", cat="unit", dialect=args.dialect):
+                return project.analyze(options)
+
+        report = _profiled(args, run)
+        if args.metrics_out:
+            _write_metrics(
+                args.metrics_out,
+                run_stats={
+                    "elapsed_seconds": report.elapsed_seconds,
+                    "unification_steps": report.unification_steps,
+                    **{
+                        f"diag_{column}": count
+                        for column, count in report.tally().items()
+                    },
+                },
+            )
     if args.format == "sarif":
         log = sarif_log(report.diagnostics, tool_version=__version__)
         print(json.dumps(log, indent=2, sort_keys=True))
@@ -494,7 +611,7 @@ def _stream_scan(args: argparse.Namespace, options: Options):
         return None
     hosts = tuple(scan.hosts)
 
-    def requests():
+    def requests(trace: bool = False):
         for source in scan.iter_units():
             yield CheckRequest(
                 name=source.filename,
@@ -502,6 +619,7 @@ def _stream_scan(args: argparse.Namespace, options: Options):
                 ocaml_sources=hosts,
                 options=options,
                 dialect=args.dialect,
+                trace=trace,
             )
 
     return requests
@@ -532,21 +650,31 @@ def _run_batch_stream(args: argparse.Namespace, options: Options) -> int:
         else:
             print("\n".join(render_unit(result)))
 
-    stats = _profiled(
-        args,
-        lambda: stream_batch(
-            requests(),
-            jobs=args.jobs,
-            cache=cache,
-            on_result=on_result,
-            window=args.window or None,
-        ),
-    )
-    link_report = linker.report() if linker is not None else None
+    with _telemetry(args) as tracer:
+
+        def run():
+            with span("batch", cat="phase"):
+                return stream_batch(
+                    requests(trace=tracer is not None),
+                    jobs=args.jobs,
+                    cache=cache,
+                    on_result=on_result,
+                    window=args.window or None,
+                )
+
+        stats = _profiled(args, run)
+        link_report = linker.report() if linker is not None else None
+        if args.metrics_out:
+            _write_metrics(
+                args.metrics_out, cache, run_stats=stats.to_dict()
+            )
+        telemetry = _telemetry_stanza(tracer)
     if args.format == "json":
         trailer: dict = {"stream": stats.to_dict()}
         if link_report is not None:
             trailer["link"] = link_report.to_dict()
+        if telemetry is not None:
+            trailer["telemetry"] = telemetry
         print(json.dumps(trailer, sort_keys=True))
     else:
         if link_report is not None:
@@ -579,10 +707,32 @@ def _run_batch(args: argparse.Namespace) -> int:
         )
         return 125
     cache = _make_cache(args)
-    report = _profiled(
-        args, lambda: project.analyze_batch(options, jobs=args.jobs, cache=cache)
-    )
-    link_report = _link_results(report.results) if args.link else None
+    with _telemetry(args) as tracer:
+
+        def run():
+            with span("batch", cat="phase"):
+                return project.analyze_batch(
+                    options,
+                    jobs=args.jobs,
+                    cache=cache,
+                    trace=tracer is not None,
+                )
+
+        report = _profiled(args, run)
+        link_report = _link_results(report.results) if args.link else None
+        if args.metrics_out:
+            _write_metrics(
+                args.metrics_out,
+                cache,
+                run_stats={
+                    "units": len(report.results),
+                    "failures": report.failures,
+                    "coalesced": report.coalesced,
+                    "elapsed_seconds": report.elapsed_seconds,
+                    "jobs": report.jobs,
+                },
+            )
+        telemetry = _telemetry_stanza(tracer)
     if args.format == "sarif":
         log = batch_sarif_log(
             report,
@@ -596,6 +746,8 @@ def _run_batch(args: argparse.Namespace) -> int:
         doc = report.to_dict()
         if link_report is not None:
             doc["link"] = link_report.to_dict()
+        if telemetry is not None:
+            doc["telemetry"] = telemetry
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(report.render())
@@ -629,17 +781,26 @@ def _run_link(args: argparse.Namespace) -> int:
         if args.format == "text" and not args.quiet:
             print("\n".join(render_unit(result)))
 
-    stats = _profiled(
-        args,
-        lambda: stream_batch(
-            requests(),
-            jobs=args.jobs,
-            cache=cache,
-            on_result=on_result,
-            window=args.window or None,
-        ),
-    )
-    link_report = linker.report()
+    with _telemetry(args) as tracer:
+
+        def run():
+            with span("link-sweep", cat="phase"):
+                return stream_batch(
+                    requests(trace=tracer is not None),
+                    jobs=args.jobs,
+                    cache=cache,
+                    on_result=on_result,
+                    window=args.window or None,
+                )
+
+        stats = _profiled(args, run)
+        with span("link", cat="phase"):
+            link_report = linker.report()
+        if args.metrics_out:
+            _write_metrics(
+                args.metrics_out, cache, run_stats=stats.to_dict()
+            )
+        telemetry = _telemetry_stanza(tracer)
     if args.format == "sarif":
         log = sarif_log(link_report.diagnostics, tool_version=__version__)
         print(json.dumps(log, indent=2, sort_keys=True))
@@ -648,6 +809,8 @@ def _run_link(args: argparse.Namespace) -> int:
             "stream": stats.to_dict(),
             "link": link_report.to_dict(),
         }
+        if telemetry is not None:
+            doc["telemetry"] = telemetry
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(link_report.render())
@@ -675,6 +838,7 @@ def _build_engine(args: argparse.Namespace) -> Optional[IncrementalEngine]:
         options=options,
         jobs=args.jobs,
         cache=_make_cache(args),
+        trace=getattr(args, "trace_out", None) is not None,
     )
 
 
@@ -690,27 +854,43 @@ def _run_serve(args: argparse.Namespace) -> int:
     if engine is None:
         return 125
     service = AnalysisService(engine)
-    if args.tcp is None:
-        return serve_stdio(service)
-    host, _, port_text = args.tcp.rpartition(":")
+    # the daemon's metrics RPC reads pushed instruments (per-unit
+    # latencies, cache probes); serving without them would answer with
+    # snapshot counters only, so they stay on for the daemon's lifetime
+    set_metrics_enabled(True)
+    log = JsonLogger(path=args.log_json) if args.log_json else None
     try:
-        port = int(port_text)
-    except ValueError:
-        print(f"error: bad --tcp address: {args.tcp}", file=sys.stderr)
-        return 125
-    try:
-        if args.threaded:
-            return serve_tcp(service, host or "127.0.0.1", port)
-        return serve_async_tcp(
-            service,
-            host or "127.0.0.1",
-            port,
-            workers=max(1, args.workers),
-            max_queue=max(0, args.max_queue),
-            reuse_port=args.reuse_port,
-        )
-    except KeyboardInterrupt:
-        return 0
+        with _telemetry(args):
+            if args.tcp is None:
+                return serve_stdio(service, log=log)
+            host, _, port_text = args.tcp.rpartition(":")
+            try:
+                port = int(port_text)
+            except ValueError:
+                print(
+                    f"error: bad --tcp address: {args.tcp}", file=sys.stderr
+                )
+                return 125
+            try:
+                if args.threaded:
+                    return serve_tcp(
+                        service, host or "127.0.0.1", port, log=log
+                    )
+                return serve_async_tcp(
+                    service,
+                    host or "127.0.0.1",
+                    port,
+                    workers=max(1, args.workers),
+                    max_queue=max(0, args.max_queue),
+                    reuse_port=args.reuse_port,
+                    log=log,
+                )
+            except KeyboardInterrupt:
+                return 0
+    finally:
+        set_metrics_enabled(False)
+        if log is not None:
+            log.close()
 
 
 def _run_watch(args: argparse.Namespace) -> int:

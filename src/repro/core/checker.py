@@ -25,6 +25,7 @@ from ..cfront.ir import ProgramIR
 from ..cfront.macros import POLYMORPHIC_BUILTINS, builtin_entries
 from ..diagnostics import DiagnosticBag, Kind
 from ..source import DUMMY_SPAN, Span
+from ..telemetry import span as _tspan
 from .constraints import EffectConstraintStore, PsiConstraintStore
 from .environment import Entry
 from .exprs import Context, Options
@@ -221,25 +222,31 @@ class Checker:
 
     def run(self) -> AnalysisReport:
         started = time.perf_counter()
-        self._seed_functions()
-        self._seed_globals()
-        self._flag_poly_variant_users()
+        with _tspan("seed", cat="phase"):
+            self._seed_functions()
+            self._seed_globals()
+            self._flag_poly_variant_users()
 
+        # the per-function fixpoints are where unification and the B/I/T
+        # dataflow actually run; the span tags how many were analyzed
+        definitions = [fn for fn in self.program.functions if fn.is_definition]
         results: dict[str, FunctionResult] = {}
-        for fn in self.program.functions:
-            if not fn.is_definition:
-                continue
-            analyzer = FunctionAnalyzer(self.ctx, fn)
-            results[fn.name] = analyzer.run()
+        with _tspan("dataflow", cat="phase", functions=len(definitions)):
+            for fn in definitions:
+                analyzer = FunctionAnalyzer(self.ctx, fn)
+                results[fn.name] = analyzer.run()
 
-        self.ctx.psi_constraints.check(self.ctx.unifier, self.ctx.diagnostics)
-        gc_summary = discharge_gc_checks(
-            self.ctx.pending_gc_checks,
-            self.ctx.effect_constraints,
-            self.ctx.unifier,
-            self.ctx.diagnostics,
-        )
-        self._check_poly_params()
+        with _tspan("unify-constraints", cat="phase"):
+            self.ctx.psi_constraints.check(
+                self.ctx.unifier, self.ctx.diagnostics
+            )
+            gc_summary = discharge_gc_checks(
+                self.ctx.pending_gc_checks,
+                self.ctx.effect_constraints,
+                self.ctx.unifier,
+                self.ctx.diagnostics,
+            )
+            self._check_poly_params()
 
         elapsed = time.perf_counter() - started
         return AnalysisReport(

@@ -42,6 +42,9 @@ DEFAULT_MAX_ENTRIES = 10_000
 class ResultCache:
     """Filesystem-backed store of :class:`CheckResult` keyed by content hash."""
 
+    #: tier name surfaced in ``status``/``metrics`` breakdowns
+    tier = "disk"
+
     def __init__(
         self,
         directory: str | os.PathLike,
@@ -180,6 +183,8 @@ class MemoryCache:
     ``wall_seconds`` on hits — can never corrupt the cached copy.
     """
 
+    tier = "memory"
+
     def __init__(self, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES):
         self.max_entries = max_entries
         self.hits = 0
@@ -279,6 +284,7 @@ class TieredCache:
 class NullCache:
     """The ``--no-cache`` policy: every lookup misses, nothing is stored."""
 
+    tier = "null"
     hits = 0
     evictions = 0
 

@@ -35,6 +35,7 @@ from ..core.exprs import Options
 from ..corpus import read_source, scan_tree, unit_suffixes
 from ..linker import Linker, LinkReport
 from ..source import SourceFile
+from ..telemetry import span
 from .cache import DEFAULT_MAX_ENTRIES, MemoryCache, NullCache, TieredCache
 from .jobs import BatchReport, CheckRequest, CheckResult
 from .scheduler import run_batch
@@ -146,11 +147,15 @@ class IncrementalEngine:
         jobs: int = 1,
         cache=None,
         memory_max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        trace: bool = False,
     ):
         self.root = Path(_normalize(root, Path.cwd()))
         self.dialect = dialect
         self.options = options or Options()
         self.jobs = jobs
+        #: when set, every built request asks its worker for phase spans
+        self.trace = trace
+        self.started_monotonic = time.monotonic()
         self.memory = MemoryCache(memory_max_entries)
         self.cold = cache if cache is not None else NullCache()
         self.cache = TieredCache(self.memory, self.cold)
@@ -194,6 +199,7 @@ class IncrementalEngine:
             ocaml_sources=self._host_tuple(),
             options=self.options,
             dialect=self.dialect,
+            trace=self.trace,
         )
 
     def _index_unit(self, state: UnitState) -> None:
@@ -305,10 +311,14 @@ class IncrementalEngine:
     def _reused_result(self, state: UnitState) -> CheckResult:
         """A clean unit's resident result, copied so report consumers can
         never mutate engine state."""
+        copy_started = time.perf_counter()
         result = CheckResult.from_dict(state.payload)
         result.from_cache = True
         result.cache_tier = "memory"
         result.wall_seconds = 0.0
+        # serving from resident state is this check's only cost for the
+        # unit; unlike wall_seconds it is measured, never a silent 0.0
+        result.probe_seconds = time.perf_counter() - copy_started
         return result
 
     def check(
@@ -337,9 +347,10 @@ class IncrementalEngine:
                 or (name in self._dirty and (wanted is None or name in wanted))
             ]
             requests = [self._units[name].request for name in candidates]
-            sub = run_batch(
-                requests, jobs=jobs or self.jobs, cache=self.cache
-            )
+            with span("engine-check", cat="phase", dirty=len(candidates)):
+                sub = run_batch(
+                    requests, jobs=jobs or self.jobs, cache=self.cache
+                )
             submitted: dict[str, CheckResult] = {}
             for name, result in zip(candidates, sub.results):
                 # resident state keeps the payload: the report's objects
@@ -389,7 +400,7 @@ class IncrementalEngine:
         """
         report = self.check(jobs=jobs)
         started = time.perf_counter()
-        with self._lock:
+        with self._lock, span("link", cat="phase", units=len(self._units)):
             linker = Linker()
             for name in sorted(self._units):
                 payload = self._units[name].payload
@@ -457,17 +468,32 @@ class IncrementalEngine:
                 ),
                 "graph": self.graph.stats(),
                 "link": dict(self._last_link) if self._last_link else None,
-                "cache": {
-                    "memory": self.memory.stats(),
-                    # the cold tier may be the per-process ResultCache or
-                    # the cross-process SharedResultStore; either way its
-                    # stats ride under the stable "disk" key
-                    "disk": self.cold.stats()
-                    if hasattr(self.cold, "stats")
-                    else {
-                        "hits": getattr(self.cold, "hits", 0),
-                        "misses": getattr(self.cold, "misses", 0),
-                        "evictions": getattr(self.cold, "evictions", 0),
-                    },
-                },
+                "uptime_seconds": round(
+                    time.monotonic() - self.started_monotonic, 3
+                ),
+                "cache": self.cache_status(),
             }
+
+    def cache_status(self) -> dict:
+        """Per-tier hit/miss breakdown plus totals, for ``status`` and
+        the ``metrics`` exposition."""
+        memory = self.memory.stats()
+        # the cold tier may be the per-process ResultCache or the
+        # cross-process SharedResultStore; either way its stats ride
+        # under the stable "disk" key, with the real tier named
+        cold = (
+            self.cold.stats()
+            if hasattr(self.cold, "stats")
+            else {
+                "hits": getattr(self.cold, "hits", 0),
+                "misses": getattr(self.cold, "misses", 0),
+                "evictions": getattr(self.cold, "evictions", 0),
+            }
+        )
+        return {
+            "memory": memory,
+            "disk": cold,
+            "cold_tier": getattr(self.cold, "tier", "disk"),
+            "hits": memory.get("hits", 0) + cold.get("hits", 0),
+            "misses": cold.get("misses", 0),
+        }

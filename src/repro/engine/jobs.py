@@ -41,7 +41,10 @@ from ..source import SourceFile
 #: v6: results carry the per-unit InterfaceSummary the whole-program
 #: linker consumes; pre-link entries would replay without one and the
 #: link pass would silently see an empty corpus.
-CACHE_SCHEMA_VERSION = 6
+#: v7: results carry ``probe_seconds`` (the measured cost of serving a
+#: cache hit, distinct from the analysis wall time) so trend math over
+#: replayed entries never divides by a silent 0.0.
+CACHE_SCHEMA_VERSION = 7
 
 
 def _digest_sources(sources: Iterable[SourceFile]) -> str:
@@ -87,6 +90,11 @@ class CheckRequest:
     ocaml_sources: tuple[SourceFile, ...] = ()
     options: Options = field(default_factory=Options)
     dialect: str = "ocaml"
+    #: record phase spans while analyzing this unit (see
+    #: :mod:`repro.telemetry`).  Deliberately excluded from
+    #: :meth:`cache_key`: tracing observes the analysis, it never
+    #: changes the outcome.
+    trace: bool = False
 
     def cache_key(self) -> str:
         """Content hash identifying this unit's analysis outcome.
@@ -118,6 +126,12 @@ class CheckResult:
     #: miss, the cache probe for a hit (``elapsed_seconds`` is only the
     #: checker fixpoint).  This is what cold-vs-warm plots should use.
     wall_seconds: float = 0.0
+    #: measured cost of *serving* this result when it was not freshly
+    #: analyzed: the cache probe (scheduler/stream hit paths) or the
+    #: resident-state copy (incremental reuse).  Always > 0 for served
+    #: results — trend math can divide by it where ``wall_seconds`` and
+    #: ``elapsed_seconds`` may legitimately be 0.0.  0.0 for fresh runs.
+    probe_seconds: float = 0.0
     cache_key: str = ""
     from_cache: bool = False
     #: which tier satisfied a hit: "memory", "disk", "store" (the
@@ -131,6 +145,13 @@ class CheckResult:
     #: rides every cache tier so the link pass re-runs over summaries,
     #: never sources
     summary: Optional[dict] = None
+    #: Chrome trace events recorded while this unit analyzed (only when
+    #: the request asked for tracing).  A per-run observation, not an
+    #: analysis outcome: it crosses the worker boundary by pickle,
+    #: is absorbed into the parent tracer by the scheduler, and is
+    #: deliberately NOT part of :meth:`to_dict` — cached payloads and
+    #: JSON reports stay byte-identical with tracing on or off.
+    trace_events: Optional[list] = None
 
     @classmethod
     def from_report(
@@ -165,6 +186,7 @@ class CheckResult:
             "unification_steps": self.unification_steps,
             "elapsed_seconds": self.elapsed_seconds,
             "wall_seconds": self.wall_seconds,
+            "probe_seconds": self.probe_seconds,
             "cache_key": self.cache_key,
             "from_cache": self.from_cache,
             "cache_tier": self.cache_tier,
@@ -183,6 +205,7 @@ class CheckResult:
             unification_steps=data.get("unification_steps", 0),
             elapsed_seconds=data.get("elapsed_seconds", 0.0),
             wall_seconds=data.get("wall_seconds", 0.0),
+            probe_seconds=data.get("probe_seconds", 0.0),
             cache_key=data.get("cache_key", ""),
             from_cache=data.get("from_cache", False),
             cache_tier=data.get("cache_tier", ""),

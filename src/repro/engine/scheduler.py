@@ -20,6 +20,8 @@ import os
 import time
 from typing import Optional, Protocol, Sequence
 
+from ..telemetry import current_tracer, span
+from ..telemetry.metrics import count_cache, observe_unit
 from .jobs import BatchReport, CheckRequest, CheckResult
 from .worker import run_request
 
@@ -75,10 +77,19 @@ def run_batch(
         cached = cache.load(key)
         if cached is not None:
             cached.name = request.name  # cache files are key-addressed
-            # a hit's wall time is what the batch actually paid: the probe
-            cached.wall_seconds = time.perf_counter() - probe_started
+            # a hit's wall time is what the batch actually paid: the
+            # probe — recorded on both fields, because a replayed entry
+            # arrives with the *original* run's wall_seconds overwritten
+            # while probe_seconds is the only always-fresh, always-
+            # nonzero cost of serving it
+            probe = time.perf_counter() - probe_started
+            cached.wall_seconds = probe
+            cached.probe_seconds = probe
+            count_cache(cached.cache_tier, hit=True)
+            observe_unit(request.dialect, probe, fresh=False)
             results[index] = cached
         else:
+            count_cache("", hit=False)
             pending.append((index, request, key))
 
     # intra-batch coalescing: two requests with the same cache key are
@@ -98,14 +109,23 @@ def run_batch(
 
     fresh: Optional[list[CheckResult]] = None
     worker_count = min(jobs, len(unique))
-    if worker_count > 1:
-        fresh = _run_pool([(req, key) for _, req, key in unique], worker_count)
-    if fresh is None:
-        fresh = [run_request(req, key) for _, req, key in unique]
+    with span("analyze", cat="phase", units=len(unique)):
+        if worker_count > 1:
+            fresh = _run_pool(
+                [(req, key) for _, req, key in unique], worker_count
+            )
+        if fresh is None:
+            fresh = [run_request(req, key) for _, req, key in unique]
 
+    tracer = current_tracer()
     evictions_before = getattr(cache, "evictions", 0)
     by_key: dict[str, CheckResult] = {}
-    for (index, _req, key), result in zip(unique, fresh):
+    for (index, req, key), result in zip(unique, fresh):
+        if tracer is not None and result.trace_events:
+            # worker-process spans join the parent timeline exactly once
+            tracer.absorb(result.trace_events)
+            result.trace_events = None
+        observe_unit(req.dialect, result.wall_seconds, fresh=True)
         if cache is not None:
             cache.store(key, result)
         if key:

@@ -64,6 +64,9 @@ class SharedResultStore:
     :class:`~repro.engine.cache.ResultCache` can.
     """
 
+    #: tier name surfaced in ``status``/``metrics`` breakdowns
+    tier = "store"
+
     def __init__(
         self,
         directory: str | os.PathLike,

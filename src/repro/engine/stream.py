@@ -24,6 +24,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from ..diagnostics import DiagnosticBag
+from ..telemetry import current_tracer
+from ..telemetry.metrics import (
+    count_cache,
+    observe_stream_window,
+    observe_unit,
+)
 from .jobs import CheckRequest, CheckResult
 from .scheduler import Cache, default_jobs
 from .worker import run_request
@@ -115,15 +121,21 @@ def stream_batch(
         except (ImportError, OSError, PermissionError, ValueError):
             pool = None  # degrade to sequential, like run_batch
 
-    #: (key, ready CheckResult | None, in-flight AsyncResult | None)
+    #: (key, dialect, ready CheckResult | None, in-flight AsyncResult | None)
     pending: deque = deque()
+    tracer = current_tracer()
 
     def drain_one() -> None:
-        key, result, handle = pending.popleft()
+        key, dialect, result, handle = pending.popleft()
         if handle is not None:
             result = handle.get()
             if cache is not None:
                 cache.store(key, result)
+        if not result.from_cache:
+            observe_unit(dialect, result.wall_seconds, fresh=True)
+        if tracer is not None and result.trace_events:
+            tracer.absorb(result.trace_events)
+            result.trace_events = None
         stats.absorb(result)
         if on_result is not None:
             on_result(result)
@@ -138,20 +150,33 @@ def stream_batch(
                 cached = cache.load(key)
                 if cached is not None:
                     cached.name = request.name
-                    cached.wall_seconds = (
-                        time.perf_counter() - probe_started
-                    )
-                    pending.append((key, cached, None))
+                    # same contract as the batch scheduler: the probe is
+                    # both the wall cost and the always-nonzero
+                    # probe_seconds of a served hit
+                    probe = time.perf_counter() - probe_started
+                    cached.wall_seconds = probe
+                    cached.probe_seconds = probe
+                    count_cache(cached.cache_tier, hit=True)
+                    observe_unit(request.dialect, probe, fresh=False)
+                    pending.append((key, request.dialect, cached, None))
+                else:
+                    count_cache("", hit=False)
             if cached is None:
                 if pool is not None:
                     pending.append(
-                        (key, None, pool.apply_async(run_request, (request, key)))
+                        (
+                            key,
+                            request.dialect,
+                            None,
+                            pool.apply_async(run_request, (request, key)),
+                        )
                     )
                 else:
                     result = run_request(request, key)
                     if cache is not None:
                         cache.store(key, result)
-                    pending.append((key, result, None))
+                    pending.append((key, request.dialect, result, None))
+            observe_stream_window(len(pending))
             while len(pending) >= window:
                 drain_one()
         while pending:

@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..boundary import get_dialect
 from ..core.checker import AnalysisReport
+from ..telemetry import Tracer, use
 from .jobs import CheckRequest, CheckResult
 
 
@@ -30,15 +31,7 @@ def analyze_request(request: CheckRequest) -> AnalysisReport:
     return get_dialect(request.dialect).analyze(request)
 
 
-def run_request(
-    request: CheckRequest, cache_key: Optional[str] = None
-) -> CheckResult:
-    """Worker entry point: analyze one unit, flattened for the wire.
-
-    Analysis crashes (lexer/parser/lowering defects in user input) become a
-    ``failure`` on the result rather than poisoning the whole pool.
-    """
-    key = cache_key if cache_key is not None else request.cache_key()
+def _run_request(request: CheckRequest, key: str) -> CheckResult:
     started = time.perf_counter()
     try:
         report = analyze_request(request)
@@ -51,4 +44,30 @@ def run_request(
         )
     result = CheckResult.from_report(request.name, report, cache_key=key)
     result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def run_request(
+    request: CheckRequest, cache_key: Optional[str] = None
+) -> CheckResult:
+    """Worker entry point: analyze one unit, flattened for the wire.
+
+    Analysis crashes (lexer/parser/lowering defects in user input) become a
+    ``failure`` on the result rather than poisoning the whole pool.
+
+    A traced request (``request.trace``) records its phase spans into a
+    fresh per-request tracer — never the process-global one — so the
+    events can ride back on ``result.trace_events`` through the pickle
+    boundary and be absorbed into the parent's timeline.
+    """
+    key = cache_key if cache_key is not None else request.cache_key()
+    if not request.trace:
+        return _run_request(request, key)
+    tracer = Tracer()
+    with use(tracer):
+        with tracer.span(
+            request.name, cat="unit", args={"dialect": request.dialect}
+        ):
+            result = _run_request(request, key)
+    result.trace_events = tracer.export()
     return result

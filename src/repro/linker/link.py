@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from ..diagnostics import Diagnostic, DiagnosticBag, Kind
 from ..source import Position, Span
+from ..telemetry.metrics import count_link_conflicts
 from .summary import InterfaceSummary, SymbolRow
 
 #: registration-key separator; NUL never appears in parsed symbol text
@@ -226,6 +227,13 @@ class Linker:
                 f"'{target}' is {origin} {row.file or '<unknown>'} "
                 f"but defined in no linked unit",
             )
+
+        conflicts: dict[str, int] = {}
+        for diag in bag:
+            name = diag.kind.name.lower()
+            conflicts[name] = conflicts.get(name, 0) + 1
+        for kind_name, amount in conflicts.items():
+            count_link_conflicts(kind_name, amount)
 
         return LinkReport(
             diagnostics=bag,

@@ -27,6 +27,7 @@ from ..core.checker import AnalysisReport, Checker, InitialEnv
 from ..core.environment import Entry
 from ..engine.jobs import CheckRequest, repository_fingerprint
 from ..linker.extract import summarize_units
+from ..telemetry import span as _tspan
 from ..linker.summary import InterfaceSummary, SymbolRow
 from .repository import TypeRepository, build_initial_env
 
@@ -78,15 +79,18 @@ class OCamlDialect:
         return build_initial_env(self.repository_for(request))
 
     def analyze(self, request: CheckRequest) -> AnalysisReport:
-        initial_env = self.initial_env(request)
+        with _tspan("initial-env", cat="phase"):
+            initial_env = self.initial_env(request)
         units = [parse_c(source) for source in request.c_sources]
-        program = ProgramIR()
-        for unit in units:
-            program = program.merge(lower_unit(unit))
+        with _tspan("lower", cat="phase"):
+            program = ProgramIR()
+            for unit in units:
+                program = program.merge(lower_unit(unit))
         report = Checker(
             program, initial_env, request.options, dialect=self
         ).run()
-        report.summary = self.summarize(request, units).to_dict()
+        with _tspan("summarize", cat="phase"):
+            report.summary = self.summarize(request, units).to_dict()
         return report
 
     def summarize(self, request: CheckRequest, units) -> InterfaceSummary:

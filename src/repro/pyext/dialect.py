@@ -29,6 +29,7 @@ from ..engine.jobs import CheckRequest
 from ..linker.extract import function_row, summarize_units
 from ..linker.summary import InterfaceSummary, SymbolRow
 from ..source import SourceFile
+from ..telemetry import span as _tspan
 from . import formats, methods, refcount, runtime
 from .rewrite import rewrite_unit
 
@@ -70,24 +71,28 @@ class PyExtDialect:
 
     def analyze(self, request: CheckRequest) -> AnalysisReport:
         units = [self.parse(source) for source in request.c_sources]
-        initial_env = methods.build_initial_env(units)
+        with _tspan("initial-env", cat="phase"):
+            initial_env = methods.build_initial_env(units)
 
-        return_types = runtime.lowering_return_types()
-        program = ProgramIR()
-        for unit in units:
-            program = program.merge(
-                lower_unit(rewrite_unit(unit), extra_returns=return_types)
-            )
+        with _tspan("lower", cat="phase"):
+            return_types = runtime.lowering_return_types()
+            program = ProgramIR()
+            for unit in units:
+                program = program.merge(
+                    lower_unit(rewrite_unit(unit), extra_returns=return_types)
+                )
         report = Checker(
             program, initial_env, request.options, dialect=self
         ).run()
 
         # the dialect-specific passes read the *original* AST: format
         # strings and refcount operations are erased by the rewrite
-        for unit in units:
-            report.diagnostics.extend(formats.check_unit(unit))
-            report.diagnostics.extend(refcount.check_unit(unit))
-        report.summary = self.summarize(request, units).to_dict()
+        with _tspan("dialect-passes", cat="phase"):
+            for unit in units:
+                report.diagnostics.extend(formats.check_unit(unit))
+                report.diagnostics.extend(refcount.check_unit(unit))
+        with _tspan("summarize", cat="phase"):
+            report.summary = self.summarize(request, units).to_dict()
         return report
 
     def summarize(self, request: CheckRequest, units) -> InterfaceSummary:

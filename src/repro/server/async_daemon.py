@@ -38,9 +38,11 @@ import asyncio
 import contextlib
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
+from ..telemetry import JsonLogger, span
 from . import protocol
 from .service import AnalysisService, Overloaded
 
@@ -57,6 +59,7 @@ class _AsyncDaemon:
         *,
         workers: int,
         max_queue: int,
+        log: Optional[JsonLogger] = None,
     ):
         self.service = service
         self.pool = ThreadPoolExecutor(
@@ -64,13 +67,15 @@ class _AsyncDaemon:
         )
         self.service.load.configure(workers, max_queue)
         self.stopping = asyncio.Event()
+        self.log = log
 
     # -- request handling ------------------------------------------------------
 
-    async def respond(self, request: protocol.Request) -> str:
+    async def respond(self, request: protocol.Request) -> tuple[str, dict]:
+        """Serve one request; returns (wire frame, log metadata)."""
         if request.method == "check":
             return await self.respond_check(request)
-        if request.method in ("ping", "status", "invalidate"):
+        if request.method in ("ping", "status", "invalidate", "metrics"):
             # these all take the engine lock, which a running check holds
             # for its entire analysis — answered on the loop they would
             # stall every connection behind one cold check: off the loop
@@ -78,21 +83,32 @@ class _AsyncDaemon:
             response = await loop.run_in_executor(
                 self.pool, self.service.handle_request, request
             )
-            return protocol.encode(response)
-        # shutdown (and unknown-method errors) touch no engine state
-        return protocol.encode(self.service.handle_request(request))
+        else:
+            # shutdown (and unknown-method errors) touch no engine state
+            response = self.service.handle_request(request)
+        meta = {}
+        if "error" in response:
+            meta = {
+                "outcome": "error",
+                "code": response["error"].get("code"),
+            }
+        return protocol.encode(response), meta
 
-    async def respond_check(self, request: protocol.Request) -> str:
+    async def respond_check(
+        self, request: protocol.Request
+    ) -> tuple[str, dict]:
         service = self.service
         try:
             key = service.check_key(request.params)
         except protocol.ProtocolError as exc:
             return protocol.encode(
                 protocol.error_response(request.id, exc.code, str(exc))
-            )
+            ), {"outcome": "error", "code": exc.code}
         probed = service.coalescer.probe(key)
         if isinstance(probed, str):  # memo hit: the 10k-checks/sec path
-            return protocol.splice_result(request.id, probed)
+            return protocol.splice_result(request.id, probed), {
+                "coalesce": "memo"
+            }
         if probed is None:
             # a computation would be needed — this is the backpressure
             # point: claim a slot before registering as leader, so a
@@ -100,7 +116,7 @@ class _AsyncDaemon:
             if not service.load.try_acquire():
                 return protocol.encode(
                     service.error_for(request.id, Overloaded(service.load))
-                )
+                ), {"outcome": "shed"}
             try:
                 role, entry = service.coalescer.begin(key)
                 if role == "leader":
@@ -115,8 +131,10 @@ class _AsyncDaemon:
                     except Exception as exc:  # noqa: BLE001 - report it
                         return protocol.encode(
                             service.error_for(request.id, exc)
-                        )
-                    return protocol.splice_result(request.id, fragment)
+                        ), {"outcome": "error", "coalesce": "leader"}
+                    return protocol.splice_result(request.id, fragment), {
+                        "coalesce": "leader"
+                    }
                 probed = entry  # lost the begin race: fall through
             finally:
                 service.load.release()
@@ -126,8 +144,34 @@ class _AsyncDaemon:
                 timeout=service.FOLLOWER_TIMEOUT_S,
             )
         except Exception as exc:  # noqa: BLE001 - report, don't die
-            return protocol.encode(service.error_for(request.id, exc))
-        return protocol.splice_result(request.id, fragment)
+            return protocol.encode(service.error_for(request.id, exc)), {
+                "outcome": "error",
+                "coalesce": "follower",
+            }
+        return protocol.splice_result(request.id, fragment), {
+            "coalesce": "follower"
+        }
+
+    def _log_request(
+        self,
+        request: Optional[protocol.Request],
+        meta: dict,
+        duration_s: float,
+    ) -> None:
+        """One JSON event per served frame (no-op without ``--log-json``)."""
+        if self.log is None:
+            return
+        event = {
+            "event": "request",
+            "method": request.method if request else None,
+            "id": request.id if request else None,
+            "outcome": meta.get("outcome", "ok"),
+            "duration_ms": round(duration_s * 1000, 3),
+        }
+        for key in ("coalesce", "code"):
+            if key in meta:
+                event[key] = meta[key]
+        self.log.emit(event)
 
     # -- connection loop -------------------------------------------------------
 
@@ -142,14 +186,21 @@ class _AsyncDaemon:
                 line = raw.decode("utf-8", "replace")
                 if not line.strip():
                     continue
+                started = time.perf_counter()
+                request = None
                 try:
                     request = protocol.decode_line(line)
                 except protocol.ProtocolError as exc:
                     response = protocol.encode(
                         protocol.error_response(None, exc.code, str(exc))
                     )
+                    meta = {"outcome": "error", "code": exc.code}
                 else:
-                    response = await self.respond(request)
+                    with span(request.method, cat="request"):
+                        response, meta = await self.respond(request)
+                self._log_request(
+                    request, meta, time.perf_counter() - started
+                )
                 writer.write(response.encode("utf-8"))
                 await writer.drain()
                 if self.service.shutdown_requested.is_set():
@@ -173,8 +224,11 @@ async def _serve(
     reuse_port: bool,
     ready: Optional[threading.Event],
     bound: Optional[list],
+    log: Optional[JsonLogger],
 ) -> int:
-    daemon = _AsyncDaemon(service, workers=workers, max_queue=max_queue)
+    daemon = _AsyncDaemon(
+        service, workers=workers, max_queue=max_queue, log=log
+    )
     try:
         server = await asyncio.start_server(
             daemon.handle_connection, host, port, reuse_port=reuse_port
@@ -225,12 +279,14 @@ def serve_async_tcp(
     reuse_port: bool = False,
     ready: Optional[threading.Event] = None,
     bound: Optional[list] = None,
+    log: Optional[JsonLogger] = None,
 ) -> int:
     """Serve until a ``shutdown`` frame arrives; returns 0.
 
     ``bound`` (a list, appended with the ``(host, port)`` actually
     bound) and ``ready`` (set once accepting) let tests bind port 0 and
-    discover where the daemon landed.
+    discover where the daemon landed.  ``log``, when given, receives one
+    JSON event per served frame (``--log-json``).
     """
     try:
         return asyncio.run(
@@ -243,6 +299,7 @@ def serve_async_tcp(
                 reuse_port=reuse_port,
                 ready=ready,
                 bound=bound,
+                log=log,
             )
         )
     except KeyboardInterrupt:

@@ -16,25 +16,73 @@ on any connection stops the daemon.
 
 from __future__ import annotations
 
+import json
 import socketserver
 import sys
 import threading
+import time
 from typing import IO, Optional
 
+from ..telemetry import JsonLogger, current_tracer, span
 from .service import AnalysisService
+
+
+def handle_line_logged(
+    service: AnalysisService, line: str, log: Optional[JsonLogger]
+) -> Optional[str]:
+    """``service.handle_line`` plus the per-request telemetry the sync
+    transports owe: a ``--log-json`` event and a ``request`` span.
+
+    The sync transports have no request metadata of their own (unlike
+    the asyncio daemon, whose dispatcher also knows the coalescing
+    outcome), so the event is reconstructed from the wire frames: the
+    request supplies ``id``/``method``, the response supplies
+    ``outcome`` (and ``code`` on errors).  With neither a log nor a
+    tracer the frame passes straight through.
+    """
+    if not line.strip() or (log is None and current_tracer() is None):
+        return service.handle_line(line)
+    event: dict = {"event": "request", "id": None, "method": None}
+    try:
+        frame = json.loads(line)
+        event["id"] = frame.get("id")
+        event["method"] = frame.get("method")
+    except ValueError:
+        pass
+    started = time.perf_counter()
+    with span(event["method"] or "?", cat="request"):
+        response = service.handle_line(line)
+    if log is None:
+        return response
+    error = None
+    if response is not None:
+        try:
+            error = json.loads(response).get("error")
+        except ValueError:
+            pass
+    if error is not None:
+        event["outcome"] = "error"
+        event["code"] = error.get("code")
+    else:
+        event["outcome"] = "ok"
+    event["duration_ms"] = round((time.perf_counter() - started) * 1e3, 3)
+    log.emit(event)
+    return response
 
 
 def serve_stdio(
     service: AnalysisService,
     stdin: Optional[IO[str]] = None,
     stdout: Optional[IO[str]] = None,
+    *,
+    log: Optional[JsonLogger] = None,
 ) -> int:
     """Serve one client over text streams until EOF or ``shutdown``."""
     reader = stdin if stdin is not None else sys.stdin
     writer = stdout if stdout is not None else sys.stdout
     try:
         for line in reader:
-            response = service.handle_line(line)
+            response = handle_line_logged(service, line, log)
             if response is not None:
                 writer.write(response)
                 writer.flush()
@@ -48,12 +96,13 @@ def serve_stdio(
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         service: AnalysisService = self.server.service  # type: ignore[attr-defined]
+        log = self.server.log  # type: ignore[attr-defined]
         while True:
             raw = self.rfile.readline()
             if not raw:
                 return
-            response = service.handle_line(
-                raw.decode("utf-8", "replace")
+            response = handle_line_logged(
+                service, raw.decode("utf-8", "replace"), log
             )
             if response is not None:
                 self.wfile.write(response.encode("utf-8"))
@@ -78,9 +127,15 @@ class AnalysisTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: AnalysisService):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: AnalysisService,
+        log: Optional[JsonLogger] = None,
+    ):
         super().__init__(address, _Handler)
         self.service = service
+        self.log = log
 
 
 def serve_tcp(
@@ -89,9 +144,10 @@ def serve_tcp(
     port: int = 9178,
     *,
     ready: Optional[threading.Event] = None,
+    log: Optional[JsonLogger] = None,
 ) -> int:
     """Serve until a ``shutdown`` frame arrives; returns 0."""
-    with AnalysisTCPServer((host, port), service) as server:
+    with AnalysisTCPServer((host, port), service, log) as server:
         if ready is not None:
             ready.set()
         bound = server.server_address

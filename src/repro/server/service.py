@@ -50,9 +50,12 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from typing import Optional
 
 from ..engine import IncrementalEngine
+from ..telemetry import Exposition, span
+from ..telemetry.metrics import PROM_CONTENT_TYPE, REGISTRY
 from . import protocol
 from .coalesce import CheckCoalescer, InflightEntry
 
@@ -140,12 +143,14 @@ class AnalysisService:
         self.shutdown_requested = threading.Event()
         self.coalescer = CheckCoalescer()
         self.load = LoadGauge()
+        self.started_monotonic = time.monotonic()
         self._methods = {
             "ping": self._ping,
             "check": self._check,
             "link": self._link,
             "invalidate": self._invalidate,
             "status": self._status,
+            "metrics": self._metrics,
             "shutdown": self._shutdown,
         }
 
@@ -219,7 +224,10 @@ class AnalysisService:
 
     def compute_check(self, params: dict) -> str:
         """Run the engine check and return the encoded result fragment."""
-        return protocol.encode_fragment(self._check(params))
+        with span("engine", cat="phase"):
+            data = self._check(params)
+        with span("encode", cat="phase"):
+            return protocol.encode_fragment(data)
 
     def check_line(self, request: protocol.Request) -> str:
         """One coalesced ``check``: blocking form for sync transports."""
@@ -329,8 +337,54 @@ class AnalysisService:
     def _status(self, params: dict) -> dict:
         status = self.engine.status()
         status["server"] = self.load.snapshot()
+        status["server"]["uptime_seconds"] = round(
+            time.monotonic() - self.started_monotonic, 3
+        )
         status["coalescing"] = self.coalescer.stats()
         return status
+
+    def _metrics(self, params: dict) -> dict:
+        """Prometheus text exposition over everything the service can
+        observe without provoking work: the engine's cache tiers, the
+        load gauge, the coalescer, and the process-wide registry.
+
+        Pull-style by design — the 10k req/s coalescing fast path pushes
+        nothing; these numbers come from counters the hot paths already
+        maintain."""
+        exposition = Exposition(REGISTRY)
+        cache = self.engine.cache_status()
+        for slot in ("memory", "disk"):
+            tier = (
+                cache.get("cold_tier", "disk") if slot == "disk" else slot
+            )
+            exposition.add_stats(
+                "mlffi_cache", cache[slot], kind="counter", tier=tier
+            )
+        coalesce = self.coalescer.stats()
+        ratio = coalesce.pop("dedup_ratio", 0.0)
+        exposition.add_stats("mlffi_coalesce", coalesce, kind="counter")
+        exposition.add("mlffi_coalesce_dedup_ratio", ratio, kind="gauge")
+        server = self.load.snapshot()
+        for name in ("queue_depth", "in_flight", "workers", "max_queue"):
+            exposition.add(
+                f"mlffi_server_{name}", server[name], kind="gauge"
+            )
+        for name in ("shed", "served", "peak_in_flight"):
+            exposition.add(
+                f"mlffi_server_{name}_total", server[name], kind="counter"
+            )
+        exposition.add(
+            "mlffi_server_uptime_seconds",
+            round(time.monotonic() - self.started_monotonic, 3),
+            kind="gauge",
+        )
+        exposition.add(
+            "mlffi_engine_revision", self.engine.revision, kind="counter"
+        )
+        return {
+            "content_type": PROM_CONTENT_TYPE,
+            "text": exposition.render(),
+        }
 
     def _shutdown(self, params: dict) -> dict:
         self.shutdown_requested.set()

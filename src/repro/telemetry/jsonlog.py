@@ -1,0 +1,55 @@
+"""Structured JSON event logging: one compact object per line.
+
+The async daemon writes one event per served request (``--log-json
+PATH``): request id, method, outcome (``ok`` / ``error`` / ``shed``),
+duration in milliseconds, and — for coalesced checks — which role the
+request played (``memo`` / ``leader`` / ``follower``).  Lines are
+flushed as written so a tailing collector never waits on a buffer, and
+a lock keeps concurrent writers line-atomic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import IO, Optional
+
+
+class JsonLogger:
+    """Append-only JSON-lines event sink."""
+
+    def __init__(self, path: str | os.PathLike | None = None, stream: Optional[IO[str]] = None):
+        if stream is not None:
+            self._fh = stream
+            self._owned = False
+        elif path is not None:
+            self._fh = open(path, "a", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fh = sys.stderr
+            self._owned = False
+        self._lock = threading.Lock()
+
+    def emit(self, event: dict) -> None:
+        """Write one event; a ``ts`` (unix seconds) is stamped if absent."""
+        if "ts" not in event:
+            event = {"ts": round(time.time(), 6), **event}
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._owned:
+            with self._lock:
+                self._fh.close()
+
+    def __enter__(self) -> "JsonLogger":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,355 @@
+"""Process-wide metrics registry with Prometheus text exposition.
+
+Instruments are the push side: code records counters, gauges, and
+histograms into the module-level :data:`REGISTRY` through the gated
+helpers at the bottom (one module-flag check when disabled, so hot
+paths can call them unconditionally).  :class:`Exposition` is the pull
+side: the ``metrics`` RPC and ``batch --metrics-out`` fold existing
+stats snapshots (cache tiers, load gauge, coalescer) into the same
+text format without any live instrumentation.
+
+The exposition format is the Prometheus ``text/plain; version=0.0.4``
+subset: ``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value``
+samples, and ``_bucket``/``_sum``/``_count`` rows for histograms with
+cumulative ``le`` buckets.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+#: latency buckets (seconds) sized for per-unit analysis and per-request
+#: service times: sub-ms memo hits up to multi-second cold sweeps
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    pairs = []
+    for name, value in zip(labelnames, labelvalues):
+        escaped = (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        pairs.append(f'{name}="{escaped}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+class _Instrument:
+    """Shared label bookkeeping for all three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Instrument):
+    kind = "counter"
+
+    def __init__(self, name, help_text, labelnames=()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self._header()
+        for key, value in items:
+            labels = _format_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return lines
+
+
+class Gauge(Counter):
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+
+class Histogram(_Instrument):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        help_text,
+        labelnames=(),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        #: key -> [bucket counts..., +Inf count, sum]
+        self._series: dict[tuple, list[float]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = [0.0] * (len(self.buckets) + 2)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series[index] += 1
+            series[len(self.buckets)] += 1  # +Inf
+            series[len(self.buckets) + 1] += value  # sum
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            return int(series[len(self.buckets)]) if series else 0
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(
+                (key, list(series)) for key, series in self._series.items()
+            )
+        lines = self._header()
+        for key, series in items:
+            for index, bound in enumerate(self.buckets):
+                labels = _format_labels(
+                    self.labelnames + ("le",), key + (repr(bound),)
+                )
+                lines.append(
+                    f"{self.name}_bucket{labels} "
+                    f"{_format_value(series[index])}"
+                )
+            inf_labels = _format_labels(
+                self.labelnames + ("le",), key + ("+Inf",)
+            )
+            total = series[len(self.buckets)]
+            lines.append(
+                f"{self.name}_bucket{inf_labels} {_format_value(total)}"
+            )
+            plain = _format_labels(self.labelnames, key)
+            lines.append(
+                f"{self.name}_sum{plain} "
+                f"{_format_value(round(series[len(self.buckets) + 1], 9))}"
+            )
+            lines.append(f"{self.name}_count{plain} {_format_value(total)}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store; rendering is deterministic."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get(self, cls, name, help_text, labelnames, **kwargs):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, help_text, labelnames, **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls) or (
+                instrument.labelnames != tuple(labelnames)
+            ):
+                raise ValueError(
+                    f"metric {name} already registered with a different "
+                    "type or label set"
+                )
+            return instrument
+
+    def counter(self, name, help_text="", labelnames=()) -> Counter:
+        return self._get(Counter, name, help_text, labelnames)
+
+    def gauge(self, name, help_text="", labelnames=()) -> Gauge:
+        return self._get(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self, name, help_text="", labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def render(self) -> str:
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        lines: list[str] = []
+        for _name, instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh benchmark runs)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+REGISTRY = MetricsRegistry()
+
+_ENABLED = False
+
+
+def set_metrics_enabled(enabled: bool) -> None:
+    global _ENABLED
+    _ENABLED = enabled
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+# -- gated hot-path helpers ------------------------------------------------
+
+
+def observe_unit(dialect: str, seconds: float, *, fresh: bool) -> None:
+    """Per-unit latency histogram, split fresh-analysis vs cache-hit."""
+    if not _ENABLED:
+        return
+    REGISTRY.histogram(
+        "mlffi_unit_seconds",
+        "Per-unit wall time by dialect and probe outcome",
+        ("dialect", "outcome"),
+    ).observe(seconds, dialect=dialect, outcome="fresh" if fresh else "hit")
+
+
+def count_cache(tier: str, *, hit: bool) -> None:
+    """Cache probe outcome by serving tier ('none' for misses)."""
+    if not _ENABLED:
+        return
+    REGISTRY.counter(
+        "mlffi_cache_probes_total",
+        "Cache probes by outcome and serving tier",
+        ("tier", "outcome"),
+    ).inc(tier=tier or "none", outcome="hit" if hit else "miss")
+
+
+def observe_stream_window(occupancy: int) -> None:
+    """In-flight window occupancy sampled at each streaming submit."""
+    if not _ENABLED:
+        return
+    REGISTRY.histogram(
+        "mlffi_stream_window_occupancy",
+        "Streaming scheduler in-flight window occupancy",
+        (),
+        buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+    ).observe(occupancy)
+
+
+def count_link_conflicts(kind: str, amount: int = 1) -> None:
+    if not _ENABLED or not amount:
+        return
+    REGISTRY.counter(
+        "mlffi_link_conflicts_total",
+        "Cross-unit link diagnostics by kind",
+        ("kind",),
+    ).inc(amount, kind=kind)
+
+
+# -- pull-style exposition -------------------------------------------------
+
+
+class Exposition:
+    """Collects sample families, then renders one sorted text document.
+
+    This is how snapshot-style numbers that already live elsewhere
+    (cache ``stats()``, the load gauge, the coalescer) join the pushed
+    instruments in a single Prometheus payload.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self._registry = registry
+        #: name -> (kind, help, [(labelvalues tuple of pairs, value)])
+        self._families: dict[str, tuple[str, str, list]] = {}
+
+    def add(
+        self,
+        name: str,
+        value: float,
+        *,
+        kind: str = "gauge",
+        help_text: str = "",
+        **labels,
+    ) -> None:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = (kind, help_text, [])
+        family[2].append((tuple(sorted(labels.items())), value))
+
+    def add_stats(
+        self, name_prefix: str, stats: dict, *, kind: str = "counter", **labels
+    ) -> None:
+        """One family per numeric key of a ``stats()`` dict."""
+        for key, value in sorted(stats.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.add(f"{name_prefix}_{key}", value, kind=kind, **labels)
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for name in sorted(self._families):
+            kind, help_text, samples = self._families[name]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labelitems, value in sorted(samples):
+                labelnames = tuple(k for k, _ in labelitems)
+                labelvalues = tuple(v for _, v in labelitems)
+                rendered = _format_labels(labelnames, labelvalues)
+                lines.append(f"{name}{rendered} {_format_value(value)}")
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if self._registry is not None:
+            text += self._registry.render()
+        return text

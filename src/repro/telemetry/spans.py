@@ -1,0 +1,242 @@
+"""Context-local span tracing with Chrome ``trace_event`` export.
+
+A :class:`Tracer` collects finished spans as plain Chrome trace-event
+dicts (``ph: "X"`` complete events): wall-clock ``ts`` in microseconds
+(so spans recorded in different processes land on one timeline) and a
+``perf_counter``-derived ``dur``.  Perfetto and ``chrome://tracing``
+nest events on the same pid/tid by time containment, so nesting falls
+out of the call structure with no explicit parent links.
+
+Two installation scopes:
+
+* :func:`install` makes a tracer the **process-global** fallback — the
+  CLI installs one for the whole run, the daemon for its lifetime.
+  Worker *threads* see it without any context plumbing.
+* :func:`use` binds a tracer to the **current context** (a
+  ``ContextVar``), shadowing the global one.  The worker entry point
+  wraps each traced request in a fresh contextual tracer so its spans
+  can be exported onto the :class:`~repro.engine.jobs.CheckResult` and
+  shipped across the process boundary.
+
+Instrumentation sites call :func:`span` unconditionally; with no tracer
+anywhere it returns a shared no-op context manager after one module
+bool check — the ``ContextVar`` read only happens while some tracer is
+actually bound.  ``bench_cold.py`` measures exactly that residue by
+flipping :func:`set_hooks_enabled`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+_ACTIVE: ContextVar[Optional["Tracer"]] = ContextVar(
+    "mlffi_tracer", default=None
+)
+_GLOBAL: Optional["Tracer"] = None
+
+#: master switch for the instrumentation hooks themselves; only
+#: ``bench_cold.py`` flips this, to measure what the *disabled* hooks
+#: cost relative to no hooks at all
+_HOOKS = True
+
+#: True while any tracer is bound anywhere (process-global install or a
+#: live :func:`use` binding in *some* context).  ``span()`` checks this
+#: plain module bool first, so the idle path — no tracing requested —
+#: never pays the ``ContextVar`` read; it is exactly as cheap as the
+#: bypassed path ``set_hooks_enabled(False)`` measures against.
+_BOUND = False
+_USERS = 0
+_BOUND_LOCK = threading.Lock()
+
+
+def _refresh_bound() -> None:
+    global _BOUND
+    _BOUND = _GLOBAL is not None or _USERS > 0
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """One open span; finishes into a trace-event dict on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_ts_us", "_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        args: Optional[dict],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "Span":
+        self._ts_us = time.time_ns() // 1000
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dur_us = max(0, round((time.perf_counter() - self._start) * 1e6))
+        event: dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat or "phase",
+            "ph": "X",
+            "ts": self._ts_us,
+            "dur": dur_us,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if self.args:
+            event["args"] = self.args
+        self._tracer._append(event)
+        return False
+
+
+class Tracer:
+    """A thread-safe collector of finished trace events."""
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+
+    def span(
+        self, name: str, cat: str = "", args: Optional[dict] = None
+    ) -> Span:
+        return Span(self, name, cat, args)
+
+    def _append(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def absorb(self, events: Iterable[dict]) -> None:
+        """Merge events recorded elsewhere (a worker process, another
+        tracer) into this timeline."""
+        with self._lock:
+            self._events.extend(events)
+
+    def export(self) -> list[dict]:
+        """The events so far, in a caller-owned list."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer ``span()`` would record into, or None when disabled."""
+    if not _HOOKS:
+        return None
+    tracer = _ACTIVE.get()
+    return tracer if tracer is not None else _GLOBAL
+
+
+def span(name: str, cat: str = "", **args) -> Any:
+    """Open a span on the active tracer; a shared no-op when disabled.
+
+    This is the universal instrumentation hook: cheap enough to leave in
+    per-unit and per-request paths unconditionally.
+    """
+    if not _BOUND or not _HOOKS:
+        return _NOOP
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        tracer = _GLOBAL
+        if tracer is None:
+            return _NOOP
+    return Span(tracer, name, cat, args or None)
+
+
+def install(tracer: Optional[Tracer]) -> None:
+    """Set (or, with None, clear) the process-global fallback tracer."""
+    global _GLOBAL
+    with _BOUND_LOCK:
+        _GLOBAL = tracer
+        _refresh_bound()
+
+
+def uninstall() -> None:
+    install(None)
+
+
+@contextmanager
+def use(tracer: Tracer):
+    """Bind ``tracer`` to the current context, shadowing the global one."""
+    global _USERS
+    token = _ACTIVE.set(tracer)
+    with _BOUND_LOCK:
+        _USERS += 1
+        _refresh_bound()
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+        with _BOUND_LOCK:
+            _USERS -= 1
+            _refresh_bound()
+
+
+def set_hooks_enabled(enabled: bool) -> None:
+    """Benchmark-only: bypass even the disabled-path ContextVar read, so
+    the residual cost of the hooks themselves can be measured."""
+    global _HOOKS
+    _HOOKS = enabled
+
+
+# -- export ----------------------------------------------------------------
+
+
+def write_trace(path: str | os.PathLike, events: list[dict]) -> None:
+    """Write a Chrome/Perfetto-loadable ``trace_event`` JSON file."""
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(
+        json.dumps(document, separators=(",", ":"), sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def aggregate_phases(events: Iterable[dict]) -> dict[str, dict]:
+    """Fold a trace into a per-phase breakdown for JSON reports.
+
+    Unit- and request-level spans are named after what they traced, so
+    they aggregate under their category (one ``unit`` row, not one row
+    per translation unit); phase spans aggregate by name.
+    """
+    phases: dict[str, dict] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        cat = event.get("cat", "")
+        key = cat if cat in ("unit", "request") else event.get("name", "?")
+        row = phases.get(key)
+        if row is None:
+            row = phases[key] = {"count": 0, "seconds": 0.0}
+        row["count"] += 1
+        row["seconds"] += event.get("dur", 0) / 1e6
+    for row in phases.values():
+        row["seconds"] = round(row["seconds"], 6)
+    return dict(sorted(phases.items()))

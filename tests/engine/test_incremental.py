@@ -241,7 +241,14 @@ class TestCacheTiers:
         assert status["units"] == 2
         assert status["dirty"] == []
         assert status["checks_run"] == 2
-        assert set(status["cache"]) == {"memory", "disk"}
+        assert set(status["cache"]) == {
+            "memory",
+            "disk",
+            "cold_tier",
+            "hits",
+            "misses",
+        }
+        assert status["uptime_seconds"] >= 0
 
 
 class TestIncrementalReport:

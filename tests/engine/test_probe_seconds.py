@@ -1,0 +1,63 @@
+"""Cache-hit results must report what the probe cost (``probe_seconds``).
+
+The batch benchmarks divide warm time by cold time per unit; before
+PR 8 a served hit carried the *original* analysis' elapsed time and a
+zero probe cost, so warm-path trend math on cached corpora divided by
+zero.  A hit now records the measured cost of serving it, which is
+always positive and distinct from the fresh ``elapsed_seconds``.
+"""
+
+from repro.engine import (
+    CheckResult,
+    IncrementalEngine,
+    ResultCache,
+    run_batch,
+)
+
+
+def test_fresh_results_record_no_probe_cost(clean_request):
+    report = run_batch([clean_request], cache=None)
+    (result,) = report.results
+    assert not result.from_cache
+    assert result.probe_seconds == 0.0
+
+
+def test_disk_hits_record_a_positive_probe_cost(clean_request, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    run_batch([clean_request], cache=cache)
+    report = run_batch([clean_request], cache=cache)
+    (result,) = report.results
+    assert result.from_cache and result.cache_tier == "disk"
+    assert result.probe_seconds > 0.0
+    # the probe cost is its own number, not the fresh analysis replayed
+    assert result.probe_seconds != result.elapsed_seconds
+
+
+def test_resident_reuse_records_a_positive_probe_cost(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "lib.ml").write_text(
+        'type t = A of int | B\nexternal get : t -> int = "ml_get"\n'
+    )
+    (root / "good.c").write_text(
+        "value ml_get(value x)\n"
+        "{\n"
+        "    if (Is_long(x)) return Val_int(0);\n"
+        "    return Field(x, 0);\n"
+        "}\n"
+    )
+    engine = IncrementalEngine(root)
+    engine.check()
+    report = engine.check()
+    (result,) = report.results
+    assert result.from_cache and result.cache_tier == "memory"
+    assert result.probe_seconds > 0.0
+
+
+def test_probe_seconds_survives_the_dict_round_trip():
+    result = CheckResult(name="u.c", probe_seconds=0.00042)
+    assert CheckResult.from_dict(result.to_dict()).probe_seconds == 0.00042
+    # pre-v7 payloads default to zero instead of exploding
+    legacy = result.to_dict()
+    del legacy["probe_seconds"]
+    assert CheckResult.from_dict(legacy).probe_seconds == 0.0

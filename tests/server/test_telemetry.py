@@ -1,0 +1,249 @@
+"""The live telemetry surface: the ``metrics`` RPC, the cache-tier
+status breakdown, and the async daemon's ``--log-json`` event stream."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.engine import IncrementalEngine
+from repro.server import AnalysisService, serve_async_tcp
+from repro.telemetry import JsonLogger
+from repro.telemetry.metrics import PROM_CONTENT_TYPE
+
+ML = (
+    "type t = A of int | B\n"
+    'external get : t -> int = "ml_get"\n'
+)
+
+GOOD_C = """\
+value ml_get(value x)
+{
+    if (Is_long(x)) return Val_int(0);
+    return Field(x, 0);
+}
+"""
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "lib.ml").write_text(ML)
+    (root / "good.c").write_text(GOOD_C)
+    return root
+
+
+@pytest.fixture()
+def service(tree):
+    return AnalysisService(IncrementalEngine(tree))
+
+
+def call(service, method, params=None, request_id=1):
+    frame = {"id": request_id, "method": method}
+    if params is not None:
+        frame["params"] = params
+    return service.handle(json.dumps(frame))
+
+
+class TestMetricsRPC:
+    def test_exposition_shape_and_content_type(self, service):
+        result = call(service, "metrics")["result"]
+        assert result["content_type"] == PROM_CONTENT_TYPE
+        text = result["text"]
+        for family in (
+            "mlffi_cache_hits",
+            "mlffi_coalesce_requests",
+            "mlffi_coalesce_dedup_ratio",
+            "mlffi_server_queue_depth",
+            "mlffi_server_shed_total",
+            "mlffi_server_uptime_seconds",
+            "mlffi_engine_revision",
+        ):
+            assert f"# TYPE {family} " in text, family
+
+    def test_cache_counters_split_by_tier(self, service, tree):
+        call(service, "check")
+        # dirty the unit without changing bytes: same key, memory hit
+        (tree / "good.c").write_text(GOOD_C)
+        call(service, "invalidate", {"paths": ["good.c"]})
+        call(service, "check")
+        text = call(service, "metrics")["result"]["text"]
+        assert 'mlffi_cache_hits{tier="memory"} 1' in text
+        assert 'mlffi_cache_misses{tier="memory"} 1' in text
+
+    def test_metrics_is_read_only(self, service):
+        revision = service.engine.revision
+        call(service, "metrics")
+        assert service.engine.revision == revision
+        assert service.engine.status()["checks_run"] == 0
+
+
+class TestStatusBreakdown:
+    def test_status_reports_uptime_and_tier_breakdown(self, service):
+        call(service, "check")
+        status = call(service, "status")["result"]
+        assert status["server"]["uptime_seconds"] >= 0
+        cache = status["cache"]
+        assert set(cache) == {
+            "memory",
+            "disk",
+            "cold_tier",
+            "hits",
+            "misses",
+        }
+        assert set(cache["memory"]) >= {"hits", "misses"}
+        assert cache["hits"] == cache["memory"]["hits"] + cache["disk"]["hits"]
+
+
+class LoggedDaemon:
+    """serve_async_tcp with a JSON event log, on an ephemeral port."""
+
+    def __init__(self, root, log_path=None):
+        self.service = AnalysisService(IncrementalEngine(root))
+        self.log = JsonLogger(path=log_path) if log_path else None
+        ready = threading.Event()
+        bound = []
+        self.thread = threading.Thread(
+            target=serve_async_tcp,
+            args=(self.service,),
+            kwargs={
+                "port": 0,
+                "workers": 2,
+                "max_queue": 4,
+                "ready": ready,
+                "bound": bound,
+                "log": self.log,
+            },
+            daemon=True,
+        )
+        self.thread.start()
+        assert ready.wait(timeout=30), "daemon did not come up"
+        self.address = bound[0]
+
+    def call(self, *requests):
+        with socket.create_connection(self.address, timeout=30) as conn:
+            handle = conn.makefile("rw", encoding="utf-8")
+            responses = []
+            for request in requests:
+                handle.write(json.dumps(request) + "\n")
+                handle.flush()
+                responses.append(json.loads(handle.readline()))
+            return responses
+
+    def stop(self):
+        if self.thread.is_alive():
+            self.call({"id": "stop", "method": "shutdown"})
+        self.thread.join(timeout=10)
+        assert not self.thread.is_alive()
+        if self.log is not None:
+            self.log.close()
+
+
+class TestCoalesceCounters:
+    def test_memo_replays_count_in_the_exposition(self, tree):
+        # coalescing lives in the async transport: the first check leads
+        # and bumps the revision, the second leads at the settled
+        # revision and seeds the memo, the third replays it
+        daemon = LoggedDaemon(tree)
+        try:
+            daemon.call(
+                {"id": 1, "method": "check"},
+                {"id": 2, "method": "check"},
+                {"id": 3, "method": "check"},
+            )
+            (response,) = daemon.call({"id": 4, "method": "metrics"})
+        finally:
+            daemon.stop()
+        text = response["result"]["text"]
+        assert "mlffi_coalesce_requests 3" in text
+        assert "mlffi_coalesce_computed 2" in text
+        assert "mlffi_coalesce_coalesced_memo 1" in text
+
+
+class TestJsonEventLog:
+    def test_stdio_transport_logs_every_frame(self, tree, tmp_path):
+        # --log-json is documented for `serve` without qualification, so
+        # the sync stdio transport must log too, not just the asyncio one
+        import io
+
+        from repro.server import serve_stdio
+
+        log_path = tmp_path / "events.jsonl"
+        service = AnalysisService(IncrementalEngine(tree))
+        stdin = io.StringIO(
+            '{"id": 1, "method": "check"}\n'
+            '{"id": 2, "method": "nonsense"}\n'
+            '{"id": 3, "method": "shutdown"}\n'
+        )
+        with JsonLogger(path=log_path) as log:
+            assert serve_stdio(
+                service, stdin=stdin, stdout=io.StringIO(), log=log
+            ) == 0
+        by_id = {
+            e["id"]: e
+            for e in map(json.loads, log_path.read_text().splitlines())
+        }
+        assert set(by_id) == {1, 2, 3}
+        assert by_id[1]["method"] == "check"
+        assert by_id[1]["outcome"] == "ok"
+        assert by_id[1]["duration_ms"] >= 0
+        assert by_id[2]["outcome"] == "error"
+        assert by_id[2]["code"] == -32601
+
+
+    def test_one_event_per_request_with_outcome_and_duration(
+        self, tree, tmp_path
+    ):
+        log_path = tmp_path / "events.jsonl"
+        daemon = LoggedDaemon(tree, log_path)
+        try:
+            ping, check, metrics = daemon.call(
+                {"id": 1, "method": "ping"},
+                {"id": 2, "method": "check"},
+                {"id": 3, "method": "metrics"},
+            )
+            assert ping["result"]["pong"] is True
+            assert "mlffi_" in metrics["result"]["text"]
+        finally:
+            daemon.stop()
+        events = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        by_id = {e["id"]: e for e in events}
+        assert {1, 2, 3} <= set(by_id)
+        for event in events:
+            assert event["event"] == "request"
+            assert event["outcome"] == "ok"
+            assert event["duration_ms"] >= 0
+            assert event["ts"] > 0
+        assert by_id[1]["method"] == "ping"
+        # the first check at a fresh revision computes: it is the leader
+        assert by_id[2]["coalesce"] == "leader"
+
+    def test_memo_and_error_outcomes_recorded(self, tree, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        daemon = LoggedDaemon(tree, log_path)
+        try:
+            daemon.call(
+                {"id": 1, "method": "check"},
+                {"id": 2, "method": "check"},
+                {"id": 3, "method": "check"},
+                {"id": 4, "method": "nonsense"},
+            )
+        finally:
+            daemon.stop()
+        by_id = {
+            e["id"]: e
+            for e in map(
+                json.loads, log_path.read_text().splitlines()
+            )
+        }
+        # 1 leads and bumps the revision; 2 leads at the settled
+        # revision and seeds the memo; 3 replays it
+        assert by_id[2]["coalesce"] == "leader"
+        assert by_id[3]["coalesce"] == "memo"
+        assert by_id[4]["outcome"] == "error"
+        assert by_id[4]["code"] == -32601

@@ -1,0 +1,63 @@
+"""The JSON-lines event sink behind ``serve --log-json``."""
+
+import io
+import json
+import threading
+
+from repro.telemetry import JsonLogger
+
+
+class TestJsonLogger:
+    def test_emit_stamps_ts_and_writes_one_compact_line(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        logger.emit({"event": "request", "method": "ping", "id": 1})
+        (line,) = stream.getvalue().splitlines()
+        event = json.loads(line)
+        assert event["event"] == "request"
+        assert event["method"] == "ping"
+        assert event["ts"] > 0
+        assert ": " not in line  # compact separators, machine-first
+
+    def test_explicit_ts_preserved(self):
+        stream = io.StringIO()
+        JsonLogger(stream=stream).emit({"ts": 42, "event": "request"})
+        assert json.loads(stream.getvalue())["ts"] == 42
+
+    def test_path_sink_appends_and_close_owns_the_handle(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        with JsonLogger(path=target) as logger:
+            logger.emit({"event": "request", "id": 1})
+        with JsonLogger(path=target) as logger:
+            logger.emit({"event": "request", "id": 2})
+        events = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert [e["id"] for e in events] == [1, 2]
+
+    def test_close_leaves_borrowed_streams_open(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        logger.close()
+        assert not stream.closed
+
+    def test_concurrent_emits_stay_line_atomic(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        logger = JsonLogger(path=target)
+
+        def write(worker):
+            for index in range(50):
+                logger.emit({"worker": worker, "index": index})
+
+        threads = [
+            threading.Thread(target=write, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        logger.close()
+        lines = target.read_text().splitlines()
+        assert len(lines) == 200
+        for line in lines:
+            json.loads(line)  # no interleaved garbage

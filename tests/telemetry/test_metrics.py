@@ -1,0 +1,206 @@
+"""Instruments, the process registry, gated helpers, and exposition."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    PROM_CONTENT_TYPE,
+    Counter,
+    Exposition,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    count_cache,
+    count_link_conflicts,
+    metrics_enabled,
+    observe_stream_window,
+    observe_unit,
+    set_metrics_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    REGISTRY.reset()
+    set_metrics_enabled(False)
+    yield
+    REGISTRY.reset()
+    set_metrics_enabled(False)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("hits", "", ("tier",))
+        counter.inc(tier="memory")
+        counter.inc(2, tier="memory")
+        assert counter.value(tier="memory") == 3
+        assert counter.value(tier="disk") == 0
+
+    def test_render_includes_type_header_and_sorted_samples(self):
+        counter = Counter("hits", "Cache hits", ("tier",))
+        counter.inc(tier="memory")
+        counter.inc(tier="disk")
+        assert counter.render() == [
+            "# HELP hits Cache hits",
+            "# TYPE hits counter",
+            'hits{tier="disk"} 1',
+            'hits{tier="memory"} 1',
+        ]
+
+    def test_label_mismatch_rejected(self):
+        counter = Counter("hits", "", ("tier",))
+        with pytest.raises(ValueError):
+            counter.inc(wrong="x")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_label_values_escaped(self):
+        counter = Counter("c", "", ("path",))
+        counter.inc(path='a"b\\c')
+        (sample,) = [s for s in counter.render() if not s.startswith("#")]
+        assert sample == 'c{path="a\\"b\\\\c"} 1'
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("depth", "")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value() == 2
+        assert gauge.render()[-1] == "depth 2"
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self):
+        histogram = Histogram("lat", "", buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        lines = histogram.render()
+        assert 'lat_bucket{le="0.01"} 0' in lines
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1.0"} 2' in lines
+        assert 'lat_bucket{le="+Inf"} 2' in lines
+        assert "lat_sum 0.55" in lines
+        assert "lat_count 2" in lines
+        assert histogram.count() == 2
+
+    def test_labeled_series_stay_separate(self):
+        histogram = Histogram("lat", "", ("dialect",), buckets=(1.0,))
+        histogram.observe(0.5, dialect="jni")
+        histogram.observe(0.5, dialect="pyext")
+        assert histogram.count(dialect="jni") == 1
+        assert histogram.count(dialect="pyext") == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "", ("tier",))
+        second = registry.counter("c", "", ("tier",))
+        assert first is second
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(ValueError):
+            registry.gauge("c")
+
+    def test_label_set_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "", ("tier",))
+        with pytest.raises(ValueError):
+            registry.counter("c", "", ("dialect",))
+
+    def test_render_sorts_families_and_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz").inc()
+        registry.gauge("aaa").set(1)
+        text = registry.render()
+        assert text.index("aaa") < text.index("zzz")
+        assert text.endswith("\n")
+        registry.reset()
+        assert registry.render() == ""
+
+
+class TestGatedHelpers:
+    def test_disabled_helpers_touch_nothing(self):
+        assert not metrics_enabled()
+        observe_unit("ocaml", 0.1, fresh=True)
+        count_cache("memory", hit=True)
+        observe_stream_window(4)
+        count_link_conflicts("link_conflicting_decl")
+        assert REGISTRY.render() == ""
+
+    def test_enabled_helpers_populate_the_registry(self):
+        set_metrics_enabled(True)
+        observe_unit("jni", 0.02, fresh=True)
+        observe_unit("jni", 0.001, fresh=False)
+        count_cache("memory", hit=True)
+        count_cache("", hit=False)
+        observe_stream_window(8)
+        count_link_conflicts("link_unresolved_extern", 2)
+        text = REGISTRY.render()
+        assert (
+            'mlffi_unit_seconds_count{dialect="jni",outcome="fresh"} 1'
+            in text
+        )
+        assert (
+            'mlffi_unit_seconds_count{dialect="jni",outcome="hit"} 1' in text
+        )
+        assert (
+            'mlffi_cache_probes_total{tier="memory",outcome="hit"} 1' in text
+        )
+        # a miss has no serving tier; it lands under the `none` label
+        assert (
+            'mlffi_cache_probes_total{tier="none",outcome="miss"} 1' in text
+        )
+        assert "mlffi_stream_window_occupancy_count 1" in text
+        assert (
+            'mlffi_link_conflicts_total{kind="link_unresolved_extern"} 2'
+            in text
+        )
+
+    def test_zero_conflicts_record_nothing(self):
+        set_metrics_enabled(True)
+        count_link_conflicts("link_unresolved_extern", 0)
+        assert REGISTRY.render() == ""
+
+
+class TestExposition:
+    def test_render_sorts_families_and_samples(self):
+        exposition = Exposition()
+        exposition.add("zzz", 1, kind="counter")
+        exposition.add("aaa", 2.5, help_text="first", tier="memory")
+        text = exposition.render()
+        assert text.splitlines() == [
+            "# HELP aaa first",
+            "# TYPE aaa gauge",
+            'aaa{tier="memory"} 2.5',
+            "# TYPE zzz counter",
+            "zzz 1",
+        ]
+
+    def test_add_stats_skips_bools_and_non_numerics(self):
+        exposition = Exposition()
+        exposition.add_stats(
+            "mlffi_cache",
+            {"hits": 3, "path": "/tmp/x", "shared": True, "ratio": 0.5},
+            kind="counter",
+            tier="disk",
+        )
+        text = exposition.render()
+        assert 'mlffi_cache_hits{tier="disk"} 3' in text
+        assert 'mlffi_cache_ratio{tier="disk"} 0.5' in text
+        assert "path" not in text
+        assert "shared" not in text
+
+    def test_registry_instruments_appended(self):
+        registry = MetricsRegistry()
+        registry.counter("pushed").inc()
+        exposition = Exposition(registry)
+        exposition.add("pulled", 1)
+        text = exposition.render()
+        assert text.index("pulled") < text.index("pushed")
+
+    def test_content_type_is_the_prometheus_text_subset(self):
+        assert PROM_CONTENT_TYPE == "text/plain; version=0.0.4"

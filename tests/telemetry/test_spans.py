@@ -1,0 +1,188 @@
+"""Span recording, tracer scoping, and Chrome trace-event export."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import (
+    Tracer,
+    aggregate_phases,
+    current_tracer,
+    install,
+    set_hooks_enabled,
+    span,
+    uninstall,
+    use,
+    write_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_scopes():
+    yield
+    uninstall()
+    set_hooks_enabled(True)
+
+
+class TestSpanRecording:
+    def test_span_produces_a_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("parse", "phase"):
+            pass
+        (event,) = tracer.export()
+        assert event["name"] == "parse"
+        assert event["cat"] == "phase"
+        assert event["ph"] == "X"
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == threading.get_ident()
+        assert event["dur"] >= 0
+        assert isinstance(event["ts"], int)
+
+    def test_duration_tracks_wall_time(self):
+        tracer = Tracer()
+        with tracer.span("sleep"):
+            time.sleep(0.01)
+        (event,) = tracer.export()
+        assert event["dur"] >= 9_000  # microseconds
+
+    def test_category_defaults_to_phase(self):
+        tracer = Tracer()
+        with tracer.span("lex"):
+            pass
+        assert tracer.export()[0]["cat"] == "phase"
+
+    def test_args_attached_only_when_present(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b", "unit", {"dialect": "jni"}):
+            pass
+        bare, labeled = tracer.export()
+        assert "args" not in bare
+        assert labeled["args"] == {"dialect": "jni"}
+
+    def test_absorb_merges_foreign_events(self):
+        parent, worker = Tracer(), Tracer()
+        with worker.span("unit", "unit"):
+            pass
+        parent.absorb(worker.export())
+        assert len(parent) == 1
+
+    def test_concurrent_spans_all_land(self):
+        tracer = Tracer()
+
+        def record():
+            for _ in range(50):
+                with tracer.span("work"):
+                    pass
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer) == 200
+
+
+class TestScoping:
+    def test_module_span_is_noop_without_any_tracer(self):
+        assert current_tracer() is None
+        with span("orphan"):
+            pass  # nothing to record into; must not raise
+
+    def test_install_makes_a_global_fallback(self):
+        tracer = Tracer()
+        install(tracer)
+        with span("global", cat="phase"):
+            pass
+        assert current_tracer() is tracer
+        assert len(tracer) == 1
+        uninstall()
+        with span("after"):
+            pass
+        assert len(tracer) == 1
+
+    def test_use_shadows_the_global_tracer(self):
+        fallback, contextual = Tracer(), Tracer()
+        install(fallback)
+        with use(contextual):
+            assert current_tracer() is contextual
+            with span("shadowed"):
+                pass
+        assert current_tracer() is fallback
+        assert len(contextual) == 1
+        assert len(fallback) == 0
+
+    def test_hooks_disabled_bypasses_everything(self):
+        tracer = Tracer()
+        install(tracer)
+        set_hooks_enabled(False)
+        assert current_tracer() is None
+        with span("invisible"):
+            pass
+        assert len(tracer) == 0
+        set_hooks_enabled(True)
+        with span("visible"):
+            pass
+        assert len(tracer) == 1
+
+
+class TestExport:
+    def test_write_trace_is_perfetto_loadable_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("unit", "unit"):
+            with tracer.span("parse"):
+                pass
+        out = tmp_path / "trace.json"
+        write_trace(out, tracer.export())
+        document = json.loads(out.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert [e["name"] for e in document["traceEvents"]] == [
+            "parse",
+            "unit",
+        ]
+
+    def test_nesting_by_time_containment(self):
+        # Perfetto nests same-pid/tid events by containment; the inner
+        # span must close inside the outer one's window
+        tracer = Tracer()
+        with tracer.span("unit", "unit"):
+            with tracer.span("parse"):
+                time.sleep(0.001)
+        parse, unit = tracer.export()
+        assert unit["ts"] <= parse["ts"]
+        assert parse["ts"] + parse["dur"] <= unit["ts"] + unit["dur"] + 1
+
+
+class TestAggregatePhases:
+    def test_phases_group_by_name(self):
+        events = [
+            {"name": "lex", "cat": "phase", "ph": "X", "dur": 1_000_000},
+            {"name": "lex", "cat": "phase", "ph": "X", "dur": 500_000},
+            {"name": "parse", "cat": "phase", "ph": "X", "dur": 250_000},
+        ]
+        phases = aggregate_phases(events)
+        assert phases["lex"] == {"count": 2, "seconds": 1.5}
+        assert phases["parse"] == {"count": 1, "seconds": 0.25}
+
+    def test_unit_and_request_spans_group_by_category(self):
+        # one `unit` row, not one row per translation unit name
+        events = [
+            {"name": "a.c", "cat": "unit", "ph": "X", "dur": 100},
+            {"name": "b.c", "cat": "unit", "ph": "X", "dur": 100},
+            {"name": "check", "cat": "request", "ph": "X", "dur": 100},
+        ]
+        phases = aggregate_phases(events)
+        assert phases["unit"]["count"] == 2
+        assert phases["request"]["count"] == 1
+
+    def test_non_complete_events_skipped_and_keys_sorted(self):
+        events = [
+            {"name": "meta", "ph": "M"},
+            {"name": "zz", "cat": "phase", "ph": "X", "dur": 1},
+            {"name": "aa", "cat": "phase", "ph": "X", "dur": 1},
+        ]
+        assert list(aggregate_phases(events)) == ["aa", "zz"]

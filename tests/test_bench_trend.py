@@ -8,7 +8,7 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
-TREND_DOC = ROOT / "BENCH_PR7.json"
+TREND_DOC = ROOT / "BENCH_PR8.json"
 
 
 def _load_trend_module():
@@ -26,7 +26,7 @@ def trend():
 
 
 class TestCommittedDocument:
-    """CI produces BENCH_PR7.json; this is the schema it must satisfy."""
+    """CI produces BENCH_PR8.json; this is the schema it must satisfy."""
 
     def test_document_is_committed(self):
         assert TREND_DOC.is_file(), TREND_DOC
@@ -35,7 +35,7 @@ class TestCommittedDocument:
         document = json.loads(TREND_DOC.read_text())
         assert trend.validate(document) == []
 
-    def test_document_covers_all_seven_benchmarks(self):
+    def test_document_covers_all_eight_benchmarks(self):
         document = json.loads(TREND_DOC.read_text())
         assert set(document["benchmarks"]) >= {
             "batch",
@@ -45,6 +45,7 @@ class TestCommittedDocument:
             "cold",
             "concurrency",
             "link",
+            "telemetry",
         }
 
     def test_document_tracks_serve_speedups_per_dialect(self):
@@ -65,6 +66,13 @@ class TestCommittedDocument:
         ratios = json.loads(TREND_DOC.read_text())["ratios"]
         assert ratios["link_recall"] == 1.0
 
+    def test_document_tracks_the_telemetry_overhead(self):
+        # the PR 8 headline pair: enabled telemetry stays cheap (its own
+        # 1.25x gate) and bench_cold separately proves disabled hooks free
+        document = json.loads(TREND_DOC.read_text())
+        ratio = document["ratios"]["telemetry_overhead_ratio"]
+        assert 0 < ratio <= document["benchmarks"]["telemetry"]["max_overhead"]
+
     def test_document_records_no_failures(self):
         gates = json.loads(TREND_DOC.read_text())["gates"]
         assert gates["bench_failures"] == []
@@ -74,7 +82,7 @@ class TestCommittedDocument:
         # the PR 4 document recorded `"baseline": null` (nothing to
         # compare against); from PR 5 on the gate must actually compare
         gates = json.loads(TREND_DOC.read_text())["gates"]
-        assert gates["baseline"] == "BENCH_PR6.json"
+        assert gates["baseline"] == "BENCH_PR7.json"
 
 
 class TestValidate:

@@ -36,6 +36,7 @@ def test_jobs_cover_lint_tests_and_bench(workflow):
         "serve-smoke",
         "concurrency-smoke",
         "link-smoke",
+        "telemetry-smoke",
     }
 
 
@@ -121,9 +122,9 @@ def test_bench_trend_merges_and_gates_the_trajectory(workflow):
     steps = workflow["jobs"]["bench-trend"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)
     assert "bench_trend.py" in runs
-    assert "BENCH_PR7.json" in runs
+    assert "BENCH_PR8.json" in runs
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
-    assert uploads and "BENCH_PR7.json" in uploads[0]["with"]["path"]
+    assert uploads and "BENCH_PR8.json" in uploads[0]["with"]["path"]
 
 
 def test_bench_smoke_runs_the_cold_benchmark_and_uploads_its_json(workflow):
@@ -201,6 +202,26 @@ def test_link_smoke_gates_recall_rss_and_exit_codes(workflow):
         s for s in job["steps"] if "upload-artifact" in s.get("uses", "")
     ]
     assert uploads and "link-report.json" in uploads[0]["with"]["path"]
+
+
+def test_telemetry_smoke_validates_trace_and_metrics_artifacts(workflow):
+    job = workflow["jobs"]["telemetry-smoke"]
+    assert job["needs"] == ["test"]
+    runs = " ".join(step.get("run", "") for step in job["steps"])
+    # the traced sweep keeps the seeded corpus' exit code (2 link errors)
+    assert "--trace-out trace.json" in runs
+    assert "--metrics-out metrics.prom" in runs
+    assert 'test "$status" -eq 2' in runs
+    # shape gates: Perfetto nesting and the Prometheus sample grammar
+    assert "traceEvents" in runs
+    assert "mlffi_unit_seconds" in runs
+    assert "mlffi_cache_probes_total" in runs
+    uploads = [
+        s for s in job["steps"] if "upload-artifact" in s.get("uses", "")
+    ]
+    assert uploads, "telemetry artifacts must be uploaded"
+    path = uploads[0]["with"]["path"]
+    assert "trace.json" in path and "metrics.prom" in path
 
 
 def test_every_job_has_a_hang_watchdog_timeout(workflow):
