@@ -1,0 +1,227 @@
+"""rust-dialect benchmark: throughput and detection over synthesized bindings.
+
+Synthesizes N Rust/C binding pairs — half clean, half seeded with one
+defect each, cycling through the rule pack (arity, platform width,
+pointer/integer confusion, enum repr, string passing, rendered-type
+mismatch) — and runs them through the batch engine under
+``dialect="rust"``.
+
+Gates (exit non-zero on failure):
+
+* every seeded unit reports its planted rule, and only the planted one
+  among the rust kinds;
+* every clean unit reports zero diagnostics;
+* a warm rerun against the same cache is all hits.
+
+Results print as one JSON object (unit wall-times included), matching
+the shape CI's bench-smoke artifacts expect; ``--json PATH`` also writes
+the same object to a file for the bench-trend harness.
+
+Run::
+
+    python benchmarks/bench_rust.py --units 16
+    python benchmarks/bench_rust.py --units 6 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import CheckRequest, ResultCache, run_batch
+from repro.source import SourceFile
+
+CLEAN_RUST = """\
+use std::os::raw::c_char;
+
+extern "C" {{
+    fn c_hash_{i}(data: *const u8, len: usize) -> u64;
+    fn c_name_{i}() -> *const c_char;
+}}
+
+#[no_mangle]
+pub extern "C" fn rs_tick_{i}(n: u32) -> u32 {{
+    let name = unsafe {{ c_name_{i}() }};
+    let _ = name;
+    n + {i}
+}}
+"""
+
+CLEAN_C = """\
+#include <stddef.h>
+#include <stdint.h>
+
+uint64_t c_hash_{i}(const uint8_t *data, size_t len)
+{{
+    uint64_t hash = {i};
+    for (size_t at = 0; at < len; at++)
+        hash = hash * 31 + data[at];
+    return hash;
+}}
+
+const char *c_name_{i}(void)
+{{
+    return "bench";
+}}
+
+extern uint32_t rs_tick_{i}(uint32_t n);
+
+uint32_t drive_{i}(void)
+{{
+    return rs_tick_{i}({i});
+}}
+"""
+
+#: defect class -> (expected Kind name, rust declaration, C declaration)
+DEFECTS: dict[str, tuple[str, str, str]] = {
+    "arity": (
+        "RUST_DECL_MISMATCH",
+        "fn c_bad_{i}(a: i32) -> i32;",
+        "int c_bad_{i}(int a, int b) {{ return a + b; }}",
+    ),
+    "platform-width": (
+        "RUST_PLATFORM_WIDTH",
+        "fn c_bad_{i}(n: usize) -> i32;",
+        "int c_bad_{i}(int n) {{ return n; }}",
+    ),
+    "ptr-int": (
+        "RUST_PTR_INT_CONFUSION",
+        "fn c_bad_{i}(p: *const u8) -> i32;",
+        "int c_bad_{i}(long p) {{ return (int)p; }}",
+    ),
+    "enum-repr": (
+        "RUST_ENUM_REPR",
+        "fn c_bad_{i}(mode: Mode) -> i32;",
+        "int c_bad_{i}(int mode) {{ return mode; }}",
+    ),
+    "str-passing": (
+        "RUST_STR_PASSING",
+        "fn c_bad_{i}(msg: &str) -> i32;",
+        "int c_bad_{i}(const char *msg) {{ return msg != 0; }}",
+    ),
+    "rendered-type": (
+        "RUST_DECL_MISMATCH",
+        "fn c_bad_{i}(x: u32) -> i32;",
+        "int c_bad_{i}(unsigned long long x) {{ return (int)x; }}",
+    ),
+}
+
+SEEDED_RUST = """\
+pub enum Mode {{ A, B }}
+
+extern "C" {{
+    {decl}
+}}
+"""
+
+RUST_KINDS = {
+    "RUST_DECL_MISMATCH",
+    "RUST_PLATFORM_WIDTH",
+    "RUST_PTR_INT_CONFUSION",
+    "RUST_ENUM_REPR",
+    "RUST_STR_PASSING",
+}
+
+
+def build_corpus(units: int) -> list[tuple[CheckRequest, str | None]]:
+    """(request, expected-kind-or-None) pairs, clean/seeded interleaved."""
+    corpus: list[tuple[CheckRequest, str | None]] = []
+    defect_cycle = list(DEFECTS.items())
+    for index in range(units):
+        if index % 2 == 0:
+            rust_text = CLEAN_RUST.format(i=index)
+            c_text = CLEAN_C.format(i=index)
+            expected = None
+        else:
+            _label, (kind, rust_decl, c_decl) = defect_cycle[
+                (index // 2) % len(defect_cycle)
+            ]
+            rust_text = SEEDED_RUST.format(decl=rust_decl.format(i=index))
+            c_text = c_decl.format(i=index) + "\n"
+            expected = kind
+        name = f"binding{index:03}.c"
+        corpus.append(
+            (
+                CheckRequest(
+                    name=name,
+                    c_sources=(SourceFile(name, c_text),),
+                    ocaml_sources=(
+                        SourceFile(f"binding{index:03}.rs", rust_text),
+                    ),
+                    dialect="rust",
+                ),
+                expected,
+            )
+        )
+    return corpus
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--units", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--quick", action="store_true", help="6-unit smoke")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON payload to PATH (for bench-trend)",
+    )
+    args = parser.parse_args(argv)
+    units = 6 if args.quick else args.units
+
+    corpus = build_corpus(units)
+    requests = [request for request, _ in corpus]
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        started = time.perf_counter()
+        cold = run_batch(requests, jobs=args.jobs, cache=cache)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_batch(requests, jobs=args.jobs, cache=cache)
+        warm_seconds = time.perf_counter() - started
+
+    for (request, expected), result in zip(corpus, cold.results):
+        kinds = {diag.kind.name for diag in result.diagnostics}
+        planted = kinds & RUST_KINDS
+        if result.failure is not None:
+            failures.append(f"{request.name}: engine failure {result.failure}")
+        elif expected is None and kinds:
+            failures.append(f"{request.name}: clean unit reported {kinds}")
+        elif expected is not None and planted != {expected}:
+            failures.append(
+                f"{request.name}: expected {{{expected}}}, got {planted}"
+            )
+    if warm.cache_hits != len(requests):
+        failures.append(
+            f"warm rerun: {warm.cache_hits}/{len(requests)} cache hits"
+        )
+
+    payload = {
+        "units": units,
+        "jobs": args.jobs,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_fraction_of_cold": round(
+            warm_seconds / max(cold_seconds, 1e-9), 4
+        ),
+        "unit_wall_seconds": {r.name: r.wall_seconds for r in cold.results},
+        "tally": cold.tally(),
+        "gates": {"failures": failures},
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json is not None:
+        Path(args.json).write_text(text + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 """Benchmark-trend harness: one comparable number per PR.
 
-Runs the eight engine benchmarks (``bench_batch``, ``bench_pyext``,
-``bench_serve``, ``bench_jni``, ``bench_cold``, ``bench_concurrency``,
-``bench_link``, ``bench_telemetry``) through their common ``--json`` flag,
+Runs the nine engine benchmarks (``bench_batch``, ``bench_pyext``,
+``bench_serve``, ``bench_jni``, ``bench_rust``, ``bench_cold``,
+``bench_concurrency``, ``bench_link``, ``bench_telemetry``) through
+their common ``--json`` flag,
 merges the payloads into one schema-versioned trend document, and
 compares the speedup/warm-cache *ratios* against the newest committed
 ``BENCH_*.json`` at the repository root.  Ratios — not wall times — are
@@ -53,6 +54,11 @@ BENCHMARKS: dict[str, dict[str, list[str]]] = {
         "quick": ["--quick"],
         "full": ["--units", "16"],
     },
+    "rust": {
+        "script": "bench_rust.py",
+        "quick": ["--quick"],
+        "full": ["--units", "16"],
+    },
     "serve": {
         "script": "bench_serve.py",
         "quick": ["--quick"],
@@ -94,6 +100,7 @@ RATIO_DIRECTIONS: dict[str, str] = {
     "batch_warm_fraction_of_cold": "lower",
     "pyext_warm_fraction_of_cold": "lower",
     "jni_warm_fraction_of_cold": "lower",
+    "rust_warm_fraction_of_cold": "lower",
     "serve_speedup_ocaml": "higher",
     "serve_speedup_pyext": "higher",
     "serve_speedup_jni": "higher",
@@ -122,6 +129,7 @@ RATIO_FLOORS: dict[str, float] = {
     "batch_warm_fraction_of_cold": 0.05,
     "pyext_warm_fraction_of_cold": 0.05,
     "jni_warm_fraction_of_cold": 0.05,
+    "rust_warm_fraction_of_cold": 0.05,
     # sub-5ms p99 is far below the 50ms gate; scheduler jitter at that
     # scale is noise, not a regression
     "concurrency_p99_ms": 5.0,
@@ -174,7 +182,7 @@ def extract_ratios(payloads: dict[str, dict]) -> dict[str, float]:
         if batch.get("parallel_overhead_ratio") is not None:
             ratios["batch_parallel_overhead"] = batch["parallel_overhead_ratio"]
         ratios["batch_warm_fraction_of_cold"] = batch["warm_fraction_of_cold"]
-    for name in ("pyext", "jni"):
+    for name in ("pyext", "jni", "rust"):
         payload = payloads.get(name)
         if payload is not None:
             ratios[f"{name}_warm_fraction_of_cold"] = payload[

@@ -1,0 +1,30 @@
+//! Shared Rust host for the cross-unit link demo.  Every declaration
+//! here agrees with *some* unit, so each translation unit checks clean
+//! in isolation — the defects only appear when the linker unions the
+//! per-unit interface summaries:
+//!
+//! * `c_token_count` — both units declare a pointer-width return, so
+//!   the per-unit width check passes, but one spells it `size_t` and
+//!   the other `uintptr_t` (LINK_CONFLICTING_DECL);
+//! * `shared_helper` — defined in both units
+//!   (LINK_DUPLICATE_DEFINITION);
+//! * `c_missing_hook` — bound here but defined nowhere
+//!   (LINK_UNRESOLVED_EXTERN, warning).
+
+use std::os::raw::{c_char, c_int};
+
+extern "C" {
+    fn c_token_count(text: *const c_char) -> usize;
+    fn shared_helper(seed: c_int) -> c_int;
+    fn c_missing_hook();
+}
+
+#[no_mangle]
+pub extern "C" fn rs_entry(text: *const c_char) -> c_int {
+    unsafe {
+        if c_token_count(text) == 0 {
+            c_missing_hook();
+        }
+        shared_helper(7)
+    }
+}

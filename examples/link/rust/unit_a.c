@@ -1,0 +1,24 @@
+/* Unit A: declares `c_token_count` with a `size_t` return and defines
+ * `shared_helper` — both consistent with `lib.rs` on their own. */
+
+#include <stddef.h>
+
+size_t c_token_count(const char *text)
+{
+    size_t tokens = 0;
+    int in_word = 0;
+    for (; text != NULL && *text != '\0'; text++) {
+        if (*text == ' ') {
+            in_word = 0;
+        } else if (!in_word) {
+            in_word = 1;
+            tokens++;
+        }
+    }
+    return tokens;
+}
+
+int shared_helper(int seed)
+{
+    return seed * 2 + 1;
+}

@@ -1,0 +1,13 @@
+/* Unit B: re-declares `c_token_count` with a `uintptr_t` return —
+ * also pointer-width, so this unit checks clean in isolation, but the
+ * spelling conflicts with unit A at link time — and defines its own
+ * copy of `shared_helper`. */
+
+#include <stdint.h>
+
+extern uintptr_t c_token_count(const char *text);
+
+int shared_helper(int seed)
+{
+    return (int)c_token_count("one two") + seed;
+}

@@ -1,0 +1,39 @@
+/* C side of the broken Rust bindings.  Every function here is the
+ * mirror of a declaration in `lib.rs` that disagrees with it — see the
+ * comments there for which rule each pair trips. */
+
+#include <stddef.h>
+#include <stdint.h>
+
+static int init_count;
+
+int c_init(int flags, int mode)
+{
+    init_count += flags + mode;
+    return 0;
+}
+
+int c_buf_len(const uint8_t *buf)
+{
+    return buf == NULL ? 0 : 1;
+}
+
+unsigned int c_crc(unsigned long long seed)
+{
+    return (unsigned int)(seed * 2654435761ULL);
+}
+
+void c_report_status(int status)
+{
+    init_count += status;
+}
+
+/* Mirrors of the Rust exports — both disagree with `lib.rs`. */
+extern void rs_handle(long ptr);
+extern void rs_log(const char *msg);
+
+void drive_rust(void)
+{
+    rs_handle(0L);
+    rs_log("boot");
+}

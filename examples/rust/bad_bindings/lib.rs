@@ -1,0 +1,53 @@
+//! Deliberately broken bindings: each declaration disagrees with its
+//! C-side mirror in `glue.c` in a different way, one finding per rule
+//! in the `rust` pack plus one arity defect — six errors total, so the
+//! CI smoke job gates `mlffi-check batch --dialect rust` on exit 6.
+
+use std::os::raw::{c_int, c_void};
+
+/// Missing `#[repr(C)]`: the discriminant width is unspecified, so
+/// passing this across `extern "C"` is undefined (RUST_ENUM_REPR).
+pub enum Status {
+    Ok = 0,
+    Error = 1,
+}
+
+extern "C" {
+    /// C defines `int c_init(int flags, int mode)` — two parameters
+    /// (RUST_DECL_MISMATCH, arity).
+    fn c_init(flags: c_int) -> c_int;
+    /// C returns `int`, a fixed 32-bit class, but `usize` is
+    /// pointer-width (RUST_PLATFORM_WIDTH).
+    fn c_buf_len(buf: *const u8) -> usize;
+    /// C takes `unsigned long long`, not the 32-bit `u32`
+    /// (RUST_DECL_MISMATCH, rendered type).
+    fn c_crc(seed: u32) -> u32;
+    /// `Status` has no explicit repr (RUST_ENUM_REPR).
+    fn c_report_status(status: Status);
+}
+
+/// C declares this export as `void rs_handle(long ptr)` — an integer
+/// where Rust passes a pointer (RUST_PTR_INT_CONFUSION).
+#[no_mangle]
+pub extern "C" fn rs_handle(ptr: *mut c_void) {
+    let _ = ptr;
+}
+
+/// `&str` is not FFI-safe: a fat pointer where C expects a
+/// NUL-terminated `const char *` (RUST_STR_PASSING).
+#[no_mangle]
+pub extern "C" fn rs_log(msg: &str) {
+    let _ = msg.len();
+}
+
+#[no_mangle]
+pub extern "C" fn rs_run() -> c_int {
+    unsafe {
+        if c_init(1) != 0 {
+            return -1;
+        }
+        c_report_status(Status::Ok);
+        let digest = c_crc(42);
+        c_buf_len(core::ptr::null()) as c_int + digest as c_int
+    }
+}

@@ -1,0 +1,50 @@
+/* C side of the clean Rust bindings: every declaration here renders to
+ * the same canonical C type as its Rust counterpart in `lib.rs`. */
+
+#include <stddef.h>
+#include <stdint.h>
+
+uint64_t c_checksum(const uint8_t *data, size_t len)
+{
+    uint64_t hash = 1469598103934665603ULL;
+    for (size_t i = 0; i < len; i++) {
+        hash = (hash ^ data[i]) * 1099511628211ULL;
+    }
+    return hash;
+}
+
+static char stored_name[64];
+
+int c_store_name(const char *name)
+{
+    size_t i = 0;
+    if (name == NULL) {
+        return -1;
+    }
+    while (name[i] != '\0' && i + 1 < sizeof(stored_name)) {
+        stored_name[i] = name[i];
+        i++;
+    }
+    stored_name[i] = '\0';
+    return (int)i;
+}
+
+static int current_mode;
+
+void c_set_mode(int mode)
+{
+    current_mode = mode;
+}
+
+/* Mirrors of the `#[no_mangle]` Rust exports this unit links against. */
+extern int64_t rs_accumulate(const int64_t *values, size_t count);
+extern uint32_t rs_version(void);
+
+int call_into_rust(void)
+{
+    int64_t vals[3] = { 1, 2, 3 };
+    if (rs_version() == 0U) {
+        return 0;
+    }
+    return (int)rs_accumulate(vals, 3);
+}

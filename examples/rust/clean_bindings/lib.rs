@@ -1,0 +1,41 @@
+//! Clean bindgen-style bindings: every declaration agrees with its
+//! C-side mirror in `glue.c`, so `mlffi-check batch --dialect rust`
+//! reports zero findings here.
+
+use std::os::raw::{c_char, c_int};
+
+#[repr(C)]
+pub enum Mode {
+    Idle = 0,
+    Busy = 1,
+}
+
+extern "C" {
+    /// Mirrors `uint64_t c_checksum(const uint8_t *data, size_t len)`.
+    fn c_checksum(data: *const u8, len: usize) -> u64;
+    /// Mirrors `int c_store_name(const char *name)`.
+    fn c_store_name(name: *const c_char) -> c_int;
+    /// Mirrors `void c_set_mode(int mode)` — `Mode` is `repr(C)`.
+    fn c_set_mode(mode: Mode);
+}
+
+#[no_mangle]
+pub extern "C" fn rs_accumulate(values: *const i64, count: usize) -> i64 {
+    let mut total: i64 = 0;
+    let mut index: usize = 0;
+    while index < count {
+        total += unsafe { *values.add(index) };
+        index += 1;
+    }
+    total
+}
+
+#[no_mangle]
+pub extern "C" fn rs_version() -> u32 {
+    let name = b"demo\0";
+    unsafe {
+        c_store_name(name.as_ptr() as *const c_char);
+        c_set_mode(Mode::Idle);
+        c_checksum(name.as_ptr(), name.len()) as u32
+    }
+}

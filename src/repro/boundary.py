@@ -19,21 +19,91 @@ foreign boundary the same way:
   ``jobject`` is the boxed value, ``JNINativeMethod`` tables and the
   ``Java_*`` export convention are the boundary contract, JVM type
   descriptors are the conversion signatures, and the local/global
-  reference lifecycle is the protection discipline.
+  reference lifecycle is the protection discipline;
+* ``rust`` — Rust ``extern "C"`` FFI (:mod:`repro.rustffi.dialect`),
+  where ``extern`` blocks and ``#[no_mangle]`` export mirrors are the
+  boundary contract, ``Γ_I`` comes from the ``.rs`` side the way
+  ``ocamlfront`` reads it from the repository, and declaration agreement
+  (arity, rendered type, platform width class) is the checked property.
 
-Adding a fourth dialect (Rust ``extern "C"``, Lua, ...) means
-implementing the protocol below and registering it; nothing in the core
-or the engine changes.
+Adding a fifth dialect (Lua, Erlang NIFs, ...) means implementing the
+protocol below and registering it with a :class:`DialectSpec`; nothing
+in the core or the engine changes.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # avoid import cycles: core/engine never import us back
     from .core.checker import AnalysisReport, InitialEnv
     from .core.environment import Entry
     from .engine.jobs import CheckRequest
+
+
+@dataclass(frozen=True)
+class DialectSpec:
+    """The declarative capability surface of one registered dialect.
+
+    Historically this knowledge was scattered: the corpus scanner probed
+    ``corpus_unit_suffixes`` with ``getattr``, the benchmarks hardcoded
+    per-dialect example directories, and the rule pack was implied by
+    kind-name prefixes.  A spec states all of it in one value, handed to
+    :func:`register_dialect` alongside the dialect object; consumers
+    (:mod:`repro.corpus`, the CLI's ``rules``/``conformance`` commands,
+    the benchmark harnesses) read the spec instead of probing the
+    dialect.  Dialects registered without a spec (third-party) get one
+    derived from their attributes, so the old structural contract keeps
+    working.
+    """
+
+    name: str
+    #: suffixes of host-language sources feeding ``Γ_I``
+    host_suffixes: tuple[str, ...] = ()
+    #: suffixes accepted as C-side inputs (units and headers)
+    unit_suffixes: tuple[str, ...] = (".c", ".h")
+    #: the subset of ``unit_suffixes`` a tree scan treats as standalone
+    #: translation units (headers are reached as dependencies)
+    corpus_unit_suffixes: tuple[str, ...] = (".c",)
+    #: repo-relative seeded example corpus (clean + bad), "" if none
+    example_dir: str = ""
+    #: repo-relative multi-unit link-example slice, "" if none
+    link_example_dir: str = ""
+    #: repo-relative benchmark module gating this dialect, "" if none
+    bench_module: str = ""
+    #: name of this dialect's pack in :mod:`repro.rules` (usually the
+    #: dialect name; the paper's own taxonomy is the ``ocaml`` pack)
+    rule_pack: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.rule_pack:
+            object.__setattr__(self, "rule_pack", self.name)
+
+
+def derive_spec(dialect) -> DialectSpec:
+    """A spec for a dialect registered without one.
+
+    This is the single home of the capability probes that used to be
+    scattered: the ``corpus_unit_suffixes`` pin wins when present,
+    otherwise unit suffixes are derived by dropping header-ish and host
+    suffixes, falling back to the historic ``.c``-only scan.
+    """
+    hosts = tuple(getattr(dialect, "host_suffixes", ()))
+    units = tuple(getattr(dialect, "unit_suffixes", ()))
+    pinned = tuple(getattr(dialect, "corpus_unit_suffixes", ()) or ())
+    if not pinned:
+        pinned = tuple(
+            suffix
+            for suffix in units
+            if suffix not in hosts and suffix not in (".h", ".hpp", ".hh")
+        ) or (".c",)
+    return DialectSpec(
+        name=getattr(dialect, "name", "<anonymous>"),
+        host_suffixes=hosts,
+        unit_suffixes=units,
+        corpus_unit_suffixes=pinned,
+    )
 
 
 @runtime_checkable
@@ -97,12 +167,26 @@ class BoundaryDialect(Protocol):
 
 
 _REGISTRY: dict[str, BoundaryDialect] = {}
+_SPECS: dict[str, DialectSpec] = {}
 _BOOTSTRAPPED = False
 
 
-def register_dialect(dialect: BoundaryDialect) -> BoundaryDialect:
-    """Make a dialect addressable by name (last registration wins)."""
+def register_dialect(
+    dialect: BoundaryDialect, spec: Optional[DialectSpec] = None
+) -> BoundaryDialect:
+    """Make a dialect addressable by name (last registration wins).
+
+    ``spec`` declares the dialect's capability surface; when omitted one
+    is derived from the dialect's attributes (the legacy structural
+    contract), so third-party registrations keep working unchanged.
+    """
+    if spec is not None and spec.name != dialect.name:
+        raise ValueError(
+            f"spec name `{spec.name}` does not match dialect "
+            f"`{dialect.name}`"
+        )
     _REGISTRY[dialect.name] = dialect
+    _SPECS[dialect.name] = spec if spec is not None else derive_spec(dialect)
     return dialect
 
 
@@ -115,6 +199,7 @@ def _bootstrap() -> None:
     from .jni import dialect as _jni  # noqa: F401
     from .ocamlfront import dialect as _ocaml  # noqa: F401
     from .pyext import dialect as _pyext  # noqa: F401
+    from .rustffi import dialect as _rust  # noqa: F401
 
 
 def get_dialect(name: str) -> BoundaryDialect:
@@ -127,6 +212,30 @@ def get_dialect(name: str) -> BoundaryDialect:
         raise ValueError(
             f"unknown boundary dialect `{name}` (known: {known})"
         ) from None
+
+
+def get_spec(name: str) -> DialectSpec:
+    """The declared (or derived) capability spec of a registered dialect."""
+    get_dialect(name)  # bootstrap + unknown-name error path
+    return _SPECS[name]
+
+
+def spec_of(dialect_or_spec) -> DialectSpec:
+    """Normalize ``DialectSpec`` | dialect name | registered dialect |
+    dialect-like.
+
+    The corpus scanner and benchmarks accept any of these; an
+    unregistered dialect-like object gets a derived spec so structural
+    third-party dialects can still drive a tree scan directly.
+    """
+    if isinstance(dialect_or_spec, DialectSpec):
+        return dialect_or_spec
+    if isinstance(dialect_or_spec, str):
+        return get_spec(dialect_or_spec)
+    name = getattr(dialect_or_spec, "name", None)
+    if name is not None and _REGISTRY.get(name) is dialect_or_spec:
+        return _SPECS[name]
+    return derive_spec(dialect_or_spec)
 
 
 def available_dialects() -> tuple[str, ...]:

@@ -18,6 +18,8 @@ Usage::
     mlffi-check serve src/glue --tcp 0.0.0.0:9178 --reuse-port \\
         --shared-store /var/cache/mlffi
     mlffi-check watch src/glue --interval 1
+    mlffi-check rules [--dialect rust] [--format json]
+    mlffi-check conformance src/glue --dialect rust --format sarif
     mlffi-check bench [--program lablgtk-2.2.0]
     mlffi-check example
 
@@ -34,9 +36,14 @@ pipeline, so RSS stays flat on 10k–100k unit corpora.  ``link`` is the
 streaming sweep + link pass as one command.  ``serve`` keeps the
 analysis resident and answers newline-delimited JSON-RPC on stdio or
 TCP; ``watch`` polls the tree and incrementally re-checks on every
-change.  ``bench`` regenerates the Figure 9 table from
-the synthesized suite.  ``example`` runs the paper's Figure 2 program as a
-smoke test.
+change.  ``rules`` lists the stable rule registry (every diagnostic
+kind's public ID, severity, and guideline provenance; see
+:mod:`repro.rules`); ``conformance`` sweeps and links a corpus like
+``link`` but reports *by rule* — every rule of the dialect's pack (and
+the link pack) with its finding count and pass/fail status, the shape
+a safety-guideline audit wants.  ``bench`` regenerates the Figure 9
+table from the synthesized suite.  ``example`` runs the paper's
+Figure 2 program as a smoke test.
 """
 
 from __future__ import annotations
@@ -50,7 +57,7 @@ from typing import Optional, Sequence
 
 from . import __version__
 from .api import Project
-from .boundary import available_dialects, get_dialect
+from .boundary import available_dialects, get_dialect, get_spec
 from .core.exprs import Options
 from .corpus import iter_tree
 from .engine import (
@@ -64,6 +71,8 @@ from .engine import (
     render_unit,
     stream_batch,
 )
+from .rules import REGISTRY as RULE_REGISTRY
+from .rules import rules_pack
 from .sarif import batch_sarif_log, sarif_log
 from .server.async_daemon import DEFAULT_MAX_QUEUE, DEFAULT_WORKERS
 from .source import SourceFile
@@ -470,6 +479,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stop after N polls (0 = run until interrupted)",
     )
 
+    rules = sub.add_parser(
+        "rules",
+        help="list the stable rule registry: every diagnostic kind's "
+        "public ID, default severity, summary, and guideline provenance",
+    )
+    rules.add_argument(
+        "--dialect",
+        choices=RULE_REGISTRY.dialects(),
+        default=None,
+        help="show only one pack (default: every pack, the paper's own "
+        "taxonomy is the `ocaml` pack, cross-unit rules the `link` pack)",
+    )
+    rules.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="sweep + link a corpus and report BY RULE: every rule of "
+        "the dialect's pack (plus the link pack) with its finding count "
+        "and pass/fail status",
+    )
+    conformance.add_argument(
+        "directory",
+        help="corpus root to scan, check, link, and audit",
+    )
+    _add_dialect_flag(conformance)
+    _add_jobs_flag(conformance)
+    _add_cache_flags(conformance)
+    _add_strict_flag(conformance)
+    _add_ablation_flags(conformance)
+    conformance.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (sarif carries every grouped finding with "
+        "registry rule metadata)",
+    )
+    conformance.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="N",
+        help="in-flight unit bound for the streaming sweep (0 = 4x jobs)",
+    )
+
     bench = sub.add_parser("bench", help="regenerate the Figure 9 table")
     bench.add_argument(
         "--program", help="run a single benchmark by name", default=None
@@ -822,6 +880,140 @@ def _run_link(args: argparse.Namespace) -> int:
     )
 
 
+def _run_rules(args: argparse.Namespace) -> int:
+    """``mlffi-check rules``: print the stable rule registry."""
+    rules = rules_pack(args.dialect)
+    if args.format == "json":
+        payload = {"rules": [rule.to_dict() for rule in rules]}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    by_pack: dict[str, list] = {}
+    for rule in rules:
+        by_pack.setdefault(rule.dialect, []).append(rule)
+    for pack, members in by_pack.items():
+        print(f"== pack {pack}")
+        for rule in members:
+            print(
+                f"   {rule.id:<28} {rule.category.value:<15} {rule.summary}"
+            )
+    packs = len(by_pack)
+    print(f"-- {len(rules)} rule(s) in {packs} pack(s)")
+    return 0
+
+
+def _conformance_rows(
+    dialect: str, fired: dict[str, int]
+) -> list[tuple["Rule", int]]:
+    """Every rule the audit covers, with its finding count.
+
+    Coverage is the dialect's own pack plus the cross-unit ``link``
+    pack; rules that fired from outside both (the shared paper taxonomy
+    can fire under any dialect) are appended so no finding is dropped.
+    """
+    covered = list(rules_pack(get_spec(dialect).rule_pack))
+    covered += rules_pack("link")
+    covered_ids = {rule.id for rule in covered}
+    for rule_id in sorted(fired):
+        if rule_id not in covered_ids:
+            covered.append(RULE_REGISTRY.get(rule_id))
+    return [(rule, fired.get(rule.id, 0)) for rule in covered]
+
+
+def _run_conformance(args: argparse.Namespace) -> int:
+    """``mlffi-check conformance``: the link sweep, reported by rule."""
+    options = Options(
+        flow_sensitive=not args.no_flow_sensitive,
+        gc_effects=not args.no_gc_effects,
+    )
+    requests = _stream_scan(args, options)
+    if requests is None:
+        return 125
+    cache = _make_cache(args)
+    from .linker import Linker
+
+    linker = Linker()
+    fired: dict[str, int] = {}
+    findings: list = []
+
+    def record(diag) -> None:
+        fired[diag.rule_id] = fired.get(diag.rule_id, 0) + 1
+        findings.append(diag)
+
+    def on_result(result) -> None:
+        if result.failure is None and result.summary:
+            linker.add_dict(result.summary)
+        for diag in result.diagnostics:
+            record(diag)
+
+    with span("conformance-sweep", cat="phase"):
+        stats = stream_batch(
+            requests(),
+            jobs=args.jobs,
+            cache=cache,
+            on_result=on_result,
+            window=args.window or None,
+        )
+    link_report = linker.report()
+    for diag in link_report.diagnostics:
+        record(diag)
+    rows = _conformance_rows(args.dialect, fired)
+
+    def status(rule, count: int) -> str:
+        if not count:
+            return "pass"
+        if rule.category.value == "error":
+            return "fail"
+        if rule.category.value == "warning":
+            return "fail" if args.strict else "warn"
+        return "info"
+
+    if args.format == "sarif":
+        print(
+            json.dumps(
+                sarif_log(findings, tool_version=__version__),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif args.format == "json":
+        doc = {
+            "conformance": {
+                "dialect": args.dialect,
+                "pack": get_spec(args.dialect).rule_pack,
+                "rules": [
+                    {
+                        **rule.to_dict(),
+                        "findings": count,
+                        "status": status(rule, count),
+                    }
+                    for rule, count in rows
+                ],
+            },
+            "stream": stats.to_dict(),
+            "link": link_report.to_dict(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"== conformance: {args.directory} (dialect {args.dialect})")
+        for rule, count in rows:
+            verdict = status(rule, count)
+            suffix = f"{count} finding(s)" if count else "-"
+            print(f"   {verdict:<4} {rule.id:<28} {suffix}")
+        failing = sum(
+            1 for rule, count in rows if status(rule, count) == "fail"
+        )
+        total = sum(count for _rule, count in rows)
+        print(
+            f"-- conformance: {stats.units} unit(s), {len(rows)} rule(s) "
+            f"checked, {failing} failing, {total} finding(s)"
+        )
+    if stats.failures:
+        return 125
+    return _exit_code(
+        _combined_tally(stats.tally, link_report.tally()), args.strict
+    )
+
+
 def _build_engine(args: argparse.Namespace) -> Optional[IncrementalEngine]:
     """The resident engine behind both ``serve`` and ``watch``."""
     root = Path(args.directory)
@@ -995,6 +1187,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "watch":
         return _run_watch(args)
+    if args.command == "rules":
+        return _run_rules(args)
+    if args.command == "conformance":
+        return _run_conformance(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "example":

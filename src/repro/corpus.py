@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Optional
 
+from .boundary import spec_of
 from .source import SourceFile
 
 
@@ -52,23 +53,14 @@ def read_source(
 def unit_suffixes(spec) -> tuple[str, ...]:
     """The suffixes that make a file a *translation unit* for ``spec``.
 
-    A dialect may pin these explicitly via ``corpus_unit_suffixes``;
-    otherwise they are derived from its ``unit_suffixes`` by dropping
-    header-ish and host suffixes (headers reach the analysis as
-    dependencies of the unit that includes them, never as standalone
-    units).  The historic behaviour — scan ``.c`` only — is the fallback,
-    so a dialect that names no C-like suffix still scans something.
+    ``spec`` may be a :class:`~repro.boundary.DialectSpec`, a registered
+    dialect, or any dialect-like object; :func:`repro.boundary.spec_of`
+    normalizes all three.  The derivation rules (explicit
+    ``corpus_unit_suffixes`` pin wins, else drop header-ish and host
+    suffixes, else the historic ``.c``-only scan) live with the spec,
+    not here.
     """
-    pinned = getattr(spec, "corpus_unit_suffixes", None)
-    if pinned:
-        return tuple(pinned)
-    hosts = set(getattr(spec, "host_suffixes", ()))
-    derived = tuple(
-        suffix
-        for suffix in getattr(spec, "unit_suffixes", ())
-        if suffix not in hosts and suffix not in (".h", ".hpp", ".hh")
-    )
-    return derived or (".c",)
+    return tuple(spec_of(spec).corpus_unit_suffixes)
 
 
 @dataclass
@@ -109,12 +101,13 @@ def iter_tree(
     name_for: Callable[[Path], str] = str,
 ) -> StreamScan:
     """Walk ``root`` with the dialect's suffix map, hosts eager, units lazy."""
-    units = unit_suffixes(spec)
+    resolved = spec_of(spec)
+    units = resolved.corpus_unit_suffixes
     scan = StreamScan(name_for=name_for)
     for path in sorted(Path(root).rglob("*")):
         if not path.is_file():
             continue
-        if path.suffix in spec.host_suffixes:
+        if path.suffix in resolved.host_suffixes:
             source = read_source(path, name_for(path))
             if source is not None:
                 scan.hosts.append(source)

@@ -115,6 +115,34 @@ class Kind(enum.Enum):
         Category.ERROR,
     )
 
+    # -- rust dialect: extern "C" declaration agreement --------------------
+    RUST_DECL_MISMATCH = (
+        "Rust extern \"C\" declaration disagrees with the C-side "
+        "declaration of the same symbol (arity or rendered type)",
+        Category.ERROR,
+    )
+    RUST_PLATFORM_WIDTH = (
+        "platform-dependent width class on one side of the boundary "
+        "paired with a fixed (or differently platform-dependent) width "
+        "on the other (size_t/usize vs int/i32, long vs i64)",
+        Category.ERROR,
+    )
+    RUST_PTR_INT_CONFUSION = (
+        "pointer on one side of the boundary, integer on the other",
+        Category.ERROR,
+    )
+    RUST_ENUM_REPR = (
+        "enum crosses the extern \"C\" boundary without an explicit "
+        "repr, or its repr disagrees with the C-side width",
+        Category.ERROR,
+    )
+    RUST_STR_PASSING = (
+        "non-FFI-safe Rust string/slice type (&str, String, &[T]) in an "
+        "extern \"C\" signature where C expects a NUL-terminated pointer "
+        "or pointer+length pair",
+        Category.ERROR,
+    )
+
     # -- link step: cross-unit boundary inconsistencies --------------------
     LINK_CONFLICTING_DECL = (
         "the same boundary symbol is declared with conflicting C types "
@@ -197,6 +225,17 @@ class Diagnostic:
     def category(self) -> Category:
         return self.kind.category
 
+    @property
+    def rule_id(self) -> str:
+        """The stable rule ID this diagnostic fires (see :mod:`repro.rules`).
+
+        Rule IDs are the public contract — SARIF ``ruleId``, conformance
+        grouping, suppression configs — and are identical to the
+        :class:`Kind` member name, which is append-only: a kind is never
+        renamed once released.
+        """
+        return self.kind.name
+
     def render(self) -> str:
         where = f"{self.span}" if self.span is not DUMMY_SPAN else "<unknown>"
         scope = f" [in {self.function}]" if self.function else ""
@@ -209,6 +248,7 @@ class Diagnostic:
         """JSON-able form, round-tripped by the batch-engine result cache."""
         return {
             "kind": self.kind.name,
+            "rule_id": self.rule_id,
             "category": self.category.value,
             "span": self.span.to_dict(),
             "message": self.message,

@@ -44,7 +44,10 @@ from ..source import SourceFile
 #: v7: results carry ``probe_seconds`` (the measured cost of serving a
 #: cache hit, distinct from the analysis wall time) so trend math over
 #: replayed entries never divides by a silent 0.0.
-CACHE_SCHEMA_VERSION = 7
+#: v8: diagnostics carry their stable ``rule_id`` (see
+#: :mod:`repro.rules`); fourth dialect (rust) with RUST_* kinds; interface
+#: summaries grew the ``host_exports`` row group the linker folds in.
+CACHE_SCHEMA_VERSION = 8
 
 
 def _digest_sources(sources: Iterable[SourceFile]) -> str:

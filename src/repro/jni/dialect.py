@@ -19,7 +19,7 @@ tallies, caching, and rendering need no dialect-specific code.
 
 from __future__ import annotations
 
-from ..boundary import register_dialect
+from ..boundary import DialectSpec, register_dialect
 from ..cfront.ast import TranslationUnit
 from ..cfront.ir import ProgramIR
 from ..cfront.lexer import scan_includes
@@ -135,4 +135,15 @@ class JniDialect:
         return tuple(deps)
 
 
-JNI_DIALECT = register_dialect(JniDialect())
+JNI_DIALECT = register_dialect(
+    JniDialect(),
+    DialectSpec(
+        name="jni",
+        host_suffixes=(),
+        unit_suffixes=(".c", ".h"),
+        corpus_unit_suffixes=(".c",),
+        example_dir="examples/jni",
+        link_example_dir="examples/link/jni",
+        bench_module="benchmarks/bench_jni.py",
+    ),
+)

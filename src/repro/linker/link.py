@@ -8,7 +8,10 @@ four rules, in deterministic symbol order:
 
 ``LINK_CONFLICTING_DECL``
     The same symbol carries two different rendered C types across the
-    corpus's definitions and extern declarations.
+    corpus's definitions, extern declarations, and typed host-side
+    claims (Rust ``extern "C"`` imports and ``#[no_mangle]`` exports
+    render to canonical C, so they join the comparison; bindings of
+    the other dialects carry no type and are skipped as before).
 ``LINK_DUPLICATE_REGISTRATION``
     The same host-visible registration key (``PyMethodDef`` name,
     ``JNINativeMethod`` name+descriptor, ``Java_*``/``PyInit_*`` export)
@@ -20,11 +23,13 @@ four rules, in deterministic symbol order:
     private helpers copied between units must not be flagged.
 ``LINK_UNRESOLVED_EXTERN``
     A registration target or host binding names a C symbol no linked
-    unit defines.
+    unit defines.  Host exports count as definitions: a Rust
+    ``#[no_mangle]`` fn resolves the C prototypes that call it.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 from ..diagnostics import Diagnostic, DiagnosticBag, Kind
@@ -45,6 +50,31 @@ def _site(row: SymbolRow) -> str:
     return f"{row.file}:{row.line}"
 
 
+#: Fixed-width ``<stdint.h>`` aliases normalize to one spelling before
+#: the conflict comparison: ``uint32_t`` versus ``unsigned int`` is the
+#: same platform type, not a link hazard (a Rust host renders ``u32`` as
+#: ``unsigned int`` while a bindgen header spells ``uint32_t``).
+#: Pointer-width aliases (``size_t``, ``uintptr_t``, ...) stay distinct:
+#: they are semantic types of their own and mixing them is a finding.
+_STDINT_ALIASES = {
+    "int8_t": "signed char",
+    "uint8_t": "unsigned char",
+    "int16_t": "short",
+    "uint16_t": "unsigned short",
+    "int32_t": "int",
+    "uint32_t": "unsigned int",
+    "int64_t": "long long",
+    "uint64_t": "unsigned long long",
+}
+_STDINT_RE = re.compile(r"\b(u?int(?:8|16|32|64)_t)\b")
+
+
+def _canonical_type(rendered: str) -> str:
+    return _STDINT_RE.sub(
+        lambda m: _STDINT_ALIASES[m.group(1)], rendered
+    )
+
+
 @dataclass
 class LinkReport:
     """Outcome of one whole-corpus link pass."""
@@ -55,6 +85,7 @@ class LinkReport:
     externs: int = 0
     registrations: int = 0
     bindings: int = 0
+    host_exports: int = 0
     elapsed_seconds: float = 0.0
 
     def tally(self) -> dict[str, int]:
@@ -69,10 +100,17 @@ class LinkReport:
         for diag in self.diagnostics:
             lines.append("   " + diag.render())
         counts = self.tally()
+        # mention host exports only when a dialect produced them, so the
+        # footer stays byte-identical for the pre-existing corpora
+        hosts = (
+            f", {self.host_exports} host export(s)"
+            if self.host_exports
+            else ""
+        )
         lines.append(
             f"-- link: {self.units} unit(s), {self.exports} export(s), "
             f"{self.externs} extern(s), {self.registrations} "
-            f"registration(s), {self.bindings} binding(s): "
+            f"registration(s), {self.bindings} binding(s){hosts}: "
             f"{counts['errors']} error(s), {counts['warnings']} warning(s)"
         )
         return "\n".join(lines)
@@ -84,6 +122,7 @@ class LinkReport:
             "externs": self.externs,
             "registrations": self.registrations,
             "bindings": self.bindings,
+            "host_exports": self.host_exports,
             "tally": self.tally(),
             "diagnostics": [diag.to_dict() for diag in self.diagnostics],
             "elapsed_seconds": self.elapsed_seconds,
@@ -104,6 +143,9 @@ class Linker:
         #: host bindings, deduped — host files are shared across units,
         #: so every unit of an OCaml corpus reports the same externals
         self._bindings: dict[tuple[str, str, str, int, str], SymbolRow] = {}
+        #: host-side definitions (Rust ``#[no_mangle]``), deduped for the
+        #: same reason: the ``.rs`` side repeats in every unit's summary
+        self._host_exports: dict[tuple[str, str, str, int, str], SymbolRow] = {}
         self._registration_rows = 0
 
     def add(self, summary: InterfaceSummary) -> None:
@@ -120,6 +162,9 @@ class Linker:
         for row in summary.bindings:
             dedupe = (row.symbol, row.type, row.file, row.line, row.detail)
             self._bindings.setdefault(dedupe, row)
+        for row in summary.host_exports:
+            dedupe = (row.symbol, row.type, row.file, row.line, row.detail)
+            self._host_exports.setdefault(dedupe, row)
 
     def add_dict(self, data: dict) -> None:
         self.add(InterfaceSummary.from_dict(data))
@@ -164,23 +209,39 @@ class Linker:
             for _unit, row in sites:
                 duplicate_registered.add(self._registration_target(row))
 
+        # typed host-side claims join the comparison: Rust imports are
+        # bindings with a rendered C type, Rust exports are host_exports
+        host_claims: dict[str, list[tuple[str, SymbolRow]]] = {}
+        for row in self._bindings.values():
+            if row.type:
+                host_claims.setdefault(row.symbol, []).append(("<host>", row))
+        for row in self._host_exports.values():
+            host_claims.setdefault(row.symbol, []).append(("<host>", row))
+
         # conflicting declarations: every type claim (definitions plus
-        # extern prototypes) for one symbol must render identically
-        claim_symbols = sorted(set(self._exports) | set(self._externs))
+        # extern prototypes plus typed host claims) for one symbol must
+        # render identically
+        claim_symbols = sorted(
+            set(self._exports) | set(self._externs) | set(host_claims)
+        )
         for symbol in claim_symbols:
             claims = list(self._exports.get(symbol, ()))
             claims += self._externs.get(symbol, ())
+            claims += host_claims.get(symbol, ())
             by_type: dict[str, tuple[str, SymbolRow]] = {}
             for unit, row in sorted(
                 claims, key=lambda s: (_site(s[1]), s[0])
             ):
-                if row.type and row.type not in by_type:
-                    by_type[row.type] = (unit, row)
+                if not row.type:
+                    continue
+                canonical = _canonical_type(row.type)
+                if canonical not in by_type:
+                    by_type[canonical] = (unit, row)
             if len(by_type) < 2:
                 continue
             rendered = "; ".join(
-                f"'{ctype}' at {_site(row)}"
-                for ctype, (_unit, row) in by_type.items()
+                f"'{row.type}' at {_site(row)}"
+                for _unit, row in by_type.values()
             )
             last = list(by_type.values())[-1][1]
             bag.emit(
@@ -190,9 +251,17 @@ class Linker:
                 f"C types: {rendered}",
             )
 
-        # duplicate definitions of link-relevant symbols
-        for symbol in sorted(self._exports):
-            sites = self._exports[symbol]
+        # duplicate definitions of link-relevant symbols; a host-side
+        # definition (Rust #[no_mangle]) collides with a C body too
+        definition_sites: dict[str, list[tuple[str, SymbolRow]]] = {
+            symbol: list(sites) for symbol, sites in self._exports.items()
+        }
+        for row in self._host_exports.values():
+            definition_sites.setdefault(row.symbol, []).append(
+                ("<host>", row)
+            )
+        for symbol in sorted(definition_sites):
+            sites = definition_sites[symbol]
             if len(sites) < 2:
                 continue
             if symbol in duplicate_registered:
@@ -207,8 +276,10 @@ class Linker:
                 f"boundary symbol '{symbol}' defined in both {where}",
             )
 
-        # unresolved registration targets and host bindings
+        # unresolved registration targets and host bindings; host-side
+        # definitions resolve references like any C body does
         defined = set(self._exports)
+        defined.update(row.symbol for row in self._host_exports.values())
         missing: dict[str, tuple[str, SymbolRow]] = {}
         for key in sorted(self._registrations):
             for unit, row in self._registrations[key]:
@@ -242,4 +313,5 @@ class Linker:
             externs=sum(len(sites) for sites in self._externs.values()),
             registrations=self._registration_rows,
             bindings=len(self._bindings),
+            host_exports=len(self._host_exports),
         )

@@ -6,7 +6,7 @@ so it flows through every cache tier (memory, disk, shared store) and the
 incremental engine's resident payloads: only dirty units re-summarize,
 and the link pass re-runs over summaries, never sources.
 
-Four row groups cover the three dialects:
+Five row groups cover the four dialects:
 
 ``exports``
     C functions *defined* (with a body) in the unit, with their rendered
@@ -21,8 +21,14 @@ Four row groups cover the three dialects:
     names the C function it targets.
 ``bindings``
     Host-interface declarations binding a host name to a C symbol
-    (OCaml ``external``).  Host files are shared across units, so the
-    linker dedupes identical binding rows.
+    (OCaml ``external``, Rust ``extern "C"`` imports).  Host files are
+    shared across units, so the linker dedupes identical binding rows.
+``host_exports``
+    Symbols the *host side* supplies to C (Rust ``#[no_mangle] extern
+    "C"`` definitions), with their canonical C rendering.  They count
+    as definitions for resolution, join the conflicting-declaration
+    claim set when typed, and — like bindings — are deduped because the
+    host files repeat in every unit's summary.
 """
 
 from __future__ import annotations
@@ -72,6 +78,7 @@ class InterfaceSummary:
     externs: list[SymbolRow] = field(default_factory=list)
     registrations: list[SymbolRow] = field(default_factory=list)
     bindings: list[SymbolRow] = field(default_factory=list)
+    host_exports: list[SymbolRow] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -81,6 +88,7 @@ class InterfaceSummary:
             "externs": [row.to_dict() for row in self.externs],
             "registrations": [row.to_dict() for row in self.registrations],
             "bindings": [row.to_dict() for row in self.bindings],
+            "host_exports": [row.to_dict() for row in self.host_exports],
         }
 
     @classmethod
@@ -94,4 +102,7 @@ class InterfaceSummary:
                 SymbolRow.from_dict(r) for r in data.get("registrations", ())
             ],
             bindings=[SymbolRow.from_dict(r) for r in data.get("bindings", ())],
+            host_exports=[
+                SymbolRow.from_dict(r) for r in data.get("host_exports", ())
+            ],
         )

@@ -13,7 +13,7 @@ units (the unifier must not see another unit's bindings).
 
 from __future__ import annotations
 
-from ..boundary import register_dialect
+from ..boundary import DialectSpec, register_dialect
 from ..cfront.ir import ProgramIR
 from ..cfront.lexer import scan_includes
 from ..cfront.lower import lower_unit
@@ -129,4 +129,15 @@ class OCamlDialect:
         return tuple(deps)
 
 
-OCAML_DIALECT = register_dialect(OCamlDialect())
+OCAML_DIALECT = register_dialect(
+    OCamlDialect(),
+    DialectSpec(
+        name="ocaml",
+        host_suffixes=(".ml", ".mli"),
+        unit_suffixes=(".c", ".h"),
+        corpus_unit_suffixes=(".c",),
+        example_dir="examples/glue",
+        link_example_dir="examples/link/ocaml",
+        bench_module="benchmarks/bench_fig9.py",
+    ),
+)

@@ -17,7 +17,7 @@ tallies, caching, and rendering need no dialect-specific code.
 
 from __future__ import annotations
 
-from ..boundary import register_dialect
+from ..boundary import DialectSpec, register_dialect
 from ..cfront.ast import TranslationUnit
 from ..cfront.ir import ProgramIR
 from ..cfront.lexer import scan_includes
@@ -131,4 +131,15 @@ class PyExtDialect:
         return tuple(deps)
 
 
-PYEXT_DIALECT = register_dialect(PyExtDialect())
+PYEXT_DIALECT = register_dialect(
+    PyExtDialect(),
+    DialectSpec(
+        name="pyext",
+        host_suffixes=(),
+        unit_suffixes=(".c", ".h"),
+        corpus_unit_suffixes=(".c",),
+        example_dir="examples/pyext",
+        link_example_dir="examples/link/pyext",
+        bench_module="benchmarks/bench_pyext.py",
+    ),
+)

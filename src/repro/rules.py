@@ -1,0 +1,212 @@
+"""The stable rule-ID registry — the public API of the diagnostic packs.
+
+Four dialects accumulated diagnostic kinds organically (``PY_*``,
+``JNI_*``, ``LINK_*``, ``RUST_*`` plus the paper's original taxonomy);
+this module makes the surface first-class: every
+:class:`~repro.diagnostics.Kind` registers exactly one :class:`Rule`
+with a *stable* ID (the kind name, append-only and never renamed), a
+default severity, a one-line summary, and guideline provenance — where
+the rule comes from (the paper section, the CPython/JNI reference, the
+Safety-Critical Rust Coding Guidelines' FFI chapter) and a help URI.
+
+Consumers:
+
+* :mod:`repro.sarif` emits its ``rules`` metadata (``helpUri``,
+  ``properties.dialect``/``guideline``) from here instead of per-run
+  ad-hoc dedup;
+* ``mlffi-check rules`` lists the packs, ``mlffi-check conformance``
+  groups batch/link results by rule with pass/fail counts;
+* the server's ``rules`` RPC serves the same payload over the wire.
+
+The registry is deterministic: rules order by dialect pack, then by
+declaration order of the :class:`Kind` enum, so goldens stay stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .diagnostics import Category, Kind
+
+#: Guideline provenance anchors, one per source of truth.
+PAPER_URI = "https://doi.org/10.1145/1065010.1065019"
+CPYTHON_URI = "https://docs.python.org/3/c-api/intro.html"
+JNI_URI = (
+    "https://docs.oracle.com/en/java/javase/17/docs/specs/jni/design.html"
+)
+RUST_GUIDELINES_URI = (
+    "https://coding-guidelines.arewesafetycriticalyet.org/"
+    "coding-guidelines/ffi.html"
+)
+RUST_UB_STUDY_URI = "https://arxiv.org/abs/2404.11671"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One stable reporting rule: the public face of a diagnostic kind."""
+
+    id: str
+    dialect: str
+    category: Category
+    summary: str
+    #: where the rule comes from (paper section, guideline ID, API doc)
+    guideline: str
+    help_uri: str
+
+    @property
+    def kind(self) -> Kind:
+        return Kind[self.id]
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "dialect": self.dialect,
+            "severity": self.category.value,
+            "sarif_level": self.category.sarif_level,
+            "summary": self.summary,
+            "guideline": self.guideline,
+            "help_uri": self.help_uri,
+        }
+
+
+#: kind-name prefix -> (pack name, guideline provenance, help URI).
+#: Longest matching prefix wins; kinds with no prefix match fall into the
+#: paper's own pack (the ocaml dialect IS the paper's configuration).
+_PACK_BY_PREFIX: tuple[tuple[str, str, str, str], ...] = (
+    ("PY_", "pyext", "CPython C-API reference counting & argument "
+     "parsing contracts", CPYTHON_URI),
+    ("JNI_", "jni", "JNI 17 specification, design overview", JNI_URI),
+    ("RUST_", "rust", "Safety-Critical Rust Coding Guidelines, FFI "
+     "chapter (gui_QmEmKMYSuQSl: use matching type declarations at the "
+     "language boundary); Rust-UB FFI study", RUST_GUIDELINES_URI),
+    ("LINK_", "link", "whole-program boundary linking (cross-unit "
+     "declaration agreement, paper §2 generalized)", PAPER_URI),
+)
+
+#: Per-rule guideline refinements where one line beats the pack default.
+_GUIDELINE_OVERRIDES: dict[str, tuple[str, str]] = {
+    "RUST_DECL_MISMATCH": (
+        "gui_QmEmKMYSuQSl: use matching type declarations at the "
+        "language boundary",
+        RUST_GUIDELINES_URI,
+    ),
+    "RUST_PLATFORM_WIDTH": (
+        "gui_QmEmKMYSuQSl non-compliant example: size_t vs int is "
+        "platform-dependent; fixed and platform width classes must not "
+        "be mixed across the boundary",
+        RUST_GUIDELINES_URI,
+    ),
+    "RUST_PTR_INT_CONFUSION": (
+        "Rust-UB FFI study: pointer/integer confusion across "
+        "foreign-function boundaries",
+        RUST_UB_STUDY_URI,
+    ),
+    "RUST_ENUM_REPR": (
+        "Rust Reference: enums without an explicit repr have no "
+        "ABI-stable layout and are not FFI-safe",
+        RUST_GUIDELINES_URI,
+    ),
+    "RUST_STR_PASSING": (
+        "Rust-UB FFI study: &str/String/&[T] are fat or non-C layouts; "
+        "C expects a NUL-terminated pointer or pointer+length pair",
+        RUST_UB_STUDY_URI,
+    ),
+}
+
+
+def _pack_for(kind_name: str) -> tuple[str, str, str]:
+    for prefix, pack, guideline, uri in _PACK_BY_PREFIX:
+        if kind_name.startswith(prefix):
+            return pack, guideline, uri
+    return (
+        "ocaml",
+        "Furr & Foster, PLDI 2005 §5.2 (the paper's own taxonomy)",
+        PAPER_URI,
+    )
+
+
+class RuleRegistry:
+    """Stable-ID lookup over every registered rule, in pack order."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id `{rule.id}`")
+        self._rules[rule.id] = rule
+        return rule
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            known = ", ".join(sorted(self._rules))
+            raise KeyError(
+                f"unknown rule id `{rule_id}` (known: {known})"
+            ) from None
+
+    def for_kind(self, kind: Kind) -> Rule:
+        return self.get(kind.name)
+
+    def dialects(self) -> tuple[str, ...]:
+        return tuple(
+            sorted({rule.dialect for rule in self._rules.values()})
+        )
+
+    def pack(self, dialect: Optional[str] = None) -> tuple[Rule, ...]:
+        """The rules of one dialect's pack (or every rule), in
+        declaration order of the :class:`Kind` enum."""
+        rules = [
+            self._rules[kind.name]
+            for kind in Kind
+            if kind.name in self._rules
+        ]
+        if dialect is not None:
+            rules = [rule for rule in rules if rule.dialect == dialect]
+        return tuple(rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.pack())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+
+def _build_registry() -> RuleRegistry:
+    registry = RuleRegistry()
+    for kind in Kind:
+        pack, guideline, uri = _pack_for(kind.name)
+        override = _GUIDELINE_OVERRIDES.get(kind.name)
+        if override is not None:
+            guideline, uri = override
+        registry.register(
+            Rule(
+                id=kind.name,
+                dialect=pack,
+                category=kind.category,
+                summary=kind.summary,
+                guideline=guideline,
+                help_uri=uri,
+            )
+        )
+    return registry
+
+
+#: The process-wide registry.  Every :class:`Kind` is registered at import
+#: time, so a kind without a rule is unrepresentable.
+REGISTRY: RuleRegistry = _build_registry()
+
+
+def rule_for_kind(kind: Kind) -> Rule:
+    """The registered rule behind one diagnostic kind."""
+    return REGISTRY.for_kind(kind)
+
+
+def rules_pack(dialect: Optional[str] = None) -> tuple[Rule, ...]:
+    """The (optionally dialect-filtered) rule pack, in stable order."""
+    return REGISTRY.pack(dialect)

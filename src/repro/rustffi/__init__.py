@@ -1,0 +1,26 @@
+"""Rust ``extern "C"`` FFI support — the fourth boundary dialect.
+
+The checked property is *declaration agreement*: every symbol that
+crosses the boundary is declared twice — once in Rust (an ``extern
+"C"`` block importing a C function, or a ``#[no_mangle] pub extern
+"C"`` definition exported to C) and once in C (a prototype in a
+bindgen-style header, or the defining translation unit).  The two
+declarations must agree in arity, in rendered type, and in *platform
+width class*: ``size_t``/``usize`` are pointer-width on both sides,
+``int``/``i32`` are 32-bit by convention, but ``usize`` against ``int``
+is exactly the non-compliant example of the safety guidelines' FFI
+chapter.
+
+Modules:
+
+* :mod:`repro.rustffi.parser` — reads the Rust FFI surface out of
+  ``.rs`` sources (no full Rust parser: only the items that can cross
+  the boundary);
+* :mod:`repro.rustffi.widths` — the width-class tables and the
+  Rust-to-canonical-C rendering the linker compares;
+* :mod:`repro.rustffi.declcheck` — the per-unit agreement pass emitting
+  the ``RUST_*`` rule pack;
+* :mod:`repro.rustffi.runtime` — parse hints so the shared C parser
+  reads bindgen-style headers (the ``stdint.h`` vocabulary);
+* :mod:`repro.rustffi.dialect` — the :class:`BoundaryDialect` glue.
+"""

@@ -1,0 +1,124 @@
+"""The declaration-agreement pass: Rust vs C, symbol by symbol.
+
+For every boundary symbol declared on both sides of one translation
+unit — a Rust import with a C definition/prototype, or a Rust export
+with its bindgen-header mirror — the two declarations must agree in
+arity and, pairwise, in width class (:mod:`repro.rustffi.widths`).
+Two checks need only the Rust side — a non-FFI-safe string/slice type
+in an ``extern "C"`` signature (``RUST_STR_PASSING``) and an enum
+crossing the boundary without an explicit repr (``RUST_ENUM_REPR``) —
+but they are still anchored to the unit that declares the C mirror:
+the Rust interface is shared by every unit of a batch, so an unanchored
+check would re-fire once per translation unit and inflate the tally.
+
+Symbols declared on one side only are *not* reported here: a missing
+C mirror is a whole-corpus question, answered by the linker's
+``LINK_UNRESOLVED_EXTERN`` over the summaries the dialect emits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cfront.ast import FunctionDef, TranslationUnit
+from ..diagnostics import Diagnostic, DiagnosticBag, Kind
+from .parser import RustFn, RustInterface
+from .widths import classify_c, classify_rust, compare
+
+
+def _c_declarations(units: Iterable[TranslationUnit]) -> dict[str, FunctionDef]:
+    """Every C-side declaration by name; definitions shadow prototypes
+    (the definition is the declaration the ABI actually uses)."""
+    decls: dict[str, FunctionDef] = {}
+    for unit in units:
+        for fn in unit.functions:
+            previous = decls.get(fn.name)
+            if previous is None or (
+                previous.body is None and fn.body is not None
+            ):
+                decls[fn.name] = fn
+    return decls
+
+
+def _check_rust_only(
+    bag: DiagnosticBag, fn: RustFn, interface: RustInterface
+) -> None:
+    """Hazards visible from the Rust signature alone."""
+    for index, spelling in enumerate((*fn.params, fn.ret)):
+        info = classify_rust(spelling, interface)
+        what = (
+            "return type" if index == len(fn.params) else f"parameter {index + 1}"
+        )
+        if info.note == "str":
+            bag.emit(
+                Kind.RUST_STR_PASSING,
+                fn.span,
+                f"{what} of `{fn.symbol}` is `{spelling}`, which has no "
+                f"stable C layout; pass a NUL-terminated pointer or an "
+                f"explicit pointer+length pair",
+                function=fn.symbol,
+            )
+        elif info.note == "enum-norepr":
+            bag.emit(
+                Kind.RUST_ENUM_REPR,
+                fn.span,
+                f"{what} of `{fn.symbol}` is enum `{spelling}` without an "
+                f"explicit repr; its layout is not ABI-stable",
+                function=fn.symbol,
+            )
+
+
+def _check_pair(
+    bag: DiagnosticBag,
+    fn: RustFn,
+    c_fn: FunctionDef,
+    interface: RustInterface,
+) -> None:
+    """One symbol declared on both sides: arity, then pairwise classes."""
+    c_params = [ctype for _name, ctype in c_fn.params]
+    if len(fn.params) != len(c_params) and not fn.variadic:
+        bag.emit(
+            Kind.RUST_DECL_MISMATCH,
+            fn.span,
+            f"`{fn.symbol}` takes {len(fn.params)} parameter(s) in Rust "
+            f"but {len(c_params)} in C ({c_fn.span})",
+            function=fn.symbol,
+        )
+        return
+    pairs = list(zip(fn.params, c_params))
+    pairs.append((fn.ret, c_fn.return_type))
+    for index, (rust_spelling, c_type) in enumerate(pairs):
+        rust_info = classify_rust(rust_spelling, interface)
+        if rust_info.note in ("str", "enum-norepr"):
+            continue  # already reported by the Rust-only walk
+        verdict = compare(rust_info, classify_c(c_type))
+        if verdict is None:
+            continue
+        kind, reason = verdict
+        what = (
+            "return type"
+            if index == len(fn.params)
+            else f"parameter {index + 1}"
+        )
+        bag.emit(
+            kind,
+            fn.span,
+            f"{what} of `{fn.symbol}` disagrees with the C declaration "
+            f"at {c_fn.span}: {reason}",
+            function=fn.symbol,
+        )
+
+
+def check_interface(
+    interface: RustInterface, units: Iterable[TranslationUnit]
+) -> list[Diagnostic]:
+    """Run the agreement pass for one translation unit."""
+    bag = DiagnosticBag()
+    decls = _c_declarations(units)
+    for fn in (*interface.imports, *interface.exports):
+        c_fn = decls.get(fn.symbol)
+        if c_fn is None:
+            continue
+        _check_rust_only(bag, fn, interface)
+        _check_pair(bag, fn, c_fn, interface)
+    return bag.diagnostics

@@ -1,0 +1,156 @@
+"""The Rust ``extern "C"`` boundary as a :class:`BoundaryDialect`.
+
+``Γ_I`` comes from the ``.rs`` side the way :mod:`repro.ocamlfront`
+reads it from the OCaml repository: the host sources carry the
+boundary contract (``extern "C"`` imports and ``#[no_mangle]``
+exports), memoized per process by content fingerprint because every
+unit of a crate shares one Rust side.  Phase two parses the C units
+with the bindgen vocabulary (:mod:`repro.rustffi.runtime`), runs the
+shared checker — the Rust runtime has no entry-point table, so the
+seeds are empty and the shared pass only contributes C-side
+consistency — and then the declaration-agreement pass
+(:mod:`repro.rustffi.declcheck`), which is where the ``RUST_*`` rule
+pack fires.
+
+The summary side is what makes the dialect whole-program: Rust imports
+become typed *bindings* (claims the linker compares against C
+declarations of the same symbol) and Rust exports become
+*host_exports* (definitions supplied from the host side), both
+rendered to canonical C so agreement is string equality.
+"""
+
+from __future__ import annotations
+
+from ..boundary import DialectSpec, register_dialect
+from ..cfront.ast import TranslationUnit
+from ..cfront.ir import ProgramIR
+from ..cfront.lexer import scan_includes
+from ..cfront.lower import lower_unit
+from ..cfront.parser import parse_c
+from ..core.checker import AnalysisReport, Checker, InitialEnv
+from ..core.environment import Entry
+from ..engine.jobs import CheckRequest, repository_fingerprint
+from ..linker.extract import summarize_units
+from ..linker.summary import InterfaceSummary, SymbolRow
+from ..source import SourceFile
+from ..telemetry import span as _tspan
+from . import declcheck, runtime
+from .parser import RustFn, RustInterface, parse_sources
+from .widths import render_fn
+
+#: Per-process memo: Rust-side fingerprint -> parsed RustInterface.
+#: Bounded (batches reuse one crate's FFI surface); reset on process exit.
+_INTERFACE_MEMO: dict[str, RustInterface] = {}
+_INTERFACE_MEMO_LIMIT = 32
+
+
+class RustFfiDialect:
+    """Rust ``extern "C"`` declaration agreement, whole-program."""
+
+    name = "rust"
+    host_suffixes = (".rs",)
+    unit_suffixes = (".c", ".h")
+    #: only .c files are scanned as standalone units; headers reach
+    #: the analysis as dependencies of their includers
+    corpus_unit_suffixes = (".c",)
+
+    # -- seeds ---------------------------------------------------------------
+
+    def builtin_entries(self) -> dict[str, Entry]:
+        # no runtime entry-point table: plain C calls plain Rust
+        return {}
+
+    def polymorphic_builtins(self) -> frozenset[str]:
+        return frozenset()
+
+    def global_entries(self) -> dict[str, Entry]:
+        return {}
+
+    def alloc_result_tags(self) -> dict[str, int | str]:
+        return {}
+
+    # -- phases --------------------------------------------------------------
+
+    def interface_for(self, request: CheckRequest) -> RustInterface:
+        fingerprint = repository_fingerprint(request.ocaml_sources)
+        interface = _INTERFACE_MEMO.get(fingerprint)
+        if interface is None:
+            interface = parse_sources(request.ocaml_sources)
+            if len(_INTERFACE_MEMO) >= _INTERFACE_MEMO_LIMIT:
+                _INTERFACE_MEMO.clear()
+            _INTERFACE_MEMO[fingerprint] = interface
+        return interface
+
+    def parse(self, source: SourceFile) -> TranslationUnit:
+        return parse_c(source, runtime.parse_hints())
+
+    def initial_env(self, request: CheckRequest) -> InitialEnv:
+        # declaration agreement is checked by the dialect pass against
+        # the Rust interface; the Figure 6/7 seeds stay empty because no
+        # boxed-value type crosses this boundary
+        return InitialEnv()
+
+    def analyze(self, request: CheckRequest) -> AnalysisReport:
+        with _tspan("initial-env", cat="phase"):
+            interface = self.interface_for(request)
+        units = [self.parse(source) for source in request.c_sources]
+        with _tspan("lower", cat="phase"):
+            program = ProgramIR()
+            for unit in units:
+                program = program.merge(lower_unit(unit))
+        report = Checker(
+            program, InitialEnv(), request.options, dialect=self
+        ).run()
+        with _tspan("dialect-passes", cat="phase"):
+            report.diagnostics.extend(
+                declcheck.check_interface(interface, units)
+            )
+        with _tspan("summarize", cat="phase"):
+            report.summary = self.summarize(request, units).to_dict()
+        return report
+
+    def summarize(self, request: CheckRequest, units) -> InterfaceSummary:
+        """Link-relevant slice: C exports/externs plus the Rust side's
+        typed imports (bindings) and ``#[no_mangle]`` exports."""
+        summary = InterfaceSummary(unit=request.name, dialect=self.name)
+        summarize_units(summary, units)
+        interface = self.interface_for(request)
+        for fn in interface.imports:
+            summary.bindings.append(self._row(fn, interface))
+        for fn in interface.exports:
+            summary.host_exports.append(self._row(fn, interface))
+        return summary
+
+    def _row(self, fn: RustFn, interface: RustInterface) -> SymbolRow:
+        return SymbolRow(
+            symbol=fn.symbol,
+            type=render_fn(fn, interface),
+            file=fn.span.filename,
+            line=fn.span.start.line,
+            detail=fn.signature(),
+        )
+
+    def unit_dependencies(self, request: CheckRequest) -> tuple[str, ...]:
+        """Every ``.rs`` input plus the unit's quoted includes: an edit
+        to the Rust side changes the boundary contract for every unit."""
+        deps: dict[str, None] = {}
+        for source in request.ocaml_sources:
+            deps.setdefault(source.filename)
+        for source in request.c_sources:
+            for header in scan_includes(source.text):
+                deps.setdefault(header)
+        return tuple(deps)
+
+
+RUST_DIALECT = register_dialect(
+    RustFfiDialect(),
+    DialectSpec(
+        name="rust",
+        host_suffixes=(".rs",),
+        unit_suffixes=(".c", ".h"),
+        corpus_unit_suffixes=(".c",),
+        example_dir="examples/rust",
+        link_example_dir="examples/link/rust",
+        bench_module="benchmarks/bench_rust.py",
+    ),
+)

@@ -1,0 +1,339 @@
+"""Read the FFI surface out of Rust sources.
+
+This is deliberately *not* a Rust parser.  The only items that can
+cross the ``extern "C"`` boundary are:
+
+* ``extern "C" { fn name(args) -> ret; }`` blocks — *imports*: Rust
+  calls into C, so some C unit must supply a matching declaration;
+* ``#[no_mangle] pub extern "C" fn name(args) -> ret { ... }`` (or
+  ``#[export_name = "sym"]``) — *exports*: Rust supplies the symbol,
+  and a bindgen-style C header usually mirrors it;
+* ``enum``/``struct`` declarations whose ``#[repr(...)]`` decides
+  whether they have an ABI at all.
+
+A regex-and-brace-matching scan finds exactly those, the way
+:mod:`repro.ocamlfront` reads ``external`` declarations without an
+OCaml parser.  Everything else — bodies, generics, traits, macros — is
+skipped.  Comments and strings are blanked (offsets preserved) before
+scanning so a ``fn`` in a doc comment never registers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..source import DUMMY_SPAN, SourceFile, Span
+
+
+@dataclass(frozen=True)
+class RustFn:
+    """One function declaration on the Rust side of the boundary."""
+
+    #: the link-time symbol (after ``link_name``/``export_name`` overrides)
+    symbol: str
+    #: the name as written in Rust (differs only under an override)
+    rust_name: str
+    #: parameter type spellings, normalized whitespace, as written
+    params: tuple[str, ...]
+    #: return type spelling; ``"()"`` for the unit type
+    ret: str
+    span: Span = DUMMY_SPAN
+    variadic: bool = False
+
+    def signature(self) -> str:
+        return f"fn {self.rust_name}({', '.join(self.params)}) -> {self.ret}"
+
+
+@dataclass(frozen=True)
+class RustAdt:
+    """An ``enum`` or ``struct`` visible to the boundary."""
+
+    name: str
+    #: ``"enum"`` or ``"struct"``
+    kind: str
+    #: the ``#[repr(...)]`` argument, ``""`` when there is none
+    repr: str = ""
+    span: Span = DUMMY_SPAN
+
+
+@dataclass
+class RustInterface:
+    """The boundary-relevant slice of one or more ``.rs`` sources."""
+
+    #: ``extern "C" { ... }`` declarations — C must supply these
+    imports: list[RustFn] = field(default_factory=list)
+    #: ``#[no_mangle]``/``#[export_name]`` definitions — Rust supplies these
+    exports: list[RustFn] = field(default_factory=list)
+    #: boundary-visible ADTs by name
+    adts: dict[str, RustAdt] = field(default_factory=dict)
+    #: filenames the interface was read from, in input order
+    filenames: list[str] = field(default_factory=list)
+
+    def merge(self, other: "RustInterface") -> "RustInterface":
+        self.imports.extend(other.imports)
+        self.exports.extend(other.exports)
+        self.adts.update(other.adts)
+        self.filenames.extend(other.filenames)
+        return self
+
+
+_COMMENT_OR_STRING = re.compile(
+    r'//[^\n]*|/\*.*?\*/|"(?:[^"\\\n]|\\.)*"', re.DOTALL
+)
+
+_ATTR = re.compile(r"#\[[^\][]*(?:\[[^\]]*\][^\][]*)*\]")
+_EXTERN_BLOCK = re.compile(r'(?:unsafe\s+)?extern\s*"C"\s*\{')
+_EXTERN_FN = re.compile(
+    r'(?:pub(?:\([^)]*\))?\s+)?(?:unsafe\s+)?extern\s*"C"\s*fn\s+(\w+)\s*\('
+)
+_BLOCK_FN = re.compile(r"(?:pub(?:\([^)]*\))?\s+)?(?:unsafe\s+)?fn\s+(\w+)\s*\(")
+_ADT = re.compile(r"(?:pub(?:\([^)]*\))?\s+)?(enum|struct|union)\s+(\w+)")
+_NAME_OVERRIDE = re.compile(
+    r'(?:link_name|export_name)\s*=\s*"([^"]+)"'
+)
+_REPR = re.compile(r"repr\s*\(\s*([^)]*?)\s*\)")
+
+
+def _blank(text: str) -> str:
+    """Replace comments and string literals with spaces, keeping every
+    remaining character at its original offset (except the quotes of
+    attribute-argument strings, which stay for ``link_name``)."""
+
+    def replace(match: re.Match) -> str:
+        chunk = match.group(0)
+        return "".join("\n" if ch == "\n" else " " for ch in chunk)
+
+    # attributes are matched before blanking so their string arguments
+    # survive; everything else loses strings and comments
+    out: list[str] = []
+    last = 0
+    for match in _COMMENT_OR_STRING.finditer(text):
+        out.append(text[last : match.start()])
+        chunk = match.group(0)
+        if chunk == '"C"' or (
+            chunk.startswith('"') and _attr_context(text, match.start())
+        ):
+            # keep the ABI string of `extern "C"` and attribute
+            # arguments (`link_name`/`export_name`); blank the rest
+            out.append(chunk)
+        else:
+            out.append(replace(match))
+        last = match.end()
+    out.append(text[last:])
+    return "".join(out)
+
+
+def _attr_context(text: str, pos: int) -> bool:
+    """Is the string literal at ``pos`` inside a ``#[...]`` attribute?"""
+    open_bracket = text.rfind("#[", 0, pos)
+    if open_bracket == -1:
+        return False
+    return text.find("]", open_bracket, pos) == -1
+
+
+def _match_delim(text: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Offset of the delimiter closing ``text[start]`` (which must be
+    ``open_ch``); ``len(text)`` if unbalanced — a truncated source must
+    not crash the scan."""
+    depth = 0
+    for index in range(start, len(text)):
+        ch = text[index]
+        if ch == open_ch:
+            depth += 1
+        elif ch == close_ch:
+            depth -= 1
+            if depth == 0:
+                return index
+    return len(text)
+
+
+def _attrs_before(attr_spans: list[tuple[int, int, str]], text: str, pos: int) -> list[str]:
+    """The contiguous run of attributes immediately preceding ``pos``."""
+    found: list[str] = []
+    cursor = pos
+    by_end = {end: (start, content) for start, end, content in attr_spans}
+    while True:
+        while cursor > 0 and text[cursor - 1].isspace():
+            cursor -= 1
+        hit = by_end.get(cursor)
+        if hit is None:
+            break
+        found.append(hit[1])
+        cursor = hit[0]
+    return found
+
+
+def _split_args(arglist: str) -> list[str]:
+    """Split a parameter list on top-level commas (``<>``/``[]``/``()``
+    nesting respected)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in arglist:
+        if ch in "<[(":
+            depth += 1
+        elif ch in ">])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current)
+    if tail.strip():
+        parts.append(tail)
+    return parts
+
+
+def normalize_spelling(spelling: str) -> str:
+    """Canonical whitespace for a Rust type spelling: ``* const   T`` →
+    ``*const T``, ``& str`` → ``&str``."""
+    text = re.sub(r"\s+", " ", spelling).strip()
+    text = re.sub(r"\*\s*const\b", "*const", text)
+    text = re.sub(r"\*\s*mut\b", "*mut", text)
+    text = re.sub(r"&\s*mut\b", "&mut", text)
+    text = re.sub(r"&\s+", "&", text)
+    text = re.sub(r"\s*::\s*", "::", text)
+    text = re.sub(r"\(\s*\)", "()", text)
+    return text
+
+
+def _parse_fn(
+    text: str,
+    source: SourceFile,
+    name: str,
+    name_start: int,
+    paren_start: int,
+    attrs: list[str],
+) -> tuple[RustFn, int]:
+    """Parse one ``fn`` item from its opening paren; returns the
+    declaration and the offset just past its signature."""
+    close = _match_delim(text, paren_start, "(", ")")
+    params: list[str] = []
+    variadic = False
+    for arg in _split_args(text[paren_start + 1 : close]):
+        arg = arg.strip()
+        if not arg:
+            continue
+        if arg == "...":
+            variadic = True
+            continue
+        # drop the pattern: `name: Type`, `mut name: Type`
+        _pattern, _colon, type_text = arg.partition(":")
+        params.append(normalize_spelling(type_text if _colon else arg))
+    # optional `-> Ret`, up to the body/terminator/where-clause
+    cursor = close + 1
+    ret = "()"
+    arrow = re.compile(r"\s*->\s*").match(text, cursor)
+    if arrow is not None:
+        end = len(text)
+        for stop in (
+            text.find("{", arrow.end()),
+            text.find(";", arrow.end()),
+            _find_word(text, "where", arrow.end()),
+        ):
+            if stop != -1:
+                end = min(end, stop)
+        ret = normalize_spelling(text[arrow.end() : end])
+        cursor = end
+    symbol = name
+    for attr in attrs:
+        override = _NAME_OVERRIDE.search(attr)
+        if override is not None:
+            symbol = override.group(1)
+    fn = RustFn(
+        symbol=symbol,
+        rust_name=name,
+        params=tuple(params),
+        ret=ret,
+        span=source.span(name_start, close + 1),
+        variadic=variadic,
+    )
+    return fn, cursor
+
+
+def _find_word(text: str, word: str, start: int) -> int:
+    match = re.compile(rf"\b{word}\b").search(text, start)
+    return -1 if match is None else match.start()
+
+
+def parse_rust(source: SourceFile) -> RustInterface:
+    """Extract the FFI surface of one ``.rs`` source."""
+    text = _blank(source.text)
+    interface = RustInterface(filenames=[source.filename])
+    attr_spans = [
+        (m.start(), m.end(), m.group(0)) for m in _ATTR.finditer(text)
+    ]
+
+    # 1. extern "C" blocks: every fn inside is an import
+    consumed: list[tuple[int, int]] = []
+    for match in _EXTERN_BLOCK.finditer(text):
+        open_brace = match.end() - 1
+        close_brace = _match_delim(text, open_brace, "{", "}")
+        consumed.append((match.start(), close_brace))
+        cursor = open_brace + 1
+        while True:
+            fn_match = _BLOCK_FN.search(text, cursor, close_brace)
+            if fn_match is None:
+                break
+            attrs = _attrs_before(attr_spans, text, fn_match.start())
+            fn, cursor = _parse_fn(
+                text,
+                source,
+                fn_match.group(1),
+                fn_match.start(),
+                fn_match.end() - 1,
+                attrs,
+            )
+            interface.imports.append(fn)
+
+    def in_consumed(pos: int) -> bool:
+        return any(start <= pos <= end for start, end in consumed)
+
+    # 2. exported definitions: extern "C" fn with a no_mangle/export_name
+    for match in _EXTERN_FN.finditer(text):
+        if in_consumed(match.start()):
+            continue
+        attrs = _attrs_before(attr_spans, text, match.start())
+        exported = any(
+            "no_mangle" in attr or "export_name" in attr for attr in attrs
+        )
+        if not exported:
+            continue
+        fn, _cursor = _parse_fn(
+            text,
+            source,
+            match.group(1),
+            match.start(),
+            match.end() - 1,
+            attrs,
+        )
+        interface.exports.append(fn)
+
+    # 3. boundary-visible ADTs and their repr
+    for match in _ADT.finditer(text):
+        if in_consumed(match.start()):
+            continue
+        attrs = _attrs_before(attr_spans, text, match.start())
+        repr_arg = ""
+        for attr in attrs:
+            repr_match = _REPR.search(attr)
+            if repr_match is not None:
+                repr_arg = re.sub(r"\s+", "", repr_match.group(1))
+        kind = "struct" if match.group(1) == "union" else match.group(1)
+        interface.adts[match.group(2)] = RustAdt(
+            name=match.group(2),
+            kind=kind,
+            repr=repr_arg,
+            span=source.span(match.start(2), match.end(2)),
+        )
+    return interface
+
+
+def parse_sources(sources) -> RustInterface:
+    """Merge the FFI surface of several ``.rs`` sources, in order."""
+    interface = RustInterface()
+    for source in sources:
+        interface.merge(parse_rust(source))
+    return interface

@@ -1,0 +1,336 @@
+"""Width classes and canonical C renderings for the Rust boundary.
+
+The safety guidelines' FFI chapter frames declaration agreement in
+terms of *width classes*: ``usize`` and ``size_t`` agree because both
+are pointer-width everywhere; ``usize`` and ``int`` disagree because
+one is platform-dependent and the other fixed — the guideline's own
+non-compliant example.  This module owns three tables:
+
+* the Rust-side classifier (``i32`` → 32-bit fixed, ``usize`` →
+  pointer-width, ``*const T`` → pointer, ``&str`` → not FFI-safe at
+  all);
+* the C-side classifier over parsed :class:`CSrcType` values, keyed on
+  the scalar spellings :mod:`repro.rustffi.runtime` keeps distinct;
+* the canonical C *rendering* of a Rust type (``usize`` → ``size_t``,
+  ``*const c_char`` → ``char *``) so an agreeing Rust declaration and
+  its C mirror produce byte-identical strings for the linker's
+  cross-unit comparison.
+
+:func:`compare` folds the classes into the specific ``RUST_*`` kind a
+disagreement fires, so :mod:`repro.rustffi.declcheck` stays a plain
+walk.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.srctypes import (
+    CSrcFun,
+    CSrcPtr,
+    CSrcScalar,
+    CSrcStruct,
+    CSrcType,
+    CSrcValue,
+    CSrcVoid,
+)
+from ..diagnostics import Kind
+from .parser import RustInterface, normalize_spelling
+
+
+class WidthClass(enum.Enum):
+    """ABI width buckets; agreement is judged between buckets."""
+
+    VOID = "void"
+    BOOL = "bool"
+    CHAR = "8-bit"
+    SHORT = "16-bit"
+    INT32 = "32-bit"
+    LONG64 = "64-bit"
+    #: ``long`` — platform-dependent but *not* pointer-width (LLP64)
+    LONG = "platform-long"
+    #: pointer-width integers: ``size_t``, ``usize``, ``intptr_t``, ...
+    SIZE = "pointer-width"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    POINTER = "pointer"
+    STRUCT = "struct"
+    UNKNOWN = "unknown"
+
+
+#: classes that are integers (pointer/integer confusion detection)
+_INTEGERISH = frozenset(
+    {
+        WidthClass.BOOL,
+        WidthClass.CHAR,
+        WidthClass.SHORT,
+        WidthClass.INT32,
+        WidthClass.LONG64,
+        WidthClass.LONG,
+        WidthClass.SIZE,
+    }
+)
+#: fixed-width integer classes (platform-width mixing detection)
+_FIXED = frozenset(
+    {WidthClass.CHAR, WidthClass.SHORT, WidthClass.INT32, WidthClass.LONG64}
+)
+_PLATFORM = frozenset({WidthClass.LONG, WidthClass.SIZE})
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """One side's classification: bucket, canonical C rendering, and
+    the Rust-side-only hazard it carries (if any)."""
+
+    clazz: WidthClass
+    rendered: str
+    #: ``None`` | ``"str"`` (non-FFI-safe string/slice) | ``"enum-norepr"``
+    #: | ``"enum"`` (repr'd enum — disagreements report as enum kinds)
+    note: Optional[str] = None
+
+
+#: Rust scalar -> (canonical C spelling, width class).  Keys are the
+#: last path segment, so ``libc::c_int`` and ``std::os::raw::c_int``
+#: resolve identically.
+RUST_SCALARS: dict[str, tuple[str, WidthClass]] = {
+    "i8": ("int8_t", WidthClass.CHAR),
+    "u8": ("uint8_t", WidthClass.CHAR),
+    "i16": ("int16_t", WidthClass.SHORT),
+    "u16": ("uint16_t", WidthClass.SHORT),
+    "i32": ("int", WidthClass.INT32),
+    "u32": ("unsigned int", WidthClass.INT32),
+    "i64": ("int64_t", WidthClass.LONG64),
+    "u64": ("uint64_t", WidthClass.LONG64),
+    "isize": ("ssize_t", WidthClass.SIZE),
+    "usize": ("size_t", WidthClass.SIZE),
+    "f32": ("float", WidthClass.FLOAT32),
+    "f64": ("double", WidthClass.FLOAT64),
+    "bool": ("bool", WidthClass.BOOL),
+    "()": ("void", WidthClass.VOID),
+    "c_char": ("char", WidthClass.CHAR),
+    "c_schar": ("signed char", WidthClass.CHAR),
+    "c_uchar": ("unsigned char", WidthClass.CHAR),
+    "c_short": ("short", WidthClass.SHORT),
+    "c_ushort": ("unsigned short", WidthClass.SHORT),
+    "c_int": ("int", WidthClass.INT32),
+    "c_uint": ("unsigned int", WidthClass.INT32),
+    "c_long": ("long", WidthClass.LONG),
+    "c_ulong": ("unsigned long", WidthClass.LONG),
+    "c_longlong": ("long long", WidthClass.LONG64),
+    "c_ulonglong": ("unsigned long long", WidthClass.LONG64),
+    "c_float": ("float", WidthClass.FLOAT32),
+    "c_double": ("double", WidthClass.FLOAT64),
+    "c_size_t": ("size_t", WidthClass.SIZE),
+    "c_ssize_t": ("ssize_t", WidthClass.SIZE),
+    "c_void": ("void", WidthClass.VOID),
+}
+
+#: C scalar spelling -> width class.  ``i32`` maps to ``int`` (not
+#: ``int32_t``): the C convention for "the default 32-bit int" — and
+#: vice versa both spellings land in the same class anyway.
+C_SCALARS: dict[str, WidthClass] = {
+    "char": WidthClass.CHAR,
+    "signed char": WidthClass.CHAR,
+    "unsigned char": WidthClass.CHAR,
+    "int8_t": WidthClass.CHAR,
+    "uint8_t": WidthClass.CHAR,
+    "short": WidthClass.SHORT,
+    "short int": WidthClass.SHORT,
+    "signed short": WidthClass.SHORT,
+    "unsigned short": WidthClass.SHORT,
+    "unsigned short int": WidthClass.SHORT,
+    "int16_t": WidthClass.SHORT,
+    "uint16_t": WidthClass.SHORT,
+    "int": WidthClass.INT32,
+    "signed": WidthClass.INT32,
+    "signed int": WidthClass.INT32,
+    "unsigned": WidthClass.INT32,
+    "unsigned int": WidthClass.INT32,
+    "int32_t": WidthClass.INT32,
+    "uint32_t": WidthClass.INT32,
+    "long": WidthClass.LONG,
+    "long int": WidthClass.LONG,
+    "signed long": WidthClass.LONG,
+    "unsigned long": WidthClass.LONG,
+    "unsigned long int": WidthClass.LONG,
+    "long long": WidthClass.LONG64,
+    "signed long long": WidthClass.LONG64,
+    "unsigned long long": WidthClass.LONG64,
+    "long long int": WidthClass.LONG64,
+    "unsigned long long int": WidthClass.LONG64,
+    "int64_t": WidthClass.LONG64,
+    "uint64_t": WidthClass.LONG64,
+    "float": WidthClass.FLOAT32,
+    "double": WidthClass.FLOAT64,
+    "long double": WidthClass.FLOAT64,
+    "size_t": WidthClass.SIZE,
+    "mlsize_t": WidthClass.SIZE,
+    "ssize_t": WidthClass.SIZE,
+    "intptr_t": WidthClass.SIZE,
+    "uintptr_t": WidthClass.SIZE,
+    "ptrdiff_t": WidthClass.SIZE,
+    "intnat": WidthClass.SIZE,
+    "uintnat": WidthClass.SIZE,
+    "bool": WidthClass.BOOL,
+    "_Bool": WidthClass.BOOL,
+}
+
+#: ``#[repr(...)]`` argument -> the class an enum of that repr occupies.
+#: ``repr(C)`` enums take the C ``int`` width by definition.
+_ENUM_REPRS: dict[str, WidthClass] = {
+    "C": WidthClass.INT32,
+    "i8": WidthClass.CHAR,
+    "u8": WidthClass.CHAR,
+    "i16": WidthClass.SHORT,
+    "u16": WidthClass.SHORT,
+    "i32": WidthClass.INT32,
+    "u32": WidthClass.INT32,
+    "i64": WidthClass.LONG64,
+    "u64": WidthClass.LONG64,
+    "isize": WidthClass.SIZE,
+    "usize": WidthClass.SIZE,
+}
+
+_STR_SHAPES = re.compile(r"^(&str|&mut str|String|&(mut\s*)?\[|Vec<|str)")
+
+
+def _last_segment(path: str) -> str:
+    return path.rsplit("::", 1)[-1]
+
+
+def classify_rust(
+    spelling: str, interface: Optional[RustInterface] = None
+) -> TypeInfo:
+    """Classify one Rust type spelling as it crosses the boundary."""
+    text = normalize_spelling(spelling)
+    if text in ("()", ""):
+        return TypeInfo(WidthClass.VOID, "void")
+    if _STR_SHAPES.match(text):
+        return TypeInfo(WidthClass.POINTER, text, note="str")
+    if text.startswith("Option<") and text.endswith(">"):
+        # nullable pointer idiom: Option<&T> / Option<fn ...> / Option<*..>
+        return classify_rust(text[len("Option<") : -1], interface)
+    if text.startswith("*const ") or text.startswith("*mut "):
+        inner = classify_rust(text.split(" ", 1)[1], interface)
+        note = inner.note if inner.note == "str" else None
+        return TypeInfo(WidthClass.POINTER, f"{inner.rendered} *", note=note)
+    if text.startswith("&"):
+        inner = text[1:]
+        if inner.startswith("mut "):
+            inner = inner[4:]
+        inner_info = classify_rust(inner, interface)
+        note = inner_info.note if inner_info.note == "str" else None
+        return TypeInfo(
+            WidthClass.POINTER, f"{inner_info.rendered} *", note=note
+        )
+    if "fn(" in text or "fn (" in text:
+        return TypeInfo(WidthClass.POINTER, text)
+    name = _last_segment(text)
+    scalar = RUST_SCALARS.get(name)
+    if scalar is not None:
+        rendered, clazz = scalar
+        return TypeInfo(clazz, rendered)
+    adt = interface.adts.get(name) if interface is not None else None
+    if adt is not None:
+        if adt.kind == "enum":
+            repr_head = adt.repr.split(",")[0] if adt.repr else ""
+            clazz = _ENUM_REPRS.get(repr_head)
+            if clazz is None:
+                return TypeInfo(
+                    WidthClass.UNKNOWN, name, note="enum-norepr"
+                )
+            # a repr'd enum renders as its width's C spelling, which is
+            # what the typedef in a bindgen header resolves to
+            rendered = {
+                WidthClass.CHAR: "uint8_t",
+                WidthClass.SHORT: "uint16_t",
+                WidthClass.INT32: "int",
+                WidthClass.LONG64: "int64_t",
+                WidthClass.SIZE: "size_t",
+            }[clazz]
+            return TypeInfo(clazz, rendered, note="enum")
+        return TypeInfo(WidthClass.STRUCT, f"struct {name}")
+    return TypeInfo(WidthClass.UNKNOWN, name)
+
+
+def classify_c(ctype: CSrcType) -> TypeInfo:
+    """Classify one parsed C type."""
+    rendered = str(ctype)
+    if isinstance(ctype, CSrcVoid):
+        return TypeInfo(WidthClass.VOID, rendered)
+    if isinstance(ctype, (CSrcPtr, CSrcFun, CSrcValue)):
+        return TypeInfo(WidthClass.POINTER, rendered)
+    if isinstance(ctype, CSrcStruct):
+        return TypeInfo(WidthClass.STRUCT, rendered)
+    if isinstance(ctype, CSrcScalar):
+        clazz = C_SCALARS.get(ctype.spelling, WidthClass.UNKNOWN)
+        return TypeInfo(clazz, rendered)
+    return TypeInfo(WidthClass.UNKNOWN, rendered)
+
+
+def compare(rust: TypeInfo, c: TypeInfo) -> Optional[tuple[Kind, str]]:
+    """Judge one Rust/C type pair; ``None`` means they agree.
+
+    Returns the specific rule the disagreement fires and a short
+    reason fragment for the message.
+    """
+    if rust.note == "str":
+        return (
+            Kind.RUST_STR_PASSING,
+            f"`{rust.rendered}` has no stable C layout",
+        )
+    if rust.note == "enum-norepr":
+        return (
+            Kind.RUST_ENUM_REPR,
+            f"enum `{rust.rendered}` has no explicit repr",
+        )
+    if rust.clazz is c.clazz:
+        if (
+            rust.clazz is WidthClass.UNKNOWN
+            and rust.rendered != c.rendered
+        ):
+            return (
+                Kind.RUST_DECL_MISMATCH,
+                f"`{rust.rendered}` vs `{c.rendered}`",
+            )
+        return None
+    if rust.note == "enum":
+        return (
+            Kind.RUST_ENUM_REPR,
+            f"enum repr is {rust.clazz.value} but C declares "
+            f"{c.clazz.value} `{c.rendered}`",
+        )
+    one_pointer = (rust.clazz is WidthClass.POINTER) != (
+        c.clazz is WidthClass.POINTER
+    )
+    if one_pointer and (rust.clazz in _INTEGERISH or c.clazz in _INTEGERISH):
+        return (
+            Kind.RUST_PTR_INT_CONFUSION,
+            f"`{rust.rendered}` vs `{c.rendered}`",
+        )
+    platform_mix = (rust.clazz in _PLATFORM or c.clazz in _PLATFORM) and (
+        rust.clazz in _INTEGERISH and c.clazz in _INTEGERISH
+    )
+    if platform_mix:
+        return (
+            Kind.RUST_PLATFORM_WIDTH,
+            f"{rust.clazz.value} `{rust.rendered}` vs "
+            f"{c.clazz.value} `{c.rendered}`",
+        )
+    return (
+        Kind.RUST_DECL_MISMATCH,
+        f"`{rust.rendered}` vs `{c.rendered}`",
+    )
+
+
+def render_fn(fn, interface: Optional[RustInterface] = None) -> str:
+    """Canonical C rendering of a Rust ``fn``, matching the linker's
+    ``ret(param, ...)`` shape from :func:`repro.linker.extract.function_type`."""
+    ret = classify_rust(fn.ret, interface).rendered
+    params = ", ".join(
+        classify_rust(param, interface).rendered for param in fn.params
+    )
+    return f"{ret}({params})"

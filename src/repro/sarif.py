@@ -25,6 +25,7 @@ from itertools import chain
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .diagnostics import Diagnostic, Kind
+from .rules import rule_for_kind
 from .source import DUMMY_SPAN, Span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,12 +41,24 @@ TOOL_URI = "https://github.com/paper-repo-growth/mlffi-check"
 
 
 def rule_for(kind: Kind) -> dict:
-    """The ``reportingDescriptor`` for one diagnostic kind."""
+    """The ``reportingDescriptor`` for one diagnostic kind.
+
+    Metadata comes from the stable rule registry (:mod:`repro.rules`):
+    the ID is the registered rule ID, the help URI and guideline
+    provenance ride along, and the dialect pack is named so downstream
+    dashboards can group findings without re-deriving prefixes.
+    """
+    rule = rule_for_kind(kind)
     return {
-        "id": kind.name,
-        "shortDescription": {"text": kind.summary},
-        "defaultConfiguration": {"level": kind.category.sarif_level},
-        "properties": {"category": kind.category.value},
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+        "helpUri": rule.help_uri,
+        "defaultConfiguration": {"level": rule.category.sarif_level},
+        "properties": {
+            "category": rule.category.value,
+            "dialect": rule.dialect,
+            "guideline": rule.guideline,
+        },
     }
 
 
@@ -61,7 +74,7 @@ def _region(span: Span) -> dict:
 def result_for(diag: Diagnostic, rule_index: int) -> dict:
     """The SARIF ``result`` object for one diagnostic."""
     result = {
-        "ruleId": diag.kind.name,
+        "ruleId": diag.rule_id,
         "ruleIndex": rule_index,
         "level": diag.category.sarif_level,
         "message": {"text": diag.message},

@@ -42,6 +42,11 @@ Methods:
     Engine introspection: units, dirty set, cache-tier statistics, plus
     ``server`` (queue depth / shed counters, fed by the transport) and
     ``coalescing`` stanzas.
+``rules``
+    The stable rule registry (:mod:`repro.rules`).  Optional ``dialect``
+    restricts the listing to one pack; unknown packs are an
+    ``INVALID_PARAMS`` error.  Pure metadata — never touches the engine,
+    so IDE clients can populate severity maps before the first check.
 ``shutdown``
     Acknowledges, then makes the transport loop exit.
 """
@@ -54,6 +59,8 @@ import time
 from typing import Optional
 
 from ..engine import IncrementalEngine
+from ..rules import REGISTRY as RULE_REGISTRY
+from ..rules import rules_pack
 from ..telemetry import Exposition, span
 from ..telemetry.metrics import PROM_CONTENT_TYPE, REGISTRY
 from . import protocol
@@ -151,6 +158,7 @@ class AnalysisService:
             "invalidate": self._invalidate,
             "status": self._status,
             "metrics": self._metrics,
+            "rules": self._rules,
             "shutdown": self._shutdown,
         }
 
@@ -385,6 +393,26 @@ class AnalysisService:
             "content_type": PROM_CONTENT_TYPE,
             "text": exposition.render(),
         }
+
+    def _rules(self, params: dict) -> dict:
+        """The rule registry, optionally filtered to one pack.
+
+        Metadata only: serving it must not provoke engine work, so IDE
+        clients can fetch severities before submitting a first check."""
+        dialect = params.get("dialect")
+        if dialect is not None:
+            if not isinstance(dialect, str):
+                raise protocol.ProtocolError(
+                    protocol.INVALID_PARAMS, "dialect must be a string"
+                )
+            if dialect not in RULE_REGISTRY.dialects():
+                raise protocol.ProtocolError(
+                    protocol.INVALID_PARAMS,
+                    f"unknown rule pack `{dialect}` "
+                    f"(known: {', '.join(RULE_REGISTRY.dialects())})",
+                )
+        rules = rules_pack(dialect)
+        return {"rules": [rule.to_dict() for rule in rules]}
 
     def _shutdown(self, params: dict) -> dict:
         self.shutdown_requested.set()

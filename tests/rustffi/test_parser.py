@@ -1,0 +1,125 @@
+"""The regex-and-brace scan over Rust sources: exactly the FFI surface."""
+
+from repro.rustffi.parser import normalize_spelling, parse_rust, parse_sources
+from repro.source import SourceFile
+
+
+def parse(text, name="lib.rs"):
+    return parse_rust(SourceFile(name, text))
+
+
+class TestExternBlocks:
+    def test_block_fns_are_imports(self):
+        iface = parse(
+            'extern "C" {\n'
+            "    fn c_add(a: i32, b: i32) -> i32;\n"
+            "    fn c_reset();\n"
+            "}\n"
+        )
+        assert [fn.symbol for fn in iface.imports] == ["c_add", "c_reset"]
+        add = iface.imports[0]
+        assert add.params == ("i32", "i32")
+        assert add.ret == "i32"
+        assert iface.imports[1].ret == "()"
+        assert not iface.exports
+
+    def test_unsafe_extern_block_is_recognized(self):
+        # Rust 2024 spells the block `unsafe extern "C"`
+        iface = parse('unsafe extern "C" {\n    fn c_go() -> u64;\n}\n')
+        assert [fn.symbol for fn in iface.imports] == ["c_go"]
+
+    def test_link_name_overrides_the_symbol(self):
+        iface = parse(
+            'extern "C" {\n'
+            '    #[link_name = "real_symbol"]\n'
+            "    fn alias(x: usize) -> usize;\n"
+            "}\n"
+        )
+        (fn,) = iface.imports
+        assert fn.symbol == "real_symbol"
+        assert fn.rust_name == "alias"
+
+    def test_variadic_tail_is_flagged_not_a_parameter(self):
+        iface = parse(
+            'extern "C" { fn c_printf(fmt: *const c_char, ...) -> i32; }\n'
+        )
+        (fn,) = iface.imports
+        assert fn.variadic
+        assert fn.params == ("*const c_char",)
+
+
+class TestExports:
+    def test_no_mangle_extern_fn_is_an_export(self):
+        iface = parse(
+            "#[no_mangle]\n"
+            'pub extern "C" fn rs_len(p: *const u8, n: usize) -> usize {\n'
+            "    n\n"
+            "}\n"
+        )
+        (fn,) = iface.exports
+        assert fn.symbol == "rs_len"
+        assert fn.params == ("*const u8", "usize")
+        assert not iface.imports
+
+    def test_export_name_attribute_overrides_the_symbol(self):
+        iface = parse(
+            '#[export_name = "rs_public"]\n'
+            'pub extern "C" fn private_name() {}\n'
+        )
+        assert iface.exports[0].symbol == "rs_public"
+
+    def test_plain_extern_fn_without_no_mangle_is_ignored(self):
+        # mangled symbol: invisible to the C side, not boundary surface
+        iface = parse('pub extern "C" fn helper(x: i32) -> i32 { x }\n')
+        assert not iface.exports
+
+    def test_fn_in_comment_or_string_is_ignored(self):
+        iface = parse(
+            '// extern "C" { fn ghost_a(); }\n'
+            '/* extern "C" { fn ghost_b(); } */\n'
+            'const DOC: &str = "extern \\"C\\" { fn ghost_c(); }";\n'
+        )
+        assert not iface.imports
+        assert not iface.exports
+
+
+class TestAdts:
+    def test_repr_is_recorded(self):
+        iface = parse(
+            "#[repr(C)]\npub enum Mode { A, B }\n"
+            "#[repr(u8)]\nenum Small { X }\n"
+            "pub enum Bare { Y }\n"
+            "#[repr(C)]\npub struct Pair { a: i32, b: i32 }\n"
+        )
+        assert iface.adts["Mode"].repr == "C"
+        assert iface.adts["Small"].repr == "u8"
+        assert iface.adts["Bare"].repr == ""
+        assert iface.adts["Pair"].kind == "struct"
+
+    def test_spans_point_into_the_source(self):
+        iface = parse("#[repr(C)]\npub enum Mode { A }\n")
+        assert iface.adts["Mode"].span.start.line == 2
+
+
+class TestMerge:
+    def test_parse_sources_merges_in_order(self):
+        a = SourceFile("a.rs", 'extern "C" { fn one(); }\n')
+        b = SourceFile(
+            "b.rs",
+            '#[no_mangle]\npub extern "C" fn two() {}\n',
+        )
+        iface = parse_sources([a, b])
+        assert [fn.symbol for fn in iface.imports] == ["one"]
+        assert [fn.symbol for fn in iface.exports] == ["two"]
+        assert iface.filenames == ["a.rs", "b.rs"]
+
+
+class TestNormalizeSpelling:
+    def test_pointer_and_reference_spacing(self):
+        assert normalize_spelling("* const   c_char") == "*const c_char"
+        assert normalize_spelling("* mut u8") == "*mut u8"
+        assert normalize_spelling("&  mut str") == "&mut str"
+        assert normalize_spelling("std :: os :: raw :: c_int") == (
+            "std::os::raw::c_int"
+        )
+        assert normalize_spelling("(  )") == "()"

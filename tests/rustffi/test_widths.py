@@ -1,0 +1,136 @@
+"""Width-class tables and the pairwise agreement judgement."""
+
+from repro.core.srctypes import CSrcPtr, CSrcScalar, CSrcVoid
+from repro.diagnostics import Kind
+from repro.rustffi.parser import parse_rust
+from repro.rustffi.widths import (
+    WidthClass,
+    classify_c,
+    classify_rust,
+    compare,
+    render_fn,
+)
+from repro.source import SourceFile
+
+
+def iface(text):
+    return parse_rust(SourceFile("lib.rs", text))
+
+
+class TestClassifyRust:
+    def test_scalars(self):
+        assert classify_rust("i32").clazz is WidthClass.INT32
+        assert classify_rust("usize").clazz is WidthClass.SIZE
+        assert classify_rust("c_long").clazz is WidthClass.LONG
+        assert classify_rust("u64").rendered == "uint64_t"
+        assert classify_rust("()").clazz is WidthClass.VOID
+
+    def test_path_prefixes_are_dropped(self):
+        assert classify_rust("std::os::raw::c_int").rendered == "int"
+        assert classify_rust("libc::size_t").clazz is WidthClass.UNKNOWN
+
+    def test_pointers_render_c_style(self):
+        info = classify_rust("*const c_char")
+        assert info.clazz is WidthClass.POINTER
+        assert info.rendered == "char *"
+        assert classify_rust("*mut u8").rendered == "uint8_t *"
+        assert classify_rust("Option<*mut c_void>").rendered == "void *"
+
+    def test_str_shapes_carry_the_note(self):
+        assert classify_rust("&str").note == "str"
+        assert classify_rust("String").note == "str"
+        assert classify_rust("&[u8]").note == "str"
+        assert classify_rust("*const u8").note is None
+
+    def test_enum_repr_decides_class_and_note(self):
+        text = (
+            "#[repr(C)]\npub enum Mode { A }\n"
+            "#[repr(u8)]\npub enum Small { X }\n"
+            "pub enum Bare { Y }\n"
+        )
+        i = iface(text)
+        assert classify_rust("Mode", i).clazz is WidthClass.INT32
+        assert classify_rust("Mode", i).note == "enum"
+        assert classify_rust("Small", i).rendered == "uint8_t"
+        assert classify_rust("Bare", i).note == "enum-norepr"
+
+    def test_struct_renders_as_struct(self):
+        i = iface("#[repr(C)]\npub struct Pair { a: i32 }\n")
+        info = classify_rust("Pair", i)
+        assert info.clazz is WidthClass.STRUCT
+        assert info.rendered == "struct Pair"
+
+
+class TestClassifyC:
+    def test_scalar_spellings(self):
+        assert classify_c(CSrcScalar("size_t")).clazz is WidthClass.SIZE
+        assert classify_c(CSrcScalar("uintptr_t")).clazz is WidthClass.SIZE
+        assert classify_c(CSrcScalar("long")).clazz is WidthClass.LONG
+        assert classify_c(CSrcScalar("int")).clazz is WidthClass.INT32
+        assert classify_c(CSrcVoid()).clazz is WidthClass.VOID
+
+    def test_pointer(self):
+        ptr = CSrcPtr(CSrcScalar("char"))
+        assert classify_c(ptr).clazz is WidthClass.POINTER
+
+
+class TestCompare:
+    def test_agreement_is_none(self):
+        assert compare(classify_rust("usize"), classify_c(CSrcScalar("size_t"))) is None
+        assert compare(
+            classify_rust("*const u8"),
+            classify_c(CSrcPtr(CSrcScalar("uint8_t"))),
+        ) is None
+
+    def test_same_class_different_spelling_agrees(self):
+        # size_t vs uintptr_t: both pointer-width, clean per unit —
+        # only the cross-unit linker compares spellings
+        assert compare(
+            classify_rust("usize"), classify_c(CSrcScalar("uintptr_t"))
+        ) is None
+
+    def test_platform_vs_fixed_is_platform_width(self):
+        kind, _ = compare(classify_rust("usize"), classify_c(CSrcScalar("int")))
+        assert kind is Kind.RUST_PLATFORM_WIDTH
+        kind, _ = compare(classify_rust("i64"), classify_c(CSrcScalar("long")))
+        assert kind is Kind.RUST_PLATFORM_WIDTH
+
+    def test_pointer_vs_integer_is_confusion(self):
+        kind, _ = compare(
+            classify_rust("*mut c_void"), classify_c(CSrcScalar("long"))
+        )
+        assert kind is Kind.RUST_PTR_INT_CONFUSION
+
+    def test_fixed_width_clash_is_decl_mismatch(self):
+        kind, _ = compare(
+            classify_rust("u32"),
+            classify_c(CSrcScalar("unsigned long long")),
+        )
+        assert kind is Kind.RUST_DECL_MISMATCH
+
+    def test_str_note_wins(self):
+        kind, _ = compare(
+            classify_rust("&str"), classify_c(CSrcPtr(CSrcScalar("char")))
+        )
+        assert kind is Kind.RUST_STR_PASSING
+
+    def test_enum_norepr_fires_even_when_classes_would_differ(self):
+        i = iface("pub enum Bare { Y }\n")
+        kind, _ = compare(classify_rust("Bare", i), classify_c(CSrcScalar("int")))
+        assert kind is Kind.RUST_ENUM_REPR
+
+    def test_repr_enum_width_clash_reports_enum_repr(self):
+        i = iface("#[repr(u8)]\npub enum Small { X }\n")
+        kind, _ = compare(
+            classify_rust("Small", i), classify_c(CSrcScalar("int"))
+        )
+        assert kind is Kind.RUST_ENUM_REPR
+
+
+class TestRenderFn:
+    def test_matches_linker_shape(self):
+        i = iface(
+            'extern "C" { fn c_hash(p: *const u8, n: usize) -> u64; }\n'
+        )
+        (fn,) = i.imports
+        assert render_fn(fn, i) == "uint64_t(uint8_t *, size_t)"

@@ -8,7 +8,7 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
-TREND_DOC = ROOT / "BENCH_PR8.json"
+TREND_DOC = ROOT / "BENCH_PR9.json"
 
 
 def _load_trend_module():
@@ -26,7 +26,7 @@ def trend():
 
 
 class TestCommittedDocument:
-    """CI produces BENCH_PR8.json; this is the schema it must satisfy."""
+    """CI produces BENCH_PR9.json; this is the schema it must satisfy."""
 
     def test_document_is_committed(self):
         assert TREND_DOC.is_file(), TREND_DOC
@@ -35,13 +35,14 @@ class TestCommittedDocument:
         document = json.loads(TREND_DOC.read_text())
         assert trend.validate(document) == []
 
-    def test_document_covers_all_eight_benchmarks(self):
+    def test_document_covers_all_nine_benchmarks(self):
         document = json.loads(TREND_DOC.read_text())
         assert set(document["benchmarks"]) >= {
             "batch",
             "pyext",
             "serve",
             "jni",
+            "rust",
             "cold",
             "concurrency",
             "link",
@@ -82,7 +83,7 @@ class TestCommittedDocument:
         # the PR 4 document recorded `"baseline": null` (nothing to
         # compare against); from PR 5 on the gate must actually compare
         gates = json.loads(TREND_DOC.read_text())["gates"]
-        assert gates["baseline"] == "BENCH_PR7.json"
+        assert gates["baseline"] == "BENCH_PR8.json"
 
 
 class TestValidate:

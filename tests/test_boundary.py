@@ -4,27 +4,31 @@ import pytest
 
 from repro.boundary import (
     BoundaryDialect,
+    DialectSpec,
     available_dialects,
     get_dialect,
+    get_spec,
     register_dialect,
+    spec_of,
 )
 
 
 class TestRegistry:
     def test_builtin_dialects_available(self):
-        assert set(available_dialects()) >= {"ocaml", "pyext", "jni"}
+        assert set(available_dialects()) >= {"ocaml", "pyext", "jni", "rust"}
 
     def test_get_dialect_resolves(self):
         assert get_dialect("ocaml").name == "ocaml"
         assert get_dialect("pyext").name == "pyext"
         assert get_dialect("jni").name == "jni"
+        assert get_dialect("rust").name == "rust"
 
     def test_unknown_dialect_raises_with_known_names(self):
         with pytest.raises(ValueError, match="rustffi.*known.*ocaml"):
             get_dialect("rustffi")
 
     def test_dialects_satisfy_the_protocol(self):
-        for name in ("ocaml", "pyext", "jni"):
+        for name in ("ocaml", "pyext", "jni", "rust"):
             assert isinstance(get_dialect(name), BoundaryDialect)
 
     def test_third_dialect_registration(self):
@@ -80,6 +84,51 @@ class TestSuffixMaps:
         assert dialect.host_suffixes == ()
         assert ".c" in dialect.unit_suffixes
 
+    def test_rust_reads_rs_hosts(self):
+        dialect = get_dialect("rust")
+        assert dialect.host_suffixes == (".rs",)
+        assert ".c" in dialect.unit_suffixes
+
+
+class TestDialectSpec:
+    """The declarative capability surface that replaced the scattered
+    getattr probes: every registered dialect carries a spec, and
+    ``spec_of`` normalizes specs, registered dialects, and dialect-like
+    objects to one shape."""
+
+    def test_every_builtin_dialect_has_a_spec(self):
+        for name in ("ocaml", "pyext", "jni", "rust"):
+            spec = get_spec(name)
+            assert spec.name == name
+            assert spec.corpus_unit_suffixes == (".c",)
+            assert spec.example_dir.startswith("examples/")
+            assert spec.bench_module.startswith("benchmarks/")
+            assert spec.rule_pack == name
+
+    def test_spec_of_normalizes_all_three_shapes(self):
+        spec = get_spec("rust")
+        assert spec_of(spec) is spec
+        assert spec_of("rust") is spec
+        assert spec_of(get_dialect("rust")) is spec
+
+    def test_spec_of_derives_for_unregistered_dialect_likes(self):
+        class Bare:
+            name = "bare"
+            host_suffixes = (".x",)
+            unit_suffixes = (".c", ".h")
+
+        derived = spec_of(Bare())
+        assert derived.name == "bare"
+        assert derived.host_suffixes == (".x",)
+        # headers drop out of the corpus-unit scan by derivation
+        assert derived.corpus_unit_suffixes == (".c",)
+
+    def test_spec_defaults_rule_pack_to_the_name(self):
+        spec = DialectSpec(
+            name="probe", host_suffixes=(), unit_suffixes=(".c",)
+        )
+        assert spec.rule_pack == "probe"
+
 
 class TestSeedIsolation:
     """The PR 5 contract: seed tables are memoized per process, and that
@@ -130,10 +179,10 @@ class TestSeedIsolation:
 
 
 class TestCacheKeyIsolation:
-    """Three dialects coexist without cache-key collisions: the same C
+    """Four dialects coexist without cache-key collisions: the same C
     text must never replay another dialect's cached analysis."""
 
-    def test_same_source_three_dialects_three_keys(self):
+    def test_same_source_four_dialects_four_keys(self):
         from repro.engine.jobs import CheckRequest
         from repro.source import SourceFile
 
@@ -142,11 +191,29 @@ class TestCacheKeyIsolation:
             dialect: CheckRequest(
                 name="unit.c", c_sources=(source,), dialect=dialect
             ).cache_key()
-            for dialect in ("ocaml", "pyext", "jni")
+            for dialect in ("ocaml", "pyext", "jni", "rust")
         }
-        assert len(set(keys.values())) == 3
+        assert len(set(keys.values())) == 4
 
-    def test_schema_version_bumped_for_the_third_dialect(self):
+    def test_rust_host_side_participates_in_the_key(self):
+        from repro.engine.jobs import CheckRequest
+        from repro.source import SourceFile
+
+        unit = SourceFile("unit.c", "int f(void) { return 0; }\n")
+        without = CheckRequest(
+            name="unit.c", c_sources=(unit,), dialect="rust"
+        ).cache_key()
+        with_host = CheckRequest(
+            name="unit.c",
+            c_sources=(unit,),
+            ocaml_sources=(
+                SourceFile("lib.rs", 'extern "C" { fn f() -> i32; }\n'),
+            ),
+            dialect="rust",
+        ).cache_key()
+        assert without != with_host
+
+    def test_schema_version_bumped_for_rule_ids_and_the_fourth_dialect(self):
         from repro.engine.jobs import CACHE_SCHEMA_VERSION
 
-        assert CACHE_SCHEMA_VERSION >= 4
+        assert CACHE_SCHEMA_VERSION >= 8

@@ -102,6 +102,22 @@ def test_bench_smoke_covers_the_jni_dialect(workflow):
     assert "jni-report.json" in uploads[0]["with"]["path"]
 
 
+def test_bench_smoke_covers_the_rust_dialect(workflow):
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "bench_rust.py" in runs
+    assert "--dialect rust" in runs
+    # detection is exit-code visible: exactly the six seeded defects
+    assert 'test "$status" -eq 6' in runs
+    # the rule pack and the conformance report ride the same leg
+    assert "mlffi-check rules --dialect rust" in runs
+    assert "mlffi-check conformance examples/rust/bad_bindings" in runs
+    uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
+    path = uploads[0]["with"]["path"]
+    assert "rust-report.json" in path
+    assert "rust-conformance.sarif" in path
+
+
 def test_concurrency_cancels_superseded_runs(workflow):
     concurrency = workflow["concurrency"]
     assert concurrency["cancel-in-progress"] is True
@@ -122,9 +138,9 @@ def test_bench_trend_merges_and_gates_the_trajectory(workflow):
     steps = workflow["jobs"]["bench-trend"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)
     assert "bench_trend.py" in runs
-    assert "BENCH_PR8.json" in runs
+    assert "BENCH_PR9.json" in runs
     uploads = [s for s in steps if "upload-artifact" in s.get("uses", "")]
-    assert uploads and "BENCH_PR8.json" in uploads[0]["with"]["path"]
+    assert uploads and "BENCH_PR9.json" in uploads[0]["with"]["path"]
 
 
 def test_bench_smoke_runs_the_cold_benchmark_and_uploads_its_json(workflow):
@@ -193,10 +209,10 @@ def test_link_smoke_gates_recall_rss_and_exit_codes(workflow):
     assert job["needs"] == ["test"]
     runs = " ".join(step.get("run", "") for step in job["steps"])
     assert "bench_link.py --quick" in runs
-    # every seeded corpus must be exit-code visible for all three dialects
+    # every seeded corpus must be exit-code visible for all four dialects
     assert "mlffi-check link" in runs
     assert "--strict" in runs
-    for dialect in ("ocaml", "pyext", "jni"):
+    for dialect in ("ocaml", "pyext", "jni", "rust"):
         assert dialect in runs
     uploads = [
         s for s in job["steps"] if "upload-artifact" in s.get("uses", "")

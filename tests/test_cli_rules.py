@@ -1,0 +1,197 @@
+"""The ``rules`` and ``conformance`` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.diagnostics import Kind
+
+
+class TestRulesCommand:
+    def test_text_groups_by_pack_with_footer(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for pack in ("ocaml", "pyext", "jni", "rust", "link"):
+            assert f"== pack {pack}" in out
+        # each pack header appears exactly once
+        assert out.count("== pack rust") == 1
+        assert f"-- {len(Kind)} rule(s) in 5 pack(s)" in out
+
+    def test_dialect_filter(self, capsys):
+        assert main(["rules", "--dialect", "rust"]) == 0
+        out = capsys.readouterr().out
+        assert "RUST_DECL_MISMATCH" in out
+        assert "TYPE_MISMATCH" not in out
+        assert "-- 5 rule(s) in 1 pack(s)" in out
+
+    def test_json_payload_lists_every_rule(self, capsys):
+        assert main(["rules", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rules = payload["rules"]
+        assert len(rules) == len(Kind)
+        by_id = {rule["id"]: rule for rule in rules}
+        assert by_id["RUST_PLATFORM_WIDTH"]["dialect"] == "rust"
+        assert by_id["RUST_PLATFORM_WIDTH"]["severity"] == "error"
+        assert by_id["RUST_PLATFORM_WIDTH"]["help_uri"].startswith("https://")
+        assert "gui_" in by_id["RUST_PLATFORM_WIDTH"]["guideline"]
+
+    def test_unknown_dialect_is_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["rules", "--dialect", "cobol"])
+
+
+class TestConformanceCommand:
+    def test_bad_corpus_fails_its_rules(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "examples/rust/bad_bindings",
+                "--dialect",
+                "rust",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code > 0
+        assert "== conformance: examples/rust/bad_bindings" in out
+        assert "fail RUST_PLATFORM_WIDTH" in out
+        assert "fail RUST_STR_PASSING" in out
+        assert "pass LINK_DUPLICATE_DEFINITION" in out
+
+    def test_clean_corpus_passes_every_rule(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "examples/rust/clean_bindings",
+                "--dialect",
+                "rust",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "   fail " not in out
+        assert "0 failing" in out
+
+    def test_json_document_shape(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "examples/link/rust",
+                "--dialect",
+                "rust",
+                "--no-cache",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 2
+        doc = json.loads(capsys.readouterr().out)
+        conf = doc["conformance"]
+        assert conf["dialect"] == "rust"
+        status = {rule["id"]: rule["status"] for rule in conf["rules"]}
+        assert status["LINK_CONFLICTING_DECL"] == "fail"
+        assert status["LINK_UNRESOLVED_EXTERN"] == "warn"
+        assert status["RUST_DECL_MISMATCH"] == "pass"
+
+    def test_strict_promotes_warnings(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "examples/link/rust",
+                "--dialect",
+                "rust",
+                "--no-cache",
+                "--strict",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "fail LINK_UNRESOLVED_EXTERN" in out
+
+    def test_sarif_results_carry_registry_metadata(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "examples/rust/bad_bindings",
+                "--dialect",
+                "rust",
+                "--no-cache",
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code > 0
+        log = json.loads(capsys.readouterr().out)
+        run = log["runs"][0]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert "RUST_STR_PASSING" in rule_ids
+        by_id = {rule["id"]: rule for rule in run["tool"]["driver"]["rules"]}
+        props = by_id["RUST_STR_PASSING"]["properties"]
+        assert props["dialect"] == "rust"
+        assert run["results"]
+
+    def test_ocaml_corpus_covers_paper_taxonomy(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "examples/glue",
+                "--dialect",
+                "ocaml",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "TAG_OUT_OF_RANGE" in out
+        assert "LINK_UNRESOLVED_EXTERN" in out
+
+
+class TestRuleIdPlumbing:
+    """rule_id rides the JSON surface without perturbing the text."""
+
+    def test_batch_json_diagnostics_carry_rule_ids(self, capsys):
+        code = main(
+            [
+                "batch",
+                "examples/rust/bad_bindings",
+                "--dialect",
+                "rust",
+                "--no-cache",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 6
+        payload = json.loads(capsys.readouterr().out)
+        rule_ids = [
+            diag["rule_id"]
+            for unit in payload["units"]
+            for diag in unit["diagnostics"]
+        ]
+        assert len(rule_ids) == 6
+        assert set(rule_ids) == {
+            "RUST_DECL_MISMATCH",
+            "RUST_PLATFORM_WIDTH",
+            "RUST_PTR_INT_CONFUSION",
+            "RUST_ENUM_REPR",
+            "RUST_STR_PASSING",
+        }
+
+    def test_text_output_has_no_rule_ids(self, capsys):
+        code = main(
+            [
+                "batch",
+                "examples/rust/bad_bindings",
+                "--dialect",
+                "rust",
+                "--no-cache",
+            ]
+        )
+        assert code == 6
+        out = capsys.readouterr().out
+        # the human render stays byte-identical to the pre-registry
+        # format: kind names appear only in JSON/SARIF surfaces
+        assert "RUST_" not in out
+        assert "rule_id" not in out

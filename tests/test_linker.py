@@ -207,6 +207,128 @@ class TestLinkReport:
         assert linker.report().exports == 1
 
 
+class TestHostExports:
+    """Host-side definitions (Rust ``#[no_mangle]``) join the link: they
+    resolve externs, collide with C bodies, and their rendered types
+    participate in conflicting-decl comparison."""
+
+    def test_host_export_resolves_an_extern(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                externs=[SymbolRow("rs_go", "int(int)", "a.c", 2)],
+                host_exports=[
+                    SymbolRow("rs_go", "int(int)", "lib.rs", 5)
+                ],
+            )
+        )
+        report = linker.report()
+        assert kinds(report) == []
+        assert report.host_exports == 1
+
+    def test_unmatched_typed_binding_warns_unresolved(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                bindings=[
+                    SymbolRow("c_hook", "void()", "lib.rs", 3, "fn c_hook()")
+                ],
+            )
+        )
+        assert kinds(linker.report()) == ["LINK_UNRESOLVED_EXTERN"]
+
+    def test_host_export_collides_with_a_c_definition(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                exports=[export("rs_go", "int(int)", "a.c", 4)],
+                externs=[SymbolRow("rs_go", "int(int)", "b.c", 1)],
+                host_exports=[
+                    SymbolRow("rs_go", "int(int)", "lib.rs", 5)
+                ],
+            )
+        )
+        assert kinds(linker.report()) == ["LINK_DUPLICATE_DEFINITION"]
+
+    def test_host_claim_type_joins_conflict_comparison(self):
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                exports=[export("c_len", "size_t(char *)", "a.c", 4)],
+                bindings=[
+                    SymbolRow(
+                        "c_len", "uintptr_t(char *)", "lib.rs", 2, "fn c_len"
+                    )
+                ],
+            )
+        )
+        assert kinds(linker.report()) == ["LINK_CONFLICTING_DECL"]
+
+    def test_stdint_aliases_do_not_conflict(self):
+        # a Rust host renders u32 as `unsigned int`; a bindgen header
+        # spells `uint32_t` — same platform type, not a link hazard
+        linker = Linker()
+        linker.add(
+            summary(
+                "a.c",
+                exports=[export("c_crc", "uint32_t(uint8_t *)", "a.c", 4)],
+                bindings=[
+                    SymbolRow(
+                        "c_crc",
+                        "unsigned int(unsigned char *)",
+                        "lib.rs",
+                        2,
+                        "fn c_crc",
+                    )
+                ],
+            )
+        )
+        assert kinds(linker.report()) == []
+
+    def test_shared_host_rows_dedupe_across_units(self):
+        # every unit of a batch carries the same host-side rows; the
+        # linker must not read N copies as N definitions
+        linker = Linker()
+        host_row = SymbolRow("rs_go", "int(int)", "lib.rs", 5)
+        for unit in ("a.c", "b.c"):
+            linker.add(
+                summary(
+                    unit,
+                    externs=[SymbolRow("rs_go", "int(int)", unit, 2)],
+                    host_exports=[host_row],
+                )
+            )
+        report = linker.report()
+        assert kinds(report) == []
+        assert report.host_exports == 1
+
+    def test_footer_mentions_host_exports_only_when_present(self):
+        linker = Linker()
+        linker.add(summary("a.c", exports=[export("ml_f", file="a.c")]))
+        assert "host export" not in linker.report().render()
+        linker.add(
+            summary(
+                "b.c",
+                host_exports=[SymbolRow("rs_go", "int()", "lib.rs", 1)],
+            )
+        )
+        assert "1 host export(s)" in linker.report().render()
+
+    def test_host_exports_round_trip_summary_serialization(self):
+        original = summary(
+            "a.c",
+            host_exports=[
+                SymbolRow("rs_go", "int(int)", "lib.rs", 5, "fn rs_go")
+            ],
+        )
+        rebuilt = InterfaceSummary.from_dict(original.to_dict())
+        assert rebuilt == original
+
+
 class TestDialectExtraction:
     """Every dialect's analyze() must attach a usable summary."""
 
@@ -214,6 +336,7 @@ class TestDialectExtraction:
         "ocaml": "examples/link/ocaml",
         "pyext": "examples/link/pyext",
         "jni": "examples/link/jni",
+        "rust": "examples/link/rust",
     }
 
     #: the exact seeded bugs per corpus (2 errors + 1 warning each)
@@ -231,6 +354,11 @@ class TestDialectExtraction:
         "jni": [
             "LINK_CONFLICTING_DECL",
             "LINK_DUPLICATE_REGISTRATION",
+            "LINK_UNRESOLVED_EXTERN",
+        ],
+        "rust": [
+            "LINK_CONFLICTING_DECL",
+            "LINK_DUPLICATE_DEFINITION",
             "LINK_UNRESOLVED_EXTERN",
         ],
     }

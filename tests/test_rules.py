@@ -1,0 +1,136 @@
+"""The stable rule-ID registry: the public API of the diagnostic packs."""
+
+import pytest
+
+from repro.diagnostics import Diagnostic, Kind
+from repro.rules import REGISTRY, Rule, rule_for_kind, rules_pack
+from repro.source import DUMMY_SPAN
+
+
+class TestCoverage:
+    def test_every_kind_has_exactly_one_rule(self):
+        assert len(REGISTRY) == len(Kind)
+        for kind in Kind:
+            rule = rule_for_kind(kind)
+            assert rule.id == kind.name
+            assert rule.kind is kind
+
+    def test_rule_severity_matches_the_kind(self):
+        for kind in Kind:
+            assert rule_for_kind(kind).category is kind.category
+
+    def test_ids_are_stable_append_only_contract(self):
+        # the published surface: removing or renaming any of these
+        # breaks downstream severity maps and SARIF baselines
+        published = {
+            "TYPE_MISMATCH",
+            "UNPROTECTED_VALUE",
+            "PY_FORMAT_MISMATCH",
+            "JNI_BAD_DESCRIPTOR",
+            "RUST_DECL_MISMATCH",
+            "RUST_PLATFORM_WIDTH",
+            "RUST_PTR_INT_CONFUSION",
+            "RUST_ENUM_REPR",
+            "RUST_STR_PASSING",
+            "LINK_CONFLICTING_DECL",
+            "LINK_UNRESOLVED_EXTERN",
+        }
+        assert published <= {rule.id for rule in REGISTRY}
+
+
+class TestPacks:
+    def test_dialects_cover_all_four_fronts_plus_link(self):
+        assert REGISTRY.dialects() == (
+            "jni",
+            "link",
+            "ocaml",
+            "pyext",
+            "rust",
+        )
+
+    def test_pack_filtering(self):
+        rust = rules_pack("rust")
+        assert [rule.id for rule in rust] == [
+            "RUST_DECL_MISMATCH",
+            "RUST_PLATFORM_WIDTH",
+            "RUST_PTR_INT_CONFUSION",
+            "RUST_ENUM_REPR",
+            "RUST_STR_PASSING",
+        ]
+        assert all(rule.dialect == "rust" for rule in rust)
+
+    def test_unfiltered_pack_is_every_rule_in_kind_order(self):
+        everything = rules_pack()
+        assert len(everything) == len(Kind)
+        assert [rule.id for rule in everything] == [
+            kind.name for kind in Kind
+        ]
+
+    def test_every_rule_has_provenance(self):
+        for rule in REGISTRY:
+            assert rule.guideline
+            assert rule.help_uri.startswith("https://")
+
+    def test_rust_pack_cites_the_safety_guidelines(self):
+        rule = REGISTRY.get("RUST_PLATFORM_WIDTH")
+        assert "gui_QmEmKMYSuQSl" in rule.guideline
+        assert "size_t vs int" in rule.guideline
+
+
+class TestLookup:
+    def test_unknown_id_raises_with_known_ids(self):
+        with pytest.raises(KeyError, match="unknown rule id"):
+            REGISTRY.get("NOT_A_RULE")
+
+    def test_contains(self):
+        assert "RUST_ENUM_REPR" in REGISTRY
+        assert "NOT_A_RULE" not in REGISTRY
+
+    def test_duplicate_registration_is_rejected(self):
+        rule = REGISTRY.get("TYPE_MISMATCH")
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            REGISTRY.register(rule)
+
+    def test_to_dict_shape(self):
+        payload = REGISTRY.get("RUST_DECL_MISMATCH").to_dict()
+        assert payload["id"] == "RUST_DECL_MISMATCH"
+        assert payload["dialect"] == "rust"
+        assert payload["severity"] == "error"
+        assert payload["sarif_level"] == "error"
+        assert payload["guideline"]
+        assert payload["help_uri"]
+
+
+class TestDiagnosticPlumbing:
+    def diag(self, kind=Kind.TYPE_MISMATCH):
+        return Diagnostic(kind=kind, span=DUMMY_SPAN, message="boom")
+
+    def test_rule_id_rides_the_diagnostic(self):
+        diag = self.diag(Kind.RUST_STR_PASSING)
+        assert diag.rule_id == "RUST_STR_PASSING"
+        assert diag.to_dict()["rule_id"] == "RUST_STR_PASSING"
+
+    def test_rendered_text_is_unchanged_by_rule_ids(self):
+        # byte-identity contract: the human-facing render has no rule id
+        diag = self.diag()
+        assert "rule" not in diag.render().lower()
+        assert "TYPE_MISMATCH" not in diag.render()
+
+
+class TestRuleValue:
+    def test_rules_are_frozen(self):
+        rule = REGISTRY.get("TYPE_MISMATCH")
+        with pytest.raises(AttributeError):
+            rule.id = "RENAMED"
+
+    def test_rule_is_a_plain_value(self):
+        rule = REGISTRY.get("TYPE_MISMATCH")
+        clone = Rule(
+            id=rule.id,
+            dialect=rule.dialect,
+            category=rule.category,
+            summary=rule.summary,
+            guideline=rule.guideline,
+            help_uri=rule.help_uri,
+        )
+        assert clone == rule
