@@ -30,12 +30,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
+from repro import kernel, seeds
 from repro.api import Project
+from repro.boundary import get_dialect
 from repro.engine import CheckRequest, run_batch
 from repro.source import SourceFile
 from repro.telemetry import set_hooks_enabled
@@ -205,6 +210,155 @@ def measure_telemetry_off_overhead(units: int, repeats: int) -> float:
         set_hooks_enabled(True)
 
 
+def measure_seed_artifact_speedup(units: int, repeats: int) -> dict:
+    """Host-interface artifact load vs rebuild, same process, same inputs.
+
+    The artifact tier exists for the worker-spawn path: a fresh process
+    meets host fingerprints its siblings already parsed.  This reproduces
+    that situation in-process — build every host repository once
+    (write-through populates the artifacts), then alternate two measured
+    legs with the in-process memos cleared before each: one loading the
+    pickled repositories, one with the artifact tier disabled so every
+    fingerprint re-parses.  Best-of-``repeats`` per leg; the ratio is the
+    ``seed_artifact_speedup`` trend field and the ``--min-seed-artifact-
+    speedup`` gate (a regression here means pickling the repository
+    stopped being cheaper than re-deriving it, i.e. the tier is dead
+    weight).
+
+    The hosts are sized like the workload the memo actually serves: a
+    batch's units share one *project-wide* OCaml side (every ``.ml`` in
+    the tree feeds the repository — see ``OCamlDialect.repository_for``),
+    so each measured fingerprint carries a multi-module host, not one
+    4-external toy file.
+    """
+    dialect = get_dialect("ocaml")
+    modules_per_host = 12
+    scaled = build_corpus("ocaml", min(units, 24) * modules_per_host)
+    requests = []
+    for start in range(0, len(scaled), modules_per_host):
+        chunk = scaled[start : start + modules_per_host]
+        host_sources = tuple(
+            source for request in chunk for source in request.ocaml_sources
+        )
+        requests.append(
+            CheckRequest(
+                name=f"host{start // modules_per_host:03d}",
+                c_sources=(),
+                ocaml_sources=host_sources,
+                dialect="ocaml",
+            )
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        previous = os.environ.get(seeds.SEED_DIR_ENV)
+        os.environ[seeds.SEED_DIR_ENV] = tmp
+        try:
+            # populate the artifacts via write-through
+            seeds.clear_seed_memos()
+            for request in requests:
+                dialect.host_interface_for(request)
+            load_s = rebuild_s = float("inf")
+            for _ in range(max(3, repeats)):
+                seeds.clear_seed_memos()
+                started = time.perf_counter()
+                for request in requests:
+                    dialect.host_interface_for(request)
+                load_s = min(load_s, time.perf_counter() - started)
+
+                os.environ[seeds.SEED_ARTIFACTS_ENV] = "0"
+                try:
+                    seeds.clear_seed_memos()
+                    started = time.perf_counter()
+                    for request in requests:
+                        dialect.host_interface_for(request)
+                    rebuild_s = min(
+                        rebuild_s, time.perf_counter() - started
+                    )
+                finally:
+                    del os.environ[seeds.SEED_ARTIFACTS_ENV]
+            stats = seeds.seed_stats()
+        finally:
+            seeds.clear_seed_memos()
+            if previous is None:
+                os.environ.pop(seeds.SEED_DIR_ENV, None)
+            else:
+                os.environ[seeds.SEED_DIR_ENV] = previous
+    return {
+        "hosts": len(requests),
+        "rebuild_seconds": round(rebuild_s, 4),
+        "load_seconds": round(load_s, 4),
+        "speedup": round(rebuild_s / max(load_s, 1e-9), 2),
+        "artifact_rejects": stats.get("artifact_rejects", 0),
+    }
+
+
+def _probe_cold(dialect: str, units: int, repeats: int) -> None:
+    """Hidden subprocess mode for ``--compare-kernels``: print one
+    dialect's best cold seconds (and this process's kernel flavor) as
+    JSON on stdout, nothing else."""
+    requests = build_corpus(dialect, units)
+    cold_s = time_cold(requests, repeats)
+    print(
+        json.dumps(
+            {"cold_seconds": cold_s, "kernel": kernel.kernel_flavor()}
+        )
+    )
+
+
+def measure_compiled_speedup(units: int, repeats: int) -> dict | None:
+    """Compiled-vs-interpreted cold ratio, or None without a wheel.
+
+    Each kernel flavor needs its own process (the import hook decides at
+    startup), so both legs run this script's ``--probe`` mode in a
+    subprocess: one inheriting the environment, one with
+    ``MLFFI_PURE_PYTHON=1`` forcing the interpreted kernel.  Null when no
+    compiled kernel is installed — the field stays in the payload so the
+    trend document's shape is identical either way.
+    """
+    if not kernel.compiled_available():
+        return None
+
+    def probe(pure_python: bool) -> dict:
+        env = dict(os.environ)
+        if pure_python:
+            env[kernel.PURE_PYTHON_ENV] = "1"
+        else:
+            env.pop(kernel.PURE_PYTHON_ENV, None)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(Path(__file__).resolve()),
+                "--probe",
+                "ocaml",
+                "--units",
+                str(units),
+                "--repeats",
+                str(repeats),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return json.loads(proc.stdout)
+
+    compiled = probe(pure_python=False)
+    interpreted = probe(pure_python=True)
+    if compiled["kernel"] != "compiled":
+        raise RuntimeError(
+            "compiled kernel detected on disk but the probe process "
+            f"ran {compiled['kernel']!r}"
+        )
+    return {
+        "compiled_seconds": round(compiled["cold_seconds"], 4),
+        "interpreted_seconds": round(interpreted["cold_seconds"], 4),
+        "speedup": round(
+            interpreted["cold_seconds"]
+            / max(compiled["cold_seconds"], 1e-9),
+            2,
+        ),
+    }
+
+
 # -- diagnostics equivalence ----------------------------------------------------
 
 
@@ -265,6 +419,24 @@ def main(argv=None) -> int:
         "hooks vs fully bypassed hooks (default: 0.02 = 2%%)",
     )
     parser.add_argument(
+        "--min-seed-artifact-speedup",
+        type=float,
+        default=2.0,
+        help="required host-interface artifact-load speedup vs rebuild",
+    )
+    parser.add_argument(
+        "--compare-kernels",
+        action="store_true",
+        help="also measure the compiled-vs-interpreted cold ratio "
+        "(recorded as null when no compiled kernel is installed)",
+    )
+    parser.add_argument(
+        "--probe",
+        metavar="DIALECT",
+        default=None,
+        help=argparse.SUPPRESS,  # subprocess mode for --compare-kernels
+    )
+    parser.add_argument(
         "--record-baseline",
         action="store_true",
         help="freeze this run's per-unit times as the baseline and skip gates",
@@ -284,6 +456,10 @@ def main(argv=None) -> int:
 
     units = 30 if args.quick else args.units
     repeats = 2 if args.quick else args.repeats
+
+    if args.probe is not None:
+        _probe_cold(args.probe, units, repeats)
+        return 0
 
     baseline: dict | None = None
     if BASELINE_PATH.is_file():
@@ -348,6 +524,28 @@ def main(argv=None) -> int:
             f"{args.max_telemetry_overhead * 100:.2f}%"
         )
 
+    # seed-artifact gate: loading a pickled host interface must beat
+    # re-deriving it, or the artifact tier is pure overhead
+    seed_artifact = measure_seed_artifact_speedup(units, repeats)
+    if (
+        not args.record_baseline
+        and seed_artifact["speedup"] < args.min_seed_artifact_speedup
+    ):
+        failures.append(
+            f"seeds: artifact-load speedup {seed_artifact['speedup']:.2f}x "
+            f"< required {args.min_seed_artifact_speedup:.2f}x "
+            f"(load {seed_artifact['load_seconds'] * 1e3:.1f} ms vs "
+            f"rebuild {seed_artifact['rebuild_seconds'] * 1e3:.1f} ms)"
+        )
+
+    # kernel-comparison: null without a compiled wheel (the local
+    # toolchain never builds one; CI's compiled-smoke job does)
+    compiled = (
+        measure_compiled_speedup(min(units, 30), repeats)
+        if args.compare_kernels
+        else None
+    )
+
     # equivalence gate: byte-identical diagnostics on the real examples
     equivalence: dict[str, bool] = {}
     for dialect in CORPORA:
@@ -401,6 +599,14 @@ def main(argv=None) -> int:
         "baseline": BASELINE_PATH.name if baseline is not None else None,
         "telemetry_off_overhead": round(telemetry_overhead, 4),
         "max_telemetry_overhead": args.max_telemetry_overhead,
+        "seed_artifact": seed_artifact,
+        "seed_artifact_speedup": seed_artifact["speedup"],
+        "min_seed_artifact_speedup": args.min_seed_artifact_speedup,
+        "kernel": kernel.kernel_flavor(),
+        "compiled": compiled,
+        "compiled_speedup": (
+            compiled["speedup"] if compiled is not None else None
+        ),
         "dialects": dialects,
         "gates": {
             "diagnostics_byte_identical": equivalence,

@@ -70,8 +70,8 @@ BENCHMARKS: dict[str, dict[str, list[str]]] = {
         # uses: the trend sweeps seven other benchmarks back to back, so
         # the frozen-baseline speedup wobbles with runner load in a way
         # the full run (and the standalone gate) does not
-        "quick": ["--quick", "--min-speedup", "1.5"],
-        "full": [],
+        "quick": ["--quick", "--min-speedup", "1.5", "--compare-kernels"],
+        "full": ["--compare-kernels"],
     },
     "concurrency": {
         "script": "bench_concurrency.py",
@@ -111,13 +111,23 @@ RATIO_DIRECTIONS: dict[str, str] = {
     # RSS cap is gated inside bench_link itself (absolute, not a ratio)
     "link_recall": "higher",
     "telemetry_overhead_ratio": "lower",
+    # host-interface artifact load vs rebuild (bench_cold's in-process
+    # measurement; also gated absolutely there at 2x)
+    "cold_seed_artifact_speedup": "higher",
+    # compiled-vs-interpreted kernel cold ratio: present only when a
+    # mypyc wheel is installed (CI's compiled-smoke job; never locally)
+    "cold_compiled_speedup": "higher",
 }
 
 #: hardware-conditional ratios: present-or-absent is legitimate, so
 #: validation does not require them and the regression gate compares them
 #: only when both trajectories carry them
 CONDITIONAL_RATIOS: frozenset[str] = frozenset(
-    {"batch_parallel_speedup", "batch_parallel_overhead"}
+    {
+        "batch_parallel_speedup",
+        "batch_parallel_overhead",
+        "cold_compiled_speedup",
+    }
 )
 
 #: "lower"-direction ratios that measure a warm path against the cold
@@ -214,6 +224,14 @@ def extract_ratios(payloads: dict[str, dict]) -> dict[str, float]:
             speedup = result.get("speedup_vs_baseline")
             if speedup is not None:
                 ratios[f"cold_speedup_vs_baseline_{dialect}"] = speedup
+        if cold.get("seed_artifact_speedup") is not None:
+            ratios["cold_seed_artifact_speedup"] = cold[
+                "seed_artifact_speedup"
+            ]
+        # nullable by design: null means "no compiled kernel installed",
+        # and the key is omitted so the regression gate skips it
+        if cold.get("compiled_speedup") is not None:
+            ratios["cold_compiled_speedup"] = cold["compiled_speedup"]
     return ratios
 
 

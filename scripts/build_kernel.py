@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compile the kernel in place with mypyc (developer convenience).
+
+Builds the extension modules for :data:`repro.kernel.KERNEL_MODULES`
+directly inside ``src/repro`` so a ``PYTHONPATH=src`` checkout runs the
+compiled kernel without installing a wheel.  Requires the ``compiled``
+extra (``pip install -e '.[compiled]'``).
+
+Usage::
+
+    python scripts/build_kernel.py            # compile in place
+    python scripts/build_kernel.py --clean    # remove compiled artifacts
+    python scripts/build_kernel.py --status   # report kernel flavor
+
+Verification after a build::
+
+    PYTHONPATH=src python -c "from repro import kernel; print(kernel.describe())"
+    PYTHONPATH=src python -m pytest -q            # compiled run
+    MLFFI_PURE_PYTHON=1 PYTHONPATH=src python -m pytest -q   # fallback run
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+sys.path.insert(0, str(SRC))
+from repro.kernel import KERNEL_MODULES  # noqa: E402
+
+
+def _artifact_paths() -> list[Path]:
+    found: list[Path] = []
+    for name in KERNEL_MODULES:
+        stem = SRC.joinpath(*name.split("."))
+        for candidate in stem.parent.glob(stem.name + ".*"):
+            if candidate.suffix in (".so", ".pyd", ".c"):
+                found.append(candidate)
+    return found
+
+
+def clean() -> int:
+    removed = 0
+    for path in _artifact_paths():
+        path.unlink()
+        removed += 1
+        print(f"removed {path.relative_to(REPO)}")
+    build_dir = REPO / "build"
+    if build_dir.is_dir():
+        import shutil
+
+        shutil.rmtree(build_dir)
+        print("removed build/")
+    print(f"{removed} artifact(s) removed")
+    return 0
+
+
+def status() -> int:
+    from repro import kernel
+
+    for key, value in kernel.describe().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def build() -> int:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        print(
+            "mypyc not available — install the toolchain first:\n"
+            "  pip install -e '.[compiled]'",
+            file=sys.stderr,
+        )
+        return 1
+    sources = [
+        str(SRC.joinpath(*name.split(".")).with_suffix(".py"))
+        for name in KERNEL_MODULES
+    ]
+    cmd = [
+        sys.executable,
+        "-c",
+        (
+            "import sys; from mypyc.build import mypycify; "
+            "from setuptools import setup; "
+            "setup(script_args=['build_ext', '--inplace'], "
+            "ext_modules=mypycify(sys.argv[1:], separate=True))"
+        ),
+        *sources,
+    ]
+    result = subprocess.run(cmd, cwd=REPO)
+    if result.returncode != 0:
+        return result.returncode
+    compiled = [p for p in _artifact_paths() if p.suffix in (".so", ".pyd")]
+    print(f"compiled {len(compiled)}/{len(KERNEL_MODULES)} kernel modules")
+    return 0 if compiled else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clean", action="store_true", help="remove compiled artifacts")
+    parser.add_argument("--status", action="store_true", help="report kernel flavor")
+    args = parser.parse_args()
+    if args.clean:
+        return clean()
+    if args.status:
+        return status()
+    return build()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

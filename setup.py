@@ -1,0 +1,55 @@
+"""Build hook for the optional mypyc-compiled kernel.
+
+The default build (``pip wheel .``, ``pip install .``) is pure Python and
+needs nothing beyond setuptools — this file then degenerates to a plain
+``setup()`` call.  Setting ``MLFFI_COMPILE=1`` compiles the kernel module
+set (:data:`repro.kernel.KERNEL_MODULES`) with mypyc into extension
+modules that shadow their ``.py`` sources inside the wheel; the sources
+are still shipped so ``MLFFI_PURE_PYTHON=1`` can fall back to the
+interpreted kernel at runtime.
+
+The gate is deliberate: mypyc is a build-time-only dependency (the
+``compiled`` extra), and a missing toolchain must never break a source
+install.  ``scripts/build_kernel.py`` is the developer-facing wrapper.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from setuptools import setup
+
+
+def _kernel_sources() -> list[str]:
+    """The .py files behind repro.kernel.KERNEL_MODULES, without importing
+    the package (build isolation may not have src/ on sys.path)."""
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+    try:
+        from repro.kernel import KERNEL_MODULES
+    finally:
+        sys.path.pop(0)
+    return [
+        os.path.join("src", *name.split(".")) + ".py"
+        for name in KERNEL_MODULES
+    ]
+
+
+ext_modules = []
+if os.environ.get("MLFFI_COMPILE", "").strip() in ("1", "true", "on"):
+    try:
+        from mypyc.build import mypycify
+    except ImportError as exc:  # pragma: no cover - toolchain guard
+        raise SystemExit(
+            "MLFFI_COMPILE=1 needs the mypyc toolchain: "
+            "pip install '.[compiled]' (error: %s)" % exc
+        )
+    ext_modules = mypycify(
+        _kernel_sources(),
+        # one extension per module, dropped next to its source inside
+        # the package so import wins by suffix priority
+        separate=True,
+        strip_asserts=False,
+    )
+
+setup(ext_modules=ext_modules)

@@ -18,11 +18,18 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured results.
 """
 
-from .api import Project, analyze_project, check_c_source
-from .core.checker import AnalysisReport, Checker, InitialEnv
-from .core.exprs import Options
-from .diagnostics import Category, Diagnostic, DiagnosticBag, Kind
-from .engine import (
+from . import kernel as _kernel
+
+# Must run before the first kernel-module import below: under
+# MLFFI_PURE_PYTHON=1 the interpreted sources win even when a compiled
+# kernel wheel is installed.
+_kernel.install_pure_python_hook()
+
+from .api import Project, analyze_project, check_c_source  # noqa: E402
+from .core.checker import AnalysisReport, Checker, InitialEnv  # noqa: E402
+from .core.exprs import Options  # noqa: E402
+from .diagnostics import Category, Diagnostic, DiagnosticBag, Kind  # noqa: E402
+from .engine import (  # noqa: E402
     BatchReport,
     CheckRequest,
     CheckResult,
@@ -30,9 +37,9 @@ from .engine import (
     ResultCache,
     run_batch,
 )
-from .source import SourceFile
+from .source import SourceFile  # noqa: E402
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisReport",

@@ -19,11 +19,10 @@ circuit conditions are compiled branch-wise so that tag tests guarded by
 
 from __future__ import annotations
 
-import functools
-
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..seeds import seed_table
 from ..core.srctypes import CSrcFun, CSrcPtr, CSrcScalar, CSrcType, CSrcValue, CSrcVoid
 from ..source import DUMMY_SPAN, Span
 from . import ast, ir
@@ -69,7 +68,7 @@ def _kind_to_src(kind: str) -> CSrcType:
     raise ValueError(kind)
 
 
-@functools.cache
+@seed_table("ocaml.base_tables")
 def _base_tables() -> tuple[dict[str, CSrcType], dict[str, list[CSrcType]]]:
     """The runtime-function tables (PR 5): identical for every unit, so
     they are built once per process and copied per SymbolTable."""

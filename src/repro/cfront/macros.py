@@ -10,11 +10,10 @@ accessors may not.
 
 from __future__ import annotations
 
-import functools
-
 from dataclasses import dataclass
 
 from ..core.environment import Entry
+from ..seeds import seed_table
 from ..core.types import (
     C_INT,
     C_VOID,
@@ -201,11 +200,12 @@ ACCESSOR_MACROS: dict[str, str] = {
 }
 
 
-@functools.cache
+@seed_table("ocaml.builtin_entries")
 def builtin_entries() -> dict[str, Entry]:
     """The function-environment entries for every runtime entry point.
 
-    Memoized per process (PR 5): all builtins are treated polymorphically
+    Memoized in the central seed store (see :mod:`repro.seeds`; per
+    process since PR 5): all builtins are treated polymorphically
     (instantiated with fresh variables at every call site via
     ``instantiate_ct``), and variable *bindings* live in each run's own
     :class:`~repro.core.unify.Unifier`, so sharing the canonical entries

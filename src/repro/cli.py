@@ -21,7 +21,9 @@ Usage::
     mlffi-check rules [--dialect rust] [--format json]
     mlffi-check conformance src/glue --dialect rust --format sarif
     mlffi-check bench [--program lablgtk-2.2.0]
+    mlffi-check warmup [src/glue] [--dialect rust] [--format json]
     mlffi-check example
+    mlffi-check --version
 
 ``check`` analyzes a multi-lingual project and prints the diagnostics plus
 the Figure 9 style tally; the exit status is the number of errors (capped
@@ -42,8 +44,12 @@ kind's public ID, severity, and guideline provenance; see
 ``link`` but reports *by rule* — every rule of the dialect's pack (and
 the link pack) with its finding count and pass/fail status, the shape
 a safety-guideline audit wants.  ``bench`` regenerates the Figure 9
-table from the synthesized suite.  ``example`` runs the paper's
-Figure 2 program as a smoke test.
+table from the synthesized suite.  ``warmup`` precomputes the seed
+artifacts (static tables and, given a corpus root, parsed host
+interfaces) so cold workers load pickles instead of re-deriving them
+(see :mod:`repro.seeds`).  ``example`` runs the paper's Figure 2
+program as a smoke test.  ``--version`` prints the package version and
+which kernel flavor — compiled or interpreted — is serving the run.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from . import __version__
+from . import kernel as _kernel
 from .api import Project
 from .boundary import available_dialects, get_dialect, get_spec
 from .core.exprs import Options
@@ -279,6 +286,14 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="mlffi-check",
         description="Multi-lingual type inference for the OCaml-to-C FFI "
         "(reproduction of Furr & Foster, PLDI 2005)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=(
+            f"mlffi-check {__version__} "
+            f"({_kernel.kernel_flavor()} kernel)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -536,6 +551,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compare",
         action="store_true",
         help="print the paper-vs-measured comparison table",
+    )
+
+    warmup = sub.add_parser(
+        "warmup",
+        help="precompute seed artifacts so fresh workers load instead of "
+        "rebuilding",
+    )
+    warmup.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="corpus root: host sources found here are parsed once and "
+        "their interfaces stored as seed artifacts",
+    )
+    _add_dialect_flag(warmup)
+    warmup.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
     )
 
     sub.add_parser("example", help="run the paper's Figure 2 example")
@@ -1175,6 +1210,62 @@ def _run_example() -> int:
     return min(len(report.errors), 125)
 
 
+def _run_warmup(args: argparse.Namespace) -> int:
+    """Build the seed artifacts ahead of time (``mlffi-check warmup``).
+
+    Always writes the static-table bundle; with a corpus directory it
+    also parses the dialect's host sources and stores the interface
+    artifact, so the first real sweep loads instead of re-deriving.
+    """
+    from . import seeds
+
+    report: dict = {
+        "seed_dir": str(seeds.seed_dir()),
+        "artifacts_enabled": seeds.artifacts_enabled(),
+        "registry_fingerprint": seeds.registry_fingerprint(),
+        "kernel": _kernel.kernel_flavor(),
+        "static": seeds.warmup_static(),
+        "hosts": None,
+    }
+    if args.directory is not None:
+        root = Path(args.directory)
+        if not root.is_dir():
+            print(f"error: `{root}` is not a directory", file=sys.stderr)
+            return 2
+        dialect = get_dialect(args.dialect)
+        host_sources = tuple(
+            SourceFile(str(path), path.read_text())
+            for path in sorted(root.rglob("*"))
+            if path.is_file() and path.suffix in dialect.host_suffixes
+        )
+        report["hosts"] = seeds.warmup_hosts(args.dialect, host_sources)
+    report["pruned"] = seeds.prune_artifacts()
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+        return 0
+    print(f"seed dir:    {report['seed_dir']}")
+    print(f"artifacts:   {'on' if report['artifacts_enabled'] else 'off'}")
+    print(f"registry:    {report['registry_fingerprint'][:16]}")
+    print(f"kernel:      {report['kernel']}")
+    static = report["static"]
+    print(
+        f"static:      {static['tables']} table(s) "
+        f"({'stored' if static['stored'] else 'not stored'})"
+    )
+    hosts = report["hosts"]
+    if hosts is not None:
+        if hosts["fingerprint"]:
+            print(
+                f"hosts:       {hosts['hosts']} {args.dialect} source(s), "
+                f"fingerprint {hosts['fingerprint'][:16]}"
+            )
+        else:
+            print(f"hosts:       no {args.dialect} host sources found")
+    if report["pruned"]:
+        print(f"pruned:      {report['pruned']} old artifact(s)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "check":
@@ -1193,6 +1284,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_conformance(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "warmup":
+        return _run_warmup(args)
     if args.command == "example":
         return _run_example()
     return 125

@@ -28,9 +28,9 @@ from ..source import DUMMY_SPAN, Span
 from ..telemetry import span as _tspan
 from .constraints import EffectConstraintStore, PsiConstraintStore
 from .environment import Entry
-from .exprs import Context, Options
+from .exprs import Context, Options, normalize_alloc_tags
 from .gceffects import GCCheckSummary, discharge_gc_checks
-from .srctypes import CSrcType, is_value_src
+from .srctypes import CSrcPtr, CSrcType, is_value_src
 from .stmts import FunctionAnalyzer, FunctionResult
 from .translate import eta
 from .types import CFun, MTVar
@@ -136,7 +136,9 @@ class Checker:
             options=options or Options(),
         )
         if dialect is not None:
-            self.ctx.alloc_result_tags = dialect.alloc_result_tags()
+            self.ctx.alloc_result_tags = normalize_alloc_tags(
+                dialect.alloc_result_tags()
+            )
 
     # -- seeding -------------------------------------------------------------
 
@@ -184,10 +186,9 @@ class Checker:
         while True:
             if is_value_src(node):
                 return True
-            target = getattr(node, "target", None)
-            if target is None:
+            if not isinstance(node, CSrcPtr):
                 return False
-            node = target
+            node = node.target
 
     # -- post passes ------------------------------------------------------------
 

@@ -97,6 +97,45 @@ class Options:
     check_casts: bool = True
 
 
+@dataclass(frozen=True)
+class AllocTag:
+    """Structured result-tag spec for an allocator.
+
+    Exactly one field is set: ``literal`` pins the fresh block's tag to a
+    constant; ``from_arg`` reads it from the call's argument at that index
+    (``caml_alloc(n, t)`` takes the tag as its second argument).  The
+    dialect tables carry the legacy ``int | "argN"`` spelling at the
+    boundary protocol; :func:`normalize_alloc_tags` converts it once at
+    checker construction so the per-call-site path stays structural.
+    """
+
+    literal: Optional[int] = None
+    from_arg: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.literal is None) == (self.from_arg is None):
+            raise ValueError("AllocTag needs exactly one of literal/from_arg")
+
+
+def normalize_alloc_tags(raw: dict[str, int | str]) -> dict[str, AllocTag]:
+    """Convert a dialect's allocator table to the structured form.
+
+    Accepts the boundary-protocol spelling — a literal tag or an
+    ``"argN"`` string naming the argument index that carries the tag.
+    """
+    normalized: dict[str, AllocTag] = {}
+    for name, spec in raw.items():
+        if isinstance(spec, AllocTag):
+            normalized[name] = spec
+        elif isinstance(spec, int):
+            normalized[name] = AllocTag(literal=spec)
+        elif isinstance(spec, str) and spec.startswith("arg"):
+            normalized[name] = AllocTag(from_arg=int(spec[3:]))
+        else:
+            raise ValueError(f"bad alloc-tag spec for `{name}`: {spec!r}")
+    return normalized
+
+
 @dataclass
 class PendingGCCheck:
     """A conditional protection obligation from one call site (App rule).
@@ -129,9 +168,10 @@ class Context:
     pending_gc_checks: list[PendingGCCheck] = field(default_factory=list)
     #: names of variables pinned to ⊤ because their address was taken (§5.1)
     address_taken: set[str] = field(default_factory=set)
-    #: dialect override of the allocator→result-tag table (None = OCaml's
+    #: dialect override of the allocator→result-tag table, normalized to
+    #: :class:`AllocTag` (None = OCaml's
     #: :data:`repro.cfront.macros.ALLOC_RESULT_TAG`)
-    alloc_result_tags: Optional[dict[str, int | str]] = None
+    alloc_result_tags: Optional[dict[str, AllocTag]] = None
     _reported: set[tuple[Kind, str, int, str]] = field(default_factory=set)
 
     def report(
@@ -263,9 +303,8 @@ class ExprTyper:
             return self._type_addr_of(env, exp)
         if kind is StrLit:
             return CPtr(C_INT), UNKNOWN_QUALIFIER
-        raise RuleError(
-            Kind.TYPE_MISMATCH, f"unsupported expression `{exp}`", getattr(exp, "span", DUMMY_SPAN)
-        )
+        # every IR expression node carries a span (cfront.ir dataclasses)
+        raise RuleError(Kind.TYPE_MISMATCH, f"unsupported expression `{exp}`", exp.span)
 
     # (Var Exp)
     def _type_var(self, env: TypeEnv, exp: VarExp) -> tuple[CType, Qualifier]:

@@ -36,7 +36,13 @@ from ..cfront.ir import (
 from ..diagnostics import Kind
 from ..source import Span
 from .environment import Entry, LabelEnv, TypeEnv
-from .exprs import Context, ExprTyper, PendingGCCheck, RuleError
+from .exprs import (
+    Context,
+    ExprTyper,
+    PendingGCCheck,
+    RuleError,
+    normalize_alloc_tags,
+)
 from .lattice import BOXED, FLAT_TOP, Qualifier, UNBOXED, UNKNOWN_QUALIFIER, is_const
 from .liveness import LivenessResult, compute_liveness
 from .translate import eta
@@ -431,16 +437,18 @@ class FunctionAnalyzer:
         if tags is None:
             from ..cfront.macros import ALLOC_RESULT_TAG
 
-            tags = ALLOC_RESULT_TAG
+            tags = self.ctx.alloc_result_tags = normalize_alloc_tags(
+                ALLOC_RESULT_TAG
+            )
         spec = tags.get(call.func)
         if spec is None:
             return UNKNOWN_QUALIFIER
-        if spec == "arg1":
-            if len(arg_quals) > 1 and is_const(arg_quals[1].tag):
-                return Qualifier(BOXED, 0, arg_quals[1].tag)
+        if spec.from_arg is not None:
+            index = spec.from_arg
+            if len(arg_quals) > index and is_const(arg_quals[index].tag):
+                return Qualifier(BOXED, 0, arg_quals[index].tag)
             return Qualifier(BOXED, 0, FLAT_TOP)
-        assert isinstance(spec, int)
-        return Qualifier(BOXED, 0, spec)
+        return Qualifier(BOXED, 0, spec.literal)
 
     def _assume_external(self, env: TypeEnv, call: CallExp) -> CFun:
         """Unknown library function: parameters shaped by the actuals,

@@ -23,11 +23,11 @@ Three tables live here:
 
 from __future__ import annotations
 
-import functools
 
 from dataclasses import dataclass
 
 from ..cfront.parser import ParseHints
+from ..seeds import seed_table
 from ..core.environment import Entry
 from ..core.srctypes import (
     CSrcPtr,
@@ -99,7 +99,7 @@ _TYPEDEFS.update({name: CSrcValue() for name in REFERENCE_TYPEDEFS})
 _TYPEDEFS.update({name: CSrcScalar("int") for name in SCALAR_TYPEDEFS})
 
 
-@functools.cache
+@seed_table("jni.parse_hints")
 def parse_hints() -> ParseHints:
     """How to read JNI glue source with the shared parser.
 
@@ -329,7 +329,7 @@ GLOBAL_SCALARS: tuple[str, ...] = (
 # callers must treat the returned mappings as read-only.
 
 
-@functools.cache
+@seed_table("jni.builtin_entries")
 def builtin_entries() -> dict[str, Entry]:
     """The function-environment entries for every JNIEnv entry point (memoized)."""
     return {
@@ -338,7 +338,7 @@ def builtin_entries() -> dict[str, Entry]:
     }
 
 
-@functools.cache
+@seed_table("jni.global_entries")
 def global_entries() -> dict[str, Entry]:
     """Bindings for the well-known scalar constants (memoized)."""
     return {name: Entry(C_INT) for name in GLOBAL_SCALARS}
@@ -348,7 +348,7 @@ def global_entries() -> dict[str, Entry]:
 POLYMORPHIC_BUILTINS: frozenset[str] = frozenset(RUNTIME_FUNCTIONS)
 
 
-@functools.cache
+@seed_table("jni.lowering_return_types")
 def lowering_return_types() -> dict[str, CSrcType]:
     """Static return types for the lowering's symbol table (memoized)."""
     return {

@@ -1,0 +1,164 @@
+"""Kernel flavor: the optional mypyc-compiled analysis core.
+
+The dialect-independent kernel — interning, unification, the
+representational lattice, the fused dataflow passes in ``stmts``/``exprs``
+and the master-regex lexer — is written compilation-clean: precise
+annotations, no monkeypatching, no dynamic class tricks in the algorithm
+modules.  ``build_kernel.py`` (or ``MLFFI_COMPILE=1 pip wheel .``) compiles
+the modules in :data:`KERNEL_MODULES` with mypyc into extension modules
+that shadow their ``.py`` sources on import; the interpreted path stays
+the always-available fallback, and both produce byte-identical
+diagnostics (CI runs the full suite both ways).
+
+Two knobs, resolved here because everything else imports the kernel:
+
+* **detection** — :func:`kernel_flavor` reports ``"compiled"`` when any
+  kernel module was imported from an extension, ``"interpreted"``
+  otherwise.  Surfaced in ``mlffi-check --version`` and the server's
+  ``status`` RPC so a deployment can always tell which kernel answered.
+* **override** — ``MLFFI_PURE_PYTHON=1`` forces the interpreted kernel
+  even when compiled extensions are installed:
+  :func:`install_pure_python_hook` (called from ``repro/__init__`` before
+  any kernel module loads) puts a meta-path finder first in line that
+  resolves kernel modules from their ``.py`` sources, bypassing the
+  extension loader.
+
+This module must import nothing from :mod:`repro` (everything in
+:mod:`repro` may import it) and only stdlib at module level.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+from importlib.abc import MetaPathFinder
+from importlib.machinery import ModuleSpec, SourceFileLoader
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: The compiled module set: the dialect-independent algorithm layer.  The
+#: type-term definition modules (``types``, ``srctypes``, ``environment``,
+#: ``intern``) deliberately stay interpreted — hash-consing is a metaclass
+#: (a dynamic trick mypyc rejects) and seed artifacts pickle their
+#: instances, which must load identically under either kernel flavor.
+KERNEL_MODULES: tuple[str, ...] = (
+    "repro.core.constraints",
+    "repro.core.exprs",
+    "repro.core.gceffects",
+    "repro.core.lattice",
+    "repro.core.liveness",
+    "repro.core.stmts",
+    "repro.core.translate",
+    "repro.core.unify",
+    "repro.cfront.lexer",
+)
+
+_EXTENSION_SUFFIXES = (".so", ".pyd")
+
+PURE_PYTHON_ENV = "MLFFI_PURE_PYTHON"
+
+
+def pure_python_forced() -> bool:
+    """True when ``MLFFI_PURE_PYTHON`` asks for the interpreted kernel."""
+    return os.environ.get(PURE_PYTHON_ENV, "").strip() in ("1", "true", "on")
+
+
+class _PurePythonFinder(MetaPathFinder):
+    """Resolve kernel modules from their ``.py`` sources, always.
+
+    Sitting first on ``sys.meta_path``, this wins the import race against
+    the extension loader that would otherwise prefer a compiled
+    ``unify.cpython-*.so`` over ``unify.py``.  For an installation with no
+    compiled kernel it resolves to exactly what the default machinery
+    would, so installing it is always safe.
+    """
+
+    def find_spec(
+        self,
+        fullname: str,
+        path: Optional[Sequence[str]] = None,
+        target=None,
+    ) -> Optional[ModuleSpec]:
+        if fullname not in KERNEL_MODULES:
+            return None
+        if path is None:
+            return None
+        leaf = fullname.rpartition(".")[2]
+        for entry in path:
+            candidate = Path(entry) / f"{leaf}.py"
+            if candidate.is_file():
+                loader = SourceFileLoader(fullname, str(candidate))
+                return importlib.util.spec_from_file_location(
+                    fullname, candidate, loader=loader
+                )
+        return None
+
+
+_HOOK: Optional[_PurePythonFinder] = None
+
+
+def install_pure_python_hook() -> bool:
+    """Install the interpreted-kernel override when the env asks for it.
+
+    Called from ``repro/__init__`` before the first kernel import; a
+    second call is a no-op.  Returns whether the hook is active.
+    """
+    global _HOOK
+    if not pure_python_forced():
+        return False
+    if _HOOK is None:
+        _HOOK = _PurePythonFinder()
+        sys.meta_path.insert(0, _HOOK)
+    return True
+
+
+def _module_is_compiled(name: str) -> bool:
+    module = sys.modules.get(name)
+    if module is None:
+        return False
+    origin = getattr(module, "__file__", None) or ""
+    return origin.endswith(_EXTENSION_SUFFIXES)
+
+
+def compiled_modules() -> tuple[str, ...]:
+    """Kernel modules currently served by a compiled extension."""
+    return tuple(
+        name for name in KERNEL_MODULES if _module_is_compiled(name)
+    )
+
+
+def compiled_available() -> bool:
+    """Whether a compiled kernel is installed (even if overridden).
+
+    Probes the package directories on disk rather than loaded modules,
+    so it stays accurate under ``MLFFI_PURE_PYTHON=1`` — where the import
+    hook ensures nothing compiled ever loads.
+    """
+    if compiled_modules():
+        return True
+    package_dir = Path(__file__).resolve().parent
+    for name in KERNEL_MODULES:
+        parts = name.split(".")[1:]  # drop the "repro" prefix
+        stem = package_dir.joinpath(*parts)
+        for candidate in stem.parent.glob(stem.name + ".*"):
+            if candidate.name.endswith(_EXTENSION_SUFFIXES):
+                return True
+    return False
+
+
+def kernel_flavor() -> str:
+    """``"compiled"`` when any loaded kernel module is an extension."""
+    return "compiled" if compiled_modules() else "interpreted"
+
+
+def describe() -> dict:
+    """The ``kernel`` stanza of ``--version`` and the ``status`` RPC."""
+    compiled = compiled_modules()
+    return {
+        "flavor": "compiled" if compiled else "interpreted",
+        "compiled_available": compiled_available(),
+        "pure_python_forced": pure_python_forced(),
+        "compiled_modules": len(compiled),
+        "kernel_modules": len(KERNEL_MODULES),
+    }

@@ -27,14 +27,16 @@ from ..core.checker import AnalysisReport, Checker, InitialEnv
 from ..core.environment import Entry
 from ..engine.jobs import CheckRequest, repository_fingerprint
 from ..linker.extract import summarize_units
+from ..seeds import HostSeedMemo
 from ..telemetry import span as _tspan
 from ..linker.summary import InterfaceSummary, SymbolRow
 from .repository import TypeRepository, build_initial_env
 
-#: Per-process memo: repository fingerprint -> parsed TypeRepository.
-#: Bounded (batches reuse one or two OCaml sides); reset on process exit.
-_REPOSITORY_MEMO: dict[str, TypeRepository] = {}
-_REPOSITORY_MEMO_LIMIT = 32
+#: Shared memo for parsed repositories: in-process table over the seed
+#: artifact tier over rebuild (see :mod:`repro.seeds`).  A fresh worker
+#: process unpickles the repository a sibling already parsed instead of
+#: re-deriving it from the ``.ml`` sources.
+_REPOSITORY_SEEDS = HostSeedMemo("ocaml")
 
 
 class OCamlDialect:
@@ -65,15 +67,18 @@ class OCamlDialect:
 
     def repository_for(self, request: CheckRequest) -> TypeRepository:
         fingerprint = repository_fingerprint(request.ocaml_sources)
-        repo = _REPOSITORY_MEMO.get(fingerprint)
-        if repo is None:
+
+        def build() -> TypeRepository:
             repo = TypeRepository.with_stdlib()
             for source in request.ocaml_sources:
                 repo.add_source(source)
-            if len(_REPOSITORY_MEMO) >= _REPOSITORY_MEMO_LIMIT:
-                _REPOSITORY_MEMO.clear()
-            _REPOSITORY_MEMO[fingerprint] = repo
-        return repo
+            return repo
+
+        return _REPOSITORY_SEEDS.get(fingerprint, build)
+
+    #: the seed-warmup entry point (same contract for every dialect
+    #: with a parsed host side; see :func:`repro.seeds.warmup_hosts`)
+    host_interface_for = repository_for
 
     def initial_env(self, request: CheckRequest) -> InitialEnv:
         return build_initial_env(self.repository_for(request))

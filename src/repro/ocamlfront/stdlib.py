@@ -11,13 +11,12 @@ ordinary resolution path handles them.
 
 from __future__ import annotations
 
-import functools
-
+from ..seeds import seed_table
 from ..core.srctypes import SConstructor, SField, SInt, SRecord, SString, SSum, SVar
 from .ast import TypeDecl
 
 
-@functools.cache
+@seed_table("ocaml.stdlib_declarations")
 def stdlib_declarations() -> tuple[TypeDecl, ...]:
     """Declarations seeded into every fresh repository (memoized; the
     declarations are frozen, so one tuple serves every repository)."""

@@ -17,11 +17,11 @@ Three tables live here:
 
 from __future__ import annotations
 
-import functools
 
 from dataclasses import dataclass
 
 from ..cfront.parser import ParseHints
+from ..seeds import seed_table
 from ..core.environment import Entry
 from ..core.srctypes import (
     CSrcPtr,
@@ -65,7 +65,7 @@ _TYPEDEFS: dict[str, CSrcType] = {
 }
 
 
-@functools.cache
+@seed_table("pyext.parse_hints")
 def parse_hints() -> ParseHints:
     """How to read CPython extension source with the shared parser.
 
@@ -255,7 +255,7 @@ GLOBAL_VALUES: tuple[str, ...] = (
 # callers must treat the returned mappings as read-only.
 
 
-@functools.cache
+@seed_table("pyext.builtin_entries")
 def builtin_entries() -> dict[str, Entry]:
     """The function-environment entries for every C-API entry point (memoized)."""
     return {
@@ -264,7 +264,7 @@ def builtin_entries() -> dict[str, Entry]:
     }
 
 
-@functools.cache
+@seed_table("pyext.global_entries")
 def global_entries() -> dict[str, Entry]:
     """Bindings for the singleton/exception objects (memoized)."""
     return {name: Entry(CValue(fresh_mt())) for name in GLOBAL_VALUES}
@@ -274,7 +274,7 @@ def global_entries() -> dict[str, Entry]:
 POLYMORPHIC_BUILTINS: frozenset[str] = frozenset(RUNTIME_FUNCTIONS)
 
 
-@functools.cache
+@seed_table("pyext.lowering_return_types")
 def lowering_return_types() -> dict[str, CSrcType]:
     """Static return types for the lowering's symbol table, so calls into
     the C API land in temporaries of the right surface type (memoized)."""

@@ -32,16 +32,18 @@ from ..core.environment import Entry
 from ..engine.jobs import CheckRequest, repository_fingerprint
 from ..linker.extract import summarize_units
 from ..linker.summary import InterfaceSummary, SymbolRow
+from ..seeds import HostSeedMemo
 from ..source import SourceFile
 from ..telemetry import span as _tspan
 from . import declcheck, runtime
 from .parser import RustFn, RustInterface, parse_sources
 from .widths import render_fn
 
-#: Per-process memo: Rust-side fingerprint -> parsed RustInterface.
-#: Bounded (batches reuse one crate's FFI surface); reset on process exit.
-_INTERFACE_MEMO: dict[str, RustInterface] = {}
-_INTERFACE_MEMO_LIMIT = 32
+#: Shared memo for parsed Rust interfaces: in-process table over the
+#: seed artifact tier over rebuild (see :mod:`repro.seeds`).  A fresh
+#: worker unpickles the interface a sibling already parsed instead of
+#: re-scanning the ``.rs`` sources.
+_INTERFACE_SEEDS = HostSeedMemo("rust")
 
 
 class RustFfiDialect:
@@ -73,13 +75,13 @@ class RustFfiDialect:
 
     def interface_for(self, request: CheckRequest) -> RustInterface:
         fingerprint = repository_fingerprint(request.ocaml_sources)
-        interface = _INTERFACE_MEMO.get(fingerprint)
-        if interface is None:
-            interface = parse_sources(request.ocaml_sources)
-            if len(_INTERFACE_MEMO) >= _INTERFACE_MEMO_LIMIT:
-                _INTERFACE_MEMO.clear()
-            _INTERFACE_MEMO[fingerprint] = interface
-        return interface
+        return _INTERFACE_SEEDS.get(
+            fingerprint, lambda: parse_sources(request.ocaml_sources)
+        )
+
+    #: the seed-warmup entry point (same contract for every dialect
+    #: with a parsed host side; see :func:`repro.seeds.warmup_hosts`)
+    host_interface_for = interface_for
 
     def parse(self, source: SourceFile) -> TranslationUnit:
         return parse_c(source, runtime.parse_hints())

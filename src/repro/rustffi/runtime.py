@@ -16,9 +16,9 @@ both need ``uint64_t`` and ``int`` to stay distinguishable.
 
 from __future__ import annotations
 
-import functools
 
 from ..cfront.parser import ParseHints
+from ..seeds import seed_table
 from ..core.srctypes import CSrcScalar, CSrcType
 
 #: ``stdint.h``/``stddef.h``/``sys/types.h`` scalar typedefs, each kept
@@ -47,7 +47,7 @@ _TYPEDEFS: dict[str, CSrcType] = {
 }
 
 
-@functools.cache
+@seed_table("rust.parse_hints")
 def parse_hints() -> ParseHints:
     """How to read bindgen-style C with the shared parser.
 

@@ -1,0 +1,26 @@
+"""Suite-wide fixtures.
+
+Seed artifacts write through to ``~/.cache/mlffi/seeds`` by default
+(see :mod:`repro.seeds`); the suite must neither read a developer's
+warm cache (results would depend on machine state) nor litter it with
+test-fingerprinted artifacts.  Point the artifact directory at a
+per-session tmp dir before any ``repro`` module resolves it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_seed_dir(tmp_path_factory):
+    seed_dir = tmp_path_factory.mktemp("seed-artifacts")
+    previous = os.environ.get("MLFFI_SEED_DIR")
+    os.environ["MLFFI_SEED_DIR"] = str(seed_dir)
+    yield seed_dir
+    if previous is None:
+        os.environ.pop("MLFFI_SEED_DIR", None)
+    else:
+        os.environ["MLFFI_SEED_DIR"] = previous

@@ -8,7 +8,7 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).resolve().parent.parent
-TREND_DOC = ROOT / "BENCH_PR9.json"
+TREND_DOC = ROOT / "BENCH_PR10.json"
 
 
 def _load_trend_module():
@@ -83,7 +83,7 @@ class TestCommittedDocument:
         # the PR 4 document recorded `"baseline": null` (nothing to
         # compare against); from PR 5 on the gate must actually compare
         gates = json.loads(TREND_DOC.read_text())["gates"]
-        assert gates["baseline"] == "BENCH_PR8.json"
+        assert gates["baseline"] == "BENCH_PR9.json"
 
 
 class TestValidate:

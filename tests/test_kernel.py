@@ -1,0 +1,158 @@
+"""Kernel flavor detection and the pure-Python override hook."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import kernel
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestFlavorDetection:
+    def test_flavor_matches_the_loaded_modules(self):
+        # "compiled" iff at least one kernel module was imported from an
+        # extension — true in the CI compiled-smoke job, false in the
+        # plain source checkout this suite usually runs from
+        if kernel.compiled_modules():
+            assert kernel.kernel_flavor() == "compiled"
+        else:
+            assert kernel.kernel_flavor() == "interpreted"
+        assert set(kernel.compiled_modules()) <= set(kernel.KERNEL_MODULES)
+
+    def test_every_kernel_module_is_importable(self):
+        import importlib
+
+        for name in kernel.KERNEL_MODULES:
+            module = importlib.import_module(name)
+            assert module.__name__ == name
+
+    def test_kernel_modules_exist_as_sources(self):
+        src = ROOT / "src"
+        for name in kernel.KERNEL_MODULES:
+            path = src.joinpath(*name.split(".")).with_suffix(".py")
+            assert path.is_file(), path
+
+    def test_describe_shape(self):
+        info = kernel.describe()
+        assert info["flavor"] in ("compiled", "interpreted")
+        assert isinstance(info["compiled_available"], bool)
+        assert isinstance(info["pure_python_forced"], bool)
+        assert info["kernel_modules"] == len(kernel.KERNEL_MODULES)
+        assert 0 <= info["compiled_modules"] <= info["kernel_modules"]
+
+    def test_data_modules_stay_out_of_the_kernel(self):
+        """Hash-consing is a metaclass and seed artifacts pickle these
+        classes: the definition modules must never be compiled."""
+        for name in (
+            "repro.core.types",
+            "repro.core.srctypes",
+            "repro.core.environment",
+            "repro.core.intern",
+        ):
+            assert name not in kernel.KERNEL_MODULES
+
+
+class TestPurePythonOverride:
+    def test_env_parsing(self, monkeypatch):
+        for value, expected in (
+            ("1", True),
+            ("true", True),
+            ("on", True),
+            ("0", False),
+            ("", False),
+            ("no", False),
+        ):
+            monkeypatch.setenv(kernel.PURE_PYTHON_ENV, value)
+            assert kernel.pure_python_forced() is expected, value
+        monkeypatch.delenv(kernel.PURE_PYTHON_ENV)
+        assert kernel.pure_python_forced() is False
+
+    def test_hook_not_installed_without_env(self, monkeypatch):
+        monkeypatch.delenv(kernel.PURE_PYTHON_ENV, raising=False)
+        assert kernel.install_pure_python_hook() is False
+
+    def test_finder_resolves_kernel_modules_from_source(self):
+        finder = kernel._PurePythonFinder()
+        import repro.core
+
+        spec = finder.find_spec(
+            "repro.core.unify", path=repro.core.__path__
+        )
+        assert spec is not None
+        assert spec.origin.endswith("unify.py")
+
+    def test_finder_ignores_non_kernel_modules(self):
+        finder = kernel._PurePythonFinder()
+        import repro.core
+
+        assert (
+            finder.find_spec("repro.core.intern", path=repro.core.__path__)
+            is None
+        )
+        assert finder.find_spec("json", path=None) is None
+
+    def test_forced_interpreter_run_is_green(self):
+        """End-to-end: a subprocess under MLFFI_PURE_PYTHON=1 installs the
+        hook, loads the kernel from sources, and analyzes correctly."""
+        import os
+
+        env = dict(os.environ)
+        env[kernel.PURE_PYTHON_ENV] = "1"
+        env["PYTHONPATH"] = str(ROOT / "src")
+        code = (
+            "import sys, repro\n"
+            "from repro import kernel\n"
+            "assert kernel.pure_python_forced()\n"
+            "assert any(isinstance(f, kernel._PurePythonFinder)"
+            " for f in sys.meta_path)\n"
+            "assert kernel.kernel_flavor() == 'interpreted'\n"
+            "from repro.api import check_c_source\n"
+            "report = check_c_source('#include <caml/mlvalues.h>\\n"
+            "value f(value v) { return Val_int(Int_val(v)); }\\n')\n"
+            "assert not report.errors, report.render()\n"
+            "print('ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+
+class TestVersionSurface:
+    def test_cli_version_reports_kernel_flavor(self, capsys):
+        from repro import __version__
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert __version__ in out
+        assert kernel.kernel_flavor() in out
+
+    def test_server_status_carries_kernel_and_seeds(self, tmp_path):
+        import json
+
+        from repro.engine import IncrementalEngine
+        from repro.server.service import AnalysisService
+
+        (tmp_path / "counter.ml").write_text(
+            'external make : int -> int = "ml_make"\n'
+        )
+        service = AnalysisService(IncrementalEngine(str(tmp_path)))
+        status = service.handle(
+            json.dumps({"id": 1, "method": "status"})
+        )
+        result = status["result"]
+        assert result["kernel"]["flavor"] in ("compiled", "interpreted")
+        assert "tables" in result["seeds"]
+        assert "artifact_loads" in result["seeds"]
